@@ -1,0 +1,107 @@
+// Ablation: the choice of lifetime function L_x (Section 4.3 table).
+//
+// Joining (TOWER): L_exp vs L_fixed with several cutoffs. The paper argues
+// L_exp both converges and supports incremental computation; this shows
+// the performance side: a well-chosen L_fixed is competitive, a bad cutoff
+// is not, and L_exp is robust.
+// Caching (stationary zipf): adds L_inf and L_inv, which are only
+// guaranteed to converge for caching.
+
+#include <cstdio>
+#include <memory>
+
+#include "harness/configs.h"
+#include "harness/flags.h"
+#include "sjoin/core/heeb_caching_policy.h"
+#include "sjoin/core/heeb_join_policy.h"
+#include "sjoin/engine/cache_simulator.h"
+#include "sjoin/engine/join_simulator.h"
+#include "sjoin/stochastic/stationary_process.h"
+#include "sjoin/stochastic/stream_sampler.h"
+
+using namespace sjoin;
+using namespace sjoin::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  Time len = flags.GetInt("len", 1500);
+  int runs = static_cast<int>(flags.GetInt("runs", 3));
+  std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 11));
+  flags.CheckConsumed();
+
+  std::printf("# Ablation: lifetime functions for HEEB\n\n");
+
+  {
+    JoinWorkload workload = MakeTower();
+    Rng rng(seed);
+    std::vector<StreamPair> pairs;
+    for (int run = 0; run < runs; ++run) {
+      pairs.push_back(SampleStreamPair(*workload.r, *workload.s, len, rng));
+    }
+    JoinSimulator sim({.capacity = 10, .warmup = 40});
+    auto run_with = [&](const char* label, const LifetimeFn* lifetime,
+                        double alpha) {
+      HeebJoinPolicy::Options options;
+      options.mode = HeebJoinPolicy::Mode::kDirect;
+      options.alpha = alpha;
+      options.horizon = 150;
+      options.lifetime = lifetime;
+      std::int64_t total = 0;
+      for (const StreamPair& pair : pairs) {
+        HeebJoinPolicy policy(workload.r.get(), workload.s.get(), options);
+        total += sim.Run(pair.r, pair.s, policy).counted_results;
+      }
+      std::printf("%-24s %10.1f\n", label,
+                  static_cast<double>(total) / runs);
+    };
+
+    std::printf("== joining (TOWER, cache 10) ==\n");
+    std::printf("%-24s %10s\n", "lifetime", "results");
+    run_with("L_exp (tuned alpha)", nullptr, workload.heeb_alpha);
+    FixedLifetime fixed5(5), fixed12(12), fixed25(25), fixed60(60);
+    run_with("L_fixed(5)", &fixed5, workload.heeb_alpha);
+    run_with("L_fixed(12)", &fixed12, workload.heeb_alpha);
+    run_with("L_fixed(25)", &fixed25, workload.heeb_alpha);
+    run_with("L_fixed(60)", &fixed60, workload.heeb_alpha);
+    std::printf("\n");
+  }
+
+  {
+    // Caching: zipf-ish stationary reference stream.
+    std::vector<double> zipf(60);
+    for (std::size_t i = 0; i < zipf.size(); ++i) {
+      zipf[i] = 1.0 / static_cast<double>(i + 1);
+    }
+    StationaryProcess reference(DiscreteDistribution::FromMasses(0, zipf));
+    Rng rng(seed + 1);
+    CacheSimulator sim({.capacity = 8, .warmup = 50});
+    auto run_with = [&](const char* label, const LifetimeFn* lifetime) {
+      std::int64_t total = 0;
+      for (int run = 0; run < runs; ++run) {
+        Rng run_rng = rng.Fork();
+        auto refs = SampleRealization(reference, len, run_rng);
+        HeebCachingPolicy::Options options;
+        options.mode = HeebCachingPolicy::Mode::kDirect;
+        options.alpha = 8.0;
+        options.horizon = 400;
+        options.lifetime = lifetime;
+        HeebCachingPolicy policy(&reference, options);
+        total += sim.Run(refs, policy).counted_hits;
+      }
+      std::printf("%-24s %10.1f\n", label,
+                  static_cast<double>(total) / runs);
+    };
+
+    std::printf("== caching (stationary zipf, cache 8) ==\n");
+    std::printf("%-24s %10s\n", "lifetime", "hits");
+    run_with("L_exp(8)", nullptr);
+    InfiniteLifetime inf;
+    InverseLifetime inv;
+    FixedLifetime fixed8(8), fixed40(40);
+    run_with("L_inf", &inf);
+    run_with("L_inv", &inv);
+    run_with("L_fixed(8)", &fixed8);
+    run_with("L_fixed(40)", &fixed40);
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Extension: empirical competitive ratios. The paper closes by noting
+// "competitive analysis would be a natural direction for future work";
+// this harness measures the empirical counterpart — the ratio
+// OPT-offline / policy on sampled realizations per configuration (higher
+// is worse; 1.0 means matching the clairvoyant optimum).
+//
+// Expected shape: HEEB's empirical ratio stays near 1 on TOWER, grows on
+// FLOOR, and blows up on WALK (where Section 6.3 argues no online
+// algorithm can track the diverging walks).
+
+#include <cstdio>
+#include <memory>
+
+#include "harness/configs.h"
+#include "harness/flags.h"
+#include "harness/runner.h"
+
+using namespace sjoin;
+using namespace sjoin::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  RosterOptions options;
+  options.cache = static_cast<std::size_t>(flags.GetInt("cache", 10));
+  options.len = flags.GetInt("len", 1000);
+  options.runs = static_cast<int>(flags.GetInt("runs", 5));
+  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 37));
+  flags.CheckConsumed();
+
+  std::printf("# Extension: empirical competitive ratios OPT/policy "
+              "(cache=%zu len=%lld runs=%d)\n",
+              options.cache, static_cast<long long>(options.len),
+              options.runs);
+  std::printf("config,policy,ratio\n");
+  JoinWorkload workloads[] = {MakeTower(), MakeRoof(), MakeFloor(),
+                              MakeWalk()};
+  for (const JoinWorkload& workload : workloads) {
+    auto roster = RunJoinRoster(workload, options);
+    double opt_mean = 0.0;
+    for (const AlgoResult& result : roster) {
+      if (result.name == "OPT-OFFLINE") opt_mean = result.summary.mean;
+    }
+    for (const AlgoResult& result : roster) {
+      if (result.name == "OPT-OFFLINE") continue;
+      if (result.summary.mean > 0.0) {
+        std::printf("%s,%s,%.2f\n", workload.name.c_str(),
+                    result.name.c_str(), opt_mean / result.summary.mean);
+      } else {
+        std::printf("%s,%s,inf\n", workload.name.c_str(),
+                    result.name.c_str());
+      }
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

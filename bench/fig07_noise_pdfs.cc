@@ -1,0 +1,27 @@
+// Figure 7: the S-stream noise pdfs of the TOWER / ROOF / FLOOR
+// configurations (bounded normal sd 2, bounded normal sd 5, bounded
+// uniform; all on [-15, 15]).
+
+#include <cstdio>
+
+#include "harness/configs.h"
+#include "sjoin/stochastic/discrete_distribution.h"
+
+using namespace sjoin;
+
+int main() {
+  auto tower = DiscreteDistribution::TruncatedDiscretizedNormal(
+      0.0, 2.0, -bench::kSNoiseBound, bench::kSNoiseBound);
+  auto roof = DiscreteDistribution::TruncatedDiscretizedNormal(
+      0.0, 5.0, -bench::kSNoiseBound, bench::kSNoiseBound);
+  auto floor = DiscreteDistribution::BoundedUniform(-bench::kSNoiseBound,
+                                                    bench::kSNoiseBound);
+
+  std::printf("# Figure 7: TOWER/ROOF/FLOOR noise pdfs (S stream)\n");
+  std::printf("value,TOWER,ROOF,FLOOR\n");
+  for (Value v = -bench::kSNoiseBound; v <= bench::kSNoiseBound; ++v) {
+    std::printf("%lld,%.6f,%.6f,%.6f\n", static_cast<long long>(v),
+                tower.Prob(v), roof.Prob(v), floor.Prob(v));
+  }
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 12: WALK — average join counts vs memory size (1..50).
+//
+// Expected shape: every algorithm improves with memory and (except WALK)
+// converges to OPT-offline; HEEB converges fastest.
+// Paper scale: --runs=50 --len=5000.
+
+#include "harness/sweep.h"
+
+int main(int argc, char** argv) {
+  return sjoin::bench::RunCacheSweepMain(
+      argc, argv, [] { return sjoin::bench::MakeWalk(); }, "Figure 12 (WALK)");
+}

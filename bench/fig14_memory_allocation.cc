@@ -1,0 +1,91 @@
+// Figure 14: how HEEB allocates cache between the two streams under the
+// TOWER configuration, starting from identical streams and then (a)
+// lagging R behind S by 2 and 4 steps, (b) doubling and quadrupling S's
+// noise standard deviation.
+//
+// Expected shape: identical streams split the cache evenly (~0.5);
+// lagging R gets much less; a higher-variance S also shifts allocation
+// toward R (S tuples that fall behind the narrow R window are dropped),
+// i.e. the fraction of R tuples rises above 0.5.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/configs.h"
+#include "harness/flags.h"
+#include "sjoin/common/rng.h"
+#include "sjoin/core/heeb_join_policy.h"
+#include "sjoin/engine/join_simulator.h"
+#include "sjoin/stochastic/stream_sampler.h"
+
+using namespace sjoin;
+using namespace sjoin::bench;
+
+namespace {
+
+std::vector<double> FractionSeries(const JoinWorkload& workload,
+                                   std::size_t cache, Time len,
+                                   std::uint64_t seed) {
+  HeebJoinPolicy::Options options;
+  options.mode = workload.heeb_mode;
+  options.alpha = workload.heeb_alpha;
+  options.horizon = workload.heeb_horizon;
+  HeebJoinPolicy policy(workload.r.get(), workload.s.get(), options);
+  Rng rng(seed);
+  auto pair = SampleStreamPair(*workload.r, *workload.s, len, rng);
+  JoinSimulator sim({.capacity = cache,
+                     .warmup = 0,
+                     .window = std::nullopt,
+                     .track_cache_composition = true});
+  return sim.Run(pair.r, pair.s, policy).r_fraction_by_time;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  Time len = flags.GetInt("len", 2000);
+  std::size_t cache = static_cast<std::size_t>(flags.GetInt("cache", 10));
+  Time stride = flags.GetInt("stride", 50);
+  std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  flags.CheckConsumed();
+
+  struct Variant {
+    std::string label;
+    JoinWorkload workload;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"same", MakeTower(0.0, 1.0, /*equal_streams=*/true)});
+  variants.push_back({"R_lags_2", MakeTower(2.0, 1.0, true)});
+  variants.push_back({"R_lags_4", MakeTower(4.0, 1.0, true)});
+  variants.push_back({"S_sd_x2", MakeTower(0.0, 2.0, true)});
+  variants.push_back({"S_sd_x4", MakeTower(0.0, 4.0, true)});
+
+  std::printf("# Figure 14: fraction of cache taken by R tuples under "
+              "HEEB (TOWER variants, cache=%zu)\n",
+              cache);
+  std::printf("time");
+  for (const Variant& variant : variants) {
+    std::printf(",%s", variant.label.c_str());
+  }
+  std::printf("\n");
+
+  std::vector<std::vector<double>> series;
+  for (const Variant& variant : variants) {
+    series.push_back(FractionSeries(variant.workload, cache, len, seed));
+  }
+  for (Time t = stride; t < len; t += stride) {
+    std::printf("%lld", static_cast<long long>(t));
+    for (const auto& s : series) {
+      // Smooth with a trailing window of `stride` steps.
+      double sum = 0.0;
+      for (Time u = t - stride; u < t; ++u) {
+        sum += s[static_cast<std::size_t>(u)];
+      }
+      std::printf(",%.3f", sum / static_cast<double>(stride));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

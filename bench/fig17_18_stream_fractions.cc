@@ -1,0 +1,97 @@
+// Figures 17-18: fraction of cache held by stream-0 (R) tuples over time,
+// (17) for noise standard-deviation ratios 1:1, 1:2, 1:4 and (18) for R
+// lagging S by 1, 2 and 4 steps. Long-run and early-transient views of the
+// same memory-allocation behavior as Figure 14.
+//
+// Expected shape: (17) higher partner variance -> more than half the cache
+// goes to R, increasing with the ratio; (18) more lag -> less cache for R,
+// decreasing with the lag.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/configs.h"
+#include "harness/flags.h"
+#include "sjoin/common/rng.h"
+#include "sjoin/core/heeb_join_policy.h"
+#include "sjoin/engine/join_simulator.h"
+#include "sjoin/stochastic/stream_sampler.h"
+
+using namespace sjoin;
+using namespace sjoin::bench;
+
+namespace {
+
+std::vector<double> FractionSeries(const JoinWorkload& workload,
+                                   std::size_t cache, Time len,
+                                   std::uint64_t seed) {
+  HeebJoinPolicy::Options options;
+  options.mode = workload.heeb_mode;
+  options.alpha = workload.heeb_alpha;
+  options.horizon = workload.heeb_horizon;
+  HeebJoinPolicy policy(workload.r.get(), workload.s.get(), options);
+  Rng rng(seed);
+  auto pair = SampleStreamPair(*workload.r, *workload.s, len, rng);
+  JoinSimulator sim({.capacity = cache,
+                     .warmup = 0,
+                     .window = std::nullopt,
+                     .track_cache_composition = true});
+  return sim.Run(pair.r, pair.s, policy).r_fraction_by_time;
+}
+
+void PrintBlock(const char* title,
+                const std::vector<std::string>& labels,
+                const std::vector<std::vector<double>>& series, Time len,
+                Time stride) {
+  std::printf("== %s ==\ntime", title);
+  for (const std::string& label : labels) {
+    std::printf(",%s", label.c_str());
+  }
+  std::printf("\n");
+  for (Time t = stride; t < len; t += stride) {
+    std::printf("%lld", static_cast<long long>(t));
+    for (const auto& s : series) {
+      double sum = 0.0;
+      for (Time u = t - stride; u < t; ++u) {
+        sum += s[static_cast<std::size_t>(u)];
+      }
+      std::printf(",%.3f", sum / static_cast<double>(stride));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  Time len = flags.GetInt("len", 2000);
+  std::size_t cache = static_cast<std::size_t>(flags.GetInt("cache", 10));
+  Time stride = flags.GetInt("stride", 100);
+  std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 3));
+  flags.CheckConsumed();
+
+  std::printf("# Figures 17-18: fraction of cache held by stream 0 (R) "
+              "under HEEB\n\n");
+  {
+    std::vector<std::string> labels = {"sd_1_1", "sd_1_2", "sd_1_4"};
+    std::vector<std::vector<double>> series;
+    for (double scale : {1.0, 2.0, 4.0}) {
+      JoinWorkload workload = MakeTower(0.0, scale, /*equal_streams=*/true);
+      series.push_back(FractionSeries(workload, cache, len, seed));
+    }
+    PrintBlock("Figure 17: variance ratios", labels, series, len, stride);
+  }
+  {
+    std::vector<std::string> labels = {"lag_1", "lag_2", "lag_4"};
+    std::vector<std::vector<double>> series;
+    for (double lag : {1.0, 2.0, 4.0}) {
+      JoinWorkload workload = MakeTower(lag, 1.0, /*equal_streams=*/true);
+      series.push_back(FractionSeries(workload, cache, len, seed));
+    }
+    PrintBlock("Figure 18: stream lags", labels, series, len, stride);
+  }
+  return 0;
+}

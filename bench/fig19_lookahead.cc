@@ -1,0 +1,74 @@
+// Figure 19: effect of FlowExpect's look-ahead distance. Linear trend with
+// bounded uniform noise (the FLOOR configuration), stream length 500,
+// memory 20, as in Section 6.4.
+//
+// Expected shape: a short look-ahead (around 5) already captures most of
+// the benefit; longer look-aheads improve little while costs grow.
+// RAND / PROB / LIFE are flat reference lines.
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/configs.h"
+#include "harness/flags.h"
+#include "sjoin/common/rng.h"
+#include "sjoin/core/flow_expect_policy.h"
+#include "sjoin/engine/join_simulator.h"
+#include "sjoin/policies/life_policy.h"
+#include "sjoin/policies/prob_policy.h"
+#include "sjoin/policies/random_policy.h"
+#include "sjoin/stochastic/stream_sampler.h"
+
+using namespace sjoin;
+using namespace sjoin::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  Time len = flags.GetInt("len", 500);
+  std::size_t cache = static_cast<std::size_t>(flags.GetInt("cache", 20));
+  int runs = static_cast<int>(flags.GetInt("runs", 3));
+  std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 5));
+  Time max_lookahead = flags.GetInt("max_lookahead", 30);
+  flags.CheckConsumed();
+
+  JoinWorkload workload = MakeFloor();
+  Rng rng(seed);
+  std::vector<StreamPair> pairs;
+  for (int run = 0; run < runs; ++run) {
+    pairs.push_back(SampleStreamPair(*workload.r, *workload.s, len, rng));
+  }
+  JoinSimulator sim(
+      {.capacity = cache, .warmup = static_cast<Time>(4 * cache)});
+
+  auto average = [&](ReplacementPolicy& policy) {
+    double total = 0.0;
+    for (const StreamPair& pair : pairs) {
+      total += static_cast<double>(
+          sim.Run(pair.r, pair.s, policy).counted_results);
+    }
+    return total / static_cast<double>(pairs.size());
+  };
+
+  RandomPolicy rand(seed + 17, workload.life_window);
+  ProbPolicy prob(workload.life_window);
+  LifePolicy life(workload.life_window);
+  double rand_avg = average(rand);
+  double prob_avg = average(prob);
+  double life_avg = average(life);
+
+  std::printf("# Figure 19: FlowExpect look-ahead sweep (FLOOR, len=%lld, "
+              "memory=%zu, runs=%d)\n",
+              static_cast<long long>(len), cache, runs);
+  std::printf("lookahead,FLOWEXPECT,RAND,PROB,LIFE\n");
+  for (Time lookahead : std::vector<Time>{1, 2, 3, 5, 8, 10, 15, 20, 25,
+                                          30}) {
+    if (lookahead > max_lookahead) break;
+    FlowExpectPolicy flow_expect(workload.r.get(), workload.s.get(),
+                                 {.lookahead = lookahead});
+    std::printf("%lld,%.1f,%.1f,%.1f,%.1f\n",
+                static_cast<long long>(lookahead), average(flow_expect),
+                rand_avg, prob_avg, life_avg);
+    std::fflush(stdout);
+  }
+  return 0;
+}

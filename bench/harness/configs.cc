@@ -1,0 +1,72 @@
+#include "harness/configs.h"
+
+#include "sjoin/core/lifetime_fn.h"
+#include "sjoin/stochastic/linear_trend_process.h"
+#include "sjoin/stochastic/random_walk_process.h"
+
+namespace sjoin::bench {
+namespace {
+
+JoinWorkload MakeTrendWorkload(std::string name, double r_sd, double s_sd,
+                               double r_lag, bool uniform) {
+  JoinWorkload workload;
+  workload.name = std::move(name);
+  DiscreteDistribution r_noise =
+      uniform ? DiscreteDistribution::BoundedUniform(-kRNoiseBound,
+                                                     kRNoiseBound)
+              : DiscreteDistribution::TruncatedDiscretizedNormal(
+                    0.0, r_sd, -kRNoiseBound, kRNoiseBound);
+  DiscreteDistribution s_noise =
+      uniform ? DiscreteDistribution::BoundedUniform(-kSNoiseBound,
+                                                     kSNoiseBound)
+              : DiscreteDistribution::TruncatedDiscretizedNormal(
+                    0.0, s_sd, -kSNoiseBound, kSNoiseBound);
+  workload.r = std::make_unique<LinearTrendProcess>(1.0, -r_lag,
+                                                    std::move(r_noise));
+  workload.s =
+      std::make_unique<LinearTrendProcess>(1.0, 0.0, std::move(s_noise));
+  workload.life_window = kRNoiseBound + kSNoiseBound;
+  // Section 5.3/5.4: crude average-lifetime estimate (wR + wS) / 2.
+  workload.heeb_alpha = ExpLifetime::AlphaForAverageLifetime(
+      static_cast<double>(kRNoiseBound + kSNoiseBound) / 2.0);
+  workload.heeb_mode = HeebJoinPolicy::Mode::kTimeIncremental;
+  workload.heeb_horizon = 150;
+  return workload;
+}
+
+}  // namespace
+
+JoinWorkload MakeTower(double r_lag, double s_sd_scale, bool equal_streams) {
+  // equal_streams: start from identical statistical properties (sd 1 for
+  // both) as in the Figure 14 study; r_lag and s_sd_scale then perturb one
+  // property at a time. The paper's base TOWER uses sd (1, 2) and lag 1.
+  double base_s_sd = equal_streams ? 1.0 : 2.0;
+  return MakeTrendWorkload("TOWER", 1.0, base_s_sd * s_sd_scale, r_lag,
+                           /*uniform=*/false);
+}
+
+JoinWorkload MakeRoof() {
+  return MakeTrendWorkload("ROOF", 3.3, 5.0, 1.0, /*uniform=*/false);
+}
+
+JoinWorkload MakeFloor() {
+  return MakeTrendWorkload("FLOOR", 0.0, 0.0, 1.0, /*uniform=*/true);
+}
+
+JoinWorkload MakeWalk() {
+  JoinWorkload workload;
+  workload.name = "WALK";
+  auto step = DiscreteDistribution::DiscretizedNormal(0.0, 1.0);
+  workload.r = std::make_unique<RandomWalkProcess>(step, 0);
+  workload.s = std::make_unique<RandomWalkProcess>(step, 0);
+  workload.life_window = 0;  // "there is no window" — LIFE inapplicable.
+  workload.life_applicable = false;
+  // Section 5.5: alpha set to the cache size; callers override per run.
+  workload.heeb_alpha = 10.0;
+  workload.alpha_tracks_cache = true;
+  workload.heeb_mode = HeebJoinPolicy::Mode::kWalkTable;
+  workload.heeb_horizon = 80;
+  return workload;
+}
+
+}  // namespace sjoin::bench

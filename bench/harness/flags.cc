@@ -1,0 +1,74 @@
+#include "harness/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sjoin::bench {
+
+Flags::Flags(int argc, char** argv) {
+  program_ = argc > 0 ? argv[0] : "bench";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "%s: expected --name=value, got '%s'\n",
+                   program_.c_str(), arg.c_str());
+      std::exit(2);
+    }
+    std::size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "%s: flag '%s' is missing '=value'\n",
+                   program_.c_str(), arg.c_str());
+      std::exit(2);
+    }
+    entries_.push_back({arg.substr(2, eq - 2), arg.substr(eq + 1), false});
+  }
+}
+
+std::int64_t Flags::GetInt(const std::string& name,
+                           std::int64_t default_value) {
+  for (Entry& entry : entries_) {
+    if (entry.name == name) {
+      entry.consumed = true;
+      char* end = nullptr;
+      std::int64_t value = std::strtoll(entry.value.c_str(), &end, 10);
+      if (end == entry.value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "%s: --%s=%s is not an integer\n",
+                     program_.c_str(), name.c_str(), entry.value.c_str());
+        std::exit(2);
+      }
+      return value;
+    }
+  }
+  return default_value;
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) {
+  for (Entry& entry : entries_) {
+    if (entry.name == name) {
+      entry.consumed = true;
+      char* end = nullptr;
+      double value = std::strtod(entry.value.c_str(), &end);
+      if (end == entry.value.c_str() || *end != '\0') {
+        std::fprintf(stderr, "%s: --%s=%s is not a number\n",
+                     program_.c_str(), name.c_str(), entry.value.c_str());
+        std::exit(2);
+      }
+      return value;
+    }
+  }
+  return default_value;
+}
+
+void Flags::CheckConsumed() const {
+  bool ok = true;
+  for (const Entry& entry : entries_) {
+    if (!entry.consumed) {
+      std::fprintf(stderr, "%s: unknown flag --%s\n", program_.c_str(),
+                   entry.name.c_str());
+      ok = false;
+    }
+  }
+  if (!ok) std::exit(2);
+}
+
+}  // namespace sjoin::bench

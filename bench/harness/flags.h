@@ -1,0 +1,40 @@
+#ifndef SJOIN_BENCH_HARNESS_FLAGS_H_
+#define SJOIN_BENCH_HARNESS_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Minimal --key=value flag parsing for the benchmark binaries, so every
+/// figure can be re-run at paper scale (e.g. --runs=50 --len=5000).
+
+namespace sjoin::bench {
+
+/// Parsed command line. Unknown flags abort with a message listing usage.
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  /// Integer flag with default.
+  std::int64_t GetInt(const std::string& name, std::int64_t default_value);
+
+  /// Double flag with default.
+  double GetDouble(const std::string& name, double default_value);
+
+  /// After all Get* calls, verify every provided flag was consumed.
+  void CheckConsumed() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string value;
+    bool consumed = false;
+  };
+  std::vector<Entry> entries_;
+  std::string program_;
+};
+
+}  // namespace sjoin::bench
+
+#endif  // SJOIN_BENCH_HARNESS_FLAGS_H_

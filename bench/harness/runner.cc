@@ -1,0 +1,127 @@
+#include "harness/runner.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "sjoin/common/rng.h"
+#include "sjoin/core/flow_expect_policy.h"
+#include "sjoin/core/heeb_join_policy.h"
+#include "sjoin/engine/join_simulator.h"
+#include "sjoin/policies/life_policy.h"
+#include "sjoin/policies/opt_offline_policy.h"
+#include "sjoin/policies/prob_policy.h"
+#include "sjoin/policies/random_policy.h"
+#include "sjoin/stochastic/stream_sampler.h"
+
+namespace sjoin::bench {
+
+std::vector<AlgoResult> RunJoinRoster(const JoinWorkload& workload,
+                                      const RosterOptions& options) {
+  // Sample all runs up front so every algorithm sees identical inputs.
+  Rng rng(options.seed);
+  std::vector<StreamPair> pairs;
+  pairs.reserve(static_cast<std::size_t>(options.runs));
+  for (int run = 0; run < options.runs; ++run) {
+    pairs.push_back(
+        SampleStreamPair(*workload.r, *workload.s, options.len, rng));
+  }
+
+  Time warmup = options.warmup >= 0
+                    ? options.warmup
+                    : static_cast<Time>(4 * options.cache);
+  JoinSimulator sim({.capacity = options.cache, .warmup = warmup});
+
+  struct Entry {
+    std::string name;
+    std::vector<double> counts;
+  };
+  std::vector<Entry> entries;
+  auto run_policy = [&](const std::string& name, auto&& make_policy) {
+    Entry entry{name, {}};
+    entry.counts.reserve(pairs.size());
+    for (const StreamPair& pair : pairs) {
+      auto policy = make_policy(pair);
+      entry.counts.push_back(static_cast<double>(
+          sim.Run(pair.r, pair.s, *policy).counted_results));
+    }
+    entries.push_back(std::move(entry));
+  };
+
+  if (options.include_opt) {
+    run_policy("OPT-OFFLINE", [&](const StreamPair& pair) {
+      return std::make_unique<OptOfflinePolicy>(pair.r, pair.s,
+                                                options.cache);
+    });
+  }
+  if (options.include_flow_expect) {
+    run_policy("FLOWEXPECT", [&](const StreamPair&) {
+      return std::make_unique<FlowExpectPolicy>(
+          workload.r.get(), workload.s.get(),
+          FlowExpectPolicy::Options{options.flow_expect_lookahead});
+    });
+  }
+  run_policy("RAND", [&](const StreamPair&) {
+    std::optional<Time> life;
+    if (workload.life_window > 0) life = workload.life_window;
+    return std::make_unique<RandomPolicy>(options.seed + 17, life);
+  });
+  run_policy("PROB", [&](const StreamPair&) {
+    std::optional<Time> life;
+    if (workload.life_window > 0) life = workload.life_window;
+    return std::make_unique<ProbPolicy>(life);
+  });
+  if (workload.life_applicable) {
+    run_policy("LIFE", [&](const StreamPair&) {
+      return std::make_unique<LifePolicy>(workload.life_window);
+    });
+  }
+  run_policy("HEEB", [&](const StreamPair&) {
+    HeebJoinPolicy::Options heeb_options;
+    heeb_options.mode = workload.heeb_mode;
+    heeb_options.alpha = workload.alpha_tracks_cache
+                             ? static_cast<double>(options.cache)
+                             : workload.heeb_alpha;
+    heeb_options.horizon = workload.heeb_horizon;
+    return std::make_unique<HeebJoinPolicy>(workload.r.get(),
+                                            workload.s.get(), heeb_options);
+  });
+
+  std::vector<AlgoResult> results;
+  results.reserve(entries.size());
+  for (Entry& entry : entries) {
+    results.push_back({entry.name, Summarize(entry.counts)});
+  }
+  return results;
+}
+
+void PrintCsvHeader(const std::string& x_label,
+                    const std::vector<AlgoResult>& roster) {
+  std::printf("%s", x_label.c_str());
+  for (const AlgoResult& result : roster) {
+    std::printf(",%s", result.name.c_str());
+  }
+  std::printf("\n");
+}
+
+void PrintCsvRow(double x, const std::vector<AlgoResult>& roster) {
+  std::printf("%g", x);
+  for (const AlgoResult& result : roster) {
+    std::printf(",%.1f", result.summary.mean);
+  }
+  std::printf("\n");
+}
+
+void PrintSummaryBlock(const std::string& title,
+                       const std::vector<AlgoResult>& roster) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("%-14s %10s %10s %10s %10s\n", "algorithm", "mean", "stddev",
+              "min", "max");
+  for (const AlgoResult& result : roster) {
+    std::printf("%-14s %10.1f %10.1f %10.1f %10.1f\n", result.name.c_str(),
+                result.summary.mean, result.summary.stddev,
+                result.summary.min, result.summary.max);
+  }
+  std::printf("\n");
+}
+
+}  // namespace sjoin::bench

@@ -1,0 +1,60 @@
+#ifndef SJOIN_BENCH_HARNESS_RUNNER_H_
+#define SJOIN_BENCH_HARNESS_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/configs.h"
+#include "sjoin/analysis/summary_stats.h"
+
+/// \file
+/// Shared experiment runner: samples stream pairs (common random numbers
+/// across algorithms), runs the paper's algorithm roster, and aggregates
+/// the per-run result counts.
+
+namespace sjoin::bench {
+
+/// One algorithm's aggregate over the runs.
+struct AlgoResult {
+  std::string name;
+  RunSummary summary;
+};
+
+/// Knobs for a roster execution.
+struct RosterOptions {
+  std::size_t cache = 10;
+  Time len = 1000;
+  int runs = 5;
+  std::uint64_t seed = 1;
+  /// Warm-up: results before this time are not counted. -1 derives
+  /// 4 * cache ("no less than four times the cache size", Section 6.2);
+  /// sweeps pin it to 4 * max cache so all sizes share a counting window.
+  Time warmup = -1;
+  /// OPT-offline is O(len * window) per run; skippable for big sweeps.
+  bool include_opt = true;
+  /// FlowExpect is the expensive yardstick; off by default.
+  bool include_flow_expect = false;
+  Time flow_expect_lookahead = 5;
+};
+
+/// Runs OPT-offline, FlowExpect (optional), RAND, PROB, LIFE (when
+/// applicable) and HEEB on `workload`, every algorithm on the same
+/// sampled realizations, counting results produced after a warm-up of
+/// 4x the cache size (Section 6.2).
+std::vector<AlgoResult> RunJoinRoster(const JoinWorkload& workload,
+                                      const RosterOptions& options);
+
+/// Prints "label,algo1,algo2,..." header and one CSV row per x value.
+/// Used by the sweep figures.
+void PrintCsvHeader(const std::string& x_label,
+                    const std::vector<AlgoResult>& roster);
+void PrintCsvRow(double x, const std::vector<AlgoResult>& roster);
+
+/// Prints one block of results with mean/stddev/min/max per algorithm.
+void PrintSummaryBlock(const std::string& title,
+                       const std::vector<AlgoResult>& roster);
+
+}  // namespace sjoin::bench
+
+#endif  // SJOIN_BENCH_HARNESS_RUNNER_H_

@@ -1,0 +1,48 @@
+#include "harness/sweep.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace sjoin::bench {
+
+int RunCacheSweepMain(int argc, char** argv,
+                      const std::function<JoinWorkload()>& factory,
+                      const char* figure_name) {
+  Flags flags(argc, argv);
+  RosterOptions options;
+  options.len = flags.GetInt("len", 800);
+  options.runs = static_cast<int>(flags.GetInt("runs", 3));
+  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  std::int64_t max_cache = flags.GetInt("max_cache", 50);
+  flags.CheckConsumed();
+
+  std::vector<std::int64_t> caches;
+  for (std::int64_t c : {1, 2, 3, 5, 8, 10, 15, 20, 30, 40, 50}) {
+    if (c <= max_cache) caches.push_back(c);
+  }
+  if (caches.empty()) {
+    std::fprintf(stderr, "%s: --max_cache must be >= 1\n", figure_name);
+    return 2;
+  }
+  // A shared counting window so sizes are comparable (>= 4x every cache).
+  options.warmup = 4 * caches.back();
+
+  std::printf("# %s: average join counts vs memory size (len=%lld "
+              "runs=%d)\n",
+              figure_name, static_cast<long long>(options.len),
+              options.runs);
+  bool header_printed = false;
+  for (std::int64_t cache : caches) {
+    options.cache = static_cast<std::size_t>(cache);
+    JoinWorkload workload = factory();
+    auto roster = RunJoinRoster(workload, options);
+    if (!header_printed) {
+      PrintCsvHeader("memory", roster);
+      header_printed = true;
+    }
+    PrintCsvRow(static_cast<double>(cache), roster);
+  }
+  return 0;
+}
+
+}  // namespace sjoin::bench

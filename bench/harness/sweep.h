@@ -1,0 +1,23 @@
+#ifndef SJOIN_BENCH_HARNESS_SWEEP_H_
+#define SJOIN_BENCH_HARNESS_SWEEP_H_
+
+#include <functional>
+
+#include "harness/flags.h"
+#include "harness/runner.h"
+
+/// \file
+/// Shared cache-size sweep used by Figures 9-12.
+
+namespace sjoin::bench {
+
+/// Runs the roster for cache sizes 1..max_cache (log-ish grid) and prints
+/// a CSV series per algorithm. `factory` builds a fresh workload (the
+/// processes are stateless, but WALK tables depend on alpha = cache size).
+int RunCacheSweepMain(int argc, char** argv,
+                      const std::function<JoinWorkload()>& factory,
+                      const char* figure_name);
+
+}  // namespace sjoin::bench
+
+#endif  // SJOIN_BENCH_HARNESS_SWEEP_H_

@@ -1,0 +1,69 @@
+// Microbenchmarks for the min-cost flow substrate: one FlowExpect decision
+// as a function of look-ahead l and cache size k (the paper quotes
+// O((k+l)^3 l^3 log((k+l)l)) per step for Goldberg's solver; successive
+// shortest paths is far cheaper on these small slice graphs), and one
+// OPT-offline schedule computation as a function of stream length.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "sjoin/core/flow_expect_policy.h"
+#include "sjoin/engine/join_simulator.h"
+#include "sjoin/policies/opt_offline_policy.h"
+#include "sjoin/stochastic/linear_trend_process.h"
+#include "sjoin/stochastic/stream_sampler.h"
+
+namespace sjoin {
+namespace {
+
+LinearTrendProcess MakeR() {
+  return LinearTrendProcess(
+      1.0, -1.0, DiscreteDistribution::BoundedUniform(-10, 10));
+}
+LinearTrendProcess MakeS() {
+  return LinearTrendProcess(1.0, 0.0,
+                            DiscreteDistribution::BoundedUniform(-15, 15));
+}
+
+void BM_FlowExpectDecision(benchmark::State& state) {
+  Time lookahead = state.range(0);
+  std::size_t cache = static_cast<std::size_t>(state.range(1));
+  LinearTrendProcess r = MakeR();
+  LinearTrendProcess s = MakeS();
+  Rng rng(1);
+  Time len = 80;
+  auto pair = SampleStreamPair(r, s, len, rng);
+  FlowExpectPolicy policy(&r, &s, {.lookahead = lookahead});
+  JoinSimulator sim({.capacity = cache, .warmup = 0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sim.Run(pair.r, pair.s, policy).total_results);
+  }
+  // Decisions per second.
+  state.SetItemsProcessed(state.iterations() * len);
+}
+BENCHMARK(BM_FlowExpectDecision)
+    ->Args({3, 10})
+    ->Args({5, 10})
+    ->Args({10, 10})
+    ->Args({5, 30});
+
+void BM_OptOfflineSchedule(benchmark::State& state) {
+  Time len = state.range(0);
+  LinearTrendProcess r = MakeR();
+  LinearTrendProcess s = MakeS();
+  Rng rng(2);
+  auto pair = SampleStreamPair(r, s, len, rng);
+  for (auto _ : state) {
+    OptOfflinePolicy policy(pair.r, pair.s, 10);
+    benchmark::DoNotOptimize(policy.optimal_benefit());
+  }
+  state.SetItemsProcessed(state.iterations() * len);
+}
+BENCHMARK(BM_OptOfflineSchedule)->Arg(200)->Arg(1000)->Arg(3000);
+
+}  // namespace
+}  // namespace sjoin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+// Microbenchmarks for the HEEB computation modes of Section 4.4: the cost
+// of one replacement decision under direct summation, time-incremental
+// updates, and precomputed walk tables.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "sjoin/core/heeb_join_policy.h"
+#include "sjoin/engine/join_simulator.h"
+#include "sjoin/stochastic/linear_trend_process.h"
+#include "sjoin/stochastic/random_walk_process.h"
+#include "sjoin/stochastic/stream_sampler.h"
+
+namespace sjoin {
+namespace {
+
+struct TrendSetup {
+  TrendSetup()
+      : r(1.0, -1.0,
+          DiscreteDistribution::TruncatedDiscretizedNormal(0, 1.0, -10, 10)),
+        s(1.0, 0.0,
+          DiscreteDistribution::TruncatedDiscretizedNormal(0, 2.0, -15,
+                                                           15)) {
+    Rng rng(1);
+    pair = SampleStreamPair(r, s, 400, rng);
+  }
+  LinearTrendProcess r;
+  LinearTrendProcess s;
+  StreamPair pair;
+};
+
+void BM_HeebTrend(benchmark::State& state, HeebJoinPolicy::Mode mode) {
+  static TrendSetup* setup = new TrendSetup;
+  HeebJoinPolicy::Options options;
+  options.mode = mode;
+  options.alpha = 10.0;
+  options.horizon = static_cast<Time>(state.range(0));
+  JoinSimulator sim({.capacity = 10, .warmup = 0});
+  for (auto _ : state) {
+    HeebJoinPolicy policy(&setup->r, &setup->s, options);
+    benchmark::DoNotOptimize(
+        sim.Run(setup->pair.r, setup->pair.s, policy).total_results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(setup->pair.r.size()));
+}
+
+void BM_HeebDirect(benchmark::State& state) {
+  BM_HeebTrend(state, HeebJoinPolicy::Mode::kDirect);
+}
+void BM_HeebTimeIncremental(benchmark::State& state) {
+  BM_HeebTrend(state, HeebJoinPolicy::Mode::kTimeIncremental);
+}
+void BM_HeebValueIncremental(benchmark::State& state) {
+  BM_HeebTrend(state, HeebJoinPolicy::Mode::kValueIncremental);
+}
+
+BENCHMARK(BM_HeebDirect)->Arg(60)->Arg(150);
+BENCHMARK(BM_HeebTimeIncremental)->Arg(60)->Arg(150);
+BENCHMARK(BM_HeebValueIncremental)->Arg(60)->Arg(150);
+
+void BM_HeebWalkTable(benchmark::State& state) {
+  RandomWalkProcess r(DiscreteDistribution::DiscretizedNormal(0.0, 1.0), 0);
+  RandomWalkProcess s(DiscreteDistribution::DiscretizedNormal(0.0, 1.0), 0);
+  Rng rng(2);
+  auto pair = SampleStreamPair(r, s, 400, rng);
+  HeebJoinPolicy::Options options;
+  options.mode = HeebJoinPolicy::Mode::kWalkTable;
+  options.alpha = 10.0;
+  options.horizon = static_cast<Time>(state.range(0));
+  JoinSimulator sim({.capacity = 10, .warmup = 0});
+  for (auto _ : state) {
+    HeebJoinPolicy policy(&r, &s, options);
+    benchmark::DoNotOptimize(
+        sim.Run(pair.r, pair.s, policy).total_results);
+  }
+}
+BENCHMARK(BM_HeebWalkTable)->Arg(60);
+
+}  // namespace
+}  // namespace sjoin
+
+BENCHMARK_MAIN();

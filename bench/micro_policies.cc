@@ -1,0 +1,117 @@
+// Microbenchmarks for the replacement policies themselves: full simulated
+// runs per second for each baseline and HEEB mode at TOWER scale, plus the
+// caching-side policies on the REAL-like workload.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "sjoin/analysis/melbourne.h"
+#include "sjoin/core/heeb_caching_policy.h"
+#include "sjoin/core/heeb_join_policy.h"
+#include "sjoin/engine/cache_simulator.h"
+#include "sjoin/engine/join_simulator.h"
+#include "sjoin/policies/lfd_policy.h"
+#include "sjoin/policies/lfu_policy.h"
+#include "sjoin/policies/life_policy.h"
+#include "sjoin/policies/lru_policy.h"
+#include "sjoin/policies/prob_policy.h"
+#include "sjoin/policies/random_policy.h"
+#include "sjoin/stochastic/linear_trend_process.h"
+#include "sjoin/stochastic/stationary_process.h"
+#include "sjoin/stochastic/stream_sampler.h"
+
+namespace sjoin {
+namespace {
+
+struct JoinSetup {
+  JoinSetup()
+      : r(1.0, -1.0,
+          DiscreteDistribution::TruncatedDiscretizedNormal(0, 1.0, -10, 10)),
+        s(1.0, 0.0,
+          DiscreteDistribution::TruncatedDiscretizedNormal(0, 2.0, -15,
+                                                           15)) {
+    Rng rng(1);
+    pair = SampleStreamPair(r, s, 1000, rng);
+  }
+  LinearTrendProcess r;
+  LinearTrendProcess s;
+  StreamPair pair;
+};
+
+JoinSetup& Setup() {
+  static JoinSetup* setup = new JoinSetup;
+  return *setup;
+}
+
+template <typename MakePolicy>
+void RunJoinBench(benchmark::State& state, MakePolicy make_policy) {
+  JoinSetup& setup = Setup();
+  JoinSimulator sim({.capacity = 10, .warmup = 40});
+  for (auto _ : state) {
+    auto policy = make_policy(setup);
+    benchmark::DoNotOptimize(
+        sim.Run(setup.pair.r, setup.pair.s, *policy).counted_results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(setup.pair.r.size()));
+}
+
+void BM_PolicyRand(benchmark::State& state) {
+  RunJoinBench(state, [](JoinSetup&) {
+    return std::make_unique<RandomPolicy>(1, Time{25});
+  });
+}
+BENCHMARK(BM_PolicyRand);
+
+void BM_PolicyProb(benchmark::State& state) {
+  RunJoinBench(state, [](JoinSetup&) {
+    return std::make_unique<ProbPolicy>(Time{25});
+  });
+}
+BENCHMARK(BM_PolicyProb);
+
+void BM_PolicyLife(benchmark::State& state) {
+  RunJoinBench(state,
+               [](JoinSetup&) { return std::make_unique<LifePolicy>(25); });
+}
+BENCHMARK(BM_PolicyLife);
+
+void BM_PolicyHeebIncremental(benchmark::State& state) {
+  RunJoinBench(state, [](JoinSetup& setup) {
+    HeebJoinPolicy::Options options;
+    options.mode = HeebJoinPolicy::Mode::kTimeIncremental;
+    options.alpha = 11.0;
+    options.horizon = 150;
+    return std::make_unique<HeebJoinPolicy>(&setup.r, &setup.s, options);
+  });
+}
+BENCHMARK(BM_PolicyHeebIncremental);
+
+void BM_CachingPolicies(benchmark::State& state) {
+  auto series = SyntheticMelbourneDeciCelsius(1500, 7);
+  CacheSimulator sim({.capacity = 50, .warmup = 0});
+  int which = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::int64_t hits = 0;
+    if (which == 0) {
+      LruCachingPolicy policy;
+      hits = sim.Run(series, policy).hits;
+    } else if (which == 1) {
+      LfuCachingPolicy policy;
+      hits = sim.Run(series, policy).hits;
+    } else {
+      LfdCachingPolicy policy(series);
+      hits = sim.Run(series, policy).hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(series.size()));
+}
+BENCHMARK(BM_CachingPolicies)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+}  // namespace sjoin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Closing the loop: when the stream models are NOT given, learn them from
+// an observed prefix and drive HEEB with the fitted models.
+//
+// The paper assumes "known or observed statistical properties"; this
+// example does the observing: it fits stationary / trend / walk / AR(1)
+// candidates on the first quarter of each stream, selects by holdout
+// predictive likelihood, and compares HEEB-with-learned-models against
+// HEEB-with-true-models and RAND on the remainder.
+
+#include <cstdio>
+
+#include "sjoin/analysis/model_fit.h"
+#include "sjoin/core/heeb_join_policy.h"
+#include "sjoin/engine/join_simulator.h"
+#include "sjoin/policies/random_policy.h"
+#include "sjoin/stochastic/linear_trend_process.h"
+#include "sjoin/stochastic/stream_sampler.h"
+
+using namespace sjoin;
+
+int main() {
+  // Ground truth: two drifting streams (unknown to the learner).
+  LinearTrendProcess true_r(1.0, -1.0,
+                            DiscreteDistribution::TruncatedDiscretizedNormal(
+                                0.0, 2.0, -10, 10));
+  LinearTrendProcess true_s(1.0, 0.0,
+                            DiscreteDistribution::TruncatedDiscretizedNormal(
+                                0.0, 3.0, -15, 15));
+  Rng rng(77);
+  constexpr Time kPrefix = 1000;
+  constexpr Time kTotal = 4000;
+  auto pair = SampleStreamPair(true_r, true_s, kTotal, rng);
+
+  // Learn a model per stream from the prefix.
+  std::vector<Value> r_prefix(pair.r.begin(), pair.r.begin() + kPrefix);
+  std::vector<Value> s_prefix(pair.s.begin(), pair.s.begin() + kPrefix);
+  auto r_model = SelectModel(r_prefix);
+  auto s_model = SelectModel(s_prefix);
+  if (!r_model.has_value() || !s_model.has_value()) {
+    std::fprintf(stderr, "model selection failed\n");
+    return 1;
+  }
+  std::printf("learned models: R -> %s, S -> %s\n",
+              r_model->family.c_str(), s_model->family.c_str());
+
+  JoinSimulator sim({.capacity = 10, .warmup = kPrefix});
+  HeebJoinPolicy::Options options;
+  options.mode = HeebJoinPolicy::Mode::kDirect;
+  options.alpha = ExpLifetime::AlphaForAverageLifetime(12.5);
+  options.horizon = 150;
+
+  HeebJoinPolicy learned(r_model->process.get(), s_model->process.get(),
+                         options);
+  HeebJoinPolicy oracle(&true_r, &true_s, options);
+  RandomPolicy rand(5, Time{25});
+
+  std::printf("results after the learning prefix (cache 10, %lld steps "
+              "counted):\n",
+              static_cast<long long>(kTotal - kPrefix));
+  std::printf("  HEEB, learned models: %lld\n",
+              static_cast<long long>(
+                  sim.Run(pair.r, pair.s, learned).counted_results));
+  std::printf("  HEEB, true models   : %lld\n",
+              static_cast<long long>(
+                  sim.Run(pair.r, pair.s, oracle).counted_results));
+  std::printf("  RAND                : %lld\n",
+              static_cast<long long>(
+                  sim.Run(pair.r, pair.s, rand).counted_results));
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Multi-way stream fusion (the Appendix C generalization): three sensor
+// feeds whose readings drift together; a correlation query joins feed 1
+// with both neighbors (a chain join 0-1-2) from one shared cache.
+// HEEB sums the expected benefit over each tuple's partner streams.
+
+#include <cstdio>
+
+#include "sjoin/multi/multi_heeb_policy.h"
+#include "sjoin/multi/multi_join_simulator.h"
+#include "sjoin/stochastic/linear_trend_process.h"
+#include "sjoin/stochastic/stream_sampler.h"
+
+using namespace sjoin;
+
+int main() {
+  auto noise = [](double sd, Value bound) {
+    return DiscreteDistribution::TruncatedDiscretizedNormal(0.0, sd, -bound,
+                                                            bound);
+  };
+  LinearTrendProcess feed0(1.0, 0.0, noise(2.0, 10));
+  LinearTrendProcess feed1(1.0, -1.0, noise(1.5, 10));
+  LinearTrendProcess feed2(1.0, -2.0, noise(3.0, 12));
+
+  Rng rng(31);
+  std::vector<std::vector<Value>> streams = {
+      SampleRealization(feed0, 3000, rng),
+      SampleRealization(feed1, 3000, rng),
+      SampleRealization(feed2, 3000, rng)};
+
+  // Chain join: feed1 correlates with both neighbors.
+  MultiJoinSimulator sim(3, {{0, 1}, {1, 2}}, {.capacity = 12,
+                                               .warmup = 100});
+
+  MultiHeebPolicy heeb({&feed0, &feed1, &feed2}, &sim,
+                       {.alpha = 10.0, .horizon = 120});
+  MultiRandomPolicy rand(9);
+
+  auto heeb_result = sim.Run(streams, heeb);
+  auto rand_result = sim.Run(streams, rand);
+  std::printf("chain join 0-1-2 over 3000 ticks, shared 12-slot cache:\n");
+  std::printf("  MULTI-HEEB: %lld results\n",
+              static_cast<long long>(heeb_result.counted_results));
+  std::printf("  MULTI-RAND: %lld results\n",
+              static_cast<long long>(rand_result.counted_results));
+  std::printf("  (feed 1 joins both neighbors, so its tuples carry twice "
+              "the expected benefit\n   and HEEB keeps proportionally more "
+              "of them.)\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Correlating two network monitoring feeds: packet records from two taps
+// carry sequence numbers that advance at line rate, but one tap lags and
+// the two have different jitter. The example shows (1) dominance tests
+// between candidate tuples' expected cumulative benefits and (2) how HEEB
+// splits the cache between the two feeds — less memory to the laggard.
+
+#include <cstdio>
+
+#include "sjoin/core/dominance.h"
+#include "sjoin/core/ecb.h"
+#include "sjoin/core/heeb_join_policy.h"
+#include "sjoin/engine/join_simulator.h"
+#include "sjoin/stochastic/linear_trend_process.h"
+#include "sjoin/stochastic/stream_sampler.h"
+
+using namespace sjoin;
+
+int main() {
+  // Tap R lags three ticks behind tap S; S is jittier.
+  LinearTrendProcess r(1.0, -3.0, DiscreteDistribution::TruncatedDiscretizedNormal(
+                                      0.0, 2.0, -8, 8));
+  LinearTrendProcess s(1.0, 0.0, DiscreteDistribution::TruncatedDiscretizedNormal(
+                                     0.0, 4.0, -12, 12));
+
+  // --- Dominance analysis at time t0 = 1000 -------------------------------
+  constexpr Time kNow = 1000;
+  constexpr Time kHorizon = 40;
+  StreamHistory empty;
+  // Candidate R tuples (joining future S arrivals) at several offsets
+  // around the current S trend position (= 1000).
+  struct Candidate {
+    const char* label;
+    Value value;
+  };
+  Candidate candidates[] = {
+      {"R seq 985 (far behind)", 985},
+      {"R seq 999 (just behind)", 999},
+      {"R seq 1008 (well ahead)", 1008},
+  };
+  TabulatedEcb far = MakeJoiningEcb(s, empty, kNow, 985, kHorizon);
+  TabulatedEcb near = MakeJoiningEcb(s, empty, kNow, 999, kHorizon);
+  TabulatedEcb ahead = MakeJoiningEcb(s, empty, kNow, 1008, kHorizon);
+
+  auto describe = [](Dominance d) {
+    switch (d) {
+      case Dominance::kEqual: return "equal";
+      case Dominance::kDominates: return "dominates";
+      case Dominance::kStrictlyDominates: return "strictly dominates";
+      case Dominance::kDominatedBy: return "is dominated by";
+      case Dominance::kStrictlyDominatedBy: return "is strictly dominated by";
+      case Dominance::kIncomparable: return "is incomparable with";
+    }
+    return "?";
+  };
+  std::printf("ECB dominance between candidate tuples at t=%lld:\n",
+              static_cast<long long>(kNow));
+  std::printf("  '%s' %s '%s'\n", candidates[1].label,
+              describe(CompareEcb(near, far, kHorizon)), candidates[0].label);
+  std::printf("  '%s' %s '%s'\n", candidates[1].label,
+              describe(CompareEcb(near, ahead, kHorizon)),
+              candidates[2].label);
+  std::printf("  -> comparable pairs have provably optimal evictions "
+              "(Theorem 3); incomparable ones need HEEB.\n\n");
+
+  // --- Memory allocation under HEEB ---------------------------------------
+  HeebJoinPolicy::Options options;
+  options.mode = HeebJoinPolicy::Mode::kTimeIncremental;
+  options.alpha = ExpLifetime::AlphaForAverageLifetime(10.0);
+  HeebJoinPolicy heeb(&r, &s, options);
+
+  Rng rng(17);
+  auto pair = SampleStreamPair(r, s, 3000, rng);
+  JoinSimulator sim({.capacity = 12,
+                     .warmup = 100,
+                     .window = std::nullopt,
+                     .track_cache_composition = true});
+  auto result = sim.Run(pair.r, pair.s, heeb);
+
+  double fraction = 0.0;
+  std::size_t samples = 0;
+  for (std::size_t t = 200; t < result.r_fraction_by_time.size(); ++t) {
+    fraction += result.r_fraction_by_time[t];
+    ++samples;
+  }
+  fraction /= static_cast<double>(samples);
+  std::printf("join results (12-slot cache): %lld\n",
+              static_cast<long long>(result.counted_results));
+  std::printf("average fraction of cache given to the lagging tap R: "
+              "%.2f\n",
+              fraction);
+  std::printf("  -> the laggard's tuples mostly missed S's window already, "
+              "so HEEB spends the memory on S.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+#include "sjoin/analysis/ar1_fit.h"
+
+#include <cmath>
+
+namespace sjoin {
+
+std::optional<Ar1Fit> FitAr1(const std::vector<double>& series) {
+  std::size_t n = series.size();
+  if (n < 3) return std::nullopt;
+  // Regress X_t on X_{t-1} over t = 1..n-1.
+  double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+  std::size_t m = n - 1;
+  for (std::size_t t = 1; t < n; ++t) {
+    double x = series[t - 1];
+    double y = series[t];
+    sum_x += x;
+    sum_y += y;
+    sum_xx += x * x;
+    sum_xy += x * y;
+  }
+  double denom = sum_xx - sum_x * sum_x / static_cast<double>(m);
+  if (denom <= 0.0) return std::nullopt;
+  Ar1Fit fit;
+  fit.phi1 = (sum_xy - sum_x * sum_y / static_cast<double>(m)) / denom;
+  fit.phi0 = (sum_y - fit.phi1 * sum_x) / static_cast<double>(m);
+  double rss = 0.0;
+  for (std::size_t t = 1; t < n; ++t) {
+    double resid = series[t] - fit.phi0 - fit.phi1 * series[t - 1];
+    rss += resid * resid;
+  }
+  fit.sigma = std::sqrt(rss / static_cast<double>(m));
+  return fit;
+}
+
+std::optional<Ar1Fit> FitAr1(const std::vector<Value>& series) {
+  std::vector<double> doubles;
+  doubles.reserve(series.size());
+  for (Value v : series) doubles.push_back(static_cast<double>(v));
+  return FitAr1(doubles);
+}
+
+}  // namespace sjoin

@@ -1,0 +1,36 @@
+#ifndef SJOIN_ANALYSIS_AR1_FIT_H_
+#define SJOIN_ANALYSIS_AR1_FIT_H_
+
+#include <optional>
+#include <vector>
+
+#include "sjoin/common/types.h"
+
+/// \file
+/// AR(1) parameter estimation.
+///
+/// The REAL experiment (Section 6.5) performs "a standard MLE procedure
+/// offline" on the temperature series to obtain X_t = phi1 X_{t-1} + phi0
+/// + Y_t. Conditional maximum likelihood for a Gaussian AR(1) coincides
+/// with ordinary least squares of X_t on X_{t-1}, which is what this
+/// module implements.
+
+namespace sjoin {
+
+/// Fitted AR(1) model X_t = phi0 + phi1 * X_{t-1} + N(0, sigma^2).
+struct Ar1Fit {
+  double phi0 = 0.0;
+  double phi1 = 0.0;
+  double sigma = 0.0;
+};
+
+/// Fits an AR(1) by conditional MLE (least squares). Returns nullopt when
+/// the series is too short (< 3 points) or has zero lag-variance.
+std::optional<Ar1Fit> FitAr1(const std::vector<double>& series);
+
+/// Convenience overload for integer-valued series.
+std::optional<Ar1Fit> FitAr1(const std::vector<Value>& series);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_ANALYSIS_AR1_FIT_H_

@@ -1,0 +1,43 @@
+#include "sjoin/analysis/melbourne.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "sjoin/common/rng.h"
+
+namespace sjoin {
+
+std::vector<Value> SyntheticMelbourneDeciCelsius(std::size_t days,
+                                                 std::uint64_t seed) {
+  // Calibration (degrees Celsius): mean 20.0, annual sinusoid amplitude
+  // 2.2, AR(1) disturbance with rho = 0.70 and innovation sd 4.2. A raw
+  // conditional-MLE AR(1) fit on this series lands near the paper's
+  // X_t = 0.72 X_{t-1} + 5.59 + Y_t, sd(Y) = 4.22 (see analysis tests).
+  // The weights between the seasonal and AR components are chosen so the
+  // fitted AR(1) is close to correctly specified — consistent with the
+  // paper's observation that HEEB driven by this fit beats LRU/LFU on the
+  // real data (a strongly seasonal series with a weak AR component would
+  // match the fitted parameters but contradict that observed outcome).
+  constexpr double kMeanC = 20.0;
+  constexpr double kAmplitudeC = 2.2;
+  constexpr double kRho = 0.70;
+  constexpr double kInnovationSdC = 4.2;
+  constexpr double kDaysPerYear = 365.25;
+
+  Rng rng(seed);
+  std::vector<Value> series;
+  series.reserve(days);
+  double disturbance = 0.0;
+  for (std::size_t t = 0; t < days; ++t) {
+    disturbance = kRho * disturbance + kInnovationSdC * rng.StandardNormal();
+    double seasonal =
+        kAmplitudeC *
+        std::sin(2.0 * std::numbers::pi * static_cast<double>(t) /
+                 kDaysPerYear);
+    double celsius = kMeanC + seasonal + disturbance;
+    series.push_back(static_cast<Value>(std::llround(celsius * 10.0)));
+  }
+  return series;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,33 @@
+#ifndef SJOIN_ANALYSIS_MELBOURNE_H_
+#define SJOIN_ANALYSIS_MELBOURNE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sjoin/common/types.h"
+
+/// \file
+/// Synthetic stand-in for the paper's REAL data set.
+///
+/// The paper uses the Melbourne daily-temperature series from StatSci.org
+/// (10 years, 3650 values) and fits the AR(1) model
+/// X_t = 0.72 X_{t-1} + 5.59 + Y_t with sd(Y) = 4.22 (degrees Celsius).
+/// That file is not redistributable here, so we synthesize a series with
+/// the same structure — an annual sinusoid plus an AR(1) disturbance,
+/// calibrated so the conditional-MLE AR(1) fit on the raw series lands
+/// near the paper's parameters (see DESIGN.md §6). The downstream
+/// experiment (fit -> HEEB surface precompute -> bicubic approximation ->
+/// cache simulation) exercises exactly the paper's code path; only the
+/// byte-identical inputs differ.
+
+namespace sjoin {
+
+/// Generates `days` of synthetic Melbourne-like daily temperatures in
+/// 0.1 degree Celsius units (the granularity at which the paper's database
+/// relation stores one tuple per temperature). Deterministic in `seed`.
+std::vector<Value> SyntheticMelbourneDeciCelsius(std::size_t days,
+                                                 std::uint64_t seed);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_ANALYSIS_MELBOURNE_H_

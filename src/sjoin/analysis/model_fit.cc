@@ -1,0 +1,148 @@
+#include "sjoin/analysis/model_fit.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sjoin/analysis/ar1_fit.h"
+#include "sjoin/common/check.h"
+#include "sjoin/stochastic/ar1_process.h"
+#include "sjoin/stochastic/linear_trend_process.h"
+#include "sjoin/stochastic/random_walk_process.h"
+#include "sjoin/stochastic/stationary_process.h"
+
+namespace sjoin {
+
+DiscreteDistribution EmpiricalPmf(const std::vector<Value>& sample,
+                                  double smoothing, Value pad) {
+  if (sample.empty()) return DiscreteDistribution();
+  auto [lo_it, hi_it] = std::minmax_element(sample.begin(), sample.end());
+  Value lo = *lo_it - pad;
+  Value hi = *hi_it + pad;
+  std::vector<double> masses(static_cast<std::size_t>(hi - lo + 1),
+                             smoothing);
+  for (Value v : sample) {
+    masses[static_cast<std::size_t>(v - lo)] += 1.0;
+  }
+  return DiscreteDistribution::FromMasses(lo, std::move(masses));
+}
+
+std::unique_ptr<StochasticProcess> FitStationaryProcess(
+    const std::vector<Value>& series) {
+  if (series.empty()) return nullptr;
+  return std::make_unique<StationaryProcess>(EmpiricalPmf(series));
+}
+
+std::unique_ptr<StochasticProcess> FitTrendProcess(
+    const std::vector<Value>& series) {
+  std::size_t n = series.size();
+  if (n < 3) return nullptr;
+  // OLS of X_t on t.
+  double sum_t = 0.0, sum_x = 0.0, sum_tt = 0.0, sum_tx = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    double td = static_cast<double>(t);
+    double xd = static_cast<double>(series[t]);
+    sum_t += td;
+    sum_x += xd;
+    sum_tt += td * td;
+    sum_tx += td * xd;
+  }
+  double denom = sum_tt - sum_t * sum_t / static_cast<double>(n);
+  if (denom <= 0.0) return nullptr;
+  double slope = (sum_tx - sum_t * sum_x / static_cast<double>(n)) / denom;
+  double intercept =
+      (sum_x - slope * sum_t) / static_cast<double>(n);
+  // Residuals against the *rounded* trend the process will use.
+  LinearTrendProcess skeleton(slope, intercept, DiscreteDistribution::PointMass(0));
+  std::vector<Value> residuals;
+  residuals.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    residuals.push_back(series[t] - skeleton.TrendAt(static_cast<Time>(t)));
+  }
+  return std::make_unique<LinearTrendProcess>(slope, intercept,
+                                              EmpiricalPmf(residuals));
+}
+
+std::unique_ptr<StochasticProcess> FitWalkProcess(
+    const std::vector<Value>& series) {
+  if (series.size() < 2) return nullptr;
+  std::vector<Value> steps;
+  steps.reserve(series.size() - 1);
+  for (std::size_t t = 1; t < series.size(); ++t) {
+    steps.push_back(series[t] - series[t - 1]);
+  }
+  return std::make_unique<RandomWalkProcess>(EmpiricalPmf(steps),
+                                             series.front());
+}
+
+std::unique_ptr<StochasticProcess> FitAr1Process(
+    const std::vector<Value>& series) {
+  auto fit = FitAr1(series);
+  if (!fit.has_value()) return nullptr;
+  if (fit->sigma <= 0.0 || std::fabs(fit->phi1) > 1.5 ||
+      fit->phi1 == 0.0) {
+    return nullptr;
+  }
+  return std::make_unique<Ar1Process>(fit->phi0, fit->phi1, fit->sigma,
+                                      series.front());
+}
+
+double OneStepLogLikelihood(const StochasticProcess& model,
+                            const std::vector<Value>& series, Time start,
+                            double floor_prob) {
+  SJOIN_CHECK_GE(start, 1);
+  SJOIN_CHECK_LT(static_cast<std::size_t>(start), series.size());
+  double total = 0.0;
+  Time count = 0;
+  StreamHistory history(std::vector<Value>(
+      series.begin(), series.begin() + static_cast<std::ptrdiff_t>(start)));
+  for (Time t = start; t < static_cast<Time>(series.size()); ++t) {
+    double p = model.Predict(history, t).Prob(
+        series[static_cast<std::size_t>(t)]);
+    total += std::log(std::max(p, floor_prob));
+    history.Append(series[static_cast<std::size_t>(t)]);
+    ++count;
+  }
+  return total / static_cast<double>(count);
+}
+
+std::optional<SelectedModel> SelectModel(const std::vector<Value>& series,
+                                         double holdout_fraction) {
+  SJOIN_CHECK_GT(holdout_fraction, 0.0);
+  SJOIN_CHECK_LT(holdout_fraction, 1.0);
+  if (series.size() < 8) return std::nullopt;
+  Time split = static_cast<Time>(
+      static_cast<double>(series.size()) * (1.0 - holdout_fraction));
+  split = std::max<Time>(split, 4);
+  std::vector<Value> prefix(series.begin(),
+                            series.begin() + static_cast<std::ptrdiff_t>(split));
+
+  struct Entry {
+    std::string family;
+    std::unique_ptr<StochasticProcess> process;
+  };
+  std::vector<Entry> entries;
+  if (auto p = FitStationaryProcess(prefix)) {
+    entries.push_back({"stationary", std::move(p)});
+  }
+  if (auto p = FitTrendProcess(prefix)) {
+    entries.push_back({"trend", std::move(p)});
+  }
+  if (auto p = FitWalkProcess(prefix)) {
+    entries.push_back({"walk", std::move(p)});
+  }
+  if (auto p = FitAr1Process(prefix)) {
+    entries.push_back({"ar1", std::move(p)});
+  }
+  if (entries.empty()) return std::nullopt;
+
+  std::optional<SelectedModel> best;
+  for (Entry& entry : entries) {
+    double ll = OneStepLogLikelihood(*entry.process, series, split);
+    if (!best.has_value() || ll > best->holdout_log_likelihood) {
+      best = SelectedModel{entry.family, std::move(entry.process), ll};
+    }
+  }
+  return best;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,72 @@
+#ifndef SJOIN_ANALYSIS_MODEL_FIT_H_
+#define SJOIN_ANALYSIS_MODEL_FIT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sjoin/common/types.h"
+#include "sjoin/stochastic/process.h"
+
+/// \file
+/// Estimating stream models from observed prefixes.
+///
+/// The paper treats identifying statistical properties as an orthogonal
+/// problem ("time series data analysis is an established field"); a usable
+/// library still needs the basic fitters so HEEB / FlowExpect can be driven
+/// from data alone. This module fits each process family the library
+/// supports and selects among them by one-step-ahead predictive
+/// log-likelihood on a holdout suffix.
+
+namespace sjoin {
+
+/// Empirical pmf of a sample of integer values, with Laplace smoothing
+/// `smoothing` added to every bin of [min - pad, max + pad]. Returns an
+/// empty distribution for an empty sample.
+DiscreteDistribution EmpiricalPmf(const std::vector<Value>& sample,
+                                  double smoothing = 0.5, Value pad = 2);
+
+/// Fits a StationaryProcess (i.i.d. draws from the empirical pmf).
+std::unique_ptr<StochasticProcess> FitStationaryProcess(
+    const std::vector<Value>& series);
+
+/// Fits a LinearTrendProcess: OLS of X_t on t for the trend, empirical pmf
+/// of the de-trended residuals for the noise. Returns nullptr for series
+/// shorter than 3.
+std::unique_ptr<StochasticProcess> FitTrendProcess(
+    const std::vector<Value>& series);
+
+/// Fits a RandomWalkProcess: empirical pmf of the first differences.
+/// Returns nullptr for series shorter than 2.
+std::unique_ptr<StochasticProcess> FitWalkProcess(
+    const std::vector<Value>& series);
+
+/// Fits an Ar1Process by conditional MLE (see ar1_fit.h). Returns nullptr
+/// when the fit is degenerate or explosive (|phi1| > 1.5).
+std::unique_ptr<StochasticProcess> FitAr1Process(
+    const std::vector<Value>& series);
+
+/// Average one-step-ahead predictive log-likelihood of `model` on
+/// `series[start..]`, conditioning on the true history at each step.
+/// Steps where the model assigns zero mass contribute log(floor_prob).
+double OneStepLogLikelihood(const StochasticProcess& model,
+                            const std::vector<Value>& series, Time start,
+                            double floor_prob = 1e-9);
+
+/// A fitted model with its selection diagnostics.
+struct SelectedModel {
+  std::string family;  // "stationary", "trend", "walk", "ar1".
+  std::unique_ptr<StochasticProcess> process;
+  double holdout_log_likelihood = 0.0;
+};
+
+/// Fits every family on the first (1 - holdout_fraction) of the series and
+/// returns the one with the best predictive log-likelihood on the rest.
+/// Returns nullopt when the series is too short for any family.
+std::optional<SelectedModel> SelectModel(const std::vector<Value>& series,
+                                         double holdout_fraction = 0.25);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_ANALYSIS_MODEL_FIT_H_

@@ -1,0 +1,35 @@
+#include "sjoin/analysis/summary_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sjoin/common/math_util.h"
+
+namespace sjoin {
+
+double Autocorrelation(const std::vector<double>& series, std::size_t lag) {
+  std::size_t n = series.size();
+  if (n < 2 || lag >= n) return 0.0;
+  double mean = Mean(series);
+  double denom = 0.0;
+  for (double x : series) denom += (x - mean) * (x - mean);
+  if (denom <= 0.0) return 0.0;
+  double numer = 0.0;
+  for (std::size_t t = lag; t < n; ++t) {
+    numer += (series[t] - mean) * (series[t - lag] - mean);
+  }
+  return numer / denom;
+}
+
+RunSummary Summarize(const std::vector<double>& runs) {
+  RunSummary summary;
+  if (runs.empty()) return summary;
+  summary.mean = Mean(runs);
+  summary.stddev = std::sqrt(Variance(runs));
+  auto [lo, hi] = std::minmax_element(runs.begin(), runs.end());
+  summary.min = *lo;
+  summary.max = *hi;
+  return summary;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,29 @@
+#ifndef SJOIN_ANALYSIS_SUMMARY_STATS_H_
+#define SJOIN_ANALYSIS_SUMMARY_STATS_H_
+
+#include <vector>
+
+#include "sjoin/common/types.h"
+
+/// \file
+/// Descriptive statistics used by the experiment harness and tests.
+
+namespace sjoin {
+
+/// Lag-k sample autocorrelation of a series (0 for degenerate inputs).
+double Autocorrelation(const std::vector<double>& series, std::size_t lag);
+
+/// Summary of repeated experiment runs.
+struct RunSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Aggregates per-run results (e.g. join counts across the paper's 50 runs).
+RunSummary Summarize(const std::vector<double>& runs);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_ANALYSIS_SUMMARY_STATS_H_

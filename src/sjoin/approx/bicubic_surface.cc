@@ -1,0 +1,66 @@
+#include "sjoin/approx/bicubic_surface.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "sjoin/approx/cubic_curve.h"
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+
+BicubicSurface::BicubicSurface(double x0, double dx, int nx, double y0,
+                               double dy, int ny, std::vector<double> control)
+    : x0_(x0), dx_(dx), nx_(nx), y0_(y0), dy_(dy), ny_(ny),
+      control_(std::move(control)) {
+  SJOIN_CHECK_GE(nx_, 2);
+  SJOIN_CHECK_GE(ny_, 2);
+  SJOIN_CHECK_GT(dx_, 0.0);
+  SJOIN_CHECK_GT(dy_, 0.0);
+  SJOIN_CHECK_EQ(control_.size(),
+                 static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_));
+}
+
+double BicubicSurface::ControlAt(int i, int j) const {
+  SJOIN_CHECK_GE(i, 0);
+  SJOIN_CHECK_LT(i, nx_);
+  SJOIN_CHECK_GE(j, 0);
+  SJOIN_CHECK_LT(j, ny_);
+  return control_[static_cast<std::size_t>(i) * static_cast<std::size_t>(ny_) +
+                  static_cast<std::size_t>(j)];
+}
+
+double BicubicSurface::At(double x, double y) const {
+  double px = std::clamp((x - x0_) / dx_, 0.0, static_cast<double>(nx_ - 1));
+  double py = std::clamp((y - y0_) / dy_, 0.0, static_cast<double>(ny_ - 1));
+  int i = std::min(static_cast<int>(std::floor(px)), nx_ - 2);
+  int j = std::min(static_cast<int>(std::floor(py)), ny_ - 2);
+  double u = px - static_cast<double>(i);
+  double v = py - static_cast<double>(j);
+
+  // Virtual boundary neighbors by linear reflection (per axis), so linear
+  // control data is reproduced exactly across the whole domain. Offsets
+  // only ever step one cell outside the grid.
+  std::function<double(int, int)> extended = [&](int ii, int jj) -> double {
+    if (ii < 0) return 2.0 * extended(0, jj) - extended(1, jj);
+    if (ii > nx_ - 1) {
+      return 2.0 * extended(nx_ - 1, jj) - extended(nx_ - 2, jj);
+    }
+    if (jj < 0) return 2.0 * extended(ii, 0) - extended(ii, 1);
+    if (jj > ny_ - 1) {
+      return 2.0 * extended(ii, ny_ - 1) - extended(ii, ny_ - 2);
+    }
+    return ControlAt(ii, jj);
+  };
+
+  // Interpolate along y for the four relevant rows, then along x.
+  double rows[4];
+  for (int di = -1; di <= 2; ++di) {
+    rows[di + 1] = CatmullRom(extended(i + di, j - 1), extended(i + di, j),
+                              extended(i + di, j + 1),
+                              extended(i + di, j + 2), v);
+  }
+  return CatmullRom(rows[0], rows[1], rows[2], rows[3], u);
+}
+
+}  // namespace sjoin

@@ -1,0 +1,49 @@
+#ifndef SJOIN_APPROX_BICUBIC_SURFACE_H_
+#define SJOIN_APPROX_BICUBIC_SURFACE_H_
+
+#include <vector>
+
+/// \file
+/// Bicubic interpolation over a uniform 2-D control grid.
+///
+/// The REAL experiment (Section 6.5) precomputes the HEEB surface
+/// h2(v_x, x_t0) for an AR(1) reference stream and stores "bicubic
+/// interpolation of 25 control points equally spaced over the domain"
+/// (Figures 15-16). This class is that compact representation.
+
+namespace sjoin {
+
+/// Catmull-Rom bicubic surface over control values z[i][j] at
+/// (x0 + i*dx, y0 + j*dy). Evaluation clamps to the grid domain and is
+/// exact at control points.
+class BicubicSurface {
+ public:
+  /// `control` is row-major: control[i * ny + j] = z at (x_i, y_j).
+  /// Requires nx, ny >= 2 and positive spacings.
+  BicubicSurface(double x0, double dx, int nx, double y0, double dy, int ny,
+                 std::vector<double> control);
+
+  /// Interpolated value at (x, y), clamped to the domain.
+  double At(double x, double y) const;
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  double x0() const { return x0_; }
+  double y0() const { return y0_; }
+  double dx() const { return dx_; }
+  double dy() const { return dy_; }
+
+  /// Control value z at grid index (i, j).
+  double ControlAt(int i, int j) const;
+
+ private:
+  double x0_, dx_;
+  int nx_;
+  double y0_, dy_;
+  int ny_;
+  std::vector<double> control_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_APPROX_BICUBIC_SURFACE_H_

@@ -1,0 +1,41 @@
+#include "sjoin/approx/cubic_curve.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+
+double CatmullRom(double p0, double p1, double p2, double p3, double u) {
+  double u2 = u * u;
+  double u3 = u2 * u;
+  return 0.5 * ((2.0 * p1) + (-p0 + p2) * u +
+                (2.0 * p0 - 5.0 * p1 + 4.0 * p2 - p3) * u2 +
+                (-p0 + 3.0 * p1 - 3.0 * p2 + p3) * u3);
+}
+
+CubicCurve::CubicCurve(double x0, double dx, std::vector<double> control_values)
+    : x0_(x0), dx_(dx), values_(std::move(control_values)) {
+  SJOIN_CHECK_GT(dx, 0.0);
+  SJOIN_CHECK_GE(values_.size(), 2u);
+}
+
+double CubicCurve::At(double x) const {
+  std::size_t n = values_.size();
+  double pos = (x - x0_) / dx_;
+  pos = std::clamp(pos, 0.0, static_cast<double>(n - 1));
+  std::size_t i = static_cast<std::size_t>(std::floor(pos));
+  if (i >= n - 1) i = n - 2;
+  double u = pos - static_cast<double>(i);
+  // Virtual boundary neighbors by linear reflection, so that linear
+  // control data is reproduced exactly across the whole domain.
+  double p1 = values_[i];
+  double p2 = values_[i + 1];
+  double p0 = i == 0 ? 2.0 * values_[0] - values_[1] : values_[i - 1];
+  double p3 = i + 2 > n - 1 ? 2.0 * values_[n - 1] - values_[n - 2]
+                            : values_[i + 2];
+  return CatmullRom(p0, p1, p2, p3, u);
+}
+
+}  // namespace sjoin

@@ -1,0 +1,39 @@
+#ifndef SJOIN_APPROX_CUBIC_CURVE_H_
+#define SJOIN_APPROX_CUBIC_CURVE_H_
+
+#include <vector>
+
+/// \file
+/// 1-D piecewise-cubic (Catmull-Rom) interpolation over a uniform grid of
+/// control points. Used to store a compact approximation of the
+/// precomputed HEEB function h1 for random walks (Theorem 5(2)).
+
+namespace sjoin {
+
+/// Interpolates control values placed at x0, x0 + dx, ..., x0 + (n-1)dx.
+/// Evaluation clamps to the grid domain. Exact at control points.
+class CubicCurve {
+ public:
+  /// Requires at least two control points and dx > 0.
+  CubicCurve(double x0, double dx, std::vector<double> control_values);
+
+  /// Interpolated value at x (clamped to [x0, x0 + (n-1)dx]).
+  double At(double x) const;
+
+  double x0() const { return x0_; }
+  double dx() const { return dx_; }
+  std::size_t num_points() const { return values_.size(); }
+
+ private:
+  double x0_;
+  double dx_;
+  std::vector<double> values_;
+};
+
+/// Catmull-Rom basis evaluation given the four neighboring control values
+/// p0..p3 and the fractional position u in [0, 1] between p1 and p2.
+double CatmullRom(double p0, double p1, double p2, double p3, double u);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_APPROX_CUBIC_CURVE_H_

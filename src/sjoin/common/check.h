@@ -1,0 +1,53 @@
+#ifndef SJOIN_COMMON_CHECK_H_
+#define SJOIN_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// CHECK-style invariant macros.
+///
+/// The library does not use C++ exceptions. Programmer errors (violated
+/// preconditions, broken internal invariants) abort the process with a
+/// source location and message; recoverable runtime conditions are
+/// reported through return values (std::optional / status-like types).
+
+namespace sjoin::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "SJOIN_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, (msg != nullptr && msg[0] != '\0') ? " — " : "",
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace sjoin::internal
+
+/// Aborts with a diagnostic if `condition` is false. Always evaluated,
+/// including in release builds: simulator correctness depends on these
+/// invariants and the cost is negligible at this scale.
+#define SJOIN_CHECK(condition)                                              \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      ::sjoin::internal::CheckFailed(__FILE__, __LINE__, #condition, "");   \
+    }                                                                       \
+  } while (false)
+
+/// SJOIN_CHECK with an explanatory message (a plain C string literal).
+#define SJOIN_CHECK_MSG(condition, msg)                                     \
+  do {                                                                      \
+    if (!(condition)) {                                                     \
+      ::sjoin::internal::CheckFailed(__FILE__, __LINE__, #condition, msg);  \
+    }                                                                       \
+  } while (false)
+
+/// Binary comparison checks; print both operand expressions on failure.
+#define SJOIN_CHECK_EQ(a, b) SJOIN_CHECK((a) == (b))
+#define SJOIN_CHECK_NE(a, b) SJOIN_CHECK((a) != (b))
+#define SJOIN_CHECK_LT(a, b) SJOIN_CHECK((a) < (b))
+#define SJOIN_CHECK_LE(a, b) SJOIN_CHECK((a) <= (b))
+#define SJOIN_CHECK_GT(a, b) SJOIN_CHECK((a) > (b))
+#define SJOIN_CHECK_GE(a, b) SJOIN_CHECK((a) >= (b))
+
+#endif  // SJOIN_COMMON_CHECK_H_

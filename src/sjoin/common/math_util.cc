@@ -1,0 +1,38 @@
+#include "sjoin/common/math_util.h"
+
+#include <numbers>
+
+namespace sjoin {
+
+double NormalPdf(double x) {
+  return std::exp(-0.5 * x * x) / std::sqrt(2.0 * std::numbers::pi);
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::numbers::sqrt2); }
+
+double DiscretizedNormalMass(double mean, double sigma, std::int64_t v) {
+  if (sigma <= 0.0) {
+    // Degenerate: all mass on the nearest integer to the mean.
+    return (std::llround(mean) == v) ? 1.0 : 0.0;
+  }
+  double lo = (static_cast<double>(v) - 0.5 - mean) / sigma;
+  double hi = (static_cast<double>(v) + 0.5 - mean) / sigma;
+  return NormalCdf(hi) - NormalCdf(lo);
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  double m = Mean(xs);
+  double sum = 0.0;
+  for (double x : xs) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(xs.size());
+}
+
+}  // namespace sjoin

@@ -1,0 +1,39 @@
+#ifndef SJOIN_COMMON_MATH_UTIL_H_
+#define SJOIN_COMMON_MATH_UTIL_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Small numeric helpers shared across modules.
+
+namespace sjoin {
+
+/// Tolerance used when comparing probabilities and expected benefits.
+inline constexpr double kProbEpsilon = 1e-12;
+
+/// True if |a - b| <= tol.
+inline bool ApproxEqual(double a, double b, double tol = 1e-9) {
+  return std::fabs(a - b) <= tol;
+}
+
+/// Standard normal density.
+double NormalPdf(double x);
+
+/// Standard normal CDF.
+double NormalCdf(double x);
+
+/// Probability mass that a N(mean, sigma^2) variable, discretized to the
+/// integer grid by rounding, assigns to integer v: P(v-0.5 < X <= v+0.5).
+double DiscretizedNormalMass(double mean, double sigma, std::int64_t v);
+
+/// Sample mean of a vector. Returns 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Sample variance (denominator n). Returns 0 for inputs of size < 2.
+double Variance(const std::vector<double>& xs);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_COMMON_MATH_UTIL_H_

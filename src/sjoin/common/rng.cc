@@ -1,0 +1,36 @@
+#include "sjoin/common/rng.h"
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  SJOIN_CHECK_LE(lo, hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformReal() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+double Rng::StandardNormal() {
+  std::normal_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+std::size_t Rng::UniformIndex(std::size_t n) {
+  SJOIN_CHECK_GT(n, 0u);
+  std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+Rng Rng::Fork() {
+  // Two draws decorrelate the child from subsequent parent output.
+  std::uint64_t a = engine_();
+  std::uint64_t b = engine_();
+  return Rng(a ^ (b << 1) ^ 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace sjoin

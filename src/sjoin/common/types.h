@@ -1,0 +1,47 @@
+#ifndef SJOIN_COMMON_TYPES_H_
+#define SJOIN_COMMON_TYPES_H_
+
+#include <cstdint>
+
+/// \file
+/// Fundamental scalar types shared across the library.
+
+namespace sjoin {
+
+/// Discrete time step. The paper models streams as discrete-time stochastic
+/// processes {X_t | t = 0, 1, ...}; we allow negative values internally for
+/// "before the simulation started" sentinels.
+using Time = std::int64_t;
+
+/// Join attribute value. All processes in the paper have integer-valued
+/// (or integer-discretized) join attributes; real-valued domains such as
+/// temperatures are scaled to a fixed-point integer grid by the caller
+/// (the REAL experiment uses 0.1 degree Celsius per unit, as in the paper).
+using Value = std::int64_t;
+
+/// Unique identity of a tuple within one simulation. Tuples with equal join
+/// attribute values are still distinct (Section 2 of the paper).
+using TupleId = std::uint64_t;
+
+/// Identifies which of the two input streams a tuple came from.
+enum class StreamSide : std::uint8_t {
+  kR = 0,
+  kS = 1,
+};
+
+/// The partner of a stream side: R joins with S and vice versa.
+constexpr StreamSide Partner(StreamSide side) {
+  return side == StreamSide::kR ? StreamSide::kS : StreamSide::kR;
+}
+
+/// Index (0 or 1) for array storage keyed by side.
+constexpr int SideIndex(StreamSide side) { return static_cast<int>(side); }
+
+/// Printable name for diagnostics.
+constexpr const char* SideName(StreamSide side) {
+  return side == StreamSide::kR ? "R" : "S";
+}
+
+}  // namespace sjoin
+
+#endif  // SJOIN_COMMON_TYPES_H_

@@ -1,0 +1,86 @@
+#include "sjoin/core/adaptive_heeb_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "sjoin/common/check.h"
+#include "sjoin/core/lifetime_fn.h"
+
+namespace sjoin {
+
+AdaptiveHeebJoinPolicy::AdaptiveHeebJoinPolicy(
+    const StochasticProcess* r_process, const StochasticProcess* s_process,
+    Options options)
+    : r_process_(r_process),
+      s_process_(s_process),
+      options_(options),
+      lifetime_ema_(options.initial_lifetime),
+      current_alpha_(
+          ExpLifetime::AlphaForAverageLifetime(options.initial_lifetime)) {
+  SJOIN_CHECK(r_process != nullptr && s_process != nullptr);
+  SJOIN_CHECK_GT(options_.initial_lifetime, 1.0);
+  SJOIN_CHECK_GT(options_.ema_weight, 0.0);
+  SJOIN_CHECK_LE(options_.ema_weight, 1.0);
+  RebuildInner();
+}
+
+void AdaptiveHeebJoinPolicy::RebuildInner() {
+  HeebJoinPolicy::Options inner_options;
+  inner_options.mode = HeebJoinPolicy::Mode::kDirect;
+  inner_options.alpha = current_alpha_;
+  inner_options.horizon = options_.horizon;
+  inner_ = std::make_unique<HeebJoinPolicy>(r_process_, s_process_,
+                                            inner_options);
+}
+
+void AdaptiveHeebJoinPolicy::Reset() {
+  lifetime_ema_ = options_.initial_lifetime;
+  current_alpha_ =
+      ExpLifetime::AlphaForAverageLifetime(options_.initial_lifetime);
+  observations_ = 0;
+  cached_arrivals_.clear();
+  RebuildInner();
+  inner_->Reset();
+}
+
+std::vector<TupleId> AdaptiveHeebJoinPolicy::SelectRetained(
+    const PolicyContext& ctx) {
+  std::vector<TupleId> retained = inner_->SelectRetained(ctx);
+
+  // Observe residence times of evicted tuples (tuples that were admitted
+  // at some earlier step and are not retained now). Arrivals discarded
+  // on the spot were never cached and do not count toward the average
+  // cached-tuple lifetime.
+  std::unordered_set<TupleId> retained_set(retained.begin(), retained.end());
+  for (const Tuple& tuple : *ctx.cached) {
+    if (retained_set.count(tuple.id) > 0) continue;
+    auto it = cached_arrivals_.find(tuple.id);
+    Time admitted_at = it != cached_arrivals_.end() ? it->second
+                                                    : tuple.arrival;
+    double residence =
+        static_cast<double>(std::max<Time>(1, ctx.now - admitted_at));
+    lifetime_ema_ = (1.0 - options_.ema_weight) * lifetime_ema_ +
+                    options_.ema_weight * residence;
+    ++observations_;
+    if (it != cached_arrivals_.end()) cached_arrivals_.erase(it);
+  }
+  for (const Tuple& tuple : *ctx.arrivals) {
+    if (retained_set.count(tuple.id) > 0) {
+      cached_arrivals_.emplace(tuple.id, ctx.now);
+    }
+  }
+
+  if (observations_ >= options_.min_observations) {
+    double target_alpha = ExpLifetime::AlphaForAverageLifetime(
+        std::max(1.5, lifetime_ema_));
+    if (std::fabs(target_alpha - current_alpha_) >
+        options_.rebuild_threshold * current_alpha_) {
+      current_alpha_ = target_alpha;
+      RebuildInner();
+    }
+  }
+  return retained;
+}
+
+}  // namespace sjoin

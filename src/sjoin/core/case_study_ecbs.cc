@@ -1,0 +1,60 @@
+#include "sjoin/core/case_study_ecbs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+
+OfflineJoiningEcb::OfflineJoiningEcb(std::vector<Time> occurrences_in)
+    : occurrences_in_(std::move(occurrences_in)) {
+  for (std::size_t i = 0; i < occurrences_in_.size(); ++i) {
+    SJOIN_CHECK_GE(occurrences_in_[i], 1);
+    if (i > 0) SJOIN_CHECK_GT(occurrences_in_[i], occurrences_in_[i - 1]);
+  }
+}
+
+double OfflineJoiningEcb::At(Time dt) const {
+  SJOIN_CHECK_GE(dt, 1);
+  // Number of occurrences within dt steps.
+  auto it = std::upper_bound(occurrences_in_.begin(), occurrences_in_.end(),
+                             dt);
+  return static_cast<double>(it - occurrences_in_.begin());
+}
+
+StationaryJoiningEcb::StationaryJoiningEcb(double match_probability)
+    : match_probability_(match_probability) {
+  SJOIN_CHECK_GE(match_probability, 0.0);
+  SJOIN_CHECK_LE(match_probability, 1.0);
+}
+
+StationaryCachingEcb::StationaryCachingEcb(double reference_probability)
+    : reference_probability_(reference_probability) {
+  SJOIN_CHECK_GE(reference_probability, 0.0);
+  SJOIN_CHECK_LE(reference_probability, 1.0);
+}
+
+double StationaryCachingEcb::At(Time dt) const {
+  SJOIN_CHECK_GE(dt, 1);
+  return 1.0 - std::pow(1.0 - reference_probability_,
+                        static_cast<double>(dt));
+}
+
+TrendUniformJoiningEcb::TrendUniformJoiningEcb(Value offset, Value w)
+    : offset_(offset), w_(w) {
+  SJOIN_CHECK_GE(w, 0);
+}
+
+double TrendUniformJoiningEcb::At(Time dt) const {
+  SJOIN_CHECK_GE(dt, 1);
+  // The partner matches at look-ahead u iff u is within [offset - w,
+  // offset + w]; the match probability is 1/(2w+1) at each such step.
+  Time lo = std::max<Time>(1, offset_ - w_);
+  Time hi = offset_ + w_;
+  if (hi < lo) return 0.0;
+  Time count = std::max<Time>(0, std::min(dt, hi) - lo + 1);
+  return static_cast<double>(count) / static_cast<double>(2 * w_ + 1);
+}
+
+}  // namespace sjoin

@@ -1,0 +1,94 @@
+#ifndef SJOIN_CORE_CASE_STUDY_ECBS_H_
+#define SJOIN_CORE_CASE_STUDY_ECBS_H_
+
+#include <vector>
+
+#include "sjoin/common/types.h"
+#include "sjoin/core/ecb.h"
+
+/// \file
+/// Closed-form ECBs for the case studies of Section 5 (and Appendix O).
+///
+/// The generic tabulation in ecb.h computes these numerically from any
+/// process; the classes here are the paper's analytical forms. They are
+/// exact (no horizon truncation), cheap to evaluate, and used both by the
+/// scenario-specialized optimal policies and by tests that pin the generic
+/// machinery against the closed forms.
+
+namespace sjoin {
+
+/// Section 5.1, caching: a single step from 0 to 1 at the tuple's next
+/// reference distance. next_reference_in <= 0 means "never referenced
+/// again" (ECB identically zero).
+class OfflineCachingEcb final : public EcbFn {
+ public:
+  explicit OfflineCachingEcb(Time next_reference_in)
+      : next_reference_in_(next_reference_in) {}
+
+  double At(Time dt) const override {
+    if (next_reference_in_ <= 0) return 0.0;
+    return dt >= next_reference_in_ ? 1.0 : 0.0;
+  }
+
+ private:
+  Time next_reference_in_;
+};
+
+/// Section 5.1, joining: one unit step per future occurrence of the
+/// tuple's value in the partner stream. `occurrences_in` holds the
+/// forward distances (>= 1), ascending.
+class OfflineJoiningEcb final : public EcbFn {
+ public:
+  explicit OfflineJoiningEcb(std::vector<Time> occurrences_in);
+
+  double At(Time dt) const override;
+
+ private:
+  std::vector<Time> occurrences_in_;
+};
+
+/// Section 5.2, joining: B(dt) = p * dt.
+class StationaryJoiningEcb final : public EcbFn {
+ public:
+  explicit StationaryJoiningEcb(double match_probability);
+
+  double At(Time dt) const override {
+    return match_probability_ * static_cast<double>(dt);
+  }
+
+ private:
+  double match_probability_;
+};
+
+/// Section 5.2, caching: B(dt) = 1 - (1 - p)^dt.
+class StationaryCachingEcb final : public EcbFn {
+ public:
+  explicit StationaryCachingEcb(double reference_probability);
+
+  double At(Time dt) const override;
+
+ private:
+  double reference_probability_;
+};
+
+/// Section 5.3 / Appendix O, joining under linear trend f(t) = t0 + dt
+/// with bounded uniform noise on [-w, w] in the partner stream: the
+/// five-category piecewise-linear ECB of a tuple with value v at current
+/// time t0. Covers both R-side (categories R1/R2) and S-side (S1/S2/S3)
+/// tuples; which categories apply follows from v - t0 and the two bounds.
+class TrendUniformJoiningEcb final : public EcbFn {
+ public:
+  /// `offset` = v - f(t0) where f is the *partner's* trend; `w` is the
+  /// partner's noise half-width.
+  TrendUniformJoiningEcb(Value offset, Value w);
+
+  double At(Time dt) const override;
+
+ private:
+  Value offset_;
+  Value w_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_CORE_CASE_STUDY_ECBS_H_

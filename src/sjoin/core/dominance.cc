@@ -1,0 +1,122 @@
+#include "sjoin/core/dominance.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+
+Dominance CompareEcb(const EcbFn& a, const EcbFn& b, Time horizon,
+                     double tolerance) {
+  SJOIN_CHECK_GE(horizon, 1);
+  bool a_ge_everywhere = true;
+  bool b_ge_everywhere = true;
+  bool a_gt_everywhere = true;
+  bool b_gt_everywhere = true;
+  bool any_difference = false;
+  for (Time dt = 1; dt <= horizon; ++dt) {
+    double va = a.At(dt);
+    double vb = b.At(dt);
+    if (va > vb + tolerance) {
+      b_ge_everywhere = false;
+      b_gt_everywhere = false;
+      any_difference = true;
+    } else if (vb > va + tolerance) {
+      a_ge_everywhere = false;
+      a_gt_everywhere = false;
+      any_difference = true;
+    } else {
+      a_gt_everywhere = false;
+      b_gt_everywhere = false;
+    }
+  }
+  if (!any_difference) return Dominance::kEqual;
+  if (a_gt_everywhere) return Dominance::kStrictlyDominates;
+  if (b_gt_everywhere) return Dominance::kStrictlyDominatedBy;
+  if (a_ge_everywhere) return Dominance::kDominates;
+  if (b_ge_everywhere) return Dominance::kDominatedBy;
+  return Dominance::kIncomparable;
+}
+
+bool MeansDominates(Dominance result) {
+  return result == Dominance::kEqual || result == Dominance::kDominates ||
+         result == Dominance::kStrictlyDominates;
+}
+
+std::vector<std::size_t> FindDominatedSubset(
+    const std::vector<const EcbFn*>& candidates, std::size_t max_discard,
+    Time horizon, double tolerance) {
+  std::size_t n = candidates.size();
+  if (n == 0 || max_discard == 0) return {};
+
+  // dominates[u][v]: candidate u's ECB dominates candidate v's.
+  std::vector<std::vector<char>> dominates(n, std::vector<char>(n, 0));
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (u == v) continue;
+      dominates[u][v] = MeansDominates(
+          CompareEcb(*candidates[u], *candidates[v], horizon, tolerance));
+    }
+  }
+
+  // Forcing closure of v: the minimal set containing v that is closed
+  // under "if x is in V and y does not dominate x, then y is in V".
+  auto closure_of = [&](std::size_t v) {
+    std::vector<char> in_closure(n, 0);
+    std::queue<std::size_t> frontier;
+    in_closure[v] = 1;
+    frontier.push(v);
+    while (!frontier.empty()) {
+      std::size_t x = frontier.front();
+      frontier.pop();
+      for (std::size_t y = 0; y < n; ++y) {
+        if (y == x || in_closure[y]) continue;
+        if (!dominates[y][x]) {
+          in_closure[y] = 1;
+          frontier.push(y);
+        }
+      }
+    }
+    std::vector<std::size_t> members;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_closure[i]) members.push_back(i);
+    }
+    return members;
+  };
+
+  struct Closure {
+    std::vector<std::size_t> members;
+  };
+  std::vector<Closure> closures;
+  closures.reserve(n);
+  for (std::size_t v = 0; v < n; ++v) closures.push_back({closure_of(v)});
+  std::sort(closures.begin(), closures.end(),
+            [](const Closure& a, const Closure& b) {
+              return a.members.size() < b.members.size();
+            });
+
+  // Greedily union the smallest closures while the union fits.
+  std::vector<char> selected(n, 0);
+  std::size_t selected_count = 0;
+  for (const Closure& closure : closures) {
+    std::size_t added = 0;
+    for (std::size_t member : closure.members) {
+      if (!selected[member]) ++added;
+    }
+    if (added == 0 || selected_count + added > max_discard) continue;
+    for (std::size_t member : closure.members) {
+      if (!selected[member]) {
+        selected[member] = 1;
+        ++selected_count;
+      }
+    }
+  }
+  std::vector<std::size_t> result;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (selected[i]) result.push_back(i);
+  }
+  return result;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,54 @@
+#ifndef SJOIN_CORE_DOMINANCE_H_
+#define SJOIN_CORE_DOMINANCE_H_
+
+#include <vector>
+
+#include "sjoin/common/types.h"
+#include "sjoin/core/ecb.h"
+
+/// \file
+/// ECB dominance tests (Section 4.2).
+///
+/// B_x dominates B_y when B_x(Δt) >= B_y(Δt) for all Δt >= 1 (strongly,
+/// when strict everywhere). Theorem 3: if B_x dominates B_y, some optimal
+/// algorithm keeps x or discards y now; under strong dominance, every
+/// optimal algorithm does. Corollary 2 lifts this to dominated subsets.
+
+namespace sjoin {
+
+/// Outcome of comparing two ECBs over a finite horizon.
+enum class Dominance {
+  kEqual,                  // Curves coincide (within tolerance).
+  kDominates,              // a >= b everywhere, > somewhere or equal.
+  kStrictlyDominates,      // a > b everywhere.
+  kDominatedBy,            // b dominates a.
+  kStrictlyDominatedBy,    // b strictly dominates a.
+  kIncomparable,           // Curves cross.
+};
+
+/// Compares a and b pointwise over Δt in [1, horizon].
+Dominance CompareEcb(const EcbFn& a, const EcbFn& b, Time horizon,
+                     double tolerance = 1e-12);
+
+/// True when `result` means "a dominates b" (including equality and strict
+/// dominance) — the hypothesis of Theorem 3(1).
+bool MeansDominates(Dominance result);
+
+/// Finds a dominated subset (Corollary 2): a set V of at most
+/// `max_discard` candidate indices such that every candidate outside V
+/// dominates every candidate inside V; discarding V is optimal when at
+/// least |V| tuples must be discarded.
+///
+/// Algorithm: build the "forcing" relation — if u fails to dominate v,
+/// then v's membership in V forces u's — take per-candidate closures, and
+/// greedily union the smallest closures that fit. The result is always a
+/// valid dominated subset; it is maximal in the common cases (and exactly
+/// reproduces the w/x/y/z example of Section 4.2) though not guaranteed
+/// maximum in adversarial configurations.
+std::vector<std::size_t> FindDominatedSubset(
+    const std::vector<const EcbFn*>& candidates, std::size_t max_discard,
+    Time horizon, double tolerance = 1e-12);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_CORE_DOMINANCE_H_

@@ -1,0 +1,68 @@
+#include "sjoin/core/ecb.h"
+
+#include <algorithm>
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+
+TabulatedEcb::TabulatedEcb(std::vector<double> cumulative)
+    : cumulative_(std::move(cumulative)) {
+  SJOIN_CHECK(!cumulative_.empty());
+  for (std::size_t i = 1; i < cumulative_.size(); ++i) {
+    SJOIN_CHECK_GE(cumulative_[i], cumulative_[i - 1] - 1e-12);
+  }
+}
+
+double TabulatedEcb::At(Time dt) const {
+  SJOIN_CHECK_GE(dt, 1);
+  std::size_t index = static_cast<std::size_t>(dt - 1);
+  if (index >= cumulative_.size()) return cumulative_.back();
+  return cumulative_[index];
+}
+
+TabulatedEcb MakeJoiningEcb(const StochasticProcess& partner,
+                            const StreamHistory& partner_history, Time t0,
+                            Value v, Time horizon) {
+  SJOIN_CHECK_GE(horizon, 1);
+  std::vector<double> cumulative;
+  cumulative.reserve(static_cast<std::size_t>(horizon));
+  double sum = 0.0;
+  for (Time dt = 1; dt <= horizon; ++dt) {
+    sum += partner.Predict(partner_history, t0 + dt).Prob(v);
+    cumulative.push_back(sum);
+  }
+  return TabulatedEcb(std::move(cumulative));
+}
+
+TabulatedEcb MakeCachingEcb(const StochasticProcess& reference,
+                            const StreamHistory& history, Time t0, Value v,
+                            Time horizon) {
+  SJOIN_CHECK_GE(horizon, 1);
+  std::vector<double> cumulative;
+  cumulative.reserve(static_cast<std::size_t>(horizon));
+  double survive = 1.0;  // Pr{not referenced during [t0+1, t0+dt]}.
+  for (Time dt = 1; dt <= horizon; ++dt) {
+    survive *= 1.0 - reference.Predict(history, t0 + dt).Prob(v);
+    cumulative.push_back(1.0 - survive);
+  }
+  return TabulatedEcb(std::move(cumulative));
+}
+
+TabulatedEcb MakeWindowedEcb(const EcbFn& base, Time arrival, Time now,
+                             Time window, Time horizon) {
+  SJOIN_CHECK_GE(horizon, 1);
+  SJOIN_CHECK_GE(window, 0);
+  std::vector<double> cumulative(static_cast<std::size_t>(horizon), 0.0);
+  Time remaining = arrival + window - now;
+  if (remaining > 0) {
+    double cap = base.At(std::min(remaining, horizon));
+    for (Time dt = 1; dt <= horizon; ++dt) {
+      cumulative[static_cast<std::size_t>(dt - 1)] =
+          std::min(base.At(dt), cap);
+    }
+  }
+  return TabulatedEcb(std::move(cumulative));
+}
+
+}  // namespace sjoin

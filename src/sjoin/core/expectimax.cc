@@ -1,0 +1,287 @@
+#include "sjoin/core/expectimax.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "sjoin/common/check.h"
+#include "sjoin/common/math_util.h"
+#include "sjoin/engine/tuple.h"
+
+namespace sjoin {
+namespace {
+
+// Sentinel for "the stream produced nothing this step" (empty pmf) and for
+// history slots before the evaluated window. Never matches a real value.
+constexpr Value kSilent = std::numeric_limits<Value>::min() / 2;
+
+using CacheState = std::vector<std::pair<int, Value>>;  // (side idx, value).
+
+// Enumerated support of a stream at time t: (value, probability) pairs;
+// a silent step is the single outcome (kSilent, 1).
+std::vector<std::pair<Value, double>> SupportAt(
+    const StochasticProcess& process, Time t) {
+  StreamHistory empty;
+  DiscreteDistribution pmf = process.Predict(empty, t);
+  std::vector<std::pair<Value, double>> support;
+  if (pmf.IsEmpty()) {
+    support.push_back({kSilent, 1.0});
+    return support;
+  }
+  for (Value v = pmf.MinValue(); v <= pmf.MaxValue(); ++v) {
+    double p = pmf.Prob(v);
+    if (p > kProbEpsilon) support.push_back({v, p});
+  }
+  return support;
+}
+
+std::int64_t Matches(const CacheState& cache, Value vr, Value vs) {
+  std::int64_t count = 0;
+  for (const auto& [side, value] : cache) {
+    if (side == SideIndex(StreamSide::kS) && value == vr && vr != kSilent) {
+      ++count;
+    }
+    if (side == SideIndex(StreamSide::kR) && value == vs && vs != kSilent) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+// Enumerates all retained subsets of `pool` with size <= capacity, sorted
+// canonical cache states, de-duplicated.
+std::vector<CacheState> RetainedChoices(const CacheState& pool,
+                                        std::size_t capacity) {
+  int n = static_cast<int>(pool.size());
+  SJOIN_CHECK_LE(n, 20);
+  std::vector<CacheState> choices;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcount(
+            static_cast<unsigned>(mask))) > capacity) {
+      continue;
+    }
+    CacheState retained;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) retained.push_back(pool[static_cast<std::size_t>(i)]);
+    }
+    std::sort(retained.begin(), retained.end());
+    choices.push_back(std::move(retained));
+  }
+  std::sort(choices.begin(), choices.end());
+  choices.erase(std::unique(choices.begin(), choices.end()),
+                choices.end());
+  return choices;
+}
+
+class Solver {
+ public:
+  Solver(const StochasticProcess& r, const StochasticProcess& s, Time t0,
+         const ExpectimaxOptions& options)
+      : r_(r), s_(s), t0_(t0), options_(options) {}
+
+  // Optimal expected benefit of arrivals at [t, t0 + horizon] given the
+  // cache selected at t - 1.
+  double Value(Time t, const CacheState& cache) {
+    if (t > t0_ + options_.horizon) return 0.0;
+    auto key = std::make_pair(t, cache);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+
+    double total = 0.0;
+    for (const auto& [vr, pr] : SupportAt(r_, t)) {
+      for (const auto& [vs, ps] : SupportAt(s_, t)) {
+        double benefit = static_cast<double>(Matches(cache, vr, vs));
+        CacheState pool = cache;
+        if (vr != kSilent) pool.push_back({SideIndex(StreamSide::kR), vr});
+        if (vs != kSilent) pool.push_back({SideIndex(StreamSide::kS), vs});
+        double best = 0.0;
+        if (t < t0_ + options_.horizon) {
+          best = -1.0;
+          for (const CacheState& retained :
+               RetainedChoices(pool, options_.capacity)) {
+            best = std::max(best, Value(t + 1, retained));
+          }
+        }
+        total += pr * ps * (benefit + std::max(best, 0.0));
+      }
+    }
+    memo_.emplace(std::move(key), total);
+    return total;
+  }
+
+ private:
+  const StochasticProcess& r_;
+  const StochasticProcess& s_;
+  Time t0_;
+  ExpectimaxOptions options_;
+  std::map<std::pair<Time, CacheState>, double> memo_;
+};
+
+}  // namespace
+
+ExpectimaxResult SolveExpectimax(
+    const StochasticProcess& r_process, const StochasticProcess& s_process,
+    Time t0, const std::vector<ExpectimaxCandidate>& candidates,
+    const ExpectimaxOptions& options) {
+  SJOIN_CHECK_MSG(r_process.IsIndependent() && s_process.IsIndependent(),
+                  "expectimax requires independent per-step variables");
+  SJOIN_CHECK_GE(options.horizon, 1);
+  SJOIN_CHECK_GE(options.capacity, 1u);
+  Solver solver(r_process, s_process, t0, options);
+
+  ExpectimaxResult result;
+  result.value = -1.0;
+  int n = static_cast<int>(candidates.size());
+  SJOIN_CHECK_LE(n, 20);
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcount(
+            static_cast<unsigned>(mask))) > options.capacity) {
+      continue;
+    }
+    CacheState retained;
+    std::vector<std::size_t> indices;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) {
+        retained.push_back(
+            {SideIndex(candidates[static_cast<std::size_t>(i)].side),
+             candidates[static_cast<std::size_t>(i)].value});
+        indices.push_back(static_cast<std::size_t>(i));
+      }
+    }
+    std::sort(retained.begin(), retained.end());
+    double value = solver.Value(t0 + 1, retained);
+    if (value > result.value + 1e-12) {
+      result.value = value;
+      result.optimal_first_decisions.clear();
+      result.optimal_first_decisions.push_back(indices);
+    } else if (value > result.value - 1e-12) {
+      result.optimal_first_decisions.push_back(indices);
+    }
+  }
+  return result;
+}
+
+namespace {
+
+class PolicyEvaluator {
+ public:
+  PolicyEvaluator(const StochasticProcess& r, const StochasticProcess& s,
+                  Time t0, const ExpectimaxOptions& options,
+                  ReplacementPolicy& policy)
+      : r_(r), s_(s), t0_(t0), options_(options), policy_(policy) {}
+
+  double Run(const std::vector<ExpectimaxCandidate>& candidates) {
+    // Histories up to and including t0; earlier values (and the t0
+    // arrivals, which the candidate list already carries) are sentinels —
+    // model-driven policies only consult histories through Predict().
+    StreamHistory history_r(std::vector<Value>(
+        static_cast<std::size_t>(t0_) + 1, kSilent));
+    StreamHistory history_s(std::vector<Value>(
+        static_cast<std::size_t>(t0_) + 1, kSilent));
+    std::vector<Tuple> cached;
+    std::vector<Tuple> arrivals;  // Root: candidates act as the arrivals.
+    TupleId next_id = 0;
+    for (const ExpectimaxCandidate& candidate : candidates) {
+      arrivals.push_back({next_id++, candidate.side, candidate.value, t0_});
+    }
+    std::vector<Tuple> retained =
+        Decide(t0_, cached, arrivals, history_r, history_s);
+    return Walk(t0_ + 1, retained, history_r, history_s);
+  }
+
+ private:
+  std::vector<Tuple> Decide(Time now, const std::vector<Tuple>& cached,
+                            const std::vector<Tuple>& arrivals,
+                            const StreamHistory& history_r,
+                            const StreamHistory& history_s) {
+    PolicyContext ctx;
+    ctx.now = now;
+    ctx.capacity = options_.capacity;
+    ctx.cached = &cached;
+    ctx.arrivals = &arrivals;
+    ctx.history_r = &history_r;
+    ctx.history_s = &history_s;
+    std::vector<TupleId> ids = policy_.SelectRetained(ctx);
+    SJOIN_CHECK_LE(ids.size(), options_.capacity);
+    std::vector<Tuple> retained;
+    for (TupleId id : ids) {
+      bool found = false;
+      for (const Tuple& tuple : cached) {
+        if (tuple.id == id) {
+          retained.push_back(tuple);
+          found = true;
+        }
+      }
+      for (const Tuple& tuple : arrivals) {
+        if (tuple.id == id) {
+          retained.push_back(tuple);
+          found = true;
+        }
+      }
+      SJOIN_CHECK_MSG(found, "policy retained an unknown tuple");
+    }
+    return retained;
+  }
+
+  double Walk(Time t, const std::vector<Tuple>& cache,
+              const StreamHistory& history_r,
+              const StreamHistory& history_s) {
+    if (t > t0_ + options_.horizon) return 0.0;
+    double total = 0.0;
+    for (const auto& [vr, pr] : SupportAt(r_, t)) {
+      for (const auto& [vs, ps] : SupportAt(s_, t)) {
+        std::int64_t benefit = 0;
+        for (const Tuple& tuple : cache) {
+          if (tuple.side == StreamSide::kS && tuple.value == vr &&
+              vr != kSilent) {
+            ++benefit;
+          }
+          if (tuple.side == StreamSide::kR && tuple.value == vs &&
+              vs != kSilent) {
+            ++benefit;
+          }
+        }
+        StreamHistory next_r = history_r;
+        StreamHistory next_s = history_s;
+        next_r.Append(vr);
+        next_s.Append(vs);
+        std::vector<Tuple> arrivals;
+        if (vr != kSilent) {
+          arrivals.push_back({TupleIdAt(StreamSide::kR, t) + 1000,
+                              StreamSide::kR, vr, t});
+        }
+        if (vs != kSilent) {
+          arrivals.push_back({TupleIdAt(StreamSide::kS, t) + 1000,
+                              StreamSide::kS, vs, t});
+        }
+        std::vector<Tuple> retained =
+            Decide(t, cache, arrivals, next_r, next_s);
+        total += pr * ps *
+                 (static_cast<double>(benefit) +
+                  Walk(t + 1, retained, next_r, next_s));
+      }
+    }
+    return total;
+  }
+
+  const StochasticProcess& r_;
+  const StochasticProcess& s_;
+  Time t0_;
+  ExpectimaxOptions options_;
+  ReplacementPolicy& policy_;
+};
+
+}  // namespace
+
+double EvaluatePolicyExpectation(
+    const StochasticProcess& r_process, const StochasticProcess& s_process,
+    Time t0, const std::vector<ExpectimaxCandidate>& candidates,
+    const ExpectimaxOptions& options, ReplacementPolicy& policy) {
+  SJOIN_CHECK_MSG(r_process.IsIndependent() && s_process.IsIndependent(),
+                  "policy evaluation requires independent variables");
+  policy.Reset();
+  PolicyEvaluator evaluator(r_process, s_process, t0, options, policy);
+  return evaluator.Run(candidates);
+}
+
+}  // namespace sjoin

@@ -1,0 +1,74 @@
+#ifndef SJOIN_CORE_EXPECTIMAX_H_
+#define SJOIN_CORE_EXPECTIMAX_H_
+
+#include <utility>
+#include <vector>
+
+#include "sjoin/engine/replacement_policy.h"
+#include "sjoin/stochastic/process.h"
+
+/// \file
+/// Exact adaptive-optimal replacement for *tiny* instances, by expectimax
+/// search over all observation outcomes and all replacement choices.
+///
+/// Section 3.4 observes that an optimal algorithm "would need to consider
+/// all strategies that make conditional decisions based on the join
+/// attribute values of new tuples observed at runtime" — an enormous
+/// space. For small supports, short horizons and tiny caches it *is*
+/// enumerable, which gives the library a ground-truth oracle: tests use it
+/// to certify Theorem 3's dominance rule on random instances, to measure
+/// FlowExpect's suboptimality gap (the 1.75-vs-1.60 example), and to
+/// upper-bound every policy's exact expected performance.
+///
+/// Requires processes whose per-step variables are independent
+/// (IsIndependent()), e.g. ScriptedProcess; the expectimax recursion
+/// conditions only on time, not on observed values.
+
+namespace sjoin {
+
+/// A candidate tuple at the root decision.
+struct ExpectimaxCandidate {
+  StreamSide side = StreamSide::kR;
+  Value value = 0;
+};
+
+/// Search bounds.
+struct ExpectimaxOptions {
+  /// Benefits are counted over [t0+1, t0+horizon].
+  Time horizon = 3;
+  /// Cache capacity.
+  std::size_t capacity = 1;
+};
+
+/// Result of the root search.
+struct ExpectimaxResult {
+  /// Optimal expected benefit with fully adaptive future decisions.
+  double value = 0.0;
+  /// Every retained subset (indices into `candidates`, ascending) that
+  /// attains the optimum at the root decision.
+  std::vector<std::vector<std::size_t>> optimal_first_decisions;
+};
+
+/// Solves the tiny instance exactly. `candidates` is K ∪ N at time t0 (the
+/// arrivals at t0 are already observed; their values are in the list).
+/// Cost grows as (support^2 * subsets)^horizon — keep everything small.
+ExpectimaxResult SolveExpectimax(const StochasticProcess& r_process,
+                                 const StochasticProcess& s_process,
+                                 Time t0,
+                                 const std::vector<ExpectimaxCandidate>& candidates,
+                                 const ExpectimaxOptions& options);
+
+/// Exact expected benefit of a concrete policy on the same tiny instance:
+/// drives `policy` through every arrival sequence of length `horizon`
+/// (product of the supports), weighting by probability. The policy is
+/// Reset() first; histories are materialized so model-driven policies
+/// (HEEB, FlowExpect) work unmodified. By definition this is bounded above
+/// by SolveExpectimax(...).value.
+double EvaluatePolicyExpectation(
+    const StochasticProcess& r_process, const StochasticProcess& s_process,
+    Time t0, const std::vector<ExpectimaxCandidate>& candidates,
+    const ExpectimaxOptions& options, ReplacementPolicy& policy);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_CORE_EXPECTIMAX_H_

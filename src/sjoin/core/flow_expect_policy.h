@@ -1,0 +1,48 @@
+#ifndef SJOIN_CORE_FLOW_EXPECT_POLICY_H_
+#define SJOIN_CORE_FLOW_EXPECT_POLICY_H_
+
+#include <vector>
+
+#include "sjoin/engine/replacement_policy.h"
+#include "sjoin/stochastic/process.h"
+
+/// \file
+/// FlowExpect (Section 3): at every step, build the slice graph of all
+/// predetermined replacement-decision sequences over a look-ahead of l
+/// steps, with arc costs equal to negated *expected* benefits, solve the
+/// min-cost flow of size k, and follow the decision the optimal flow makes
+/// at the current time.
+///
+/// FlowExpect is expensive — Theta((k+l) l) nodes per step — and, as the
+/// paper shows with a counter-example (Section 3.4), not optimal even for
+/// unbounded l, because min-cost flow cannot represent strategies whose
+/// future decisions depend on values observed later. It remains a strong
+/// yardstick for heuristics.
+
+namespace sjoin {
+
+/// Online look-ahead policy via expected-cost min-cost flow.
+class FlowExpectPolicy final : public ReplacementPolicy {
+ public:
+  struct Options {
+    /// Look-ahead distance l >= 1 (benefits are counted at t0+1..t0+l).
+    Time lookahead = 5;
+  };
+
+  /// Processes are not owned and must outlive the policy.
+  FlowExpectPolicy(const StochasticProcess* r_process,
+                   const StochasticProcess* s_process, Options options);
+
+  std::vector<TupleId> SelectRetained(const PolicyContext& ctx) override;
+
+  const char* name() const override { return "FLOWEXPECT"; }
+
+ private:
+  const StochasticProcess* r_process_;
+  const StochasticProcess* s_process_;
+  Options options_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_CORE_FLOW_EXPECT_POLICY_H_

@@ -1,0 +1,56 @@
+#include "sjoin/core/heeb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+
+double HeebFromEcb(const EcbFn& ecb, const LifetimeFn& lifetime,
+                   Time horizon) {
+  SJOIN_CHECK_GE(horizon, 1);
+  double h = ecb.At(1) * lifetime.At(1);
+  double prev = ecb.At(1);
+  for (Time dt = 2; dt <= horizon; ++dt) {
+    double cur = ecb.At(dt);
+    h += (cur - prev) * lifetime.At(dt);
+    prev = cur;
+  }
+  return h;
+}
+
+double JoiningHeeb(const StochasticProcess& partner,
+                   const StreamHistory& partner_history, Time t0, Value v,
+                   const LifetimeFn& lifetime, Time horizon) {
+  SJOIN_CHECK_GE(horizon, 1);
+  double h = 0.0;
+  for (Time dt = 1; dt <= horizon; ++dt) {
+    h += partner.Predict(partner_history, t0 + dt).Prob(v) *
+         lifetime.At(dt);
+  }
+  return h;
+}
+
+double CachingHeeb(const StochasticProcess& reference,
+                   const StreamHistory& history, Time t0, Value v,
+                   const LifetimeFn& lifetime, Time horizon) {
+  SJOIN_CHECK_GE(horizon, 1);
+  double h = 0.0;
+  double survive = 1.0;  // Pr{no reference during [t0+1, t0+dt-1]}.
+  for (Time dt = 1; dt <= horizon; ++dt) {
+    double p = reference.Predict(history, t0 + dt).Prob(v);
+    h += survive * p * lifetime.At(dt);
+    survive *= 1.0 - p;
+  }
+  return h;
+}
+
+Time ExpHorizon(double alpha, double epsilon) {
+  SJOIN_CHECK_GT(alpha, 0.0);
+  SJOIN_CHECK_GT(epsilon, 0.0);
+  double h = alpha * std::log(alpha / epsilon);
+  return std::max<Time>(1, static_cast<Time>(std::ceil(h)));
+}
+
+}  // namespace sjoin

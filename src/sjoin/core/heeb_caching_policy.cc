@@ -1,0 +1,129 @@
+#include "sjoin/core/heeb_caching_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sjoin/common/check.h"
+#include "sjoin/core/heeb.h"
+#include "sjoin/stochastic/random_walk_process.h"
+
+namespace sjoin {
+
+HeebCachingPolicy::HeebCachingPolicy(const StochasticProcess* reference,
+                                     Options options)
+    : reference_(reference),
+      options_(std::move(options)),
+      exp_lifetime_(options_.alpha),
+      horizon_(options_.horizon > 0 ? options_.horizon
+                                    : ExpHorizon(options_.alpha)) {
+  switch (options_.mode) {
+    case Mode::kDirect:
+      SJOIN_CHECK(reference_ != nullptr);
+      break;
+    case Mode::kTimeIncremental:
+      SJOIN_CHECK(reference_ != nullptr);
+      SJOIN_CHECK_MSG(reference_->IsIndependent(),
+                      "incremental caching HEEB requires independent "
+                      "reference variables");
+      SJOIN_CHECK_MSG(options_.lifetime == nullptr,
+                      "incremental caching HEEB is defined for L_exp only");
+      break;
+    case Mode::kWalkTable: {
+      const auto* walk = dynamic_cast<const RandomWalkProcess*>(reference_);
+      SJOIN_CHECK_MSG(walk != nullptr,
+                      "walk-table caching HEEB requires a random-walk "
+                      "reference");
+      const LifetimeFn& lifetime =
+          options_.lifetime != nullptr
+              ? *options_.lifetime
+              : static_cast<const LifetimeFn&>(exp_lifetime_);
+      walk_table_ = std::make_unique<OffsetTable>(PrecomputeWalkCachingHeeb(
+          *walk, lifetime, horizon_, options_.walk_max_offset));
+      break;
+    }
+    case Mode::kEvaluator:
+      SJOIN_CHECK_MSG(options_.evaluator != nullptr,
+                      "kEvaluator requires an evaluator function");
+      break;
+  }
+}
+
+void HeebCachingPolicy::Reset() {
+  cached_h_.clear();
+  state_time_ = -1;
+}
+
+double HeebCachingPolicy::DirectScore(Value v,
+                                      const CachingContext& ctx) const {
+  const LifetimeFn& lifetime =
+      options_.lifetime != nullptr
+          ? *options_.lifetime
+          : static_cast<const LifetimeFn&>(exp_lifetime_);
+  return CachingHeeb(*reference_, *ctx.history, ctx.now, v, lifetime,
+                     horizon_);
+}
+
+double HeebCachingPolicy::Score(Value v, const CachingContext& ctx) {
+  switch (options_.mode) {
+    case Mode::kDirect:
+      return DirectScore(v, ctx);
+    case Mode::kWalkTable:
+      return walk_table_->At(v - ctx.history->back());
+    case Mode::kEvaluator:
+      return options_.evaluator(v, ctx.history->back());
+    case Mode::kTimeIncremental: {
+      // Corollary 4: advance the stored H values to the current time:
+      // H_t = (e^{1/alpha} H_{t-1} - P_t) / (1 - P_t), P_t = Pr{X_t = v}.
+      if (state_time_ >= 0 && state_time_ < ctx.now) {
+        Time gap = ctx.now - state_time_;
+        double e = std::exp(1.0 / options_.alpha);
+        for (auto& [value, state] : cached_h_) {
+          state.updates_since_refresh += gap;
+          if (state.updates_since_refresh >= options_.refresh_interval) {
+            // Re-anchor: the recurrence is an unstable iteration whose
+            // error grows by e^{1/alpha}/(1-p) per step.
+            state.h = DirectScore(value, ctx);
+            state.updates_since_refresh = 0;
+            continue;
+          }
+          bool reanchored = false;
+          for (Time t = state_time_ + 1; t <= ctx.now; ++t) {
+            double p = reference_->Predict(*ctx.history, t).Prob(value);
+            if (p >= 1.0 - 1e-9) {
+              // Deterministic reference (p = 1): the recurrence divides by
+              // zero; recompute directly instead.
+              state.h = DirectScore(value, ctx);
+              state.updates_since_refresh = 0;
+              reanchored = true;
+              break;
+            }
+            state.h = (e * state.h - p) / (1.0 - p);
+            if (state.h < 0.0) state.h = 0.0;  // Guard truncation drift.
+          }
+          if (reanchored) continue;
+        }
+        // Drop values no longer cached (and not the current candidate).
+        std::vector<Value> stale;
+        for (const auto& [value, state] : cached_h_) {
+          (void)state;
+          if (value == ctx.referenced) continue;
+          if (std::find(ctx.cached->begin(), ctx.cached->end(), value) ==
+              ctx.cached->end()) {
+            stale.push_back(value);
+          }
+        }
+        for (Value value : stale) cached_h_.erase(value);
+      }
+      state_time_ = ctx.now;
+      auto it = cached_h_.find(v);
+      if (it != cached_h_.end()) return it->second.h;
+      double h = DirectScore(v, ctx);
+      cached_h_[v] = IncrementalState{h, 0};
+      return h;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,239 @@
+#include "sjoin/core/heeb_join_policy.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "sjoin/common/check.h"
+#include "sjoin/core/heeb.h"
+
+namespace sjoin {
+
+HeebJoinPolicy::HeebJoinPolicy(const StochasticProcess* r_process,
+                               const StochasticProcess* s_process,
+                               Options options)
+    : r_process_(r_process),
+      s_process_(s_process),
+      options_(options),
+      exp_lifetime_(options.alpha),
+      horizon_(options.horizon > 0 ? options.horizon
+                                   : ExpHorizon(options.alpha)) {
+  SJOIN_CHECK(r_process != nullptr && s_process != nullptr);
+  if (options_.mode == Mode::kTimeIncremental ||
+      options_.mode == Mode::kValueIncremental) {
+    SJOIN_CHECK_MSG(r_process_->IsIndependent() &&
+                        s_process_->IsIndependent(),
+                    "incremental HEEB requires independent stream variables");
+    SJOIN_CHECK_MSG(options_.lifetime == nullptr,
+                    "incremental HEEB is defined for L_exp only");
+  }
+  if (options_.mode == Mode::kValueIncremental) {
+    for (const StochasticProcess* p : {r_process_, s_process_}) {
+      const auto* trend = dynamic_cast<const LinearTrendProcess*>(p);
+      SJOIN_CHECK_MSG(trend != nullptr,
+                      "value-incremental HEEB requires linear-trend streams");
+      SJOIN_CHECK_MSG(trend->slope() == std::floor(trend->slope()) &&
+                          trend->slope() != 0.0,
+                      "value-incremental HEEB requires a non-zero integer "
+                      "slope");
+    }
+  }
+  if (options_.mode == Mode::kWalkTable) {
+    const LifetimeFn& lifetime =
+        options_.lifetime != nullptr
+            ? *options_.lifetime
+            : static_cast<const LifetimeFn&>(exp_lifetime_);
+    for (StreamSide side : {StreamSide::kR, StreamSide::kS}) {
+      const auto* walk =
+          dynamic_cast<const RandomWalkProcess*>(process(Partner(side)));
+      SJOIN_CHECK_MSG(walk != nullptr,
+                      "walk-table HEEB requires random-walk streams");
+      walk_table_[SideIndex(side)] = std::make_unique<OffsetTable>(
+          PrecomputeWalkJoinHeeb(*walk, lifetime, horizon_));
+    }
+  }
+}
+
+void HeebJoinPolicy::Reset() {
+  predictions_[0].clear();
+  predictions_[1].clear();
+  predictions_time_ = -1;
+  cached_h_.clear();
+  last_step_time_ = -1;
+}
+
+void HeebJoinPolicy::BeginStep(const PolicyContext& ctx) {
+  if (options_.mode == Mode::kWalkTable) return;
+
+  if (options_.mode == Mode::kDirect ||
+      options_.mode == Mode::kTimeIncremental) {
+    // Arrivals are scored with direct sums; build this step's predictions.
+    // kValueIncremental builds them lazily only when its transfer falls
+    // back to a direct sum (see EnsurePredictions).
+    EnsurePredictions(ctx);
+  }
+
+  if (options_.mode == Mode::kTimeIncremental ||
+      options_.mode == Mode::kValueIncremental) {
+    SJOIN_CHECK_MSG(!ctx.window.has_value() ||
+                        options_.mode == Mode::kTimeIncremental,
+                    "value-incremental HEEB does not support sliding "
+                    "windows; use kDirect or kTimeIncremental");
+    // Corollary 3: advance every cached H from the previous step's time to
+    // now: H_t = e^{1/alpha} H_{t-1} - Pr{X^partner_t = v}.
+    if (last_step_time_ >= 0) {
+      Time gap = ctx.now - last_step_time_;
+      double e = std::exp(1.0 / options_.alpha);
+      for (auto& [id, state] : cached_h_) {
+        (void)id;
+        state.updates_since_refresh += gap;
+        if (state.updates_since_refresh >= options_.refresh_interval) {
+          // Re-anchor: the recurrence is an unstable iteration whose error
+          // grows by e^{1/alpha} per step.
+          Tuple proxy{0, state.side, state.value, state.arrival};
+          state.h = DirectScore(proxy, ctx);
+          state.updates_since_refresh = 0;
+          continue;
+        }
+        for (Time step = 1; step <= gap; ++step) {
+          double p = PartnerProbAt(state.side, state.value,
+                                   last_step_time_ + step, ctx);
+          state.h = e * state.h - p;
+          if (state.h < 0.0) state.h = 0.0;  // Guard truncation drift.
+        }
+      }
+    }
+    last_step_time_ = ctx.now;
+  }
+}
+
+double HeebJoinPolicy::PartnerProbAt(StreamSide side, Value v, Time t,
+                                     const PolicyContext& ctx) const {
+  StreamSide partner = Partner(side);
+  return process(partner)->Predict(*history(partner, ctx), t).Prob(v);
+}
+
+void HeebJoinPolicy::EnsurePredictions(const PolicyContext& ctx) {
+  if (predictions_time_ == ctx.now) return;
+  for (StreamSide side : {StreamSide::kR, StreamSide::kS}) {
+    auto& preds = predictions_[SideIndex(side)];
+    preds.clear();
+    preds.reserve(static_cast<std::size_t>(horizon_));
+    for (Time dt = 1; dt <= horizon_; ++dt) {
+      preds.push_back(
+          process(side)->Predict(*history(side, ctx), ctx.now + dt));
+    }
+  }
+  predictions_time_ = ctx.now;
+}
+
+double HeebJoinPolicy::DirectScore(const Tuple& tuple,
+                                   const PolicyContext& ctx) {
+  EnsurePredictions(ctx);
+  const LifetimeFn& lifetime =
+      options_.lifetime != nullptr
+          ? *options_.lifetime
+          : static_cast<const LifetimeFn&>(exp_lifetime_);
+  Time max_dt = horizon_;
+  if (ctx.window.has_value()) {
+    // Section 7: contributions stop once the tuple leaves the window.
+    Time remaining = tuple.arrival + *ctx.window - ctx.now;
+    if (remaining < max_dt) max_dt = remaining;
+  }
+  const auto& partner_preds = predictions_[SideIndex(Partner(tuple.side))];
+  double h = 0.0;
+  for (Time dt = 1; dt <= max_dt; ++dt) {
+    h += partner_preds[static_cast<std::size_t>(dt - 1)].Prob(tuple.value) *
+         lifetime.At(dt);
+  }
+  return h;
+}
+
+double HeebJoinPolicy::ValueIncrementalScore(const Tuple& tuple,
+                                             const PolicyContext& ctx) {
+  // Find the cached tuple of the same side with the nearest value.
+  const CachedState* nearest = nullptr;
+  Value best_distance = 0;
+  for (const auto& [id, state] : cached_h_) {
+    (void)id;
+    if (state.side != tuple.side) continue;
+    Value distance = std::llabs(state.value - tuple.value);
+    if (nearest == nullptr || distance < best_distance) {
+      nearest = &state;
+      best_distance = distance;
+    }
+  }
+  if (nearest == nullptr) return DirectScore(tuple, ctx);
+
+  const auto* partner_trend = dynamic_cast<const LinearTrendProcess*>(
+      process(Partner(tuple.side)));
+  Value slope = static_cast<Value>(partner_trend->slope());
+  Value diff = nearest->value - tuple.value;
+  if (diff % slope != 0) return DirectScore(tuple, ctx);
+
+  // Corollary 5: H_{v,t0} = H_{v',t'} with t' = t0 + (v' - v)/a. Walk the
+  // nearest tuple's H from t0 to t' with (inverse) Corollary 3 updates.
+  Time t_prime = ctx.now + diff / slope;
+  double h = nearest->h;
+  double e = std::exp(1.0 / options_.alpha);
+  if (t_prime > ctx.now) {
+    for (Time t = ctx.now + 1; t <= t_prime; ++t) {
+      h = e * h - PartnerProbAt(tuple.side, nearest->value, t, ctx);
+      if (h < 0.0) h = 0.0;
+    }
+  } else {
+    for (Time t = ctx.now; t > t_prime; --t) {
+      h = (h + PartnerProbAt(tuple.side, nearest->value, t, ctx)) / e;
+    }
+  }
+  return h;
+}
+
+double HeebJoinPolicy::Score(const Tuple& tuple, const PolicyContext& ctx) {
+  if (ctx.window.has_value() && !InWindow(tuple, ctx.now, ctx.window)) {
+    return 0.0;
+  }
+  switch (options_.mode) {
+    case Mode::kDirect:
+      return DirectScore(tuple, ctx);
+    case Mode::kWalkTable: {
+      const StreamHistory* partner_history =
+          history(Partner(tuple.side), ctx);
+      const auto* walk = static_cast<const RandomWalkProcess*>(
+          process(Partner(tuple.side)));
+      Value last = partner_history->empty() ? walk->initial_value()
+                                            : partner_history->back();
+      return walk_table_[SideIndex(tuple.side)]->At(tuple.value - last);
+    }
+    case Mode::kTimeIncremental:
+    case Mode::kValueIncremental: {
+      auto it = cached_h_.find(tuple.id);
+      if (it != cached_h_.end()) return it->second.h;
+      double h = options_.mode == Mode::kTimeIncremental
+                     ? DirectScore(tuple, ctx)
+                     : ValueIncrementalScore(tuple, ctx);
+      cached_h_[tuple.id] =
+          CachedState{h, tuple.side, tuple.value, tuple.arrival, 0};
+      return h;
+    }
+  }
+  return 0.0;
+}
+
+void HeebJoinPolicy::EndStep(const PolicyContext& ctx,
+                             const std::vector<TupleId>& retained) {
+  (void)ctx;
+  if (options_.mode != Mode::kTimeIncremental &&
+      options_.mode != Mode::kValueIncremental) {
+    return;
+  }
+  // Drop state for evicted tuples.
+  std::unordered_map<TupleId, CachedState> kept;
+  kept.reserve(retained.size());
+  for (TupleId id : retained) {
+    auto it = cached_h_.find(id);
+    if (it != cached_h_.end()) kept.emplace(id, it->second);
+  }
+  cached_h_ = std::move(kept);
+}
+
+}  // namespace sjoin

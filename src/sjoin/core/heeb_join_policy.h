@@ -1,0 +1,133 @@
+#ifndef SJOIN_CORE_HEEB_JOIN_POLICY_H_
+#define SJOIN_CORE_HEEB_JOIN_POLICY_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sjoin/core/lifetime_fn.h"
+#include "sjoin/core/precompute.h"
+#include "sjoin/engine/scored_policy.h"
+#include "sjoin/stochastic/linear_trend_process.h"
+#include "sjoin/stochastic/process.h"
+#include "sjoin/stochastic/random_walk_process.h"
+
+/// \file
+/// HEEB for the joining problem (Sections 4.3-4.4).
+///
+/// Scores every candidate tuple x by
+///   H_x = Σ_{Δt>=1} Pr{X^partner_{t0+Δt} = v_x | x̄_t0} · L_x(Δt)
+/// and discards the lowest-scored candidates. Several computation modes
+/// implement the efficiency techniques of Section 4.4; all modes agree
+/// with the direct definition (see heeb_policy_test).
+
+namespace sjoin {
+
+/// HEEB replacement policy for two-stream joins.
+class HeebJoinPolicy final : public ScoredPolicy {
+ public:
+  enum class Mode {
+    /// Direct truncated sum each step. Works with any processes and any
+    /// lifetime function; the universal fallback.
+    kDirect,
+    /// Corollary 3: H updates in O(1) per cached tuple per step. Requires
+    /// L_exp and independent per-step stream variables; new arrivals are
+    /// scored with the direct sum. Supports sliding windows: the window
+    /// cap is a fixed absolute time (arrival + w), so the recurrence is
+    /// unchanged — only the arrival-time sum is truncated (Section 7:
+    /// "time-incremental computation requires very little modification").
+    kTimeIncremental,
+    /// Corollary 5 on top of Corollary 3: new arrivals inherit H from the
+    /// cached tuple with the nearest value, shifted along the trend.
+    /// Requires L_exp and LinearTrendProcess streams with equal non-zero
+    /// integer slope.
+    kValueIncremental,
+    /// Theorem 5(2): both streams are random walks; h1 offset tables are
+    /// precomputed at construction and scoring is a table lookup.
+    kWalkTable,
+  };
+
+  struct Options {
+    Mode mode = Mode::kDirect;
+    /// L_exp parameter. Section 5 guidance: match the expected average
+    /// lifetime of a cached tuple via ExpLifetime::AlphaForAverageLifetime.
+    double alpha = 10.0;
+    /// Truncation horizon for sums and tables; 0 derives it from alpha.
+    Time horizon = 0;
+    /// Optional custom lifetime function (kDirect only; not owned). When
+    /// null, L_exp(alpha) is used.
+    const LifetimeFn* lifetime = nullptr;
+    /// Incremental modes only: recompute H directly after this many
+    /// incremental updates. The Corollary 3 recurrence amplifies numeric
+    /// error by e^{1/alpha} per step (an unstable fixed-point iteration),
+    /// so long-cached tuples need periodic re-anchoring.
+    Time refresh_interval = 64;
+  };
+
+  /// Processes are not owned and must outlive the policy.
+  HeebJoinPolicy(const StochasticProcess* r_process,
+                 const StochasticProcess* s_process, Options options);
+
+  void Reset() override;
+
+  const char* name() const override { return "HEEB"; }
+
+ protected:
+  void BeginStep(const PolicyContext& ctx) override;
+  double Score(const Tuple& tuple, const PolicyContext& ctx) override;
+  void EndStep(const PolicyContext& ctx,
+               const std::vector<TupleId>& retained) override;
+
+ private:
+  const StochasticProcess* process(StreamSide side) const {
+    return side == StreamSide::kR ? r_process_ : s_process_;
+  }
+  const StreamHistory* history(StreamSide side,
+                               const PolicyContext& ctx) const {
+    return side == StreamSide::kR ? ctx.history_r : ctx.history_s;
+  }
+
+  /// Direct truncated-sum H for a tuple, honoring the sliding window.
+  double DirectScore(const Tuple& tuple, const PolicyContext& ctx);
+
+  /// Builds this step's predictive pmfs if not already current.
+  void EnsurePredictions(const PolicyContext& ctx);
+
+  /// Probability that the partner of `side` produces `v` at time `t`.
+  double PartnerProbAt(StreamSide side, Value v, Time t,
+                       const PolicyContext& ctx) const;
+
+  /// Corollary 5 transfer for a new arrival (kValueIncremental).
+  double ValueIncrementalScore(const Tuple& tuple, const PolicyContext& ctx);
+
+  const StochasticProcess* r_process_;
+  const StochasticProcess* s_process_;
+  Options options_;
+  ExpLifetime exp_lifetime_;
+  Time horizon_;
+
+  // kDirect / arrival scoring: partner predictive pmfs for the current
+  // step, indexed [stream][dt-1].
+  std::vector<DiscreteDistribution> predictions_[2];
+  Time predictions_time_ = -1;
+
+  // Incremental modes: H values of cached tuples, plus the tuple values
+  // needed for the update.
+  struct CachedState {
+    double h = 0.0;
+    StreamSide side = StreamSide::kR;
+    Value value = 0;
+    Time arrival = 0;
+    Time updates_since_refresh = 0;
+  };
+  std::unordered_map<TupleId, CachedState> cached_h_;
+  Time last_step_time_ = -1;
+
+  // kWalkTable: per-side lookup tables (indexed by the side of the cached
+  // tuple; the table is built from the partner's walk).
+  std::unique_ptr<OffsetTable> walk_table_[2];
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_CORE_HEEB_JOIN_POLICY_H_

@@ -1,0 +1,202 @@
+#include "sjoin/core/precompute.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+
+OffsetTable::OffsetTable(Value min_offset, std::vector<double> values)
+    : min_offset_(min_offset), values_(std::move(values)) {
+  SJOIN_CHECK(!values_.empty());
+}
+
+double OffsetTable::At(Value offset) const {
+  if (offset < min_offset_) return 0.0;
+  std::size_t index = static_cast<std::size_t>(offset - min_offset_);
+  if (index >= values_.size()) return 0.0;
+  return values_[index];
+}
+
+OffsetTable PrecomputeWalkJoinHeeb(const RandomWalkProcess& partner,
+                                   const LifetimeFn& lifetime, Time horizon) {
+  SJOIN_CHECK_GE(horizon, 1);
+  // The widest support is the horizon-fold convolution.
+  const DiscreteDistribution& widest = partner.StepSum(horizon);
+  Value min_offset = widest.MinValue();
+  Value max_offset = widest.MaxValue();
+  std::vector<double> values(
+      static_cast<std::size_t>(max_offset - min_offset + 1), 0.0);
+  for (Time dt = 1; dt <= horizon; ++dt) {
+    const DiscreteDistribution& sum = partner.StepSum(dt);
+    double l = lifetime.At(dt);
+    for (Value d = sum.MinValue(); d <= sum.MaxValue(); ++d) {
+      values[static_cast<std::size_t>(d - min_offset)] += sum.Prob(d) * l;
+    }
+  }
+  return OffsetTable(min_offset, std::move(values));
+}
+
+OffsetTable PrecomputeWalkCachingHeeb(const RandomWalkProcess& reference,
+                                      const LifetimeFn& lifetime,
+                                      Time horizon, Value max_abs_offset) {
+  SJOIN_CHECK_GE(horizon, 1);
+  SJOIN_CHECK_GE(max_abs_offset, 0);
+  const DiscreteDistribution& step = reference.step();
+  std::vector<double> result(
+      static_cast<std::size_t>(2 * max_abs_offset + 1), 0.0);
+
+  // Absorbing DP per target offset d: propagate the offset distribution,
+  // harvesting (and removing) the mass that lands on d each step.
+  for (Value d = -max_abs_offset; d <= max_abs_offset; ++d) {
+    // dist[i] = Pr{offset == lo + i and d not yet visited}.
+    Value lo = 0;
+    std::vector<double> dist = {1.0};
+    double h = 0.0;
+    for (Time dt = 1; dt <= horizon; ++dt) {
+      // Convolve with the step distribution.
+      Value new_lo = lo + step.MinValue();
+      std::size_t new_size =
+          dist.size() + static_cast<std::size_t>(step.MaxValue() -
+                                                 step.MinValue());
+      std::vector<double> next(new_size, 0.0);
+      for (std::size_t i = 0; i < dist.size(); ++i) {
+        if (dist[i] == 0.0) continue;
+        for (Value sv = step.MinValue(); sv <= step.MaxValue(); ++sv) {
+          next[i + static_cast<std::size_t>(sv - step.MinValue())] +=
+              dist[i] * step.Prob(sv);
+        }
+      }
+      lo = new_lo;
+      dist = std::move(next);
+      // Absorb the mass that first reaches offset d now.
+      if (d >= lo && d < lo + static_cast<Value>(dist.size())) {
+        std::size_t di = static_cast<std::size_t>(d - lo);
+        h += dist[di] * lifetime.At(dt);
+        dist[di] = 0.0;
+      }
+    }
+    result[static_cast<std::size_t>(d + max_abs_offset)] = h;
+  }
+  return OffsetTable(-max_abs_offset, std::move(result));
+}
+
+StepSampler MakeAr1StepSampler(const Ar1Process& process) {
+  double phi0 = process.phi0();
+  double phi1 = process.phi1();
+  double sigma = process.sigma();
+  return [phi0, phi1, sigma](Value last, Rng& rng) {
+    double next =
+        phi0 + phi1 * static_cast<double>(last) + sigma * rng.StandardNormal();
+    return static_cast<Value>(std::llround(next));
+  };
+}
+
+StepSampler MakeWalkStepSampler(const RandomWalkProcess& process) {
+  DiscreteDistribution step = process.step();
+  return [step](Value last, Rng& rng) { return last + step.Sample(rng); };
+}
+
+HeebSurfaceTable::HeebSurfaceTable(Value v_min, Value v_max, Value x_min,
+                                   Value x_step,
+                                   std::vector<std::vector<double>> columns)
+    : v_min_(v_min), v_max_(v_max), x_min_(x_min), x_step_(x_step),
+      columns_(std::move(columns)) {
+  SJOIN_CHECK_LE(v_min_, v_max_);
+  SJOIN_CHECK_GT(x_step_, 0);
+  SJOIN_CHECK_GE(columns_.size(), 1u);
+  for (const auto& column : columns_) {
+    SJOIN_CHECK_EQ(column.size(),
+                   static_cast<std::size_t>(v_max_ - v_min_ + 1));
+  }
+}
+
+double HeebSurfaceTable::At(Value v, Value x) const {
+  if (v < v_min_ || v > v_max_) return 0.0;
+  std::size_t row = static_cast<std::size_t>(v - v_min_);
+  double pos = static_cast<double>(x - x_min_) / static_cast<double>(x_step_);
+  pos = std::clamp(pos, 0.0, static_cast<double>(columns_.size() - 1));
+  std::size_t left = static_cast<std::size_t>(std::floor(pos));
+  if (left >= columns_.size() - 1) return columns_.back()[row];
+  double frac = pos - static_cast<double>(left);
+  return (1.0 - frac) * columns_[left][row] +
+         frac * columns_[left + 1][row];
+}
+
+std::vector<double> MonteCarloCachingHeebColumn(
+    const StepSampler& sampler, Value start, Value v_min, Value v_max,
+    const LifetimeFn& lifetime, Time horizon, int paths, Rng& rng) {
+  SJOIN_CHECK_LE(v_min, v_max);
+  SJOIN_CHECK_GE(paths, 1);
+  SJOIN_CHECK_GE(horizon, 1);
+  std::size_t domain = static_cast<std::size_t>(v_max - v_min + 1);
+  std::vector<double> accum(domain, 0.0);
+  // Generation-stamped visited flags avoid re-clearing per path.
+  std::vector<int> visited_gen(domain, -1);
+  // Precompute L(Δt) once.
+  std::vector<double> l(static_cast<std::size_t>(horizon) + 1, 0.0);
+  for (Time dt = 1; dt <= horizon; ++dt) {
+    l[static_cast<std::size_t>(dt)] = lifetime.At(dt);
+  }
+  for (int path = 0; path < paths; ++path) {
+    Value current = start;
+    for (Time dt = 1; dt <= horizon; ++dt) {
+      current = sampler(current, rng);
+      if (current < v_min || current > v_max) continue;
+      std::size_t index = static_cast<std::size_t>(current - v_min);
+      if (visited_gen[index] == path) continue;
+      visited_gen[index] = path;
+      accum[index] += l[static_cast<std::size_t>(dt)];
+    }
+  }
+  for (double& a : accum) a /= static_cast<double>(paths);
+  return accum;
+}
+
+HeebSurfaceTable PrecomputeAr1CachingSurface(const Ar1Process& reference,
+                                             const LifetimeFn& lifetime,
+                                             Time horizon, Value v_min,
+                                             Value v_max, Value x_min,
+                                             Value x_max, Value x_step,
+                                             int paths, std::uint64_t seed) {
+  SJOIN_CHECK_LE(x_min, x_max);
+  SJOIN_CHECK_GT(x_step, 0);
+  StepSampler sampler = MakeAr1StepSampler(reference);
+  Rng rng(seed);
+  std::vector<std::vector<double>> columns;
+  for (Value x = x_min; x <= x_max; x += x_step) {
+    columns.push_back(MonteCarloCachingHeebColumn(
+        sampler, x, v_min, v_max, lifetime, horizon, paths, rng));
+  }
+  return HeebSurfaceTable(v_min, v_max, x_min, x_step, std::move(columns));
+}
+
+BicubicSurface ApproximateSurfaceBicubic(const HeebSurfaceTable& table,
+                                         int nx, int ny) {
+  SJOIN_CHECK_GE(nx, 2);
+  SJOIN_CHECK_GE(ny, 2);
+  // x axis of the bicubic = tuple value v; y axis = current value x_t0.
+  double v0 = static_cast<double>(table.v_min());
+  double v_span = static_cast<double>(table.v_max() - table.v_min());
+  double x0 = static_cast<double>(table.x_min());
+  double x_span = static_cast<double>(table.x_step()) *
+                  static_cast<double>(table.num_columns() - 1);
+  double dv = v_span / static_cast<double>(nx - 1);
+  double dx = x_span / static_cast<double>(ny - 1);
+  std::vector<double> control;
+  control.reserve(static_cast<std::size_t>(nx) *
+                  static_cast<std::size_t>(ny));
+  for (int i = 0; i < nx; ++i) {
+    Value v = static_cast<Value>(
+        std::llround(v0 + dv * static_cast<double>(i)));
+    for (int j = 0; j < ny; ++j) {
+      Value x = static_cast<Value>(
+          std::llround(x0 + dx * static_cast<double>(j)));
+      control.push_back(table.At(v, x));
+    }
+  }
+  return BicubicSurface(v0, dv, nx, x0, dx, ny, std::move(control));
+}
+
+}  // namespace sjoin

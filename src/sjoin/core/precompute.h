@@ -1,0 +1,122 @@
+#ifndef SJOIN_CORE_PRECOMPUTE_H_
+#define SJOIN_CORE_PRECOMPUTE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sjoin/approx/bicubic_surface.h"
+#include "sjoin/common/rng.h"
+#include "sjoin/common/types.h"
+#include "sjoin/core/lifetime_fn.h"
+#include "sjoin/stochastic/ar1_process.h"
+#include "sjoin/stochastic/random_walk_process.h"
+
+/// \file
+/// Precomputation of HEEB functions (Section 4.4.3 / Theorem 5).
+///
+/// For streams of the form X_t = phi0 + phi1 X_{t-1} + Y_t, H_x is a
+/// time-independent function of (v_x, x_t0) — a surface h2 — and for
+/// phi1 = 1 (random walk with drift) a function of v_x - x_t0 alone — a
+/// curve h1. These can be computed offline once and evaluated cheaply at
+/// runtime; the paper stores a compact bicubic approximation of h2
+/// (Figures 15-16) and plots h1 for several drifts (Figure 6).
+
+namespace sjoin {
+
+/// A function of the integer offset d = v_x - x_t0, tabulated over a
+/// contiguous range; evaluates to 0 outside it.
+class OffsetTable {
+ public:
+  OffsetTable(Value min_offset, std::vector<double> values);
+
+  double At(Value offset) const;
+
+  Value min_offset() const { return min_offset_; }
+  Value max_offset() const {
+    return min_offset_ + static_cast<Value>(values_.size()) - 1;
+  }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  Value min_offset_;
+  std::vector<double> values_;
+};
+
+/// h1 for the *joining* problem against a random-walk partner:
+/// h1(d) = Σ_{Δt=1..horizon} Pr{walk moves by exactly d in Δt steps} L(Δt).
+/// (Theorem 5(2) with the joining HEEB form.)
+OffsetTable PrecomputeWalkJoinHeeb(const RandomWalkProcess& partner,
+                                   const LifetimeFn& lifetime, Time horizon);
+
+/// h1 for the *caching* problem with a random-walk reference stream:
+/// h1(d) = Σ_{Δt} Pr{first passage through offset d at step Δt} L(Δt),
+/// computed by exact absorbing dynamic programming over the step
+/// distribution. Tabulated for |d| <= max_abs_offset. (Figure 6.)
+OffsetTable PrecomputeWalkCachingHeeb(const RandomWalkProcess& reference,
+                                      const LifetimeFn& lifetime,
+                                      Time horizon, Value max_abs_offset);
+
+/// One-step sampler of a history-dependent process: next value given the
+/// last. Used by the Monte Carlo first-passage estimator below.
+using StepSampler = std::function<Value(Value last, Rng& rng)>;
+
+/// Fast step samplers for the two history-dependent models.
+StepSampler MakeAr1StepSampler(const Ar1Process& process);
+StepSampler MakeWalkStepSampler(const RandomWalkProcess& process);
+
+/// The caching-HEEB surface h2 tabulated over columns of current value x
+/// (spaced x_step apart) by rows of tuple value v. Evaluation is exact in
+/// v and linear between x columns.
+class HeebSurfaceTable {
+ public:
+  HeebSurfaceTable(Value v_min, Value v_max, Value x_min, Value x_step,
+                   std::vector<std::vector<double>> columns);
+
+  /// h2(v, x); clamps x to the column range, returns 0 for v outside
+  /// [v_min, v_max].
+  double At(Value v, Value x) const;
+
+  Value v_min() const { return v_min_; }
+  Value v_max() const { return v_max_; }
+  Value x_min() const { return x_min_; }
+  Value x_step() const { return x_step_; }
+  std::size_t num_columns() const { return columns_.size(); }
+  const std::vector<double>& column(std::size_t i) const {
+    return columns_[i];
+  }
+
+ private:
+  Value v_min_;
+  Value v_max_;
+  Value x_min_;
+  Value x_step_;
+  std::vector<std::vector<double>> columns_;
+};
+
+/// Monte Carlo estimate of one surface column: from current value x,
+/// simulate `paths` trajectories of `horizon` steps and average L(first
+/// hit time of v) per v. Deterministic in `rng`'s state.
+std::vector<double> MonteCarloCachingHeebColumn(
+    const StepSampler& sampler, Value start, Value v_min, Value v_max,
+    const LifetimeFn& lifetime, Time horizon, int paths, Rng& rng);
+
+/// Precomputes the full caching-HEEB surface for an AR(1) reference stream
+/// (the REAL experiment). Columns at x = x_min, x_min + x_step, ..., up to
+/// x_max.
+HeebSurfaceTable PrecomputeAr1CachingSurface(const Ar1Process& reference,
+                                             const LifetimeFn& lifetime,
+                                             Time horizon, Value v_min,
+                                             Value v_max, Value x_min,
+                                             Value x_max, Value x_step,
+                                             int paths, std::uint64_t seed);
+
+/// Compresses a surface table into a bicubic approximation with nx-by-ny
+/// control points spanning its domain (the paper uses 5x5 = 25 control
+/// points, Figure 16).
+BicubicSurface ApproximateSurfaceBicubic(const HeebSurfaceTable& table,
+                                         int nx, int ny);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_CORE_PRECOMPUTE_H_

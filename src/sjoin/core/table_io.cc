@@ -1,0 +1,108 @@
+#include "sjoin/core/table_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+namespace sjoin {
+namespace {
+
+constexpr char kOffsetMagic[] = "sjoin-offset-table-v1";
+constexpr char kSurfaceMagic[] = "sjoin-surface-table-v1";
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+bool SaveOffsetTable(const OffsetTable& table, const std::string& path) {
+  File file(std::fopen(path.c_str(), "w"));
+  if (file == nullptr) return false;
+  std::fprintf(file.get(), "%s\n%" PRId64 " %zu\n", kOffsetMagic,
+               static_cast<std::int64_t>(table.min_offset()),
+               table.values().size());
+  for (double v : table.values()) {
+    std::fprintf(file.get(), "%.17g\n", v);
+  }
+  return std::ferror(file.get()) == 0;
+}
+
+std::optional<OffsetTable> LoadOffsetTable(const std::string& path) {
+  File file(std::fopen(path.c_str(), "r"));
+  if (file == nullptr) return std::nullopt;
+  char magic[64] = {0};
+  if (std::fscanf(file.get(), "%63s", magic) != 1 ||
+      std::string(magic) != kOffsetMagic) {
+    return std::nullopt;
+  }
+  std::int64_t min_offset = 0;
+  std::size_t n = 0;
+  if (std::fscanf(file.get(), "%" SCNd64 " %zu", &min_offset, &n) != 2 ||
+      n == 0 || n > (1u << 24)) {
+    return std::nullopt;
+  }
+  std::vector<double> values(n);
+  for (double& v : values) {
+    if (std::fscanf(file.get(), "%lg", &v) != 1) return std::nullopt;
+  }
+  return OffsetTable(min_offset, std::move(values));
+}
+
+bool SaveSurfaceTable(const HeebSurfaceTable& table,
+                      const std::string& path) {
+  File file(std::fopen(path.c_str(), "w"));
+  if (file == nullptr) return false;
+  std::fprintf(file.get(), "%s\n%" PRId64 " %" PRId64 " %" PRId64
+               " %" PRId64 " %zu\n",
+               kSurfaceMagic, static_cast<std::int64_t>(table.v_min()),
+               static_cast<std::int64_t>(table.v_max()),
+               static_cast<std::int64_t>(table.x_min()),
+               static_cast<std::int64_t>(table.x_step()),
+               table.num_columns());
+  for (std::size_t c = 0; c < table.num_columns(); ++c) {
+    const std::vector<double>& column = table.column(c);
+    for (std::size_t i = 0; i < column.size(); ++i) {
+      std::fprintf(file.get(), "%.17g%c", column[i],
+                   i + 1 == column.size() ? '\n' : ' ');
+    }
+  }
+  return std::ferror(file.get()) == 0;
+}
+
+std::optional<HeebSurfaceTable> LoadSurfaceTable(const std::string& path) {
+  File file(std::fopen(path.c_str(), "r"));
+  if (file == nullptr) return std::nullopt;
+  char magic[64] = {0};
+  if (std::fscanf(file.get(), "%63s", magic) != 1 ||
+      std::string(magic) != kSurfaceMagic) {
+    return std::nullopt;
+  }
+  std::int64_t v_min = 0, v_max = 0, x_min = 0, x_step = 0;
+  std::size_t ncols = 0;
+  if (std::fscanf(file.get(), "%" SCNd64 " %" SCNd64 " %" SCNd64
+                  " %" SCNd64 " %zu",
+                  &v_min, &v_max, &x_min, &x_step, &ncols) != 5) {
+    return std::nullopt;
+  }
+  if (v_max < v_min || x_step <= 0 || ncols == 0 || ncols > (1u << 20) ||
+      v_max - v_min > (1 << 24)) {
+    return std::nullopt;
+  }
+  std::size_t rows = static_cast<std::size_t>(v_max - v_min + 1);
+  if (rows * ncols > (1u << 26)) return std::nullopt;  // ~0.5 GiB cap.
+  std::vector<std::vector<double>> columns(ncols,
+                                           std::vector<double>(rows));
+  for (auto& column : columns) {
+    for (double& v : column) {
+      if (std::fscanf(file.get(), "%lg", &v) != 1) return std::nullopt;
+    }
+  }
+  return HeebSurfaceTable(v_min, v_max, x_min, x_step, std::move(columns));
+}
+
+}  // namespace sjoin

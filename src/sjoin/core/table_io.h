@@ -1,0 +1,39 @@
+#ifndef SJOIN_CORE_TABLE_IO_H_
+#define SJOIN_CORE_TABLE_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "sjoin/core/precompute.h"
+
+/// \file
+/// Serialization of precomputed HEEB tables.
+///
+/// The point of Theorem 5's precomputation is to do the expensive work
+/// offline "and store a compact, approximate representation online". These
+/// helpers persist the h1 offset tables and h2 surface tables to a simple
+/// line-oriented text format so a deployment can compute them once per
+/// stream model and ship them to the online system.
+///
+/// Format (h1):   sjoin-offset-table-v1\n min_offset n\n v0 v1 ... vn-1\n
+/// Format (h2):   sjoin-surface-table-v1\n v_min v_max x_min x_step ncols\n
+///                one line of (v_max - v_min + 1) values per column.
+
+namespace sjoin {
+
+/// Writes `table` to `path`. Returns false on I/O failure.
+bool SaveOffsetTable(const OffsetTable& table, const std::string& path);
+
+/// Reads an offset table; nullopt on I/O or format errors.
+std::optional<OffsetTable> LoadOffsetTable(const std::string& path);
+
+/// Writes `table` to `path`. Returns false on I/O failure.
+bool SaveSurfaceTable(const HeebSurfaceTable& table,
+                      const std::string& path);
+
+/// Reads a surface table; nullopt on I/O or format errors.
+std::optional<HeebSurfaceTable> LoadSurfaceTable(const std::string& path);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_CORE_TABLE_IO_H_

@@ -1,0 +1,64 @@
+#include "sjoin/engine/cache_simulator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sjoin/common/check.h"
+#include "sjoin/stochastic/stream_history.h"
+
+namespace sjoin {
+
+CacheSimulator::CacheSimulator(Options options) : options_(options) {
+  SJOIN_CHECK_GE(options_.capacity, 1u);
+  SJOIN_CHECK_GE(options_.warmup, 0);
+}
+
+CacheRunResult CacheSimulator::Run(const std::vector<Value>& references,
+                                   CachingPolicy& policy) const {
+  policy.Reset();
+
+  CacheRunResult result;
+  std::vector<Value> cache;
+  cache.reserve(options_.capacity);
+  StreamHistory history;
+
+  for (Time t = 0; t < static_cast<Time>(references.size()); ++t) {
+    Value v = references[static_cast<std::size_t>(t)];
+    history.Append(v);
+    bool hit = std::find(cache.begin(), cache.end(), v) != cache.end();
+    if (hit) {
+      ++result.hits;
+      if (t >= options_.warmup) ++result.counted_hits;
+    } else {
+      ++result.misses;
+      if (t >= options_.warmup) ++result.counted_misses;
+    }
+
+    CachingContext ctx;
+    ctx.now = t;
+    ctx.capacity = options_.capacity;
+    ctx.cached = &cache;
+    ctx.referenced = v;
+    ctx.hit = hit;
+    ctx.history = &history;
+    policy.Observe(ctx);
+
+    if (!hit) {
+      std::vector<Value> retained = policy.SelectRetained(ctx);
+      SJOIN_CHECK_LE(retained.size(), options_.capacity);
+      std::unordered_set<Value> allowed(cache.begin(), cache.end());
+      allowed.insert(v);
+      std::unordered_set<Value> seen;
+      for (Value kept : retained) {
+        SJOIN_CHECK_MSG(allowed.count(kept) > 0,
+                        "policy retained a value that is not a candidate");
+        SJOIN_CHECK_MSG(seen.insert(kept).second,
+                        "policy retained the same value twice");
+      }
+      cache = std::move(retained);
+    }
+  }
+  return result;
+}
+
+}  // namespace sjoin

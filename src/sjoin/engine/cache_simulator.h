@@ -1,0 +1,48 @@
+#ifndef SJOIN_ENGINE_CACHE_SIMULATOR_H_
+#define SJOIN_ENGINE_CACHE_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sjoin/common/types.h"
+#include "sjoin/engine/caching_policy.h"
+
+/// \file
+/// Simulator of the caching problem (stream x database-relation join with
+/// demand fetching, Section 2). Every reference that is not served from the
+/// cache is a miss; after a miss the fetched tuple may be cached.
+
+namespace sjoin {
+
+/// Per-run accounting for the caching problem.
+struct CacheRunResult {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  /// Hits/misses at times >= warmup.
+  std::int64_t counted_hits = 0;
+  std::int64_t counted_misses = 0;
+};
+
+/// Runs one caching experiment.
+class CacheSimulator {
+ public:
+  struct Options {
+    std::size_t capacity = 10;
+    Time warmup = 0;
+  };
+
+  explicit CacheSimulator(Options options);
+
+  /// Simulates the reference sequence under `policy`. Calls policy.Reset().
+  CacheRunResult Run(const std::vector<Value>& references,
+                     CachingPolicy& policy) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_ENGINE_CACHE_SIMULATOR_H_

@@ -1,0 +1,100 @@
+#include "sjoin/engine/join_simulator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sjoin/common/check.h"
+#include "sjoin/stochastic/stream_history.h"
+
+namespace sjoin {
+
+JoinSimulator::JoinSimulator(Options options) : options_(options) {
+  SJOIN_CHECK_GE(options_.capacity, 1u);
+  SJOIN_CHECK_GE(options_.warmup, 0);
+  if (options_.window.has_value()) SJOIN_CHECK_GE(*options_.window, 0);
+}
+
+JoinRunResult JoinSimulator::Run(const std::vector<Value>& r,
+                                 const std::vector<Value>& s,
+                                 ReplacementPolicy& policy) const {
+  SJOIN_CHECK_EQ(r.size(), s.size());
+  policy.Reset();
+
+  JoinRunResult result;
+  std::vector<Tuple> cache;
+  cache.reserve(options_.capacity);
+  StreamHistory history_r;
+  StreamHistory history_s;
+  TupleId next_id = 0;
+
+  Time len = static_cast<Time>(r.size());
+  for (Time t = 0; t < len; ++t) {
+    Tuple r_tuple{next_id++, StreamSide::kR,
+                  r[static_cast<std::size_t>(t)], t};
+    Tuple s_tuple{next_id++, StreamSide::kS,
+                  s[static_cast<std::size_t>(t)], t};
+
+    // Phase 1: arrivals join with the cache chosen at the previous step.
+    std::int64_t produced = 0;
+    for (const Tuple& cached : cache) {
+      if (!InWindow(cached, t, options_.window)) continue;
+      if (cached.side == StreamSide::kS && cached.value == r_tuple.value) {
+        ++produced;
+      }
+      if (cached.side == StreamSide::kR && cached.value == s_tuple.value) {
+        ++produced;
+      }
+    }
+    result.total_results += produced;
+    if (t >= options_.warmup) result.counted_results += produced;
+
+    // Phase 2: the policy picks the new cache content.
+    history_r.Append(r_tuple.value);
+    history_s.Append(s_tuple.value);
+    std::vector<Tuple> arrivals = {r_tuple, s_tuple};
+    PolicyContext ctx;
+    ctx.now = t;
+    ctx.capacity = options_.capacity;
+    ctx.cached = &cache;
+    ctx.arrivals = &arrivals;
+    ctx.history_r = &history_r;
+    ctx.history_s = &history_s;
+    ctx.window = options_.window;
+
+    std::vector<TupleId> retained = policy.SelectRetained(ctx);
+    SJOIN_CHECK_LE(retained.size(), options_.capacity);
+
+    std::unordered_map<TupleId, Tuple> candidates;
+    candidates.reserve(cache.size() + arrivals.size());
+    for (const Tuple& tuple : cache) candidates.emplace(tuple.id, tuple);
+    for (const Tuple& tuple : arrivals) candidates.emplace(tuple.id, tuple);
+
+    std::vector<Tuple> new_cache;
+    new_cache.reserve(retained.size());
+    std::unordered_set<TupleId> seen;
+    for (TupleId id : retained) {
+      auto it = candidates.find(id);
+      SJOIN_CHECK_MSG(it != candidates.end(),
+                      "policy retained a tuple that is not a candidate");
+      SJOIN_CHECK_MSG(seen.insert(id).second,
+                      "policy retained the same tuple twice");
+      new_cache.push_back(it->second);
+    }
+    cache = std::move(new_cache);
+
+    if (options_.track_cache_composition) {
+      std::size_t r_count = 0;
+      for (const Tuple& tuple : cache) {
+        if (tuple.side == StreamSide::kR) ++r_count;
+      }
+      result.r_fraction_by_time.push_back(
+          cache.empty() ? 0.0
+                        : static_cast<double>(r_count) /
+                              static_cast<double>(cache.size()));
+    }
+  }
+  return result;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,113 @@
+#include "sjoin/engine/reduction.h"
+
+#include <unordered_map>
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+
+CachingReduction::CachingReduction(std::vector<Value> references)
+    : references_(std::move(references)) {
+  r_stream_.reserve(references_.size());
+  s_stream_.reserve(references_.size());
+  std::unordered_map<Value, std::int64_t> occurrences;
+  auto intern = [this](Value v, std::int64_t occurrence) -> Value {
+    auto [it, inserted] =
+        encode_.try_emplace({v, occurrence},
+                            static_cast<Value>(decode_.size()));
+    if (inserted) decode_.push_back({v, occurrence});
+    return it->second;
+  };
+  for (Value v : references_) {
+    std::int64_t seen = occurrences[v]++;
+    // The (seen+1)-th occurrence of v becomes (v, seen) in R' and
+    // (v, seen + 1) in S'.
+    r_stream_.push_back(intern(v, seen));
+    s_stream_.push_back(intern(v, seen + 1));
+  }
+}
+
+Value CachingReduction::Encode(Value v, std::int64_t occurrence) const {
+  auto it = encode_.find({v, occurrence});
+  SJOIN_CHECK_MSG(it != encode_.end(), "pair never occurs in the reduction");
+  return it->second;
+}
+
+std::pair<Value, std::int64_t> CachingReduction::Decode(Value encoded) const {
+  SJOIN_CHECK_GE(encoded, 0);
+  SJOIN_CHECK_LT(encoded, static_cast<Value>(decode_.size()));
+  return decode_[static_cast<std::size_t>(encoded)];
+}
+
+void ReductionJoinPolicy::Reset() {
+  caching_policy_->Reset();
+  reference_history_ = StreamHistory();
+}
+
+std::vector<TupleId> ReductionJoinPolicy::SelectRetained(
+    const PolicyContext& ctx) {
+  SJOIN_CHECK_EQ(ctx.arrivals->size(), 2u);
+  // Identify the arrivals: exactly one R' and one S' tuple.
+  const Tuple* r_arrival = nullptr;
+  const Tuple* s_arrival = nullptr;
+  for (const Tuple& tuple : *ctx.arrivals) {
+    if (tuple.side == StreamSide::kR) r_arrival = &tuple;
+    if (tuple.side == StreamSide::kS) s_arrival = &tuple;
+  }
+  SJOIN_CHECK(r_arrival != nullptr && s_arrival != nullptr);
+
+  auto [ref_value, ref_occurrence] = reduction_->Decode(r_arrival->value);
+  reference_history_.Append(ref_value);
+
+  // Decode the cached supply tuples: original value -> joining tuple id.
+  // A reasonable policy keeps at most one supply tuple per original value.
+  std::unordered_map<Value, TupleId> cached_by_value;
+  std::vector<Value> cached_values;
+  cached_values.reserve(ctx.cached->size());
+  for (const Tuple& tuple : *ctx.cached) {
+    SJOIN_CHECK_MSG(tuple.side == StreamSide::kS,
+                    "reasonable policy never caches reference tuples");
+    auto [v, occurrence] = reduction_->Decode(tuple.value);
+    (void)occurrence;
+    SJOIN_CHECK_MSG(cached_by_value.emplace(v, tuple.id).second,
+                    "multiple supply tuples cached for one value");
+    cached_values.push_back(v);
+  }
+
+  bool hit = cached_by_value.count(ref_value) > 0;
+
+  CachingContext caching_ctx;
+  caching_ctx.now = ctx.now;
+  caching_ctx.capacity = ctx.capacity;
+  caching_ctx.cached = &cached_values;
+  caching_ctx.referenced = ref_value;
+  caching_ctx.hit = hit;
+  caching_ctx.history = &reference_history_;
+  caching_policy_->Observe(caching_ctx);
+
+  std::vector<Value> retained_values;
+  if (hit) {
+    // Cache state is unchanged in the caching problem; in the joining
+    // problem the dead tuple s_(v,i) is swapped for fresh s_(v,i+1).
+    retained_values = cached_values;
+  } else {
+    retained_values = caching_policy_->SelectRetained(caching_ctx);
+  }
+
+  std::vector<TupleId> retained_ids;
+  retained_ids.reserve(retained_values.size());
+  for (Value v : retained_values) {
+    if (v == ref_value) {
+      // The freshest supply tuple for the referenced value is the arrival.
+      retained_ids.push_back(s_arrival->id);
+    } else {
+      auto it = cached_by_value.find(v);
+      SJOIN_CHECK_MSG(it != cached_by_value.end(),
+                      "caching policy retained an unknown value");
+      retained_ids.push_back(it->second);
+    }
+  }
+  return retained_ids;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,81 @@
+#ifndef SJOIN_ENGINE_REDUCTION_H_
+#define SJOIN_ENGINE_REDUCTION_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sjoin/common/types.h"
+#include "sjoin/engine/caching_policy.h"
+#include "sjoin/engine/replacement_policy.h"
+#include "sjoin/stochastic/stream_history.h"
+
+/// \file
+/// The caching → joining reduction of Section 2 / Theorem 1.
+///
+/// Given a reference sequence R, construct a "supply" stream S carrying the
+/// joining database tuples, with join attribute values tweaked so that
+/// neither stream contains duplicates: the i-th occurrence of value v
+/// becomes the pair (v, i-1) in R and (v, i) in S. Running the joining
+/// problem on (R', S') under a reasonable policy produces exactly as many
+/// result tuples as the original caching problem produces hits.
+
+namespace sjoin {
+
+/// Builds and owns the transformed streams. Pairs (v, i) are interned into
+/// fresh scalar Values so the generic joining machinery applies unchanged.
+class CachingReduction {
+ public:
+  explicit CachingReduction(std::vector<Value> references);
+
+  /// Encoded transformed streams, one entry per original reference.
+  const std::vector<Value>& r_stream() const { return r_stream_; }
+  const std::vector<Value>& s_stream() const { return s_stream_; }
+
+  /// Original reference sequence.
+  const std::vector<Value>& references() const { return references_; }
+
+  /// Encoded id of pair (v, occurrence); aborts if the pair never occurs in
+  /// either transformed stream.
+  Value Encode(Value v, std::int64_t occurrence) const;
+
+  /// Inverse of Encode.
+  std::pair<Value, std::int64_t> Decode(Value encoded) const;
+
+ private:
+  std::vector<Value> references_;
+  std::vector<Value> r_stream_;
+  std::vector<Value> s_stream_;
+  std::map<std::pair<Value, std::int64_t>, Value> encode_;
+  std::vector<std::pair<Value, std::int64_t>> decode_;
+};
+
+/// Adapts a caching policy to the joining problem over the transformed
+/// streams, following the "reasonable policy" discipline of Theorem 1:
+/// reference-stream tuples are never cached, and the superseded supply
+/// tuple s_(v,i) is replaced by s_(v,i+1) when the latter arrives.
+/// Used to validate Theorem 1 (see tests) and to reuse joining-side
+/// machinery for caching workloads.
+class ReductionJoinPolicy final : public ReplacementPolicy {
+ public:
+  /// Neither pointer is owned; both must outlive the policy.
+  ReductionJoinPolicy(const CachingReduction* reduction,
+                      CachingPolicy* caching_policy)
+      : reduction_(reduction), caching_policy_(caching_policy) {}
+
+  void Reset() override;
+
+  std::vector<TupleId> SelectRetained(const PolicyContext& ctx) override;
+
+  const char* name() const override { return "REDUCED"; }
+
+ private:
+  const CachingReduction* reduction_;
+  CachingPolicy* caching_policy_;
+  StreamHistory reference_history_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_ENGINE_REDUCTION_H_

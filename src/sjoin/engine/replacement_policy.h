@@ -1,0 +1,65 @@
+#ifndef SJOIN_ENGINE_REPLACEMENT_POLICY_H_
+#define SJOIN_ENGINE_REPLACEMENT_POLICY_H_
+
+#include <optional>
+#include <vector>
+
+#include "sjoin/common/types.h"
+#include "sjoin/engine/tuple.h"
+#include "sjoin/stochastic/stream_history.h"
+
+/// \file
+/// The replacement-decision interface for the joining problem.
+///
+/// Mirrors Section 3.3's definition of an algorithm A: inputs are K (the
+/// cached tuples), N (the newly arrived tuples), H (the full arrival
+/// history), and the policy's own statistical knowledge; the output is the
+/// new cache content, a subset of K ∪ N.
+
+namespace sjoin {
+
+/// Everything a policy may inspect when making the decision at one step.
+struct PolicyContext {
+  /// Time of the new arrivals.
+  Time now = 0;
+  /// Cache capacity k.
+  std::size_t capacity = 0;
+  /// Tuples currently cached (the K of Section 3.3). Size <= capacity.
+  const std::vector<Tuple>* cached = nullptr;
+  /// Tuples that just arrived at `now` (the N of Section 3.3).
+  const std::vector<Tuple>* arrivals = nullptr;
+  /// Observed values of streams R and S, inclusive of time `now`.
+  const StreamHistory* history_r = nullptr;
+  const StreamHistory* history_s = nullptr;
+  /// Sliding-window length w (Section 7): a tuple that arrived at time a
+  /// participates in joins only while now - a <= w. nullopt = regular join.
+  std::optional<Time> window;
+};
+
+/// A cache replacement policy for the joining problem.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  /// Clears per-run state; called by the simulator before each run.
+  virtual void Reset() {}
+
+  /// Returns the ids of tuples to retain: a subset of the ids in
+  /// ctx.cached ∪ ctx.arrivals with size <= ctx.capacity. The simulator
+  /// validates the result.
+  virtual std::vector<TupleId> SelectRetained(const PolicyContext& ctx) = 0;
+
+  /// Human-readable policy name for experiment reports.
+  virtual const char* name() const = 0;
+};
+
+/// True if `tuple` is still inside the sliding window at time `now`
+/// (always true for regular join semantics).
+inline bool InWindow(const Tuple& tuple, Time now,
+                     const std::optional<Time>& window) {
+  return !window.has_value() || now - tuple.arrival <= *window;
+}
+
+}  // namespace sjoin
+
+#endif  // SJOIN_ENGINE_REPLACEMENT_POLICY_H_

@@ -1,0 +1,39 @@
+#include "sjoin/engine/scored_caching_policy.h"
+
+#include <algorithm>
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+
+std::vector<Value> ScoredCachingPolicy::SelectRetained(
+    const CachingContext& ctx) {
+  struct Candidate {
+    double score;
+    bool is_referenced;
+    Value value;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(ctx.cached->size() + 1);
+  for (Value v : *ctx.cached) {
+    candidates.push_back({Score(v, ctx), v == ctx.referenced, v});
+  }
+  if (!ctx.hit) {
+    candidates.push_back({Score(ctx.referenced, ctx), true, ctx.referenced});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.is_referenced != b.is_referenced) return a.is_referenced;
+              return a.value > b.value;
+            });
+  std::size_t keep = std::min(ctx.capacity, candidates.size());
+  std::vector<Value> retained;
+  retained.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) {
+    retained.push_back(candidates[i].value);
+  }
+  return retained;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,27 @@
+#ifndef SJOIN_ENGINE_SCORED_CACHING_POLICY_H_
+#define SJOIN_ENGINE_SCORED_CACHING_POLICY_H_
+
+#include <vector>
+
+#include "sjoin/engine/caching_policy.h"
+
+/// \file
+/// Base class for score-ranked caching policies (LRU, LFU, LFD, HEEB, ...).
+
+namespace sjoin {
+
+/// Keeps the `capacity` highest-scored database tuples out of
+/// cached ∪ {referenced}. Ties break toward the referenced (newest) value,
+/// then toward larger values, for determinism.
+class ScoredCachingPolicy : public CachingPolicy {
+ public:
+  std::vector<Value> SelectRetained(const CachingContext& ctx) final;
+
+ protected:
+  /// Desirability of keeping the database tuple with value `v`.
+  virtual double Score(Value v, const CachingContext& ctx) = 0;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_ENGINE_SCORED_CACHING_POLICY_H_

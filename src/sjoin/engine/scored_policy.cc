@@ -1,0 +1,38 @@
+#include "sjoin/engine/scored_policy.h"
+
+#include <algorithm>
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+
+std::vector<TupleId> ScoredPolicy::SelectRetained(const PolicyContext& ctx) {
+  BeginStep(ctx);
+  struct Candidate {
+    double score;
+    Time arrival;
+    TupleId id;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(ctx.cached->size() + ctx.arrivals->size());
+  for (const Tuple& t : *ctx.cached) {
+    candidates.push_back({Score(t, ctx), t.arrival, t.id});
+  }
+  for (const Tuple& t : *ctx.arrivals) {
+    candidates.push_back({Score(t, ctx), t.arrival, t.id});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.arrival != b.arrival) return a.arrival > b.arrival;
+              return a.id > b.id;
+            });
+  std::size_t keep = std::min(ctx.capacity, candidates.size());
+  std::vector<TupleId> retained;
+  retained.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) retained.push_back(candidates[i].id);
+  EndStep(ctx, retained);
+  return retained;
+}
+
+}  // namespace sjoin

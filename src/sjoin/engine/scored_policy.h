@@ -1,0 +1,44 @@
+#ifndef SJOIN_ENGINE_SCORED_POLICY_H_
+#define SJOIN_ENGINE_SCORED_POLICY_H_
+
+#include <vector>
+
+#include "sjoin/engine/replacement_policy.h"
+
+/// \file
+/// Base class for "rank and keep the best" policies.
+///
+/// Almost every policy in the paper — RAND, PROB, LIFE, HEEB, and the
+/// caching heuristics — assigns each candidate tuple a desirability score
+/// and discards the lowest-scored candidates. This base implements the
+/// selection; subclasses provide the score.
+
+namespace sjoin {
+
+/// Keeps the `capacity` highest-scored candidates (cached ∪ arrivals).
+/// Ties are broken in favor of the most recent arrival, then by id, so runs
+/// are deterministic.
+class ScoredPolicy : public ReplacementPolicy {
+ public:
+  std::vector<TupleId> SelectRetained(const PolicyContext& ctx) final;
+
+ protected:
+  /// Called once per step before any Score() calls; lets subclasses refresh
+  /// per-step state (frequency tables, incremental HEEB values, ...).
+  virtual void BeginStep(const PolicyContext& ctx) { (void)ctx; }
+
+  /// Desirability of keeping `tuple`; higher is better.
+  virtual double Score(const Tuple& tuple, const PolicyContext& ctx) = 0;
+
+  /// Called with the final retained set; lets subclasses drop state for
+  /// evicted tuples.
+  virtual void EndStep(const PolicyContext& ctx,
+                       const std::vector<TupleId>& retained) {
+    (void)ctx;
+    (void)retained;
+  }
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_ENGINE_SCORED_POLICY_H_

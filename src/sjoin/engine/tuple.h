@@ -1,0 +1,30 @@
+#ifndef SJOIN_ENGINE_TUPLE_H_
+#define SJOIN_ENGINE_TUPLE_H_
+
+#include "sjoin/common/types.h"
+
+/// \file
+/// A stream tuple as seen by the join engine and replacement policies.
+
+namespace sjoin {
+
+/// One tuple from one of the two input streams. Tuples with equal join
+/// attribute values are distinct objects (Section 2); `id` is unique within
+/// a simulation run.
+struct Tuple {
+  TupleId id = 0;
+  StreamSide side = StreamSide::kR;
+  Value value = 0;
+  Time arrival = 0;
+};
+
+/// JoinSimulator assigns ids deterministically: the R tuple arriving at
+/// time t gets id 2t and the S tuple gets 2t + 1. Offline policies
+/// (OPT-offline) rely on this to pre-compute schedules in terms of ids.
+constexpr TupleId TupleIdAt(StreamSide side, Time t) {
+  return static_cast<TupleId>(2 * t) + (side == StreamSide::kS ? 1 : 0);
+}
+
+}  // namespace sjoin
+
+#endif  // SJOIN_ENGINE_TUPLE_H_

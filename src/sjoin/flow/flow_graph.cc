@@ -1,0 +1,47 @@
+#include "sjoin/flow/flow_graph.h"
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+
+NodeId FlowGraph::AddNode() {
+  adjacency_.emplace_back();
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+NodeId FlowGraph::AddNodes(int count) {
+  SJOIN_CHECK_GE(count, 1);
+  NodeId first = static_cast<NodeId>(adjacency_.size());
+  adjacency_.resize(adjacency_.size() + static_cast<std::size_t>(count));
+  return first;
+}
+
+std::int32_t FlowGraph::AddArc(NodeId from, NodeId to, std::int64_t capacity,
+                               double cost) {
+  SJOIN_CHECK_GE(from, 0);
+  SJOIN_CHECK_LT(from, NumNodes());
+  SJOIN_CHECK_GE(to, 0);
+  SJOIN_CHECK_LT(to, NumNodes());
+  SJOIN_CHECK_GE(capacity, 0);
+  auto& fwd_list = adjacency_[static_cast<std::size_t>(from)];
+  auto& rev_list = adjacency_[static_cast<std::size_t>(to)];
+  std::int32_t fwd_index = static_cast<std::int32_t>(fwd_list.size());
+  std::int32_t rev_index = static_cast<std::int32_t>(rev_list.size());
+  // Self-loops would make fwd/rev indices collide; they are never useful in
+  // a flow network, so forbid them.
+  SJOIN_CHECK_NE(from, to);
+  fwd_list.push_back(Arc{to, rev_index, capacity, cost, /*is_forward=*/true});
+  rev_list.push_back(Arc{from, fwd_index, 0, -cost, /*is_forward=*/false});
+  return fwd_index;
+}
+
+std::int64_t FlowGraph::FlowOn(NodeId from, std::int32_t arc_index) const {
+  const Arc& arc = adjacency_[static_cast<std::size_t>(from)]
+                             [static_cast<std::size_t>(arc_index)];
+  SJOIN_CHECK(arc.is_forward);
+  const Arc& twin = adjacency_[static_cast<std::size_t>(arc.to)]
+                              [static_cast<std::size_t>(arc.rev)];
+  return twin.capacity;
+}
+
+}  // namespace sjoin

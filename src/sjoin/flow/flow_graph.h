@@ -1,0 +1,63 @@
+#ifndef SJOIN_FLOW_FLOW_GRAPH_H_
+#define SJOIN_FLOW_FLOW_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Directed graph with arc capacities and (possibly negative) real costs,
+/// stored as adjacency lists of paired forward/residual arcs.
+///
+/// Both OPT-offline and FlowExpect (Section 3) reduce replacement-decision
+/// search to min-cost flow on such graphs; costs are negated (expected)
+/// benefits, so negative costs are the common case.
+
+namespace sjoin {
+
+/// Node handle.
+using NodeId = std::int32_t;
+
+/// A flow network under construction / being solved. Adding an arc also adds
+/// its residual twin with zero capacity.
+class FlowGraph {
+ public:
+  struct Arc {
+    NodeId to = 0;
+    std::int32_t rev = 0;  // Index of the twin arc within adjacency_[to].
+    std::int64_t capacity = 0;
+    double cost = 0.0;
+    bool is_forward = false;  // False for residual twins.
+  };
+
+  /// Adds a node and returns its id.
+  NodeId AddNode();
+
+  /// Adds `count` nodes; returns the id of the first.
+  NodeId AddNodes(int count);
+
+  /// Adds a forward arc and its zero-capacity residual twin. Returns the
+  /// index of the forward arc within `from`'s adjacency list, usable with
+  /// FlowOn().
+  std::int32_t AddArc(NodeId from, NodeId to, std::int64_t capacity,
+                      double cost);
+
+  int NumNodes() const { return static_cast<int>(adjacency_.size()); }
+
+  std::vector<Arc>& AdjacencyOf(NodeId node) {
+    return adjacency_[static_cast<std::size_t>(node)];
+  }
+  const std::vector<Arc>& AdjacencyOf(NodeId node) const {
+    return adjacency_[static_cast<std::size_t>(node)];
+  }
+
+  /// Flow pushed on a forward arc identified by (from, arc_index): the
+  /// residual twin's remaining capacity.
+  std::int64_t FlowOn(NodeId from, std::int32_t arc_index) const;
+
+ private:
+  std::vector<std::vector<Arc>> adjacency_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_FLOW_FLOW_GRAPH_H_

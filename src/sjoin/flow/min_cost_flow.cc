@@ -1,0 +1,146 @@
+#include "sjoin/flow/min_cost_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Tolerance for floating-point reduced costs: rounding can make a reduced
+// cost infinitesimally negative; clamping keeps Dijkstra correct.
+constexpr double kReducedCostSlack = 1e-9;
+
+// Queue-based Bellman-Ford (SPFA) distances from `source` over arcs with
+// positive residual capacity. Our graphs are DAG-structured, so this
+// converges in few passes even with many negative arcs.
+std::vector<double> BellmanFordDistances(const FlowGraph& graph,
+                                         NodeId source) {
+  int n = graph.NumNodes();
+  std::vector<double> dist(static_cast<std::size_t>(n), kInf);
+  std::vector<char> in_queue(static_cast<std::size_t>(n), 0);
+  std::deque<NodeId> queue;
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  queue.push_back(source);
+  in_queue[static_cast<std::size_t>(source)] = 1;
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    in_queue[static_cast<std::size_t>(u)] = 0;
+    double du = dist[static_cast<std::size_t>(u)];
+    for (const FlowGraph::Arc& arc : graph.AdjacencyOf(u)) {
+      if (arc.capacity <= 0) continue;
+      double nd = du + arc.cost;
+      if (nd < dist[static_cast<std::size_t>(arc.to)] - 1e-15) {
+        dist[static_cast<std::size_t>(arc.to)] = nd;
+        if (!in_queue[static_cast<std::size_t>(arc.to)]) {
+          in_queue[static_cast<std::size_t>(arc.to)] = 1;
+          queue.push_back(arc.to);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+struct PathStep {
+  NodeId node = -1;        // Predecessor node.
+  std::int32_t arc = -1;   // Index of the arc taken within node's adjacency.
+};
+
+}  // namespace
+
+MinCostFlowResult SolveMinCostFlow(FlowGraph& graph, NodeId source,
+                                   NodeId sink, std::int64_t target_flow) {
+  SJOIN_CHECK_GE(target_flow, 0);
+  SJOIN_CHECK_NE(source, sink);
+  int n = graph.NumNodes();
+  std::vector<double> potential = BellmanFordDistances(graph, source);
+  // Nodes unreachable from the source can never appear on an augmenting
+  // path; give them a finite potential so arithmetic below stays finite.
+  double max_finite = 0.0;
+  for (double d : potential) {
+    if (d != kInf) max_finite = std::max(max_finite, d);
+  }
+  for (double& d : potential) {
+    if (d == kInf) d = max_finite;
+  }
+
+  MinCostFlowResult result;
+  std::vector<double> dist(static_cast<std::size_t>(n));
+  std::vector<PathStep> parent(static_cast<std::size_t>(n));
+  using QueueEntry = std::pair<double, NodeId>;
+
+  while (result.flow < target_flow) {
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(parent.begin(), parent.end(), PathStep{});
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>>
+        frontier;
+    dist[static_cast<std::size_t>(source)] = 0.0;
+    frontier.push({0.0, source});
+    while (!frontier.empty()) {
+      auto [du, u] = frontier.top();
+      frontier.pop();
+      if (du > dist[static_cast<std::size_t>(u)] + 1e-15) continue;
+      const auto& arcs = graph.AdjacencyOf(u);
+      for (std::int32_t i = 0; i < static_cast<std::int32_t>(arcs.size());
+           ++i) {
+        const FlowGraph::Arc& arc = arcs[static_cast<std::size_t>(i)];
+        if (arc.capacity <= 0) continue;
+        double reduced = arc.cost + potential[static_cast<std::size_t>(u)] -
+                         potential[static_cast<std::size_t>(arc.to)];
+        SJOIN_CHECK_GE(reduced, -kReducedCostSlack * 1e3);
+        if (reduced < 0.0) reduced = 0.0;
+        double nd = du + reduced;
+        if (nd < dist[static_cast<std::size_t>(arc.to)] - 1e-15) {
+          dist[static_cast<std::size_t>(arc.to)] = nd;
+          parent[static_cast<std::size_t>(arc.to)] = PathStep{u, i};
+          frontier.push({nd, arc.to});
+        }
+      }
+    }
+    if (dist[static_cast<std::size_t>(sink)] == kInf) break;  // Saturated.
+
+    // Bottleneck along the augmenting path.
+    std::int64_t push = target_flow - result.flow;
+    for (NodeId v = sink; v != source;
+         v = parent[static_cast<std::size_t>(v)].node) {
+      const PathStep& step = parent[static_cast<std::size_t>(v)];
+      SJOIN_CHECK_GE(step.node, 0);
+      const FlowGraph::Arc& arc =
+          graph.AdjacencyOf(step.node)[static_cast<std::size_t>(step.arc)];
+      push = std::min(push, arc.capacity);
+    }
+    SJOIN_CHECK_GT(push, 0);
+
+    // Apply the augmentation, accumulating true (non-reduced) arc costs.
+    for (NodeId v = sink; v != source;
+         v = parent[static_cast<std::size_t>(v)].node) {
+      const PathStep& step = parent[static_cast<std::size_t>(v)];
+      FlowGraph::Arc& arc =
+          graph.AdjacencyOf(step.node)[static_cast<std::size_t>(step.arc)];
+      FlowGraph::Arc& twin =
+          graph.AdjacencyOf(arc.to)[static_cast<std::size_t>(arc.rev)];
+      arc.capacity -= push;
+      twin.capacity += push;
+      result.cost += arc.cost * static_cast<double>(push);
+    }
+    result.flow += push;
+
+    // Johnson re-weighting keeps reduced costs non-negative next round.
+    double dsink = dist[static_cast<std::size_t>(sink)];
+    for (int v = 0; v < n; ++v) {
+      potential[static_cast<std::size_t>(v)] +=
+          std::min(dist[static_cast<std::size_t>(v)], dsink);
+    }
+  }
+  return result;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,107 @@
+#include "sjoin/multi/multi_heeb_policy.h"
+
+#include <algorithm>
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+namespace {
+
+struct Ranked {
+  double score;
+  Time arrival;
+  TupleId id;
+};
+
+std::vector<TupleId> KeepBest(std::vector<Ranked> ranked,
+                              std::size_t capacity) {
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a,
+                                             const Ranked& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.arrival != b.arrival) return a.arrival > b.arrival;
+    return a.id > b.id;
+  });
+  std::size_t keep = std::min(capacity, ranked.size());
+  std::vector<TupleId> retained;
+  retained.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) retained.push_back(ranked[i].id);
+  return retained;
+}
+
+}  // namespace
+
+MultiHeebPolicy::MultiHeebPolicy(
+    const std::vector<const StochasticProcess*>& processes,
+    const MultiJoinSimulator* simulator, Options options)
+    : processes_(processes),
+      simulator_(simulator),
+      options_(options),
+      lifetime_(options.alpha) {
+  SJOIN_CHECK(simulator != nullptr);
+  SJOIN_CHECK_EQ(static_cast<int>(processes_.size()),
+                 simulator_->num_streams());
+  for (const StochasticProcess* process : processes_) {
+    SJOIN_CHECK(process != nullptr);
+  }
+  SJOIN_CHECK_GE(options_.horizon, 1);
+}
+
+std::vector<TupleId> MultiHeebPolicy::SelectRetained(
+    const MultiPolicyContext& ctx) {
+  int n = simulator_->num_streams();
+  // Predictive pmfs per stream for the current step.
+  std::vector<std::vector<DiscreteDistribution>> predictions(
+      static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    auto& preds = predictions[static_cast<std::size_t>(s)];
+    preds.reserve(static_cast<std::size_t>(options_.horizon));
+    const StreamHistory& history =
+        (*ctx.histories)[static_cast<std::size_t>(s)];
+    for (Time dt = 1; dt <= options_.horizon; ++dt) {
+      preds.push_back(processes_[static_cast<std::size_t>(s)]->Predict(
+          history, ctx.now + dt));
+    }
+  }
+
+  auto score = [&](const MultiTuple& tuple) {
+    Time max_dt = options_.horizon;
+    if (ctx.window.has_value()) {
+      max_dt = std::min(max_dt, tuple.arrival + *ctx.window - ctx.now);
+    }
+    double h = 0.0;
+    // Appendix C: sum the binary HEEB over all partner streams.
+    for (int partner : simulator_->PartnersOf(tuple.stream)) {
+      const auto& preds = predictions[static_cast<std::size_t>(partner)];
+      for (Time dt = 1; dt <= max_dt; ++dt) {
+        h += preds[static_cast<std::size_t>(dt - 1)].Prob(tuple.value) *
+             lifetime_.At(dt);
+      }
+    }
+    return h;
+  };
+
+  std::vector<Ranked> ranked;
+  ranked.reserve(ctx.cached->size() + ctx.arrivals->size());
+  for (const MultiTuple& tuple : *ctx.cached) {
+    ranked.push_back({score(tuple), tuple.arrival, tuple.id});
+  }
+  for (const MultiTuple& tuple : *ctx.arrivals) {
+    ranked.push_back({score(tuple), tuple.arrival, tuple.id});
+  }
+  return KeepBest(std::move(ranked), ctx.capacity);
+}
+
+std::vector<TupleId> MultiRandomPolicy::SelectRetained(
+    const MultiPolicyContext& ctx) {
+  std::vector<Ranked> ranked;
+  ranked.reserve(ctx.cached->size() + ctx.arrivals->size());
+  for (const MultiTuple& tuple : *ctx.cached) {
+    ranked.push_back({rng_.UniformReal(), tuple.arrival, tuple.id});
+  }
+  for (const MultiTuple& tuple : *ctx.arrivals) {
+    ranked.push_back({rng_.UniformReal(), tuple.arrival, tuple.id});
+  }
+  return KeepBest(std::move(ranked), ctx.capacity);
+}
+
+}  // namespace sjoin

@@ -1,0 +1,103 @@
+#ifndef SJOIN_MULTI_MULTI_JOIN_SIMULATOR_H_
+#define SJOIN_MULTI_MULTI_JOIN_SIMULATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sjoin/common/types.h"
+#include "sjoin/stochastic/stream_history.h"
+
+/// \file
+/// Multiple binary equijoins over multiple streams — the generalization
+/// the paper's Appendix C sketches: "in the case of multiple binary joins,
+/// this expected benefit is a summary of each expected benefit of the
+/// binary join with one partner stream."
+///
+/// N streams each emit one tuple per step; a join graph lists the stream
+/// pairs that join on value equality; one shared cache of k tuples feeds
+/// all the joins. With N = 2 and the single edge (0, 1) this reduces
+/// exactly to the binary JoinSimulator (see multi_join_test).
+
+namespace sjoin {
+
+/// A tuple from one of N streams.
+struct MultiTuple {
+  TupleId id = 0;
+  int stream = 0;
+  Value value = 0;
+  Time arrival = 0;
+};
+
+/// Ids are deterministic: the tuple of stream s arriving at time t gets
+/// id t * num_streams + s.
+constexpr TupleId MultiTupleIdAt(int num_streams, int stream, Time t) {
+  return static_cast<TupleId>(t) * static_cast<TupleId>(num_streams) +
+         static_cast<TupleId>(stream);
+}
+
+/// Step context for a multi-join replacement decision.
+struct MultiPolicyContext {
+  Time now = 0;
+  std::size_t capacity = 0;
+  const std::vector<MultiTuple>* cached = nullptr;
+  const std::vector<MultiTuple>* arrivals = nullptr;  // One per stream.
+  const std::vector<StreamHistory>* histories = nullptr;
+  std::optional<Time> window;
+};
+
+/// Replacement policy for the multi-join problem.
+class MultiReplacementPolicy {
+ public:
+  virtual ~MultiReplacementPolicy() = default;
+  virtual void Reset() {}
+  /// Subset of cached ∪ arrivals ids, size <= capacity.
+  virtual std::vector<TupleId> SelectRetained(
+      const MultiPolicyContext& ctx) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Per-run accounting.
+struct MultiJoinRunResult {
+  std::int64_t total_results = 0;
+  std::int64_t counted_results = 0;
+};
+
+/// Simulates N streams joined along a join graph with one shared cache.
+class MultiJoinSimulator {
+ public:
+  struct Options {
+    std::size_t capacity = 10;
+    Time warmup = 0;
+    std::optional<Time> window;
+  };
+
+  /// `join_edges` lists unordered stream pairs (i != j) that equijoin.
+  MultiJoinSimulator(int num_streams,
+                     std::vector<std::pair<int, int>> join_edges,
+                     Options options);
+
+  /// `streams[s][t]` is stream s's value at time t; all streams must have
+  /// equal length.
+  MultiJoinRunResult Run(const std::vector<std::vector<Value>>& streams,
+                         MultiReplacementPolicy& policy) const;
+
+  int num_streams() const { return num_streams_; }
+  const std::vector<std::pair<int, int>>& join_edges() const {
+    return join_edges_;
+  }
+
+  /// Streams that join with `stream` under the join graph.
+  const std::vector<int>& PartnersOf(int stream) const;
+
+ private:
+  int num_streams_;
+  std::vector<std::pair<int, int>> join_edges_;
+  std::vector<std::vector<int>> partners_;
+  Options options_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_MULTI_MULTI_JOIN_SIMULATOR_H_

@@ -1,0 +1,119 @@
+#include "sjoin/multi/multi_opt_offline_policy.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "sjoin/common/check.h"
+#include "sjoin/flow/flow_graph.h"
+#include "sjoin/flow/min_cost_flow.h"
+
+namespace sjoin {
+namespace {
+
+struct TupleChain {
+  TupleId id = 0;
+  Time arrival = 0;
+  NodeId entry_from = -1;
+  std::int32_t entry_arc = -1;
+  std::vector<NodeId> step_from;
+  std::vector<std::int32_t> chain_arcs;
+};
+
+}  // namespace
+
+MultiOptOfflinePolicy::MultiOptOfflinePolicy(
+    const MultiJoinSimulator* simulator,
+    const std::vector<std::vector<Value>>& streams, std::size_t capacity) {
+  SJOIN_CHECK(simulator != nullptr);
+  SJOIN_CHECK_GE(capacity, 1u);
+  int num_streams = simulator->num_streams();
+  SJOIN_CHECK_EQ(static_cast<int>(streams.size()), num_streams);
+  Time len = static_cast<Time>(streams[0].size());
+  schedule_.assign(static_cast<std::size_t>(len), {});
+  if (len == 0) return;
+
+  FlowGraph graph;
+  NodeId time_first = graph.AddNodes(static_cast<int>(len) + 1);
+  auto time_node = [time_first](Time t) {
+    return time_first + static_cast<NodeId>(t);
+  };
+  for (Time t = 0; t < len; ++t) {
+    graph.AddArc(time_node(t), time_node(t + 1),
+                 static_cast<std::int64_t>(capacity), 0.0);
+  }
+
+  std::vector<TupleChain> chains;
+  for (int stream = 0; stream < num_streams; ++stream) {
+    const std::vector<int>& partners = simulator->PartnersOf(stream);
+    for (Time arrival = 0; arrival < len; ++arrival) {
+      Value value =
+          streams[static_cast<std::size_t>(stream)][static_cast<std::size_t>(
+              arrival)];
+      // Matches at u count one per matching partner stream.
+      std::vector<std::int64_t> matches_at(static_cast<std::size_t>(len),
+                                           0);
+      Time last_match = -1;
+      for (Time u = arrival + 1; u < len; ++u) {
+        std::int64_t count = 0;
+        for (int partner : partners) {
+          if (streams[static_cast<std::size_t>(partner)]
+                     [static_cast<std::size_t>(u)] == value) {
+            ++count;
+          }
+        }
+        if (count > 0) {
+          matches_at[static_cast<std::size_t>(u)] = count;
+          last_match = u;
+        }
+      }
+      if (last_match < 0) continue;
+
+      TupleChain chain;
+      chain.id = MultiTupleIdAt(num_streams, stream, arrival);
+      chain.arrival = arrival;
+      for (Time t = arrival; t <= last_match - 1; ++t) {
+        chain.step_from.push_back(graph.AddNode());
+      }
+      chain.entry_from = time_node(arrival);
+      chain.entry_arc =
+          graph.AddArc(chain.entry_from, chain.step_from.front(), 1, 0.0);
+      for (Time t = arrival; t <= last_match - 1; ++t) {
+        std::size_t index = static_cast<std::size_t>(t - arrival);
+        NodeId node = chain.step_from[index];
+        double cost = -static_cast<double>(
+            matches_at[static_cast<std::size_t>(t + 1)]);
+        graph.AddArc(node, time_node(t + 1), 1, cost);
+        if (t + 1 <= last_match - 1) {
+          chain.chain_arcs.push_back(
+              graph.AddArc(node, chain.step_from[index + 1], 1, cost));
+        }
+      }
+      chains.push_back(std::move(chain));
+    }
+  }
+
+  MinCostFlowResult result =
+      SolveMinCostFlow(graph, time_node(0), time_node(len),
+                       static_cast<std::int64_t>(capacity));
+  SJOIN_CHECK_EQ(result.flow, static_cast<std::int64_t>(capacity));
+  optimal_benefit_ = static_cast<std::int64_t>(std::llround(-result.cost));
+
+  for (const TupleChain& chain : chains) {
+    if (graph.FlowOn(chain.entry_from, chain.entry_arc) == 0) continue;
+    Time t = chain.arrival;
+    schedule_[static_cast<std::size_t>(t)].push_back(chain.id);
+    for (std::size_t i = 0; i < chain.chain_arcs.size(); ++i) {
+      if (graph.FlowOn(chain.step_from[i], chain.chain_arcs[i]) == 0) break;
+      ++t;
+      schedule_[static_cast<std::size_t>(t)].push_back(chain.id);
+    }
+  }
+}
+
+std::vector<TupleId> MultiOptOfflinePolicy::SelectRetained(
+    const MultiPolicyContext& ctx) {
+  SJOIN_CHECK_LT(static_cast<std::size_t>(ctx.now), schedule_.size());
+  return schedule_[static_cast<std::size_t>(ctx.now)];
+}
+
+}  // namespace sjoin

@@ -1,0 +1,43 @@
+#ifndef SJOIN_MULTI_MULTI_OPT_OFFLINE_POLICY_H_
+#define SJOIN_MULTI_MULTI_OPT_OFFLINE_POLICY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sjoin/multi/multi_join_simulator.h"
+
+/// \file
+/// Optimal offline schedule for the multi-join problem: the same
+/// time-expanded min-cost-flow formulation as the binary OPT-offline
+/// (policies/opt_offline_policy.h), except that a tuple's chain arcs earn
+/// one unit per *partner-stream* match at the next step — a step can earn
+/// several units when multiple partners match simultaneously.
+
+namespace sjoin {
+
+/// Clairvoyant multi-join replacement. Construction solves the flow;
+/// SelectRetained replays the schedule.
+class MultiOptOfflinePolicy final : public MultiReplacementPolicy {
+ public:
+  /// `simulator` supplies the join graph (not owned); `streams` are the
+  /// full realizations. Regular join semantics only (run it through a
+  /// simulator without a sliding window).
+  MultiOptOfflinePolicy(const MultiJoinSimulator* simulator,
+                        const std::vector<std::vector<Value>>& streams,
+                        std::size_t capacity);
+
+  std::vector<TupleId> SelectRetained(const MultiPolicyContext& ctx) override;
+
+  const char* name() const override { return "MULTI-OPT"; }
+
+  /// Optimal number of cache-produced results over the whole run.
+  std::int64_t optimal_benefit() const { return optimal_benefit_; }
+
+ private:
+  std::vector<std::vector<TupleId>> schedule_;
+  std::int64_t optimal_benefit_ = 0;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_MULTI_MULTI_OPT_OFFLINE_POLICY_H_

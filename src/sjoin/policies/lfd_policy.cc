@@ -1,0 +1,23 @@
+#include "sjoin/policies/lfd_policy.h"
+
+#include <algorithm>
+
+namespace sjoin {
+
+LfdCachingPolicy::LfdCachingPolicy(const std::vector<Value>& full_sequence) {
+  for (Time t = 0; t < static_cast<Time>(full_sequence.size()); ++t) {
+    reference_times_[full_sequence[static_cast<std::size_t>(t)]].push_back(t);
+  }
+}
+
+double LfdCachingPolicy::Score(Value v, const CachingContext& ctx) {
+  auto it = reference_times_.find(v);
+  if (it == reference_times_.end()) return 0.0;  // Never referenced at all.
+  const std::vector<Time>& times = it->second;
+  auto next = std::upper_bound(times.begin(), times.end(), ctx.now);
+  if (next == times.end()) return 0.0;  // Never referenced again.
+  // Sooner next reference => higher score (evict the farthest).
+  return 1.0 / static_cast<double>(*next - ctx.now);
+}
+
+}  // namespace sjoin

@@ -1,0 +1,15 @@
+#include "sjoin/policies/lfu_policy.h"
+
+namespace sjoin {
+
+PerfectLfuCachingPolicy::PerfectLfuCachingPolicy(
+    const std::vector<Value>& full_sequence) {
+  if (full_sequence.empty()) return;
+  for (Value v : full_sequence) frequency_[v] += 1.0;
+  for (auto& [value, count] : frequency_) {
+    (void)value;
+    count /= static_cast<double>(full_sequence.size());
+  }
+}
+
+}  // namespace sjoin

@@ -1,0 +1,139 @@
+#include "sjoin/policies/opt_offline_policy.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "sjoin/common/check.h"
+#include "sjoin/engine/tuple.h"
+#include "sjoin/flow/flow_graph.h"
+#include "sjoin/flow/min_cost_flow.h"
+
+namespace sjoin {
+namespace {
+
+/// Bookkeeping for one tuple's chain in the flow graph.
+struct TupleChain {
+  TupleId id = 0;
+  Time arrival = 0;
+  Time last_match = 0;  // Last partner match time (> arrival).
+  // Arc handles (from-node, index within its adjacency list).
+  NodeId entry_from = -1;
+  std::int32_t entry_arc = -1;
+  std::vector<NodeId> step_from;          // Node of X_t for each t.
+  std::vector<std::int32_t> chain_arcs;   // X_t -> X_{t+1} (may be -1 tail).
+};
+
+}  // namespace
+
+OptOfflinePolicy::OptOfflinePolicy(const std::vector<Value>& r,
+                                   const std::vector<Value>& s,
+                                   std::size_t capacity,
+                                   std::optional<Time> window) {
+  SJOIN_CHECK_EQ(r.size(), s.size());
+  SJOIN_CHECK_GE(capacity, 1u);
+  Time len = static_cast<Time>(r.size());
+  schedule_.assign(static_cast<std::size_t>(len), {});
+  if (len == 0) return;
+
+  // Index partner occurrences by value for fast match-time lookup.
+  std::unordered_map<Value, std::vector<Time>> r_times;
+  std::unordered_map<Value, std::vector<Time>> s_times;
+  for (Time t = 0; t < len; ++t) {
+    r_times[r[static_cast<std::size_t>(t)]].push_back(t);
+    s_times[s[static_cast<std::size_t>(t)]].push_back(t);
+  }
+
+  FlowGraph graph;
+  // Time chain nodes T_0 .. T_len.
+  NodeId time_first = graph.AddNodes(static_cast<int>(len) + 1);
+  auto time_node = [time_first](Time t) {
+    return time_first + static_cast<NodeId>(t);
+  };
+  for (Time t = 0; t < len; ++t) {
+    graph.AddArc(time_node(t), time_node(t + 1),
+                 static_cast<std::int64_t>(capacity), 0.0);
+  }
+
+  // One chain per tuple with at least one future match.
+  std::vector<TupleChain> chains;
+  auto add_chain = [&](StreamSide side, Time arrival, Value value) {
+    const auto& partner_times =
+        side == StreamSide::kR ? s_times : r_times;
+    auto it = partner_times.find(value);
+    if (it == partner_times.end()) return;
+    // Match times strictly after arrival (and within the window if any).
+    std::vector<Time> matches;
+    for (Time u : it->second) {
+      if (u <= arrival) continue;
+      if (window.has_value() && u - arrival > *window) break;
+      matches.push_back(u);
+    }
+    if (matches.empty()) return;
+    TupleChain chain;
+    chain.id = TupleIdAt(side, arrival);
+    chain.arrival = arrival;
+    chain.last_match = matches.back();
+
+    // Nodes X_t for t in [arrival, last_match - 1]; x in K_t earns benefit
+    // at t+1 when the partner matches.
+    std::size_t match_cursor = 0;
+    for (Time t = arrival; t <= chain.last_match - 1; ++t) {
+      chain.step_from.push_back(graph.AddNode());
+    }
+    chain.entry_from = time_node(arrival);
+    chain.entry_arc =
+        graph.AddArc(chain.entry_from, chain.step_from.front(), 1, 0.0);
+    for (Time t = arrival; t <= chain.last_match - 1; ++t) {
+      std::size_t index = static_cast<std::size_t>(t - arrival);
+      NodeId node = chain.step_from[index];
+      // Does the partner match at t + 1?
+      while (match_cursor < matches.size() && matches[match_cursor] <= t) {
+        ++match_cursor;
+      }
+      double cost = (match_cursor < matches.size() &&
+                     matches[match_cursor] == t + 1)
+                        ? -1.0
+                        : 0.0;
+      // Exit: the slot frees at step t+1 (benefit at t+1 still earned).
+      graph.AddArc(node, time_node(t + 1), 1, cost);
+      // Continue holding the tuple through step t+1.
+      if (t + 1 <= chain.last_match - 1) {
+        chain.chain_arcs.push_back(
+            graph.AddArc(node, chain.step_from[index + 1], 1, cost));
+      }
+    }
+    chains.push_back(std::move(chain));
+  };
+
+  for (Time t = 0; t < len; ++t) {
+    add_chain(StreamSide::kR, t, r[static_cast<std::size_t>(t)]);
+    add_chain(StreamSide::kS, t, s[static_cast<std::size_t>(t)]);
+  }
+
+  MinCostFlowResult result =
+      SolveMinCostFlow(graph, time_node(0), time_node(len),
+                       static_cast<std::int64_t>(capacity));
+  SJOIN_CHECK_EQ(result.flow, static_cast<std::int64_t>(capacity));
+  optimal_benefit_ = static_cast<std::int64_t>(std::llround(-result.cost));
+
+  // Decode the schedule: a tuple is cached at steps [arrival, e] where e is
+  // the last chain node its flow unit traverses.
+  for (const TupleChain& chain : chains) {
+    if (graph.FlowOn(chain.entry_from, chain.entry_arc) == 0) continue;
+    Time t = chain.arrival;
+    schedule_[static_cast<std::size_t>(t)].push_back(chain.id);
+    for (std::size_t i = 0; i < chain.chain_arcs.size(); ++i) {
+      if (graph.FlowOn(chain.step_from[i], chain.chain_arcs[i]) == 0) break;
+      ++t;
+      schedule_[static_cast<std::size_t>(t)].push_back(chain.id);
+    }
+  }
+}
+
+std::vector<TupleId> OptOfflinePolicy::SelectRetained(
+    const PolicyContext& ctx) {
+  SJOIN_CHECK_LT(static_cast<std::size_t>(ctx.now), schedule_.size());
+  return schedule_[static_cast<std::size_t>(ctx.now)];
+}
+
+}  // namespace sjoin

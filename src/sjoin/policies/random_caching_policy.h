@@ -1,0 +1,37 @@
+#ifndef SJOIN_POLICIES_RANDOM_CACHING_POLICY_H_
+#define SJOIN_POLICIES_RANDOM_CACHING_POLICY_H_
+
+#include "sjoin/common/rng.h"
+#include "sjoin/engine/scored_caching_policy.h"
+
+/// \file
+/// RAND for the caching problem — evict a uniformly random tuple. The
+/// oblivious baseline of the REAL experiment (Figure 13).
+
+namespace sjoin {
+
+/// Random caching eviction; the fetched tuple is always admitted.
+class RandomCachingPolicy final : public ScoredCachingPolicy {
+ public:
+  explicit RandomCachingPolicy(std::uint64_t seed)
+      : rng_(seed), seed_(seed) {}
+
+  void Reset() override { rng_ = Rng(seed_); }
+
+  const char* name() const override { return "RAND"; }
+
+ protected:
+  double Score(Value v, const CachingContext& ctx) override {
+    // Admit the newly fetched tuple; evict uniformly among the rest.
+    if (v == ctx.referenced) return 2.0;
+    return rng_.UniformReal();
+  }
+
+ private:
+  Rng rng_;
+  std::uint64_t seed_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_POLICIES_RANDOM_CACHING_POLICY_H_

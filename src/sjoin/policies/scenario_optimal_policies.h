@@ -1,0 +1,45 @@
+#ifndef SJOIN_POLICIES_SCENARIO_OPTIMAL_POLICIES_H_
+#define SJOIN_POLICIES_SCENARIO_OPTIMAL_POLICIES_H_
+
+#include <cstdlib>
+
+#include "sjoin/engine/scored_caching_policy.h"
+
+/// \file
+/// Caching policies whose optimality the framework *derives* for specific
+/// scenarios via ECB dominance (Section 5). Each is a one-liner once the
+/// dominance analysis identifies the total order on candidates.
+
+namespace sjoin {
+
+/// Section 5.3 (linear trend, noise bounded on the right): the reference
+/// window only moves forward, so the tuple with the smallest join
+/// attribute value falls out of reach first — discarding it is optimal
+/// for any non-decreasing trend.
+class SmallestValueCachingPolicy final : public ScoredCachingPolicy {
+ public:
+  const char* name() const override { return "SMALLEST-VALUE"; }
+
+ protected:
+  double Score(Value v, const CachingContext& ctx) override {
+    (void)ctx;
+    return static_cast<double>(v);
+  }
+};
+
+/// Section 5.5 (zero-drift random walk, symmetric unimodal steps): all
+/// ECBs are comparable and ranked by distance from the current position;
+/// discarding the farthest tuple is optimal.
+class DistanceCachingPolicy final : public ScoredCachingPolicy {
+ public:
+  const char* name() const override { return "NEAREST"; }
+
+ protected:
+  double Score(Value v, const CachingContext& ctx) override {
+    return -static_cast<double>(std::llabs(v - ctx.history->back()));
+  }
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_POLICIES_SCENARIO_OPTIMAL_POLICIES_H_

@@ -1,0 +1,53 @@
+#include "sjoin/stochastic/ar1_process.h"
+
+#include <cmath>
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+
+Ar1Process::Ar1Process(double phi0, double phi1, double sigma,
+                       Value initial_value)
+    : phi0_(phi0), phi1_(phi1), sigma_(sigma), initial_value_(initial_value) {
+  SJOIN_CHECK_GT(sigma, 0.0);
+  SJOIN_CHECK_NE(phi1, 0.0);
+}
+
+DiscreteDistribution Ar1Process::Predict(const StreamHistory& history,
+                                         Time t) const {
+  SJOIN_CHECK_GE(t, history.size());
+  Value last = history.empty() ? initial_value_ : history.back();
+  Time last_time = history.size() - 1;
+  return PredictFrom(last, t - last_time);
+}
+
+DiscreteDistribution Ar1Process::PredictFrom(Value last, Time steps) const {
+  SJOIN_CHECK_GE(steps, 1);
+  double mean = ConditionalMean(static_cast<double>(last), steps);
+  double sd = ConditionalSigma(steps);
+  return DiscreteDistribution::DiscretizedNormal(mean, sd);
+}
+
+double Ar1Process::ConditionalMean(double last, Time steps) const {
+  double phi1_pow = std::pow(phi1_, static_cast<double>(steps));
+  if (phi1_ == 1.0) {
+    return last + phi0_ * static_cast<double>(steps);
+  }
+  return phi1_pow * last + phi0_ * (1.0 - phi1_pow) / (1.0 - phi1_);
+}
+
+double Ar1Process::ConditionalSigma(Time steps) const {
+  if (phi1_ == 1.0) {
+    return sigma_ * std::sqrt(static_cast<double>(steps));
+  }
+  double phi1_sq = phi1_ * phi1_;
+  double phi1_sq_pow = std::pow(phi1_sq, static_cast<double>(steps));
+  return sigma_ * std::sqrt((1.0 - phi1_sq_pow) / (1.0 - phi1_sq));
+}
+
+double Ar1Process::StationaryMean() const {
+  SJOIN_CHECK_LT(std::fabs(phi1_), 1.0);
+  return phi0_ / (1.0 - phi1_);
+}
+
+}  // namespace sjoin

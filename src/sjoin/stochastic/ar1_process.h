@@ -1,0 +1,62 @@
+#ifndef SJOIN_STOCHASTIC_AR1_PROCESS_H_
+#define SJOIN_STOCHASTIC_AR1_PROCESS_H_
+
+#include <memory>
+
+#include "sjoin/stochastic/process.h"
+
+/// \file
+/// AR(1) process with Gaussian noise — Section 4.4.3 / 5.5 / 6.5 (REAL).
+///
+/// X_t = phi0 + phi1 * X_{t-1} + Y_t with Y_t ~ N(0, sigma^2) i.i.d.
+/// Values live on the integer grid (the REAL experiment uses 0.1 degree
+/// Celsius units). For |phi1| < 1 the Δ-step conditional law has the closed
+/// form N(mu_Δ, s_Δ^2) with
+///   mu_Δ  = phi1^Δ x + phi0 (1 - phi1^Δ) / (1 - phi1)
+///   s_Δ^2 = sigma^2 (1 - phi1^{2Δ}) / (1 - phi1^2),
+/// which we discretize. phi1 = 1 degenerates to a random walk with drift
+/// (mu_Δ = x + Δ phi0, s_Δ^2 = Δ sigma^2), matching Theorem 5(2).
+
+namespace sjoin {
+
+/// First-order autoregressive process.
+class Ar1Process final : public StochasticProcess {
+ public:
+  /// `initial_value` plays the role of X_{-1}. For |phi1| < 1, a natural
+  /// choice is the stationary mean phi0 / (1 - phi1).
+  Ar1Process(double phi0, double phi1, double sigma, Value initial_value);
+
+  DiscreteDistribution Predict(const StreamHistory& history,
+                               Time t) const override;
+
+  /// Conditional law of X_{last_time + steps} given X_{last_time} = last.
+  DiscreteDistribution PredictFrom(Value last, Time steps) const;
+
+  bool IsIndependent() const override { return false; }
+
+  std::unique_ptr<StochasticProcess> Clone() const override {
+    return std::make_unique<Ar1Process>(phi0_, phi1_, sigma_, initial_value_);
+  }
+
+  /// Conditional mean / stddev after `steps` steps from value `last`.
+  double ConditionalMean(double last, Time steps) const;
+  double ConditionalSigma(Time steps) const;
+
+  /// Stationary mean phi0 / (1 - phi1); requires |phi1| < 1.
+  double StationaryMean() const;
+
+  double phi0() const { return phi0_; }
+  double phi1() const { return phi1_; }
+  double sigma() const { return sigma_; }
+  Value initial_value() const { return initial_value_; }
+
+ private:
+  double phi0_;
+  double phi1_;
+  double sigma_;
+  Value initial_value_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_STOCHASTIC_AR1_PROCESS_H_

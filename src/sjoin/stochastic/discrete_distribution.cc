@@ -1,0 +1,153 @@
+#include "sjoin/stochastic/discrete_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sjoin/common/check.h"
+#include "sjoin/common/math_util.h"
+
+namespace sjoin {
+
+DiscreteDistribution DiscreteDistribution::FromMasses(
+    Value min_value, std::vector<double> masses) {
+  for (double m : masses) SJOIN_CHECK_GE(m, 0.0);
+  DiscreteDistribution d(min_value, std::move(masses));
+  d.Normalize();
+  return d;
+}
+
+DiscreteDistribution DiscreteDistribution::PointMass(Value v) {
+  return DiscreteDistribution(v, {1.0});
+}
+
+DiscreteDistribution DiscreteDistribution::BoundedUniform(Value lo, Value hi) {
+  SJOIN_CHECK_LE(lo, hi);
+  std::size_t n = static_cast<std::size_t>(hi - lo + 1);
+  return DiscreteDistribution(lo,
+                              std::vector<double>(n, 1.0 / static_cast<double>(n)));
+}
+
+DiscreteDistribution DiscreteDistribution::DiscretizedNormal(double mean,
+                                                             double sigma,
+                                                             double tail_eps) {
+  SJOIN_CHECK_GT(sigma, 0.0);
+  // Cover enough standard deviations that the excluded tail mass is below
+  // tail_eps on each side.
+  double half_width = sigma * 8.0;
+  while (NormalCdf(-half_width / sigma) > tail_eps) half_width += sigma;
+  Value lo = static_cast<Value>(std::floor(mean - half_width));
+  Value hi = static_cast<Value>(std::ceil(mean + half_width));
+  return TruncatedDiscretizedNormal(mean, sigma, lo, hi);
+}
+
+DiscreteDistribution DiscreteDistribution::TruncatedDiscretizedNormal(
+    double mean, double sigma, Value lo, Value hi) {
+  SJOIN_CHECK_LE(lo, hi);
+  SJOIN_CHECK_GT(sigma, 0.0);
+  std::vector<double> masses;
+  masses.reserve(static_cast<std::size_t>(hi - lo + 1));
+  for (Value v = lo; v <= hi; ++v) {
+    masses.push_back(DiscretizedNormalMass(mean, sigma, v));
+  }
+  DiscreteDistribution d(lo, std::move(masses));
+  d.Normalize();
+  return d;
+}
+
+double DiscreteDistribution::Prob(Value v) const {
+  if (masses_.empty() || v < min_value_) return 0.0;
+  std::size_t index = static_cast<std::size_t>(v - min_value_);
+  if (index >= masses_.size()) return 0.0;
+  return masses_[index];
+}
+
+Value DiscreteDistribution::MinValue() const {
+  SJOIN_CHECK(!masses_.empty());
+  return min_value_;
+}
+
+Value DiscreteDistribution::MaxValue() const {
+  SJOIN_CHECK(!masses_.empty());
+  return min_value_ + static_cast<Value>(masses_.size()) - 1;
+}
+
+double DiscreteDistribution::Mean() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < masses_.size(); ++i) {
+    sum += masses_[i] * static_cast<double>(min_value_ + static_cast<Value>(i));
+  }
+  return sum;
+}
+
+double DiscreteDistribution::Variance() const {
+  double mean = Mean();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < masses_.size(); ++i) {
+    double x = static_cast<double>(min_value_ + static_cast<Value>(i));
+    sum += masses_[i] * (x - mean) * (x - mean);
+  }
+  return sum;
+}
+
+double DiscreteDistribution::TotalMass() const {
+  double sum = 0.0;
+  for (double m : masses_) sum += m;
+  return sum;
+}
+
+DiscreteDistribution DiscreteDistribution::ShiftedBy(Value delta) const {
+  return DiscreteDistribution(min_value_ + delta, masses_);
+}
+
+DiscreteDistribution DiscreteDistribution::Convolve(
+    const DiscreteDistribution& other) const {
+  if (masses_.empty() || other.masses_.empty()) return DiscreteDistribution();
+  std::vector<double> result(masses_.size() + other.masses_.size() - 1, 0.0);
+  for (std::size_t i = 0; i < masses_.size(); ++i) {
+    if (masses_[i] == 0.0) continue;
+    for (std::size_t j = 0; j < other.masses_.size(); ++j) {
+      result[i + j] += masses_[i] * other.masses_[j];
+    }
+  }
+  return DiscreteDistribution(min_value_ + other.min_value_,
+                              std::move(result));
+}
+
+double DiscreteDistribution::OverlapProb(
+    const DiscreteDistribution& other) const {
+  if (masses_.empty() || other.masses_.empty()) return 0.0;
+  Value lo = std::max(min_value_, other.min_value_);
+  Value hi = std::min(min_value_ + static_cast<Value>(masses_.size()) - 1,
+                      other.min_value_ +
+                          static_cast<Value>(other.masses_.size()) - 1);
+  double sum = 0.0;
+  for (Value v = lo; v <= hi; ++v) sum += Prob(v) * other.Prob(v);
+  return sum;
+}
+
+Value DiscreteDistribution::Sample(Rng& rng) const {
+  SJOIN_CHECK(!masses_.empty());
+  double u = rng.UniformReal();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < masses_.size(); ++i) {
+    acc += masses_[i];
+    if (u < acc) return min_value_ + static_cast<Value>(i);
+  }
+  // Floating-point slack: return the highest value with positive mass.
+  for (std::size_t i = masses_.size(); i-- > 0;) {
+    if (masses_[i] > 0.0) return min_value_ + static_cast<Value>(i);
+  }
+  return min_value_;
+}
+
+void DiscreteDistribution::Normalize() {
+  double total = TotalMass();
+  if (total <= 0.0) {
+    masses_.clear();
+    min_value_ = 0;
+    return;
+  }
+  for (double& m : masses_) m /= total;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,12 @@
+#include "sjoin/stochastic/linear_trend_process.h"
+
+#include <cmath>
+
+namespace sjoin {
+
+Value LinearTrendProcess::TrendAt(Time t) const {
+  return static_cast<Value>(
+      std::llround(slope_ * static_cast<double>(t) + intercept_));
+}
+
+}  // namespace sjoin

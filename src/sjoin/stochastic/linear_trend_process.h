@@ -1,0 +1,56 @@
+#ifndef SJOIN_STOCHASTIC_LINEAR_TREND_PROCESS_H_
+#define SJOIN_STOCHASTIC_LINEAR_TREND_PROCESS_H_
+
+#include <memory>
+
+#include "sjoin/stochastic/process.h"
+
+/// \file
+/// Deterministic trend plus i.i.d. noise — Sections 5.3 and 5.4.
+///
+/// X_t = f(t) + Y_t with f(t) = round(slope * t + intercept) and Y_t i.i.d.
+/// zero-mean integer noise. The TOWER / ROOF configurations use bounded
+/// discretized-normal noise; FLOOR uses bounded uniform noise (Section 6.1).
+/// The per-step variables are independent, so the time- and
+/// value-incremental HEEB computations of Section 4.4 apply, and
+/// Corollary 5's frame-of-reference shift holds for slope != 0.
+
+namespace sjoin {
+
+/// Linearly drifting "reference window" process.
+class LinearTrendProcess final : public StochasticProcess {
+ public:
+  /// `noise` must be a zero-mean pmf; the paper's configurations use noise
+  /// bounded within [-w, w].
+  LinearTrendProcess(double slope, double intercept,
+                     DiscreteDistribution noise)
+      : slope_(slope), intercept_(intercept), noise_(std::move(noise)) {}
+
+  DiscreteDistribution Predict(const StreamHistory& history,
+                               Time t) const override {
+    (void)history;
+    return noise_.ShiftedBy(TrendAt(t));
+  }
+
+  bool IsIndependent() const override { return true; }
+
+  std::unique_ptr<StochasticProcess> Clone() const override {
+    return std::make_unique<LinearTrendProcess>(slope_, intercept_, noise_);
+  }
+
+  /// The integer trend value f(t).
+  Value TrendAt(Time t) const;
+
+  double slope() const { return slope_; }
+  double intercept() const { return intercept_; }
+  const DiscreteDistribution& noise() const { return noise_; }
+
+ private:
+  double slope_;
+  double intercept_;
+  DiscreteDistribution noise_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_STOCHASTIC_LINEAR_TREND_PROCESS_H_

@@ -1,0 +1,24 @@
+#include "sjoin/stochastic/offline_process.h"
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+
+DiscreteDistribution OfflineProcess::Predict(const StreamHistory& history,
+                                             Time t) const {
+  (void)history;
+  SJOIN_CHECK_GE(t, 0);
+  if (t >= static_cast<Time>(sequence_.size())) return DiscreteDistribution();
+  return DiscreteDistribution::PointMass(
+      sequence_[static_cast<std::size_t>(t)]);
+}
+
+Value OfflineProcess::SampleNext(const StreamHistory& history,
+                                 Rng& rng) const {
+  (void)rng;
+  Time t = history.size();
+  SJOIN_CHECK_LT(t, static_cast<Time>(sequence_.size()));
+  return sequence_[static_cast<std::size_t>(t)];
+}
+
+}  // namespace sjoin

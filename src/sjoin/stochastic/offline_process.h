@@ -1,0 +1,47 @@
+#ifndef SJOIN_STOCHASTIC_OFFLINE_PROCESS_H_
+#define SJOIN_STOCHASTIC_OFFLINE_PROCESS_H_
+
+#include <memory>
+#include <vector>
+
+#include "sjoin/stochastic/process.h"
+
+/// \file
+/// Deterministic ("offline") streams — Section 5.1.
+///
+/// When the full value sequence is known in advance, the stream is the
+/// degenerate independent process Pr{X_t = a_t} = 1. This scenario connects
+/// the framework to the classic offline results: the caching ECB becomes a
+/// single-step function and dominance recovers Belady's LFD policy; the
+/// joining problem degenerates FlowExpect into OPT-offline.
+
+namespace sjoin {
+
+/// A process that deterministically produces a fixed sequence. Queries past
+/// the end of the sequence return the empty distribution (a value that joins
+/// with nothing — the paper's "−" tuples).
+class OfflineProcess final : public StochasticProcess {
+ public:
+  explicit OfflineProcess(std::vector<Value> sequence)
+      : sequence_(std::move(sequence)) {}
+
+  DiscreteDistribution Predict(const StreamHistory& history,
+                               Time t) const override;
+
+  Value SampleNext(const StreamHistory& history, Rng& rng) const override;
+
+  bool IsIndependent() const override { return true; }
+
+  std::unique_ptr<StochasticProcess> Clone() const override {
+    return std::make_unique<OfflineProcess>(sequence_);
+  }
+
+  const std::vector<Value>& sequence() const { return sequence_; }
+
+ private:
+  std::vector<Value> sequence_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_STOCHASTIC_OFFLINE_PROCESS_H_

@@ -1,0 +1,10 @@
+#include "sjoin/stochastic/process.h"
+
+namespace sjoin {
+
+Value StochasticProcess::SampleNext(const StreamHistory& history,
+                                    Rng& rng) const {
+  return Predict(history, history.size()).Sample(rng);
+}
+
+}  // namespace sjoin

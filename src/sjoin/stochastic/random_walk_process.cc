@@ -1,0 +1,26 @@
+#include "sjoin/stochastic/random_walk_process.h"
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+
+DiscreteDistribution RandomWalkProcess::Predict(const StreamHistory& history,
+                                                Time t) const {
+  SJOIN_CHECK_GE(t, history.size());
+  Value last = history.empty() ? initial_value_ : history.back();
+  Time last_time = history.size() - 1;  // -1 for the initial value.
+  Time steps = t - last_time;
+  SJOIN_CHECK_GE(steps, 1);
+  return StepSum(steps).ShiftedBy(last);
+}
+
+const DiscreteDistribution& RandomWalkProcess::StepSum(Time n) const {
+  SJOIN_CHECK_GE(n, 1);
+  if (step_powers_.empty()) step_powers_.push_back(step_);
+  while (static_cast<Time>(step_powers_.size()) < n) {
+    step_powers_.push_back(step_powers_.back().Convolve(step_));
+  }
+  return step_powers_[static_cast<std::size_t>(n - 1)];
+}
+
+}  // namespace sjoin

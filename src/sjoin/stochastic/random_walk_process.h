@@ -1,0 +1,54 @@
+#ifndef SJOIN_STOCHASTIC_RANDOM_WALK_PROCESS_H_
+#define SJOIN_STOCHASTIC_RANDOM_WALK_PROCESS_H_
+
+#include <memory>
+#include <vector>
+
+#include "sjoin/stochastic/process.h"
+
+/// \file
+/// Random walk with drift — Section 5.5.
+///
+/// X_t = X_{t-1} + D_t with i.i.d. integer step distribution D (which may
+/// have non-zero mean: the paper's "drift"). The multi-step predictive
+/// distribution is the Δ-fold convolution of the step distribution shifted
+/// by the last observed value; convolution powers are memoized since every
+/// HEEB / FlowExpect query at the same look-ahead reuses them.
+
+namespace sjoin {
+
+/// Integer-valued random walk.
+class RandomWalkProcess final : public StochasticProcess {
+ public:
+  /// `step` is the per-step increment pmf (the WALK configuration uses a
+  /// discretized N(drift, 1)). `initial_value` is the walk position at the
+  /// fictitious time -1, i.e. X_0 = initial_value + D_0.
+  RandomWalkProcess(DiscreteDistribution step, Value initial_value)
+      : step_(std::move(step)), initial_value_(initial_value) {}
+
+  DiscreteDistribution Predict(const StreamHistory& history,
+                               Time t) const override;
+
+  bool IsIndependent() const override { return false; }
+
+  std::unique_ptr<StochasticProcess> Clone() const override {
+    return std::make_unique<RandomWalkProcess>(step_, initial_value_);
+  }
+
+  /// Distribution of the sum of `n` i.i.d. steps (n >= 1). Cached.
+  const DiscreteDistribution& StepSum(Time n) const;
+
+  const DiscreteDistribution& step() const { return step_; }
+  Value initial_value() const { return initial_value_; }
+
+ private:
+  DiscreteDistribution step_;
+  Value initial_value_;
+  // Memoized convolution powers: step_powers_[i] is the (i+1)-fold
+  // convolution of step_. Grown lazily; the process is logically immutable.
+  mutable std::vector<DiscreteDistribution> step_powers_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_STOCHASTIC_RANDOM_WALK_PROCESS_H_

@@ -1,0 +1,47 @@
+#ifndef SJOIN_STOCHASTIC_SCRIPTED_PROCESS_H_
+#define SJOIN_STOCHASTIC_SCRIPTED_PROCESS_H_
+
+#include <memory>
+#include <vector>
+
+#include "sjoin/stochastic/process.h"
+
+/// \file
+/// An independent process with an arbitrary pmf per time step.
+///
+/// Useful for hand-constructed scenarios such as the FlowExpect
+/// suboptimality example of Section 3.4, where specific probabilistic
+/// futures ("2 with probability 0.5, '-' otherwise") are prescribed per
+/// time step.
+
+namespace sjoin {
+
+/// Independent, per-step scripted distributions. Queries beyond the script
+/// return the empty distribution (a tuple that joins nothing).
+class ScriptedProcess final : public StochasticProcess {
+ public:
+  explicit ScriptedProcess(std::vector<DiscreteDistribution> per_time)
+      : per_time_(std::move(per_time)) {}
+
+  DiscreteDistribution Predict(const StreamHistory& history,
+                               Time t) const override {
+    (void)history;
+    if (t < 0 || t >= static_cast<Time>(per_time_.size())) {
+      return DiscreteDistribution();
+    }
+    return per_time_[static_cast<std::size_t>(t)];
+  }
+
+  bool IsIndependent() const override { return true; }
+
+  std::unique_ptr<StochasticProcess> Clone() const override {
+    return std::make_unique<ScriptedProcess>(per_time_);
+  }
+
+ private:
+  std::vector<DiscreteDistribution> per_time_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_STOCHASTIC_SCRIPTED_PROCESS_H_

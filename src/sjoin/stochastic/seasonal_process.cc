@@ -1,0 +1,25 @@
+#include "sjoin/stochastic/seasonal_process.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+
+SeasonalProcess::SeasonalProcess(double mean, double amplitude,
+                                 double period, double phase,
+                                 DiscreteDistribution noise)
+    : mean_(mean), amplitude_(amplitude), period_(period), phase_(phase),
+      noise_(std::move(noise)) {
+  SJOIN_CHECK_GT(period, 0.0);
+}
+
+Value SeasonalProcess::TrendAt(Time t) const {
+  double angle =
+      2.0 * std::numbers::pi * static_cast<double>(t) / period_ + phase_;
+  return static_cast<Value>(
+      std::llround(mean_ + amplitude_ * std::sin(angle)));
+}
+
+}  // namespace sjoin

@@ -1,0 +1,61 @@
+#ifndef SJOIN_STOCHASTIC_SEASONAL_PROCESS_H_
+#define SJOIN_STOCHASTIC_SEASONAL_PROCESS_H_
+
+#include <memory>
+
+#include "sjoin/stochastic/process.h"
+
+/// \file
+/// Periodic trend plus i.i.d. noise: X_t = round(mean + amplitude *
+/// sin(2*pi*t / period + phase)) + Y_t.
+///
+/// The paper's framework covers any deterministic trend ("the analysis
+/// holds for any non-decreasing trend function f(t), including nonlinear
+/// ones" — and the generic ECB machinery does not even need monotonicity).
+/// A seasonal process exercises exactly that: the reference window sweeps
+/// back and forth, so neither LFU-style frequency ranking nor
+/// smallest-value eviction is right, while HEEB's direct mode handles it
+/// unchanged. Also models the deterministic component of daily-temperature
+/// style workloads.
+
+namespace sjoin {
+
+/// Sinusoidal trend with independent per-step noise.
+class SeasonalProcess final : public StochasticProcess {
+ public:
+  /// `noise` must be a zero-mean pmf; `period` > 0.
+  SeasonalProcess(double mean, double amplitude, double period, double phase,
+                  DiscreteDistribution noise);
+
+  DiscreteDistribution Predict(const StreamHistory& history,
+                               Time t) const override {
+    (void)history;
+    return noise_.ShiftedBy(TrendAt(t));
+  }
+
+  bool IsIndependent() const override { return true; }
+
+  std::unique_ptr<StochasticProcess> Clone() const override {
+    return std::make_unique<SeasonalProcess>(mean_, amplitude_, period_,
+                                             phase_, noise_);
+  }
+
+  /// The integer trend value at time t.
+  Value TrendAt(Time t) const;
+
+  double mean() const { return mean_; }
+  double amplitude() const { return amplitude_; }
+  double period() const { return period_; }
+  const DiscreteDistribution& noise() const { return noise_; }
+
+ private:
+  double mean_;
+  double amplitude_;
+  double period_;
+  double phase_;
+  DiscreteDistribution noise_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_STOCHASTIC_SEASONAL_PROCESS_H_

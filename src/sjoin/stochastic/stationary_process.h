@@ -1,0 +1,45 @@
+#ifndef SJOIN_STOCHASTIC_STATIONARY_PROCESS_H_
+#define SJOIN_STOCHASTIC_STATIONARY_PROCESS_H_
+
+#include <memory>
+
+#include "sjoin/stochastic/process.h"
+
+/// \file
+/// Stationary, independent streams — Section 5.2.
+///
+/// A time-invariant pmf p(v) = Pr{X_t = v} for all t, with independent
+/// draws. In this scenario the framework proves PROB optimal for joining
+/// and A0/LFU optimal for caching; it is the implicit assumption behind
+/// most classic replacement heuristics.
+
+namespace sjoin {
+
+/// Independent identically distributed values at every time step.
+class StationaryProcess final : public StochasticProcess {
+ public:
+  explicit StationaryProcess(DiscreteDistribution dist)
+      : dist_(std::move(dist)) {}
+
+  DiscreteDistribution Predict(const StreamHistory& history,
+                               Time t) const override {
+    (void)history;
+    (void)t;
+    return dist_;
+  }
+
+  bool IsIndependent() const override { return true; }
+
+  std::unique_ptr<StochasticProcess> Clone() const override {
+    return std::make_unique<StationaryProcess>(dist_);
+  }
+
+  const DiscreteDistribution& distribution() const { return dist_; }
+
+ private:
+  DiscreteDistribution dist_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_STOCHASTIC_STATIONARY_PROCESS_H_

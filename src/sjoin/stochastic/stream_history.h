@@ -1,0 +1,56 @@
+#ifndef SJOIN_STOCHASTIC_STREAM_HISTORY_H_
+#define SJOIN_STOCHASTIC_STREAM_HISTORY_H_
+
+#include <vector>
+
+#include "sjoin/common/check.h"
+#include "sjoin/common/types.h"
+
+/// \file
+/// Observed realization of one stream up to the current time.
+///
+/// The paper writes this as x̄_{t0}, "the history of all streams observed by
+/// the algorithm up to the current time t0". Processes condition their
+/// predictive distributions on it.
+
+namespace sjoin {
+
+/// Values observed at times 0, 1, ..., size() - 1.
+class StreamHistory {
+ public:
+  StreamHistory() = default;
+
+  /// Builds a history from a full realization prefix.
+  explicit StreamHistory(std::vector<Value> values)
+      : values_(std::move(values)) {}
+
+  /// Appends the value observed at time size().
+  void Append(Value v) { values_.push_back(v); }
+
+  /// Number of observed time steps; the next arrival is at time size().
+  Time size() const { return static_cast<Time>(values_.size()); }
+
+  bool empty() const { return values_.empty(); }
+
+  /// Value observed at time t (0 <= t < size()).
+  Value at(Time t) const {
+    SJOIN_CHECK_GE(t, 0);
+    SJOIN_CHECK_LT(t, size());
+    return values_[static_cast<std::size_t>(t)];
+  }
+
+  /// Most recent observation. Must not be empty.
+  Value back() const {
+    SJOIN_CHECK(!values_.empty());
+    return values_.back();
+  }
+
+  const std::vector<Value>& values() const { return values_; }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_STOCHASTIC_STREAM_HISTORY_H_

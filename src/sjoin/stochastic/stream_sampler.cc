@@ -1,0 +1,29 @@
+#include "sjoin/stochastic/stream_sampler.h"
+
+#include "sjoin/stochastic/stream_history.h"
+
+namespace sjoin {
+
+std::vector<Value> SampleRealization(const StochasticProcess& process,
+                                     Time len, Rng& rng) {
+  StreamHistory history;
+  std::vector<Value> values;
+  values.reserve(static_cast<std::size_t>(len));
+  for (Time t = 0; t < len; ++t) {
+    Value v = process.SampleNext(history, rng);
+    history.Append(v);
+    values.push_back(v);
+  }
+  return values;
+}
+
+StreamPair SampleStreamPair(const StochasticProcess& r_process,
+                            const StochasticProcess& s_process, Time len,
+                            Rng& rng) {
+  StreamPair pair;
+  pair.r = SampleRealization(r_process, len, rng);
+  pair.s = SampleRealization(s_process, len, rng);
+  return pair;
+}
+
+}  // namespace sjoin

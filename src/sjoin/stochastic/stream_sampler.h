@@ -1,0 +1,33 @@
+#ifndef SJOIN_STOCHASTIC_STREAM_SAMPLER_H_
+#define SJOIN_STOCHASTIC_STREAM_SAMPLER_H_
+
+#include <vector>
+
+#include "sjoin/common/rng.h"
+#include "sjoin/stochastic/process.h"
+
+/// \file
+/// Realization generation for experiments.
+
+namespace sjoin {
+
+/// Draws a length-`len` realization of `process`, one value per time step
+/// starting at t = 0, conditioning each draw on the values drawn so far.
+std::vector<Value> SampleRealization(const StochasticProcess& process,
+                                     Time len, Rng& rng);
+
+/// A pair of realizations for a two-stream joining experiment. The streams
+/// are sampled independently (the paper's experiment configurations all use
+/// independent R and S processes).
+struct StreamPair {
+  std::vector<Value> r;
+  std::vector<Value> s;
+};
+
+StreamPair SampleStreamPair(const StochasticProcess& r_process,
+                            const StochasticProcess& s_process, Time len,
+                            Rng& rng);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_STOCHASTIC_STREAM_SAMPLER_H_

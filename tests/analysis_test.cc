@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sjoin/analysis/ar1_fit.h"
+#include "sjoin/analysis/melbourne.h"
+#include "sjoin/analysis/summary_stats.h"
+#include "sjoin/common/rng.h"
+#include "sjoin/stochastic/ar1_process.h"
+#include "sjoin/stochastic/stream_sampler.h"
+
+namespace sjoin {
+namespace {
+
+TEST(Ar1FitTest, RecoversParametersFromSyntheticSeries) {
+  Ar1Process process(5.0, 0.7, 2.0, 17);
+  Rng rng(41);
+  auto series = SampleRealization(process, 8000, rng);
+  auto fit = FitAr1(series);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->phi1, 0.7, 0.03);
+  EXPECT_NEAR(fit->phi0, 5.0, 0.6);
+  // Discretization to integers adds ~1/12 variance.
+  EXPECT_NEAR(fit->sigma, std::sqrt(4.0 + 1.0 / 12.0), 0.1);
+}
+
+TEST(Ar1FitTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(FitAr1(std::vector<double>{1.0, 2.0}).has_value());
+  EXPECT_FALSE(
+      FitAr1(std::vector<double>{3.0, 3.0, 3.0, 3.0}).has_value());
+}
+
+TEST(Ar1FitTest, ExactLineIsFitPerfectly) {
+  // X_t = 1 + 0.5 X_{t-1} deterministically.
+  std::vector<double> series = {10.0};
+  for (int i = 0; i < 20; ++i) {
+    series.push_back(1.0 + 0.5 * series.back());
+  }
+  auto fit = FitAr1(series);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->phi1, 0.5, 1e-9);
+  EXPECT_NEAR(fit->phi0, 1.0, 1e-9);
+  EXPECT_NEAR(fit->sigma, 0.0, 1e-9);
+}
+
+TEST(MelbourneTest, FitLandsNearThePaperModel) {
+  // The paper: X_t = 0.72 X_{t-1} + 5.59 + Y_t, sd(Y) = 4.22 (Celsius).
+  auto series = SyntheticMelbourneDeciCelsius(3650, 2005);
+  std::vector<double> celsius;
+  celsius.reserve(series.size());
+  for (Value v : series) celsius.push_back(static_cast<double>(v) / 10.0);
+  auto fit = FitAr1(celsius);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_NEAR(fit->phi1, 0.72, 0.08);
+  EXPECT_NEAR(fit->phi0 / (1.0 - fit->phi1), 20.0, 1.5);  // Mean level.
+  EXPECT_NEAR(fit->sigma, 4.22, 0.6);
+}
+
+TEST(MelbourneTest, DeterministicInSeed) {
+  auto a = SyntheticMelbourneDeciCelsius(100, 7);
+  auto b = SyntheticMelbourneDeciCelsius(100, 7);
+  EXPECT_EQ(a, b);
+  auto c = SyntheticMelbourneDeciCelsius(100, 8);
+  EXPECT_NE(a, c);
+}
+
+TEST(MelbourneTest, ValuesAreInPlausibleCelsiusRange) {
+  auto series = SyntheticMelbourneDeciCelsius(3650, 1);
+  for (Value v : series) {
+    EXPECT_GT(v, -150);  // > -15 C.
+    EXPECT_LT(v, 550);   // < 55 C.
+  }
+}
+
+TEST(AutocorrelationTest, WhiteNoiseNearZeroLagOne) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.StandardNormal());
+  EXPECT_NEAR(Autocorrelation(xs, 1), 0.0, 0.05);
+  EXPECT_NEAR(Autocorrelation(xs, 0), 1.0, 1e-12);
+}
+
+TEST(AutocorrelationTest, Ar1HasGeometricAcf) {
+  Ar1Process process(0.0, 0.8, 1.0, 0);
+  Rng rng(4);
+  auto series = SampleRealization(process, 20000, rng);
+  std::vector<double> xs;
+  for (Value v : series) xs.push_back(static_cast<double>(v));
+  double rho1 = Autocorrelation(xs, 1);
+  double rho2 = Autocorrelation(xs, 2);
+  // Discretization attenuates slightly; shape should still be geometric.
+  EXPECT_NEAR(rho2, rho1 * rho1, 0.05);
+}
+
+TEST(SummarizeTest, BasicStats) {
+  auto s = Summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+  auto empty = Summarize({});
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sjoin/approx/bicubic_surface.h"
+#include "sjoin/approx/cubic_curve.h"
+
+namespace sjoin {
+namespace {
+
+TEST(CubicCurveTest, ExactAtControlPoints) {
+  CubicCurve curve(0.0, 1.0, {1.0, 4.0, 9.0, 16.0, 25.0});
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(curve.At(static_cast<double>(i)),
+                static_cast<double>((i + 1) * (i + 1)), 1e-12);
+  }
+}
+
+TEST(CubicCurveTest, ReproducesLinearFunctionsExactly) {
+  CubicCurve curve(-2.0, 0.5, {1.0, 2.0, 3.0, 4.0, 5.0, 6.0});
+  for (double x = -2.0; x <= 0.5; x += 0.1) {
+    EXPECT_NEAR(curve.At(x), 2.0 * (x + 2.0) + 1.0, 1e-9);
+  }
+}
+
+TEST(CubicCurveTest, ClampsOutsideDomain) {
+  CubicCurve curve(0.0, 1.0, {3.0, 5.0});
+  EXPECT_DOUBLE_EQ(curve.At(-10.0), 3.0);
+  EXPECT_DOUBLE_EQ(curve.At(10.0), 5.0);
+}
+
+TEST(CubicCurveTest, SmoothApproximationOfSine) {
+  std::vector<double> control;
+  for (int i = 0; i <= 20; ++i) {
+    control.push_back(std::sin(0.3 * static_cast<double>(i)));
+  }
+  CubicCurve curve(0.0, 0.3, control);
+  for (double x = 0.0; x <= 6.0; x += 0.05) {
+    EXPECT_NEAR(curve.At(x / 0.3 * 0.3), std::sin(x), 0.01) << x;
+  }
+}
+
+TEST(BicubicSurfaceTest, ExactAtControlPoints) {
+  std::vector<double> control;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      control.push_back(static_cast<double>(i * 10 + j));
+    }
+  }
+  BicubicSurface surface(0.0, 1.0, 4, 0.0, 2.0, 5, control);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      EXPECT_NEAR(surface.At(static_cast<double>(i), 2.0 * j),
+                  static_cast<double>(i * 10 + j), 1e-12);
+    }
+  }
+}
+
+TEST(BicubicSurfaceTest, ReproducesBilinearFunction) {
+  // f(x, y) = 2x + 3y + 1 is reproduced exactly by Catmull-Rom bicubic.
+  std::vector<double> control;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      control.push_back(2.0 * i + 3.0 * j + 1.0);
+    }
+  }
+  BicubicSurface surface(0.0, 1.0, 5, 0.0, 1.0, 5, control);
+  for (double x = 0.0; x <= 4.0; x += 0.25) {
+    for (double y = 0.0; y <= 4.0; y += 0.25) {
+      EXPECT_NEAR(surface.At(x, y), 2.0 * x + 3.0 * y + 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(BicubicSurfaceTest, ApproximatesSmoothSurface) {
+  auto f = [](double x, double y) {
+    return std::exp(-0.1 * (x * x + y * y));
+  };
+  std::vector<double> control;
+  constexpr int kN = 9;
+  for (int i = 0; i < kN; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      control.push_back(f(-4.0 + i, -4.0 + j));
+    }
+  }
+  BicubicSurface surface(-4.0, 1.0, kN, -4.0, 1.0, kN, control);
+  for (double x = -4.0; x <= 4.0; x += 0.5) {
+    for (double y = -4.0; y <= 4.0; y += 0.5) {
+      EXPECT_NEAR(surface.At(x, y), f(x, y), 0.02);
+    }
+  }
+}
+
+TEST(BicubicSurfaceTest, ClampsOutsideDomain) {
+  std::vector<double> control(4, 7.0);
+  BicubicSurface surface(0.0, 1.0, 2, 0.0, 1.0, 2, control);
+  EXPECT_DOUBLE_EQ(surface.At(-5.0, -5.0), 7.0);
+  EXPECT_DOUBLE_EQ(surface.At(5.0, 5.0), 7.0);
+}
+
+TEST(CatmullRomTest, InterpolatesEndpointsOfSegment) {
+  EXPECT_DOUBLE_EQ(CatmullRom(0.0, 1.0, 2.0, 3.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(CatmullRom(0.0, 1.0, 2.0, 3.0, 1.0), 2.0);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sjoin/common/rng.h"
+#include "sjoin/engine/join_simulator.h"
+#include "sjoin/policies/lfu_policy.h"
+#include "sjoin/policies/life_policy.h"
+#include "sjoin/policies/prob_policy.h"
+#include "sjoin/policies/random_policy.h"
+
+namespace sjoin {
+namespace {
+
+bool Contains(const std::vector<TupleId>& ids, TupleId id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+
+TEST(RandomPolicyTest, RespectsCapacityAndIsDeterministicPerSeed) {
+  JoinSimulator sim({.capacity = 3, .warmup = 0});
+  RandomPolicy a(42);
+  RandomPolicy b(42);
+  std::vector<Value> r = {1, 2, 3, 4, 5, 1, 2, 3};
+  std::vector<Value> s = {5, 4, 3, 2, 1, 5, 4, 3};
+  auto ra = sim.Run(r, s, a);
+  auto rb = sim.Run(r, s, b);
+  EXPECT_EQ(ra.total_results, rb.total_results);
+}
+
+TEST(RandomPolicyTest, ResetRestoresSeed) {
+  JoinSimulator sim({.capacity = 2, .warmup = 0});
+  RandomPolicy policy(7);
+  std::vector<Value> r = {1, 2, 3, 1, 2, 3};
+  std::vector<Value> s = {3, 2, 1, 3, 2, 1};
+  auto first = sim.Run(r, s, policy);
+  auto second = sim.Run(r, s, policy);  // Run() calls Reset().
+  EXPECT_EQ(first.total_results, second.total_results);
+}
+
+TEST(RandomPolicyTest, LifetimeAwareEvictsExpiredFirst) {
+  // With assumed lifetime 0, any tuple older than the current step ranks
+  // below every fresh arrival, so the cache only ever holds the two
+  // newest tuples.
+  JoinSimulator sim({.capacity = 2, .warmup = 0});
+  RandomPolicy policy(1, Time{0});
+  auto result = sim.Run({1, 9, 1}, {8, 8, 7}, policy);
+  EXPECT_EQ(result.total_results, 0);
+}
+
+TEST(ProbPolicyTest, KeepsTuplesWithFrequentPartnerValues) {
+  ProbPolicy policy;
+  policy.Reset();
+  StreamHistory history_r({1, 2});
+  StreamHistory history_s({7, 1});
+  std::vector<Tuple> cached = {{0, StreamSide::kR, 1, 0},
+                               {1, StreamSide::kS, 7, 0}};
+  std::vector<Tuple> arrivals = {{2, StreamSide::kR, 2, 1},
+                                 {3, StreamSide::kS, 1, 1}};
+  PolicyContext ctx;
+  ctx.now = 1;
+  ctx.capacity = 2;
+  ctx.cached = &cached;
+  ctx.arrivals = &arrivals;
+  ctx.history_r = &history_r;
+  ctx.history_s = &history_s;
+  auto retained = policy.SelectRetained(ctx);
+  ASSERT_EQ(retained.size(), 2u);
+  // Frequencies: R(1) -> 1 appears in S half the time (0.5);
+  // S(1) -> 1 appears in R half the time (0.5); the others 0.
+  EXPECT_TRUE(Contains(retained, 0));
+  EXPECT_TRUE(Contains(retained, 3));
+}
+
+TEST(ProbPolicyTest, WindowedContextExpiresOldTuples) {
+  ProbPolicy policy;
+  policy.Reset();
+  StreamHistory history_r({1, 1, 1});
+  StreamHistory history_s({1, 1, 1});
+  // R(1) from t=0 is outside window 1 at now=2; fresh R(1) is not.
+  std::vector<Tuple> cached = {{0, StreamSide::kR, 1, 0}};
+  std::vector<Tuple> arrivals = {{4, StreamSide::kR, 1, 2},
+                                 {5, StreamSide::kS, 1, 2}};
+  PolicyContext ctx;
+  ctx.now = 2;
+  ctx.capacity = 1;
+  ctx.cached = &cached;
+  ctx.arrivals = &arrivals;
+  ctx.history_r = &history_r;
+  ctx.history_s = &history_s;
+  ctx.window = 1;
+  auto retained = policy.SelectRetained(ctx);
+  ASSERT_EQ(retained.size(), 1u);
+  EXPECT_NE(retained[0], 0u);  // The expired tuple is discarded.
+}
+
+TEST(LifePolicyTest, EqualFrequencyPrefersLongerRemainingLife) {
+  LifePolicy policy(/*lifetime=*/5);
+  policy.Reset();
+  StreamHistory history_r({1, 1, 1, 1});
+  StreamHistory history_s({1, 2, 2, 2});
+  // Same side, same value, different ages.
+  std::vector<Tuple> cached = {{0, StreamSide::kR, 1, 0}};
+  std::vector<Tuple> arrivals = {{6, StreamSide::kR, 1, 3},
+                                 {7, StreamSide::kS, 2, 3}};
+  PolicyContext ctx;
+  ctx.now = 3;
+  ctx.capacity = 1;
+  ctx.cached = &cached;
+  ctx.arrivals = &arrivals;
+  ctx.history_r = &history_r;
+  ctx.history_s = &history_s;
+  auto retained = policy.SelectRetained(ctx);
+  ASSERT_EQ(retained.size(), 1u);
+  // R(1) tuples have partner frequency 1/4; the newer one has remaining
+  // life 5 vs 2, so its p*l score wins. (S(2) has frequency 3/4 in R? No:
+  // S tuples join R; value 2 appears 0 times in R.)
+  EXPECT_EQ(retained[0], 6u);
+}
+
+TEST(LifePolicyTest, ScoresZeroOnceExpired) {
+  JoinSimulator sim({.capacity = 2, .warmup = 0});
+  LifePolicy policy(/*lifetime=*/1);
+  auto result = sim.Run({1, 9, 9}, {8, 8, 1}, policy);
+  // R(1)'s assumed life ends before S(1) arrives at t=2; LIFE evicted it
+  // at t=1 in favor of fresh arrivals, so no results are produced.
+  EXPECT_EQ(result.total_results, 0);
+}
+
+TEST(LifePolicyTest, WindowCapsAssumedLifetime) {
+  LifePolicy policy(/*lifetime=*/100);
+  policy.Reset();
+  StreamHistory history_r({3, 3});
+  StreamHistory history_s({3, 3});
+  std::vector<Tuple> cached = {{0, StreamSide::kR, 3, 0}};
+  std::vector<Tuple> arrivals = {{2, StreamSide::kR, 3, 1},
+                                 {3, StreamSide::kS, 9, 1}};
+  PolicyContext ctx;
+  ctx.now = 1;
+  ctx.capacity = 1;
+  ctx.cached = &cached;
+  ctx.arrivals = &arrivals;
+  ctx.history_r = &history_r;
+  ctx.history_s = &history_s;
+  ctx.window = 1;  // Effective lifetime becomes 1.
+  auto retained = policy.SelectRetained(ctx);
+  ASSERT_EQ(retained.size(), 1u);
+  // Old R(3): remaining = 1 - 1 = 0 -> expired. New R(3) wins.
+  EXPECT_EQ(retained[0], 2u);
+}
+
+TEST(PerfectLfuTest, RanksByGlobalFrequency) {
+  std::vector<Value> sequence = {1, 1, 1, 2, 2, 3};
+  PerfectLfuCachingPolicy policy(sequence);
+  CachingContext ctx;
+  std::vector<Value> cached = {2, 3};
+  StreamHistory history({1});
+  ctx.cached = &cached;
+  ctx.referenced = 1;
+  ctx.hit = false;
+  ctx.capacity = 2;
+  ctx.history = &history;
+  auto retained = policy.SelectRetained(ctx);
+  ASSERT_EQ(retained.size(), 2u);
+  // Frequencies: 1 -> 0.5, 2 -> 1/3, 3 -> 1/6; keep {1, 2}.
+  EXPECT_TRUE(std::find(retained.begin(), retained.end(), 1) !=
+              retained.end());
+  EXPECT_TRUE(std::find(retained.begin(), retained.end(), 2) !=
+              retained.end());
+}
+
+}  // namespace
+}  // namespace sjoin

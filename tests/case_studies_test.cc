@@ -1,0 +1,170 @@
+// Section 5 case studies: the framework's dominance tests rederive the
+// classic optimal policies in each scenario.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sjoin/core/dominance.h"
+#include "sjoin/core/ecb.h"
+#include "sjoin/stochastic/linear_trend_process.h"
+#include "sjoin/stochastic/offline_process.h"
+#include "sjoin/stochastic/random_walk_process.h"
+#include "sjoin/stochastic/stationary_process.h"
+
+namespace sjoin {
+namespace {
+
+// --- 5.1 Offline streams -------------------------------------------------
+
+TEST(OfflineCaseStudy, CachingDominanceIsTotalOrderByForwardDistance) {
+  // ECBs are single-step functions; dominance orders by next reference
+  // time, recovering Belady's LFD.
+  OfflineProcess reference({4, 1, 2, 3, 1, 2, 4});
+  StreamHistory history({4});
+  constexpr Time kHorizon = 6;
+  auto b1 = MakeCachingEcb(reference, history, 0, 1, kHorizon);  // Next t=1.
+  auto b2 = MakeCachingEcb(reference, history, 0, 2, kHorizon);  // t=2.
+  auto b3 = MakeCachingEcb(reference, history, 0, 3, kHorizon);  // t=3.
+  auto b4 = MakeCachingEcb(reference, history, 0, 4, kHorizon);  // t=6.
+  EXPECT_TRUE(MeansDominates(CompareEcb(b1, b2, kHorizon)));
+  EXPECT_TRUE(MeansDominates(CompareEcb(b2, b3, kHorizon)));
+  EXPECT_TRUE(MeansDominates(CompareEcb(b3, b4, kHorizon)));
+  EXPECT_FALSE(MeansDominates(CompareEcb(b4, b3, kHorizon)));
+}
+
+TEST(OfflineCaseStudy, JoiningEcbsAreStepFunctionsAndMayBeIncomparable) {
+  // S produces 7 early once; 8 late twice: step curves cross.
+  OfflineProcess partner({0, 7, 0, 0, 8, 8});
+  StreamHistory history({0});
+  constexpr Time kHorizon = 5;
+  auto b7 = MakeJoiningEcb(partner, history, 0, 7, kHorizon);
+  auto b8 = MakeJoiningEcb(partner, history, 0, 8, kHorizon);
+  EXPECT_DOUBLE_EQ(b7.At(1), 1.0);
+  EXPECT_DOUBLE_EQ(b7.At(5), 1.0);
+  EXPECT_DOUBLE_EQ(b8.At(3), 0.0);
+  EXPECT_DOUBLE_EQ(b8.At(5), 2.0);
+  EXPECT_EQ(CompareEcb(b7, b8, kHorizon), Dominance::kIncomparable);
+}
+
+// --- 5.2 Stationary independent streams ----------------------------------
+
+TEST(StationaryCaseStudy, CachingDominanceOrdersByReferenceProbability) {
+  StationaryProcess reference(
+      DiscreteDistribution::FromMasses(0, {0.5, 0.3, 0.2}));
+  StreamHistory history({0});
+  constexpr Time kHorizon = 50;
+  auto b0 = MakeCachingEcb(reference, history, 0, 0, kHorizon);
+  auto b1 = MakeCachingEcb(reference, history, 0, 1, kHorizon);
+  auto b2 = MakeCachingEcb(reference, history, 0, 2, kHorizon);
+  // A0 / LFU: discard the lowest reference probability.
+  EXPECT_EQ(CompareEcb(b0, b1, kHorizon), Dominance::kStrictlyDominates);
+  EXPECT_EQ(CompareEcb(b1, b2, kHorizon), Dominance::kStrictlyDominates);
+}
+
+TEST(StationaryCaseStudy, JoiningDominanceOrdersByMatchProbability) {
+  StationaryProcess partner(
+      DiscreteDistribution::FromMasses(0, {0.5, 0.3, 0.2}));
+  StreamHistory history({0});
+  constexpr Time kHorizon = 50;
+  auto b0 = MakeJoiningEcb(partner, history, 0, 0, kHorizon);
+  auto b1 = MakeJoiningEcb(partner, history, 0, 1, kHorizon);
+  // PROB: B(dt) = p * dt, totally ordered by p.
+  EXPECT_EQ(CompareEcb(b0, b1, kHorizon), Dominance::kStrictlyDominates);
+}
+
+// --- 5.3 Linear trend, bounded uniform noise ------------------------------
+
+class TrendUniformCaseStudy : public ::testing::Test {
+ protected:
+  static constexpr Value kW = 5;
+  static constexpr Time kT0 = 50;
+  static constexpr Time kHorizon = 30;
+
+  TrendUniformCaseStudy()
+      : reference_(1.0, 0.0,
+                   DiscreteDistribution::BoundedUniform(-kW, kW)) {}
+
+  TabulatedEcb CachingEcbOf(Value v) {
+    StreamHistory empty;
+    return MakeCachingEcb(reference_, empty, kT0, v, kHorizon);
+  }
+
+  LinearTrendProcess reference_;
+};
+
+TEST_F(TrendUniformCaseStudy, Category1TuplesHaveZeroEcb) {
+  // v < f(t0) - w: the window has passed; ECB identically zero.
+  auto missed = CachingEcbOf(kT0 - kW - 3);
+  EXPECT_DOUBLE_EQ(missed.At(kHorizon), 0.0);
+}
+
+TEST_F(TrendUniformCaseStudy, SmallestValueIsOptimalDiscard) {
+  // Section 5.3: discard the tuple with the smallest join attribute value.
+  std::vector<Value> values = {kT0 - kW - 2, kT0 - 2, kT0 + 1, kT0 + kW};
+  for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+    auto lo = CachingEcbOf(values[i]);
+    auto hi = CachingEcbOf(values[i + 1]);
+    EXPECT_TRUE(MeansDominates(CompareEcb(hi, lo, kHorizon)))
+        << values[i + 1] << " should dominate " << values[i];
+  }
+}
+
+// --- 5.4 Linear trend, bounded normal noise --------------------------------
+
+TEST(TrendNormalCaseStudy, FartherBehindTheTrendIsDominated) {
+  // Appendix P: for two R tuples both left of f_S(t), the farther one is
+  // strictly dominated.
+  LinearTrendProcess s(1.0, 0.0, DiscreteDistribution::TruncatedDiscretizedNormal(
+                                     0.0, 2.0, -10, 10));
+  StreamHistory empty;
+  constexpr Time kT0 = 100;
+  constexpr Time kHorizon = 25;
+  auto near_behind = MakeJoiningEcb(s, empty, kT0, kT0 - 3, kHorizon);
+  auto far_behind = MakeJoiningEcb(s, empty, kT0, kT0 - 7, kHorizon);
+  EXPECT_TRUE(MeansDominates(CompareEcb(near_behind, far_behind, kHorizon)));
+}
+
+TEST(TrendNormalCaseStudy, AheadVersusBehindMayBeIncomparable) {
+  // A tuple close behind the moving pdf scores now; one ahead scores later:
+  // the curves cross (the x vs z dilemma of Section 4.1).
+  LinearTrendProcess s(1.0, 0.0, DiscreteDistribution::TruncatedDiscretizedNormal(
+                                     0.0, 2.0, -10, 10));
+  StreamHistory empty;
+  constexpr Time kT0 = 100;
+  constexpr Time kHorizon = 25;
+  auto behind = MakeJoiningEcb(s, empty, kT0, kT0 + 1, kHorizon);
+  auto ahead = MakeJoiningEcb(s, empty, kT0, kT0 + 9, kHorizon);
+  EXPECT_EQ(CompareEcb(behind, ahead, kHorizon), Dominance::kIncomparable);
+}
+
+// --- 5.5 Random walk -------------------------------------------------------
+
+TEST(WalkCaseStudy, JoiningEcbRanksByDistanceForZeroDrift) {
+  RandomWalkProcess walk(DiscreteDistribution::DiscretizedNormal(0.0, 1.0),
+                         0);
+  StreamHistory history({10});  // Walk currently at 10; t0 = 0.
+  constexpr Time kHorizon = 30;
+  auto at10 = MakeJoiningEcb(walk, history, 0, 10, kHorizon);
+  auto at12 = MakeJoiningEcb(walk, history, 0, 12, kHorizon);
+  auto at15 = MakeJoiningEcb(walk, history, 0, 15, kHorizon);
+  EXPECT_TRUE(MeansDominates(CompareEcb(at10, at12, kHorizon)));
+  EXPECT_TRUE(MeansDominates(CompareEcb(at12, at15, kHorizon)));
+  auto at8 = MakeJoiningEcb(walk, history, 0, 8, kHorizon);
+  EXPECT_TRUE(MeansDominates(CompareEcb(at8, at15, kHorizon)));
+}
+
+TEST(WalkCaseStudy, DriftBreaksDominanceBetweenStraddlingValues) {
+  // Appendix Q: with positive drift, a value just behind the walk beats a
+  // value ahead early but loses later — incomparable.
+  RandomWalkProcess walk(DiscreteDistribution::DiscretizedNormal(1.0, 1.0),
+                         0);
+  StreamHistory history({0});
+  constexpr Time kHorizon = 30;
+  auto behind = MakeJoiningEcb(walk, history, 0, 1, kHorizon);
+  auto ahead = MakeJoiningEcb(walk, history, 0, 12, kHorizon);
+  EXPECT_EQ(CompareEcb(behind, ahead, kHorizon), Dominance::kIncomparable);
+}
+
+}  // namespace
+}  // namespace sjoin

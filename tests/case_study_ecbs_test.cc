@@ -1,0 +1,103 @@
+#include "sjoin/core/case_study_ecbs.h"
+
+#include <gtest/gtest.h>
+
+#include "sjoin/core/dominance.h"
+#include "sjoin/stochastic/linear_trend_process.h"
+#include "sjoin/stochastic/offline_process.h"
+#include "sjoin/stochastic/stationary_process.h"
+
+namespace sjoin {
+namespace {
+
+TEST(OfflineCachingEcbTest, SingleStep) {
+  OfflineCachingEcb ecb(3);
+  EXPECT_DOUBLE_EQ(ecb.At(1), 0.0);
+  EXPECT_DOUBLE_EQ(ecb.At(2), 0.0);
+  EXPECT_DOUBLE_EQ(ecb.At(3), 1.0);
+  EXPECT_DOUBLE_EQ(ecb.At(100), 1.0);
+}
+
+TEST(OfflineCachingEcbTest, NeverReferencedIsZero) {
+  OfflineCachingEcb ecb(0);
+  EXPECT_DOUBLE_EQ(ecb.At(1), 0.0);
+  EXPECT_DOUBLE_EQ(ecb.At(1000), 0.0);
+}
+
+TEST(OfflineCachingEcbTest, MatchesGenericTabulation) {
+  OfflineProcess reference({9, 8, 7, 5, 6});
+  StreamHistory history({9});
+  auto generic = MakeCachingEcb(reference, history, 0, 5, 4);
+  OfflineCachingEcb closed(3);  // Value 5 next referenced at t = 3.
+  for (Time dt = 1; dt <= 4; ++dt) {
+    EXPECT_DOUBLE_EQ(closed.At(dt), generic.At(dt)) << dt;
+  }
+}
+
+TEST(OfflineJoiningEcbTest, StepPerOccurrence) {
+  OfflineJoiningEcb ecb({2, 5, 6});
+  EXPECT_DOUBLE_EQ(ecb.At(1), 0.0);
+  EXPECT_DOUBLE_EQ(ecb.At(2), 1.0);
+  EXPECT_DOUBLE_EQ(ecb.At(4), 1.0);
+  EXPECT_DOUBLE_EQ(ecb.At(5), 2.0);
+  EXPECT_DOUBLE_EQ(ecb.At(6), 3.0);
+  EXPECT_DOUBLE_EQ(ecb.At(99), 3.0);
+}
+
+TEST(OfflineJoiningEcbTest, MatchesGenericTabulation) {
+  OfflineProcess partner({0, 7, 0, 7, 7});
+  StreamHistory history({0});
+  auto generic = MakeJoiningEcb(partner, history, 0, 7, 4);
+  OfflineJoiningEcb closed({1, 3, 4});
+  for (Time dt = 1; dt <= 4; ++dt) {
+    EXPECT_DOUBLE_EQ(closed.At(dt), generic.At(dt)) << dt;
+  }
+}
+
+TEST(StationaryEcbsTest, MatchGenericTabulation) {
+  auto dist = DiscreteDistribution::FromMasses(0, {0.25, 0.75});
+  StationaryProcess process(dist);
+  StreamHistory history({0});
+  auto generic_join = MakeJoiningEcb(process, history, 5, 1, 30);
+  auto generic_cache = MakeCachingEcb(process, history, 5, 1, 30);
+  StationaryJoiningEcb closed_join(0.75);
+  StationaryCachingEcb closed_cache(0.75);
+  for (Time dt = 1; dt <= 30; ++dt) {
+    EXPECT_NEAR(closed_join.At(dt), generic_join.At(dt), 1e-12);
+    EXPECT_NEAR(closed_cache.At(dt), generic_cache.At(dt), 1e-12);
+  }
+}
+
+TEST(TrendUniformJoiningEcbTest, MatchesGenericForAllCategories) {
+  // Partner: trend f(t) = t, uniform noise on [-4, 4].
+  constexpr Value kW = 4;
+  constexpr Time kT0 = 200;
+  LinearTrendProcess partner(1.0, 0.0,
+                             DiscreteDistribution::BoundedUniform(-kW, kW));
+  StreamHistory empty;
+  // Offsets spanning missed / active / upcoming categories.
+  for (Value offset : {-7, -4, -1, 0, 2, 4, 5, 7, 9, 15}) {
+    Value v = kT0 + offset;
+    auto generic = MakeJoiningEcb(partner, empty, kT0, v, 25);
+    TrendUniformJoiningEcb closed(offset, kW);
+    for (Time dt = 1; dt <= 25; ++dt) {
+      EXPECT_NEAR(closed.At(dt), generic.At(dt), 1e-12)
+          << "offset=" << offset << " dt=" << dt;
+    }
+  }
+}
+
+TEST(TrendUniformJoiningEcbTest, CategoryDominanceStructure) {
+  constexpr Value kW = 4;
+  // Within the active category, larger offset dominates.
+  TrendUniformJoiningEcb behind(-2, kW);
+  TrendUniformJoiningEcb center(1, kW);
+  EXPECT_TRUE(MeansDominates(CompareEcb(center, behind, 30)));
+  // Active vs upcoming cross.
+  TrendUniformJoiningEcb active(2, kW);
+  TrendUniformJoiningEcb upcoming(8, kW);
+  EXPECT_EQ(CompareEcb(active, upcoming, 30), Dominance::kIncomparable);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,133 @@
+#include "sjoin/stochastic/discrete_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sjoin/common/rng.h"
+
+namespace sjoin {
+namespace {
+
+TEST(DiscreteDistributionTest, EmptyByDefault) {
+  DiscreteDistribution d;
+  EXPECT_TRUE(d.IsEmpty());
+  EXPECT_EQ(d.Prob(0), 0.0);
+  EXPECT_EQ(d.TotalMass(), 0.0);
+}
+
+TEST(DiscreteDistributionTest, FromMassesNormalizes) {
+  auto d = DiscreteDistribution::FromMasses(5, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(d.Prob(5), 0.25);
+  EXPECT_DOUBLE_EQ(d.Prob(6), 0.75);
+  EXPECT_DOUBLE_EQ(d.Prob(4), 0.0);
+  EXPECT_DOUBLE_EQ(d.Prob(7), 0.0);
+  EXPECT_NEAR(d.TotalMass(), 1.0, 1e-12);
+}
+
+TEST(DiscreteDistributionTest, AllZeroMassesYieldEmpty) {
+  auto d = DiscreteDistribution::FromMasses(0, {0.0, 0.0});
+  EXPECT_TRUE(d.IsEmpty());
+}
+
+TEST(DiscreteDistributionTest, PointMass) {
+  auto d = DiscreteDistribution::PointMass(-3);
+  EXPECT_DOUBLE_EQ(d.Prob(-3), 1.0);
+  EXPECT_DOUBLE_EQ(d.Mean(), -3.0);
+  EXPECT_DOUBLE_EQ(d.Variance(), 0.0);
+  EXPECT_EQ(d.MinValue(), -3);
+  EXPECT_EQ(d.MaxValue(), -3);
+}
+
+TEST(DiscreteDistributionTest, BoundedUniformMoments) {
+  auto d = DiscreteDistribution::BoundedUniform(-10, 10);
+  EXPECT_EQ(d.SupportSize(), 21u);
+  EXPECT_NEAR(d.Prob(0), 1.0 / 21.0, 1e-12);
+  EXPECT_NEAR(d.Mean(), 0.0, 1e-12);
+  // Variance of discrete uniform over [-w, w] is w(w+1)/3.
+  EXPECT_NEAR(d.Variance(), 10.0 * 11.0 / 3.0, 1e-9);
+}
+
+TEST(DiscreteDistributionTest, DiscretizedNormalMatchesMoments) {
+  auto d = DiscreteDistribution::DiscretizedNormal(2.5, 3.0);
+  EXPECT_NEAR(d.TotalMass(), 1.0, 1e-9);
+  EXPECT_NEAR(d.Mean(), 2.5, 1e-6);
+  // Discretization adds 1/12 to the variance.
+  EXPECT_NEAR(d.Variance(), 9.0 + 1.0 / 12.0, 1e-2);
+}
+
+TEST(DiscreteDistributionTest, TruncatedNormalRespectsBounds) {
+  auto d = DiscreteDistribution::TruncatedDiscretizedNormal(0.0, 5.0, -10, 10);
+  EXPECT_EQ(d.MinValue(), -10);
+  EXPECT_EQ(d.MaxValue(), 10);
+  EXPECT_NEAR(d.TotalMass(), 1.0, 1e-12);
+  EXPECT_GT(d.Prob(0), d.Prob(10));
+  EXPECT_NEAR(d.Prob(-7), d.Prob(7), 1e-12);
+}
+
+TEST(DiscreteDistributionTest, ShiftedBy) {
+  auto d = DiscreteDistribution::BoundedUniform(0, 4).ShiftedBy(100);
+  EXPECT_EQ(d.MinValue(), 100);
+  EXPECT_EQ(d.MaxValue(), 104);
+  EXPECT_NEAR(d.Prob(102), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(d.Prob(2), 0.0);
+}
+
+TEST(DiscreteDistributionTest, ConvolveUniformPair) {
+  auto d = DiscreteDistribution::BoundedUniform(0, 1);
+  auto sum = d.Convolve(d);  // Two fair coins: {0:1/4, 1:1/2, 2:1/4}.
+  EXPECT_NEAR(sum.Prob(0), 0.25, 1e-12);
+  EXPECT_NEAR(sum.Prob(1), 0.5, 1e-12);
+  EXPECT_NEAR(sum.Prob(2), 0.25, 1e-12);
+  EXPECT_NEAR(sum.Mean(), 1.0, 1e-12);
+}
+
+TEST(DiscreteDistributionTest, ConvolveMeansAndVariancesAdd) {
+  auto a = DiscreteDistribution::BoundedUniform(-2, 5);
+  auto b = DiscreteDistribution::FromMasses(1, {0.5, 0.2, 0.3});
+  auto sum = a.Convolve(b);
+  EXPECT_NEAR(sum.Mean(), a.Mean() + b.Mean(), 1e-9);
+  EXPECT_NEAR(sum.Variance(), a.Variance() + b.Variance(), 1e-9);
+  EXPECT_NEAR(sum.TotalMass(), 1.0, 1e-9);
+}
+
+TEST(DiscreteDistributionTest, OverlapProb) {
+  auto a = DiscreteDistribution::BoundedUniform(0, 9);   // 1/10 each.
+  auto b = DiscreteDistribution::BoundedUniform(5, 14);  // 1/10 each.
+  // Shared support 5..9: 5 * (1/10 * 1/10).
+  EXPECT_NEAR(a.OverlapProb(b), 0.05, 1e-12);
+  EXPECT_NEAR(b.OverlapProb(a), 0.05, 1e-12);
+  auto far = DiscreteDistribution::BoundedUniform(100, 110);
+  EXPECT_DOUBLE_EQ(a.OverlapProb(far), 0.0);
+}
+
+TEST(DiscreteDistributionTest, OverlapWithSelfIsCollisionProbability) {
+  auto d = DiscreteDistribution::FromMasses(0, {0.5, 0.3, 0.2});
+  EXPECT_NEAR(d.OverlapProb(d), 0.25 + 0.09 + 0.04, 1e-12);
+}
+
+TEST(DiscreteDistributionTest, SampleFollowsDistribution) {
+  auto d = DiscreteDistribution::FromMasses(0, {0.7, 0.0, 0.3});
+  Rng rng(42);
+  int counts[3] = {0, 0, 0};
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    Value v = d.Sample(rng);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 2);
+    ++counts[v];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kDraws, 0.7, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kDraws, 0.3, 0.02);
+}
+
+TEST(DiscreteDistributionTest, SampleIsDeterministicPerSeed) {
+  auto d = DiscreteDistribution::BoundedUniform(0, 1000);
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.Sample(a), d.Sample(b));
+}
+
+}  // namespace
+}  // namespace sjoin

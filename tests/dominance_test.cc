@@ -1,0 +1,128 @@
+#include "sjoin/core/dominance.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace sjoin {
+namespace {
+
+TEST(CompareEcbTest, Equal) {
+  TabulatedEcb a({0.1, 0.2, 0.3});
+  TabulatedEcb b({0.1, 0.2, 0.3});
+  EXPECT_EQ(CompareEcb(a, b, 3), Dominance::kEqual);
+  EXPECT_TRUE(MeansDominates(CompareEcb(a, b, 3)));
+}
+
+TEST(CompareEcbTest, StrictDominance) {
+  TabulatedEcb a({0.2, 0.4, 0.6});
+  TabulatedEcb b({0.1, 0.2, 0.3});
+  EXPECT_EQ(CompareEcb(a, b, 3), Dominance::kStrictlyDominates);
+  EXPECT_EQ(CompareEcb(b, a, 3), Dominance::kStrictlyDominatedBy);
+}
+
+TEST(CompareEcbTest, WeakDominance) {
+  TabulatedEcb a({0.1, 0.4, 0.6});
+  TabulatedEcb b({0.1, 0.2, 0.3});
+  EXPECT_EQ(CompareEcb(a, b, 3), Dominance::kDominates);
+  EXPECT_EQ(CompareEcb(b, a, 3), Dominance::kDominatedBy);
+}
+
+TEST(CompareEcbTest, CrossingCurvesAreIncomparable) {
+  // The x vs z dilemma of Figure 2: z starts higher, x ends higher.
+  TabulatedEcb x({0.1, 0.3, 0.9});
+  TabulatedEcb z({0.5, 0.6, 0.6});
+  EXPECT_EQ(CompareEcb(x, z, 3), Dominance::kIncomparable);
+}
+
+TEST(CompareEcbTest, HorizonMatters) {
+  TabulatedEcb x({0.1, 0.3, 0.9});
+  TabulatedEcb z({0.5, 0.6, 0.6});
+  // Looking only one step ahead, z dominates.
+  EXPECT_EQ(CompareEcb(x, z, 1), Dominance::kStrictlyDominatedBy);
+}
+
+// Section 4.2's example: w dominates all; x and z incomparable; y dominated
+// by all.
+class WxyzTest : public ::testing::Test {
+ protected:
+  WxyzTest()
+      : w_({0.9, 1.2, 1.5}),
+        x_({0.1, 0.3, 0.9}),
+        y_({0.05, 0.1, 0.15}),
+        z_({0.5, 0.6, 0.6}) {}
+  TabulatedEcb w_, x_, y_, z_;
+};
+
+TEST_F(WxyzTest, PairwiseRelations) {
+  EXPECT_TRUE(MeansDominates(CompareEcb(w_, x_, 3)));
+  EXPECT_TRUE(MeansDominates(CompareEcb(w_, y_, 3)));
+  EXPECT_TRUE(MeansDominates(CompareEcb(w_, z_, 3)));
+  EXPECT_TRUE(MeansDominates(CompareEcb(x_, y_, 3)));
+  EXPECT_TRUE(MeansDominates(CompareEcb(z_, y_, 3)));
+  EXPECT_EQ(CompareEcb(x_, z_, 3), Dominance::kIncomparable);
+}
+
+TEST_F(WxyzTest, DiscardThreeSelectsXYZ) {
+  std::vector<const EcbFn*> candidates = {&w_, &x_, &y_, &z_};
+  auto discard = FindDominatedSubset(candidates, 3, 3);
+  // Optimal to discard {x, y, z} (indices 1, 2, 3).
+  ASSERT_EQ(discard.size(), 3u);
+  EXPECT_TRUE(std::find(discard.begin(), discard.end(), 0u) ==
+              discard.end());
+}
+
+TEST_F(WxyzTest, DiscardTwoOnlyFindsY) {
+  std::vector<const EcbFn*> candidates = {&w_, &x_, &y_, &z_};
+  auto discard = FindDominatedSubset(candidates, 2, 3);
+  // y can safely go; x and z are mutually incomparable so neither fits
+  // without the other ("the choice between x and z is unclear").
+  ASSERT_EQ(discard.size(), 1u);
+  EXPECT_EQ(discard[0], 2u);
+}
+
+TEST(FindDominatedSubsetTest, TotallyOrderedChain) {
+  TabulatedEcb a({0.1});
+  TabulatedEcb b({0.2});
+  TabulatedEcb c({0.3});
+  TabulatedEcb d({0.4});
+  std::vector<const EcbFn*> candidates = {&c, &a, &d, &b};
+  auto discard = FindDominatedSubset(candidates, 2, 1);
+  // The two smallest (a at index 1 and b at index 3) are discardable.
+  ASSERT_EQ(discard.size(), 2u);
+  EXPECT_TRUE(std::find(discard.begin(), discard.end(), 1u) !=
+              discard.end());
+  EXPECT_TRUE(std::find(discard.begin(), discard.end(), 3u) !=
+              discard.end());
+}
+
+TEST(FindDominatedSubsetTest, ZeroBudgetReturnsEmpty) {
+  TabulatedEcb a({0.1});
+  std::vector<const EcbFn*> candidates = {&a};
+  EXPECT_TRUE(FindDominatedSubset(candidates, 0, 1).empty());
+}
+
+TEST(FindDominatedSubsetTest, ValidityInvariant) {
+  // Whatever the subset, every outsider must dominate every member.
+  TabulatedEcb a({0.1, 0.5});
+  TabulatedEcb b({0.3, 0.4});
+  TabulatedEcb c({0.35, 0.9});
+  TabulatedEcb d({0.05, 0.1});
+  std::vector<const EcbFn*> candidates = {&a, &b, &c, &d};
+  auto discard = FindDominatedSubset(candidates, 2, 2);
+  for (std::size_t member : discard) {
+    for (std::size_t outsider = 0; outsider < candidates.size();
+         ++outsider) {
+      if (std::find(discard.begin(), discard.end(), outsider) !=
+          discard.end()) {
+        continue;
+      }
+      EXPECT_TRUE(MeansDominates(CompareEcb(*candidates[outsider],
+                                            *candidates[member], 2)))
+          << outsider << " must dominate " << member;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sjoin

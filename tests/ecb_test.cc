@@ -1,0 +1,164 @@
+#include "sjoin/core/ecb.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sjoin/stochastic/linear_trend_process.h"
+#include "sjoin/stochastic/offline_process.h"
+#include "sjoin/stochastic/stationary_process.h"
+
+namespace sjoin {
+namespace {
+
+TEST(TabulatedEcbTest, ClampsBeyondHorizon) {
+  TabulatedEcb ecb({0.5, 1.0, 1.2});
+  EXPECT_DOUBLE_EQ(ecb.At(1), 0.5);
+  EXPECT_DOUBLE_EQ(ecb.At(3), 1.2);
+  EXPECT_DOUBLE_EQ(ecb.At(100), 1.2);
+}
+
+TEST(EcbTest, StationaryJoiningIsLinear) {
+  // Section 5.2: B_x(dt) = p(v) * dt.
+  StationaryProcess partner(DiscreteDistribution::BoundedUniform(0, 4));
+  StreamHistory history({1});
+  auto ecb = MakeJoiningEcb(partner, history, 0, 2, 10);
+  for (Time dt = 1; dt <= 10; ++dt) {
+    EXPECT_NEAR(ecb.At(dt), 0.2 * static_cast<double>(dt), 1e-12);
+  }
+}
+
+TEST(EcbTest, StationaryCachingIsGeometric) {
+  // Section 5.2: B_x(dt) = 1 - (1 - p(v))^dt.
+  StationaryProcess reference(DiscreteDistribution::BoundedUniform(0, 4));
+  StreamHistory history({1});
+  auto ecb = MakeCachingEcb(reference, history, 0, 2, 10);
+  for (Time dt = 1; dt <= 10; ++dt) {
+    EXPECT_NEAR(ecb.At(dt),
+                1.0 - std::pow(0.8, static_cast<double>(dt)), 1e-12);
+  }
+}
+
+TEST(EcbTest, OfflineCachingIsSingleStep) {
+  // Section 5.1: a single step from 0 to 1 at dt = t_x - t0.
+  OfflineProcess reference({5, 6, 7, 5, 8});
+  StreamHistory history({5});  // Current time t0 = 0.
+  auto ecb = MakeCachingEcb(reference, history, 0, 5, 4);
+  EXPECT_DOUBLE_EQ(ecb.At(1), 0.0);  // t=1 -> 6.
+  EXPECT_DOUBLE_EQ(ecb.At(2), 0.0);  // t=2 -> 7.
+  EXPECT_DOUBLE_EQ(ecb.At(3), 1.0);  // t=3 -> 5: referenced.
+  EXPECT_DOUBLE_EQ(ecb.At(4), 1.0);
+}
+
+TEST(EcbTest, OfflineJoiningIsMultiStep) {
+  // Section 5.1: one unit step per future occurrence.
+  OfflineProcess partner({9, 4, 9, 4, 4});
+  StreamHistory history({9});
+  auto ecb = MakeJoiningEcb(partner, history, 0, 4, 4);
+  EXPECT_DOUBLE_EQ(ecb.At(1), 1.0);
+  EXPECT_DOUBLE_EQ(ecb.At(2), 1.0);
+  EXPECT_DOUBLE_EQ(ecb.At(3), 2.0);
+  EXPECT_DOUBLE_EQ(ecb.At(4), 3.0);
+}
+
+// Section 5.3 / Appendix O: joining ECBs under linear trend with bounded
+// uniform noise, trend f(t) = t, R noise [-wR, wR], S noise [-wS, wS].
+class FloorEcbTest : public ::testing::Test {
+ protected:
+  static constexpr Value kWr = 3;
+  static constexpr Value kWs = 5;
+  static constexpr Time kT0 = 100;
+  static constexpr Time kHorizon = 40;
+
+  FloorEcbTest()
+      : r_process_(1.0, 0.0, DiscreteDistribution::BoundedUniform(-kWr, kWr)),
+        s_process_(1.0, 0.0,
+                   DiscreteDistribution::BoundedUniform(-kWs, kWs)) {}
+
+  // ECB of an R tuple with value v (joins future S arrivals).
+  TabulatedEcb REcb(Value v) {
+    StreamHistory empty;
+    return MakeJoiningEcb(s_process_, empty, kT0, v, kHorizon);
+  }
+  // ECB of an S tuple with value v (joins future R arrivals).
+  TabulatedEcb SEcb(Value v) {
+    StreamHistory empty;
+    return MakeJoiningEcb(r_process_, empty, kT0, v, kHorizon);
+  }
+
+  LinearTrendProcess r_process_;
+  LinearTrendProcess s_process_;
+};
+
+TEST_F(FloorEcbTest, CategoryR1HasZeroEcb) {
+  // v <= t0 - wS: already missed the S window.
+  auto ecb = REcb(kT0 - kWs);
+  EXPECT_DOUBLE_EQ(ecb.At(kHorizon), 0.0);
+}
+
+TEST_F(FloorEcbTest, CategoryR2MatchesClosedForm) {
+  // v in (t0 - wS, t0 + wR]: B(dt) = dt / (2wS+1) until dt = v - (t0-wS),
+  // flat afterwards.
+  Value v = kT0 + 1;
+  auto ecb = REcb(v);
+  double rate = 1.0 / (2.0 * kWs + 1.0);
+  Time cutoff = v - (kT0 - kWs);
+  for (Time dt = 1; dt <= kHorizon; ++dt) {
+    double expected = rate * static_cast<double>(std::min(dt, cutoff));
+    EXPECT_NEAR(ecb.At(dt), expected, 1e-12) << "dt=" << dt;
+  }
+}
+
+TEST_F(FloorEcbTest, CategoryS2MatchesClosedForm) {
+  // v in (t0 - wR, t0 + wR + 1]: B(dt) = dt / (2wR+1) until the R window
+  // passes, i.e. cutoff v - (t0 - wR).
+  Value v = kT0;
+  auto ecb = SEcb(v);
+  double rate = 1.0 / (2.0 * kWr + 1.0);
+  Time cutoff = v - (kT0 - kWr);
+  for (Time dt = 1; dt <= kHorizon; ++dt) {
+    double expected = rate * static_cast<double>(std::min(dt, cutoff));
+    EXPECT_NEAR(ecb.At(dt), expected, 1e-12) << "dt=" << dt;
+  }
+}
+
+TEST_F(FloorEcbTest, CategoryS3StartsDelayed) {
+  // v in (t0 + wR + 1, t0 + wS]: zero until the R window reaches v, then
+  // grows at rate 1/(2wR+1), then flattens.
+  Value v = kT0 + kWr + 3;
+  auto ecb = SEcb(v);
+  double rate = 1.0 / (2.0 * kWr + 1.0);
+  for (Time dt = 1; dt <= kHorizon; ++dt) {
+    double expected;
+    Time start = v - (kT0 + kWr);  // First dt with positive probability.
+    Time end = v - (kT0 - kWr);    // Last dt with positive probability.
+    if (dt < start) {
+      expected = 0.0;
+    } else if (dt <= end) {
+      expected = rate * static_cast<double>(dt - start + 1);
+    } else {
+      expected = rate * static_cast<double>(end - start + 1);
+    }
+    EXPECT_NEAR(ecb.At(dt), expected, 1e-12) << "dt=" << dt;
+  }
+}
+
+TEST(WindowedEcbTest, ExpiredTupleHasZeroEcb) {
+  TabulatedEcb base({0.5, 1.0, 1.5, 2.0});
+  // Arrived at 0, window 2, now 5: expired.
+  auto windowed = MakeWindowedEcb(base, 0, 5, 2, 4);
+  for (Time dt = 1; dt <= 4; ++dt) EXPECT_DOUBLE_EQ(windowed.At(dt), 0.0);
+}
+
+TEST(WindowedEcbTest, CapsAtRemainingLife) {
+  TabulatedEcb base({0.5, 1.0, 1.5, 2.0});
+  // Arrived at 0, window 2, now 0: remaining life 2.
+  auto windowed = MakeWindowedEcb(base, 0, 0, 2, 4);
+  EXPECT_DOUBLE_EQ(windowed.At(1), 0.5);
+  EXPECT_DOUBLE_EQ(windowed.At(2), 1.0);
+  EXPECT_DOUBLE_EQ(windowed.At(3), 1.0);  // min(B(3), B(2)).
+  EXPECT_DOUBLE_EQ(windowed.At(4), 1.0);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,191 @@
+#include "sjoin/core/flow_expect_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sjoin/common/rng.h"
+#include "sjoin/engine/join_simulator.h"
+#include "sjoin/policies/opt_offline_policy.h"
+#include "sjoin/stochastic/offline_process.h"
+#include "sjoin/stochastic/scripted_process.h"
+#include "sjoin/stochastic/stationary_process.h"
+
+namespace sjoin {
+namespace {
+
+// Unique sentinel values standing for the paper's "-" tuples (they join
+// nothing).
+constexpr Value kNoMatchBase = -1000;
+
+TEST(FlowExpectTest, KeepsHighProbabilityTupleOneStep) {
+  // Trivial l=1 sanity: keep the tuple most likely to join next step.
+  auto dist = DiscreteDistribution::FromMasses(0, {0.9, 0.1});
+  StationaryProcess r(dist);
+  StationaryProcess s(dist);
+  FlowExpectPolicy policy(&r, &s, {.lookahead = 1});
+
+  StreamHistory history_r({0});
+  StreamHistory history_s({1});
+  std::vector<Tuple> cached;
+  std::vector<Tuple> arrivals = {{0, StreamSide::kR, 0, 0},
+                                 {1, StreamSide::kS, 1, 0}};
+  PolicyContext ctx;
+  ctx.now = 0;
+  ctx.capacity = 1;
+  ctx.cached = &cached;
+  ctx.arrivals = &arrivals;
+  ctx.history_r = &history_r;
+  ctx.history_s = &history_s;
+  auto retained = policy.SelectRetained(ctx);
+  ASSERT_EQ(retained.size(), 1u);
+  // R(0) joins next S arrival with p=0.9; S(1) joins next R with p=0.1.
+  EXPECT_EQ(retained[0], 0u);
+}
+
+// Section 3.4's counter-example. Cache holds one tuple; at t0 the cache
+// contains an R tuple with value 1. Futures:
+//   time   | new R tuple           | new S tuple
+//   t0     | -                     | 2
+//   t0+1   | 2                     | 3 w.p. 0.5 (- otherwise)
+//   t0+2   | 3                     | 1 w.p. 0.8 (- otherwise)
+//   t0+3   | 2 w.p. 0.5 (-)       | 1 w.p. 0.8 (- otherwise)
+// Best predetermined sequence: keep R(1) forever (expected 1.6), so
+// FlowExpect keeps R(1); but the adaptive strategy scores 1.75.
+class Section34Fixture : public ::testing::Test {
+ protected:
+  Section34Fixture() {
+    // t0 = 0 here.
+    // The paper's "-" placeholders are realized as values that no other
+    // tuple ever takes (10, 11, 12, 13 below), so they join nothing.
+    std::vector<DiscreteDistribution> r_script;
+    r_script.push_back(DiscreteDistribution::PointMass(kNoMatchBase));
+    r_script.push_back(DiscreteDistribution::PointMass(2));
+    r_script.push_back(DiscreteDistribution::PointMass(3));
+    // R at t0+3: 2 w.p. 0.5, "-"(=10) otherwise.
+    r_script.push_back(DiscreteDistribution::FromMasses(
+        2, {0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.5}));
+    ScriptedProcess r(r_script);
+
+    std::vector<DiscreteDistribution> s_script;
+    s_script.push_back(DiscreteDistribution::PointMass(2));
+    // S at t0+1: 3 w.p. 0.5, "-"(=11) otherwise.
+    s_script.push_back(DiscreteDistribution::FromMasses(
+        3, {0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.5}));  // {3,.5;11,.5}
+    // S at t0+2: 1 w.p. 0.8, "-"(=12) otherwise.
+    s_script.push_back(DiscreteDistribution::FromMasses(
+        1, {0.8, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.2}));
+    // S at t0+3: 1 w.p. 0.8, "-"(=13) otherwise.
+    s_script.push_back(DiscreteDistribution::FromMasses(
+        1, {0.8, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+            0.2}));
+    ScriptedProcess s(s_script);
+
+    r_process_ = r.Clone();
+    s_process_ = s.Clone();
+  }
+
+  std::unique_ptr<StochasticProcess> r_process_;
+  std::unique_ptr<StochasticProcess> s_process_;
+};
+
+TEST_F(Section34Fixture, FlowExpectKeepsCachedRTuple) {
+  FlowExpectPolicy policy(r_process_.get(), s_process_.get(),
+                          {.lookahead = 3});
+  // Cache: R tuple with value 1 (arrived earlier, id 100). Arrivals at t0:
+  // R "-" tuple and S tuple with value 2.
+  StreamHistory history_r({kNoMatchBase});
+  StreamHistory history_s({2});
+  std::vector<Tuple> cached = {{100, StreamSide::kR, 1, -1}};
+  std::vector<Tuple> arrivals = {{0, StreamSide::kR, kNoMatchBase, 0},
+                                 {1, StreamSide::kS, 2, 0}};
+  PolicyContext ctx;
+  ctx.now = 0;
+  ctx.capacity = 1;
+  ctx.cached = &cached;
+  ctx.arrivals = &arrivals;
+  ctx.history_r = &history_r;
+  ctx.history_s = &history_s;
+  auto retained = policy.SelectRetained(ctx);
+  ASSERT_EQ(retained.size(), 1u);
+  // FlowExpect picks the predetermined sequence with expected benefit 1.6:
+  // keep the cached R(1).
+  EXPECT_EQ(retained[0], 100u);
+}
+
+TEST_F(Section34Fixture, AdaptiveStrategyBeatsBestPredeterminedSequence) {
+  // Verify the example's arithmetic from the process definitions.
+  StreamHistory empty;
+  auto s1 = s_process_->Predict(empty, 1);
+  auto s2 = s_process_->Predict(empty, 2);
+  auto s3 = s_process_->Predict(empty, 3);
+  auto r1 = r_process_->Predict(empty, 1);
+  auto r3 = r_process_->Predict(empty, 3);
+
+  // Sequence A: always keep cached R(1): joins S at t0+2 and t0+3.
+  double seq_keep = s2.Prob(1) + s3.Prob(1);
+  EXPECT_NEAR(seq_keep, 1.6, 1e-12);
+
+  // Sequence B: take S(2) at t0, keep it: joins R(2) at t0+1 (certain) and
+  // R at t0+3 with probability 0.5.
+  double seq_take2 = r1.Prob(2) + r3.Prob(2);
+  EXPECT_NEAR(seq_take2, 1.5, 1e-12);
+
+  // Sequence C: take S(2), then replace with the S tuple at t0+1; expected
+  // benefit 1 (at t0+1) + Pr{S_{t0+1}=3} * Pr{R_{t0+2}=3}.
+  double seq_take_then_switch =
+      r1.Prob(2) + s1.Prob(3) * 1.0;  // R at t0+2 is 3 with certainty.
+  EXPECT_NEAR(seq_take_then_switch, 1.5, 1e-12);
+
+  // Adaptive strategy: take S(2); at t0+1 switch only if the observed S
+  // tuple is 3. Expected: 0.5 * (1 + 1) + 0.5 * (1 + 0.5) = 1.75.
+  double adaptive = s1.Prob(3) * (r1.Prob(2) + 1.0) +
+                    (1.0 - s1.Prob(3)) * (r1.Prob(2) + r3.Prob(2) * 1.0);
+  EXPECT_NEAR(adaptive, 1.75, 1e-12);
+  EXPECT_GT(adaptive, seq_keep);
+}
+
+TEST(FlowExpectTest, OfflineStreamsMatchOptOffline) {
+  // Section 5.1: with deterministic streams FlowExpect degenerates into
+  // OPT-offline; with look-ahead covering the whole stream, the counts
+  // must match the optimum.
+  Rng rng(55);
+  for (int trial = 0; trial < 5; ++trial) {
+    Time len = 12;
+    std::vector<Value> r, s;
+    for (Time t = 0; t < len; ++t) {
+      r.push_back(rng.UniformInt(0, 3));
+      s.push_back(rng.UniformInt(0, 3));
+    }
+    OfflineProcess r_process(r);
+    OfflineProcess s_process(s);
+    FlowExpectPolicy flow_expect(&r_process, &s_process,
+                                 {.lookahead = len});
+    OptOfflinePolicy opt(r, s, 2);
+    JoinSimulator sim({.capacity = 2, .warmup = 0});
+    auto fe_result = sim.Run(r, s, flow_expect);
+    auto opt_result = sim.Run(r, s, opt);
+    EXPECT_EQ(fe_result.total_results, opt_result.total_results)
+        << "trial " << trial;
+  }
+}
+
+TEST(FlowExpectTest, LongerLookaheadHelpsOnDelayedPayoff) {
+  // A myopic l=1 FlowExpect cannot see a payoff two steps out.
+  //   R: 5  -  -  5 ... keeping S(5) (arriving t0) pays at t=3 only.
+  std::vector<Value> r = {9, 7, 7, 5};
+  std::vector<Value> s = {5, 8, 8, 8};
+  OfflineProcess r_process(r);
+  OfflineProcess s_process(s);
+  JoinSimulator sim({.capacity = 1, .warmup = 0});
+
+  FlowExpectPolicy myopic(&r_process, &s_process, {.lookahead = 1});
+  FlowExpectPolicy deep(&r_process, &s_process, {.lookahead = 4});
+  auto myopic_result = sim.Run(r, s, myopic);
+  auto deep_result = sim.Run(r, s, deep);
+  EXPECT_GE(deep_result.total_results, myopic_result.total_results);
+  EXPECT_EQ(deep_result.total_results, 1);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,168 @@
+#include "sjoin/core/heeb_caching_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sjoin/common/rng.h"
+#include "sjoin/core/precompute.h"
+#include "sjoin/engine/cache_simulator.h"
+#include "sjoin/policies/lfd_policy.h"
+#include "sjoin/policies/lfu_policy.h"
+#include "sjoin/stochastic/ar1_process.h"
+#include "sjoin/stochastic/offline_process.h"
+#include "sjoin/stochastic/random_walk_process.h"
+#include "sjoin/stochastic/stationary_process.h"
+#include "sjoin/stochastic/stream_sampler.h"
+
+namespace sjoin {
+namespace {
+
+TEST(HeebCachingPolicyTest, TimeIncrementalMatchesDirect) {
+  StationaryProcess reference(
+      DiscreteDistribution::FromMasses(0, {0.4, 0.3, 0.2, 0.05, 0.05}));
+  Rng rng(31);
+  auto refs = SampleRealization(reference, 400, rng);
+
+  HeebCachingPolicy::Options options;
+  options.alpha = 6.0;
+  options.horizon = 250;
+
+  options.mode = HeebCachingPolicy::Mode::kDirect;
+  HeebCachingPolicy direct(&reference, options);
+  options.mode = HeebCachingPolicy::Mode::kTimeIncremental;
+  HeebCachingPolicy incremental(&reference, options);
+
+  CacheSimulator sim({.capacity = 2, .warmup = 0});
+  EXPECT_EQ(sim.Run(refs, direct).hits, sim.Run(refs, incremental).hits);
+}
+
+TEST(HeebCachingPolicyTest, StationaryRanksLikeA0) {
+  // Section 5.2: optimal to discard the lowest reference probability.
+  StationaryProcess reference(
+      DiscreteDistribution::FromMasses(0, {0.5, 0.3, 0.2}));
+  HeebCachingPolicy::Options options;
+  options.alpha = 10.0;
+  HeebCachingPolicy policy(&reference, options);
+
+  StreamHistory history({0});
+  std::vector<Value> cached = {1, 2};
+  CachingContext ctx;
+  ctx.now = 0;
+  ctx.capacity = 2;
+  ctx.cached = &cached;
+  ctx.referenced = 0;
+  ctx.hit = false;
+  ctx.history = &history;
+  auto retained = policy.SelectRetained(ctx);
+  ASSERT_EQ(retained.size(), 2u);
+  // Keep 0 (p=.5) and 1 (p=.3); discard 2 (p=.2).
+  EXPECT_TRUE((retained[0] == 0 && retained[1] == 1) ||
+              (retained[0] == 1 && retained[1] == 0));
+}
+
+TEST(HeebCachingPolicyTest, OfflineBehavesLikeLfd) {
+  // Section 5.1: with deterministic futures HEEB reproduces LFD decisions,
+  // hence the same hit count.
+  OfflineProcess reference(
+      {1, 2, 3, 1, 2, 1, 3, 2, 1, 3, 3, 2, 1, 2, 3, 1, 1, 2});
+  const auto& seq = reference.sequence();
+
+  HeebCachingPolicy::Options options;
+  options.mode = HeebCachingPolicy::Mode::kDirect;
+  options.alpha = 6.0;
+  options.horizon = 30;
+  HeebCachingPolicy heeb(&reference, options);
+  LfdCachingPolicy lfd(seq);
+
+  CacheSimulator sim({.capacity = 2, .warmup = 0});
+  EXPECT_EQ(sim.Run(seq, heeb).hits, sim.Run(seq, lfd).hits);
+}
+
+TEST(HeebCachingPolicyTest, WalkTableAgreesWithEvaluatorFromDp) {
+  RandomWalkProcess reference(
+      DiscreteDistribution::DiscretizedNormal(0.0, 1.0), 0);
+  Rng rng(32);
+  auto refs = SampleRealization(reference, 250, rng);
+
+  HeebCachingPolicy::Options table_options;
+  table_options.mode = HeebCachingPolicy::Mode::kWalkTable;
+  table_options.alpha = 8.0;
+  table_options.horizon = 40;
+  table_options.walk_max_offset = 30;
+  HeebCachingPolicy table_policy(&reference, table_options);
+
+  // Equivalent evaluator built from the same DP table.
+  ExpLifetime lifetime(8.0);
+  OffsetTable dp = PrecomputeWalkCachingHeeb(reference, lifetime, 40, 30);
+  HeebCachingPolicy::Options eval_options;
+  eval_options.mode = HeebCachingPolicy::Mode::kEvaluator;
+  eval_options.alpha = 8.0;
+  eval_options.evaluator = [&dp](Value v, Value last) {
+    return dp.At(v - last);
+  };
+  HeebCachingPolicy eval_policy(nullptr, eval_options);
+
+  CacheSimulator sim({.capacity = 4, .warmup = 0});
+  EXPECT_EQ(sim.Run(refs, table_policy).hits,
+            sim.Run(refs, eval_policy).hits);
+}
+
+TEST(HeebCachingPolicyTest, ZeroDriftWalkRanksByDistance) {
+  // Section 5.5: zero drift + symmetric unimodal steps => rank candidates
+  // by |v - current|; HEEB must agree with this optimal rule.
+  RandomWalkProcess reference(
+      DiscreteDistribution::DiscretizedNormal(0.0, 1.0), 0);
+  HeebCachingPolicy::Options options;
+  options.mode = HeebCachingPolicy::Mode::kWalkTable;
+  options.alpha = 10.0;
+  options.horizon = 60;
+  options.walk_max_offset = 40;
+  HeebCachingPolicy policy(&reference, options);
+
+  StreamHistory history({0, 1, 0});
+  std::vector<Value> cached = {2, -1, 5, -8};
+  CachingContext ctx;
+  ctx.now = 2;
+  ctx.capacity = 3;
+  ctx.cached = &cached;
+  ctx.referenced = 0;
+  ctx.hit = false;
+  ctx.history = &history;  // Current position 0.
+  auto retained = policy.SelectRetained(ctx);
+  ASSERT_EQ(retained.size(), 3u);
+  // Keep the three closest to 0: {0, -1, 2}; discard 5 and -8.
+  for (Value v : retained) {
+    EXPECT_TRUE(v == 0 || v == -1 || v == 2) << v;
+  }
+}
+
+TEST(HeebCachingPolicyTest, Ar1SurfacePolicyBeatsLfuOnWanderingStream) {
+  // An AR(1) with slow mean reversion has locality that frequency-based
+  // policies miss.
+  Ar1Process reference(0.0, 0.95, 3.0, 0);
+  Rng rng(33);
+  auto refs = SampleRealization(reference, 1500, rng);
+
+  ExpLifetime lifetime(20.0);
+  HeebSurfaceTable surface = PrecomputeAr1CachingSurface(
+      reference, lifetime, /*horizon=*/80, /*v_min=*/-80, /*v_max=*/80,
+      /*x_min=*/-80, /*x_max=*/80, /*x_step=*/8, /*paths=*/300, /*seed=*/7);
+
+  HeebCachingPolicy::Options options;
+  options.mode = HeebCachingPolicy::Mode::kEvaluator;
+  options.alpha = 20.0;
+  options.evaluator = [&surface](Value v, Value last) {
+    return surface.At(v, last);
+  };
+  HeebCachingPolicy heeb(nullptr, options);
+  LfuCachingPolicy lfu;
+
+  CacheSimulator sim({.capacity = 20, .warmup = 80});
+  auto heeb_result = sim.Run(refs, heeb);
+  auto lfu_result = sim.Run(refs, lfu);
+  EXPECT_GT(heeb_result.counted_hits, lfu_result.counted_hits);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,194 @@
+// End-to-end experiments at reduced scale: the qualitative shapes from the
+// paper's evaluation (Section 6) must hold.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sjoin/common/rng.h"
+#include "sjoin/core/flow_expect_policy.h"
+#include "sjoin/core/heeb_join_policy.h"
+#include "sjoin/engine/join_simulator.h"
+#include "sjoin/policies/life_policy.h"
+#include "sjoin/policies/opt_offline_policy.h"
+#include "sjoin/policies/prob_policy.h"
+#include "sjoin/policies/random_policy.h"
+#include "sjoin/stochastic/linear_trend_process.h"
+#include "sjoin/stochastic/seasonal_process.h"
+#include "sjoin/stochastic/stream_sampler.h"
+
+namespace sjoin {
+namespace {
+
+struct TowerConfig {
+  // TOWER (Section 6.1): linear trend speed 1, R lags S by one step, noise
+  // bounds [-10,10] and [-15,15], normal sd 1 and 2.
+  TowerConfig()
+      : r(1.0, -1.0,
+          DiscreteDistribution::TruncatedDiscretizedNormal(0.0, 1.0, -10,
+                                                           10)),
+        s(1.0, 0.0,
+          DiscreteDistribution::TruncatedDiscretizedNormal(0.0, 2.0, -15,
+                                                           15)) {}
+  LinearTrendProcess r;
+  LinearTrendProcess s;
+};
+
+class TowerIntegrationTest : public ::testing::Test {
+ protected:
+  static constexpr Time kLen = 600;
+  static constexpr std::size_t kCache = 10;
+  static constexpr int kRuns = 3;
+
+  std::int64_t Total(ReplacementPolicy& policy, std::uint64_t seed) const {
+    TowerConfig config;
+    Rng rng(seed);
+    JoinSimulator sim({.capacity = kCache,
+                       .warmup = static_cast<Time>(4 * kCache)});
+    std::int64_t total = 0;
+    for (int run = 0; run < kRuns; ++run) {
+      auto pair = SampleStreamPair(config.r, config.s, kLen, rng);
+      total += sim.Run(pair.r, pair.s, policy).counted_results;
+    }
+    return total;
+  }
+
+  std::int64_t OptTotal(std::uint64_t seed) const {
+    TowerConfig config;
+    Rng rng(seed);
+    JoinSimulator sim({.capacity = kCache,
+                       .warmup = static_cast<Time>(4 * kCache)});
+    std::int64_t total = 0;
+    for (int run = 0; run < kRuns; ++run) {
+      auto pair = SampleStreamPair(config.r, config.s, kLen, rng);
+      OptOfflinePolicy opt(pair.r, pair.s, kCache);
+      total += sim.Run(pair.r, pair.s, opt).counted_results;
+    }
+    return total;
+  }
+};
+
+TEST_F(TowerIntegrationTest, HeebBeatsRandProbAndLife) {
+  TowerConfig config;
+  HeebJoinPolicy::Options options;
+  options.alpha = ExpLifetime::AlphaForAverageLifetime(12.5);
+  options.mode = HeebJoinPolicy::Mode::kTimeIncremental;
+  HeebJoinPolicy heeb(&config.r, &config.s, options);
+  RandomPolicy rand(9, Time{25});
+  ProbPolicy prob(Time{25});
+  LifePolicy life(25);
+
+  std::int64_t heeb_total = Total(heeb, 1000);
+  EXPECT_GT(heeb_total, Total(rand, 1000));
+  EXPECT_GT(heeb_total, Total(prob, 1000));
+  EXPECT_GT(heeb_total, Total(life, 1000));
+}
+
+TEST_F(TowerIntegrationTest, OptOfflineUpperBoundsEveryOnlinePolicy) {
+  TowerConfig config;
+  std::int64_t opt_total = OptTotal(2000);
+  HeebJoinPolicy::Options options;
+  options.alpha = ExpLifetime::AlphaForAverageLifetime(12.5);
+  HeebJoinPolicy heeb(&config.r, &config.s, options);
+  RandomPolicy rand(10, Time{25});
+  EXPECT_GE(opt_total, Total(heeb, 2000));
+  EXPECT_GE(opt_total, Total(rand, 2000));
+}
+
+TEST_F(TowerIntegrationTest, MoreMemoryNeverHurtsMuch) {
+  // Figures 9-12: performance grows with cache size. Allow tiny noise by
+  // comparing small vs large caches.
+  TowerConfig config;
+  Rng rng(3000);
+  auto pair = SampleStreamPair(config.r, config.s, kLen, rng);
+  HeebJoinPolicy::Options options;
+  options.alpha = ExpLifetime::AlphaForAverageLifetime(12.5);
+  HeebJoinPolicy heeb(&config.r, &config.s, options);
+
+  JoinSimulator small({.capacity = 2, .warmup = 40});
+  JoinSimulator large({.capacity = 30, .warmup = 40});
+  auto small_result = small.Run(pair.r, pair.s, heeb);
+  auto large_result = large.Run(pair.r, pair.s, heeb);
+  EXPECT_GT(large_result.counted_results, small_result.counted_results);
+}
+
+TEST(MemoryAllocationTest, HeebGivesLessCacheToLaggingStream) {
+  // Figure 14: when R lags S, HEEB allocates less memory to R tuples.
+  auto noise = [] {
+    return DiscreteDistribution::TruncatedDiscretizedNormal(0.0, 2.0, -10,
+                                                            10);
+  };
+  LinearTrendProcess r_lagged(1.0, -4.0, noise());
+  LinearTrendProcess s(1.0, 0.0, noise());
+
+  HeebJoinPolicy::Options options;
+  options.alpha = ExpLifetime::AlphaForAverageLifetime(10.0);
+  HeebJoinPolicy heeb(&r_lagged, &s, options);
+
+  Rng rng(4000);
+  auto pair = SampleStreamPair(r_lagged, s, 400, rng);
+  JoinSimulator sim({.capacity = 10,
+                     .warmup = 40,
+                     .window = std::nullopt,
+                     .track_cache_composition = true});
+  auto result = sim.Run(pair.r, pair.s, heeb);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t t = 100; t < result.r_fraction_by_time.size(); ++t) {
+    sum += result.r_fraction_by_time[t];
+    ++count;
+  }
+  double mean_fraction = sum / static_cast<double>(count);
+  // A lagging R stream's tuples are mostly behind S's window: under half
+  // the cache goes to R.
+  EXPECT_LT(mean_fraction, 0.45);
+}
+
+TEST(SeasonalIntegrationTest, HeebHandlesNonMonotoneTrends) {
+  // The generic framework needs no monotonicity: two seasonal streams a
+  // quarter period apart. PROB's history frequencies are diluted over the
+  // whole cycle; HEEB predicts where the windows will overlap.
+  auto noise = [] {
+    return DiscreteDistribution::TruncatedDiscretizedNormal(0.0, 2.0, -8,
+                                                            8);
+  };
+  SeasonalProcess r(100.0, 25.0, 80.0, 0.0, noise());
+  SeasonalProcess s(100.0, 25.0, 80.0, 0.4, noise());
+  Rng rng(6000);
+  std::int64_t heeb_total = 0;
+  std::int64_t prob_total = 0;
+  std::int64_t rand_total = 0;
+  JoinSimulator sim({.capacity = 8, .warmup = 40});
+  for (int run = 0; run < 3; ++run) {
+    auto pair = SampleStreamPair(r, s, 600, rng);
+    HeebJoinPolicy::Options options;
+    options.mode = HeebJoinPolicy::Mode::kTimeIncremental;
+    options.alpha = ExpLifetime::AlphaForAverageLifetime(10.0);
+    options.horizon = 120;
+    HeebJoinPolicy heeb(&r, &s, options);
+    ProbPolicy prob;
+    RandomPolicy rand(static_cast<std::uint64_t>(run));
+    heeb_total += sim.Run(pair.r, pair.s, heeb).counted_results;
+    prob_total += sim.Run(pair.r, pair.s, prob).counted_results;
+    rand_total += sim.Run(pair.r, pair.s, rand).counted_results;
+  }
+  EXPECT_GT(heeb_total, prob_total);
+  EXPECT_GT(heeb_total, rand_total);
+}
+
+TEST(FlowExpectIntegrationTest, ReasonableLookaheadBeatsRandom) {
+  TowerConfig config;
+  Rng rng(5000);
+  auto pair = SampleStreamPair(config.r, config.s, 150, rng);
+  JoinSimulator sim({.capacity = 5, .warmup = 20});
+
+  FlowExpectPolicy flow_expect(&config.r, &config.s, {.lookahead = 6});
+  RandomPolicy rand(11, Time{25});
+  auto fe = sim.Run(pair.r, pair.s, flow_expect);
+  auto rd = sim.Run(pair.r, pair.s, rand);
+  EXPECT_GT(fe.counted_results, rd.counted_results);
+}
+
+}  // namespace
+}  // namespace sjoin

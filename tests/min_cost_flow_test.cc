@@ -1,0 +1,183 @@
+#include "sjoin/flow/min_cost_flow.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "sjoin/common/rng.h"
+#include "sjoin/flow/flow_graph.h"
+
+namespace sjoin {
+namespace {
+
+// Optimality certificate: a flow of value f is minimum-cost among flows of
+// value f iff the residual graph contains no negative-cost cycle.
+bool ResidualHasNegativeCycle(const FlowGraph& graph) {
+  int n = graph.NumNodes();
+  std::vector<double> dist(static_cast<std::size_t>(n), 0.0);
+  for (int round = 0; round < n; ++round) {
+    bool changed = false;
+    for (int u = 0; u < n; ++u) {
+      for (const FlowGraph::Arc& arc : graph.AdjacencyOf(u)) {
+        if (arc.capacity <= 0) continue;
+        double nd = dist[static_cast<std::size_t>(u)] + arc.cost;
+        if (nd < dist[static_cast<std::size_t>(arc.to)] - 1e-9) {
+          dist[static_cast<std::size_t>(arc.to)] = nd;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) return false;
+  }
+  return true;
+}
+
+TEST(FlowGraphTest, ArcAndResidualBookkeeping) {
+  FlowGraph graph;
+  NodeId a = graph.AddNode();
+  NodeId b = graph.AddNode();
+  std::int32_t arc = graph.AddArc(a, b, 3, 1.5);
+  EXPECT_EQ(graph.FlowOn(a, arc), 0);
+  EXPECT_EQ(graph.NumNodes(), 2);
+  EXPECT_EQ(graph.AdjacencyOf(a).size(), 1u);
+  EXPECT_EQ(graph.AdjacencyOf(b).size(), 1u);  // Residual twin.
+  EXPECT_FALSE(graph.AdjacencyOf(b)[0].is_forward);
+}
+
+TEST(MinCostFlowTest, SingleArc) {
+  FlowGraph graph;
+  NodeId s = graph.AddNode();
+  NodeId t = graph.AddNode();
+  std::int32_t arc = graph.AddArc(s, t, 5, 2.0);
+  auto result = SolveMinCostFlow(graph, s, t, 3);
+  EXPECT_EQ(result.flow, 3);
+  EXPECT_DOUBLE_EQ(result.cost, 6.0);
+  EXPECT_EQ(graph.FlowOn(s, arc), 3);
+}
+
+TEST(MinCostFlowTest, PrefersCheaperPath) {
+  FlowGraph graph;
+  NodeId s = graph.AddNode();
+  NodeId a = graph.AddNode();
+  NodeId b = graph.AddNode();
+  NodeId t = graph.AddNode();
+  graph.AddArc(s, a, 1, 0.0);
+  graph.AddArc(a, t, 1, 10.0);
+  graph.AddArc(s, b, 1, 0.0);
+  graph.AddArc(b, t, 1, 1.0);
+  auto result = SolveMinCostFlow(graph, s, t, 1);
+  EXPECT_EQ(result.flow, 1);
+  EXPECT_DOUBLE_EQ(result.cost, 1.0);
+}
+
+TEST(MinCostFlowTest, NegativeCostsHandled) {
+  FlowGraph graph;
+  NodeId s = graph.AddNode();
+  NodeId a = graph.AddNode();
+  NodeId b = graph.AddNode();
+  NodeId t = graph.AddNode();
+  graph.AddArc(s, a, 2, 0.0);
+  graph.AddArc(a, b, 2, -5.0);
+  graph.AddArc(b, t, 2, 0.0);
+  graph.AddArc(s, t, 2, -1.0);
+  auto result = SolveMinCostFlow(graph, s, t, 2);
+  EXPECT_EQ(result.flow, 2);
+  EXPECT_DOUBLE_EQ(result.cost, -10.0);
+}
+
+TEST(MinCostFlowTest, InfeasibleTargetReturnsMaxFlow) {
+  FlowGraph graph;
+  NodeId s = graph.AddNode();
+  NodeId t = graph.AddNode();
+  graph.AddArc(s, t, 2, 1.0);
+  auto result = SolveMinCostFlow(graph, s, t, 10);
+  EXPECT_EQ(result.flow, 2);
+  EXPECT_DOUBLE_EQ(result.cost, 2.0);
+}
+
+TEST(MinCostFlowTest, RerouteThroughResidualArcs) {
+  // Classic instance where the second augmentation must push back along
+  // the first path's residual arcs.
+  FlowGraph graph;
+  NodeId s = graph.AddNode();
+  NodeId a = graph.AddNode();
+  NodeId b = graph.AddNode();
+  NodeId t = graph.AddNode();
+  graph.AddArc(s, a, 1, 1.0);
+  graph.AddArc(s, b, 1, 4.0);
+  graph.AddArc(a, b, 1, -3.0);
+  graph.AddArc(a, t, 1, 10.0);
+  graph.AddArc(b, t, 2, 1.0);
+  auto result = SolveMinCostFlow(graph, s, t, 2);
+  EXPECT_EQ(result.flow, 2);
+  // Optimal: s-a-b-t (cost -1) and s-b-t (cost 5) = 4.
+  EXPECT_DOUBLE_EQ(result.cost, 4.0);
+  EXPECT_FALSE(ResidualHasNegativeCycle(graph));
+}
+
+TEST(MinCostFlowTest, RandomDagsSatisfyOptimalityCertificate) {
+  Rng rng(123);
+  for (int trial = 0; trial < 40; ++trial) {
+    FlowGraph graph;
+    int layers = 4;
+    int width = 3;
+    std::vector<std::vector<NodeId>> layer_nodes(
+        static_cast<std::size_t>(layers));
+    NodeId s = graph.AddNode();
+    NodeId t = graph.AddNode();
+    for (int l = 0; l < layers; ++l) {
+      for (int w = 0; w < width; ++w) {
+        layer_nodes[static_cast<std::size_t>(l)].push_back(graph.AddNode());
+      }
+    }
+    for (NodeId n : layer_nodes[0]) graph.AddArc(s, n, 1, 0.0);
+    for (NodeId n : layer_nodes.back()) graph.AddArc(n, t, 1, 0.0);
+    for (int l = 0; l + 1 < layers; ++l) {
+      for (NodeId u : layer_nodes[static_cast<std::size_t>(l)]) {
+        for (NodeId v : layer_nodes[static_cast<std::size_t>(l + 1)]) {
+          if (rng.UniformReal() < 0.7) {
+            double cost = static_cast<double>(rng.UniformInt(-5, 5));
+            graph.AddArc(u, v, 1, cost);
+          }
+        }
+      }
+    }
+    auto result = SolveMinCostFlow(graph, s, t, 3);
+    EXPECT_FALSE(ResidualHasNegativeCycle(graph))
+        << "trial " << trial << " flow " << result.flow;
+  }
+}
+
+TEST(MinCostFlowTest, IntegralFlowOnUnitCapacityGraph) {
+  FlowGraph graph;
+  NodeId s = graph.AddNode();
+  NodeId t = graph.AddNode();
+  std::vector<std::pair<NodeId, std::int32_t>> arcs;
+  for (int i = 0; i < 4; ++i) {
+    NodeId mid = graph.AddNode();
+    std::int32_t in = graph.AddArc(s, mid, 1, static_cast<double>(i) - 2.0);
+    graph.AddArc(mid, t, 1, 0.0);
+    arcs.push_back({s, in});
+  }
+  auto result = SolveMinCostFlow(graph, s, t, 2);
+  EXPECT_EQ(result.flow, 2);
+  EXPECT_DOUBLE_EQ(result.cost, -3.0);  // Costs -2 and -1.
+  for (auto [from, arc] : arcs) {
+    std::int64_t f = graph.FlowOn(from, arc);
+    EXPECT_TRUE(f == 0 || f == 1);
+  }
+}
+
+TEST(MinCostFlowTest, ZeroTargetFlow) {
+  FlowGraph graph;
+  NodeId s = graph.AddNode();
+  NodeId t = graph.AddNode();
+  graph.AddArc(s, t, 1, -100.0);
+  auto result = SolveMinCostFlow(graph, s, t, 0);
+  EXPECT_EQ(result.flow, 0);
+  EXPECT_DOUBLE_EQ(result.cost, 0.0);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,115 @@
+#include "sjoin/analysis/model_fit.h"
+
+#include <gtest/gtest.h>
+
+#include "sjoin/common/rng.h"
+#include "sjoin/stochastic/ar1_process.h"
+#include "sjoin/stochastic/linear_trend_process.h"
+#include "sjoin/stochastic/random_walk_process.h"
+#include "sjoin/stochastic/stationary_process.h"
+#include "sjoin/stochastic/stream_sampler.h"
+
+namespace sjoin {
+namespace {
+
+TEST(EmpiricalPmfTest, CountsWithSmoothing) {
+  auto pmf = EmpiricalPmf({5, 5, 6}, /*smoothing=*/0.0, /*pad=*/0);
+  EXPECT_NEAR(pmf.Prob(5), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pmf.Prob(6), 1.0 / 3.0, 1e-12);
+  auto smoothed = EmpiricalPmf({5, 5, 6}, /*smoothing=*/0.5, /*pad=*/1);
+  EXPECT_GT(smoothed.Prob(4), 0.0);
+  EXPECT_GT(smoothed.Prob(7), 0.0);
+  EXPECT_GT(smoothed.Prob(5), smoothed.Prob(6));
+  EXPECT_NEAR(smoothed.TotalMass(), 1.0, 1e-12);
+}
+
+TEST(FitTrendProcessTest, RecoversSlopeAndNoise) {
+  LinearTrendProcess truth(2.0, 5.0,
+                           DiscreteDistribution::BoundedUniform(-3, 3));
+  Rng rng(81);
+  auto series = SampleRealization(truth, 600, rng);
+  auto fitted = FitTrendProcess(series);
+  ASSERT_NE(fitted, nullptr);
+  const auto* trend = dynamic_cast<const LinearTrendProcess*>(fitted.get());
+  ASSERT_NE(trend, nullptr);
+  EXPECT_NEAR(trend->slope(), 2.0, 0.01);
+  EXPECT_NEAR(trend->intercept(), 5.0, 2.0);
+  EXPECT_NEAR(trend->noise().Variance(), 4.0, 0.6);  // w(w+1)/3 = 4.
+}
+
+TEST(FitWalkProcessTest, RecoversStepDistribution) {
+  RandomWalkProcess truth(DiscreteDistribution::DiscretizedNormal(0.5, 1.0),
+                          0);
+  Rng rng(82);
+  auto series = SampleRealization(truth, 2000, rng);
+  auto fitted = FitWalkProcess(series);
+  ASSERT_NE(fitted, nullptr);
+  const auto* walk = dynamic_cast<const RandomWalkProcess*>(fitted.get());
+  ASSERT_NE(walk, nullptr);
+  EXPECT_NEAR(walk->step().Mean(), 0.5, 0.1);
+  EXPECT_NEAR(walk->step().Variance(), 1.0 + 1.0 / 12.0, 0.2);
+}
+
+TEST(OneStepLogLikelihoodTest, TrueModelBeatsWrongModel) {
+  Ar1Process truth(2.0, 0.8, 3.0, 10);
+  Rng rng(83);
+  auto series = SampleRealization(truth, 800, rng);
+  StationaryProcess wrong(EmpiricalPmf(series));
+  double ll_truth = OneStepLogLikelihood(truth, series, 400);
+  double ll_wrong = OneStepLogLikelihood(wrong, series, 400);
+  EXPECT_GT(ll_truth, ll_wrong);
+}
+
+struct SelectCase {
+  const char* expected_family;
+  int seed;
+};
+
+class ModelSelectorTest : public ::testing::TestWithParam<SelectCase> {};
+
+TEST_P(ModelSelectorTest, PicksTheGeneratingFamily) {
+  const SelectCase& param = GetParam();
+  Rng rng(static_cast<std::uint64_t>(param.seed));
+  std::vector<Value> series;
+  std::string family = param.expected_family;
+  if (family == "stationary") {
+    StationaryProcess process(
+        DiscreteDistribution::FromMasses(0, {0.4, 0.3, 0.2, 0.1}));
+    series = SampleRealization(process, 1200, rng);
+  } else if (family == "trend") {
+    LinearTrendProcess process(1.5, 0.0,
+                               DiscreteDistribution::BoundedUniform(-5, 5));
+    series = SampleRealization(process, 1200, rng);
+  } else if (family == "walk") {
+    RandomWalkProcess process(
+        DiscreteDistribution::DiscretizedNormal(0.0, 2.0), 0);
+    series = SampleRealization(process, 1200, rng);
+  } else {
+    Ar1Process process(10.0, 0.6, 4.0, 25);
+    series = SampleRealization(process, 1200, rng);
+  }
+  auto selected = SelectModel(series);
+  ASSERT_TRUE(selected.has_value());
+  if (family == "walk") {
+    // A random walk is an AR(1) with phi1 = 1; either family is a correct
+    // identification.
+    EXPECT_TRUE(selected->family == "walk" || selected->family == "ar1")
+        << selected->family;
+  } else {
+    EXPECT_EQ(selected->family, family);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ModelSelectorTest,
+    ::testing::Values(SelectCase{"stationary", 1}, SelectCase{"trend", 2},
+                      SelectCase{"walk", 3}, SelectCase{"ar1", 4},
+                      SelectCase{"stationary", 5}, SelectCase{"trend", 6},
+                      SelectCase{"walk", 7}, SelectCase{"ar1", 8}));
+
+TEST(ModelSelectorTest2, TooShortSeriesRejected) {
+  EXPECT_FALSE(SelectModel({1, 2, 3}).has_value());
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,212 @@
+#include "sjoin/multi/multi_join_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "sjoin/common/rng.h"
+#include "sjoin/core/heeb_join_policy.h"
+#include "sjoin/engine/join_simulator.h"
+#include "sjoin/engine/scored_policy.h"
+#include "sjoin/multi/multi_heeb_policy.h"
+#include "sjoin/multi/multi_opt_offline_policy.h"
+#include "sjoin/policies/opt_offline_policy.h"
+#include "sjoin/stochastic/linear_trend_process.h"
+#include "sjoin/stochastic/stream_sampler.h"
+
+namespace sjoin {
+namespace {
+
+// A multi-policy that keeps the newest tuples.
+class MultiKeepNewest final : public MultiReplacementPolicy {
+ public:
+  const char* name() const override { return "KEEP-NEWEST"; }
+  std::vector<TupleId> SelectRetained(const MultiPolicyContext& ctx) override {
+    std::vector<MultiTuple> all = *ctx.cached;
+    all.insert(all.end(), ctx.arrivals->begin(), ctx.arrivals->end());
+    std::sort(all.begin(), all.end(),
+              [](const MultiTuple& a, const MultiTuple& b) {
+                if (a.arrival != b.arrival) return a.arrival > b.arrival;
+                return a.id > b.id;
+              });
+    std::vector<TupleId> retained;
+    for (std::size_t i = 0; i < std::min(ctx.capacity, all.size()); ++i) {
+      retained.push_back(all[i].id);
+    }
+    return retained;
+  }
+};
+
+TEST(MultiJoinSimulatorTest, TwoStreamsReduceToBinarySimulator) {
+  std::vector<Value> r = {1, 2, 3, 1, 2, 9, 1};
+  std::vector<Value> s = {9, 1, 1, 2, 1, 1, 3};
+
+  MultiJoinSimulator multi(2, {{0, 1}}, {.capacity = 3, .warmup = 2});
+  MultiKeepNewest multi_policy;
+  auto multi_result = multi.Run({r, s}, multi_policy);
+
+  // Binary equivalent with the keep-newest policy.
+  class KeepNewest final : public ScoredPolicy {
+   public:
+    const char* name() const override { return "KEEP-NEWEST"; }
+
+   protected:
+    double Score(const Tuple& tuple, const PolicyContext& ctx) override {
+      (void)ctx;
+      return static_cast<double>(tuple.arrival);
+    }
+  };
+  JoinSimulator binary({.capacity = 3, .warmup = 2});
+  KeepNewest binary_policy;
+  auto binary_result = binary.Run(r, s, binary_policy);
+
+  EXPECT_EQ(multi_result.total_results, binary_result.total_results);
+  EXPECT_EQ(multi_result.counted_results, binary_result.counted_results);
+}
+
+TEST(MultiJoinSimulatorTest, ChainJoinCountsBothEdges) {
+  // Streams 0-1-2 in a chain; stream 1's tuples join both neighbors.
+  //   t0: all distinct. t1: stream 0 and 2 both emit the value stream 1
+  //   emitted at t0 -> 2 results if it was cached.
+  std::vector<Value> s0 = {10, 5, 11};
+  std::vector<Value> s1 = {5, 20, 21};
+  std::vector<Value> s2 = {30, 5, 31};
+  MultiJoinSimulator sim(3, {{0, 1}, {1, 2}}, {.capacity = 9, .warmup = 0});
+  MultiKeepNewest policy;
+  auto result = sim.Run({s0, s1, s2}, policy);
+  // At t=1: cached s1(5) joins arrivals 0(5) and 2(5): +2. Also cached
+  // s0(10)/s2(30) join nothing. At t=2: nothing matches.
+  EXPECT_EQ(result.total_results, 2);
+}
+
+TEST(MultiJoinSimulatorTest, NonAdjacentStreamsDoNotJoin) {
+  // Chain 0-1-2: streams 0 and 2 never join each other.
+  std::vector<Value> s0 = {7, 7, 7};
+  std::vector<Value> s1 = {1, 2, 3};
+  std::vector<Value> s2 = {7, 7, 7};
+  MultiJoinSimulator sim(3, {{0, 1}, {1, 2}}, {.capacity = 9, .warmup = 0});
+  MultiKeepNewest policy;
+  auto result = sim.Run({s0, s1, s2}, policy);
+  EXPECT_EQ(result.total_results, 0);
+}
+
+TEST(MultiJoinSimulatorTest, WindowRestrictsJoins) {
+  std::vector<Value> s0 = {5, 0, 0, 0};
+  std::vector<Value> s1 = {9, 9, 9, 5};
+  MultiJoinSimulator no_window(2, {{0, 1}}, {.capacity = 8, .warmup = 0});
+  MultiJoinSimulator window(2, {{0, 1}},
+                            {.capacity = 8, .warmup = 0, .window = Time{2}});
+  MultiKeepNewest policy;
+  EXPECT_EQ(no_window.Run({s0, s1}, policy).total_results, 1);
+  EXPECT_EQ(window.Run({s0, s1}, policy).total_results, 0);
+}
+
+TEST(MultiHeebPolicyTest, MatchesBinaryHeebOnTwoStreams) {
+  LinearTrendProcess r(1.0, -1.0, DiscreteDistribution::TruncatedDiscretizedNormal(
+                                      0.0, 1.5, -10, 10));
+  LinearTrendProcess s(1.0, 0.0, DiscreteDistribution::TruncatedDiscretizedNormal(
+                                     0.0, 2.5, -15, 15));
+  Rng rng(91);
+  auto pair = SampleStreamPair(r, s, 300, rng);
+
+  MultiJoinSimulator multi(2, {{0, 1}}, {.capacity = 6, .warmup = 20});
+  MultiHeebPolicy multi_heeb({&r, &s}, &multi,
+                             {.alpha = 10.0, .horizon = 100});
+  auto multi_result = multi.Run({pair.r, pair.s}, multi_heeb);
+
+  JoinSimulator binary({.capacity = 6, .warmup = 20});
+  HeebJoinPolicy::Options options;
+  options.mode = HeebJoinPolicy::Mode::kDirect;
+  options.alpha = 10.0;
+  options.horizon = 100;
+  HeebJoinPolicy binary_heeb(&r, &s, options);
+  auto binary_result = binary.Run(pair.r, pair.s, binary_heeb);
+
+  EXPECT_EQ(multi_result.counted_results, binary_result.counted_results);
+}
+
+TEST(MultiHeebPolicyTest, BeatsRandomOnThreeTrendingStreams) {
+  auto noise = [] {
+    return DiscreteDistribution::TruncatedDiscretizedNormal(0.0, 2.0, -10,
+                                                            10);
+  };
+  LinearTrendProcess p0(1.0, 0.0, noise());
+  LinearTrendProcess p1(1.0, -1.0, noise());
+  LinearTrendProcess p2(1.0, -2.0, noise());
+  Rng rng(92);
+  std::vector<std::vector<Value>> streams = {
+      SampleRealization(p0, 400, rng), SampleRealization(p1, 400, rng),
+      SampleRealization(p2, 400, rng)};
+
+  MultiJoinSimulator sim(3, {{0, 1}, {1, 2}, {0, 2}},
+                         {.capacity = 9, .warmup = 40});
+  MultiHeebPolicy heeb({&p0, &p1, &p2}, &sim, {.alpha = 10.0,
+                                               .horizon = 100});
+  MultiRandomPolicy random_policy(5);
+  EXPECT_GT(sim.Run(streams, heeb).counted_results,
+            sim.Run(streams, random_policy).counted_results);
+}
+
+TEST(MultiOptOfflineTest, TwoStreamsMatchBinaryOptOffline) {
+  Rng rng(93);
+  for (int trial = 0; trial < 8; ++trial) {
+    Time len = 40;
+    std::vector<Value> r, s;
+    for (Time t = 0; t < len; ++t) {
+      r.push_back(rng.UniformInt(0, 6));
+      s.push_back(rng.UniformInt(0, 6));
+    }
+    MultiJoinSimulator multi(2, {{0, 1}}, {.capacity = 3, .warmup = 0});
+    MultiOptOfflinePolicy multi_opt(&multi, {r, s}, 3);
+    auto multi_result = multi.Run({r, s}, multi_opt);
+
+    OptOfflinePolicy binary_opt(r, s, 3);
+    JoinSimulator binary({.capacity = 3, .warmup = 0});
+    auto binary_result = binary.Run(r, s, binary_opt);
+    EXPECT_EQ(multi_result.total_results, binary_result.total_results)
+        << trial;
+    EXPECT_EQ(multi_opt.optimal_benefit(), binary_opt.optimal_benefit());
+  }
+}
+
+TEST(MultiOptOfflineTest, SimulatorCountMatchesFlowCost) {
+  Rng rng(94);
+  std::vector<std::vector<Value>> streams(3);
+  for (auto& stream : streams) {
+    for (Time t = 0; t < 60; ++t) stream.push_back(rng.UniformInt(0, 5));
+  }
+  MultiJoinSimulator sim(3, {{0, 1}, {1, 2}, {0, 2}},
+                         {.capacity = 4, .warmup = 0});
+  MultiOptOfflinePolicy opt(&sim, streams, 4);
+  auto result = sim.Run(streams, opt);
+  EXPECT_EQ(result.total_results, opt.optimal_benefit());
+}
+
+TEST(MultiOptOfflineTest, UpperBoundsMultiHeebAndRandom) {
+  auto noise = [] {
+    return DiscreteDistribution::TruncatedDiscretizedNormal(0.0, 2.0, -8,
+                                                            8);
+  };
+  LinearTrendProcess p0(1.0, 0.0, noise());
+  LinearTrendProcess p1(1.0, -1.0, noise());
+  LinearTrendProcess p2(1.0, -2.0, noise());
+  Rng rng(95);
+  std::vector<std::vector<Value>> streams = {
+      SampleRealization(p0, 250, rng), SampleRealization(p1, 250, rng),
+      SampleRealization(p2, 250, rng)};
+  MultiJoinSimulator sim(3, {{0, 1}, {1, 2}}, {.capacity = 6, .warmup = 0});
+  MultiOptOfflinePolicy opt(&sim, streams, 6);
+  MultiHeebPolicy heeb({&p0, &p1, &p2}, &sim, {.alpha = 10.0,
+                                               .horizon = 80});
+  MultiRandomPolicy rand(4);
+  auto opt_result = sim.Run(streams, opt);
+  EXPECT_GE(opt_result.total_results,
+            sim.Run(streams, heeb).total_results);
+  EXPECT_GE(opt_result.total_results,
+            sim.Run(streams, rand).total_results);
+  EXPECT_EQ(opt_result.total_results, opt.optimal_benefit());
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,152 @@
+#include "sjoin/policies/opt_offline_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sjoin/common/rng.h"
+#include "sjoin/engine/join_simulator.h"
+#include "sjoin/policies/prob_policy.h"
+#include "sjoin/policies/random_policy.h"
+
+namespace sjoin {
+namespace {
+
+// Exhaustive search over all replacement-decision sequences: the true
+// MAX-subset optimum for tiny instances.
+struct BruteTuple {
+  StreamSide side;
+  Value value;
+};
+
+std::int64_t BruteForceBest(const std::vector<Value>& r,
+                            const std::vector<Value>& s,
+                            std::size_t capacity, Time t,
+                            std::vector<BruteTuple> cache) {
+  Time len = static_cast<Time>(r.size());
+  if (t >= len) return 0;
+  BruteTuple r_tuple{StreamSide::kR, r[static_cast<std::size_t>(t)]};
+  BruteTuple s_tuple{StreamSide::kS, s[static_cast<std::size_t>(t)]};
+  // Joins against the cache selected at the previous step.
+  std::int64_t produced = 0;
+  for (const BruteTuple& c : cache) {
+    if (c.side == StreamSide::kS && c.value == r_tuple.value) ++produced;
+    if (c.side == StreamSide::kR && c.value == s_tuple.value) ++produced;
+  }
+  // Choose any subset of (cache + arrivals) of size <= capacity. Enumerate
+  // via bitmask over candidates.
+  std::vector<BruteTuple> candidates = cache;
+  candidates.push_back(r_tuple);
+  candidates.push_back(s_tuple);
+  std::int64_t best = 0;
+  int n = static_cast<int>(candidates.size());
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    if (static_cast<std::size_t>(__builtin_popcount(
+            static_cast<unsigned>(mask))) > capacity) {
+      continue;
+    }
+    std::vector<BruteTuple> next;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) next.push_back(candidates[static_cast<std::size_t>(i)]);
+    }
+    best = std::max(best, BruteForceBest(r, s, capacity, t + 1,
+                                         std::move(next)));
+  }
+  return produced + best;
+}
+
+TEST(OptOfflineTest, MatchesBruteForceOnTinyInstances) {
+  Rng rng(77);
+  for (int trial = 0; trial < 15; ++trial) {
+    Time len = rng.UniformInt(3, 6);
+    std::vector<Value> r, s;
+    for (Time t = 0; t < len; ++t) {
+      r.push_back(rng.UniformInt(0, 3));
+      s.push_back(rng.UniformInt(0, 3));
+    }
+    std::size_t capacity = static_cast<std::size_t>(rng.UniformInt(1, 2));
+
+    OptOfflinePolicy opt(r, s, capacity);
+    JoinSimulator sim({.capacity = capacity, .warmup = 0});
+    auto result = sim.Run(r, s, opt);
+
+    std::int64_t brute = BruteForceBest(r, s, capacity, 0, {});
+    EXPECT_EQ(result.total_results, brute)
+        << "trial " << trial << " len " << len << " cap " << capacity;
+    EXPECT_EQ(opt.optimal_benefit(), brute);
+  }
+}
+
+TEST(OptOfflineTest, SimulatorAgreesWithFlowCost) {
+  Rng rng(88);
+  for (int trial = 0; trial < 10; ++trial) {
+    Time len = 40;
+    std::vector<Value> r, s;
+    for (Time t = 0; t < len; ++t) {
+      r.push_back(rng.UniformInt(0, 9));
+      s.push_back(rng.UniformInt(0, 9));
+    }
+    OptOfflinePolicy opt(r, s, 3);
+    JoinSimulator sim({.capacity = 3, .warmup = 0});
+    auto result = sim.Run(r, s, opt);
+    EXPECT_EQ(result.total_results, opt.optimal_benefit());
+  }
+}
+
+TEST(OptOfflineTest, UpperBoundsOnlinePolicies) {
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    Time len = 60;
+    std::vector<Value> r, s;
+    for (Time t = 0; t < len; ++t) {
+      r.push_back(rng.UniformInt(0, 7));
+      s.push_back(rng.UniformInt(0, 7));
+    }
+    std::size_t capacity = 4;
+    JoinSimulator sim({.capacity = capacity, .warmup = 0});
+
+    OptOfflinePolicy opt(r, s, capacity);
+    auto opt_result = sim.Run(r, s, opt);
+
+    RandomPolicy rand(trial);
+    auto rand_result = sim.Run(r, s, rand);
+    EXPECT_GE(opt_result.total_results, rand_result.total_results);
+
+    ProbPolicy prob;
+    auto prob_result = sim.Run(r, s, prob);
+    EXPECT_GE(opt_result.total_results, prob_result.total_results);
+  }
+}
+
+TEST(OptOfflineTest, WindowedMatchesWindowedBruteForce) {
+  // With a window, matches beyond the window must not be scheduled.
+  std::vector<Value> r = {1, 9, 9, 9};
+  std::vector<Value> s = {8, 8, 8, 1};
+  // R(1) at t=0 joins S(1) at t=3 only if window >= 3.
+  {
+    OptOfflinePolicy opt(r, s, 1, /*window=*/Time{3});
+    JoinSimulator sim({.capacity = 1, .warmup = 0, .window = Time{3}});
+    EXPECT_EQ(sim.Run(r, s, opt).total_results, 1);
+  }
+  {
+    OptOfflinePolicy opt(r, s, 1, /*window=*/Time{2});
+    JoinSimulator sim({.capacity = 1, .warmup = 0, .window = Time{2}});
+    EXPECT_EQ(sim.Run(r, s, opt).total_results, 0);
+  }
+}
+
+TEST(OptOfflineTest, EmptyAndDegenerateInputs) {
+  OptOfflinePolicy opt({}, {}, 2);
+  EXPECT_EQ(opt.optimal_benefit(), 0);
+  // No matching values at all.
+  std::vector<Value> r = {1, 2, 3};
+  std::vector<Value> s = {4, 5, 6};
+  OptOfflinePolicy opt2(r, s, 2);
+  EXPECT_EQ(opt2.optimal_benefit(), 0);
+  JoinSimulator sim({.capacity = 2, .warmup = 0});
+  EXPECT_EQ(sim.Run(r, s, opt2).total_results, 0);
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,173 @@
+#include "sjoin/core/precompute.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sjoin/core/heeb.h"
+#include "sjoin/stochastic/stream_history.h"
+
+namespace sjoin {
+namespace {
+
+TEST(OffsetTableTest, ZeroOutsideRange) {
+  OffsetTable table(-2, {1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(table.At(-3), 0.0);
+  EXPECT_DOUBLE_EQ(table.At(-2), 1.0);
+  EXPECT_DOUBLE_EQ(table.At(2), 5.0);
+  EXPECT_DOUBLE_EQ(table.At(3), 0.0);
+}
+
+TEST(WalkJoinTableTest, MatchesDirectJoiningHeeb) {
+  RandomWalkProcess walk(DiscreteDistribution::DiscretizedNormal(0.5, 1.0),
+                         0);
+  ExpLifetime lifetime(6.0);
+  constexpr Time kHorizon = 40;
+  OffsetTable table = PrecomputeWalkJoinHeeb(walk, lifetime, kHorizon);
+
+  // Direct: H for a tuple with value v when the walk's last value is x
+  // equals table(v - x).
+  StreamHistory history({100});
+  for (Value v : {95, 98, 100, 101, 104, 110}) {
+    double direct = JoiningHeeb(walk, history, 0, v, lifetime, kHorizon);
+    EXPECT_NEAR(direct, table.At(v - 100), 1e-9) << "v=" << v;
+  }
+}
+
+TEST(WalkJoinTableTest, DriftShiftsThePeak) {
+  RandomWalkProcess no_drift(
+      DiscreteDistribution::DiscretizedNormal(0.0, 1.0), 0);
+  RandomWalkProcess drift(DiscreteDistribution::DiscretizedNormal(2.0, 1.0),
+                          0);
+  ExpLifetime lifetime(10.0);
+  OffsetTable t0 = PrecomputeWalkJoinHeeb(no_drift, lifetime, 30);
+  OffsetTable t2 = PrecomputeWalkJoinHeeb(drift, lifetime, 30);
+  // Without drift the best offset is at 0-ish; with positive drift the
+  // table should favor positive offsets.
+  EXPECT_GT(t2.At(4), t2.At(-4));
+  EXPECT_NEAR(t0.At(3), t0.At(-3), 1e-9);
+}
+
+TEST(WalkCachingTableTest, FirstPassageMassNeverExceedsOne) {
+  RandomWalkProcess walk(DiscreteDistribution::DiscretizedNormal(0.0, 1.0),
+                         0);
+  InfiniteLifetime lifetime;  // H becomes the hit probability.
+  OffsetTable table = PrecomputeWalkCachingHeeb(walk, lifetime, 60, 10);
+  for (Value d = -10; d <= 10; ++d) {
+    EXPECT_GE(table.At(d), 0.0);
+    EXPECT_LE(table.At(d), 1.0 + 1e-9);
+  }
+}
+
+TEST(WalkCachingTableTest, ZeroDriftIsSymmetricAndUnimodal) {
+  // Section 5.5: zero drift + symmetric unimodal steps => candidates rank
+  // by |offset|.
+  RandomWalkProcess walk(DiscreteDistribution::DiscretizedNormal(0.0, 1.0),
+                         0);
+  ExpLifetime lifetime(10.0);
+  OffsetTable table = PrecomputeWalkCachingHeeb(walk, lifetime, 60, 12);
+  for (Value d = 1; d <= 12; ++d) {
+    EXPECT_NEAR(table.At(d), table.At(-d), 1e-9) << d;
+  }
+  for (Value d = 1; d < 12; ++d) {
+    EXPECT_GT(table.At(d), table.At(d + 1)) << d;
+  }
+}
+
+TEST(WalkCachingTableTest, MatchesMonteCarloFirstPassage) {
+  RandomWalkProcess walk(DiscreteDistribution::DiscretizedNormal(0.0, 1.0),
+                         0);
+  ExpLifetime lifetime(8.0);
+  constexpr Time kHorizon = 40;
+  OffsetTable dp = PrecomputeWalkCachingHeeb(walk, lifetime, kHorizon, 8);
+
+  Rng rng(71);
+  StepSampler sampler = MakeWalkStepSampler(walk);
+  auto mc = MonteCarloCachingHeebColumn(sampler, 0, -8, 8, lifetime,
+                                        kHorizon, 60000, rng);
+  for (Value d = -8; d <= 8; ++d) {
+    EXPECT_NEAR(mc[static_cast<std::size_t>(d + 8)], dp.At(d), 0.01)
+        << "offset " << d;
+  }
+}
+
+TEST(SurfaceTableTest, InterpolatesBetweenColumns) {
+  // Two columns over v in [0, 2], x columns at 0 and 10.
+  HeebSurfaceTable table(0, 2, 0, 10,
+                         {{1.0, 2.0, 3.0}, {3.0, 4.0, 5.0}});
+  EXPECT_DOUBLE_EQ(table.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(table.At(0, 10), 3.0);
+  EXPECT_DOUBLE_EQ(table.At(0, 5), 2.0);  // Linear midpoint.
+  EXPECT_DOUBLE_EQ(table.At(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(table.At(99, 0), 0.0);  // Outside v range.
+  EXPECT_DOUBLE_EQ(table.At(0, -100), 1.0);  // Clamped in x.
+  EXPECT_DOUBLE_EQ(table.At(0, 100), 3.0);
+}
+
+TEST(Ar1SurfaceTest, PeaksNearTheDiagonal) {
+  // An AR(1) starting at x is most likely to first-reference values close
+  // to where it is headed.
+  Ar1Process process(0.0, 0.9, 2.0, 0);
+  ExpLifetime lifetime(10.0);
+  HeebSurfaceTable surface = PrecomputeAr1CachingSurface(
+      process, lifetime, /*horizon=*/50, /*v_min=*/-30, /*v_max=*/30,
+      /*x_min=*/-20, /*x_max=*/20, /*x_step=*/10, /*paths=*/2000,
+      /*seed=*/5);
+  // At column x=20, nearby value 18 should beat the far value -20.
+  EXPECT_GT(surface.At(18, 20), surface.At(-20, 20));
+  // Symmetric situation at x=-20.
+  EXPECT_GT(surface.At(-18, -20), surface.At(20, -20));
+}
+
+TEST(Ar1SurfaceTest, DeterministicInSeed) {
+  Ar1Process process(0.0, 0.8, 1.5, 0);
+  ExpLifetime lifetime(6.0);
+  auto a = PrecomputeAr1CachingSurface(process, lifetime, 30, -10, 10, -10,
+                                       10, 5, 200, 99);
+  auto b = PrecomputeAr1CachingSurface(process, lifetime, 30, -10, 10, -10,
+                                       10, 5, 200, 99);
+  for (Value v = -10; v <= 10; ++v) {
+    EXPECT_DOUBLE_EQ(a.At(v, 3), b.At(v, 3));
+  }
+}
+
+TEST(Ar1SurfaceTest, BicubicApproximationIsClose) {
+  Ar1Process process(0.0, 0.9, 2.0, 0);
+  ExpLifetime lifetime(10.0);
+  HeebSurfaceTable surface = PrecomputeAr1CachingSurface(
+      process, lifetime, 50, -30, 30, -20, 20, 5, 3000, 11);
+  // A denser-than-paper control grid keeps the check tight while still
+  // compressing the table.
+  BicubicSurface approx = ApproximateSurfaceBicubic(surface, 13, 9);
+  double worst = 0.0;
+  for (Value v = -30; v <= 30; v += 3) {
+    for (Value x = -20; x <= 20; x += 4) {
+      double err = std::fabs(approx.At(static_cast<double>(v),
+                                       static_cast<double>(x)) -
+                             surface.At(v, x));
+      worst = std::max(worst, err);
+    }
+  }
+  // Surface values live in [0, ~0.9]; the approximation must track it.
+  EXPECT_LT(worst, 0.08);
+}
+
+TEST(Ar1StepSamplerTest, MatchesConditionalMoments) {
+  Ar1Process process(5.0, 0.5, 2.0, 0);
+  StepSampler sampler = MakeAr1StepSampler(process);
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = static_cast<double>(sampler(10, rng));
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / kDraws;
+  double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);  // 5 + 0.5*10.
+  EXPECT_NEAR(var, 4.0 + 1.0 / 12.0, 0.15);  // Rounding adds ~1/12.
+}
+
+}  // namespace
+}  // namespace sjoin

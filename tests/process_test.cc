@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "sjoin/common/rng.h"
+#include "sjoin/stochastic/ar1_process.h"
+#include "sjoin/stochastic/linear_trend_process.h"
+#include "sjoin/stochastic/offline_process.h"
+#include "sjoin/stochastic/random_walk_process.h"
+#include "sjoin/stochastic/scripted_process.h"
+#include "sjoin/stochastic/seasonal_process.h"
+#include "sjoin/stochastic/stationary_process.h"
+#include "sjoin/stochastic/stream_sampler.h"
+
+namespace sjoin {
+namespace {
+
+TEST(OfflineProcessTest, PredictsExactSequence) {
+  OfflineProcess process({10, 20, 30});
+  StreamHistory history;
+  EXPECT_DOUBLE_EQ(process.Predict(history, 0).Prob(10), 1.0);
+  EXPECT_DOUBLE_EQ(process.Predict(history, 2).Prob(30), 1.0);
+  EXPECT_DOUBLE_EQ(process.Predict(history, 2).Prob(10), 0.0);
+  EXPECT_TRUE(process.Predict(history, 3).IsEmpty());
+  EXPECT_TRUE(process.IsIndependent());
+}
+
+TEST(OfflineProcessTest, SampleReproducesSequence) {
+  OfflineProcess process({5, 6, 7});
+  Rng rng(1);
+  auto values = SampleRealization(process, 3, rng);
+  EXPECT_EQ(values, (std::vector<Value>{5, 6, 7}));
+}
+
+TEST(StationaryProcessTest, TimeInvariant) {
+  StationaryProcess process(DiscreteDistribution::BoundedUniform(0, 4));
+  StreamHistory history({1, 2, 3});
+  EXPECT_NEAR(process.Predict(history, 3).Prob(2), 0.2, 1e-12);
+  EXPECT_NEAR(process.Predict(history, 1000).Prob(2), 0.2, 1e-12);
+}
+
+TEST(LinearTrendProcessTest, PredictionShiftsWithTrend) {
+  LinearTrendProcess process(1.0, 0.0,
+                             DiscreteDistribution::BoundedUniform(-10, 10));
+  StreamHistory history;
+  auto at100 = process.Predict(history, 100);
+  EXPECT_EQ(at100.MinValue(), 90);
+  EXPECT_EQ(at100.MaxValue(), 110);
+  EXPECT_NEAR(at100.Prob(100), 1.0 / 21.0, 1e-12);
+  EXPECT_EQ(process.TrendAt(7), 7);
+  EXPECT_TRUE(process.IsIndependent());
+}
+
+TEST(LinearTrendProcessTest, NonUnitSlopeRounds) {
+  LinearTrendProcess process(0.5, 10.0, DiscreteDistribution::PointMass(0));
+  EXPECT_EQ(process.TrendAt(0), 10);
+  EXPECT_EQ(process.TrendAt(3), 12);  // round(11.5) = 12 (away from zero).
+}
+
+TEST(RandomWalkProcessTest, OneStepPredictionShiftsFromLast) {
+  RandomWalkProcess process(DiscreteDistribution::BoundedUniform(-1, 1), 0);
+  StreamHistory history({0, 2, 5});
+  auto next = process.Predict(history, 3);
+  EXPECT_EQ(next.MinValue(), 4);
+  EXPECT_EQ(next.MaxValue(), 6);
+  EXPECT_NEAR(next.Prob(5), 1.0 / 3.0, 1e-12);
+  EXPECT_FALSE(process.IsIndependent());
+}
+
+TEST(RandomWalkProcessTest, MultiStepIsConvolutionPower) {
+  RandomWalkProcess process(DiscreteDistribution::BoundedUniform(0, 1), 0);
+  StreamHistory history({10});
+  // Two fair +0/+1 steps from 10: {10: 1/4, 11: 1/2, 12: 1/4}.
+  auto two = process.Predict(history, 2);
+  EXPECT_NEAR(two.Prob(10), 0.25, 1e-12);
+  EXPECT_NEAR(two.Prob(11), 0.5, 1e-12);
+  EXPECT_NEAR(two.Prob(12), 0.25, 1e-12);
+}
+
+TEST(RandomWalkProcessTest, EmptyHistoryUsesInitialValue) {
+  RandomWalkProcess process(DiscreteDistribution::PointMass(3), 100);
+  StreamHistory history;
+  // X_0 = initial + one step.
+  EXPECT_DOUBLE_EQ(process.Predict(history, 0).Prob(103), 1.0);
+  EXPECT_DOUBLE_EQ(process.Predict(history, 1).Prob(106), 1.0);
+}
+
+TEST(RandomWalkProcessTest, PredictionMatchesMonteCarlo) {
+  RandomWalkProcess process(
+      DiscreteDistribution::DiscretizedNormal(0.5, 1.0), 0);
+  StreamHistory history({0});
+  auto predicted = process.Predict(history, 4);  // 4 steps ahead.
+  Rng rng(99);
+  constexpr int kPaths = 40000;
+  int hits = 0;
+  for (int p = 0; p < kPaths; ++p) {
+    StreamHistory h({0});
+    Value v = 0;
+    for (int step = 0; step < 4; ++step) {
+      v = process.SampleNext(h, rng);
+      h.Append(v);
+    }
+    if (v == 2) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kPaths, predicted.Prob(2), 0.01);
+}
+
+TEST(Ar1ProcessTest, OneStepConditionalLaw) {
+  Ar1Process process(5.0, 0.5, 2.0, 0);
+  StreamHistory history({10});
+  auto next = process.Predict(history, 1);
+  // mean = 5 + 0.5 * 10 = 10, sd = 2.
+  EXPECT_NEAR(next.Mean(), 10.0, 1e-6);
+  EXPECT_NEAR(std::sqrt(next.Variance()), 2.0, 0.05);
+}
+
+TEST(Ar1ProcessTest, MultiStepClosedForm) {
+  Ar1Process process(5.0, 0.5, 2.0, 0);
+  // mu_3 from x=10: 0.125*10 + 5*(1-0.125)/0.5 = 1.25 + 8.75 = 10.
+  EXPECT_NEAR(process.ConditionalMean(10.0, 3), 10.0, 1e-12);
+  // s_3^2 = 4 * (1 - 0.5^6) / (1 - 0.25) = 4 * 0.984375 / 0.75.
+  EXPECT_NEAR(process.ConditionalSigma(3),
+              std::sqrt(4.0 * 0.984375 / 0.75), 1e-12);
+  EXPECT_NEAR(process.StationaryMean(), 10.0, 1e-12);
+}
+
+TEST(Ar1ProcessTest, Phi1EqualOneDegeneratesToWalk) {
+  Ar1Process process(2.0, 1.0, 1.5, 0);
+  EXPECT_NEAR(process.ConditionalMean(7.0, 4), 7.0 + 8.0, 1e-12);
+  EXPECT_NEAR(process.ConditionalSigma(4), 1.5 * 2.0, 1e-12);
+}
+
+TEST(Ar1ProcessTest, LongHorizonApproachesStationaryLaw) {
+  Ar1Process process(5.0, 0.5, 2.0, 0);
+  EXPECT_NEAR(process.ConditionalMean(123.0, 200), 10.0, 1e-6);
+  EXPECT_NEAR(process.ConditionalSigma(200),
+              2.0 / std::sqrt(1.0 - 0.25), 1e-6);
+}
+
+TEST(ScriptedProcessTest, PerTimeDistributions) {
+  ScriptedProcess process({DiscreteDistribution::PointMass(1),
+                           DiscreteDistribution::FromMasses(2, {0.5, 0.5})});
+  StreamHistory history;
+  EXPECT_DOUBLE_EQ(process.Predict(history, 0).Prob(1), 1.0);
+  EXPECT_NEAR(process.Predict(history, 1).Prob(3), 0.5, 1e-12);
+  EXPECT_TRUE(process.Predict(history, 2).IsEmpty());
+}
+
+TEST(SeasonalProcessTest, TrendOscillatesWithPeriod) {
+  SeasonalProcess process(100.0, 10.0, 40.0, 0.0,
+                          DiscreteDistribution::PointMass(0));
+  EXPECT_EQ(process.TrendAt(0), 100);
+  EXPECT_EQ(process.TrendAt(10), 110);   // Quarter period: peak.
+  EXPECT_EQ(process.TrendAt(20), 100);   // Half period: back to mean.
+  EXPECT_EQ(process.TrendAt(30), 90);    // Three quarters: trough.
+  EXPECT_EQ(process.TrendAt(40), process.TrendAt(0));  // Full period.
+  EXPECT_EQ(process.TrendAt(47), process.TrendAt(7));
+}
+
+TEST(SeasonalProcessTest, PredictionShiftsWithSeason) {
+  SeasonalProcess process(100.0, 10.0, 40.0, 0.0,
+                          DiscreteDistribution::BoundedUniform(-3, 3));
+  StreamHistory history;
+  auto at_peak = process.Predict(history, 10);
+  EXPECT_EQ(at_peak.MinValue(), 107);
+  EXPECT_EQ(at_peak.MaxValue(), 113);
+  EXPECT_NEAR(at_peak.Prob(110), 1.0 / 7.0, 1e-12);
+  EXPECT_TRUE(process.IsIndependent());
+}
+
+TEST(SeasonalProcessTest, CloneIsEquivalent) {
+  SeasonalProcess process(5.0, 2.0, 12.0, 0.5,
+                          DiscreteDistribution::BoundedUniform(-1, 1));
+  auto clone = process.Clone();
+  StreamHistory history;
+  for (Time t = 0; t < 30; ++t) {
+    EXPECT_NEAR(process.Predict(history, t).Mean(),
+                clone->Predict(history, t).Mean(), 1e-12);
+  }
+}
+
+TEST(StreamSamplerTest, PairHasRequestedLength) {
+  StationaryProcess r(DiscreteDistribution::BoundedUniform(0, 9));
+  StationaryProcess s(DiscreteDistribution::BoundedUniform(0, 9));
+  Rng rng(5);
+  auto pair = SampleStreamPair(r, s, 50, rng);
+  EXPECT_EQ(pair.r.size(), 50u);
+  EXPECT_EQ(pair.s.size(), 50u);
+}
+
+TEST(StreamSamplerTest, WalkRealizationHasUnitSteps) {
+  RandomWalkProcess process(DiscreteDistribution::BoundedUniform(-1, 1), 0);
+  Rng rng(6);
+  auto values = SampleRealization(process, 200, rng);
+  Value prev = 0;
+  for (Value v : values) {
+    EXPECT_LE(std::llabs(v - prev), 1);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -1,0 +1,124 @@
+#include "sjoin/engine/reduction.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sjoin/common/rng.h"
+#include "sjoin/engine/cache_simulator.h"
+#include "sjoin/engine/join_simulator.h"
+#include "sjoin/engine/scored_caching_policy.h"
+#include "sjoin/policies/lfd_policy.h"
+#include "sjoin/policies/lfu_policy.h"
+#include "sjoin/policies/lru_policy.h"
+
+namespace sjoin {
+namespace {
+
+class KeepLargestPolicy final : public ScoredCachingPolicy {
+ public:
+  const char* name() const override { return "KEEP-LARGEST"; }
+
+ protected:
+  double Score(Value v, const CachingContext& ctx) override {
+    (void)ctx;
+    return static_cast<double>(v);
+  }
+};
+
+TEST(CachingReductionTest, NeitherTransformedStreamContainsDuplicates) {
+  // Observation (1) in Section 2: neither stream contains duplicates.
+  // (Across streams, values deliberately coincide — that is what joins.)
+  CachingReduction reduction({7, 8, 7, 9, 7});
+  for (const std::vector<Value>* stream :
+       {&reduction.r_stream(), &reduction.s_stream()}) {
+    for (std::size_t i = 0; i < stream->size(); ++i) {
+      for (std::size_t j = i + 1; j < stream->size(); ++j) {
+        EXPECT_NE((*stream)[i], (*stream)[j]) << "duplicate encoded tuple";
+      }
+    }
+  }
+}
+
+TEST(CachingReductionTest, PairEncodingMatchesPaper) {
+  // R: a b a c a  ->  R': (a,0)(b,0)(a,1)(c,0)(a,2)
+  //                   S': (a,1)(b,1)(a,2)(c,1)(a,3)
+  CachingReduction reduction({1, 2, 1, 3, 1});
+  EXPECT_EQ(reduction.r_stream()[0], reduction.Encode(1, 0));
+  EXPECT_EQ(reduction.s_stream()[0], reduction.Encode(1, 1));
+  EXPECT_EQ(reduction.r_stream()[2], reduction.Encode(1, 1));
+  EXPECT_EQ(reduction.s_stream()[2], reduction.Encode(1, 2));
+  EXPECT_EQ(reduction.r_stream()[4], reduction.Encode(1, 2));
+  EXPECT_EQ(reduction.s_stream()[4], reduction.Encode(1, 3));
+  auto [v, occurrence] = reduction.Decode(reduction.s_stream()[3]);
+  EXPECT_EQ(v, 3);
+  EXPECT_EQ(occurrence, 1);
+}
+
+TEST(CachingReductionTest, SupplyTupleJoinsNextReference) {
+  // The S' tuple for the i-th occurrence joins exactly the (i+1)-th
+  // occurrence's R' tuple.
+  CachingReduction reduction({4, 4, 4});
+  EXPECT_EQ(reduction.s_stream()[0], reduction.r_stream()[1]);
+  EXPECT_EQ(reduction.s_stream()[1], reduction.r_stream()[2]);
+}
+
+// Theorem 1: hits under a reasonable policy equal join results of the
+// reduced problem under the adapted policy.
+void ExpectTheorem1Holds(const std::vector<Value>& references,
+                         CachingPolicy& policy, std::size_t capacity) {
+  CacheSimulator cache_sim({.capacity = capacity, .warmup = 0});
+  auto cache_result = cache_sim.Run(references, policy);
+
+  CachingReduction reduction(references);
+  ReductionJoinPolicy join_policy(&reduction, &policy);
+  JoinSimulator join_sim({.capacity = capacity, .warmup = 0});
+  auto join_result =
+      join_sim.Run(reduction.r_stream(), reduction.s_stream(), join_policy);
+
+  EXPECT_EQ(cache_result.hits, join_result.total_results)
+      << "H(C0,R,P) != J(C0,R,S,P)";
+}
+
+TEST(ReductionTheorem1Test, HoldsForKeepLargest) {
+  KeepLargestPolicy policy;
+  ExpectTheorem1Holds({1, 2, 1, 2, 3, 3, 1}, policy, 2);
+}
+
+TEST(ReductionTheorem1Test, HoldsForLru) {
+  LruCachingPolicy policy;
+  ExpectTheorem1Holds({1, 2, 1, 3, 1, 2, 2, 3, 1}, policy, 2);
+}
+
+TEST(ReductionTheorem1Test, HoldsForLfu) {
+  LfuCachingPolicy policy;
+  ExpectTheorem1Holds({5, 5, 6, 7, 5, 6, 6, 7, 5}, policy, 2);
+}
+
+TEST(ReductionTheorem1Test, HoldsForLfd) {
+  std::vector<Value> refs = {1, 2, 3, 1, 2, 1, 3, 2, 2, 1};
+  LfdCachingPolicy policy(refs);
+  ExpectTheorem1Holds(refs, policy, 2);
+}
+
+TEST(ReductionTheorem1Test, HoldsOnRandomTraces) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<Value> refs;
+    Time len = rng.UniformInt(5, 60);
+    for (Time t = 0; t < len; ++t) {
+      refs.push_back(rng.UniformInt(0, 6));
+    }
+    std::size_t capacity =
+        static_cast<std::size_t>(rng.UniformInt(1, 4));
+    LruCachingPolicy lru;
+    ExpectTheorem1Holds(refs, lru, capacity);
+    LfuCachingPolicy lfu;
+    ExpectTheorem1Holds(refs, lfu, capacity);
+    LfdCachingPolicy lfd(refs);
+    ExpectTheorem1Holds(refs, lfd, capacity);
+  }
+}
+
+}  // namespace
+}  // namespace sjoin

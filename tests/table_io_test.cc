@@ -1,0 +1,94 @@
+#include "sjoin/core/table_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "sjoin/core/lifetime_fn.h"
+#include "sjoin/stochastic/random_walk_process.h"
+
+namespace sjoin {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TableIoTest, OffsetTableRoundTrips) {
+  OffsetTable original(-3, {0.1, 0.2, 0.5, 0.2, 0.1, 0.05, 0.0125});
+  std::string path = TempPath("offset_table.txt");
+  ASSERT_TRUE(SaveOffsetTable(original, path));
+  auto loaded = LoadOffsetTable(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->min_offset(), original.min_offset());
+  EXPECT_EQ(loaded->max_offset(), original.max_offset());
+  for (Value d = original.min_offset() - 2; d <= original.max_offset() + 2;
+       ++d) {
+    EXPECT_DOUBLE_EQ(loaded->At(d), original.At(d)) << d;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, PrecomputedWalkTableRoundTripsExactly) {
+  RandomWalkProcess walk(DiscreteDistribution::DiscretizedNormal(0.5, 1.0),
+                         0);
+  ExpLifetime lifetime(8.0);
+  OffsetTable table = PrecomputeWalkJoinHeeb(walk, lifetime, 30);
+  std::string path = TempPath("walk_table.txt");
+  ASSERT_TRUE(SaveOffsetTable(table, path));
+  auto loaded = LoadOffsetTable(path);
+  ASSERT_TRUE(loaded.has_value());
+  for (Value d = table.min_offset(); d <= table.max_offset(); ++d) {
+    EXPECT_DOUBLE_EQ(loaded->At(d), table.At(d));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, SurfaceTableRoundTrips) {
+  HeebSurfaceTable original(-2, 2, 0, 5,
+                            {{0.1, 0.2, 0.3, 0.2, 0.1},
+                             {0.2, 0.4, 0.6, 0.4, 0.2},
+                             {0.05, 0.1, 0.2, 0.1, 0.05}});
+  std::string path = TempPath("surface_table.txt");
+  ASSERT_TRUE(SaveSurfaceTable(original, path));
+  auto loaded = LoadSurfaceTable(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->num_columns(), 3u);
+  for (Value v = -2; v <= 2; ++v) {
+    for (Value x = 0; x <= 10; x += 1) {
+      EXPECT_DOUBLE_EQ(loaded->At(v, x), original.At(v, x))
+          << "v=" << v << " x=" << x;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, MissingFileFailsGracefully) {
+  EXPECT_FALSE(LoadOffsetTable("/nonexistent/dir/table.txt").has_value());
+  EXPECT_FALSE(LoadSurfaceTable("/nonexistent/dir/table.txt").has_value());
+}
+
+TEST(TableIoTest, WrongMagicRejected) {
+  std::string path = TempPath("bad_magic.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "not-a-table\n1 2\n0.5\n0.5\n");
+  std::fclose(f);
+  EXPECT_FALSE(LoadOffsetTable(path).has_value());
+  EXPECT_FALSE(LoadSurfaceTable(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TableIoTest, TruncatedFileRejected) {
+  std::string path = TempPath("truncated.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fprintf(f, "sjoin-offset-table-v1\n0 5\n0.5\n");  // 1 of 5 values.
+  std::fclose(f);
+  EXPECT_FALSE(LoadOffsetTable(path).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sjoin
