@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   options.len = flags.GetInt("len", 1000);
   options.runs = static_cast<int>(flags.GetInt("runs", 5));
   options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 37));
+  options.threads = static_cast<int>(flags.GetInt("threads", 0));
   flags.CheckConsumed();
 
   std::printf("# Extension: empirical competitive ratios OPT/policy "

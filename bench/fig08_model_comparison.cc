@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
   options.include_flow_expect = flags.GetInt("flowexpect", 1) != 0;
   options.flow_expect_lookahead = flags.GetInt("lookahead", 5);
+  options.threads = static_cast<int>(flags.GetInt("threads", 0));
   flags.CheckConsumed();
 
   std::printf("# Figure 8: average join counts, cache=%zu len=%lld "

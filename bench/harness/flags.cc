@@ -59,6 +59,17 @@ double Flags::GetDouble(const std::string& name, double default_value) {
   return default_value;
 }
 
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) {
+  for (Entry& entry : entries_) {
+    if (entry.name == name) {
+      entry.consumed = true;
+      return entry.value;
+    }
+  }
+  return default_value;
+}
+
 void Flags::CheckConsumed() const {
   bool ok = true;
   for (const Entry& entry : entries_) {

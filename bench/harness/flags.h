@@ -22,6 +22,10 @@ class Flags {
   /// Double flag with default.
   double GetDouble(const std::string& name, double default_value);
 
+  /// String flag with default (the raw text after '=').
+  std::string GetString(const std::string& name,
+                        const std::string& default_value);
+
   /// After all Get* calls, verify every provided flag was consumed.
   void CheckConsumed() const;
 

@@ -1,8 +1,13 @@
 #include "harness/runner.h"
 
 #include <cstdio>
+#include <functional>
+#include <future>
 #include <memory>
+#include <optional>
+#include <utility>
 
+#include "sjoin/common/check.h"
 #include "sjoin/common/rng.h"
 #include "sjoin/core/flow_expect_policy.h"
 #include "sjoin/core/heeb_join_policy.h"
@@ -15,83 +20,159 @@
 
 namespace sjoin::bench {
 
-std::vector<AlgoResult> RunJoinRoster(const JoinWorkload& workload,
-                                      const RosterOptions& options) {
-  // Sample all runs up front so every algorithm sees identical inputs.
-  Rng rng(options.seed);
-  std::vector<StreamPair> pairs;
-  pairs.reserve(static_cast<std::size_t>(options.runs));
-  for (int run = 0; run < options.runs; ++run) {
-    pairs.push_back(
-        SampleStreamPair(*workload.r, *workload.s, options.len, rng));
-  }
-
-  Time warmup = options.warmup >= 0
-                    ? options.warmup
-                    : static_cast<Time>(4 * options.cache);
-  JoinSimulator sim({.capacity = options.cache, .warmup = warmup});
+/// Everything a roster's in-flight jobs reference. Heap-allocated and
+/// owned by the PendingRoster so addresses stay stable while jobs run.
+struct PendingRoster::State {
+  /// Builds one job's policy. `r` and `s` are that job's private clones of
+  /// the workload processes (policies keep raw pointers, and
+  /// RandomWalkProcess memoizes convolution powers lazily, so sharing one
+  /// instance across concurrent jobs would race).
+  using PolicyFactory = std::function<std::unique_ptr<ReplacementPolicy>(
+      const StreamPair& pair, const StochasticProcess* r,
+      const StochasticProcess* s)>;
 
   struct Entry {
     std::string name;
-    std::vector<double> counts;
-  };
-  std::vector<Entry> entries;
-  auto run_policy = [&](const std::string& name, auto&& make_policy) {
-    Entry entry{name, {}};
-    entry.counts.reserve(pairs.size());
-    for (const StreamPair& pair : pairs) {
-      auto policy = make_policy(pair);
-      entry.counts.push_back(static_cast<double>(
-          sim.Run(pair.r, pair.s, *policy).counted_results));
-    }
-    entries.push_back(std::move(entry));
+    PolicyFactory make;
+    std::vector<double> counts;  // One slot per run; no cross-job sharing.
   };
 
+  explicit State(JoinSimulator::Options sim_options) : sim(sim_options) {}
+
+  JoinSimulator sim;
+  const JoinWorkload* workload = nullptr;
+  std::vector<StreamPair> pairs;
+  std::vector<Entry> entries;
+  std::vector<std::future<void>> futures;
+};
+
+PendingRoster::PendingRoster() = default;
+PendingRoster::PendingRoster(PendingRoster&&) noexcept = default;
+PendingRoster& PendingRoster::operator=(PendingRoster&&) noexcept = default;
+PendingRoster::~PendingRoster() {
+  // Jobs write into state_; if a roster is abandoned without Await, wait
+  // for them so they cannot outlive their buffers.
+  if (state_ != nullptr) {
+    for (std::future<void>& future : state_->futures) future.wait();
+  }
+}
+
+std::vector<AlgoResult> PendingRoster::Await() {
+  SJOIN_CHECK_MSG(state_ != nullptr, "Await() called twice or on an empty "
+                                     "PendingRoster");
+  for (std::future<void>& future : state_->futures) future.get();
+  std::vector<AlgoResult> results;
+  results.reserve(state_->entries.size());
+  for (State::Entry& entry : state_->entries) {
+    results.push_back({entry.name, Summarize(entry.counts)});
+  }
+  state_.reset();
+  return results;
+}
+
+PendingRoster EnqueueJoinRoster(const JoinWorkload& workload,
+                                const RosterOptions& options,
+                                ThreadPool& pool) {
+  Time warmup = options.warmup >= 0
+                    ? options.warmup
+                    : static_cast<Time>(4 * options.cache);
+  PendingRoster pending;
+  pending.state_ = std::make_unique<PendingRoster::State>(
+      JoinSimulator::Options{.capacity = options.cache, .warmup = warmup});
+  PendingRoster::State& state = *pending.state_;
+  state.workload = &workload;
+
+  // Sample all runs up front — serially, with one RNG — so every
+  // algorithm, and every thread count, sees identical inputs.
+  Rng rng(options.seed);
+  state.pairs.reserve(static_cast<std::size_t>(options.runs));
+  for (int run = 0; run < options.runs; ++run) {
+    state.pairs.push_back(
+        SampleStreamPair(*workload.r, *workload.s, options.len, rng));
+  }
+
+  auto add = [&](std::string name,
+                 PendingRoster::State::PolicyFactory make) {
+    state.entries.push_back(
+        {std::move(name), std::move(make),
+         std::vector<double>(static_cast<std::size_t>(options.runs), 0.0)});
+  };
+  std::optional<Time> life;
+  if (workload.life_window > 0) life = workload.life_window;
+
   if (options.include_opt) {
-    run_policy("OPT-OFFLINE", [&](const StreamPair& pair) {
-      return std::make_unique<OptOfflinePolicy>(pair.r, pair.s,
-                                                options.cache);
-    });
+    add("OPT-OFFLINE",
+        [cache = options.cache](const StreamPair& pair,
+                                const StochasticProcess*,
+                                const StochasticProcess*) {
+          return std::make_unique<OptOfflinePolicy>(pair.r, pair.s, cache);
+        });
   }
   if (options.include_flow_expect) {
-    run_policy("FLOWEXPECT", [&](const StreamPair&) {
-      return std::make_unique<FlowExpectPolicy>(
-          workload.r.get(), workload.s.get(),
-          FlowExpectPolicy::Options{options.flow_expect_lookahead});
-    });
+    add("FLOWEXPECT",
+        [lookahead = options.flow_expect_lookahead](
+            const StreamPair&, const StochasticProcess* r,
+            const StochasticProcess* s) {
+          return std::make_unique<FlowExpectPolicy>(
+              r, s, FlowExpectPolicy::Options{lookahead});
+        });
   }
-  run_policy("RAND", [&](const StreamPair&) {
-    std::optional<Time> life;
-    if (workload.life_window > 0) life = workload.life_window;
-    return std::make_unique<RandomPolicy>(options.seed + 17, life);
+  add("RAND", [seed = options.seed, life](const StreamPair&,
+                                          const StochasticProcess*,
+                                          const StochasticProcess*) {
+    return std::make_unique<RandomPolicy>(seed + 17, life);
   });
-  run_policy("PROB", [&](const StreamPair&) {
-    std::optional<Time> life;
-    if (workload.life_window > 0) life = workload.life_window;
+  add("PROB", [life](const StreamPair&, const StochasticProcess*,
+                     const StochasticProcess*) {
     return std::make_unique<ProbPolicy>(life);
   });
   if (workload.life_applicable) {
-    run_policy("LIFE", [&](const StreamPair&) {
-      return std::make_unique<LifePolicy>(workload.life_window);
+    add("LIFE", [window = workload.life_window](const StreamPair&,
+                                                const StochasticProcess*,
+                                                const StochasticProcess*) {
+      return std::make_unique<LifePolicy>(window);
     });
   }
-  run_policy("HEEB", [&](const StreamPair&) {
-    HeebJoinPolicy::Options heeb_options;
-    heeb_options.mode = workload.heeb_mode;
-    heeb_options.alpha = workload.alpha_tracks_cache
-                             ? static_cast<double>(options.cache)
-                             : workload.heeb_alpha;
-    heeb_options.horizon = workload.heeb_horizon;
-    return std::make_unique<HeebJoinPolicy>(workload.r.get(),
-                                            workload.s.get(), heeb_options);
+  HeebJoinPolicy::Options heeb_options;
+  heeb_options.mode = workload.heeb_mode;
+  heeb_options.alpha = workload.alpha_tracks_cache
+                           ? static_cast<double>(options.cache)
+                           : workload.heeb_alpha;
+  heeb_options.horizon = workload.heeb_horizon;
+  add("HEEB", [heeb_options](const StreamPair&, const StochasticProcess* r,
+                             const StochasticProcess* s) {
+    return std::make_unique<HeebJoinPolicy>(r, s, heeb_options);
   });
 
-  std::vector<AlgoResult> results;
-  results.reserve(entries.size());
-  for (Entry& entry : entries) {
-    results.push_back({entry.name, Summarize(entry.counts)});
+  // One job per (algorithm, run); each owns its policy and process clones
+  // and writes one pre-allocated slot, so scheduling cannot affect output.
+  PendingRoster::State* state_ptr = pending.state_.get();
+  state.futures.reserve(state.entries.size() *
+                        static_cast<std::size_t>(options.runs));
+  for (std::size_t e = 0; e < state.entries.size(); ++e) {
+    for (int run = 0; run < options.runs; ++run) {
+      state.futures.push_back(pool.Submit([state_ptr, e, run] {
+        std::unique_ptr<StochasticProcess> r_clone =
+            state_ptr->workload->r->Clone();
+        std::unique_ptr<StochasticProcess> s_clone =
+            state_ptr->workload->s->Clone();
+        PendingRoster::State::Entry& entry = state_ptr->entries[e];
+        const StreamPair& pair =
+            state_ptr->pairs[static_cast<std::size_t>(run)];
+        std::unique_ptr<ReplacementPolicy> policy =
+            entry.make(pair, r_clone.get(), s_clone.get());
+        entry.counts[static_cast<std::size_t>(run)] = static_cast<double>(
+            state_ptr->sim.Run(pair.r, pair.s, *policy).counted_results);
+      }));
+    }
   }
-  return results;
+  return pending;
+}
+
+std::vector<AlgoResult> RunJoinRoster(const JoinWorkload& workload,
+                                      const RosterOptions& options) {
+  ThreadPool pool(options.threads);
+  return EnqueueJoinRoster(workload, options, pool).Await();
 }
 
 void PrintCsvHeader(const std::string& x_label,

@@ -2,16 +2,25 @@
 #define SJOIN_BENCH_HARNESS_RUNNER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "harness/configs.h"
 #include "sjoin/analysis/summary_stats.h"
+#include "sjoin/common/thread_pool.h"
 
 /// \file
 /// Shared experiment runner: samples stream pairs (common random numbers
 /// across algorithms), runs the paper's algorithm roster, and aggregates
 /// the per-run result counts.
+///
+/// Every (algorithm, run) combination is an independent simulator job: the
+/// stream pairs are pre-sampled serially, each job constructs its own
+/// policy from its own clones of the stream processes, and each job writes
+/// into its own pre-allocated result slot. Executing the jobs on a thread
+/// pool therefore produces bit-identical output to serial execution — the
+/// aggregation order never depends on scheduling.
 
 namespace sjoin::bench {
 
@@ -36,12 +45,47 @@ struct RosterOptions {
   /// FlowExpect is the expensive yardstick; off by default.
   bool include_flow_expect = false;
   Time flow_expect_lookahead = 5;
+  /// Worker threads for the (algorithm, run) jobs: 1 = serial on the
+  /// calling thread (the historical behavior), 0 = hardware concurrency,
+  /// N = N workers. Results are bit-identical for every value.
+  int threads = 1;
 };
+
+/// A roster whose jobs have been submitted to a pool but not yet awaited.
+/// Move-only; Await() may be called once.
+class PendingRoster {
+ public:
+  PendingRoster();
+  PendingRoster(PendingRoster&&) noexcept;
+  PendingRoster& operator=(PendingRoster&&) noexcept;
+  ~PendingRoster();
+
+  /// Blocks until every job of this roster has finished and returns the
+  /// per-algorithm summaries (same order as RunJoinRoster).
+  std::vector<AlgoResult> Await();
+
+ private:
+  friend PendingRoster EnqueueJoinRoster(const JoinWorkload& workload,
+                                         const RosterOptions& options,
+                                         ThreadPool& pool);
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+/// Samples the runs' stream pairs (serially, so inputs are independent of
+/// the thread count) and submits one job per (algorithm, run) onto `pool`.
+/// `workload` must stay alive until Await() returns; `pool` must outlive
+/// the returned PendingRoster. Sweeps use this to keep every sweep point's
+/// jobs in flight at once.
+PendingRoster EnqueueJoinRoster(const JoinWorkload& workload,
+                                const RosterOptions& options,
+                                ThreadPool& pool);
 
 /// Runs OPT-offline, FlowExpect (optional), RAND, PROB, LIFE (when
 /// applicable) and HEEB on `workload`, every algorithm on the same
 /// sampled realizations, counting results produced after a warm-up of
-/// 4x the cache size (Section 6.2).
+/// 4x the cache size (Section 6.2). Executes on options.threads workers;
+/// the output does not depend on the thread count.
 std::vector<AlgoResult> RunJoinRoster(const JoinWorkload& workload,
                                       const RosterOptions& options);
 

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "sjoin/common/thread_pool.h"
+
 namespace sjoin::bench {
 
 int RunCacheSweepMain(int argc, char** argv,
@@ -14,6 +16,7 @@ int RunCacheSweepMain(int argc, char** argv,
   options.runs = static_cast<int>(flags.GetInt("runs", 3));
   options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
   std::int64_t max_cache = flags.GetInt("max_cache", 50);
+  int threads = static_cast<int>(flags.GetInt("threads", 0));
   flags.CheckConsumed();
 
   std::vector<std::int64_t> caches;
@@ -31,16 +34,35 @@ int RunCacheSweepMain(int argc, char** argv,
               "runs=%d)\n",
               figure_name, static_cast<long long>(options.len),
               options.runs);
-  bool header_printed = false;
+
+  // All (run, policy, sweep-point) jobs share one pool so the whole sweep
+  // stays parallel end to end; rows still print in sweep order, and the
+  // CSV is bit-identical for every thread count.
+  ThreadPool pool(threads);
+  struct Point {
+    std::int64_t cache;
+    JoinWorkload workload;
+    PendingRoster pending;
+  };
+  std::vector<Point> points;
+  points.reserve(caches.size());
   for (std::int64_t cache : caches) {
-    options.cache = static_cast<std::size_t>(cache);
-    JoinWorkload workload = factory();
-    auto roster = RunJoinRoster(workload, options);
+    // Fresh workload per point: WALK tables depend on alpha = cache size.
+    points.push_back({cache, factory(), {}});
+  }
+  for (Point& point : points) {
+    options.cache = static_cast<std::size_t>(point.cache);
+    point.pending = EnqueueJoinRoster(point.workload, options, pool);
+  }
+
+  bool header_printed = false;
+  for (Point& point : points) {
+    auto roster = point.pending.Await();
     if (!header_printed) {
       PrintCsvHeader("memory", roster);
       header_printed = true;
     }
-    PrintCsvRow(static_cast<double>(cache), roster);
+    PrintCsvRow(static_cast<double>(point.cache), roster);
   }
   return 0;
 }

@@ -14,6 +14,9 @@ namespace sjoin::bench {
 /// Runs the roster for cache sizes 1..max_cache (log-ish grid) and prints
 /// a CSV series per algorithm. `factory` builds a fresh workload (the
 /// processes are stateless, but WALK tables depend on alpha = cache size).
+/// All (run, policy, sweep-point) jobs run on one thread pool sized by
+/// --threads (default: hardware concurrency; 1 = serial); the CSV output
+/// is bit-identical for every thread count.
 int RunCacheSweepMain(int argc, char** argv,
                       const std::function<JoinWorkload()>& factory,
                       const char* figure_name);

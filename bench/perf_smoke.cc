@@ -1,0 +1,231 @@
+// Perf-telemetry baseline: times JoinSimulator::Run under the policies
+// that matter — HEEB in all four computation modes, FlowExpect, the
+// RAND/PROB/LIFE baselines and OPT-offline — on fixed seeds, and emits
+// BENCH_perf.json so the perf trajectory of future PRs has a measured
+// anchor (steps/sec, ns/step, peak candidate count per scenario).
+//
+// Runs serially on purpose: per-run wall times feed ns/step, and parallel
+// execution would contend for the core(s) being measured.
+//
+// Usage: perf_smoke [--len=2000] [--runs=3] [--cache=50] [--seed=1]
+//                   [--flow_len=400] [--out=BENCH_perf.json]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/configs.h"
+#include "harness/flags.h"
+#include "sjoin/common/json_writer.h"
+#include "sjoin/common/rng.h"
+#include "sjoin/common/stopwatch.h"
+#include "sjoin/core/flow_expect_policy.h"
+#include "sjoin/core/heeb_join_policy.h"
+#include "sjoin/engine/join_simulator.h"
+#include "sjoin/policies/life_policy.h"
+#include "sjoin/policies/opt_offline_policy.h"
+#include "sjoin/policies/prob_policy.h"
+#include "sjoin/policies/random_policy.h"
+#include "sjoin/stochastic/stream_sampler.h"
+
+using namespace sjoin;
+using namespace sjoin::bench;
+
+namespace {
+
+struct ScenarioResult {
+  std::string name;
+  std::string workload;
+  Time len = 0;
+  int runs = 0;
+  std::int64_t setup_ns = 0;  // Policy construction (all runs).
+  std::int64_t run_ns = 0;    // JoinSimulator::Run (all runs).
+  std::int64_t counted_results = 0;
+  std::int64_t peak_candidates = 0;
+};
+
+struct Config {
+  Time len = 2000;
+  int runs = 3;
+  std::size_t cache = 50;
+  std::uint64_t seed = 1;
+};
+
+/// Times `make_policy` + JoinSimulator::Run over `runs` pre-sampled pairs.
+template <typename MakePolicy>
+ScenarioResult TimeScenario(const std::string& name,
+                            const JoinWorkload& workload, Time len,
+                            const Config& config, MakePolicy&& make_policy) {
+  ScenarioResult out;
+  out.name = name;
+  out.workload = workload.name;
+  out.len = len;
+  out.runs = config.runs;
+
+  Rng rng(config.seed);
+  std::vector<StreamPair> pairs;
+  pairs.reserve(static_cast<std::size_t>(config.runs));
+  for (int run = 0; run < config.runs; ++run) {
+    pairs.push_back(SampleStreamPair(*workload.r, *workload.s, len, rng));
+  }
+
+  JoinSimulator sim({.capacity = config.cache,
+                     .warmup = static_cast<Time>(4 * config.cache)});
+  for (const StreamPair& pair : pairs) {
+    Stopwatch setup;
+    auto policy = make_policy(pair);
+    out.setup_ns += setup.ElapsedNs();
+
+    Stopwatch run;
+    JoinRunResult result = sim.Run(pair.r, pair.s, *policy);
+    out.run_ns += run.ElapsedNs();
+    out.counted_results += result.counted_results;
+    if (result.peak_candidates > out.peak_candidates) {
+      out.peak_candidates = result.peak_candidates;
+    }
+  }
+  std::int64_t steps = len * config.runs;
+  std::fprintf(stderr, "%-18s %-5s %8.0f steps/s %10.0f ns/step\n",
+               name.c_str(), workload.name.c_str(),
+               static_cast<double>(steps) /
+                   (static_cast<double>(out.run_ns) * 1e-9),
+               static_cast<double>(out.run_ns) /
+                   static_cast<double>(steps));
+  return out;
+}
+
+void WriteJson(const std::string& path, const Config& config,
+               const std::vector<ScenarioResult>& results) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema");
+  json.String("sjoin-perf-v1");
+  json.Key("len");
+  json.Int(config.len);
+  json.Key("runs");
+  json.Int(config.runs);
+  json.Key("cache");
+  json.Int(static_cast<std::int64_t>(config.cache));
+  json.Key("seed");
+  json.Int(static_cast<std::int64_t>(config.seed));
+  json.Key("results");
+  json.BeginArray();
+  for (const ScenarioResult& r : results) {
+    double steps = static_cast<double>(r.len) * r.runs;
+    json.BeginObject();
+    json.Key("name");
+    json.String(r.name);
+    json.Key("workload");
+    json.String(r.workload);
+    json.Key("len");
+    json.Int(r.len);
+    json.Key("runs");
+    json.Int(r.runs);
+    json.Key("setup_ns");
+    json.Int(r.setup_ns);
+    json.Key("run_ns");
+    json.Int(r.run_ns);
+    json.Key("ns_per_step");
+    json.Double(static_cast<double>(r.run_ns) / steps);
+    json.Key("steps_per_sec");
+    json.Double(steps / (static_cast<double>(r.run_ns) * 1e-9));
+    json.Key("peak_candidates");
+    json.Int(r.peak_candidates);
+    json.Key("counted_results");
+    json.Int(r.counted_results);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_smoke: cannot open %s for writing\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  std::fputs(json.str().c_str(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  Config config;
+  config.len = flags.GetInt("len", 2000);
+  config.runs = static_cast<int>(flags.GetInt("runs", 3));
+  config.cache = static_cast<std::size_t>(flags.GetInt("cache", 50));
+  config.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  // FlowExpect and OPT-offline are far slower per step; a shorter length
+  // keeps the smoke run fast while still producing a stable ns/step.
+  Time flow_len = flags.GetInt("flow_len", 400);
+  std::string out_path = flags.GetString("out", "BENCH_perf.json");
+  flags.CheckConsumed();
+  if (flow_len > config.len) flow_len = config.len;
+
+  JoinWorkload tower = MakeTower();
+  JoinWorkload walk = MakeWalk();
+  std::vector<ScenarioResult> results;
+
+  auto heeb_on = [&](const JoinWorkload& workload, HeebJoinPolicy::Mode mode,
+                     double alpha) {
+    return [&workload, mode, alpha](const StreamPair&) {
+      HeebJoinPolicy::Options options;
+      options.mode = mode;
+      options.alpha = alpha;
+      options.horizon = workload.heeb_horizon;
+      return std::make_unique<HeebJoinPolicy>(workload.r.get(),
+                                              workload.s.get(), options);
+    };
+  };
+
+  results.push_back(TimeScenario(
+      "HEEB-direct", tower, config.len, config,
+      heeb_on(tower, HeebJoinPolicy::Mode::kDirect, tower.heeb_alpha)));
+  results.push_back(TimeScenario("HEEB-time-incr", tower, config.len, config,
+                                 heeb_on(tower,
+                                         HeebJoinPolicy::Mode::kTimeIncremental,
+                                         tower.heeb_alpha)));
+  results.push_back(
+      TimeScenario("HEEB-value-incr", tower, config.len, config,
+                   heeb_on(tower, HeebJoinPolicy::Mode::kValueIncremental,
+                           tower.heeb_alpha)));
+  results.push_back(
+      TimeScenario("HEEB-walk-table", walk, config.len, config,
+                   heeb_on(walk, HeebJoinPolicy::Mode::kWalkTable,
+                           static_cast<double>(config.cache))));
+  results.push_back(TimeScenario(
+      "FLOWEXPECT", tower, flow_len, config, [&tower](const StreamPair&) {
+        return std::make_unique<FlowExpectPolicy>(
+            tower.r.get(), tower.s.get(), FlowExpectPolicy::Options{5});
+      }));
+  results.push_back(TimeScenario(
+      "OPT-OFFLINE", tower, flow_len, config,
+      [&config](const StreamPair& pair) {
+        return std::make_unique<OptOfflinePolicy>(pair.r, pair.s,
+                                                  config.cache);
+      }));
+  std::optional<Time> life;
+  if (tower.life_window > 0) life = tower.life_window;
+  results.push_back(TimeScenario(
+      "RAND", tower, config.len, config, [&](const StreamPair&) {
+        return std::make_unique<RandomPolicy>(config.seed + 17, life);
+      }));
+  results.push_back(TimeScenario("PROB", tower, config.len, config,
+                                 [&](const StreamPair&) {
+                                   return std::make_unique<ProbPolicy>(life);
+                                 }));
+  results.push_back(TimeScenario(
+      "LIFE", tower, config.len, config, [&](const StreamPair&) {
+        return std::make_unique<LifePolicy>(tower.life_window);
+      }));
+
+  WriteJson(out_path, config, results);
+  return 0;
+}

@@ -1,0 +1,59 @@
+#ifndef SJOIN_COMMON_JSON_WRITER_H_
+#define SJOIN_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Minimal JSON emission and validation for the BENCH_*.json perf
+/// telemetry files. Not a general JSON library: just enough structure to
+/// write the perf schema and to smoke-check that an emitted file parses.
+
+namespace sjoin {
+
+/// Streaming JSON writer building a string. Usage mirrors the document
+/// structure: BeginObject / Key / scalar / EndObject, with arrays via
+/// BeginArray / EndArray. Commas and quoting are handled internally; the
+/// caller is responsible for well-formed nesting (checked in debug via
+/// the final str() being validated by callers/tests, not here).
+class JsonWriter {
+ public:
+  void BeginObject() { Prefix(); out_ += '{'; first_.push_back(true); }
+  void EndObject() { out_ += '}'; first_.pop_back(); }
+  void BeginArray() { Prefix(); out_ += '['; first_.push_back(true); }
+  void EndArray() { out_ += ']'; first_.pop_back(); }
+
+  /// Starts an object member; the next value call supplies its value.
+  void Key(std::string_view name);
+
+  void String(std::string_view value);
+  void Int(std::int64_t value);
+  /// Non-finite doubles are emitted as null (JSON has no NaN/inf).
+  void Double(double value);
+  void Bool(bool value);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  /// Emits the separating comma (if needed) before a member or element.
+  void Comma();
+  /// Called before any value: consumes a pending key's slot or separates
+  /// an array element.
+  void Prefix();
+  void AppendQuoted(std::string_view text);
+
+  std::string out_;
+  std::vector<char> first_;
+  bool pending_value_ = false;
+};
+
+/// True iff `text` is exactly one syntactically valid JSON value (with
+/// optional surrounding whitespace). Used by tests to validate emitted
+/// telemetry files without a JSON dependency.
+bool JsonParses(const std::string& text);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_COMMON_JSON_WRITER_H_

@@ -1,0 +1,37 @@
+#ifndef SJOIN_COMMON_STOPWATCH_H_
+#define SJOIN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+/// \file
+/// Monotonic wall-clock timer for the perf-telemetry harness
+/// (bench/perf_smoke.cc and friends).
+
+namespace sjoin {
+
+/// Measures elapsed wall time on the steady (monotonic) clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  std::int64_t ElapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNs()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_COMMON_STOPWATCH_H_

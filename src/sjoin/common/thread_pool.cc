@@ -1,0 +1,91 @@
+#include "sjoin/common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+
+int ThreadPool::DefaultThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads == 0 ? DefaultThreads() : num_threads) {
+  SJOIN_CHECK_GE(num_threads_, 1);
+  if (num_threads_ == 1) return;  // Inline mode: no workers.
+  workers_.reserve(static_cast<std::size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> future = packaged.get_future();
+  if (workers_.empty()) {
+    packaged();  // Single-threaded pools run serially on the caller.
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(packaged));
+  }
+  wake_.notify_one();
+  return future;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task routes exceptions into the future.
+  }
+}
+
+void ParallelFor(ThreadPool& pool, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  std::size_t n = end - begin;
+  std::size_t chunks =
+      std::min(n, static_cast<std::size_t>(pool.num_threads()) * 4);
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    std::size_t lo = begin + n * c / chunks;
+    std::size_t hi = begin + n * (c + 1) / chunks;
+    futures.push_back(pool.Submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  // Wait for every chunk before rethrowing: no task may outlive the call,
+  // since `body` is borrowed from the caller's stack.
+  std::exception_ptr first;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (first == nullptr) first = std::current_exception();
+    }
+  }
+  if (first != nullptr) std::rethrow_exception(first);
+}
+
+}  // namespace sjoin

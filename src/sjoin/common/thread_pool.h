@@ -1,0 +1,74 @@
+#ifndef SJOIN_COMMON_THREAD_POOL_H_
+#define SJOIN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file
+/// Fixed-size thread pool for the embarrassingly parallel work in this
+/// repo: benchmark rosters and sweeps dispatch independent
+/// (run, policy, sweep-point) simulator jobs onto one pool.
+///
+/// Deliberately work-stealing-free: a single mutex-guarded FIFO queue is
+/// plenty at the granularity of one simulator run per task, and it keeps
+/// the scheduler simple enough to validate under TSan. Tasks communicate
+/// results through the buffers they capture, so execution order never
+/// affects output; the harness exploits this to make parallel runs
+/// bit-identical to serial ones.
+
+namespace sjoin {
+
+/// A fixed set of worker threads consuming a FIFO task queue.
+///
+/// A pool of size 1 spawns no workers at all: Submit executes the task
+/// inline on the calling thread, so `--threads=1` reproduces the
+/// historical serial code paths exactly (same thread, same order).
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 uses DefaultThreads() (hardware concurrency).
+  explicit ThreadPool(int num_threads = 0);
+
+  /// Drains the queue, then joins the workers. Every submitted task runs.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` and returns a future that becomes ready when it
+  /// finishes. The library itself never throws, but tasks may run user
+  /// code (e.g. test assertions) that does; anything thrown inside the
+  /// task is captured and rethrown from future.get().
+  std::future<void> Submit(std::function<void()> task);
+
+  int num_threads() const { return num_threads_; }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs body(i) for every i in [begin, end) on the pool, splitting the
+/// range into contiguous chunks (at most 4 per worker so uneven bodies
+/// still balance). Blocks until every iteration has finished; if any
+/// bodies threw, rethrows the first (in chunk order) afterwards.
+void ParallelFor(ThreadPool& pool, std::size_t begin, std::size_t end,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace sjoin
+
+#endif  // SJOIN_COMMON_THREAD_POOL_H_

@@ -116,11 +116,12 @@ void HeebJoinPolicy::EnsurePredictions(const PolicyContext& ctx) {
   if (predictions_time_ == ctx.now) return;
   for (StreamSide side : {StreamSide::kR, StreamSide::kS}) {
     auto& preds = predictions_[SideIndex(side)];
-    preds.clear();
-    preds.reserve(static_cast<std::size_t>(horizon_));
+    // Overwrite last step's pmfs in place: PredictInto reuses each slot's
+    // mass buffer, so the rebuild is allocation-free in steady state.
+    preds.resize(static_cast<std::size_t>(horizon_));
     for (Time dt = 1; dt <= horizon_; ++dt) {
-      preds.push_back(
-          process(side)->Predict(*history(side, ctx), ctx.now + dt));
+      process(side)->PredictInto(*history(side, ctx), ctx.now + dt,
+                                 &preds[static_cast<std::size_t>(dt - 1)]);
     }
   }
   predictions_time_ = ctx.now;
@@ -226,14 +227,18 @@ void HeebJoinPolicy::EndStep(const PolicyContext& ctx,
       options_.mode != Mode::kValueIncremental) {
     return;
   }
-  // Drop state for evicted tuples.
-  std::unordered_map<TupleId, CachedState> kept;
-  kept.reserve(retained.size());
-  for (TupleId id : retained) {
-    auto it = cached_h_.find(id);
-    if (it != cached_h_.end()) kept.emplace(id, it->second);
+  // Drop state for evicted tuples in place — no per-step map rebuild.
+  // This also erases entries created for arrivals that were scored but
+  // never retained, so they cannot accumulate across steps.
+  retained_scratch_.clear();
+  retained_scratch_.insert(retained.begin(), retained.end());
+  for (auto it = cached_h_.begin(); it != cached_h_.end();) {
+    if (retained_scratch_.contains(it->first)) {
+      ++it;
+    } else {
+      it = cached_h_.erase(it);
+    }
   }
-  cached_h_ = std::move(kept);
 }
 
 }  // namespace sjoin

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "sjoin/core/lifetime_fn.h"
@@ -122,6 +123,8 @@ class HeebJoinPolicy final : public ScoredPolicy {
   };
   std::unordered_map<TupleId, CachedState> cached_h_;
   Time last_step_time_ = -1;
+  // EndStep scratch (reused across steps to avoid reallocation).
+  std::unordered_set<TupleId> retained_scratch_;
 
   // kWalkTable: per-side lookup tables (indexed by the side of the cached
   // tuple; the table is built from the partner's walk).

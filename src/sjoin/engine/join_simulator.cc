@@ -8,6 +8,13 @@
 #include "sjoin/stochastic/stream_history.h"
 
 namespace sjoin {
+namespace {
+
+/// Below this capacity the Phase-1 linear probe beats the hash index (two
+/// comparisons per cached tuple vs. hash lookups plus index upkeep).
+constexpr std::size_t kValueIndexMinCapacity = 32;
+
+}  // namespace
 
 JoinSimulator::JoinSimulator(Options options) : options_(options) {
   SJOIN_CHECK_GE(options_.capacity, 1u);
@@ -28,6 +35,29 @@ JoinRunResult JoinSimulator::Run(const std::vector<Value>& r,
   StreamHistory history_s;
   TupleId next_id = 0;
 
+  // Step-loop scratch, hoisted so the steady state allocates nothing.
+  std::vector<Tuple> arrivals;
+  arrivals.reserve(2);
+  std::vector<Tuple> new_cache;
+  new_cache.reserve(options_.capacity);
+  std::unordered_map<TupleId, Tuple> candidates;
+  candidates.reserve(options_.capacity + 2);
+  std::unordered_set<TupleId> retained_set;
+  retained_set.reserve(options_.capacity + 2);
+
+  // Large caches probe arrivals against per-side value -> count indexes of
+  // the cached tuples, maintained with the <= 2 insertions and evictions a
+  // step can make, instead of scanning the whole cache. Windowed runs
+  // expire tuples by age, which the value counts cannot see, so they keep
+  // the linear probe; so do tiny caches, where the scan is cheaper.
+  const bool use_value_index = !options_.window.has_value() &&
+                               options_.capacity >= kValueIndexMinCapacity;
+  std::unordered_map<Value, std::int64_t> cached_values[2];
+  if (use_value_index) {
+    cached_values[0].reserve(options_.capacity);
+    cached_values[1].reserve(options_.capacity);
+  }
+
   Time len = static_cast<Time>(r.size());
   for (Time t = 0; t < len; ++t) {
     Tuple r_tuple{next_id++, StreamSide::kR,
@@ -37,13 +67,26 @@ JoinRunResult JoinSimulator::Run(const std::vector<Value>& r,
 
     // Phase 1: arrivals join with the cache chosen at the previous step.
     std::int64_t produced = 0;
-    for (const Tuple& cached : cache) {
-      if (!InWindow(cached, t, options_.window)) continue;
-      if (cached.side == StreamSide::kS && cached.value == r_tuple.value) {
-        ++produced;
-      }
-      if (cached.side == StreamSide::kR && cached.value == s_tuple.value) {
-        ++produced;
+    if (use_value_index) {
+      auto count_of = [](const std::unordered_map<Value, std::int64_t>& index,
+                         Value v) -> std::int64_t {
+        auto it = index.find(v);
+        return it == index.end() ? 0 : it->second;
+      };
+      produced =
+          count_of(cached_values[SideIndex(StreamSide::kS)], r_tuple.value) +
+          count_of(cached_values[SideIndex(StreamSide::kR)], s_tuple.value);
+    } else {
+      for (const Tuple& cached : cache) {
+        if (!InWindow(cached, t, options_.window)) continue;
+        if (cached.side == StreamSide::kS &&
+            cached.value == r_tuple.value) {
+          ++produced;
+        }
+        if (cached.side == StreamSide::kR &&
+            cached.value == s_tuple.value) {
+          ++produced;
+        }
       }
     }
     result.total_results += produced;
@@ -52,7 +95,9 @@ JoinRunResult JoinSimulator::Run(const std::vector<Value>& r,
     // Phase 2: the policy picks the new cache content.
     history_r.Append(r_tuple.value);
     history_s.Append(s_tuple.value);
-    std::vector<Tuple> arrivals = {r_tuple, s_tuple};
+    arrivals.clear();
+    arrivals.push_back(r_tuple);
+    arrivals.push_back(s_tuple);
     PolicyContext ctx;
     ctx.now = t;
     ctx.capacity = options_.capacity;
@@ -65,23 +110,37 @@ JoinRunResult JoinSimulator::Run(const std::vector<Value>& r,
     std::vector<TupleId> retained = policy.SelectRetained(ctx);
     SJOIN_CHECK_LE(retained.size(), options_.capacity);
 
-    std::unordered_map<TupleId, Tuple> candidates;
-    candidates.reserve(cache.size() + arrivals.size());
+    candidates.clear();
     for (const Tuple& tuple : cache) candidates.emplace(tuple.id, tuple);
     for (const Tuple& tuple : arrivals) candidates.emplace(tuple.id, tuple);
+    result.peak_candidates = std::max(
+        result.peak_candidates, static_cast<std::int64_t>(candidates.size()));
 
-    std::vector<Tuple> new_cache;
-    new_cache.reserve(retained.size());
-    std::unordered_set<TupleId> seen;
+    new_cache.clear();
+    retained_set.clear();
     for (TupleId id : retained) {
       auto it = candidates.find(id);
       SJOIN_CHECK_MSG(it != candidates.end(),
                       "policy retained a tuple that is not a candidate");
-      SJOIN_CHECK_MSG(seen.insert(id).second,
+      SJOIN_CHECK_MSG(retained_set.insert(id).second,
                       "policy retained the same tuple twice");
       new_cache.push_back(it->second);
     }
-    cache = std::move(new_cache);
+
+    if (use_value_index) {
+      for (const Tuple& tuple : cache) {
+        if (retained_set.contains(tuple.id)) continue;  // Still cached.
+        auto& index = cached_values[SideIndex(tuple.side)];
+        auto it = index.find(tuple.value);
+        if (--it->second == 0) index.erase(it);
+      }
+      for (const Tuple& tuple : arrivals) {
+        if (retained_set.contains(tuple.id)) {
+          ++cached_values[SideIndex(tuple.side)][tuple.value];
+        }
+      }
+    }
+    cache.swap(new_cache);
 
     if (options_.track_cache_composition) {
       std::size_t r_count = 0;

@@ -30,6 +30,9 @@ struct JoinRunResult {
   /// When Options::track_cache_composition is set: fraction of cache slots
   /// holding R tuples after each step (Figures 14, 17, 18).
   std::vector<double> r_fraction_by_time;
+  /// Largest candidate set (cache plus arrivals) handed to the policy in
+  /// any step; perf telemetry for BENCH_perf.json.
+  std::int64_t peak_candidates = 0;
 };
 
 /// Runs one joining experiment.

@@ -49,17 +49,17 @@ MultiHeebPolicy::MultiHeebPolicy(
 std::vector<TupleId> MultiHeebPolicy::SelectRetained(
     const MultiPolicyContext& ctx) {
   int n = simulator_->num_streams();
-  // Predictive pmfs per stream for the current step.
-  std::vector<std::vector<DiscreteDistribution>> predictions(
-      static_cast<std::size_t>(n));
+  // Predictive pmfs per stream for the current step, rebuilt in place.
+  predictions_.resize(static_cast<std::size_t>(n));
   for (int s = 0; s < n; ++s) {
-    auto& preds = predictions[static_cast<std::size_t>(s)];
-    preds.reserve(static_cast<std::size_t>(options_.horizon));
+    auto& preds = predictions_[static_cast<std::size_t>(s)];
+    preds.resize(static_cast<std::size_t>(options_.horizon));
     const StreamHistory& history =
         (*ctx.histories)[static_cast<std::size_t>(s)];
     for (Time dt = 1; dt <= options_.horizon; ++dt) {
-      preds.push_back(processes_[static_cast<std::size_t>(s)]->Predict(
-          history, ctx.now + dt));
+      processes_[static_cast<std::size_t>(s)]->PredictInto(
+          history, ctx.now + dt,
+          &preds[static_cast<std::size_t>(dt - 1)]);
     }
   }
 
@@ -71,7 +71,7 @@ std::vector<TupleId> MultiHeebPolicy::SelectRetained(
     double h = 0.0;
     // Appendix C: sum the binary HEEB over all partner streams.
     for (int partner : simulator_->PartnersOf(tuple.stream)) {
-      const auto& preds = predictions[static_cast<std::size_t>(partner)];
+      const auto& preds = predictions_[static_cast<std::size_t>(partner)];
       for (Time dt = 1; dt <= max_dt; ++dt) {
         h += preds[static_cast<std::size_t>(dt - 1)].Prob(tuple.value) *
              lifetime_.At(dt);

@@ -38,6 +38,9 @@ class MultiHeebPolicy final : public MultiReplacementPolicy {
   const MultiJoinSimulator* simulator_;
   Options options_;
   ExpLifetime lifetime_;
+  // Per-step predictive pmfs, [stream][dt-1]; kept as a member and
+  // overwritten in place so the per-step rebuild does not allocate.
+  std::vector<std::vector<DiscreteDistribution>> predictions_;
 };
 
 /// Random eviction baseline for the multi-join problem.

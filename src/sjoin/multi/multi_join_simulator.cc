@@ -57,9 +57,19 @@ MultiJoinRunResult MultiJoinSimulator::Run(
     joins[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] = 1;
   }
 
+  // Step-loop scratch, hoisted so the steady state allocates nothing.
+  std::vector<MultiTuple> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(num_streams_));
+  std::vector<MultiTuple> new_cache;
+  new_cache.reserve(options_.capacity);
+  std::unordered_map<TupleId, MultiTuple> candidates;
+  candidates.reserve(options_.capacity +
+                     static_cast<std::size_t>(num_streams_));
+  std::unordered_set<TupleId> seen;
+  seen.reserve(options_.capacity);
+
   for (Time t = 0; t < len; ++t) {
-    std::vector<MultiTuple> arrivals;
-    arrivals.reserve(static_cast<std::size_t>(num_streams_));
+    arrivals.clear();
     for (int s = 0; s < num_streams_; ++s) {
       arrivals.push_back(
           {MultiTupleIdAt(num_streams_, s, t), s,
@@ -102,13 +112,13 @@ MultiJoinRunResult MultiJoinSimulator::Run(
     std::vector<TupleId> retained = policy.SelectRetained(ctx);
     SJOIN_CHECK_LE(retained.size(), options_.capacity);
 
-    std::unordered_map<TupleId, MultiTuple> candidates;
+    candidates.clear();
     for (const MultiTuple& tuple : cache) candidates.emplace(tuple.id, tuple);
     for (const MultiTuple& tuple : arrivals) {
       candidates.emplace(tuple.id, tuple);
     }
-    std::vector<MultiTuple> new_cache;
-    std::unordered_set<TupleId> seen;
+    new_cache.clear();
+    seen.clear();
     for (TupleId id : retained) {
       auto it = candidates.find(id);
       SJOIN_CHECK_MSG(it != candidates.end(),
@@ -117,7 +127,7 @@ MultiJoinRunResult MultiJoinSimulator::Run(
                       "policy retained the same tuple twice");
       new_cache.push_back(it->second);
     }
-    cache = std::move(new_cache);
+    cache.swap(new_cache);
   }
   return result;
 }

@@ -73,6 +73,19 @@ class DiscreteDistribution {
   /// Distribution of X + delta.
   DiscreteDistribution ShiftedBy(Value delta) const;
 
+  /// Makes *this the distribution of X_src + delta, reusing the existing
+  /// masses buffer (no allocation once its capacity suffices). This is the
+  /// mutation path behind StochasticProcess::PredictInto, which HEEB's
+  /// per-step prediction rebuild runs through.
+  void AssignShiftedCopy(const DiscreteDistribution& src, Value delta) {
+    if (&src == this) {
+      min_value_ += delta;
+      return;
+    }
+    min_value_ = src.min_value_ + delta;
+    masses_.assign(src.masses_.begin(), src.masses_.end());
+  }
+
   /// Distribution of X + Y for independent X (this) and Y (other).
   DiscreteDistribution Convolve(const DiscreteDistribution& other) const;
 

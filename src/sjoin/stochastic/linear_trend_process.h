@@ -32,6 +32,12 @@ class LinearTrendProcess final : public StochasticProcess {
     return noise_.ShiftedBy(TrendAt(t));
   }
 
+  void PredictInto(const StreamHistory& history, Time t,
+                   DiscreteDistribution* out) const override {
+    (void)history;
+    out->AssignShiftedCopy(noise_, TrendAt(t));
+  }
+
   bool IsIndependent() const override { return true; }
 
   std::unique_ptr<StochasticProcess> Clone() const override {

@@ -7,4 +7,9 @@ Value StochasticProcess::SampleNext(const StreamHistory& history,
   return Predict(history, history.size()).Sample(rng);
 }
 
+void StochasticProcess::PredictInto(const StreamHistory& history, Time t,
+                                    DiscreteDistribution* out) const {
+  *out = Predict(history, t);
+}
+
 }  // namespace sjoin

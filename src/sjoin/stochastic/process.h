@@ -32,6 +32,15 @@ class StochasticProcess {
   virtual DiscreteDistribution Predict(const StreamHistory& history,
                                        Time t) const = 0;
 
+  /// Predict() writing into an existing distribution. Semantically
+  /// identical to `*out = Predict(history, t)`; hot callers (HEEB rebuilds
+  /// horizon-many pmfs per step) use it so implementations can reuse
+  /// `out`'s buffer instead of allocating. The default delegates to
+  /// Predict(); processes whose pmf is a shift of a stored one override it
+  /// allocation-free.
+  virtual void PredictInto(const StreamHistory& history, Time t,
+                           DiscreteDistribution* out) const;
+
   /// Draws the value at time history.size() (the next arrival) and is used
   /// by samplers to generate realizations. The default draws from
   /// Predict(history, history.size()).

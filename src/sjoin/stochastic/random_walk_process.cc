@@ -14,6 +14,16 @@ DiscreteDistribution RandomWalkProcess::Predict(const StreamHistory& history,
   return StepSum(steps).ShiftedBy(last);
 }
 
+void RandomWalkProcess::PredictInto(const StreamHistory& history, Time t,
+                                    DiscreteDistribution* out) const {
+  SJOIN_CHECK_GE(t, history.size());
+  Value last = history.empty() ? initial_value_ : history.back();
+  Time last_time = history.size() - 1;  // -1 for the initial value.
+  Time steps = t - last_time;
+  SJOIN_CHECK_GE(steps, 1);
+  out->AssignShiftedCopy(StepSum(steps), last);
+}
+
 const DiscreteDistribution& RandomWalkProcess::StepSum(Time n) const {
   SJOIN_CHECK_GE(n, 1);
   if (step_powers_.empty()) step_powers_.push_back(step_);

@@ -29,6 +29,9 @@ class RandomWalkProcess final : public StochasticProcess {
   DiscreteDistribution Predict(const StreamHistory& history,
                                Time t) const override;
 
+  void PredictInto(const StreamHistory& history, Time t,
+                   DiscreteDistribution* out) const override;
+
   bool IsIndependent() const override { return false; }
 
   std::unique_ptr<StochasticProcess> Clone() const override {

@@ -1,0 +1,103 @@
+#include "sjoin/common/thread_pool.h"
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace sjoin {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (std::future<void>& future : futures) future.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+    // Futures intentionally dropped: the destructor must still run all.
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineOnCallingThread) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::thread::id task_thread;
+  std::future<void> future =
+      pool.Submit([&task_thread] { task_thread = std::this_thread::get_id(); });
+  // Inline execution: by the time Submit returns, the task has run, on
+  // this very thread. This is what makes --threads=1 the serial baseline.
+  EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(task_thread, std::this_thread::get_id());
+}
+
+TEST(ThreadPoolTest, PropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  std::future<void> future =
+      pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+
+  // The worker that ran the throwing task must survive for later tasks.
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1);
+}
+
+TEST(ParallelForTest, VisitsEachIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> visits(kN);
+  ParallelFor(pool, 0, kN, [&visits](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, HonorsNonZeroBegin) {
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> visits(20);
+  ParallelFor(pool, 7, 13, [&visits](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), (i >= 7 && i < 13) ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(pool, 5, 5, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, RethrowsBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(ParallelFor(pool, 0, 8,
+                           [](std::size_t i) {
+                             if (i == 3) throw std::runtime_error("bad");
+                           }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sjoin
