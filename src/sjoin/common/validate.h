@@ -1,0 +1,48 @@
+#ifndef SJOIN_COMMON_VALIDATE_H_
+#define SJOIN_COMMON_VALIDATE_H_
+
+#include "sjoin/common/check.h"
+
+/// \file
+/// Opt-in internal invariant hooks.
+///
+/// SJOIN_CHECK guards cheap, always-on preconditions. SJOIN_VALIDATE is for
+/// the expensive cross-checks that re-derive internal state from first
+/// principles (re-scanning the cache to verify an incremental index,
+/// checking flow conservation over a whole graph). They are compiled away
+/// unless the build defines SJOIN_VALIDATE_ENABLED (CMake option
+/// -DSJOIN_VALIDATE=ON; the sanitizer CI jobs turn it on), so Release hot
+/// paths pay nothing.
+///
+/// Usage: wrap multi-statement validation blocks in
+/// `if constexpr (kValidationEnabled) { ... }` so the compiler still
+/// type-checks them in every build, and assert with SJOIN_VALIDATE /
+/// SJOIN_VALIDATE_MSG inside.
+
+namespace sjoin {
+
+#if defined(SJOIN_VALIDATE_ENABLED)
+inline constexpr bool kValidationEnabled = true;
+#else
+inline constexpr bool kValidationEnabled = false;
+#endif
+
+}  // namespace sjoin
+
+#if defined(SJOIN_VALIDATE_ENABLED)
+#define SJOIN_VALIDATE(condition) SJOIN_CHECK(condition)
+#define SJOIN_VALIDATE_MSG(condition, msg) SJOIN_CHECK_MSG(condition, msg)
+#else
+/// No-ops that still syntax-check their arguments without evaluating them.
+#define SJOIN_VALIDATE(condition) \
+  do {                            \
+    (void)sizeof((condition));    \
+  } while (false)
+#define SJOIN_VALIDATE_MSG(condition, msg) \
+  do {                                     \
+    (void)sizeof((condition));             \
+    (void)sizeof(msg);                     \
+  } while (false)
+#endif
+
+#endif  // SJOIN_COMMON_VALIDATE_H_

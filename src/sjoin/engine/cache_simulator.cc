@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "sjoin/common/check.h"
+#include "sjoin/common/validate.h"
 #include "sjoin/stochastic/stream_history.h"
 
 namespace sjoin {
@@ -56,6 +57,13 @@ CacheRunResult CacheSimulator::Run(const std::vector<Value>& references,
                         "policy retained the same value twice");
       }
       cache = std::move(retained);
+    }
+
+    if constexpr (kValidationEnabled) {
+      SJOIN_VALIDATE(cache.size() <= options_.capacity);
+      std::unordered_set<Value> unique(cache.begin(), cache.end());
+      SJOIN_VALIDATE_MSG(unique.size() == cache.size(),
+                         "cache holds duplicate values");
     }
   }
   return result;

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "sjoin/common/check.h"
+#include "sjoin/common/validate.h"
 #include "sjoin/stochastic/stream_history.h"
 
 namespace sjoin {
@@ -141,6 +142,21 @@ JoinRunResult JoinSimulator::Run(const std::vector<Value>& r,
       }
     }
     cache.swap(new_cache);
+
+    if constexpr (kValidationEnabled) {
+      SJOIN_VALIDATE(cache.size() <= options_.capacity);
+      if (use_value_index) {
+        // The incrementally-maintained value -> count indexes must match a
+        // from-scratch recount of the cache.
+        std::unordered_map<Value, std::int64_t> recount[2];
+        for (const Tuple& tuple : cache) {
+          ++recount[SideIndex(tuple.side)][tuple.value];
+        }
+        SJOIN_VALIDATE_MSG(recount[0] == cached_values[0] &&
+                               recount[1] == cached_values[1],
+                           "value index out of sync with cache contents");
+      }
+    }
 
     if (options_.track_cache_composition) {
       std::size_t r_count = 0;

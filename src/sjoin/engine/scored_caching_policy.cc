@@ -16,10 +16,14 @@ std::vector<Value> ScoredCachingPolicy::SelectRetained(
   std::vector<Candidate> candidates;
   candidates.reserve(ctx.cached->size() + 1);
   for (Value v : *ctx.cached) {
-    candidates.push_back({Score(v, ctx), v == ctx.referenced, v});
+    double score = Score(v, ctx);
+    if (score_observer_) score_observer_(v, score);
+    candidates.push_back({score, v == ctx.referenced, v});
   }
   if (!ctx.hit) {
-    candidates.push_back({Score(ctx.referenced, ctx), true, ctx.referenced});
+    double score = Score(ctx.referenced, ctx);
+    if (score_observer_) score_observer_(ctx.referenced, score);
+    candidates.push_back({score, true, ctx.referenced});
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& a, const Candidate& b) {

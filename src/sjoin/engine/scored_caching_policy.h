@@ -1,6 +1,8 @@
 #ifndef SJOIN_ENGINE_SCORED_CACHING_POLICY_H_
 #define SJOIN_ENGINE_SCORED_CACHING_POLICY_H_
 
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "sjoin/engine/caching_policy.h"
@@ -17,9 +19,20 @@ class ScoredCachingPolicy : public CachingPolicy {
  public:
   std::vector<Value> SelectRetained(const CachingContext& ctx) final;
 
+  /// Verification hook mirroring ScoredPolicy::set_score_observer: when
+  /// set, receives every candidate value's score as SelectRetained
+  /// computes it.
+  using ScoreObserver = std::function<void(Value, double)>;
+  void set_score_observer(ScoreObserver observer) {
+    score_observer_ = std::move(observer);
+  }
+
  protected:
   /// Desirability of keeping the database tuple with value `v`.
   virtual double Score(Value v, const CachingContext& ctx) = 0;
+
+ private:
+  ScoreObserver score_observer_;
 };
 
 }  // namespace sjoin

@@ -16,10 +16,14 @@ std::vector<TupleId> ScoredPolicy::SelectRetained(const PolicyContext& ctx) {
   std::vector<Candidate> candidates;
   candidates.reserve(ctx.cached->size() + ctx.arrivals->size());
   for (const Tuple& t : *ctx.cached) {
-    candidates.push_back({Score(t, ctx), t.arrival, t.id});
+    double score = Score(t, ctx);
+    if (score_observer_) score_observer_(t, score);
+    candidates.push_back({score, t.arrival, t.id});
   }
   for (const Tuple& t : *ctx.arrivals) {
-    candidates.push_back({Score(t, ctx), t.arrival, t.id});
+    double score = Score(t, ctx);
+    if (score_observer_) score_observer_(t, score);
+    candidates.push_back({score, t.arrival, t.id});
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& a, const Candidate& b) {

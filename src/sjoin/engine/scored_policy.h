@@ -1,6 +1,8 @@
 #ifndef SJOIN_ENGINE_SCORED_POLICY_H_
 #define SJOIN_ENGINE_SCORED_POLICY_H_
 
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "sjoin/engine/replacement_policy.h"
@@ -22,6 +24,15 @@ class ScoredPolicy : public ReplacementPolicy {
  public:
   std::vector<TupleId> SelectRetained(const PolicyContext& ctx) final;
 
+  /// Verification hook: when set, receives every candidate's score exactly
+  /// as SelectRetained computes it. The differential harness uses this to
+  /// compare scoring implementations in lockstep on a shared cache
+  /// trajectory; it costs one branch per candidate when unset.
+  using ScoreObserver = std::function<void(const Tuple&, double)>;
+  void set_score_observer(ScoreObserver observer) {
+    score_observer_ = std::move(observer);
+  }
+
  protected:
   /// Called once per step before any Score() calls; lets subclasses refresh
   /// per-step state (frequency tables, incremental HEEB values, ...).
@@ -37,6 +48,9 @@ class ScoredPolicy : public ReplacementPolicy {
     (void)ctx;
     (void)retained;
   }
+
+ private:
+  ScoreObserver score_observer_;
 };
 
 }  // namespace sjoin

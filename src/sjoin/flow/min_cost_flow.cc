@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sjoin/common/check.h"
+#include "sjoin/common/validate.h"
 
 namespace sjoin {
 namespace {
@@ -138,6 +139,30 @@ MinCostFlowResult SolveMinCostFlow(FlowGraph& graph, NodeId source,
     for (int v = 0; v < n; ++v) {
       potential[static_cast<std::size_t>(v)] +=
           std::min(dist[static_cast<std::size_t>(v)], dsink);
+    }
+  }
+
+  if constexpr (kValidationEnabled) {
+    // Flow conservation: the routed flow leaves the source, enters the
+    // sink, and balances at every other node.
+    std::vector<std::int64_t> net(static_cast<std::size_t>(n), 0);
+    for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+      const auto& arcs = graph.AdjacencyOf(u);
+      for (std::int32_t i = 0; i < static_cast<std::int32_t>(arcs.size());
+           ++i) {
+        if (!arcs[static_cast<std::size_t>(i)].is_forward) continue;
+        std::int64_t flow = graph.FlowOn(u, i);
+        SJOIN_VALIDATE_MSG(flow >= 0, "negative flow on a forward arc");
+        net[static_cast<std::size_t>(u)] += flow;
+        net[static_cast<std::size_t>(
+            arcs[static_cast<std::size_t>(i)].to)] -= flow;
+      }
+    }
+    for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+      std::int64_t expected =
+          u == source ? result.flow : (u == sink ? -result.flow : 0);
+      SJOIN_VALIDATE_MSG(net[static_cast<std::size_t>(u)] == expected,
+                         "flow not conserved at a node");
     }
   }
   return result;

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "sjoin/common/check.h"
+#include "sjoin/common/validate.h"
 
 namespace sjoin {
 
@@ -128,6 +129,14 @@ MultiJoinRunResult MultiJoinSimulator::Run(
       new_cache.push_back(it->second);
     }
     cache.swap(new_cache);
+
+    if constexpr (kValidationEnabled) {
+      SJOIN_VALIDATE(cache.size() <= options_.capacity);
+      for (const MultiTuple& tuple : cache) {
+        SJOIN_VALIDATE_MSG(tuple.stream >= 0 && tuple.stream < num_streams_,
+                           "cached tuple has an out-of-range stream");
+      }
+    }
   }
   return result;
 }

@@ -5,6 +5,7 @@
 
 #include "sjoin/common/check.h"
 #include "sjoin/common/math_util.h"
+#include "sjoin/common/validate.h"
 
 namespace sjoin {
 
@@ -148,6 +149,10 @@ void DiscreteDistribution::Normalize() {
     return;
   }
   for (double& m : masses_) m /= total;
+  if constexpr (kValidationEnabled) {
+    SJOIN_VALIDATE_MSG(std::abs(TotalMass() - 1.0) < 1e-9,
+                       "normalized pmf does not sum to 1");
+  }
 }
 
 }  // namespace sjoin

@@ -1,0 +1,161 @@
+#include "sjoin/testing/brute_force_flow.h"
+
+#include <bit>
+#include <limits>
+#include <sstream>
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+namespace testing {
+
+AssignmentInstance MakeRandomAssignmentInstance(Rng& rng, int max_workers,
+                                                int max_jobs) {
+  SJOIN_CHECK_GE(max_workers, 1);
+  SJOIN_CHECK_GE(max_jobs, 1);
+  AssignmentInstance instance;
+  instance.num_workers = static_cast<int>(rng.UniformInt(1, max_workers));
+  instance.num_jobs = static_cast<int>(rng.UniformInt(1, max_jobs));
+  instance.has_arc.assign(
+      static_cast<std::size_t>(instance.num_workers),
+      std::vector<bool>(static_cast<std::size_t>(instance.num_jobs), false));
+  instance.cost.assign(
+      static_cast<std::size_t>(instance.num_workers),
+      std::vector<double>(static_cast<std::size_t>(instance.num_jobs), 0.0));
+  for (int w = 0; w < instance.num_workers; ++w) {
+    for (int j = 0; j < instance.num_jobs; ++j) {
+      if (rng.UniformReal() >= 0.4) {
+        instance.has_arc[static_cast<std::size_t>(w)]
+                        [static_cast<std::size_t>(j)] = true;
+        instance.cost[static_cast<std::size_t>(w)]
+                     [static_cast<std::size_t>(j)] =
+            rng.UniformReal() * 8.0 - 4.0;
+      }
+    }
+  }
+  instance.target_flow =
+      rng.UniformInt(0, std::min(instance.num_workers, instance.num_jobs) + 1);
+  return instance;
+}
+
+void BuildAssignmentGraph(
+    const AssignmentInstance& instance, FlowGraph* graph, NodeId* source,
+    NodeId* sink, std::vector<std::vector<std::int32_t>>* worker_arcs) {
+  *source = graph->AddNode();
+  *sink = graph->AddNode();
+  NodeId first_worker = graph->AddNodes(instance.num_workers);
+  NodeId first_job = graph->AddNodes(instance.num_jobs);
+  if (worker_arcs != nullptr) {
+    worker_arcs->assign(
+        static_cast<std::size_t>(instance.num_workers),
+        std::vector<std::int32_t>(static_cast<std::size_t>(instance.num_jobs),
+                                  -1));
+  }
+  for (int w = 0; w < instance.num_workers; ++w) {
+    graph->AddArc(*source, first_worker + w, 1, 0.0);
+  }
+  for (int w = 0; w < instance.num_workers; ++w) {
+    for (int j = 0; j < instance.num_jobs; ++j) {
+      if (!instance.has_arc[static_cast<std::size_t>(w)]
+                           [static_cast<std::size_t>(j)]) {
+        continue;
+      }
+      std::int32_t arc = graph->AddArc(
+          first_worker + w, first_job + j, 1,
+          instance.cost[static_cast<std::size_t>(w)]
+                       [static_cast<std::size_t>(j)]);
+      if (worker_arcs != nullptr) {
+        (*worker_arcs)[static_cast<std::size_t>(w)]
+                      [static_cast<std::size_t>(j)] = arc;
+      }
+    }
+  }
+  for (int j = 0; j < instance.num_jobs; ++j) {
+    graph->AddArc(first_job + j, *sink, 1, 0.0);
+  }
+}
+
+std::vector<double> BruteForceAssignmentCosts(
+    const AssignmentInstance& instance) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  SJOIN_CHECK_LE(instance.num_jobs, 20);
+  std::size_t num_masks = std::size_t{1}
+                          << static_cast<std::size_t>(instance.num_jobs);
+  // best[mask] = min cost of matching exactly the job set `mask` using the
+  // workers considered so far, each at most once.
+  std::vector<double> best(num_masks, kInf);
+  best[0] = 0.0;
+  for (int w = 0; w < instance.num_workers; ++w) {
+    std::vector<double> next = best;  // Worker w left unmatched.
+    for (std::size_t mask = 0; mask < num_masks; ++mask) {
+      if (best[mask] == kInf) continue;
+      for (int j = 0; j < instance.num_jobs; ++j) {
+        std::size_t bit = std::size_t{1} << static_cast<std::size_t>(j);
+        if ((mask & bit) != 0) continue;
+        if (!instance.has_arc[static_cast<std::size_t>(w)]
+                             [static_cast<std::size_t>(j)]) {
+          continue;
+        }
+        double candidate =
+            best[mask] + instance.cost[static_cast<std::size_t>(w)]
+                                      [static_cast<std::size_t>(j)];
+        if (candidate < next[mask | bit]) next[mask | bit] = candidate;
+      }
+    }
+    best.swap(next);
+  }
+  int max_size = 0;
+  for (std::size_t mask = 0; mask < num_masks; ++mask) {
+    if (best[mask] < kInf) {
+      max_size = std::max(max_size, std::popcount(mask));
+    }
+  }
+  std::vector<double> by_size(static_cast<std::size_t>(max_size) + 1, kInf);
+  for (std::size_t mask = 0; mask < num_masks; ++mask) {
+    if (best[mask] == kInf) continue;
+    std::size_t size = static_cast<std::size_t>(std::popcount(mask));
+    if (best[mask] < by_size[size]) by_size[size] = best[mask];
+  }
+  return by_size;
+}
+
+std::string CheckFlowConsistency(const FlowGraph& graph, NodeId source,
+                                 NodeId sink) {
+  std::vector<std::int64_t> net(static_cast<std::size_t>(graph.NumNodes()),
+                                0);
+  for (NodeId node = 0; node < graph.NumNodes(); ++node) {
+    const auto& arcs = graph.AdjacencyOf(node);
+    for (std::int32_t i = 0; i < static_cast<std::int32_t>(arcs.size());
+         ++i) {
+      if (!arcs[static_cast<std::size_t>(i)].is_forward) continue;
+      std::int64_t flow = graph.FlowOn(node, i);
+      if (flow < 0) {
+        std::ostringstream out;
+        out << "negative flow " << flow << " on arc " << node << "->"
+            << arcs[static_cast<std::size_t>(i)].to;
+        return out.str();
+      }
+      net[static_cast<std::size_t>(node)] -= flow;
+      net[static_cast<std::size_t>(arcs[static_cast<std::size_t>(i)].to)] +=
+          flow;
+    }
+  }
+  for (NodeId node = 0; node < graph.NumNodes(); ++node) {
+    if (node == source || node == sink) continue;
+    if (net[static_cast<std::size_t>(node)] != 0) {
+      std::ostringstream out;
+      out << "flow conservation violated at node " << node << " (net "
+          << net[static_cast<std::size_t>(node)] << ")";
+      return out.str();
+    }
+  }
+  if (net[static_cast<std::size_t>(source)] +
+          net[static_cast<std::size_t>(sink)] !=
+      0) {
+    return "source outflow does not equal sink inflow";
+  }
+  return std::string();
+}
+
+}  // namespace testing
+}  // namespace sjoin

@@ -1,0 +1,62 @@
+#ifndef SJOIN_TESTING_BRUTE_FORCE_FLOW_H_
+#define SJOIN_TESTING_BRUTE_FORCE_FLOW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sjoin/common/rng.h"
+#include "sjoin/flow/flow_graph.h"
+
+/// \file
+/// Brute-force min-cost-flow oracle on small assignment (unit-capacity
+/// bipartite) instances. Every integral flow on such a network is a
+/// matching, so exhaustive enumeration over job subsets yields the exact
+/// minimum cost per matching size — the ground truth SolveMinCostFlow must
+/// reproduce, negative arc costs included.
+
+namespace sjoin {
+namespace testing {
+
+/// A bipartite assignment instance: unit-capacity arcs source->worker,
+/// worker->job (where present, with real possibly-negative cost), and
+/// job->sink.
+struct AssignmentInstance {
+  int num_workers = 0;
+  int num_jobs = 0;
+  /// has_arc[w][j] / cost[w][j] describe the worker->job arcs.
+  std::vector<std::vector<bool>> has_arc;
+  std::vector<std::vector<double>> cost;
+  /// Units requested from the solver.
+  std::int64_t target_flow = 0;
+};
+
+/// Samples an instance with 1..max_workers workers, 1..max_jobs jobs, each
+/// arc present with probability ~0.6, costs uniform in [-4, 4].
+AssignmentInstance MakeRandomAssignmentInstance(Rng& rng, int max_workers,
+                                                int max_jobs);
+
+/// Builds the flow network. On return `source`/`sink` identify the
+/// terminals and `worker_arcs[w][j]` holds the AddArc index of the
+/// worker->job arc (-1 where absent) for FlowOn queries; worker w is node
+/// 2 + w and job j is node 2 + num_workers + j.
+void BuildAssignmentGraph(const AssignmentInstance& instance,
+                          FlowGraph* graph, NodeId* source, NodeId* sink,
+                          std::vector<std::vector<std::int32_t>>* worker_arcs);
+
+/// min_cost_by_size[k] = cost of the cheapest matching of exactly k pairs
+/// (infinity where no matching of that size exists; index 0 is 0). The
+/// maximum matching size is min_cost_by_size.size() - 1.
+std::vector<double> BruteForceAssignmentCosts(
+    const AssignmentInstance& instance);
+
+/// Checks flow conservation at every non-terminal node of a solved graph
+/// by recounting FlowOn over all forward arcs, plus capacity bounds.
+/// Returns an error description, or empty if consistent.
+std::string CheckFlowConsistency(const FlowGraph& graph, NodeId source,
+                                 NodeId sink);
+
+}  // namespace testing
+}  // namespace sjoin
+
+#endif  // SJOIN_TESTING_BRUTE_FORCE_FLOW_H_

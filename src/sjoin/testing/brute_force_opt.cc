@@ -1,0 +1,96 @@
+#include "sjoin/testing/brute_force_opt.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "sjoin/common/check.h"
+#include "sjoin/engine/tuple.h"
+
+namespace sjoin {
+namespace testing {
+namespace {
+
+/// Exhaustive searcher. Tuple ids follow the simulator's scheme
+/// (TupleIdAt), so id -> (side, arrival, value) is recoverable from the
+/// realizations.
+class Searcher {
+ public:
+  Searcher(const std::vector<Value>& r, const std::vector<Value>& s,
+           std::size_t capacity, std::optional<Time> window)
+      : r_(r), s_(s), capacity_(capacity), window_(window) {}
+
+  std::int64_t Best() { return Rec(0, {}); }
+
+ private:
+  Value ValueOf(TupleId id) const {
+    std::size_t t = static_cast<std::size_t>(id / 2);
+    return (id % 2 == 0) ? r_[t] : s_[t];
+  }
+  Time ArrivalOf(TupleId id) const { return static_cast<Time>(id / 2); }
+  bool IsR(TupleId id) const { return id % 2 == 0; }
+
+  /// Max benefit obtainable from step t onward, entering it with `cache`
+  /// (sorted; the cache selected at the end of step t - 1).
+  std::int64_t Rec(Time t, std::vector<TupleId> cache) {
+    if (t >= static_cast<Time>(r_.size())) return 0;
+    auto key = std::make_pair(t, cache);
+    auto memo_it = memo_.find(key);
+    if (memo_it != memo_.end()) return memo_it->second;
+
+    // Phase 1: arrivals join the inherited cache.
+    Value r_value = r_[static_cast<std::size_t>(t)];
+    Value s_value = s_[static_cast<std::size_t>(t)];
+    std::int64_t benefit = 0;
+    for (TupleId id : cache) {
+      if (window_.has_value() && t - ArrivalOf(id) > *window_) continue;
+      if (IsR(id) ? ValueOf(id) == s_value : ValueOf(id) == r_value) {
+        ++benefit;
+      }
+    }
+
+    // Phase 2: try every feasible new cache.
+    std::vector<TupleId> candidates = cache;
+    candidates.push_back(TupleIdAt(StreamSide::kR, t));
+    candidates.push_back(TupleIdAt(StreamSide::kS, t));
+    std::int64_t best_future = 0;
+    std::size_t num_subsets = std::size_t{1} << candidates.size();
+    for (std::size_t mask = 0; mask < num_subsets; ++mask) {
+      std::vector<TupleId> next;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if ((mask >> i) & 1) next.push_back(candidates[i]);
+      }
+      if (next.size() > capacity_) continue;
+      std::sort(next.begin(), next.end());
+      best_future = std::max(best_future, Rec(t + 1, std::move(next)));
+    }
+
+    std::int64_t total = benefit + best_future;
+    memo_.emplace(std::move(key), total);
+    return total;
+  }
+
+  const std::vector<Value>& r_;
+  const std::vector<Value>& s_;
+  std::size_t capacity_;
+  std::optional<Time> window_;
+  std::map<std::pair<Time, std::vector<TupleId>>, std::int64_t> memo_;
+};
+
+}  // namespace
+
+std::int64_t BruteForceOfflineOptBenefit(const std::vector<Value>& r,
+                                         const std::vector<Value>& s,
+                                         std::size_t capacity,
+                                         std::optional<Time> window) {
+  SJOIN_CHECK_EQ(r.size(), s.size());
+  SJOIN_CHECK_GE(capacity, 1u);
+  // 2^(capacity + 2) subsets per state and states keyed by id subsets:
+  // strictly small instances only.
+  SJOIN_CHECK_LE(r.size(), 12u);
+  SJOIN_CHECK_LE(capacity, 4u);
+  return Searcher(r, s, capacity, window).Best();
+}
+
+}  // namespace testing
+}  // namespace sjoin

@@ -1,0 +1,32 @@
+#ifndef SJOIN_TESTING_BRUTE_FORCE_OPT_H_
+#define SJOIN_TESTING_BRUTE_FORCE_OPT_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sjoin/common/types.h"
+
+/// \file
+/// Brute-force offline OPT for the joining problem: exhaustive search over
+/// every feasible eviction schedule, memoized on (time, cache content).
+/// Exponential in general — keep instances tiny (length <= ~10, capacity
+/// <= 3) — but exact, which makes it the oracle for OptOfflinePolicy's
+/// min-cost-flow formulation.
+
+namespace sjoin {
+namespace testing {
+
+/// Maximum number of cache-produced result tuples any replacement schedule
+/// can achieve on the realization pair (r, s) with the given capacity and
+/// optional sliding window — the same quantity JoinSimulator counts in
+/// total_results (warmup 0) and OptOfflinePolicy::optimal_benefit().
+std::int64_t BruteForceOfflineOptBenefit(const std::vector<Value>& r,
+                                         const std::vector<Value>& s,
+                                         std::size_t capacity,
+                                         std::optional<Time> window);
+
+}  // namespace testing
+}  // namespace sjoin
+
+#endif  // SJOIN_TESTING_BRUTE_FORCE_OPT_H_

@@ -1,0 +1,874 @@
+#include "sjoin/testing/differential.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+
+#include "sjoin/common/check.h"
+#include "sjoin/common/rng.h"
+#include "sjoin/core/ecb.h"
+#include "sjoin/core/heeb.h"
+#include "sjoin/core/heeb_caching_policy.h"
+#include "sjoin/core/heeb_join_policy.h"
+#include "sjoin/core/lifetime_fn.h"
+#include "sjoin/engine/cache_simulator.h"
+#include "sjoin/engine/join_simulator.h"
+#include "sjoin/engine/reduction.h"
+#include "sjoin/engine/scored_caching_policy.h"
+#include "sjoin/engine/scored_policy.h"
+#include "sjoin/engine/tuple.h"
+#include "sjoin/flow/min_cost_flow.h"
+#include "sjoin/multi/multi_join_simulator.h"
+#include "sjoin/policies/lfu_policy.h"
+#include "sjoin/policies/life_policy.h"
+#include "sjoin/policies/lru_policy.h"
+#include "sjoin/policies/opt_offline_policy.h"
+#include "sjoin/policies/prob_policy.h"
+#include "sjoin/policies/random_caching_policy.h"
+#include "sjoin/policies/random_policy.h"
+#include "sjoin/testing/brute_force_flow.h"
+#include "sjoin/testing/brute_force_opt.h"
+#include "sjoin/testing/naive_reference.h"
+#include "sjoin/testing/naive_simulator.h"
+#include "sjoin/testing/scenario_generator.h"
+
+namespace sjoin {
+namespace testing {
+namespace {
+
+// Salts decorrelate the draw streams that share one trial seed (the
+// scenario shape, the realization, and auxiliary policy choices).
+constexpr std::uint64_t kRealizationSalt = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kAuxSalt = 0xbf58476d1ce4e5b9ULL;
+
+bool CloseEnough(double a, double b) {
+  return std::abs(a - b) <=
+         1e-9 * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+/// Exact comparison of two joining runs. `compare_composition` additionally
+/// requires identical r_fraction_by_time traces (elementwise bitwise —
+/// both sides derive them from the same integer counts).
+std::optional<std::string> ExpectEqualRuns(const std::string& context,
+                                           const JoinRunResult& oracle,
+                                           const JoinRunResult& optimized,
+                                           bool compare_composition) {
+  std::ostringstream out;
+  if (oracle.total_results != optimized.total_results ||
+      oracle.counted_results != optimized.counted_results) {
+    out << context << ": result counts diverge (oracle "
+        << oracle.total_results << "/" << oracle.counted_results
+        << ", optimized " << optimized.total_results << "/"
+        << optimized.counted_results << ")";
+    return out.str();
+  }
+  if (oracle.peak_candidates != optimized.peak_candidates) {
+    out << context << ": peak_candidates diverge (oracle "
+        << oracle.peak_candidates << ", optimized "
+        << optimized.peak_candidates << ")";
+    return out.str();
+  }
+  if (compare_composition) {
+    if (oracle.r_fraction_by_time.size() !=
+        optimized.r_fraction_by_time.size()) {
+      out << context << ": r_fraction trace lengths diverge";
+      return out.str();
+    }
+    for (std::size_t i = 0; i < oracle.r_fraction_by_time.size(); ++i) {
+      if (oracle.r_fraction_by_time[i] != optimized.r_fraction_by_time[i]) {
+        out << context << ": r_fraction diverges at step " << i << " (oracle "
+            << oracle.r_fraction_by_time[i] << ", optimized "
+            << optimized.r_fraction_by_time[i] << ")";
+        return out.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Runs `decider` and `other` over the same unwindowed cache trajectory
+/// (chosen by `decider`) and compares every candidate score they produce,
+/// within `tolerance` relative to max(1, |decider score|). This is how the
+/// incremental HEEB modes are verified: their recurrences are exact only
+/// up to re-anchored truncation/fp drift, so whole-run output equality is
+/// not a theorem (a drift-sized near-tie can legitimately flip an
+/// eviction), but scorewise agreement within the drift bound is.
+std::optional<std::string> LockstepJoinScoreCompare(
+    const Scenario& scenario, const std::vector<Value>& r,
+    const std::vector<Value>& s, ScoredPolicy& decider, ScoredPolicy& other,
+    const char* other_name, double tolerance) {
+  decider.Reset();
+  other.Reset();
+  std::unordered_map<TupleId, double> decider_scores;
+  std::unordered_map<TupleId, double> other_scores;
+  decider.set_score_observer([&decider_scores](const Tuple& t, double score) {
+    decider_scores[t.id] = score;
+  });
+  other.set_score_observer([&other_scores](const Tuple& t, double score) {
+    other_scores[t.id] = score;
+  });
+
+  std::optional<std::string> failure;
+  std::vector<Tuple> cache;
+  StreamHistory history_r;
+  StreamHistory history_s;
+  for (Time t = 0; t < scenario.length && !failure.has_value(); ++t) {
+    Value rv = r[static_cast<std::size_t>(t)];
+    Value sv = s[static_cast<std::size_t>(t)];
+    history_r.Append(rv);
+    history_s.Append(sv);
+    std::vector<Tuple> arrivals = {
+        Tuple{TupleIdAt(StreamSide::kR, t), StreamSide::kR, rv, t},
+        Tuple{TupleIdAt(StreamSide::kS, t), StreamSide::kS, sv, t}};
+    PolicyContext ctx;
+    ctx.now = t;
+    ctx.capacity = scenario.capacity;
+    ctx.cached = &cache;
+    ctx.arrivals = &arrivals;
+    ctx.history_r = &history_r;
+    ctx.history_s = &history_s;
+    decider_scores.clear();
+    other_scores.clear();
+    std::vector<TupleId> retained = decider.SelectRetained(ctx);
+    other.SelectRetained(ctx);
+    for (const auto& [id, expected] : decider_scores) {
+      auto it = other_scores.find(id);
+      if (it == other_scores.end()) {
+        std::ostringstream out;
+        out << scenario.description << ": " << other_name
+            << " never scored tuple " << id << " at step " << t;
+        failure = out.str();
+        break;
+      }
+      if (std::abs(it->second - expected) >
+          tolerance * std::max(1.0, std::abs(expected))) {
+        std::ostringstream out;
+        out << scenario.description << ": " << other_name
+            << " score for tuple " << id << " at step " << t
+            << " drifts beyond tolerance (direct " << expected << ", "
+            << other_name << " " << it->second << ")";
+        failure = out.str();
+        break;
+      }
+    }
+    std::vector<Tuple> next;
+    next.reserve(retained.size());
+    for (TupleId id : retained) {
+      for (const Tuple& tuple : cache) {
+        if (tuple.id == id) next.push_back(tuple);
+      }
+      for (const Tuple& tuple : arrivals) {
+        if (tuple.id == id) next.push_back(tuple);
+      }
+    }
+    cache = std::move(next);
+  }
+  decider.set_score_observer(nullptr);
+  other.set_score_observer(nullptr);
+  return failure;
+}
+
+/// Caching-side twin of LockstepJoinScoreCompare, following the
+/// CacheSimulator protocol (Observe every reference, SelectRetained on
+/// misses).
+std::optional<std::string> LockstepCachingScoreCompare(
+    const Scenario& scenario, const std::vector<Value>& references,
+    ScoredCachingPolicy& decider, ScoredCachingPolicy& other,
+    const char* other_name, double tolerance) {
+  decider.Reset();
+  other.Reset();
+  std::unordered_map<Value, double> decider_scores;
+  std::unordered_map<Value, double> other_scores;
+  decider.set_score_observer([&decider_scores](Value v, double score) {
+    decider_scores[v] = score;
+  });
+  other.set_score_observer([&other_scores](Value v, double score) {
+    other_scores[v] = score;
+  });
+
+  std::optional<std::string> failure;
+  std::vector<Value> cache;
+  StreamHistory history;
+  for (Time t = 0;
+       t < static_cast<Time>(references.size()) && !failure.has_value();
+       ++t) {
+    Value v = references[static_cast<std::size_t>(t)];
+    history.Append(v);
+    bool hit = std::find(cache.begin(), cache.end(), v) != cache.end();
+    CachingContext ctx;
+    ctx.now = t;
+    ctx.capacity = scenario.capacity;
+    ctx.cached = &cache;
+    ctx.referenced = v;
+    ctx.hit = hit;
+    ctx.history = &history;
+    decider.Observe(ctx);
+    other.Observe(ctx);
+    if (hit) continue;
+    decider_scores.clear();
+    other_scores.clear();
+    std::vector<Value> retained = decider.SelectRetained(ctx);
+    other.SelectRetained(ctx);
+    for (const auto& [value, expected] : decider_scores) {
+      auto it = other_scores.find(value);
+      if (it == other_scores.end()) {
+        std::ostringstream out;
+        out << scenario.description << ": " << other_name
+            << " never scored value " << value << " at step " << t;
+        failure = out.str();
+        break;
+      }
+      if (std::abs(it->second - expected) >
+          tolerance * std::max(1.0, std::abs(expected))) {
+        std::ostringstream out;
+        out << scenario.description << ": " << other_name << " score for "
+            << value << " at step " << t
+            << " drifts beyond tolerance (direct " << expected << ", "
+            << other_name << " " << it->second << ")";
+        failure = out.str();
+        break;
+      }
+    }
+    cache = std::move(retained);
+  }
+  decider.set_score_observer(nullptr);
+  other.set_score_observer(nullptr);
+  return failure;
+}
+
+// ---------------------------------------------------------------------------
+// Suite 1: ecb_heeb_scoring — tabulated ECB curves and HEEB closed forms
+// against from-scratch recomputation, bit for bit.
+
+std::optional<std::string> EcbHeebScoringTrial(std::uint64_t seed) {
+  ScenarioGenerator::Options options;
+  options.pool = ScenarioGenerator::Pool::kAny;
+  options.min_length = 6;
+  options.max_length = 20;
+  options.min_capacity = 1;
+  options.max_capacity = 4;
+  options.max_horizon = 16;
+  ScenarioGenerator generator(options);
+  Scenario scenario = generator.Sample(seed);
+  Rng realization_rng(seed ^ kRealizationSalt);
+  auto [r, s] = SampleRealization(scenario, realization_rng);
+  StreamHistory history_r(r);
+  StreamHistory history_s(s);
+  Time t0 = scenario.length - 1;
+
+  Rng aux(seed ^ kAuxSalt);
+  const std::vector<Value>& pool = aux.UniformReal() < 0.5 ? r : s;
+  Value v = pool[aux.UniformIndex(pool.size())] + aux.UniformInt(-2, 2);
+
+  ExpLifetime exp_lifetime(scenario.alpha);
+  FixedLifetime fixed_lifetime(aux.UniformInt(1, scenario.horizon));
+  InverseLifetime inverse_lifetime;
+  const LifetimeFn* lifetimes[] = {&exp_lifetime, &fixed_lifetime,
+                                   &inverse_lifetime};
+
+  struct SideCase {
+    const char* label;
+    const StochasticProcess* process;
+    const StreamHistory* history;
+  };
+  SideCase cases[] = {{"S", scenario.s_process.get(), &history_s},
+                      {"R", scenario.r_process.get(), &history_r}};
+
+  auto fail = [&](const char* what, const char* side, Time dt, double naive,
+                  double optimized) {
+    std::ostringstream out;
+    out << scenario.description << ", v=" << v << ", side=" << side << ": "
+        << what << " at dt=" << dt << " diverges (naive " << naive
+        << ", optimized " << optimized << ")";
+    return out.str();
+  };
+
+  for (const SideCase& side : cases) {
+    TabulatedEcb joining =
+        MakeJoiningEcb(*side.process, *side.history, t0, v, scenario.horizon);
+    TabulatedEcb caching =
+        MakeCachingEcb(*side.process, *side.history, t0, v, scenario.horizon);
+    for (Time dt = 1; dt <= scenario.horizon; ++dt) {
+      double naive =
+          NaiveJoiningEcbAt(*side.process, *side.history, t0, v, dt);
+      if (joining.At(dt) != naive) {
+        return fail("joining ECB", side.label, dt, naive, joining.At(dt));
+      }
+      naive = NaiveCachingEcbAt(*side.process, *side.history, t0, v, dt);
+      if (caching.At(dt) != naive) {
+        return fail("caching ECB", side.label, dt, naive, caching.At(dt));
+      }
+    }
+
+    // Sliding-window curve (Section 7), every point.
+    Time arrival = aux.UniformInt(0, t0);
+    Time window = aux.UniformInt(0, 2 * scenario.horizon);
+    TabulatedEcb windowed =
+        MakeWindowedEcb(joining, arrival, t0, window, scenario.horizon);
+    for (Time dt = 1; dt <= scenario.horizon; ++dt) {
+      double naive = NaiveWindowedEcbAt(joining, arrival, t0, window,
+                                        scenario.horizon, dt);
+      if (windowed.At(dt) != naive) {
+        return fail("windowed ECB", side.label, dt, naive, windowed.At(dt));
+      }
+    }
+
+    for (const LifetimeFn* lifetime : lifetimes) {
+      double optimized = HeebFromEcb(joining, *lifetime, scenario.horizon);
+      double naive = NaiveHeebFromEcb(joining, *lifetime, scenario.horizon);
+      if (optimized != naive) {
+        return fail("HeebFromEcb", side.label, scenario.horizon, naive,
+                    optimized);
+      }
+    }
+
+    double joining_heeb = JoiningHeeb(*side.process, *side.history, t0, v,
+                                      exp_lifetime, scenario.horizon);
+    double naive_joining = NaiveJoiningHeeb(
+        *side.process, *side.history, t0, v, exp_lifetime, scenario.horizon);
+    if (joining_heeb != naive_joining) {
+      return fail("JoiningHeeb", side.label, scenario.horizon, naive_joining,
+                  joining_heeb);
+    }
+    double caching_heeb = CachingHeeb(*side.process, *side.history, t0, v,
+                                      exp_lifetime, scenario.horizon);
+    double naive_caching = NaiveCachingHeeb(
+        *side.process, *side.history, t0, v, exp_lifetime, scenario.horizon);
+    if (caching_heeb != naive_caching) {
+      return fail("CachingHeeb", side.label, scenario.horizon, naive_caching,
+                  caching_heeb);
+    }
+
+    // Cross-form consistency (telescoping sums match only analytically, so
+    // these get a tolerance instead of bit equality).
+    double via_ecb = HeebFromEcb(joining, exp_lifetime, scenario.horizon);
+    if (!CloseEnough(via_ecb, joining_heeb)) {
+      return fail("HeebFromEcb vs JoiningHeeb", side.label, scenario.horizon,
+                  joining_heeb, via_ecb);
+    }
+    via_ecb = HeebFromEcb(caching, exp_lifetime, scenario.horizon);
+    if (!CloseEnough(via_ecb, caching_heeb)) {
+      return fail("HeebFromEcb vs CachingHeeb", side.label, scenario.horizon,
+                  caching_heeb, via_ecb);
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Suite 2: heeb_policy_join — full simulated runs of HeebJoinPolicy: the
+// kDirect path against the naive policy on the naive simulator (bit
+// identical), and each Section 4.4 incremental mode against kDirect on
+// result counts.
+
+std::optional<std::string> HeebPolicyJoinTrial(std::uint64_t seed) {
+  ScenarioGenerator::Options options;
+  options.min_length = 32;
+  options.max_length = 72;
+  options.min_capacity = 2;
+  options.max_capacity = 6;
+  options.max_horizon = 16;
+  int variant = static_cast<int>(seed % 3);
+  const char* incremental_name = "time-incremental";
+  HeebJoinPolicy::Mode incremental_mode =
+      HeebJoinPolicy::Mode::kTimeIncremental;
+  switch (variant) {
+    case 0:
+      options.pool = ScenarioGenerator::Pool::kIndependent;
+      options.window_probability = 0.35;
+      break;
+    case 1:
+      options.pool = ScenarioGenerator::Pool::kEqualSlopeTrends;
+      incremental_mode = HeebJoinPolicy::Mode::kValueIncremental;
+      incremental_name = "value-incremental";
+      break;
+    default:
+      options.pool = ScenarioGenerator::Pool::kWalks;
+      options.max_length = 56;
+      options.max_horizon = 12;
+      incremental_mode = HeebJoinPolicy::Mode::kWalkTable;
+      incremental_name = "walk-table";
+      break;
+  }
+  ScenarioGenerator generator(options);
+  Scenario scenario = generator.Sample(seed);
+  Rng realization_rng(seed ^ kRealizationSalt);
+  auto [r, s] = SampleRealization(scenario, realization_rng);
+
+  JoinSimulator::Options sim_options;
+  sim_options.capacity = scenario.capacity;
+  sim_options.warmup = scenario.warmup;
+  sim_options.window = scenario.window;
+  sim_options.track_cache_composition = true;
+  JoinSimulator optimized_sim(sim_options);
+  NaiveJoinSimulator naive_sim(sim_options);
+
+  HeebJoinPolicy::Options direct_options;
+  direct_options.mode = HeebJoinPolicy::Mode::kDirect;
+  direct_options.alpha = scenario.alpha;
+  direct_options.horizon = scenario.horizon;
+  HeebJoinPolicy direct(scenario.r_process.get(), scenario.s_process.get(),
+                        direct_options);
+  NaiveHeebJoinPolicy naive(scenario.r_process.get(),
+                            scenario.s_process.get(), scenario.alpha,
+                            scenario.horizon);
+
+  JoinRunResult direct_result = optimized_sim.Run(r, s, direct);
+  JoinRunResult naive_result = naive_sim.Run(r, s, naive);
+  if (auto mismatch =
+          ExpectEqualRuns(scenario.description + " [direct vs naive]",
+                          naive_result, direct_result, true)) {
+    return mismatch;
+  }
+
+  if (!scenario.window.has_value()) {
+    HeebJoinPolicy::Options incremental_options = direct_options;
+    incremental_options.mode = incremental_mode;
+    if (incremental_mode == HeebJoinPolicy::Mode::kWalkTable) {
+      // The walk table accumulates exactly the per-offset products kDirect
+      // sums (same doubles, same order), so whole runs match exactly at
+      // any horizon.
+      HeebJoinPolicy table(scenario.r_process.get(), scenario.s_process.get(),
+                           incremental_options);
+      JoinRunResult table_result = optimized_sim.Run(r, s, table);
+      if (table_result.total_results != direct_result.total_results ||
+          table_result.counted_results != direct_result.counted_results) {
+        std::ostringstream out;
+        out << scenario.description
+            << ": walk-table HEEB diverges from kDirect (direct "
+            << direct_result.total_results << "/"
+            << direct_result.counted_results << ", walk-table "
+            << table_result.total_results << "/"
+            << table_result.counted_results << ")";
+        return out.str();
+      }
+    } else {
+      // Corollaries 3/5 lose the truncation tail on every advance, so both
+      // sides run at horizon 0 (ExpHorizon, tail < 1e-9) and compare
+      // scores in lockstep. A short refresh interval keeps the e^{k/alpha}
+      // amplification of that tail far below the tolerance.
+      incremental_options.horizon = 0;
+      incremental_options.refresh_interval = 8;
+      HeebJoinPolicy::Options wide_options = direct_options;
+      wide_options.horizon = 0;
+      HeebJoinPolicy wide_direct(scenario.r_process.get(),
+                                 scenario.s_process.get(), wide_options);
+      HeebJoinPolicy incremental(scenario.r_process.get(),
+                                 scenario.s_process.get(),
+                                 incremental_options);
+      if (auto mismatch =
+              LockstepJoinScoreCompare(scenario, r, s, wide_direct,
+                                       incremental, incremental_name, 1e-4)) {
+        return mismatch;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Suite 3: min_cost_flow — SolveMinCostFlow on random unit-capacity
+// assignment networks against exhaustive matching enumeration.
+
+std::optional<std::string> MinCostFlowTrial(std::uint64_t seed) {
+  Rng rng(seed);
+  AssignmentInstance instance = MakeRandomAssignmentInstance(rng, 6, 6);
+
+  FlowGraph graph;
+  NodeId source = 0;
+  NodeId sink = 0;
+  std::vector<std::vector<std::int32_t>> worker_arcs;
+  BuildAssignmentGraph(instance, &graph, &source, &sink, &worker_arcs);
+  MinCostFlowResult solved =
+      SolveMinCostFlow(graph, source, sink, instance.target_flow);
+
+  std::vector<double> by_size = BruteForceAssignmentCosts(instance);
+  std::int64_t max_matching = static_cast<std::int64_t>(by_size.size()) - 1;
+  std::int64_t want_flow = std::min(instance.target_flow, max_matching);
+
+  auto context = [&] {
+    std::ostringstream out;
+    out << "assignment " << instance.num_workers << "x" << instance.num_jobs
+        << " target=" << instance.target_flow
+        << " max_matching=" << max_matching;
+    return out.str();
+  };
+  if (solved.flow != want_flow) {
+    std::ostringstream out;
+    out << context() << ": flow diverges (brute force " << want_flow
+        << ", solver " << solved.flow << ")";
+    return out.str();
+  }
+  double want_cost = by_size[static_cast<std::size_t>(want_flow)];
+  if (!CloseEnough(solved.cost, want_cost)) {
+    std::ostringstream out;
+    out << context() << ": cost diverges (brute force " << want_cost
+        << ", solver " << solved.cost << ")";
+    return out.str();
+  }
+
+  std::string inconsistency = CheckFlowConsistency(graph, source, sink);
+  if (!inconsistency.empty()) {
+    return context() + ": " + inconsistency;
+  }
+
+  // Decode the routed matching and re-derive flow and cost from the arcs.
+  std::vector<int> worker_degree(
+      static_cast<std::size_t>(instance.num_workers), 0);
+  std::vector<int> job_degree(static_cast<std::size_t>(instance.num_jobs),
+                              0);
+  std::int64_t pairs = 0;
+  double arc_cost = 0.0;
+  for (int w = 0; w < instance.num_workers; ++w) {
+    for (int j = 0; j < instance.num_jobs; ++j) {
+      std::int32_t arc =
+          worker_arcs[static_cast<std::size_t>(w)][static_cast<std::size_t>(j)];
+      if (arc < 0) continue;
+      std::int64_t flow = graph.FlowOn(static_cast<NodeId>(2 + w), arc);
+      if (flow == 0) continue;
+      if (flow != 1) {
+        return context() + ": unit arc carries more than one unit";
+      }
+      ++worker_degree[static_cast<std::size_t>(w)];
+      ++job_degree[static_cast<std::size_t>(j)];
+      ++pairs;
+      arc_cost += instance.cost[static_cast<std::size_t>(w)]
+                               [static_cast<std::size_t>(j)];
+    }
+  }
+  for (int degree : worker_degree) {
+    if (degree > 1) return context() + ": worker matched twice";
+  }
+  for (int degree : job_degree) {
+    if (degree > 1) return context() + ": job matched twice";
+  }
+  if (pairs != solved.flow || !CloseEnough(arc_cost, solved.cost)) {
+    std::ostringstream out;
+    out << context() << ": decoded matching (" << pairs << " pairs, cost "
+        << arc_cost << ") disagrees with result (" << solved.flow
+        << " units, cost " << solved.cost << ")";
+    return out.str();
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Suite 4: offline_opt — OptOfflinePolicy's min-cost-flow schedule against
+// exhaustive eviction search on tiny instances.
+
+std::optional<std::string> OfflineOptTrial(std::uint64_t seed) {
+  Rng rng(seed);
+  Time length = rng.UniformInt(4, 9);
+  std::size_t capacity = static_cast<std::size_t>(rng.UniformInt(1, 3));
+  Value domain = rng.UniformInt(2, 4);
+  std::vector<Value> r;
+  std::vector<Value> s;
+  for (Time t = 0; t < length; ++t) {
+    r.push_back(rng.UniformInt(0, domain - 1));
+    s.push_back(rng.UniformInt(0, domain - 1));
+  }
+  std::optional<Time> window;
+  if (rng.UniformReal() < 0.4) window = rng.UniformInt(0, 4);
+
+  std::int64_t brute =
+      BruteForceOfflineOptBenefit(r, s, capacity, window);
+  OptOfflinePolicy opt(r, s, capacity, window);
+
+  auto context = [&] {
+    std::ostringstream out;
+    out << "len=" << length << " cap=" << capacity << " domain=" << domain;
+    if (window.has_value()) out << " window=" << *window;
+    return out.str();
+  };
+  if (opt.optimal_benefit() != brute) {
+    std::ostringstream out;
+    out << context() << ": optimal benefit diverges (brute force " << brute
+        << ", flow " << opt.optimal_benefit() << ")";
+    return out.str();
+  }
+
+  JoinSimulator::Options sim_options;
+  sim_options.capacity = capacity;
+  sim_options.window = window;
+  JoinRunResult replayed = JoinSimulator(sim_options).Run(r, s, opt);
+  if (replayed.total_results != brute) {
+    std::ostringstream out;
+    out << context() << ": replayed schedule produces "
+        << replayed.total_results << " results, brute force says " << brute;
+    return out.str();
+  }
+  JoinRunResult naive_replayed = NaiveJoinSimulator(sim_options).Run(r, s, opt);
+  return ExpectEqualRuns(context() + " [replay, naive vs optimized sim]",
+                         naive_replayed, replayed, false);
+}
+
+// ---------------------------------------------------------------------------
+// Suite 5: join_simulator — JoinSimulator (hoisted buffers, value->count
+// index) against NaiveJoinSimulator, and the two-stream MultiJoinSimulator
+// against the binary engine, under assorted baseline policies.
+
+std::optional<std::string> JoinSimulatorTrial(std::uint64_t seed) {
+  ScenarioGenerator::Options options;
+  options.pool = ScenarioGenerator::Pool::kIndependent;
+  options.min_length = 48;
+  options.max_length = 120;
+  options.min_capacity = 1;
+  options.max_capacity = 8;
+  options.window_probability = 0.3;
+  ScenarioGenerator generator(options);
+  Scenario scenario = generator.Sample(seed);
+
+  Rng aux(seed ^ kAuxSalt);
+  if (aux.UniformReal() < 0.3) {
+    // Exercise the value->count index: it only engages unwindowed at
+    // capacity >= 32 (kValueIndexMinCapacity). The sampled length stays —
+    // scripted processes only cover their sampled run.
+    scenario.capacity = static_cast<std::size_t>(aux.UniformInt(32, 40));
+    scenario.window.reset();
+  }
+  Rng realization_rng(seed ^ kRealizationSalt);
+  auto [r, s] = SampleRealization(scenario, realization_rng);
+
+  std::unique_ptr<ReplacementPolicy> policy;
+  std::optional<Time> assumed_lifetime;
+  if (aux.UniformReal() < 0.5) assumed_lifetime = aux.UniformInt(4, 24);
+  switch (aux.UniformInt(0, 2)) {
+    case 0:
+      policy = std::make_unique<RandomPolicy>(seed ^ kAuxSalt,
+                                              assumed_lifetime);
+      break;
+    case 1:
+      policy = std::make_unique<ProbPolicy>(assumed_lifetime);
+      break;
+    default:
+      policy = std::make_unique<LifePolicy>(aux.UniformInt(4, 24));
+      break;
+  }
+
+  JoinSimulator::Options sim_options;
+  sim_options.capacity = scenario.capacity;
+  sim_options.warmup = scenario.warmup;
+  sim_options.window = scenario.window;
+  sim_options.track_cache_composition = true;
+  JoinRunResult optimized = JoinSimulator(sim_options).Run(r, s, *policy);
+  JoinRunResult naive = NaiveJoinSimulator(sim_options).Run(r, s, *policy);
+  std::string context =
+      scenario.description + " policy=" + policy->name();
+  if (auto mismatch = ExpectEqualRuns(context + " [naive vs optimized sim]",
+                                      naive, optimized, true)) {
+    return mismatch;
+  }
+
+  // Two streams joined along the single edge (0, 1) must reduce exactly to
+  // the binary simulator.
+  MultiJoinSimulator::Options multi_options;
+  multi_options.capacity = sim_options.capacity;
+  multi_options.warmup = sim_options.warmup;
+  multi_options.window = sim_options.window;
+  MultiJoinSimulator multi_sim(2, {{0, 1}}, multi_options);
+  BinaryAsMultiPolicy adapter(policy.get());
+  MultiJoinRunResult multi = multi_sim.Run({r, s}, adapter);
+  if (multi.total_results != optimized.total_results ||
+      multi.counted_results != optimized.counted_results) {
+    std::ostringstream out;
+    out << context << ": two-stream multi join diverges from binary (binary "
+        << optimized.total_results << "/" << optimized.counted_results
+        << ", multi " << multi.total_results << "/" << multi.counted_results
+        << ")";
+    return out.str();
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Suite 6: reduction — Theorem 1 (caching hits == joining results on the
+// transformed streams) under assorted caching policies, plus
+// HeebCachingPolicy kDirect against its naive oracle and kTimeIncremental
+// against kDirect.
+
+std::optional<std::string> ReductionTrial(std::uint64_t seed) {
+  ScenarioGenerator::Options options;
+  options.pool = ScenarioGenerator::Pool::kIndependent;
+  options.min_length = 48;
+  options.max_length = 110;
+  options.min_capacity = 2;
+  options.max_capacity = 6;
+  options.max_horizon = 12;
+  ScenarioGenerator generator(options);
+  Scenario scenario = generator.Sample(seed);
+  const StochasticProcess& reference = *scenario.r_process;
+  Rng realization_rng(seed ^ kRealizationSalt);
+  std::vector<Value> references =
+      SampleStream(reference, scenario.length, realization_rng);
+
+  Rng aux(seed ^ kAuxSalt);
+  std::unique_ptr<CachingPolicy> policy;
+  switch (aux.UniformInt(0, 2)) {
+    case 0:
+      policy = std::make_unique<LruCachingPolicy>();
+      break;
+    case 1:
+      policy = std::make_unique<LfuCachingPolicy>();
+      break;
+    default:
+      policy = std::make_unique<RandomCachingPolicy>(seed ^ kAuxSalt);
+      break;
+  }
+
+  CacheSimulator::Options cache_options;
+  cache_options.capacity = scenario.capacity;
+  cache_options.warmup = scenario.warmup;
+  CacheSimulator cache_sim(cache_options);
+  CacheRunResult cached = cache_sim.Run(references, *policy);
+
+  CachingReduction reduction(references);
+  ReductionJoinPolicy reduced_policy(&reduction, policy.get());
+  JoinSimulator::Options sim_options;
+  sim_options.capacity = scenario.capacity;
+  sim_options.warmup = scenario.warmup;
+  JoinRunResult joined = JoinSimulator(sim_options)
+                             .Run(reduction.r_stream(), reduction.s_stream(),
+                                  reduced_policy);
+  std::string context = scenario.description + " policy=" + policy->name();
+  if (joined.total_results != cached.hits ||
+      joined.counted_results != cached.counted_hits) {
+    std::ostringstream out;
+    out << context << ": Theorem 1 violated (caching " << cached.hits << "/"
+        << cached.counted_hits << " hits, reduced join "
+        << joined.total_results << "/" << joined.counted_results
+        << " results)";
+    return out.str();
+  }
+  JoinRunResult naive_joined =
+      NaiveJoinSimulator(sim_options)
+          .Run(reduction.r_stream(), reduction.s_stream(), reduced_policy);
+  if (auto mismatch =
+          ExpectEqualRuns(context + " [reduced join, naive vs optimized sim]",
+                          naive_joined, joined, false)) {
+    return mismatch;
+  }
+
+  // Caching HEEB: the optimized direct path must reproduce the naive oracle
+  // run exactly; the Corollary 4 incremental path must reproduce kDirect's
+  // hit counts.
+  HeebCachingPolicy::Options direct_options;
+  direct_options.mode = HeebCachingPolicy::Mode::kDirect;
+  direct_options.alpha = scenario.alpha;
+  direct_options.horizon = scenario.horizon;
+  HeebCachingPolicy direct(&reference, direct_options);
+  NaiveHeebCachingPolicy naive(&reference, scenario.alpha, scenario.horizon);
+  CacheRunResult direct_run = cache_sim.Run(references, direct);
+  CacheRunResult naive_run = cache_sim.Run(references, naive);
+  if (direct_run.hits != naive_run.hits ||
+      direct_run.misses != naive_run.misses ||
+      direct_run.counted_hits != naive_run.counted_hits ||
+      direct_run.counted_misses != naive_run.counted_misses) {
+    std::ostringstream out;
+    out << scenario.description
+        << ": caching HEEB kDirect diverges from naive oracle (naive "
+        << naive_run.hits << "/" << naive_run.counted_hits << ", direct "
+        << direct_run.hits << "/" << direct_run.counted_hits << ")";
+    return out.str();
+  }
+  // The Corollary 4 recurrence amplifies drift by e^{1/alpha}/(1-p) per
+  // step, so kTimeIncremental is verified scorewise in lockstep against
+  // kDirect — both at horizon 0 (ExpHorizon) with a short refresh
+  // interval — rather than on whole-run hit counts, where a drift-sized
+  // near-tie can legitimately flip an eviction.
+  HeebCachingPolicy::Options wide_options = direct_options;
+  wide_options.horizon = 0;
+  HeebCachingPolicy wide_direct(&reference, wide_options);
+  HeebCachingPolicy::Options incremental_options = wide_options;
+  incremental_options.mode = HeebCachingPolicy::Mode::kTimeIncremental;
+  incremental_options.refresh_interval = 4;
+  HeebCachingPolicy incremental(&reference, incremental_options);
+  return LockstepCachingScoreCompare(scenario, references, wide_direct,
+                                     incremental, "kTimeIncremental", 1e-3);
+}
+
+const std::vector<DifferentialSuite>& Registry() {
+  static const std::vector<DifferentialSuite> suites = {
+      {"ecb_heeb_scoring",
+       "tabulated ECB / HEEB closed forms vs from-scratch recomputation",
+       1000, &EcbHeebScoringTrial},
+      {"heeb_policy_join",
+       "HeebJoinPolicy kDirect vs naive policy+simulator; incremental modes "
+       "vs kDirect",
+       1000, &HeebPolicyJoinTrial},
+      {"min_cost_flow",
+       "SolveMinCostFlow vs exhaustive matching enumeration", 1000,
+       &MinCostFlowTrial},
+      {"offline_opt",
+       "OptOfflinePolicy flow schedule vs exhaustive eviction search", 1000,
+       &OfflineOptTrial},
+      {"join_simulator",
+       "JoinSimulator and two-stream MultiJoinSimulator vs the naive "
+       "simulator",
+       1000, &JoinSimulatorTrial},
+      {"reduction",
+       "Theorem 1 caching<->joining reduction; caching HEEB vs naive oracle",
+       1000, &ReductionTrial},
+  };
+  return suites;
+}
+
+}  // namespace
+
+const std::vector<DifferentialSuite>& AllDifferentialSuites() {
+  return Registry();
+}
+
+const DifferentialSuite* FindDifferentialSuite(std::string_view name) {
+  for (const DifferentialSuite& suite : Registry()) {
+    if (name == suite.name) return &suite;
+  }
+  return nullptr;
+}
+
+DifferentialReport RunDifferentialSuite(const DifferentialSuite& suite,
+                                        std::uint64_t base_seed, int trials) {
+  SJOIN_CHECK_GE(trials, 1);
+  DifferentialReport report;
+  report.suite = suite.name;
+  for (int i = 0; i < trials; ++i) {
+    std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    std::optional<std::string> failure = suite.run(seed);
+    ++report.trials_run;
+    if (failure.has_value()) {
+      if (report.failures == 0) {
+        report.first_failing_seed = seed;
+        report.first_failure = *failure;
+      }
+      ++report.failures;
+    }
+  }
+  return report;
+}
+
+std::string DifferentialReport::Summary() const {
+  std::ostringstream out;
+  out << "suite '" << suite << "': " << trials_run << " trials, " << failures
+      << " failures";
+  if (failures > 0) {
+    out << "\n  first failure (seed " << first_failing_seed
+        << "): " << first_failure << "\n  reproduce: fuzz_differential"
+        << " --suite=" << suite << " --seed=" << first_failing_seed
+        << " --trials=1";
+  }
+  return out.str();
+}
+
+int TrialCountFromEnv(int fallback) {
+  const char* env = std::getenv("SJOIN_DIFF_TRIALS");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(env, &end, 10);
+  if (end == nullptr || *end != '\0' || parsed <= 0) return fallback;
+  return static_cast<int>(parsed);
+}
+
+}  // namespace testing
+}  // namespace sjoin

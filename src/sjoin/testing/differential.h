@@ -1,0 +1,74 @@
+#ifndef SJOIN_TESTING_DIFFERENTIAL_H_
+#define SJOIN_TESTING_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// The differential driver: runs optimized-vs-oracle comparisons over
+/// thousands of seeded random trials. Each suite is a pure function of one
+/// seed returning nullopt (trial passed) or a mismatch description, so any
+/// failure reproduces from the reported seed alone:
+///
+///   fuzz_differential --suite=<name> --seed=<seed> --trials=1
+///
+/// The same registry backs both the ctest suites (label `differential`,
+/// tests/differential_*_test.cc) and the standalone fuzz_differential soak
+/// binary.
+
+namespace sjoin {
+namespace testing {
+
+/// Trials 0..trials-1 of a suite run with seeds base_seed + index. The
+/// default base makes runs reproducible across machines; soak runs pass
+/// fresh bases to cover new ground.
+inline constexpr std::uint64_t kDifferentialBaseSeed = 20050601;
+
+/// One optimized-vs-oracle comparison family.
+struct DifferentialSuite {
+  const char* name;
+  const char* description;
+  /// Trial count used by the ctest suites (before the SJOIN_DIFF_TRIALS
+  /// environment override).
+  int default_trials;
+  /// Runs one trial; nullopt on agreement, else a mismatch description.
+  std::optional<std::string> (*run)(std::uint64_t seed);
+};
+
+/// All registered suites.
+const std::vector<DifferentialSuite>& AllDifferentialSuites();
+
+/// Lookup by name; nullptr if unknown.
+const DifferentialSuite* FindDifferentialSuite(std::string_view name);
+
+/// Outcome of a batch of trials.
+struct DifferentialReport {
+  std::string suite;
+  int trials_run = 0;
+  int failures = 0;
+  std::uint64_t first_failing_seed = 0;
+  std::string first_failure;
+
+  bool ok() const { return failures == 0; }
+
+  /// Human-readable outcome; on failure includes the first mismatch and
+  /// the exact fuzz_differential command that reproduces it.
+  std::string Summary() const;
+};
+
+/// Runs `trials` consecutive seeds of `suite` starting at `base_seed`.
+DifferentialReport RunDifferentialSuite(const DifferentialSuite& suite,
+                                        std::uint64_t base_seed, int trials);
+
+/// Trial count for ctest runs: the SJOIN_DIFF_TRIALS environment variable
+/// when set to a positive integer (CI sanitizer jobs use 100), else
+/// `fallback`.
+int TrialCountFromEnv(int fallback);
+
+}  // namespace testing
+}  // namespace sjoin
+
+#endif  // SJOIN_TESTING_DIFFERENTIAL_H_

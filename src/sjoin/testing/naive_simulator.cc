@@ -1,0 +1,134 @@
+#include "sjoin/testing/naive_simulator.h"
+
+#include <algorithm>
+
+#include "sjoin/common/check.h"
+#include "sjoin/stochastic/stream_history.h"
+
+namespace sjoin {
+namespace testing {
+
+NaiveJoinSimulator::NaiveJoinSimulator(JoinSimulator::Options options)
+    : options_(options) {
+  SJOIN_CHECK_GE(options_.capacity, 1u);
+  SJOIN_CHECK_GE(options_.warmup, 0);
+  if (options_.window.has_value()) SJOIN_CHECK_GE(*options_.window, 0);
+}
+
+JoinRunResult NaiveJoinSimulator::Run(const std::vector<Value>& r,
+                                      const std::vector<Value>& s,
+                                      ReplacementPolicy& policy) const {
+  SJOIN_CHECK_EQ(r.size(), s.size());
+  policy.Reset();
+
+  JoinRunResult result;
+  std::vector<Tuple> cache;
+  StreamHistory history_r;
+  StreamHistory history_s;
+
+  Time len = static_cast<Time>(r.size());
+  for (Time t = 0; t < len; ++t) {
+    Tuple r_tuple{TupleIdAt(StreamSide::kR, t), StreamSide::kR,
+                  r[static_cast<std::size_t>(t)], t};
+    Tuple s_tuple{TupleIdAt(StreamSide::kS, t), StreamSide::kS,
+                  s[static_cast<std::size_t>(t)], t};
+
+    // Phase 1: arrivals join with the cache chosen at the previous step,
+    // one full linear scan per step.
+    std::int64_t produced = 0;
+    for (const Tuple& cached : cache) {
+      if (!InWindow(cached, t, options_.window)) continue;
+      if (cached.side == StreamSide::kS && cached.value == r_tuple.value) {
+        ++produced;
+      }
+      if (cached.side == StreamSide::kR && cached.value == s_tuple.value) {
+        ++produced;
+      }
+    }
+    result.total_results += produced;
+    if (t >= options_.warmup) result.counted_results += produced;
+
+    // Phase 2: the policy picks the new cache content. All containers are
+    // built fresh; candidate resolution is a linear search.
+    history_r.Append(r_tuple.value);
+    history_s.Append(s_tuple.value);
+    std::vector<Tuple> arrivals{r_tuple, s_tuple};
+    PolicyContext ctx;
+    ctx.now = t;
+    ctx.capacity = options_.capacity;
+    ctx.cached = &cache;
+    ctx.arrivals = &arrivals;
+    ctx.history_r = &history_r;
+    ctx.history_s = &history_s;
+    ctx.window = options_.window;
+
+    std::vector<TupleId> retained = policy.SelectRetained(ctx);
+    SJOIN_CHECK_LE(retained.size(), options_.capacity);
+
+    std::vector<Tuple> candidates;
+    for (const Tuple& tuple : cache) candidates.push_back(tuple);
+    for (const Tuple& tuple : arrivals) candidates.push_back(tuple);
+    result.peak_candidates = std::max(
+        result.peak_candidates, static_cast<std::int64_t>(candidates.size()));
+
+    std::vector<Tuple> new_cache;
+    for (TupleId id : retained) {
+      auto it = std::find_if(
+          candidates.begin(), candidates.end(),
+          [id](const Tuple& tuple) { return tuple.id == id; });
+      SJOIN_CHECK_MSG(it != candidates.end(),
+                      "policy retained a tuple that is not a candidate");
+      for (const Tuple& already : new_cache) {
+        SJOIN_CHECK_MSG(already.id != id,
+                        "policy retained the same tuple twice");
+      }
+      new_cache.push_back(*it);
+    }
+    cache = new_cache;
+
+    if (options_.track_cache_composition) {
+      std::size_t r_count = 0;
+      for (const Tuple& tuple : cache) {
+        if (tuple.side == StreamSide::kR) ++r_count;
+      }
+      result.r_fraction_by_time.push_back(
+          cache.empty() ? 0.0
+                        : static_cast<double>(r_count) /
+                              static_cast<double>(cache.size()));
+    }
+  }
+  return result;
+}
+
+std::vector<TupleId> BinaryAsMultiPolicy::SelectRetained(
+    const MultiPolicyContext& ctx) {
+  SJOIN_CHECK_EQ(ctx.arrivals->size(), 2u);
+  auto to_binary = [](const MultiTuple& tuple) {
+    SJOIN_CHECK(tuple.stream == 0 || tuple.stream == 1);
+    return Tuple{tuple.id,
+                 tuple.stream == 0 ? StreamSide::kR : StreamSide::kS,
+                 tuple.value, tuple.arrival};
+  };
+  std::vector<Tuple> cached;
+  cached.reserve(ctx.cached->size());
+  for (const MultiTuple& tuple : *ctx.cached) {
+    cached.push_back(to_binary(tuple));
+  }
+  std::vector<Tuple> arrivals;
+  arrivals.reserve(ctx.arrivals->size());
+  for (const MultiTuple& tuple : *ctx.arrivals) {
+    arrivals.push_back(to_binary(tuple));
+  }
+  PolicyContext binary_ctx;
+  binary_ctx.now = ctx.now;
+  binary_ctx.capacity = ctx.capacity;
+  binary_ctx.cached = &cached;
+  binary_ctx.arrivals = &arrivals;
+  binary_ctx.history_r = &(*ctx.histories)[0];
+  binary_ctx.history_s = &(*ctx.histories)[1];
+  binary_ctx.window = ctx.window;
+  return policy_->SelectRetained(binary_ctx);
+}
+
+}  // namespace testing
+}  // namespace sjoin

@@ -1,0 +1,59 @@
+#ifndef SJOIN_TESTING_NAIVE_SIMULATOR_H_
+#define SJOIN_TESTING_NAIVE_SIMULATOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "sjoin/engine/join_simulator.h"
+#include "sjoin/engine/replacement_policy.h"
+#include "sjoin/multi/multi_join_simulator.h"
+
+/// \file
+/// Reference join simulator with none of JoinSimulator's optimizations —
+/// fresh containers every step, linear scans for both the join probe and
+/// the candidate lookup, and no value->count index — used as the
+/// differential-testing oracle for the engine. For any deterministic
+/// policy, a run must reproduce JoinSimulator's JoinRunResult bit for bit
+/// (including r_fraction_by_time and peak_candidates).
+
+namespace sjoin {
+namespace testing {
+
+/// Naive twin of JoinSimulator; accepts the same Options.
+class NaiveJoinSimulator {
+ public:
+  explicit NaiveJoinSimulator(JoinSimulator::Options options);
+
+  /// Simulates exactly like JoinSimulator::Run, sans every shortcut.
+  JoinRunResult Run(const std::vector<Value>& r, const std::vector<Value>& s,
+                    ReplacementPolicy& policy) const;
+
+ private:
+  JoinSimulator::Options options_;
+};
+
+/// Adapts a binary ReplacementPolicy to the two-stream multi-join problem.
+/// MultiTupleIdAt(2, s, t) and TupleIdAt(side, t) coincide (both are
+/// 2t + s), so ids pass through unchanged; stream 0 plays R and stream 1
+/// plays S. Lets differential trials assert MultiJoinSimulator over
+/// {(0, 1)} == JoinSimulator for the same policy.
+class BinaryAsMultiPolicy final : public MultiReplacementPolicy {
+ public:
+  /// `policy` is not owned and must outlive the adapter.
+  explicit BinaryAsMultiPolicy(ReplacementPolicy* policy)
+      : policy_(policy) {}
+
+  void Reset() override { policy_->Reset(); }
+
+  std::vector<TupleId> SelectRetained(const MultiPolicyContext& ctx) override;
+
+  const char* name() const override { return policy_->name(); }
+
+ private:
+  ReplacementPolicy* policy_;
+};
+
+}  // namespace testing
+}  // namespace sjoin
+
+#endif  // SJOIN_TESTING_NAIVE_SIMULATOR_H_

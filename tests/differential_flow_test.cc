@@ -1,0 +1,22 @@
+// Differential suite for the min-cost-flow solver against exhaustive
+// matching enumeration on random assignment networks.
+
+#include <gtest/gtest.h>
+
+#include "sjoin/testing/differential.h"
+
+namespace sjoin {
+namespace testing {
+namespace {
+
+TEST(DifferentialFlowTest, MinCostFlowMatchesBruteForce) {
+  const DifferentialSuite* suite = FindDifferentialSuite("min_cost_flow");
+  ASSERT_NE(suite, nullptr);
+  DifferentialReport report = RunDifferentialSuite(
+      *suite, kDifferentialBaseSeed, TrialCountFromEnv(suite->default_trials));
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace sjoin

@@ -1,0 +1,33 @@
+// Differential suites for HEEB scoring: the tabulated / closed-form /
+// incremental implementations against from-scratch naive recomputation.
+// Trial counts come from SJOIN_DIFF_TRIALS when set (CI sanitizer jobs run
+// reduced counts); failures print the reproducing fuzz_differential
+// command.
+
+#include <gtest/gtest.h>
+
+#include "sjoin/testing/differential.h"
+
+namespace sjoin {
+namespace testing {
+namespace {
+
+void RunSuite(const char* name) {
+  const DifferentialSuite* suite = FindDifferentialSuite(name);
+  ASSERT_NE(suite, nullptr) << name;
+  DifferentialReport report = RunDifferentialSuite(
+      *suite, kDifferentialBaseSeed, TrialCountFromEnv(suite->default_trials));
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(DifferentialHeebTest, EcbHeebScoringMatchesNaive) {
+  RunSuite("ecb_heeb_scoring");
+}
+
+TEST(DifferentialHeebTest, HeebPolicyJoinMatchesNaive) {
+  RunSuite("heeb_policy_join");
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace sjoin

@@ -1,0 +1,22 @@
+// Differential suite for the offline-OPT flow formulation against
+// exhaustive eviction search on tiny instances.
+
+#include <gtest/gtest.h>
+
+#include "sjoin/testing/differential.h"
+
+namespace sjoin {
+namespace testing {
+namespace {
+
+TEST(DifferentialOptTest, OfflineOptMatchesBruteForce) {
+  const DifferentialSuite* suite = FindDifferentialSuite("offline_opt");
+  ASSERT_NE(suite, nullptr);
+  DifferentialReport report = RunDifferentialSuite(
+      *suite, kDifferentialBaseSeed, TrialCountFromEnv(suite->default_trials));
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace sjoin

@@ -1,0 +1,31 @@
+// Differential suites for the simulators: the optimized JoinSimulator /
+// MultiJoinSimulator against the no-reuse naive simulator, and the
+// Theorem 1 caching<->joining reduction.
+
+#include <gtest/gtest.h>
+
+#include "sjoin/testing/differential.h"
+
+namespace sjoin {
+namespace testing {
+namespace {
+
+void RunSuite(const char* name) {
+  const DifferentialSuite* suite = FindDifferentialSuite(name);
+  ASSERT_NE(suite, nullptr) << name;
+  DifferentialReport report = RunDifferentialSuite(
+      *suite, kDifferentialBaseSeed, TrialCountFromEnv(suite->default_trials));
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+TEST(DifferentialSimulatorTest, JoinSimulatorMatchesNaive) {
+  RunSuite("join_simulator");
+}
+
+TEST(DifferentialSimulatorTest, ReductionAndCachingHeebMatch) {
+  RunSuite("reduction");
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace sjoin

@@ -1,0 +1,104 @@
+// Standalone differential fuzz driver. Runs seeded optimized-vs-oracle
+// trials from the suite registry:
+//
+//   fuzz_differential                      # every suite, default trials
+//   fuzz_differential --suite=min_cost_flow --trials=100000
+//   fuzz_differential --suite=reduction --seed=20050613 --trials=1   # repro
+//   fuzz_differential --list
+//
+// Exit status 0 iff every trial agreed. The reported first-failure line
+// contains the exact command that replays the mismatch.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sjoin/testing/differential.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: fuzz_differential [--suite=NAME] [--seed=N] [--trials=N] "
+      "[--list]\n");
+}
+
+bool ParseUint64(const char* text, std::uint64_t* out) {
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(parsed);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using sjoin::testing::AllDifferentialSuites;
+  using sjoin::testing::DifferentialReport;
+  using sjoin::testing::DifferentialSuite;
+  using sjoin::testing::FindDifferentialSuite;
+  using sjoin::testing::kDifferentialBaseSeed;
+  using sjoin::testing::RunDifferentialSuite;
+
+  std::string suite_name;
+  std::uint64_t base_seed = kDifferentialBaseSeed;
+  std::int64_t trials = -1;  // -1: per-suite default
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--suite=", 8) == 0) {
+      suite_name = arg + 8;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      if (!ParseUint64(arg + 7, &base_seed)) {
+        PrintUsage();
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--trials=", 9) == 0) {
+      std::uint64_t parsed = 0;
+      if (!ParseUint64(arg + 9, &parsed) || parsed == 0) {
+        PrintUsage();
+        return 2;
+      }
+      trials = static_cast<std::int64_t>(parsed);
+    } else if (std::strcmp(arg, "--list") == 0) {
+      for (const DifferentialSuite& suite : AllDifferentialSuites()) {
+        std::printf("%-18s %s (default %d trials)\n", suite.name,
+                    suite.description, suite.default_trials);
+      }
+      return 0;
+    } else {
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  std::vector<const DifferentialSuite*> selected;
+  if (suite_name.empty()) {
+    for (const DifferentialSuite& suite : AllDifferentialSuites()) {
+      selected.push_back(&suite);
+    }
+  } else {
+    const DifferentialSuite* suite = FindDifferentialSuite(suite_name);
+    if (suite == nullptr) {
+      std::fprintf(stderr, "unknown suite '%s'; --list shows the registry\n",
+                   suite_name.c_str());
+      return 2;
+    }
+    selected.push_back(suite);
+  }
+
+  bool all_ok = true;
+  for (const DifferentialSuite* suite : selected) {
+    int count = trials > 0 ? static_cast<int>(trials) : suite->default_trials;
+    DifferentialReport report =
+        RunDifferentialSuite(*suite, base_seed, count);
+    std::printf("%s\n", report.Summary().c_str());
+    std::fflush(stdout);
+    all_ok = all_ok && report.ok();
+  }
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,169 @@
+#include "sjoin/common/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace sjoin {
+namespace {
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String("perf_smoke");
+  w.Key("threads");
+  w.Int(8);
+  w.Key("ok");
+  w.Bool(true);
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"name":"perf_smoke","threads":8,"ok":true})");
+  EXPECT_TRUE(JsonParses(w.str()));
+}
+
+TEST(JsonWriterTest, NestedContainersGetCommasRight) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("runs");
+  w.BeginArray();
+  w.BeginObject();
+  w.Key("t");
+  w.Int(0);
+  w.EndObject();
+  w.BeginObject();
+  w.Key("t");
+  w.Int(1);
+  w.Key("nested");
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.EndArray();
+  w.EndObject();
+  w.EndArray();
+  w.Key("tail");
+  w.String("x");
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            R"({"runs":[{"t":0},{"t":1,"nested":[1,2]}],"tail":"x"})");
+  EXPECT_TRUE(JsonParses(w.str()));
+}
+
+TEST(JsonWriterTest, EmptyContainers) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("empty_obj");
+  w.BeginObject();
+  w.EndObject();
+  w.Key("empty_arr");
+  w.BeginArray();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"empty_obj":{},"empty_arr":[]})");
+  EXPECT_TRUE(JsonParses(w.str()));
+}
+
+TEST(JsonWriterTest, EscapesQuotesBackslashesAndNamedControls) {
+  JsonWriter w;
+  w.String("a\"b\\c\nd\te");
+  EXPECT_EQ(w.str(), R"("a\"b\\c\nd\te")");
+  EXPECT_TRUE(JsonParses(w.str()));
+}
+
+TEST(JsonWriterTest, EscapesAllControlCharacters) {
+  // Every byte below 0x20 must come out escaped, including the ones
+  // without a short form (\r, \b, \f, \v, NUL, 0x1f).
+  std::string raw;
+  for (char c = 1; c < 0x20; ++c) raw += c;
+  raw += '\0';  // and an embedded NUL, mid-string below
+  raw += 'z';
+  JsonWriter w;
+  w.String(raw);
+  const std::string& out = w.str();
+  EXPECT_TRUE(JsonParses(out)) << out;
+  EXPECT_NE(out.find("\\u0001"), std::string::npos);
+  EXPECT_NE(out.find("\\u000b"), std::string::npos);  // \v
+  EXPECT_NE(out.find("\\u000d"), std::string::npos);  // \r
+  EXPECT_NE(out.find("\\u0000"), std::string::npos);  // embedded NUL
+  EXPECT_NE(out.find("\\n"), std::string::npos);
+  EXPECT_NE(out.find("\\t"), std::string::npos);
+  // No raw control byte may survive between the quotes.
+  for (char c : out) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(JsonWriterTest, KeysAreEscapedToo) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("we\"ird\\key");
+  w.Int(1);
+  w.EndObject();
+  EXPECT_EQ(w.str(), R"({"we\"ird\\key":1})");
+  EXPECT_TRUE(JsonParses(w.str()));
+}
+
+TEST(JsonWriterTest, Utf8PassesThroughUnmangled) {
+  JsonWriter w;
+  w.String("héllo → wörld");
+  EXPECT_EQ(w.str(), "\"héllo → wörld\"");
+  EXPECT_TRUE(JsonParses(w.str()));
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(-std::numeric_limits<double>::infinity());
+  w.Double(0.5);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null,null,0.5]");
+  EXPECT_TRUE(JsonParses(w.str()));
+}
+
+TEST(JsonWriterTest, DoublesKeepFullPrecision) {
+  JsonWriter w;
+  w.Double(0.1);
+  EXPECT_EQ(w.str(), "0.10000000000000001");
+  EXPECT_TRUE(JsonParses(w.str()));
+
+  JsonWriter big;
+  big.Double(1e308);
+  EXPECT_TRUE(JsonParses(big.str())) << big.str();
+}
+
+TEST(JsonWriterTest, Int64ExtremesAreExact) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Int(std::numeric_limits<std::int64_t>::max());
+  w.Int(std::numeric_limits<std::int64_t>::min());
+  w.Int(0);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[9223372036854775807,-9223372036854775808,0]");
+  EXPECT_TRUE(JsonParses(w.str()));
+}
+
+TEST(JsonParsesTest, AcceptsValidDocuments) {
+  EXPECT_TRUE(JsonParses(R"(  {"a": [1, -2.5, 3e-7], "b": null}  )"));
+  EXPECT_TRUE(JsonParses(R"("just a string")"));
+  EXPECT_TRUE(JsonParses("42"));
+  EXPECT_TRUE(JsonParses(R"("esc é \n \\ ok")"));
+}
+
+TEST(JsonParsesTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonParses(""));
+  EXPECT_FALSE(JsonParses("{"));
+  EXPECT_FALSE(JsonParses(R"({"a":1,})"));
+  EXPECT_FALSE(JsonParses(R"(["unterminated)"));
+  EXPECT_FALSE(JsonParses("NaN"));
+  EXPECT_FALSE(JsonParses("1 2"));
+  EXPECT_FALSE(JsonParses(R"({"a" 1})"));
+  EXPECT_FALSE(JsonParses(R"("bad \u00g1")"));
+  EXPECT_FALSE(JsonParses(R"("bad escape \q")"));
+}
+
+}  // namespace
+}  // namespace sjoin

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <memory>
+#include <vector>
 
 #include "sjoin/common/rng.h"
 #include "sjoin/stochastic/ar1_process.h"
@@ -187,6 +188,79 @@ TEST(StreamSamplerTest, PairHasRequestedLength) {
   auto pair = SampleStreamPair(r, s, 50, rng);
   EXPECT_EQ(pair.r.size(), 50u);
   EXPECT_EQ(pair.s.size(), 50u);
+}
+
+// Exact equality of two pmfs: same support bounds and bit-identical masses.
+void ExpectSameDistribution(const DiscreteDistribution& expected,
+                            const DiscreteDistribution& actual) {
+  ASSERT_EQ(expected.IsEmpty(), actual.IsEmpty());
+  if (expected.IsEmpty()) return;
+  ASSERT_EQ(expected.MinValue(), actual.MinValue());
+  ASSERT_EQ(expected.MaxValue(), actual.MaxValue());
+  for (Value v = expected.MinValue(); v <= expected.MaxValue(); ++v) {
+    EXPECT_DOUBLE_EQ(expected.Prob(v), actual.Prob(v)) << "at value " << v;
+  }
+}
+
+TEST(SeasonalProcessTest, PredictIntoMatchesPredict) {
+  SeasonalProcess process(100.0, 10.0, 40.0, 0.7,
+                          DiscreteDistribution::BoundedUniform(-3, 3));
+  StreamHistory history;
+  DiscreteDistribution reused;  // One buffer across every call.
+  for (Time t = 0; t < 90; ++t) {
+    process.PredictInto(history, t, &reused);
+    ExpectSameDistribution(process.Predict(history, t), reused);
+  }
+}
+
+TEST(ScriptedProcessTest, PredictIntoMatchesPredict) {
+  ScriptedProcess process({DiscreteDistribution::PointMass(4),
+                           DiscreteDistribution::FromMasses(-2, {0.25, 0.75}),
+                           DiscreteDistribution::BoundedUniform(0, 6)});
+  StreamHistory history;
+  DiscreteDistribution reused;
+  for (Time t = 0; t < 3; ++t) {
+    process.PredictInto(history, t, &reused);
+    ExpectSameDistribution(process.Predict(history, t), reused);
+  }
+  // Beyond the script PredictInto must leave the reused buffer empty, not
+  // the stale previous pmf.
+  process.PredictInto(history, 3, &reused);
+  EXPECT_TRUE(reused.IsEmpty());
+  ExpectSameDistribution(process.Predict(history, 3), reused);
+}
+
+TEST(LinearTrendProcessTest, PredictIntoMatchesPredict) {
+  LinearTrendProcess process(
+      0.75, -4.0, DiscreteDistribution::DiscretizedNormal(0.0, 2.0));
+  StreamHistory history;
+  DiscreteDistribution reused;
+  for (Time t = 0; t < 60; ++t) {
+    process.PredictInto(history, t, &reused);
+    ExpectSameDistribution(process.Predict(history, t), reused);
+  }
+}
+
+TEST(PredictIntoTest, BufferReusedAcrossProcessesAndSupportSizes) {
+  // Interleave processes whose supports differ in size and location so the
+  // shared buffer must both grow and shrink; each call must fully replace
+  // the previous contents.
+  SeasonalProcess seasonal(0.0, 5.0, 16.0, 0.0,
+                           DiscreteDistribution::BoundedUniform(-1, 1));
+  ScriptedProcess scripted({DiscreteDistribution::BoundedUniform(100, 140),
+                            DiscreteDistribution::PointMass(-7)});
+  LinearTrendProcess trend(2.0, 0.0,
+                           DiscreteDistribution::BoundedUniform(-10, 10));
+  StreamHistory history;
+  DiscreteDistribution reused;
+  std::vector<const StochasticProcess*> processes = {&seasonal, &scripted,
+                                                     &trend};
+  for (Time t = 0; t < 2; ++t) {
+    for (const StochasticProcess* process : processes) {
+      process->PredictInto(history, t, &reused);
+      ExpectSameDistribution(process->Predict(history, t), reused);
+    }
+  }
 }
 
 TEST(StreamSamplerTest, WalkRealizationHasUnitSteps) {

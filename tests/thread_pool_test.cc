@@ -90,6 +90,62 @@ TEST(ParallelForTest, EmptyRangeIsANoOp) {
   EXPECT_EQ(calls, 0);
 }
 
+TEST(ThreadPoolTest, WorkerCanSubmitNestedTasks) {
+  // A task enqueues follow-up work on its own pool. With one other worker
+  // free the nested task must make progress while the submitter waits.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&pool, &counter] {
+        pool.Submit([&counter] { ++counter; }).get();
+        ++counter;
+      })
+      .get();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, InlinePoolRunsNestedSubmitsInline) {
+  // Size-1 pools execute inline, so nested Submit must not deadlock on a
+  // queue no worker is draining.
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.Submit([&pool, &counter] {
+        pool.Submit([&counter] { ++counter; }).get();
+        ++counter;
+      })
+      .get();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ParallelForTest, MoreThreadsThanItems) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(3);
+  ParallelFor(pool, 0, 3, [&visits](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeOnInlinePoolIsANoOp) {
+  ThreadPool pool(1);
+  int calls = 0;
+  ParallelFor(pool, 0, 0, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, BodyCanSubmitToTheSamePool) {
+  // ParallelFor chunks occupy workers; bodies that enqueue extra tasks
+  // must still complete (the futures are waited after ParallelFor).
+  ThreadPool pool(4);
+  std::atomic<int> nested{0};
+  std::vector<std::future<void>> futures(8);
+  ParallelFor(pool, 0, 8, [&](std::size_t i) {
+    // Distinct elements, so no lock is needed around the slot write.
+    futures[i] = pool.Submit([&nested] { ++nested; });
+  });
+  for (std::future<void>& future : futures) future.get();
+  EXPECT_EQ(nested.load(), 8);
+}
+
 TEST(ParallelForTest, RethrowsBodyException) {
   ThreadPool pool(2);
   EXPECT_THROW(ParallelFor(pool, 0, 8,
