@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare a fresh perf_smoke run against the committed BENCH_perf.json.
+
+Usage:
+    check_perf_regression.py BASELINE.json CURRENT.json [--threshold=1.25]
+
+Rows are matched by (name, workload, len). The raw per-row ratio
+current/baseline of ns_per_step is normalized by the median ratio across
+all matched rows before thresholding: CI machines are uniformly slower or
+faster than the laptop that committed the baseline, and that uniform shift
+carries no information about the code. A real regression moves one row
+relative to the rest, which the normalized ratio isolates.
+
+Exit status 1 if any normalized ratio exceeds the threshold or if a
+baseline row is missing from the current run.
+"""
+
+import json
+import statistics
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "sjoin-perf-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {(r["name"], r["workload"], r["len"]): r for r in doc["results"]}
+
+
+def main(argv):
+    threshold = 1.25
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        sys.exit(__doc__)
+    baseline = load_rows(paths[0])
+    current = load_rows(paths[1])
+
+    missing = sorted(set(baseline) - set(current))
+    for key in missing:
+        print(f"MISSING  {key[0]} ({key[1]}, len={key[2]}): "
+              "row present in baseline but absent from current run")
+    extra = sorted(set(current) - set(baseline))
+    for key in extra:
+        print(f"note: new row {key[0]} ({key[1]}, len={key[2]}) "
+              "has no baseline yet")
+
+    matched = sorted(set(baseline) & set(current))
+    if not matched:
+        sys.exit("no rows in common between baseline and current run")
+    ratios = {
+        key: current[key]["ns_per_step"] / baseline[key]["ns_per_step"]
+        for key in matched
+    }
+    median = statistics.median(ratios.values())
+    print(f"median current/baseline ns_per_step ratio: {median:.3f} "
+          "(machine-speed normalizer)")
+
+    failed = bool(missing)
+    for key in matched:
+        normalized = ratios[key] / median
+        verdict = "ok"
+        if normalized > threshold:
+            verdict = f"REGRESSED >{(threshold - 1) * 100:.0f}%"
+            failed = True
+        print(f"{verdict:>14}  {key[0]:<18} {key[1]:<6} len={key[2]:<5} "
+              f"ns/step {baseline[key]['ns_per_step']:>12.0f} -> "
+              f"{current[key]['ns_per_step']:>12.0f} "
+              f"(raw x{ratios[key]:.3f}, normalized x{normalized:.3f})")
+
+    if failed:
+        print("perf regression check FAILED")
+        return 1
+    print("perf regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,7 +8,12 @@
 // execution would contend for the core(s) being measured.
 //
 // Usage: perf_smoke [--len=2000] [--runs=3] [--cache=50] [--seed=1]
-//                   [--flow_len=400] [--out=BENCH_perf.json]
+//                   [--flow_len=400] [--flow_prune=1]
+//                   [--out=BENCH_perf.json]
+//
+// --flow_prune=0 disables the FlowExpect dominance prefilter in every
+// FLOWEXPECT row, for A/B-ing the prefilter against the pure
+// template+solver path (see EXPERIMENTS.md).
 
 #include <cstdio>
 #include <cstdlib>
@@ -165,6 +170,7 @@ int main(int argc, char** argv) {
   // FlowExpect and OPT-offline are far slower per step; a shorter length
   // keeps the smoke run fast while still producing a stable ns/step.
   Time flow_len = flags.GetInt("flow_len", 400);
+  bool flow_prune = flags.GetInt("flow_prune", 1) != 0;
   std::string out_path = flags.GetString("out", "BENCH_perf.json");
   flags.CheckConsumed();
   if (flow_len > config.len) flow_len = config.len;
@@ -200,11 +206,23 @@ int main(int argc, char** argv) {
       TimeScenario("HEEB-walk-table", walk, config.len, config,
                    heeb_on(walk, HeebJoinPolicy::Mode::kWalkTable,
                            static_cast<double>(config.cache))));
-  results.push_back(TimeScenario(
-      "FLOWEXPECT", tower, flow_len, config, [&tower](const StreamPair&) {
-        return std::make_unique<FlowExpectPolicy>(
-            tower.r.get(), tower.s.get(), FlowExpectPolicy::Options{5});
-      }));
+  auto flow_expect_on = [&tower, flow_prune](Time lookahead) {
+    return [&tower, flow_prune, lookahead](const StreamPair&) {
+      return std::make_unique<FlowExpectPolicy>(
+          tower.r.get(), tower.s.get(),
+          FlowExpectPolicy::Options{.lookahead = lookahead,
+                                    .dominance_prune = flow_prune});
+    };
+  };
+  results.push_back(TimeScenario("FLOWEXPECT", tower, flow_len, config,
+                                 flow_expect_on(5)));
+  // Lookahead sweep: per-step cost grows with the Theta((k+l) l) slice
+  // graph, so these rows track how the solver scales with l.
+  for (Time lookahead : {Time{4}, Time{8}, Time{16}}) {
+    results.push_back(TimeScenario("FLOWEXPECT-l" + std::to_string(lookahead),
+                                   tower, flow_len, config,
+                                   flow_expect_on(lookahead)));
+  }
   results.push_back(TimeScenario(
       "OPT-OFFLINE", tower, flow_len, config,
       [&config](const StreamPair& pair) {

@@ -1,10 +1,10 @@
 #include "sjoin/core/flow_expect_policy.h"
 
+#include <utility>
 #include <vector>
 
 #include "sjoin/common/check.h"
-#include "sjoin/flow/flow_graph.h"
-#include "sjoin/flow/min_cost_flow.h"
+#include "sjoin/core/dominance.h"
 
 namespace sjoin {
 
@@ -16,66 +16,112 @@ FlowExpectPolicy::FlowExpectPolicy(const StochasticProcess* r_process,
   SJOIN_CHECK_GE(options_.lookahead, 1);
 }
 
-std::vector<TupleId> FlowExpectPolicy::SelectRetained(
-    const PolicyContext& ctx) {
-  // Candidate tuples: cache contents plus the two arrivals (all determined
-  // nodes of the first slice).
-  std::vector<Tuple> candidates;
-  candidates.reserve(ctx.cached->size() + ctx.arrivals->size());
-  for (const Tuple& t : *ctx.cached) candidates.push_back(t);
-  for (const Tuple& t : *ctx.arrivals) candidates.push_back(t);
-  int n_c = static_cast<int>(candidates.size());
-  if (candidates.size() <= ctx.capacity) {
-    std::vector<TupleId> all;
-    all.reserve(candidates.size());
-    for (const Tuple& t : candidates) all.push_back(t.id);
-    return all;
-  }
+void FlowExpectPolicy::Reset() { templates_.clear(); }
 
+void FlowExpectPolicy::ComputePredictions(const PolicyContext& ctx) {
+  // Predictive pmfs pred_[side][j] for X^side_{t0+j}, j = 1..l, written
+  // into retained buffers (PredictInto is bit-identical to Predict).
   Time t0 = ctx.now;
   Time l = options_.lookahead;
-
-  // Predictive pmfs pred[side][j] for X^side_{t0+j}, j = 1..l.
-  std::vector<DiscreteDistribution> pred[2];
   for (StreamSide side : {StreamSide::kR, StreamSide::kS}) {
     const StochasticProcess* process =
         side == StreamSide::kR ? r_process_ : s_process_;
     const StreamHistory* history =
         side == StreamSide::kR ? ctx.history_r : ctx.history_s;
-    auto& out = pred[SideIndex(side)];
+    auto& out = pred_[SideIndex(side)];
     out.resize(static_cast<std::size_t>(l) + 1);
     for (Time j = 1; j <= l; ++j) {
-      out[static_cast<std::size_t>(j)] = process->Predict(*history, t0 + j);
+      process->PredictInto(*history, t0 + j,
+                           &out[static_cast<std::size_t>(j)]);
     }
   }
+}
 
-  // Expected benefit of keeping node `n` through time t0+j+1, where j is
-  // the slice the arc leaves. Determined nodes are candidates; undetermined
-  // nodes are future arrivals (side, arrival offset j' in 1..l-1).
-  auto det_benefit = [&](int c, Time j) {
-    const Tuple& tuple = candidates[static_cast<std::size_t>(c)];
-    const auto& partner = pred[SideIndex(Partner(tuple.side))];
-    double p = partner[static_cast<std::size_t>(j + 1)].Prob(tuple.value);
-    if (ctx.window.has_value() &&
-        (t0 + j + 1) - tuple.arrival > *ctx.window) {
-      p = 0.0;  // Sliding-window semantics: expired tuples join nothing.
+void FlowExpectPolicy::ComputeBenefits(const PolicyContext& ctx) {
+  // benefits_[c*l + j]: expected benefit of keeping candidate c through
+  // time t0+j+1 — the (negated) cost of its slice-j horizontal arc.
+  Time t0 = ctx.now;
+  Time l = options_.lookahead;
+  benefits_.resize(candidates_.size() * static_cast<std::size_t>(l));
+  for (std::size_t c = 0; c < candidates_.size(); ++c) {
+    const Tuple& tuple = candidates_[c];
+    const auto& partner = pred_[SideIndex(Partner(tuple.side))];
+    for (Time j = 0; j < l; ++j) {
+      double p = partner[static_cast<std::size_t>(j + 1)].Prob(tuple.value);
+      if (ctx.window.has_value() &&
+          (t0 + j + 1) - tuple.arrival > *ctx.window) {
+        p = 0.0;  // Sliding-window semantics: expired tuples join nothing.
+      }
+      benefits_[c * static_cast<std::size_t>(l) +
+                static_cast<std::size_t>(j)] = p;
     }
-    return p;
-  };
-  auto undet_benefit = [&](StreamSide side, Time j_arrived, Time j) {
-    if (ctx.window.has_value() && (j + 1) - j_arrived > *ctx.window) {
-      return 0.0;
-    }
-    const auto& own = pred[SideIndex(side)];
-    const auto& partner = pred[SideIndex(Partner(side))];
-    return own[static_cast<std::size_t>(j_arrived)].OverlapProb(
-        partner[static_cast<std::size_t>(j + 1)]);
-  };
+  }
+}
 
-  // Build the slice graph. Slice j (0-based, j = 0..l-1) holds n_c
-  // determined-node copies plus two undetermined nodes per earlier arrival
-  // offset j' = 1..j.
-  FlowGraph graph;
+void FlowExpectPolicy::PruneDominated(const PolicyContext& ctx) {
+  // Theorem 3 over the lookahead horizon: a candidate whose cumulative
+  // benefit curve B_c(m) = sum_{j<m} benefits_[c][j] is dominated by every
+  // retained candidate's curve can be discarded without changing the
+  // optimal flow cost. FindDominatedSubset guarantees exactly that shape
+  // of discard set, and chains in the slice graph are interchangeable
+  // (entered only at the source, identical hand-off arcs), so any flow
+  // unit on a discarded chain moves to an unused dominating chain with no
+  // benefit loss.
+  const Time l = options_.lookahead;
+  const std::size_t n_c = candidates_.size();
+  const std::size_t max_discard = n_c - ctx.capacity;
+  curves_.clear();
+  curves_.reserve(n_c);
+  for (std::size_t c = 0; c < n_c; ++c) {
+    std::vector<double> cumulative(static_cast<std::size_t>(l));
+    double sum = 0.0;
+    for (Time j = 0; j < l; ++j) {
+      sum += benefits_[c * static_cast<std::size_t>(l) +
+                       static_cast<std::size_t>(j)];
+      cumulative[static_cast<std::size_t>(j)] = sum;
+    }
+    curves_.emplace_back(std::move(cumulative));
+  }
+  curve_ptrs_.clear();
+  curve_ptrs_.reserve(n_c);
+  for (const TabulatedEcb& curve : curves_) curve_ptrs_.push_back(&curve);
+  std::vector<std::size_t> dominated =
+      FindDominatedSubset(curve_ptrs_, max_discard, l);
+  if (dominated.empty()) return;
+
+  // Compact candidates_ and their benefit rows (dominated is ascending).
+  std::size_t next_dominated = 0;
+  std::size_t write = 0;
+  for (std::size_t c = 0; c < n_c; ++c) {
+    if (next_dominated < dominated.size() && dominated[next_dominated] == c) {
+      ++next_dominated;
+      continue;
+    }
+    if (write != c) {
+      candidates_[write] = candidates_[c];
+      for (Time j = 0; j < l; ++j) {
+        benefits_[write * static_cast<std::size_t>(l) +
+                  static_cast<std::size_t>(j)] =
+            benefits_[c * static_cast<std::size_t>(l) +
+                      static_cast<std::size_t>(j)];
+      }
+    }
+    ++write;
+  }
+  candidates_.resize(write);
+  benefits_.resize(write * static_cast<std::size_t>(l));
+}
+
+FlowExpectPolicy::GraphTemplate& FlowExpectPolicy::TemplateFor(int n_c) {
+  std::unique_ptr<GraphTemplate>& slot = templates_[n_c];
+  if (slot != nullptr) return *slot;
+  slot = std::make_unique<GraphTemplate>();
+  GraphTemplate& tpl = *slot;
+  Time l = options_.lookahead;
+
+  // Node and arc insertion order must exactly mirror the naive oracle's
+  // cold build: adjacency order decides tie-breaks inside the solver.
+  FlowGraph& graph = tpl.graph;
   NodeId source = graph.AddNode();
   NodeId sink = graph.AddNode();
   std::vector<NodeId> slice_base(static_cast<std::size_t>(l));
@@ -93,30 +139,30 @@ std::vector<TupleId> FlowExpectPolicy::SelectRetained(
            static_cast<NodeId>(SideIndex(side));
   };
 
-  // Source arcs: remember handles to read the decision afterwards.
-  std::vector<std::int32_t> source_arcs;
-  source_arcs.reserve(static_cast<std::size_t>(n_c));
+  tpl.source_arcs.reserve(static_cast<std::size_t>(n_c));
   for (int c = 0; c < n_c; ++c) {
-    source_arcs.push_back(graph.AddArc(source, det_node(0, c), 1, 0.0));
+    tpl.source_arcs.push_back(graph.AddArc(source, det_node(0, c), 1, 0.0));
   }
 
+  // Benefit arcs get placeholder costs; SelectRetained rewrites them every
+  // step before solving.
   for (Time j = 0; j < l; ++j) {
     bool last_slice = (j == l - 1);
-    // Horizontal arcs (or sink arcs from the last slice): keeping a tuple
-    // through t0+j+1 earns its expected benefit there.
     for (int c = 0; c < n_c; ++c) {
+      NodeId from = det_node(j, c);
       NodeId to = last_slice ? sink : det_node(j + 1, c);
-      graph.AddArc(det_node(j, c), to, 1, -det_benefit(c, j));
+      tpl.det_arcs.push_back({from, graph.AddArc(from, to, 1, 0.0)});
     }
     for (Time j_arrived = 1; j_arrived <= j; ++j_arrived) {
       for (StreamSide side : {StreamSide::kR, StreamSide::kS}) {
+        NodeId from = undet_node(j, j_arrived, side);
         NodeId to = last_slice ? sink : undet_node(j + 1, j_arrived, side);
-        graph.AddArc(undet_node(j, j_arrived, side), to, 1,
-                     -undet_benefit(side, j_arrived, j));
+        tpl.undet_arcs.push_back({from, graph.AddArc(from, to, 1, 0.0)});
       }
     }
     // Non-horizontal arcs within slice j (j >= 1): every duplicate node may
-    // hand its slot to one of the two tuples arriving at t0+j.
+    // hand its slot to one of the two tuples arriving at t0+j. Costs are
+    // always zero, so no handles are kept.
     if (j >= 1) {
       for (StreamSide new_side : {StreamSide::kR, StreamSide::kS}) {
         NodeId new_node = undet_node(j, j, new_side);
@@ -131,17 +177,93 @@ std::vector<TupleId> FlowExpectPolicy::SelectRetained(
       }
     }
   }
+  return tpl;
+}
 
+std::vector<TupleId> FlowExpectPolicy::SelectRetained(
+    const PolicyContext& ctx) {
+  // Candidate tuples: cache contents plus the two arrivals (all determined
+  // nodes of the first slice).
+  candidates_.clear();
+  candidates_.reserve(ctx.cached->size() + ctx.arrivals->size());
+  for (const Tuple& t : *ctx.cached) candidates_.push_back(t);
+  for (const Tuple& t : *ctx.arrivals) candidates_.push_back(t);
+  if (candidates_.size() <= ctx.capacity) {
+    std::vector<TupleId> all;
+    all.reserve(candidates_.size());
+    for (const Tuple& t : candidates_) all.push_back(t.id);
+    return all;
+  }
+
+  Time l = options_.lookahead;
+  ComputePredictions(ctx);
+  ComputeBenefits(ctx);
+
+  if (options_.dominance_prune) {
+    PruneDominated(ctx);
+    if (candidates_.size() <= ctx.capacity) {
+      std::vector<TupleId> all;
+      all.reserve(candidates_.size());
+      for (const Tuple& t : candidates_) all.push_back(t.id);
+      return all;
+    }
+  }
+
+  const int n_c = static_cast<int>(candidates_.size());
+  GraphTemplate& tpl = TemplateFor(n_c);
+  tpl.graph.ResetUnitCapacities();
+
+  // Expected benefit of an undetermined node (side, arrival offset
+  // j_arrived) kept through t0+j+1.
+  auto undet_benefit = [&](StreamSide side, Time j_arrived, Time j) {
+    if (ctx.window.has_value() && (j + 1) - j_arrived > *ctx.window) {
+      return 0.0;
+    }
+    const auto& own = pred_[SideIndex(side)];
+    const auto& partner = pred_[SideIndex(Partner(side))];
+    return own[static_cast<std::size_t>(j_arrived)].OverlapProb(
+        partner[static_cast<std::size_t>(j + 1)]);
+  };
+
+  // Rewrite benefit-arc costs in the same slice-major order the handles
+  // were recorded in.
+  std::size_t det_next = 0;
+  std::size_t undet_next = 0;
+  for (Time j = 0; j < l; ++j) {
+    for (int c = 0; c < n_c; ++c, ++det_next) {
+      const GraphTemplate::ArcRef& ref = tpl.det_arcs[det_next];
+      tpl.graph.SetArcCost(
+          ref.from, ref.index,
+          -benefits_[static_cast<std::size_t>(c) *
+                         static_cast<std::size_t>(l) +
+                     static_cast<std::size_t>(j)]);
+    }
+    for (Time j_arrived = 1; j_arrived <= j; ++j_arrived) {
+      for (StreamSide side : {StreamSide::kR, StreamSide::kS}) {
+        const GraphTemplate::ArcRef& ref = tpl.undet_arcs[undet_next++];
+        tpl.graph.SetArcCost(ref.from, ref.index,
+                             -undet_benefit(side, j_arrived, j));
+      }
+    }
+  }
+
+  NodeId source = 0;
+  NodeId sink = 1;
   std::int64_t target = static_cast<std::int64_t>(ctx.capacity);
-  MinCostFlowResult result = SolveMinCostFlow(graph, source, sink, target);
+  MinCostFlowSolver::SolveOptions solve_options;
+  solve_options.topology_unchanged = tpl.solved_before;
+  MinCostFlowResult result =
+      tpl.solver.Solve(tpl.graph, source, sink, target, solve_options);
+  tpl.solved_before = true;
   SJOIN_CHECK_EQ(result.flow, target);
 
   // The decision at t0: candidates whose source arc carries flow stay.
   std::vector<TupleId> retained;
   retained.reserve(ctx.capacity);
   for (int c = 0; c < n_c; ++c) {
-    if (graph.FlowOn(source, source_arcs[static_cast<std::size_t>(c)]) > 0) {
-      retained.push_back(candidates[static_cast<std::size_t>(c)].id);
+    if (tpl.graph.FlowOn(source,
+                         tpl.source_arcs[static_cast<std::size_t>(c)]) > 0) {
+      retained.push_back(candidates_[static_cast<std::size_t>(c)].id);
     }
   }
   return retained;

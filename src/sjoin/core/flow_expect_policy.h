@@ -1,9 +1,16 @@
 #ifndef SJOIN_CORE_FLOW_EXPECT_POLICY_H_
 #define SJOIN_CORE_FLOW_EXPECT_POLICY_H_
 
+#include <cstdint>
+#include <map>
+#include <memory>
 #include <vector>
 
+#include "sjoin/core/ecb.h"
 #include "sjoin/engine/replacement_policy.h"
+#include "sjoin/flow/flow_graph.h"
+#include "sjoin/flow/min_cost_flow.h"
+#include "sjoin/stochastic/discrete_distribution.h"
 #include "sjoin/stochastic/process.h"
 
 /// \file
@@ -18,6 +25,16 @@
 /// unbounded l, because min-cost flow cannot represent strategies whose
 /// future decisions depend on values observed later. It remains a strong
 /// yardstick for heuristics.
+///
+/// This implementation keeps the per-step decision allocation-free once
+/// warm: the slice graph for a fixed (candidate count, lookahead) shape is
+/// built once and only its benefit-arc costs are rewritten each step, a
+/// persistent MinCostFlowSolver reuses its workspaces and cached
+/// topological order, predictions go through PredictInto, and an optional
+/// Theorem 3 dominance prefilter shrinks (often eliminates) the solve.
+/// Every fast path is differentially tested against the naive
+/// rebuild-everything oracle in src/sjoin/testing/naive_flow_expect.h —
+/// retained sets must match bit-for-bit, tie-breaks included.
 
 namespace sjoin {
 
@@ -27,6 +44,15 @@ class FlowExpectPolicy final : public ReplacementPolicy {
   struct Options {
     /// Look-ahead distance l >= 1 (benefits are counted at t0+1..t0+l).
     Time lookahead = 5;
+    /// Theorem 3 prefilter: discard candidates whose cumulative expected
+    /// benefit curve over the lookahead is dominated by every other
+    /// candidate's before building the slice graph. An exchange argument
+    /// shows the pruned optimum equals the full optimum (each discarded
+    /// chain's flow can be moved to an unused dominating chain at no
+    /// extra cost); when enough candidates are dominated the flow solve
+    /// disappears entirely. The differential suite compares both settings
+    /// against the oracle.
+    bool dominance_prune = true;
   };
 
   /// Processes are not owned and must outlive the policy.
@@ -35,12 +61,46 @@ class FlowExpectPolicy final : public ReplacementPolicy {
 
   std::vector<TupleId> SelectRetained(const PolicyContext& ctx) override;
 
+  /// Drops the cached graph templates (they carry no numeric state, so
+  /// this only affects memory, never decisions).
+  void Reset() override;
+
   const char* name() const override { return "FLOWEXPECT"; }
 
  private:
+  /// Skeleton slice graph for one candidate count: nodes and arcs are
+  /// built once; each step resets capacities and rewrites benefit-arc
+  /// costs in place. The per-template solver caches the graph's
+  /// topological order across steps.
+  struct GraphTemplate {
+    struct ArcRef {
+      NodeId from = 0;
+      std::int32_t index = 0;
+    };
+    FlowGraph graph;
+    std::vector<std::int32_t> source_arcs;  // Per candidate, for FlowOn.
+    std::vector<ArcRef> det_arcs;    // Slice-major, candidate-minor.
+    std::vector<ArcRef> undet_arcs;  // Slice-major, (arrival, side)-minor.
+    MinCostFlowSolver solver;
+    bool solved_before = false;
+  };
+
+  void ComputePredictions(const PolicyContext& ctx);
+  void ComputeBenefits(const PolicyContext& ctx);
+  void PruneDominated(const PolicyContext& ctx);
+  GraphTemplate& TemplateFor(int n_c);
+
   const StochasticProcess* r_process_;
   const StochasticProcess* s_process_;
   Options options_;
+
+  // Per-step buffers, reused across calls.
+  std::vector<Tuple> candidates_;
+  std::vector<DiscreteDistribution> pred_[2];
+  std::vector<double> benefits_;  // benefits_[c * lookahead + j].
+  std::vector<TabulatedEcb> curves_;
+  std::vector<const EcbFn*> curve_ptrs_;
+  std::map<int, std::unique_ptr<GraphTemplate>> templates_;
 };
 
 }  // namespace sjoin

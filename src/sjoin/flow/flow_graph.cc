@@ -35,6 +35,23 @@ std::int32_t FlowGraph::AddArc(NodeId from, NodeId to, std::int64_t capacity,
   return fwd_index;
 }
 
+void FlowGraph::ResetUnitCapacities() {
+  for (auto& list : adjacency_) {
+    for (Arc& arc : list) {
+      arc.capacity = arc.is_forward ? 1 : 0;
+    }
+  }
+}
+
+void FlowGraph::SetArcCost(NodeId from, std::int32_t arc_index, double cost) {
+  Arc& arc = adjacency_[static_cast<std::size_t>(from)]
+                       [static_cast<std::size_t>(arc_index)];
+  SJOIN_CHECK(arc.is_forward);
+  arc.cost = cost;
+  adjacency_[static_cast<std::size_t>(arc.to)]
+            [static_cast<std::size_t>(arc.rev)].cost = -cost;
+}
+
 std::int64_t FlowGraph::FlowOn(NodeId from, std::int32_t arc_index) const {
   const Arc& arc = adjacency_[static_cast<std::size_t>(from)]
                              [static_cast<std::size_t>(arc_index)];

@@ -54,6 +54,16 @@ class FlowGraph {
   /// residual twin's remaining capacity.
   std::int64_t FlowOn(NodeId from, std::int32_t arc_index) const;
 
+  /// Restores every forward arc to unit capacity and every residual twin
+  /// to zero, undoing a previous solve. For template graphs (FlowExpect)
+  /// whose forward arcs are all unit-capacity, this plus SetArcCost makes
+  /// the graph reusable across steps without rebuilding it.
+  void ResetUnitCapacities();
+
+  /// Rewrites the cost of the forward arc identified by (from, arc_index);
+  /// its residual twin gets the negated cost.
+  void SetArcCost(NodeId from, std::int32_t arc_index, double cost);
+
  private:
   std::vector<std::vector<Arc>> adjacency_;
 };

@@ -1,8 +1,9 @@
 #include "sjoin/flow/min_cost_flow.h"
 
 #include <algorithm>
+#include <deque>
+#include <functional>
 #include <limits>
-#include <queue>
 #include <vector>
 
 #include "sjoin/common/check.h"
@@ -17,128 +18,304 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // cost infinitesimally negative; clamping keeps Dijkstra correct.
 constexpr double kReducedCostSlack = 1e-9;
 
-// Queue-based Bellman-Ford (SPFA) distances from `source` over arcs with
-// positive residual capacity. Our graphs are DAG-structured, so this
-// converges in few passes even with many negative arcs.
-std::vector<double> BellmanFordDistances(const FlowGraph& graph,
-                                         NodeId source) {
-  int n = graph.NumNodes();
-  std::vector<double> dist(static_cast<std::size_t>(n), kInf);
-  std::vector<char> in_queue(static_cast<std::size_t>(n), 0);
+}  // namespace
+
+bool MinCostFlowSolver::ComputeTopologicalOrder(const FlowGraph& graph) {
+  const int n = graph.NumNodes();
+  indegree_.assign(static_cast<std::size_t>(n), 0);
+  for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+    for (const FlowGraph::Arc& arc : graph.AdjacencyOf(u)) {
+      if (arc.capacity <= 0) continue;
+      ++indegree_[static_cast<std::size_t>(arc.to)];
+    }
+  }
+  // Kahn's algorithm; topo_order_ doubles as the FIFO queue. Seeding in
+  // node-id order makes the order a deterministic function of the graph.
+  topo_order_.clear();
+  for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+    if (indegree_[static_cast<std::size_t>(u)] == 0) topo_order_.push_back(u);
+  }
+  for (std::size_t head = 0; head < topo_order_.size(); ++head) {
+    NodeId u = topo_order_[head];
+    for (const FlowGraph::Arc& arc : graph.AdjacencyOf(u)) {
+      if (arc.capacity <= 0) continue;
+      if (--indegree_[static_cast<std::size_t>(arc.to)] == 0) {
+        topo_order_.push_back(arc.to);
+      }
+    }
+  }
+  return topo_order_.size() == static_cast<std::size_t>(n);
+}
+
+void MinCostFlowSolver::SpfaPotentials(const FlowGraph& graph,
+                                       NodeId source) {
+  // Queue-based Bellman-Ford (SPFA) over arcs with positive residual
+  // capacity; only used when those arcs form a cycle (never the case for
+  // the time-expanded DAGs this library builds, but callers may hand us
+  // arbitrary graphs).
+  const int n = graph.NumNodes();
+  potential_.assign(static_cast<std::size_t>(n), kInf);
+  in_queue_.assign(static_cast<std::size_t>(n), 0);
   std::deque<NodeId> queue;
-  dist[static_cast<std::size_t>(source)] = 0.0;
+  potential_[static_cast<std::size_t>(source)] = 0.0;
   queue.push_back(source);
-  in_queue[static_cast<std::size_t>(source)] = 1;
+  in_queue_[static_cast<std::size_t>(source)] = 1;
   while (!queue.empty()) {
     NodeId u = queue.front();
     queue.pop_front();
-    in_queue[static_cast<std::size_t>(u)] = 0;
-    double du = dist[static_cast<std::size_t>(u)];
+    in_queue_[static_cast<std::size_t>(u)] = 0;
+    double du = potential_[static_cast<std::size_t>(u)];
     for (const FlowGraph::Arc& arc : graph.AdjacencyOf(u)) {
       if (arc.capacity <= 0) continue;
       double nd = du + arc.cost;
-      if (nd < dist[static_cast<std::size_t>(arc.to)] - 1e-15) {
-        dist[static_cast<std::size_t>(arc.to)] = nd;
-        if (!in_queue[static_cast<std::size_t>(arc.to)]) {
-          in_queue[static_cast<std::size_t>(arc.to)] = 1;
+      if (nd < potential_[static_cast<std::size_t>(arc.to)] - 1e-15) {
+        potential_[static_cast<std::size_t>(arc.to)] = nd;
+        if (!in_queue_[static_cast<std::size_t>(arc.to)]) {
+          in_queue_[static_cast<std::size_t>(arc.to)] = 1;
           queue.push_back(arc.to);
         }
       }
     }
   }
-  return dist;
 }
 
-struct PathStep {
-  NodeId node = -1;        // Predecessor node.
-  std::int32_t arc = -1;   // Index of the arc taken within node's adjacency.
-};
+void MinCostFlowSolver::InitPotentials(const FlowGraph& graph, NodeId source,
+                                       const SolveOptions& options) {
+  const int n = graph.NumNodes();
+  bool have_order = false;
+  if (options.topology_unchanged && has_topo_order_ &&
+      topo_order_.size() == static_cast<std::size_t>(n)) {
+    have_order = true;
+  } else if (options.topological_order != nullptr) {
+    SJOIN_CHECK_EQ(static_cast<int>(options.topological_order->size()), n);
+    topo_order_ = *options.topological_order;
+    if constexpr (kValidationEnabled) {
+      // The order must be a permutation with every positive-capacity arc
+      // pointing left to right.
+      std::vector<std::int32_t> position(static_cast<std::size_t>(n), -1);
+      for (std::size_t i = 0; i < topo_order_.size(); ++i) {
+        NodeId u = topo_order_[i];
+        SJOIN_VALIDATE_MSG(u >= 0 && u < static_cast<NodeId>(n) &&
+                               position[static_cast<std::size_t>(u)] < 0,
+                           "topological order is not a permutation");
+        position[static_cast<std::size_t>(u)] = static_cast<std::int32_t>(i);
+      }
+      for (NodeId u = 0; u < static_cast<NodeId>(n); ++u) {
+        for (const FlowGraph::Arc& arc : graph.AdjacencyOf(u)) {
+          if (arc.capacity <= 0) continue;
+          SJOIN_VALIDATE_MSG(position[static_cast<std::size_t>(u)] <
+                                 position[static_cast<std::size_t>(arc.to)],
+                             "arc violates the supplied topological order");
+        }
+      }
+    }
+    have_order = true;
+  } else {
+    have_order = ComputeTopologicalOrder(graph);
+  }
+  has_topo_order_ = have_order;
 
-}  // namespace
+  if (!have_order) {
+    SpfaPotentials(graph, source);
+  } else {
+    // One relaxation pass in topological order computes exact shortest
+    // distances; the resulting values do not depend on which valid order
+    // was used (each node takes the min over its already-final
+    // predecessors).
+    potential_.assign(static_cast<std::size_t>(n), kInf);
+    potential_[static_cast<std::size_t>(source)] = 0.0;
+    for (NodeId u : topo_order_) {
+      double du = potential_[static_cast<std::size_t>(u)];
+      if (du == kInf) continue;
+      for (const FlowGraph::Arc& arc : graph.AdjacencyOf(u)) {
+        if (arc.capacity <= 0) continue;
+        double nd = du + arc.cost;
+        if (nd < potential_[static_cast<std::size_t>(arc.to)]) {
+          potential_[static_cast<std::size_t>(arc.to)] = nd;
+        }
+      }
+    }
+  }
 
-MinCostFlowResult SolveMinCostFlow(FlowGraph& graph, NodeId source,
-                                   NodeId sink, std::int64_t target_flow) {
-  SJOIN_CHECK_GE(target_flow, 0);
-  SJOIN_CHECK_NE(source, sink);
-  int n = graph.NumNodes();
-  std::vector<double> potential = BellmanFordDistances(graph, source);
   // Nodes unreachable from the source can never appear on an augmenting
   // path; give them a finite potential so arithmetic below stays finite.
   double max_finite = 0.0;
-  for (double d : potential) {
+  for (double d : potential_) {
     if (d != kInf) max_finite = std::max(max_finite, d);
   }
-  for (double& d : potential) {
+  for (double& d : potential_) {
     if (d == kInf) d = max_finite;
   }
+}
+
+MinCostFlowResult MinCostFlowSolver::Solve(FlowGraph& graph, NodeId source,
+                                           NodeId sink,
+                                           std::int64_t target_flow,
+                                           const SolveOptions& options) {
+  SJOIN_CHECK_GE(target_flow, 0);
+  SJOIN_CHECK_NE(source, sink);
+  const int n = graph.NumNodes();
+  InitPotentials(graph, source, options);
 
   MinCostFlowResult result;
-  std::vector<double> dist(static_cast<std::size_t>(n));
-  std::vector<PathStep> parent(static_cast<std::size_t>(n));
+  dist_.resize(static_cast<std::size_t>(n));
+  parent_.resize(static_cast<std::size_t>(n));
+  dfs_arc_.resize(static_cast<std::size_t>(n));
   using QueueEntry = std::pair<double, NodeId>;
 
+  auto arc_of = [&graph](const PathStep& step) -> FlowGraph::Arc& {
+    return graph.AdjacencyOf(step.node)[static_cast<std::size_t>(step.arc)];
+  };
+
   while (result.flow < target_flow) {
-    std::fill(dist.begin(), dist.end(), kInf);
-    std::fill(parent.begin(), parent.end(), PathStep{});
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                        std::greater<QueueEntry>>
-        frontier;
-    dist[static_cast<std::size_t>(source)] = 0.0;
-    frontier.push({0.0, source});
-    while (!frontier.empty()) {
-      auto [du, u] = frontier.top();
-      frontier.pop();
-      if (du > dist[static_cast<std::size_t>(u)] + 1e-15) continue;
+    // Dijkstra on reduced costs. Stopping at the first sink settlement is
+    // safe: every unfinalized label is >= dist(sink), so the phase-end
+    // potential update treats them exactly as if they had been capped.
+    std::fill(dist_.begin(), dist_.end(), kInf);
+    std::fill(parent_.begin(), parent_.end(), PathStep{});
+    heap_.clear();
+    dist_[static_cast<std::size_t>(source)] = 0.0;
+    heap_.push_back({0.0, source});
+    double dsink = kInf;
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<QueueEntry>());
+      auto [du, u] = heap_.back();
+      heap_.pop_back();
+      if (du > dist_[static_cast<std::size_t>(u)] + 1e-15) continue;
+      if (u == sink) {
+        dsink = du;
+        break;
+      }
       const auto& arcs = graph.AdjacencyOf(u);
       for (std::int32_t i = 0; i < static_cast<std::int32_t>(arcs.size());
            ++i) {
         const FlowGraph::Arc& arc = arcs[static_cast<std::size_t>(i)];
         if (arc.capacity <= 0) continue;
-        double reduced = arc.cost + potential[static_cast<std::size_t>(u)] -
-                         potential[static_cast<std::size_t>(arc.to)];
+        double reduced = arc.cost + potential_[static_cast<std::size_t>(u)] -
+                         potential_[static_cast<std::size_t>(arc.to)];
         SJOIN_CHECK_GE(reduced, -kReducedCostSlack * 1e3);
         if (reduced < 0.0) reduced = 0.0;
         double nd = du + reduced;
-        if (nd < dist[static_cast<std::size_t>(arc.to)] - 1e-15) {
-          dist[static_cast<std::size_t>(arc.to)] = nd;
-          parent[static_cast<std::size_t>(arc.to)] = PathStep{u, i};
-          frontier.push({nd, arc.to});
+        if (nd < dist_[static_cast<std::size_t>(arc.to)] - 1e-15) {
+          dist_[static_cast<std::size_t>(arc.to)] = nd;
+          parent_[static_cast<std::size_t>(arc.to)] = PathStep{u, i};
+          heap_.push_back({nd, arc.to});
+          std::push_heap(heap_.begin(), heap_.end(),
+                         std::greater<QueueEntry>());
         }
       }
     }
-    if (dist[static_cast<std::size_t>(sink)] == kInf) break;  // Saturated.
+    if (dsink == kInf) break;  // Saturated.
 
-    // Bottleneck along the augmenting path.
-    std::int64_t push = target_flow - result.flow;
-    for (NodeId v = sink; v != source;
-         v = parent[static_cast<std::size_t>(v)].node) {
-      const PathStep& step = parent[static_cast<std::size_t>(v)];
-      SJOIN_CHECK_GE(step.node, 0);
-      const FlowGraph::Arc& arc =
-          graph.AdjacencyOf(step.node)[static_cast<std::size_t>(step.arc)];
-      push = std::min(push, arc.capacity);
+    // Blocking flow over the tight arcs of this labelling (an arc is tight
+    // when relaxing it reproduces the head's label bit-for-bit). Each node
+    // keeps a current-arc iterator, so the phase scans every adjacency at
+    // most once; on-path marks stop zero-reduced-cost residual cycles.
+    std::int64_t phase_flow = 0;
+    std::fill(dfs_arc_.begin(), dfs_arc_.end(), 0);
+    on_path_.assign(static_cast<std::size_t>(n), 0);
+    dfs_path_.clear();
+    on_path_[static_cast<std::size_t>(source)] = 1;
+    NodeId u = source;
+    while (true) {
+      if (u == sink) {
+        std::int64_t push = target_flow - result.flow;
+        for (const PathStep& step : dfs_path_) {
+          push = std::min(push, arc_of(step).capacity);
+        }
+        SJOIN_CHECK_GT(push, 0);
+        for (const PathStep& step : dfs_path_) {
+          FlowGraph::Arc& arc = arc_of(step);
+          FlowGraph::Arc& twin =
+              graph.AdjacencyOf(arc.to)[static_cast<std::size_t>(arc.rev)];
+          arc.capacity -= push;
+          twin.capacity += push;
+          result.cost += arc.cost * static_cast<double>(push);
+        }
+        result.flow += push;
+        phase_flow += push;
+        if (result.flow == target_flow) break;
+        // Retreat to just before the shallowest saturated path arc; the
+        // unsaturated prefix stays in place for the next descent.
+        std::size_t keep = 0;
+        while (keep < dfs_path_.size() &&
+               arc_of(dfs_path_[keep]).capacity > 0) {
+          ++keep;
+        }
+        for (std::size_t i = keep; i < dfs_path_.size(); ++i) {
+          on_path_[static_cast<std::size_t>(arc_of(dfs_path_[i]).to)] = 0;
+        }
+        dfs_path_.resize(keep);
+        u = keep == 0 ? source : arc_of(dfs_path_[keep - 1]).to;
+        continue;
+      }
+      const auto& arcs = graph.AdjacencyOf(u);
+      std::int32_t& it = dfs_arc_[static_cast<std::size_t>(u)];
+      std::int32_t found = -1;
+      while (it < static_cast<std::int32_t>(arcs.size())) {
+        const FlowGraph::Arc& arc = arcs[static_cast<std::size_t>(it)];
+        if (arc.capacity > 0 &&
+            !on_path_[static_cast<std::size_t>(arc.to)] &&
+            dist_[static_cast<std::size_t>(arc.to)] != kInf) {
+          double reduced =
+              arc.cost + potential_[static_cast<std::size_t>(u)] -
+              potential_[static_cast<std::size_t>(arc.to)];
+          if (reduced < 0.0) reduced = 0.0;
+          if (dist_[static_cast<std::size_t>(u)] + reduced ==
+              dist_[static_cast<std::size_t>(arc.to)]) {
+            found = it;
+            break;
+          }
+        }
+        ++it;
+      }
+      if (found >= 0) {
+        dfs_path_.push_back(PathStep{u, found});
+        NodeId to = arcs[static_cast<std::size_t>(found)].to;
+        on_path_[static_cast<std::size_t>(to)] = 1;
+        u = to;
+      } else if (u == source) {
+        break;  // Phase exhausted.
+      } else {
+        // Dead end: retire the arc that led here and back up.
+        on_path_[static_cast<std::size_t>(u)] = 0;
+        PathStep last = dfs_path_.back();
+        dfs_path_.pop_back();
+        ++dfs_arc_[static_cast<std::size_t>(last.node)];
+        u = last.node;
+      }
     }
-    SJOIN_CHECK_GT(push, 0);
 
-    // Apply the augmentation, accumulating true (non-reduced) arc costs.
-    for (NodeId v = sink; v != source;
-         v = parent[static_cast<std::size_t>(v)].node) {
-      const PathStep& step = parent[static_cast<std::size_t>(v)];
-      FlowGraph::Arc& arc =
-          graph.AdjacencyOf(step.node)[static_cast<std::size_t>(step.arc)];
-      FlowGraph::Arc& twin =
-          graph.AdjacencyOf(arc.to)[static_cast<std::size_t>(arc.rev)];
-      arc.capacity -= push;
-      twin.capacity += push;
-      result.cost += arc.cost * static_cast<double>(push);
+    if (phase_flow == 0) {
+      // Sub-epsilon label drift can make a parent arc miss the bit-exact
+      // tightness test; fall back to one augmentation along the Dijkstra
+      // parent chain (whose capacities are untouched — the phase pushed
+      // nothing), which is exactly the classic per-unit step.
+      std::int64_t push = target_flow - result.flow;
+      for (NodeId v = sink; v != source;
+           v = parent_[static_cast<std::size_t>(v)].node) {
+        const PathStep& step = parent_[static_cast<std::size_t>(v)];
+        SJOIN_CHECK_GE(step.node, 0);
+        push = std::min(push, arc_of(step).capacity);
+      }
+      SJOIN_CHECK_GT(push, 0);
+      for (NodeId v = sink; v != source;
+           v = parent_[static_cast<std::size_t>(v)].node) {
+        const PathStep& step = parent_[static_cast<std::size_t>(v)];
+        FlowGraph::Arc& arc = arc_of(step);
+        FlowGraph::Arc& twin =
+            graph.AdjacencyOf(arc.to)[static_cast<std::size_t>(arc.rev)];
+        arc.capacity -= push;
+        twin.capacity += push;
+        result.cost += arc.cost * static_cast<double>(push);
+      }
+      result.flow += push;
     }
-    result.flow += push;
 
     // Johnson re-weighting keeps reduced costs non-negative next round.
-    double dsink = dist[static_cast<std::size_t>(sink)];
     for (int v = 0; v < n; ++v) {
-      potential[static_cast<std::size_t>(v)] +=
-          std::min(dist[static_cast<std::size_t>(v)], dsink);
+      potential_[static_cast<std::size_t>(v)] +=
+          std::min(dist_[static_cast<std::size_t>(v)], dsink);
     }
   }
 
@@ -166,6 +343,12 @@ MinCostFlowResult SolveMinCostFlow(FlowGraph& graph, NodeId source,
     }
   }
   return result;
+}
+
+MinCostFlowResult SolveMinCostFlow(FlowGraph& graph, NodeId source,
+                                   NodeId sink, std::int64_t target_flow) {
+  MinCostFlowSolver solver;
+  return solver.Solve(graph, source, sink, target_flow);
 }
 
 }  // namespace sjoin

@@ -2,6 +2,8 @@
 #define SJOIN_FLOW_MIN_COST_FLOW_H_
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "sjoin/flow/flow_graph.h"
 
@@ -9,12 +11,22 @@
 /// Min-cost flow via successive shortest paths with node potentials.
 ///
 /// The paper uses Goldberg's cost-scaling solver [9]; this repository
-/// substitutes the successive-shortest-path algorithm (optimal and integral
-/// for integer capacities, which is all we need — see DESIGN.md §6).
-/// Initial potentials are computed by Bellman-Ford so that arbitrary
-/// negative-cost arcs are handled; subsequent iterations run Dijkstra on
-/// reduced costs. All the graphs built by this library are time-expanded
-/// DAGs, for which Bellman-Ford converges in a handful of passes.
+/// substitutes a successive-shortest-path solver (optimal and integral for
+/// integer capacities, which is all we need — see DESIGN.md §6), organised
+/// as primal-dual *phases*: each phase computes shortest reduced-cost
+/// distances with Dijkstra (stopping as soon as the sink is settled), then
+/// pushes a blocking flow over the tight arcs of that distance labelling,
+/// so one Dijkstra typically serves many flow units.
+///
+/// Initial potentials come from a single relaxation pass in topological
+/// order when the positive-capacity graph is a DAG — the common case, since
+/// both OPT-offline and FlowExpect build time-expanded slice graphs — with
+/// an SPFA fallback for cyclic inputs.
+///
+/// `MinCostFlowSolver` owns every workspace (distances, parents, heap, DFS
+/// stack, topological order), so repeated solves allocate nothing once
+/// warm. The free function `SolveMinCostFlow` remains as a thin wrapper for
+/// one-shot callers.
 
 namespace sjoin {
 
@@ -27,12 +39,67 @@ struct MinCostFlowResult {
   double cost = 0.0;
 };
 
-/// Routes up to `target_flow` units from `source` to `sink` at minimum cost,
-/// mutating the residual capacities inside `graph` (query per-arc flow with
-/// FlowGraph::FlowOn afterwards).
-///
-/// Precondition: the graph has no negative-cost *cycle* (time-expanded DAGs
-/// trivially satisfy this).
+/// Reusable min-cost-flow kernel. A single instance may solve any sequence
+/// of graphs; workspaces grow to the largest graph seen and are reused.
+class MinCostFlowSolver {
+ public:
+  struct SolveOptions {
+    /// Set when the graph has the same nodes, arcs, and adjacency order as
+    /// this solver's previous Solve() call and only costs / capacities were
+    /// rewritten (the FlowExpect template path). Reuses the cached
+    /// topological order instead of recomputing it.
+    bool topology_unchanged = false;
+    /// Optional caller-known topological order of the forward-arc graph
+    /// (every node exactly once, every forward arc going left to right).
+    /// Not owned; must stay alive through the call. Ignored when
+    /// `topology_unchanged` reuses the cached order.
+    const std::vector<NodeId>* topological_order = nullptr;
+  };
+
+  /// Routes up to `target_flow` units from `source` to `sink` at minimum
+  /// cost, mutating the residual capacities inside `graph` (query per-arc
+  /// flow with FlowGraph::FlowOn afterwards). Deterministic: identical
+  /// graphs (same insertion order) produce identical flows, including
+  /// tie-breaks.
+  ///
+  /// Precondition: the graph has no negative-cost *cycle* (time-expanded
+  /// DAGs trivially satisfy this).
+  MinCostFlowResult Solve(FlowGraph& graph, NodeId source, NodeId sink,
+                          std::int64_t target_flow,
+                          const SolveOptions& options);
+  MinCostFlowResult Solve(FlowGraph& graph, NodeId source, NodeId sink,
+                          std::int64_t target_flow) {
+    return Solve(graph, source, sink, target_flow, SolveOptions());
+  }
+
+ private:
+  struct PathStep {
+    NodeId node = -1;       // Predecessor node.
+    std::int32_t arc = -1;  // Index of the arc taken within node's adjacency.
+  };
+
+  void InitPotentials(const FlowGraph& graph, NodeId source,
+                      const SolveOptions& options);
+  bool ComputeTopologicalOrder(const FlowGraph& graph);
+  void SpfaPotentials(const FlowGraph& graph, NodeId source);
+
+  // Workspaces, sized to the current graph by Solve().
+  std::vector<double> potential_;
+  std::vector<double> dist_;
+  std::vector<PathStep> parent_;
+  std::vector<std::pair<double, NodeId>> heap_;
+  std::vector<NodeId> topo_order_;
+  std::vector<std::int32_t> indegree_;  // Kahn scratch.
+  std::vector<std::int32_t> dfs_arc_;   // Per-node current-arc iterator.
+  std::vector<char> on_path_;           // Cycle guard for the blocking DFS.
+  std::vector<PathStep> dfs_path_;      // Arcs of the current DFS descent.
+  std::vector<char> in_queue_;          // SPFA scratch.
+  bool has_topo_order_ = false;
+};
+
+/// Routes up to `target_flow` units from `source` to `sink` at minimum cost
+/// using a throwaway MinCostFlowSolver. Hot paths that solve repeatedly
+/// should hold a solver instance instead.
 MinCostFlowResult SolveMinCostFlow(FlowGraph& graph, NodeId source,
                                    NodeId sink, std::int64_t target_flow);
 

@@ -29,8 +29,10 @@
 #include "sjoin/policies/prob_policy.h"
 #include "sjoin/policies/random_caching_policy.h"
 #include "sjoin/policies/random_policy.h"
+#include "sjoin/core/flow_expect_policy.h"
 #include "sjoin/testing/brute_force_flow.h"
 #include "sjoin/testing/brute_force_opt.h"
+#include "sjoin/testing/naive_flow_expect.h"
 #include "sjoin/testing/naive_reference.h"
 #include "sjoin/testing/naive_simulator.h"
 #include "sjoin/testing/scenario_generator.h"
@@ -515,6 +517,44 @@ std::optional<std::string> MinCostFlowTrial(std::uint64_t seed) {
     return context() + ": " + inconsistency;
   }
 
+  // The same instance solved by a long-lived MinCostFlowSolver (shared
+  // across every trial in the process, so its workspaces have seen graphs
+  // of many shapes) must reproduce the cold free-function solve exactly:
+  // flow, bitwise cost, and per-arc routing. Workspace reuse may not leak
+  // state between graphs.
+  {
+    static MinCostFlowSolver shared_solver;
+    FlowGraph reuse_graph;
+    NodeId reuse_source = 0;
+    NodeId reuse_sink = 0;
+    std::vector<std::vector<std::int32_t>> reuse_arcs;
+    BuildAssignmentGraph(instance, &reuse_graph, &reuse_source, &reuse_sink,
+                         &reuse_arcs);
+    MinCostFlowResult reused = shared_solver.Solve(
+        reuse_graph, reuse_source, reuse_sink, instance.target_flow);
+    if (reused.flow != solved.flow || reused.cost != solved.cost) {
+      std::ostringstream out;
+      out << context() << ": reused solver diverges from cold solve (cold "
+          << solved.flow << " units / cost " << solved.cost << ", reused "
+          << reused.flow << " units / cost " << reused.cost << ")";
+      return out.str();
+    }
+    for (int w = 0; w < instance.num_workers; ++w) {
+      for (int j = 0; j < instance.num_jobs; ++j) {
+        std::int32_t arc = worker_arcs[static_cast<std::size_t>(w)]
+                                      [static_cast<std::size_t>(j)];
+        if (arc < 0) continue;
+        if (graph.FlowOn(static_cast<NodeId>(2 + w), arc) !=
+            reuse_graph.FlowOn(static_cast<NodeId>(2 + w), arc)) {
+          std::ostringstream out;
+          out << context() << ": reused solver routes worker " << w
+              << " / job " << j << " differently from the cold solve";
+          return out.str();
+        }
+      }
+    }
+  }
+
   // Decode the routed matching and re-derive flow and cost from the arcs.
   std::vector<int> worker_degree(
       static_cast<std::size_t>(instance.num_workers), 0);
@@ -551,6 +591,102 @@ std::optional<std::string> MinCostFlowTrial(std::uint64_t seed) {
         << arc_cost << ") disagrees with result (" << solved.flow
         << " units, cost " << solved.cost << ")";
     return out.str();
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Suite: flow_expect — the optimized FlowExpectPolicy (graph templates,
+// PredictInto buffers, workspace-reusing solver, optional dominance
+// prefilter) against the frozen rebuild-everything oracle, in lockstep
+// over one cache trajectory. Retained sets must match exactly — order and
+// tie-breaks included — with the prefilter both off and on.
+
+std::optional<std::string> FlowExpectTrial(std::uint64_t seed) {
+  ScenarioGenerator::Options options;
+  options.pool = ScenarioGenerator::Pool::kAny;
+  options.min_length = 12;
+  options.max_length = 32;
+  options.min_capacity = 1;
+  options.max_capacity = 4;
+  options.window_probability = 0.3;
+  ScenarioGenerator generator(options);
+  Scenario scenario = generator.Sample(seed);
+  Rng realization_rng(seed ^ kRealizationSalt);
+  auto [r, s] = SampleRealization(scenario, realization_rng);
+  Rng aux(seed ^ kAuxSalt);
+  Time lookahead = aux.UniformInt(2, 4);
+
+  FlowExpectPolicy opt_off(scenario.r_process.get(), scenario.s_process.get(),
+                           {.lookahead = lookahead, .dominance_prune = false});
+  FlowExpectPolicy opt_on(scenario.r_process.get(), scenario.s_process.get(),
+                          {.lookahead = lookahead, .dominance_prune = true});
+  NaiveFlowExpectPolicy naive_off(
+      scenario.r_process.get(), scenario.s_process.get(),
+      {.lookahead = lookahead, .dominance_prune = false});
+  NaiveFlowExpectPolicy naive_on(
+      scenario.r_process.get(), scenario.s_process.get(),
+      {.lookahead = lookahead, .dominance_prune = true});
+
+  auto compare = [&](const char* variant, Time t,
+                     const std::vector<TupleId>& oracle,
+                     const std::vector<TupleId>& optimized)
+      -> std::optional<std::string> {
+    if (oracle == optimized) return std::nullopt;
+    std::ostringstream out;
+    out << scenario.description << " lookahead=" << lookahead << " step " << t
+        << " [" << variant << "]: retained sets diverge (oracle {";
+    for (TupleId id : oracle) out << " " << id;
+    out << " }, optimized {";
+    for (TupleId id : optimized) out << " " << id;
+    out << " })";
+    return out.str();
+  };
+
+  std::vector<Tuple> cache;
+  StreamHistory history_r;
+  StreamHistory history_s;
+  for (Time t = 0; t < scenario.length; ++t) {
+    Value rv = r[static_cast<std::size_t>(t)];
+    Value sv = s[static_cast<std::size_t>(t)];
+    history_r.Append(rv);
+    history_s.Append(sv);
+    std::vector<Tuple> arrivals = {
+        Tuple{TupleIdAt(StreamSide::kR, t), StreamSide::kR, rv, t},
+        Tuple{TupleIdAt(StreamSide::kS, t), StreamSide::kS, sv, t}};
+    PolicyContext ctx;
+    ctx.now = t;
+    ctx.capacity = scenario.capacity;
+    ctx.cached = &cache;
+    ctx.arrivals = &arrivals;
+    ctx.history_r = &history_r;
+    ctx.history_s = &history_s;
+    ctx.window = scenario.window;
+
+    std::vector<TupleId> retained = opt_off.SelectRetained(ctx);
+    if (auto mismatch =
+            compare("prune off", t, naive_off.SelectRetained(ctx), retained)) {
+      return mismatch;
+    }
+    if (auto mismatch = compare("prune on", t, naive_on.SelectRetained(ctx),
+                                opt_on.SelectRetained(ctx))) {
+      return mismatch;
+    }
+
+    // Advance the cache along the prune-off decider's trajectory (both
+    // variants are optimal, but tie-breaks may legitimately differ between
+    // them; each is compared against its own oracle on the same contexts).
+    std::vector<Tuple> next;
+    next.reserve(retained.size());
+    for (TupleId id : retained) {
+      for (const Tuple& tuple : cache) {
+        if (tuple.id == id) next.push_back(tuple);
+      }
+      for (const Tuple& tuple : arrivals) {
+        if (tuple.id == id) next.push_back(tuple);
+      }
+    }
+    cache = std::move(next);
   }
   return std::nullopt;
 }
@@ -799,8 +935,13 @@ const std::vector<DifferentialSuite>& Registry() {
        "vs kDirect",
        1000, &HeebPolicyJoinTrial},
       {"min_cost_flow",
-       "SolveMinCostFlow vs exhaustive matching enumeration", 1000,
-       &MinCostFlowTrial},
+       "SolveMinCostFlow vs exhaustive matching enumeration; reused solver "
+       "vs cold solves",
+       1000, &MinCostFlowTrial},
+      {"flow_expect",
+       "template+pruned FlowExpectPolicy vs the rebuild-everything oracle, "
+       "prefilter on and off",
+       1000, &FlowExpectTrial},
       {"offline_opt",
        "OptOfflinePolicy flow schedule vs exhaustive eviction search", 1000,
        &OfflineOptTrial},

@@ -1,0 +1,200 @@
+#include "sjoin/testing/naive_flow_expect.h"
+
+#include <utility>
+#include <vector>
+
+#include "sjoin/common/check.h"
+#include "sjoin/core/dominance.h"
+#include "sjoin/core/ecb.h"
+#include "sjoin/flow/flow_graph.h"
+#include "sjoin/flow/min_cost_flow.h"
+#include "sjoin/stochastic/discrete_distribution.h"
+
+namespace sjoin {
+namespace testing {
+
+NaiveFlowExpectPolicy::NaiveFlowExpectPolicy(
+    const StochasticProcess* r_process, const StochasticProcess* s_process,
+    Options options)
+    : r_process_(r_process), s_process_(s_process), options_(options) {
+  SJOIN_CHECK(r_process != nullptr && s_process != nullptr);
+  SJOIN_CHECK_GE(options_.lookahead, 1);
+}
+
+std::vector<TupleId> NaiveFlowExpectPolicy::SelectRetained(
+    const PolicyContext& ctx) {
+  // Candidate tuples: cache contents plus the two arrivals (all determined
+  // nodes of the first slice).
+  std::vector<Tuple> candidates;
+  candidates.reserve(ctx.cached->size() + ctx.arrivals->size());
+  for (const Tuple& t : *ctx.cached) candidates.push_back(t);
+  for (const Tuple& t : *ctx.arrivals) candidates.push_back(t);
+  if (candidates.size() <= ctx.capacity) {
+    std::vector<TupleId> all;
+    all.reserve(candidates.size());
+    for (const Tuple& t : candidates) all.push_back(t.id);
+    return all;
+  }
+
+  Time t0 = ctx.now;
+  Time l = options_.lookahead;
+
+  // Predictive pmfs pred[side][j] for X^side_{t0+j}, j = 1..l.
+  std::vector<DiscreteDistribution> pred[2];
+  for (StreamSide side : {StreamSide::kR, StreamSide::kS}) {
+    const StochasticProcess* process =
+        side == StreamSide::kR ? r_process_ : s_process_;
+    const StreamHistory* history =
+        side == StreamSide::kR ? ctx.history_r : ctx.history_s;
+    auto& out = pred[SideIndex(side)];
+    out.resize(static_cast<std::size_t>(l) + 1);
+    for (Time j = 1; j <= l; ++j) {
+      out[static_cast<std::size_t>(j)] = process->Predict(*history, t0 + j);
+    }
+  }
+
+  // Expected benefit of keeping node `n` through time t0+j+1, where j is
+  // the slice the arc leaves. Determined nodes are candidates; undetermined
+  // nodes are future arrivals (side, arrival offset j' in 1..l-1).
+  auto det_benefit = [&](int c, Time j) {
+    const Tuple& tuple = candidates[static_cast<std::size_t>(c)];
+    const auto& partner = pred[SideIndex(Partner(tuple.side))];
+    double p = partner[static_cast<std::size_t>(j + 1)].Prob(tuple.value);
+    if (ctx.window.has_value() &&
+        (t0 + j + 1) - tuple.arrival > *ctx.window) {
+      p = 0.0;  // Sliding-window semantics: expired tuples join nothing.
+    }
+    return p;
+  };
+  auto undet_benefit = [&](StreamSide side, Time j_arrived, Time j) {
+    if (ctx.window.has_value() && (j + 1) - j_arrived > *ctx.window) {
+      return 0.0;
+    }
+    const auto& own = pred[SideIndex(side)];
+    const auto& partner = pred[SideIndex(Partner(side))];
+    return own[static_cast<std::size_t>(j_arrived)].OverlapProb(
+        partner[static_cast<std::size_t>(j + 1)]);
+  };
+
+  // Theorem 3 prefilter, recomputed from scratch: tabulate each
+  // candidate's cumulative benefit curve over the lookahead and discard a
+  // dominated subset of at most (candidates - capacity). The summation
+  // order matches the optimized policy's benefit table exactly, so the
+  // curves — and therefore the discard set — are bit-identical.
+  if (options_.dominance_prune) {
+    std::vector<TabulatedEcb> curves;
+    curves.reserve(candidates.size());
+    for (int c = 0; c < static_cast<int>(candidates.size()); ++c) {
+      std::vector<double> cumulative(static_cast<std::size_t>(l));
+      double sum = 0.0;
+      for (Time j = 0; j < l; ++j) {
+        sum += det_benefit(c, j);
+        cumulative[static_cast<std::size_t>(j)] = sum;
+      }
+      curves.emplace_back(std::move(cumulative));
+    }
+    std::vector<const EcbFn*> curve_ptrs;
+    curve_ptrs.reserve(curves.size());
+    for (const TabulatedEcb& curve : curves) curve_ptrs.push_back(&curve);
+    std::vector<std::size_t> dominated = FindDominatedSubset(
+        curve_ptrs, candidates.size() - ctx.capacity, l);
+    if (!dominated.empty()) {
+      std::vector<Tuple> kept;
+      kept.reserve(candidates.size() - dominated.size());
+      std::size_t next_dominated = 0;
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        if (next_dominated < dominated.size() &&
+            dominated[next_dominated] == c) {
+          ++next_dominated;
+          continue;
+        }
+        kept.push_back(candidates[c]);
+      }
+      candidates = std::move(kept);
+    }
+    if (candidates.size() <= ctx.capacity) {
+      std::vector<TupleId> all;
+      all.reserve(candidates.size());
+      for (const Tuple& t : candidates) all.push_back(t.id);
+      return all;
+    }
+  }
+  int n_c = static_cast<int>(candidates.size());
+
+  // Build the slice graph. Slice j (0-based, j = 0..l-1) holds n_c
+  // determined-node copies plus two undetermined nodes per earlier arrival
+  // offset j' = 1..j.
+  FlowGraph graph;
+  NodeId source = graph.AddNode();
+  NodeId sink = graph.AddNode();
+  std::vector<NodeId> slice_base(static_cast<std::size_t>(l));
+  for (Time j = 0; j < l; ++j) {
+    slice_base[static_cast<std::size_t>(j)] =
+        graph.AddNodes(n_c + 2 * static_cast<int>(j));
+  }
+  auto det_node = [&](Time j, int c) {
+    return slice_base[static_cast<std::size_t>(j)] + static_cast<NodeId>(c);
+  };
+  auto undet_node = [&](Time j, Time j_arrived, StreamSide side) {
+    return slice_base[static_cast<std::size_t>(j)] +
+           static_cast<NodeId>(n_c) +
+           static_cast<NodeId>(2 * (j_arrived - 1)) +
+           static_cast<NodeId>(SideIndex(side));
+  };
+
+  // Source arcs: remember handles to read the decision afterwards.
+  std::vector<std::int32_t> source_arcs;
+  source_arcs.reserve(static_cast<std::size_t>(n_c));
+  for (int c = 0; c < n_c; ++c) {
+    source_arcs.push_back(graph.AddArc(source, det_node(0, c), 1, 0.0));
+  }
+
+  for (Time j = 0; j < l; ++j) {
+    bool last_slice = (j == l - 1);
+    // Horizontal arcs (or sink arcs from the last slice): keeping a tuple
+    // through t0+j+1 earns its expected benefit there.
+    for (int c = 0; c < n_c; ++c) {
+      NodeId to = last_slice ? sink : det_node(j + 1, c);
+      graph.AddArc(det_node(j, c), to, 1, -det_benefit(c, j));
+    }
+    for (Time j_arrived = 1; j_arrived <= j; ++j_arrived) {
+      for (StreamSide side : {StreamSide::kR, StreamSide::kS}) {
+        NodeId to = last_slice ? sink : undet_node(j + 1, j_arrived, side);
+        graph.AddArc(undet_node(j, j_arrived, side), to, 1,
+                     -undet_benefit(side, j_arrived, j));
+      }
+    }
+    // Non-horizontal arcs within slice j (j >= 1): every duplicate node may
+    // hand its slot to one of the two tuples arriving at t0+j.
+    if (j >= 1) {
+      for (StreamSide new_side : {StreamSide::kR, StreamSide::kS}) {
+        NodeId new_node = undet_node(j, j, new_side);
+        for (int c = 0; c < n_c; ++c) {
+          graph.AddArc(det_node(j, c), new_node, 1, 0.0);
+        }
+        for (Time j_arrived = 1; j_arrived < j; ++j_arrived) {
+          for (StreamSide side : {StreamSide::kR, StreamSide::kS}) {
+            graph.AddArc(undet_node(j, j_arrived, side), new_node, 1, 0.0);
+          }
+        }
+      }
+    }
+  }
+
+  std::int64_t target = static_cast<std::int64_t>(ctx.capacity);
+  MinCostFlowResult result = SolveMinCostFlow(graph, source, sink, target);
+  SJOIN_CHECK_EQ(result.flow, target);
+
+  // The decision at t0: candidates whose source arc carries flow stay.
+  std::vector<TupleId> retained;
+  retained.reserve(ctx.capacity);
+  for (int c = 0; c < n_c; ++c) {
+    if (graph.FlowOn(source, source_arcs[static_cast<std::size_t>(c)]) > 0) {
+      retained.push_back(candidates[static_cast<std::size_t>(c)].id);
+    }
+  }
+  return retained;
+}
+
+}  // namespace testing
+}  // namespace sjoin

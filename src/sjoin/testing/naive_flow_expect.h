@@ -1,0 +1,59 @@
+#ifndef SJOIN_TESTING_NAIVE_FLOW_EXPECT_H_
+#define SJOIN_TESTING_NAIVE_FLOW_EXPECT_H_
+
+#include <vector>
+
+#include "sjoin/engine/replacement_policy.h"
+#include "sjoin/stochastic/process.h"
+
+/// \file
+/// Frozen rebuild-everything FlowExpect oracle.
+///
+/// This is the pre-optimization FlowExpectPolicy::SelectRetained kept
+/// verbatim: by-value Predict calls, a fresh FlowGraph every step, and the
+/// one-shot SolveMinCostFlow entry point. The optimized policy
+/// (graph templates, retained prediction buffers, workspace-reusing
+/// solver, dominance prefilter) must stay bit-identical to this oracle —
+/// same retained sets including tie-breaks — which the `flow_expect`
+/// differential suite checks with the prefilter both on and off.
+///
+/// The oracle deliberately shares the production min-cost-flow *solver*
+/// and the production `FindDominatedSubset`: those kernels have their own
+/// oracles (the brute-force assignment enumerator behind the
+/// `min_cost_flow` suite, and dominance_test), and sharing them makes
+/// retained-set comparisons exact rather than tolerance-based. What this
+/// oracle independently re-derives is everything FlowExpect itself adds:
+/// candidate assembly, predictions, benefit arithmetic, graph shape, and
+/// the decision read-back.
+
+namespace sjoin {
+namespace testing {
+
+/// Reference FlowExpect: identical decisions to FlowExpectPolicy, none of
+/// its caching. Intentionally slow; use only in tests.
+class NaiveFlowExpectPolicy final : public ReplacementPolicy {
+ public:
+  struct Options {
+    Time lookahead = 5;
+    /// Mirror of FlowExpectPolicy::Options::dominance_prune, evaluated
+    /// from scratch each step.
+    bool dominance_prune = true;
+  };
+
+  NaiveFlowExpectPolicy(const StochasticProcess* r_process,
+                        const StochasticProcess* s_process, Options options);
+
+  std::vector<TupleId> SelectRetained(const PolicyContext& ctx) override;
+
+  const char* name() const override { return "NAIVE-FLOWEXPECT"; }
+
+ private:
+  const StochasticProcess* r_process_;
+  const StochasticProcess* s_process_;
+  Options options_;
+};
+
+}  // namespace testing
+}  // namespace sjoin
+
+#endif  // SJOIN_TESTING_NAIVE_FLOW_EXPECT_H_

@@ -1,0 +1,23 @@
+// Differential suite for the optimized FlowExpectPolicy (graph templates,
+// retained prediction buffers, workspace-reusing solver, dominance
+// prefilter) against the frozen rebuild-everything oracle.
+
+#include <gtest/gtest.h>
+
+#include "sjoin/testing/differential.h"
+
+namespace sjoin {
+namespace testing {
+namespace {
+
+TEST(DifferentialFlowExpectTest, OptimizedMatchesNaiveOracle) {
+  const DifferentialSuite* suite = FindDifferentialSuite("flow_expect");
+  ASSERT_NE(suite, nullptr);
+  DifferentialReport report = RunDifferentialSuite(
+      *suite, kDifferentialBaseSeed, TrialCountFromEnv(suite->default_trials));
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace sjoin

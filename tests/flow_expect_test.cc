@@ -10,6 +10,7 @@
 #include "sjoin/stochastic/offline_process.h"
 #include "sjoin/stochastic/scripted_process.h"
 #include "sjoin/stochastic/stationary_process.h"
+#include "sjoin/stochastic/stream_sampler.h"
 
 namespace sjoin {
 namespace {
@@ -143,6 +144,84 @@ TEST_F(Section34Fixture, AdaptiveStrategyBeatsBestPredeterminedSequence) {
                     (1.0 - s1.Prob(3)) * (r1.Prob(2) + r3.Prob(2) * 1.0);
   EXPECT_NEAR(adaptive, 1.75, 1e-12);
   EXPECT_GT(adaptive, seq_keep);
+}
+
+TEST_F(Section34Fixture, DominancePruneKeepsSameDecision) {
+  // The Theorem 3 prefilter only discards dominated candidates, so on the
+  // Section 3.4 instance (three candidates with distinct benefit curves)
+  // the decision must be identical with the prefilter on and off.
+  for (bool prune : {false, true}) {
+    FlowExpectPolicy policy(
+        r_process_.get(), s_process_.get(),
+        {.lookahead = 3, .dominance_prune = prune});
+    StreamHistory history_r({kNoMatchBase});
+    StreamHistory history_s({2});
+    std::vector<Tuple> cached = {{100, StreamSide::kR, 1, -1}};
+    std::vector<Tuple> arrivals = {{0, StreamSide::kR, kNoMatchBase, 0},
+                                   {1, StreamSide::kS, 2, 0}};
+    PolicyContext ctx;
+    ctx.now = 0;
+    ctx.capacity = 1;
+    ctx.cached = &cached;
+    ctx.arrivals = &arrivals;
+    ctx.history_r = &history_r;
+    ctx.history_s = &history_s;
+    auto retained = policy.SelectRetained(ctx);
+    ASSERT_EQ(retained.size(), 1u) << "prune=" << prune;
+    EXPECT_EQ(retained[0], 100u) << "prune=" << prune;
+  }
+}
+
+TEST(FlowExpectTest, PersistentTemplatesMatchFreshPolicyEachStep) {
+  // Template reuse must be invisible: a policy carried across steps (warm
+  // graph templates, cached topological order, reused buffers) must make
+  // exactly the decision a freshly constructed policy makes on the same
+  // context.
+  auto dist =
+      DiscreteDistribution::FromMasses(0, {0.35, 0.25, 0.2, 0.12, 0.08});
+  StationaryProcess r_process(dist);
+  StationaryProcess s_process(dist);
+  Rng rng(77);
+  Time len = 40;
+  StreamPair pair = SampleStreamPair(r_process, s_process, len, rng);
+
+  FlowExpectPolicy persistent(&r_process, &s_process, {.lookahead = 4});
+  std::vector<Tuple> cache;
+  StreamHistory history_r;
+  StreamHistory history_s;
+  for (Time t = 0; t < len; ++t) {
+    Value rv = pair.r[static_cast<std::size_t>(t)];
+    Value sv = pair.s[static_cast<std::size_t>(t)];
+    history_r.Append(rv);
+    history_s.Append(sv);
+    std::vector<Tuple> arrivals = {
+        Tuple{static_cast<TupleId>(2 * t), StreamSide::kR, rv, t},
+        Tuple{static_cast<TupleId>(2 * t + 1), StreamSide::kS, sv, t}};
+    PolicyContext ctx;
+    ctx.now = t;
+    ctx.capacity = 3;
+    ctx.cached = &cache;
+    ctx.arrivals = &arrivals;
+    ctx.history_r = &history_r;
+    ctx.history_s = &history_s;
+
+    std::vector<TupleId> warm = persistent.SelectRetained(ctx);
+    FlowExpectPolicy fresh(&r_process, &s_process, {.lookahead = 4});
+    std::vector<TupleId> cold = fresh.SelectRetained(ctx);
+    ASSERT_EQ(warm, cold) << "step " << t;
+
+    std::vector<Tuple> next;
+    next.reserve(warm.size());
+    for (TupleId id : warm) {
+      for (const Tuple& tuple : cache) {
+        if (tuple.id == id) next.push_back(tuple);
+      }
+      for (const Tuple& tuple : arrivals) {
+        if (tuple.id == id) next.push_back(tuple);
+      }
+    }
+    cache = std::move(next);
+  }
 }
 
 TEST(FlowExpectTest, OfflineStreamsMatchOptOffline) {

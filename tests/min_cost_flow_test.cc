@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "sjoin/common/rng.h"
@@ -177,6 +179,187 @@ TEST(MinCostFlowTest, ZeroTargetFlow) {
   auto result = SolveMinCostFlow(graph, s, t, 0);
   EXPECT_EQ(result.flow, 0);
   EXPECT_DOUBLE_EQ(result.cost, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// MinCostFlowSolver reuse: one solver instance carried across many solves
+// must behave exactly like a cold SolveMinCostFlow on every instance.
+// ---------------------------------------------------------------------------
+
+struct RandomInstance {
+  FlowGraph graph;
+  NodeId source = 0;
+  NodeId sink = 0;
+  std::int64_t target = 0;
+};
+
+// Deterministic in `seed`, so calling it twice yields identical graphs.
+// Varies size, mixes negative arc costs, and picks targets that sometimes
+// exceed the max flow (saturating the sink-side cut).
+RandomInstance MakeRandomInstance(std::uint64_t seed) {
+  Rng rng(seed);
+  RandomInstance inst;
+  int layers = static_cast<int>(rng.UniformInt(2, 4));
+  int width = static_cast<int>(rng.UniformInt(2, 4));
+  inst.source = inst.graph.AddNode();
+  inst.sink = inst.graph.AddNode();
+  std::vector<std::vector<NodeId>> layer_nodes(
+      static_cast<std::size_t>(layers));
+  for (int l = 0; l < layers; ++l) {
+    for (int w = 0; w < width; ++w) {
+      layer_nodes[static_cast<std::size_t>(l)].push_back(
+          inst.graph.AddNode());
+    }
+  }
+  for (NodeId n : layer_nodes[0]) {
+    inst.graph.AddArc(inst.source, n, rng.UniformInt(1, 2), 0.0);
+  }
+  for (NodeId n : layer_nodes.back()) {
+    inst.graph.AddArc(n, inst.sink, rng.UniformInt(1, 2),
+                      static_cast<double>(rng.UniformInt(-3, 3)));
+  }
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (NodeId u : layer_nodes[static_cast<std::size_t>(l)]) {
+      for (NodeId v : layer_nodes[static_cast<std::size_t>(l + 1)]) {
+        if (rng.UniformReal() < 0.6) {
+          inst.graph.AddArc(u, v, rng.UniformInt(1, 3),
+                            static_cast<double>(rng.UniformInt(-6, 6)));
+        }
+      }
+    }
+  }
+  inst.target = rng.UniformInt(1, 2 * width);
+  return inst;
+}
+
+// Per-arc flows must match exactly, not just the aggregate cost.
+void ExpectSameFlows(const FlowGraph& a, const FlowGraph& b) {
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  for (NodeId u = 0; u < a.NumNodes(); ++u) {
+    const auto& arcs_a = a.AdjacencyOf(u);
+    const auto& arcs_b = b.AdjacencyOf(u);
+    ASSERT_EQ(arcs_a.size(), arcs_b.size());
+    for (std::size_t i = 0; i < arcs_a.size(); ++i) {
+      if (!arcs_a[i].is_forward) continue;
+      EXPECT_EQ(a.FlowOn(u, static_cast<std::int32_t>(i)),
+                b.FlowOn(u, static_cast<std::int32_t>(i)))
+          << "arc " << i << " out of node " << u;
+    }
+  }
+}
+
+TEST(MinCostFlowSolverTest, ReusedSolverMatchesColdSolves) {
+  MinCostFlowSolver solver;
+  for (std::uint64_t seed = 1; seed <= 80; ++seed) {
+    RandomInstance cold = MakeRandomInstance(seed);
+    RandomInstance warm = MakeRandomInstance(seed);
+    auto cold_result =
+        SolveMinCostFlow(cold.graph, cold.source, cold.sink, cold.target);
+    auto warm_result =
+        solver.Solve(warm.graph, warm.source, warm.sink, warm.target);
+    EXPECT_EQ(warm_result.flow, cold_result.flow) << "seed " << seed;
+    // Bitwise: the reused solver runs the identical arithmetic, only its
+    // workspace allocations differ.
+    EXPECT_EQ(warm_result.cost, cold_result.cost) << "seed " << seed;
+    ExpectSameFlows(warm.graph, cold.graph);
+    EXPECT_FALSE(ResidualHasNegativeCycle(warm.graph)) << "seed " << seed;
+  }
+}
+
+struct TemplateInstance {
+  FlowGraph graph;
+  NodeId source = 0;
+  NodeId sink = 0;
+  // (from, arc index) handle for every forward arc, in insertion order.
+  std::vector<std::pair<NodeId, std::int32_t>> forward_arcs;
+};
+
+// Fully-connected 3x3 layered DAG with unit capacities and placeholder
+// costs, mirroring how FlowExpectPolicy keeps one skeleton per shape.
+TemplateInstance MakeUnitTemplate() {
+  TemplateInstance inst;
+  inst.source = inst.graph.AddNode();
+  inst.sink = inst.graph.AddNode();
+  std::vector<std::vector<NodeId>> layer_nodes(3);
+  for (auto& layer : layer_nodes) {
+    for (int w = 0; w < 3; ++w) layer.push_back(inst.graph.AddNode());
+  }
+  auto add = [&inst](NodeId from, NodeId to) {
+    inst.forward_arcs.push_back({from, inst.graph.AddArc(from, to, 1, 0.0)});
+  };
+  for (NodeId n : layer_nodes[0]) add(inst.source, n);
+  for (int l = 0; l + 1 < 3; ++l) {
+    for (NodeId u : layer_nodes[static_cast<std::size_t>(l)]) {
+      for (NodeId v : layer_nodes[static_cast<std::size_t>(l + 1)]) {
+        add(u, v);
+      }
+    }
+  }
+  for (NodeId n : layer_nodes.back()) add(n, inst.sink);
+  return inst;
+}
+
+TEST(MinCostFlowSolverTest, CostRewriteWithTopologyHintMatchesColdSolve) {
+  // The template path: solve once, then rewrite costs + reset capacities
+  // and re-solve with topology_unchanged so the solver reuses its cached
+  // topological order. Every round must match a cold solve of a freshly
+  // built graph carrying the same costs.
+  MinCostFlowSolver solver;
+  TemplateInstance tpl = MakeUnitTemplate();
+  Rng rng(2024);
+  bool solved_before = false;
+  for (int round = 0; round < 8; ++round) {
+    std::vector<double> costs;
+    costs.reserve(tpl.forward_arcs.size());
+    for (std::size_t i = 0; i < tpl.forward_arcs.size(); ++i) {
+      costs.push_back(static_cast<double>(rng.UniformInt(-6, 6)));
+    }
+    tpl.graph.ResetUnitCapacities();
+    for (std::size_t i = 0; i < tpl.forward_arcs.size(); ++i) {
+      tpl.graph.SetArcCost(tpl.forward_arcs[i].first,
+                           tpl.forward_arcs[i].second, costs[i]);
+    }
+    MinCostFlowSolver::SolveOptions options;
+    options.topology_unchanged = solved_before;
+    auto warm_result = solver.Solve(tpl.graph, tpl.source, tpl.sink, 2,
+                                    options);
+    solved_before = true;
+
+    TemplateInstance cold = MakeUnitTemplate();
+    for (std::size_t i = 0; i < cold.forward_arcs.size(); ++i) {
+      cold.graph.SetArcCost(cold.forward_arcs[i].first,
+                            cold.forward_arcs[i].second, costs[i]);
+    }
+    auto cold_result =
+        SolveMinCostFlow(cold.graph, cold.source, cold.sink, 2);
+    EXPECT_EQ(warm_result.flow, cold_result.flow) << "round " << round;
+    EXPECT_EQ(warm_result.cost, cold_result.cost) << "round " << round;
+    ExpectSameFlows(tpl.graph, cold.graph);
+  }
+}
+
+TEST(MinCostFlowSolverTest, CallerSuppliedTopologicalOrderMatchesKahn) {
+  // MakeRandomInstance numbers nodes so that arcs only go from lower to
+  // higher layers; {source, layer nodes in id order, sink} is therefore a
+  // valid topological order.
+  MinCostFlowSolver solver;
+  for (std::uint64_t seed = 200; seed < 220; ++seed) {
+    RandomInstance cold = MakeRandomInstance(seed);
+    RandomInstance warm = MakeRandomInstance(seed);
+    std::vector<NodeId> order;
+    order.push_back(warm.source);
+    for (NodeId v = 2; v < warm.graph.NumNodes(); ++v) order.push_back(v);
+    order.push_back(warm.sink);
+    MinCostFlowSolver::SolveOptions options;
+    options.topological_order = &order;
+    auto warm_result = solver.Solve(warm.graph, warm.source, warm.sink,
+                                    warm.target, options);
+    auto cold_result =
+        SolveMinCostFlow(cold.graph, cold.source, cold.sink, cold.target);
+    EXPECT_EQ(warm_result.flow, cold_result.flow) << "seed " << seed;
+    EXPECT_EQ(warm_result.cost, cold_result.cost) << "seed " << seed;
+    ExpectSameFlows(warm.graph, cold.graph);
+  }
 }
 
 }  // namespace
