@@ -8,36 +8,19 @@
 // Paper scale: --runs=50 --len=5000 (FlowExpect gets slow; the paper kept
 // the scale small for the same reason).
 
-#include <cstdio>
-
-#include "harness/flags.h"
 #include "harness/runner.h"
 
-using namespace sjoin;
-using namespace sjoin::bench;
-
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  RosterOptions options;
-  options.cache = static_cast<std::size_t>(flags.GetInt("cache", 10));
-  options.len = flags.GetInt("len", 1000);
-  options.runs = static_cast<int>(flags.GetInt("runs", 5));
-  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
-  options.include_flow_expect = flags.GetInt("flowexpect", 1) != 0;
-  options.flow_expect_lookahead = flags.GetInt("lookahead", 5);
-  options.threads = static_cast<int>(flags.GetInt("threads", 0));
-  flags.CheckConsumed();
-
-  std::printf("# Figure 8: average join counts, cache=%zu len=%lld "
-              "runs=%d\n\n",
-              options.cache, static_cast<long long>(options.len),
-              options.runs);
-
-  JoinWorkload workloads[] = {MakeTower(), MakeRoof(), MakeFloor(),
-                              MakeWalk()};
-  for (const JoinWorkload& workload : workloads) {
-    auto roster = RunJoinRoster(workload, options);
-    PrintSummaryBlock(workload.name, roster);
-  }
-  return 0;
+  using sjoin::bench::RosterMainSpec;
+  RosterMainSpec spec;
+  spec.figure_name = "Figure 8";
+  spec.mode = RosterMainSpec::Mode::kSummary;
+  spec.workloads = {[] { return sjoin::bench::MakeTower(); },
+                    [] { return sjoin::bench::MakeRoof(); },
+                    [] { return sjoin::bench::MakeFloor(); },
+                    [] { return sjoin::bench::MakeWalk(); }};
+  spec.default_len = 1000;
+  spec.default_runs = 5;
+  spec.flow_expect_flags = true;
+  return sjoin::bench::RunRosterMain(argc, argv, spec);
 }

@@ -4,9 +4,11 @@
 // converges to OPT-offline; HEEB converges fastest.
 // Paper scale: --runs=50 --len=5000.
 
-#include "harness/sweep.h"
+#include "harness/runner.h"
 
 int main(int argc, char** argv) {
-  return sjoin::bench::RunCacheSweepMain(
-      argc, argv, [] { return sjoin::bench::MakeTower(); }, "Figure 09 (TOWER)");
+  sjoin::bench::RosterMainSpec spec;
+  spec.figure_name = "Figure 09 (TOWER)";
+  spec.workloads = {[] { return sjoin::bench::MakeTower(); }};
+  return sjoin::bench::RunRosterMain(argc, argv, spec);
 }

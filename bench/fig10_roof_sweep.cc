@@ -4,9 +4,11 @@
 // converges to OPT-offline; HEEB converges fastest.
 // Paper scale: --runs=50 --len=5000.
 
-#include "harness/sweep.h"
+#include "harness/runner.h"
 
 int main(int argc, char** argv) {
-  return sjoin::bench::RunCacheSweepMain(
-      argc, argv, [] { return sjoin::bench::MakeRoof(); }, "Figure 10 (ROOF)");
+  sjoin::bench::RosterMainSpec spec;
+  spec.figure_name = "Figure 10 (ROOF)";
+  spec.workloads = {[] { return sjoin::bench::MakeRoof(); }};
+  return sjoin::bench::RunRosterMain(argc, argv, spec);
 }

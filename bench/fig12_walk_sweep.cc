@@ -4,9 +4,11 @@
 // converges to OPT-offline; HEEB converges fastest.
 // Paper scale: --runs=50 --len=5000.
 
-#include "harness/sweep.h"
+#include "harness/runner.h"
 
 int main(int argc, char** argv) {
-  return sjoin::bench::RunCacheSweepMain(
-      argc, argv, [] { return sjoin::bench::MakeWalk(); }, "Figure 12 (WALK)");
+  sjoin::bench::RosterMainSpec spec;
+  spec.figure_name = "Figure 12 (WALK)";
+  spec.workloads = {[] { return sjoin::bench::MakeWalk(); }};
+  return sjoin::bench::RunRosterMain(argc, argv, spec);
 }

@@ -7,6 +7,8 @@
 #include <optional>
 #include <utility>
 
+#include "harness/flags.h"
+
 #include "sjoin/common/check.h"
 #include "sjoin/common/rng.h"
 #include "sjoin/core/flow_expect_policy.h"
@@ -203,6 +205,101 @@ void PrintSummaryBlock(const std::string& title,
                 result.summary.min, result.summary.max);
   }
   std::printf("\n");
+}
+
+namespace {
+
+int RunSummaryMain(Flags& flags, RosterOptions options,
+                   const RosterMainSpec& spec) {
+  options.cache = static_cast<std::size_t>(
+      flags.GetInt("cache", static_cast<std::int64_t>(spec.default_cache)));
+  if (spec.flow_expect_flags) {
+    options.include_flow_expect = flags.GetInt("flowexpect", 1) != 0;
+    options.flow_expect_lookahead = flags.GetInt("lookahead", 5);
+  }
+  flags.CheckConsumed();
+
+  std::printf("# %s: average join counts, cache=%zu len=%lld runs=%d\n\n",
+              spec.figure_name.c_str(), options.cache,
+              static_cast<long long>(options.len), options.runs);
+  for (const auto& factory : spec.workloads) {
+    JoinWorkload workload = factory();
+    auto roster = RunJoinRoster(workload, options);
+    PrintSummaryBlock(workload.name, roster);
+  }
+  return 0;
+}
+
+int RunCacheSweepMain(Flags& flags, RosterOptions options,
+                      const RosterMainSpec& spec) {
+  SJOIN_CHECK_EQ(spec.workloads.size(), 1u);
+  std::int64_t max_cache = flags.GetInt("max_cache", 50);
+  int threads = static_cast<int>(flags.GetInt("threads", 0));
+  flags.CheckConsumed();
+
+  std::vector<std::int64_t> caches;
+  for (std::int64_t c : {1, 2, 3, 5, 8, 10, 15, 20, 30, 40, 50}) {
+    if (c <= max_cache) caches.push_back(c);
+  }
+  if (caches.empty()) {
+    std::fprintf(stderr, "%s: --max_cache must be >= 1\n",
+                 spec.figure_name.c_str());
+    return 2;
+  }
+  // A shared counting window so sizes are comparable (>= 4x every cache).
+  options.warmup = 4 * caches.back();
+
+  std::printf("# %s: average join counts vs memory size (len=%lld "
+              "runs=%d)\n",
+              spec.figure_name.c_str(), static_cast<long long>(options.len),
+              options.runs);
+
+  // All (run, policy, sweep-point) jobs share one pool so the whole sweep
+  // stays parallel end to end; rows still print in sweep order, and the
+  // CSV is bit-identical for every thread count.
+  ThreadPool pool(threads);
+  struct Point {
+    std::int64_t cache;
+    JoinWorkload workload;
+    PendingRoster pending;
+  };
+  std::vector<Point> points;
+  points.reserve(caches.size());
+  for (std::int64_t cache : caches) {
+    // Fresh workload per point: WALK tables depend on alpha = cache size.
+    points.push_back({cache, spec.workloads.front()(), {}});
+  }
+  for (Point& point : points) {
+    options.cache = static_cast<std::size_t>(point.cache);
+    point.pending = EnqueueJoinRoster(point.workload, options, pool);
+  }
+
+  bool header_printed = false;
+  for (Point& point : points) {
+    auto roster = point.pending.Await();
+    if (!header_printed) {
+      PrintCsvHeader("memory", roster);
+      header_printed = true;
+    }
+    PrintCsvRow(static_cast<double>(point.cache), roster);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int RunRosterMain(int argc, char** argv, const RosterMainSpec& spec) {
+  SJOIN_CHECK_GE(spec.workloads.size(), 1u);
+  Flags flags(argc, argv);
+  RosterOptions options;
+  options.len = flags.GetInt("len", spec.default_len);
+  options.runs = static_cast<int>(flags.GetInt("runs", spec.default_runs));
+  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  if (spec.mode == RosterMainSpec::Mode::kSummary) {
+    options.threads = static_cast<int>(flags.GetInt("threads", 0));
+    return RunSummaryMain(flags, options, spec);
+  }
+  return RunCacheSweepMain(flags, options, spec);
 }
 
 }  // namespace sjoin::bench

@@ -2,6 +2,7 @@
 #define SJOIN_BENCH_HARNESS_RUNNER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -98,6 +99,40 @@ void PrintCsvRow(double x, const std::vector<AlgoResult>& roster);
 /// Prints one block of results with mean/stddev/min/max per algorithm.
 void PrintSummaryBlock(const std::string& title,
                        const std::vector<AlgoResult>& roster);
+
+/// Declarative spec for a figure binary's main(): flag parsing, roster
+/// execution and printing live here once, so every roster figure is a
+/// handful of lines naming its workloads (Figures 8-12 all ride on it).
+struct RosterMainSpec {
+  enum class Mode {
+    /// One workload, roster per cache size on the shared 1..max_cache
+    /// grid, one CSV row per size (Figures 9-12). Flags: --len --runs
+    /// --seed --max_cache --threads.
+    kCacheSweep,
+    /// One roster per workload at a fixed cache size, printed as summary
+    /// blocks (Figure 8). Flags: --cache --len --runs --seed --threads,
+    /// plus --flowexpect/--lookahead when flow_expect_flags is set.
+    kSummary,
+  };
+
+  std::string figure_name;
+  Mode mode = Mode::kCacheSweep;
+  /// One factory per workload. kCacheSweep requires exactly one; the
+  /// factory runs once per sweep point because WALK's tables depend on
+  /// alpha = cache size.
+  std::vector<std::function<JoinWorkload()>> workloads;
+  Time default_len = 800;
+  int default_runs = 3;
+  /// kSummary only.
+  std::size_t default_cache = 10;
+  bool flow_expect_flags = false;
+};
+
+/// Parses flags, runs the rosters described by `spec`, prints, and
+/// returns the process exit code. All (run, policy, sweep-point) jobs
+/// share one thread pool sized by --threads (0 = hardware concurrency,
+/// 1 = serial); output is bit-identical for every thread count.
+int RunRosterMain(int argc, char** argv, const RosterMainSpec& spec);
 
 }  // namespace sjoin::bench
 

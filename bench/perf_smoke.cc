@@ -1,8 +1,12 @@
 // Perf-telemetry baseline: times JoinSimulator::Run under the policies
 // that matter — HEEB in all four computation modes, FlowExpect, the
-// RAND/PROB/LIFE baselines and OPT-offline — on fixed seeds, and emits
-// BENCH_perf.json so the perf trajectory of future PRs has a measured
-// anchor (steps/sec, ns/step, peak candidate count per scenario).
+// RAND/PROB/LIFE baselines and OPT-offline — plus CacheSimulator under
+// LRU/LFU/RAND (and PROB via the joining-policy route) on fixed seeds,
+// and emits BENCH_perf.json so the perf trajectory of future PRs has a
+// measured anchor (steps/sec, ns/step, peak candidate count per
+// scenario). Both simulators are StreamEngine façades, so the rows also
+// anchor the engine's binary instantiation and the Theorem 1 reduction
+// path.
 //
 // Runs serially on purpose: per-run wall times feed ns/step, and parallel
 // execution would contend for the core(s) being measured.
@@ -20,6 +24,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "harness/configs.h"
@@ -29,10 +34,15 @@
 #include "sjoin/common/stopwatch.h"
 #include "sjoin/core/flow_expect_policy.h"
 #include "sjoin/core/heeb_join_policy.h"
+#include "sjoin/engine/cache_simulator.h"
+#include "sjoin/engine/caching_policy.h"
 #include "sjoin/engine/join_simulator.h"
+#include "sjoin/policies/lfu_policy.h"
 #include "sjoin/policies/life_policy.h"
+#include "sjoin/policies/lru_policy.h"
 #include "sjoin/policies/opt_offline_policy.h"
 #include "sjoin/policies/prob_policy.h"
+#include "sjoin/policies/random_caching_policy.h"
 #include "sjoin/policies/random_policy.h"
 #include "sjoin/stochastic/stream_sampler.h"
 
@@ -88,8 +98,62 @@ ScenarioResult TimeScenario(const std::string& name,
     JoinRunResult result = sim.Run(pair.r, pair.s, *policy);
     out.run_ns += run.ElapsedNs();
     out.counted_results += result.counted_results;
-    if (result.peak_candidates > out.peak_candidates) {
-      out.peak_candidates = result.peak_candidates;
+    if (result.telemetry.peak_candidates > out.peak_candidates) {
+      out.peak_candidates = result.telemetry.peak_candidates;
+    }
+  }
+  std::int64_t steps = len * config.runs;
+  std::fprintf(stderr, "%-18s %-5s %8.0f steps/s %10.0f ns/step\n",
+               name.c_str(), workload.name.c_str(),
+               static_cast<double>(steps) /
+                   (static_cast<double>(out.run_ns) * 1e-9),
+               static_cast<double>(out.run_ns) /
+                   static_cast<double>(steps));
+  return out;
+}
+
+/// Times `make_policy` + CacheSimulator over `runs` pre-sampled reference
+/// streams (the workload's R process). A CachingPolicy runs through
+/// CacheSimulator::Run (the Theorem 1 adapter); a joining
+/// ReplacementPolicy runs through RunJoinPolicy — the inverse direction
+/// of the unification, where a join policy serves the caching problem.
+template <typename MakePolicy>
+ScenarioResult TimeCacheScenario(const std::string& name,
+                                 const JoinWorkload& workload, Time len,
+                                 const Config& config,
+                                 MakePolicy&& make_policy) {
+  using PolicyT = typename decltype(make_policy())::element_type;
+  ScenarioResult out;
+  out.name = name;
+  out.workload = workload.name;
+  out.len = len;
+  out.runs = config.runs;
+
+  Rng rng(config.seed);
+  std::vector<std::vector<Value>> streams;
+  streams.reserve(static_cast<std::size_t>(config.runs));
+  for (int run = 0; run < config.runs; ++run) {
+    streams.push_back(SampleStreamPair(*workload.r, *workload.s, len, rng).r);
+  }
+
+  CacheSimulator sim({.capacity = config.cache,
+                      .warmup = static_cast<Time>(4 * config.cache)});
+  for (const std::vector<Value>& references : streams) {
+    Stopwatch setup;
+    auto policy = make_policy();
+    out.setup_ns += setup.ElapsedNs();
+
+    Stopwatch run;
+    CacheRunResult result;
+    if constexpr (std::is_base_of_v<CachingPolicy, PolicyT>) {
+      result = sim.Run(references, *policy);
+    } else {
+      result = sim.RunJoinPolicy(references, *policy);
+    }
+    out.run_ns += run.ElapsedNs();
+    out.counted_results += result.counted_hits;
+    if (result.telemetry.peak_candidates > out.peak_candidates) {
+      out.peak_candidates = result.telemetry.peak_candidates;
     }
   }
   std::int64_t steps = len * config.runs;
@@ -243,6 +307,23 @@ int main(int argc, char** argv) {
       "LIFE", tower, config.len, config, [&](const StreamPair&) {
         return std::make_unique<LifePolicy>(tower.life_window);
       }));
+
+  // Caching rows: the same engine running the caching problem through the
+  // Theorem 1 reduction (and, for CACHE-PROB, a joining policy crossing
+  // over to the caching side).
+  results.push_back(TimeCacheScenario(
+      "CACHE-LRU", tower, config.len, config,
+      [] { return std::make_unique<LruCachingPolicy>(); }));
+  results.push_back(TimeCacheScenario(
+      "CACHE-LFU", tower, config.len, config,
+      [] { return std::make_unique<LfuCachingPolicy>(); }));
+  results.push_back(TimeCacheScenario(
+      "CACHE-RAND", tower, config.len, config, [&] {
+        return std::make_unique<RandomCachingPolicy>(config.seed + 29);
+      }));
+  results.push_back(TimeCacheScenario(
+      "CACHE-PROB", tower, config.len, config,
+      [] { return std::make_unique<ProbPolicy>(std::nullopt); }));
 
   WriteJson(out_path, config, results);
   return 0;

@@ -1,72 +1,60 @@
 #include "sjoin/engine/cache_simulator.h"
 
-#include <algorithm>
-#include <unordered_set>
-
 #include "sjoin/common/check.h"
-#include "sjoin/common/validate.h"
-#include "sjoin/stochastic/stream_history.h"
+#include "sjoin/engine/reduction.h"
+#include "sjoin/engine/stream_engine.h"
 
 namespace sjoin {
+namespace {
+
+/// Shared tail of Run / RunJoinPolicy: drive the transformed streams
+/// through the engine and translate result counts back into hit/miss
+/// accounting (Theorem 1: one result tuple per hit, and only hits produce
+/// results — supply tuples never join anything but their own next
+/// reference).
+CacheRunResult RunReduced(const CacheSimulator::Options& options,
+                          const CachingReduction& reduction,
+                          ReplacementPolicy& policy) {
+  StreamEngine engine(StreamTopology::Binary(),
+                      {.capacity = options.capacity,
+                       .warmup = options.warmup,
+                       .window = options.window});
+  BinaryPolicyAdapter adapter(&policy);
+  PerfObserver perf;
+  EngineRunResult run = engine.Run(
+      {&reduction.r_stream(), &reduction.s_stream()}, adapter, {&perf});
+
+  CacheRunResult result;
+  result.hits = run.total_results;
+  result.counted_hits = run.counted_results;
+  const Time len = static_cast<Time>(reduction.references().size());
+  const Time counted_steps =
+      len > options.warmup ? len - options.warmup : 0;
+  result.misses = len - result.hits;
+  result.counted_misses = counted_steps - result.counted_hits;
+  result.telemetry = perf.telemetry();
+  return result;
+}
+
+}  // namespace
 
 CacheSimulator::CacheSimulator(Options options) : options_(options) {
   SJOIN_CHECK_GE(options_.capacity, 1u);
   SJOIN_CHECK_GE(options_.warmup, 0);
+  if (options_.window.has_value()) SJOIN_CHECK_GE(*options_.window, 0);
 }
 
 CacheRunResult CacheSimulator::Run(const std::vector<Value>& references,
                                    CachingPolicy& policy) const {
-  policy.Reset();
+  CachingReduction reduction(references);
+  ReductionJoinPolicy join_policy(&reduction, &policy);
+  return RunReduced(options_, reduction, join_policy);
+}
 
-  CacheRunResult result;
-  std::vector<Value> cache;
-  cache.reserve(options_.capacity);
-  StreamHistory history;
-
-  for (Time t = 0; t < static_cast<Time>(references.size()); ++t) {
-    Value v = references[static_cast<std::size_t>(t)];
-    history.Append(v);
-    bool hit = std::find(cache.begin(), cache.end(), v) != cache.end();
-    if (hit) {
-      ++result.hits;
-      if (t >= options_.warmup) ++result.counted_hits;
-    } else {
-      ++result.misses;
-      if (t >= options_.warmup) ++result.counted_misses;
-    }
-
-    CachingContext ctx;
-    ctx.now = t;
-    ctx.capacity = options_.capacity;
-    ctx.cached = &cache;
-    ctx.referenced = v;
-    ctx.hit = hit;
-    ctx.history = &history;
-    policy.Observe(ctx);
-
-    if (!hit) {
-      std::vector<Value> retained = policy.SelectRetained(ctx);
-      SJOIN_CHECK_LE(retained.size(), options_.capacity);
-      std::unordered_set<Value> allowed(cache.begin(), cache.end());
-      allowed.insert(v);
-      std::unordered_set<Value> seen;
-      for (Value kept : retained) {
-        SJOIN_CHECK_MSG(allowed.count(kept) > 0,
-                        "policy retained a value that is not a candidate");
-        SJOIN_CHECK_MSG(seen.insert(kept).second,
-                        "policy retained the same value twice");
-      }
-      cache = std::move(retained);
-    }
-
-    if constexpr (kValidationEnabled) {
-      SJOIN_VALIDATE(cache.size() <= options_.capacity);
-      std::unordered_set<Value> unique(cache.begin(), cache.end());
-      SJOIN_VALIDATE_MSG(unique.size() == cache.size(),
-                         "cache holds duplicate values");
-    }
-  }
-  return result;
+CacheRunResult CacheSimulator::RunJoinPolicy(
+    const std::vector<Value>& references, ReplacementPolicy& policy) const {
+  CachingReduction reduction(references);
+  return RunReduced(options_, reduction, policy);
 }
 
 }  // namespace sjoin

@@ -1,21 +1,9 @@
 #include "sjoin/engine/join_simulator.h"
 
-#include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
-
 #include "sjoin/common/check.h"
-#include "sjoin/common/validate.h"
-#include "sjoin/stochastic/stream_history.h"
+#include "sjoin/engine/stream_engine.h"
 
 namespace sjoin {
-namespace {
-
-/// Below this capacity the Phase-1 linear probe beats the hash index (two
-/// comparisons per cached tuple vs. hash lookups plus index upkeep).
-constexpr std::size_t kValueIndexMinCapacity = 32;
-
-}  // namespace
 
 JoinSimulator::JoinSimulator(Options options) : options_(options) {
   SJOIN_CHECK_GE(options_.capacity, 1u);
@@ -27,148 +15,24 @@ JoinRunResult JoinSimulator::Run(const std::vector<Value>& r,
                                  const std::vector<Value>& s,
                                  ReplacementPolicy& policy) const {
   SJOIN_CHECK_EQ(r.size(), s.size());
-  policy.Reset();
+
+  StreamEngine engine(StreamTopology::Binary(),
+                      {.capacity = options_.capacity,
+                       .warmup = options_.warmup,
+                       .window = options_.window});
+  BinaryPolicyAdapter adapter(&policy);
 
   JoinRunResult result;
-  std::vector<Tuple> cache;
-  cache.reserve(options_.capacity);
-  StreamHistory history_r;
-  StreamHistory history_s;
-  TupleId next_id = 0;
+  PerfObserver perf;
+  CacheCompositionObserver composition(/*stream=*/0,
+                                       &result.r_fraction_by_time);
+  std::vector<StepObserver*> observers{&perf};
+  if (options_.track_cache_composition) observers.push_back(&composition);
 
-  // Step-loop scratch, hoisted so the steady state allocates nothing.
-  std::vector<Tuple> arrivals;
-  arrivals.reserve(2);
-  std::vector<Tuple> new_cache;
-  new_cache.reserve(options_.capacity);
-  std::unordered_map<TupleId, Tuple> candidates;
-  candidates.reserve(options_.capacity + 2);
-  std::unordered_set<TupleId> retained_set;
-  retained_set.reserve(options_.capacity + 2);
-
-  // Large caches probe arrivals against per-side value -> count indexes of
-  // the cached tuples, maintained with the <= 2 insertions and evictions a
-  // step can make, instead of scanning the whole cache. Windowed runs
-  // expire tuples by age, which the value counts cannot see, so they keep
-  // the linear probe; so do tiny caches, where the scan is cheaper.
-  const bool use_value_index = !options_.window.has_value() &&
-                               options_.capacity >= kValueIndexMinCapacity;
-  std::unordered_map<Value, std::int64_t> cached_values[2];
-  if (use_value_index) {
-    cached_values[0].reserve(options_.capacity);
-    cached_values[1].reserve(options_.capacity);
-  }
-
-  Time len = static_cast<Time>(r.size());
-  for (Time t = 0; t < len; ++t) {
-    Tuple r_tuple{next_id++, StreamSide::kR,
-                  r[static_cast<std::size_t>(t)], t};
-    Tuple s_tuple{next_id++, StreamSide::kS,
-                  s[static_cast<std::size_t>(t)], t};
-
-    // Phase 1: arrivals join with the cache chosen at the previous step.
-    std::int64_t produced = 0;
-    if (use_value_index) {
-      auto count_of = [](const std::unordered_map<Value, std::int64_t>& index,
-                         Value v) -> std::int64_t {
-        auto it = index.find(v);
-        return it == index.end() ? 0 : it->second;
-      };
-      produced =
-          count_of(cached_values[SideIndex(StreamSide::kS)], r_tuple.value) +
-          count_of(cached_values[SideIndex(StreamSide::kR)], s_tuple.value);
-    } else {
-      for (const Tuple& cached : cache) {
-        if (!InWindow(cached, t, options_.window)) continue;
-        if (cached.side == StreamSide::kS &&
-            cached.value == r_tuple.value) {
-          ++produced;
-        }
-        if (cached.side == StreamSide::kR &&
-            cached.value == s_tuple.value) {
-          ++produced;
-        }
-      }
-    }
-    result.total_results += produced;
-    if (t >= options_.warmup) result.counted_results += produced;
-
-    // Phase 2: the policy picks the new cache content.
-    history_r.Append(r_tuple.value);
-    history_s.Append(s_tuple.value);
-    arrivals.clear();
-    arrivals.push_back(r_tuple);
-    arrivals.push_back(s_tuple);
-    PolicyContext ctx;
-    ctx.now = t;
-    ctx.capacity = options_.capacity;
-    ctx.cached = &cache;
-    ctx.arrivals = &arrivals;
-    ctx.history_r = &history_r;
-    ctx.history_s = &history_s;
-    ctx.window = options_.window;
-
-    std::vector<TupleId> retained = policy.SelectRetained(ctx);
-    SJOIN_CHECK_LE(retained.size(), options_.capacity);
-
-    candidates.clear();
-    for (const Tuple& tuple : cache) candidates.emplace(tuple.id, tuple);
-    for (const Tuple& tuple : arrivals) candidates.emplace(tuple.id, tuple);
-    result.peak_candidates = std::max(
-        result.peak_candidates, static_cast<std::int64_t>(candidates.size()));
-
-    new_cache.clear();
-    retained_set.clear();
-    for (TupleId id : retained) {
-      auto it = candidates.find(id);
-      SJOIN_CHECK_MSG(it != candidates.end(),
-                      "policy retained a tuple that is not a candidate");
-      SJOIN_CHECK_MSG(retained_set.insert(id).second,
-                      "policy retained the same tuple twice");
-      new_cache.push_back(it->second);
-    }
-
-    if (use_value_index) {
-      for (const Tuple& tuple : cache) {
-        if (retained_set.contains(tuple.id)) continue;  // Still cached.
-        auto& index = cached_values[SideIndex(tuple.side)];
-        auto it = index.find(tuple.value);
-        if (--it->second == 0) index.erase(it);
-      }
-      for (const Tuple& tuple : arrivals) {
-        if (retained_set.contains(tuple.id)) {
-          ++cached_values[SideIndex(tuple.side)][tuple.value];
-        }
-      }
-    }
-    cache.swap(new_cache);
-
-    if constexpr (kValidationEnabled) {
-      SJOIN_VALIDATE(cache.size() <= options_.capacity);
-      if (use_value_index) {
-        // The incrementally-maintained value -> count indexes must match a
-        // from-scratch recount of the cache.
-        std::unordered_map<Value, std::int64_t> recount[2];
-        for (const Tuple& tuple : cache) {
-          ++recount[SideIndex(tuple.side)][tuple.value];
-        }
-        SJOIN_VALIDATE_MSG(recount[0] == cached_values[0] &&
-                               recount[1] == cached_values[1],
-                           "value index out of sync with cache contents");
-      }
-    }
-
-    if (options_.track_cache_composition) {
-      std::size_t r_count = 0;
-      for (const Tuple& tuple : cache) {
-        if (tuple.side == StreamSide::kR) ++r_count;
-      }
-      result.r_fraction_by_time.push_back(
-          cache.empty() ? 0.0
-                        : static_cast<double>(r_count) /
-                              static_cast<double>(cache.size()));
-    }
-  }
+  EngineRunResult run = engine.Run({&r, &s}, adapter, observers);
+  result.total_results = run.total_results;
+  result.counted_results = run.counted_results;
+  result.telemetry = perf.telemetry();
   return result;
 }
 

@@ -7,6 +7,7 @@
 
 #include "sjoin/common/types.h"
 #include "sjoin/engine/replacement_policy.h"
+#include "sjoin/engine/step_observer.h"
 #include "sjoin/engine/tuple.h"
 
 /// \file
@@ -18,6 +19,13 @@
 /// new cache content from the old cache plus the two arrivals. Joins between
 /// the two same-time arrivals are produced regardless of any replacement
 /// decision and are therefore excluded from the score, as in the paper.
+///
+/// Since the StreamEngine unification this class is a thin façade: it
+/// instantiates the engine on the binary topology, adapts the policy with
+/// BinaryPolicyAdapter, and attaches the standard observers. It is kept
+/// because its Value-vector API is what the experiments, tests and
+/// examples speak; constructing StreamEngine directly is equivalent (the
+/// differential suites run both ways in CI).
 
 namespace sjoin {
 
@@ -30,9 +38,9 @@ struct JoinRunResult {
   /// When Options::track_cache_composition is set: fraction of cache slots
   /// holding R tuples after each step (Figures 14, 17, 18).
   std::vector<double> r_fraction_by_time;
-  /// Largest candidate set (cache plus arrivals) handed to the policy in
-  /// any step; perf telemetry for BENCH_perf.json.
-  std::int64_t peak_candidates = 0;
+  /// Perf telemetry (peak candidate set, steps, wall time), collected by
+  /// the façade's PerfObserver; the same struct CacheRunResult carries.
+  EngineTelemetry telemetry;
 };
 
 /// Runs one joining experiment.
@@ -53,7 +61,9 @@ class JoinSimulator {
   explicit JoinSimulator(Options options);
 
   /// Simulates the realization pair (r[t], s[t] for t = 0..len-1) under
-  /// `policy`. Calls policy.Reset() first.
+  /// `policy`. Calls policy.Reset() first. Thread-safe: each call builds
+  /// its own engine, so one JoinSimulator may serve concurrent runs (the
+  /// parallel bench harness relies on this).
   JoinRunResult Run(const std::vector<Value>& r, const std::vector<Value>& s,
                     ReplacementPolicy& policy) const;
 

@@ -1,0 +1,68 @@
+#ifndef SJOIN_ENGINE_PARTITION_MAP_H_
+#define SJOIN_ENGINE_PARTITION_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sjoin/common/types.h"
+
+/// \file
+/// Value-domain partitioning seam for the StreamEngine.
+///
+/// Equijoins only match tuples with equal join-attribute values, so any
+/// partition of the value domain splits the cache index into independent
+/// shards: an arrival only ever probes the shard its own value maps to.
+/// The engine keeps its value -> count index per (partition, stream) and
+/// probes partition-locally, which is exactly the structure a sharded /
+/// parallel cache needs (cf. PanJoin's partition-based design). This PR
+/// ships the seam plus the single-partition default; a follow-up can plug
+/// in range or hash maps without touching the step loop.
+
+namespace sjoin {
+
+/// Maps join-attribute values to partition indexes in [0, num_partitions).
+/// Implementations must be pure functions of the value: equal values map
+/// to equal partitions, or equijoin results would be lost.
+class PartitionMap {
+ public:
+  virtual ~PartitionMap() = default;
+
+  virtual std::size_t num_partitions() const = 0;
+
+  /// Partition of `value`; must be < num_partitions().
+  virtual std::size_t PartitionOf(Value value) const = 0;
+};
+
+/// The trivial partitioning: every value in one shard. Engine default.
+class SinglePartition final : public PartitionMap {
+ public:
+  std::size_t num_partitions() const override { return 1; }
+  std::size_t PartitionOf(Value value) const override {
+    (void)value;
+    return 0;
+  }
+};
+
+/// Hashes values onto a fixed number of shards. Exists so tests (and the
+/// follow-up sharding work) can exercise the partition-local index path;
+/// results are identical to SinglePartition by construction.
+class HashPartition final : public PartitionMap {
+ public:
+  explicit HashPartition(std::size_t num_partitions)
+      : num_partitions_(num_partitions == 0 ? 1 : num_partitions) {}
+
+  std::size_t num_partitions() const override { return num_partitions_; }
+  std::size_t PartitionOf(Value value) const override {
+    // Splitmix-style scramble so adjacent values spread across shards.
+    auto x = static_cast<std::uint64_t>(value) * 0x9E3779B97F4A7C15ull;
+    x ^= x >> 32;
+    return static_cast<std::size_t>(x % num_partitions_);
+  }
+
+ private:
+  std::size_t num_partitions_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_ENGINE_PARTITION_MAP_H_

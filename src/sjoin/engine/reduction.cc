@@ -1,5 +1,6 @@
 #include "sjoin/engine/reduction.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "sjoin/common/check.h"
@@ -59,9 +60,9 @@ std::vector<TupleId> ReductionJoinPolicy::SelectRetained(
   auto [ref_value, ref_occurrence] = reduction_->Decode(r_arrival->value);
   reference_history_.Append(ref_value);
 
-  // Decode the cached supply tuples: original value -> joining tuple id.
-  // A reasonable policy keeps at most one supply tuple per original value.
-  std::unordered_map<Value, TupleId> cached_by_value;
+  // Decode the cached supply tuples: original value -> joining tuple. A
+  // reasonable policy keeps at most one supply tuple per original value.
+  std::unordered_map<Value, const Tuple*> cached_by_value;
   std::vector<Value> cached_values;
   cached_values.reserve(ctx.cached->size());
   for (const Tuple& tuple : *ctx.cached) {
@@ -69,12 +70,28 @@ std::vector<TupleId> ReductionJoinPolicy::SelectRetained(
                     "reasonable policy never caches reference tuples");
     auto [v, occurrence] = reduction_->Decode(tuple.value);
     (void)occurrence;
-    SJOIN_CHECK_MSG(cached_by_value.emplace(v, tuple.id).second,
+    SJOIN_CHECK_MSG(cached_by_value.emplace(v, &tuple).second,
                     "multiple supply tuples cached for one value");
     cached_values.push_back(v);
   }
 
-  bool hit = cached_by_value.count(ref_value) > 0;
+  // A windowed hit additionally requires the cached supply tuple to still
+  // be inside the window — the same predicate the engine's Phase-1 probe
+  // applies, so Theorem 1's hits == results stays exact under windows.
+  auto cached_it = cached_by_value.find(ref_value);
+  bool hit = cached_it != cached_by_value.end() &&
+             InWindow(*cached_it->second, ctx.now, ctx.window);
+
+  // On a windowed miss the referenced value may still sit in the cache as
+  // an expired entry. Expiry is monotone (only a hit refreshes, and an
+  // expired entry can never hit), so that copy is dead weight; drop it
+  // from the candidate set so the policy sees the referenced value once —
+  // as the demand-fetched candidate — never as cached and referenced at
+  // the same time.
+  if (!hit && cached_it != cached_by_value.end()) {
+    cached_values.erase(
+        std::find(cached_values.begin(), cached_values.end(), ref_value));
+  }
 
   CachingContext caching_ctx;
   caching_ctx.now = ctx.now;
@@ -103,8 +120,8 @@ std::vector<TupleId> ReductionJoinPolicy::SelectRetained(
     } else {
       auto it = cached_by_value.find(v);
       SJOIN_CHECK_MSG(it != cached_by_value.end(),
-                      "caching policy retained an unknown value");
-      retained_ids.push_back(it->second);
+                      "policy retained a value that is not a candidate");
+      retained_ids.push_back(it->second->id);
     }
   }
   return retained_ids;

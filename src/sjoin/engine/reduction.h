@@ -20,6 +20,10 @@
 /// becomes the pair (v, i-1) in R and (v, i) in S. Running the joining
 /// problem on (R', S') under a reasonable policy produces exactly as many
 /// result tuples as the original caching problem produces hits.
+///
+/// This adapter is not just a theorem check: since the StreamEngine
+/// unification, CacheSimulator itself runs through it, so every caching
+/// policy executes on the same step loop as the joining policies.
 
 namespace sjoin {
 
@@ -55,8 +59,13 @@ class CachingReduction {
 /// streams, following the "reasonable policy" discipline of Theorem 1:
 /// reference-stream tuples are never cached, and the superseded supply
 /// tuple s_(v,i) is replaced by s_(v,i+1) when the latter arrives.
-/// Used to validate Theorem 1 (see tests) and to reuse joining-side
-/// machinery for caching workloads.
+///
+/// Window-aware: under a sliding window, a cached supply tuple whose age
+/// exceeds the window no longer serves hits (the cached copy has gone
+/// stale, TTL semantics); the caching policy then sees a miss and decides
+/// whether to refetch. A hit swaps in the fresh supply arrival, so every
+/// hit refreshes the TTL — exactly the joining-side window semantics of
+/// Section 7 carried through the reduction.
 class ReductionJoinPolicy final : public ReplacementPolicy {
  public:
   /// Neither pointer is owned; both must outlive the policy.

@@ -1,0 +1,263 @@
+#include "sjoin/engine/stream_engine.h"
+
+#include <algorithm>
+
+#include "sjoin/common/check.h"
+#include "sjoin/common/validate.h"
+
+namespace sjoin {
+namespace {
+
+/// Below this capacity the Phase-1 linear probe beats the hash index (two
+/// comparisons per cached tuple vs. hash lookups plus index upkeep).
+constexpr std::size_t kValueIndexMinCapacity = 32;
+
+}  // namespace
+
+StreamTopology::StreamTopology(int num_streams,
+                               std::vector<std::pair<int, int>> join_edges)
+    : num_streams_(num_streams),
+      join_edges_(std::move(join_edges)),
+      partners_(static_cast<std::size_t>(num_streams)),
+      joins_(static_cast<std::size_t>(num_streams),
+             std::vector<char>(static_cast<std::size_t>(num_streams), 0)) {
+  SJOIN_CHECK_GE(num_streams_, 2);
+  SJOIN_CHECK(!join_edges_.empty());
+  for (const auto& [a, b] : join_edges_) {
+    SJOIN_CHECK_GE(a, 0);
+    SJOIN_CHECK_LT(a, num_streams_);
+    SJOIN_CHECK_GE(b, 0);
+    SJOIN_CHECK_LT(b, num_streams_);
+    SJOIN_CHECK_NE(a, b);
+    partners_[static_cast<std::size_t>(a)].push_back(b);
+    partners_[static_cast<std::size_t>(b)].push_back(a);
+    joins_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = 1;
+    joins_[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] = 1;
+  }
+}
+
+StreamTopology StreamTopology::Binary() {
+  return StreamTopology(2, {{0, 1}});
+}
+
+const std::vector<int>& StreamTopology::PartnersOf(int stream) const {
+  SJOIN_CHECK_GE(stream, 0);
+  SJOIN_CHECK_LT(stream, num_streams_);
+  return partners_[static_cast<std::size_t>(stream)];
+}
+
+StreamEngine::StreamEngine(StreamTopology topology, Options options)
+    : topology_(std::move(topology)), options_(options) {
+  SJOIN_CHECK_GE(options_.capacity, 1u);
+  SJOIN_CHECK_GE(options_.warmup, 0);
+  if (options_.window.has_value()) SJOIN_CHECK_GE(*options_.window, 0);
+  const auto n = static_cast<std::size_t>(topology_.num_streams());
+  cache_.reserve(options_.capacity);
+  new_cache_.reserve(options_.capacity);
+  arrivals_.reserve(n);
+  candidates_.reserve(options_.capacity + n);
+  retained_set_.reserve(options_.capacity + n);
+}
+
+EngineRunResult StreamEngine::Run(
+    const std::vector<const std::vector<Value>*>& streams,
+    EnginePolicy& policy, const std::vector<StepObserver*>& observers) {
+  const int n = topology_.num_streams();
+  SJOIN_CHECK_EQ(static_cast<int>(streams.size()), n);
+  for (const std::vector<Value>* stream : streams) {
+    SJOIN_CHECK(stream != nullptr);
+  }
+  const Time len = static_cast<Time>(streams[0]->size());
+  for (const std::vector<Value>* stream : streams) {
+    SJOIN_CHECK_EQ(static_cast<Time>(stream->size()), len);
+  }
+  policy.Reset();
+
+  const PartitionMap* partitions =
+      options_.partitions != nullptr ? options_.partitions
+                                     : &single_partition_;
+  const std::size_t num_partitions = partitions->num_partitions();
+  SJOIN_CHECK_GE(num_partitions, 1u);
+
+  cache_.clear();
+  histories_.assign(static_cast<std::size_t>(n), StreamHistory());
+
+  // Large caches probe arrivals against per-(partition, stream)
+  // value -> count indexes of the cached tuples, maintained with the <= N
+  // insertions and evictions a step can make, instead of scanning the
+  // whole cache. An arrival only probes its own value's partition, which
+  // is the seam a sharded cache exploits. Windowed runs expire tuples by
+  // age, which the value counts cannot see, so they keep the linear
+  // probe; so do tiny caches, where the scan is cheaper.
+  const bool use_value_index = !options_.window.has_value() &&
+                               options_.capacity >= kValueIndexMinCapacity;
+  if (use_value_index) {
+    value_index_.assign(
+        num_partitions,
+        std::vector<std::unordered_map<Value, std::int64_t>>(
+            static_cast<std::size_t>(n)));
+  } else {
+    value_index_.clear();
+  }
+
+  EngineRunView run_view;
+  run_view.topology = &topology_;
+  run_view.capacity = options_.capacity;
+  run_view.warmup = options_.warmup;
+  run_view.window = options_.window;
+  run_view.length = len;
+  for (StepObserver* observer : observers) observer->OnRunBegin(run_view);
+
+  EngineRunResult result;
+  for (Time t = 0; t < len; ++t) {
+    arrivals_.clear();
+    for (int s = 0; s < n; ++s) {
+      arrivals_.push_back(
+          {StreamTupleIdAt(n, s, t), s,
+           (*streams[static_cast<std::size_t>(s)])
+               [static_cast<std::size_t>(t)],
+           t});
+    }
+
+    // Phase 1: arrivals join cached tuples of partner streams. Joins
+    // among same-step arrivals happen regardless of caching and are
+    // excluded, as in the paper.
+    std::int64_t produced = 0;
+    if (use_value_index) {
+      for (const StreamTuple& arrival : arrivals_) {
+        const auto& shard = value_index_[partitions->PartitionOf(
+            arrival.value)];
+        for (int partner : topology_.PartnersOf(arrival.stream)) {
+          const auto& index = shard[static_cast<std::size_t>(partner)];
+          auto it = index.find(arrival.value);
+          if (it != index.end()) produced += it->second;
+        }
+      }
+    } else {
+      for (const StreamTuple& cached : cache_) {
+        if (!InWindow(cached, t, options_.window)) continue;
+        for (const StreamTuple& arrival : arrivals_) {
+          if (!topology_.Joins(cached.stream, arrival.stream)) continue;
+          if (cached.value == arrival.value) ++produced;
+        }
+      }
+    }
+    result.total_results += produced;
+    const bool counted = t >= options_.warmup;
+    if (counted) result.counted_results += produced;
+
+    // Phase 2: the policy picks the new cache content.
+    for (int s = 0; s < n; ++s) {
+      histories_[static_cast<std::size_t>(s)].Append(
+          arrivals_[static_cast<std::size_t>(s)].value);
+    }
+    EngineContext ctx;
+    ctx.now = t;
+    ctx.capacity = options_.capacity;
+    ctx.cached = &cache_;
+    ctx.arrivals = &arrivals_;
+    ctx.histories = &histories_;
+    ctx.window = options_.window;
+    std::vector<TupleId> retained = policy.SelectRetained(ctx);
+    SJOIN_CHECK_LE(retained.size(), options_.capacity);
+
+    candidates_.clear();
+    for (const StreamTuple& tuple : cache_) {
+      candidates_.emplace(tuple.id, tuple);
+    }
+    for (const StreamTuple& tuple : arrivals_) {
+      candidates_.emplace(tuple.id, tuple);
+    }
+    const std::size_t num_candidates = candidates_.size();
+
+    new_cache_.clear();
+    retained_set_.clear();
+    for (TupleId id : retained) {
+      auto it = candidates_.find(id);
+      SJOIN_CHECK_MSG(it != candidates_.end(),
+                      "policy retained a tuple that is not a candidate");
+      SJOIN_CHECK_MSG(retained_set_.insert(id).second,
+                      "policy retained the same tuple twice");
+      new_cache_.push_back(it->second);
+    }
+
+    if (use_value_index) {
+      for (const StreamTuple& tuple : cache_) {
+        if (retained_set_.contains(tuple.id)) continue;  // Still cached.
+        auto& index = value_index_[partitions->PartitionOf(tuple.value)]
+                                  [static_cast<std::size_t>(tuple.stream)];
+        auto it = index.find(tuple.value);
+        if (--it->second == 0) index.erase(it);
+      }
+      for (const StreamTuple& tuple : arrivals_) {
+        if (retained_set_.contains(tuple.id)) {
+          ++value_index_[partitions->PartitionOf(tuple.value)]
+                        [static_cast<std::size_t>(tuple.stream)]
+                        [tuple.value];
+        }
+      }
+    }
+    cache_.swap(new_cache_);
+
+    if constexpr (kValidationEnabled) {
+      SJOIN_VALIDATE(cache_.size() <= options_.capacity);
+      for (const StreamTuple& tuple : cache_) {
+        SJOIN_VALIDATE_MSG(tuple.stream >= 0 && tuple.stream < n,
+                           "cached tuple has an out-of-range stream");
+      }
+      if (use_value_index) {
+        // The incrementally-maintained value -> count indexes must match
+        // a from-scratch recount of the cache.
+        decltype(value_index_) recount(
+            num_partitions,
+            std::vector<std::unordered_map<Value, std::int64_t>>(
+                static_cast<std::size_t>(n)));
+        for (const StreamTuple& tuple : cache_) {
+          ++recount[partitions->PartitionOf(tuple.value)]
+                   [static_cast<std::size_t>(tuple.stream)][tuple.value];
+        }
+        SJOIN_VALIDATE_MSG(recount == value_index_,
+                           "value index out of sync with cache contents");
+      }
+    }
+
+    EngineStepView step_view;
+    step_view.now = t;
+    step_view.produced = produced;
+    step_view.counted = counted;
+    step_view.num_candidates = num_candidates;
+    step_view.cache = &cache_;
+    step_view.arrivals = &arrivals_;
+    step_view.retained = &retained;
+    for (StepObserver* observer : observers) observer->OnStep(step_view);
+  }
+  for (StepObserver* observer : observers) observer->OnRunEnd(run_view);
+  return result;
+}
+
+void BinaryPolicyAdapter::Reset() { policy_->Reset(); }
+
+std::vector<TupleId> BinaryPolicyAdapter::SelectRetained(
+    const EngineContext& ctx) {
+  cached_.clear();
+  arrivals_.clear();
+  for (const StreamTuple& tuple : *ctx.cached) {
+    cached_.push_back({tuple.id, static_cast<StreamSide>(tuple.stream),
+                       tuple.value, tuple.arrival});
+  }
+  for (const StreamTuple& tuple : *ctx.arrivals) {
+    arrivals_.push_back({tuple.id, static_cast<StreamSide>(tuple.stream),
+                         tuple.value, tuple.arrival});
+  }
+  PolicyContext binary;
+  binary.now = ctx.now;
+  binary.capacity = ctx.capacity;
+  binary.cached = &cached_;
+  binary.arrivals = &arrivals_;
+  binary.history_r = &(*ctx.histories)[0];
+  binary.history_s = &(*ctx.histories)[1];
+  binary.window = ctx.window;
+  return policy_->SelectRetained(binary);
+}
+
+}  // namespace sjoin

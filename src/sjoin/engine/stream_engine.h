@@ -1,0 +1,177 @@
+#ifndef SJOIN_ENGINE_STREAM_ENGINE_H_
+#define SJOIN_ENGINE_STREAM_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "sjoin/common/types.h"
+#include "sjoin/engine/partition_map.h"
+#include "sjoin/engine/replacement_policy.h"
+#include "sjoin/engine/step_observer.h"
+#include "sjoin/engine/stream_tuple.h"
+#include "sjoin/stochastic/stream_history.h"
+
+/// \file
+/// The unified step-loop core behind every simulator in the repo.
+///
+/// One engine, parameterized by a StreamTopology, runs the two-stream
+/// joining problem (Section 2), the N-way multi-join generalization
+/// (Appendix C), and — through the Theorem 1 reduction — the caching
+/// problem. Each step: (Phase 1) the arrivals join the cache selected at
+/// the previous step, partition-locally when the value index is engaged;
+/// (Phase 2) the policy picks the new cache from cached ∪ arrivals.
+/// Everything that merely watches a run (telemetry, composition tracking,
+/// validation, score traces) attaches as a StepObserver chain.
+///
+/// `JoinSimulator`, `CacheSimulator` and `MultiJoinSimulator` are thin
+/// façades over this class, kept for API stability; constructing the
+/// engine directly is equally supported (the differential suites run both
+/// ways in CI).
+
+namespace sjoin {
+
+/// The join graph: N streams plus the unordered stream pairs that equijoin.
+class StreamTopology {
+ public:
+  /// `join_edges` lists unordered stream pairs (i != j) that equijoin.
+  StreamTopology(int num_streams,
+                 std::vector<std::pair<int, int>> join_edges);
+
+  /// The classic two-stream topology: R (stream 0) joins S (stream 1).
+  static StreamTopology Binary();
+
+  int num_streams() const { return num_streams_; }
+  const std::vector<std::pair<int, int>>& join_edges() const {
+    return join_edges_;
+  }
+
+  /// Streams that join with `stream` under the join graph.
+  const std::vector<int>& PartnersOf(int stream) const;
+
+  /// True when streams `a` and `b` equijoin.
+  bool Joins(int a, int b) const {
+    return joins_[static_cast<std::size_t>(a)]
+                 [static_cast<std::size_t>(b)] != 0;
+  }
+
+ private:
+  int num_streams_;
+  std::vector<std::pair<int, int>> join_edges_;
+  std::vector<std::vector<int>> partners_;
+  /// Adjacency as a membership matrix for the Phase-1 join test.
+  std::vector<std::vector<char>> joins_;
+};
+
+/// Step context for an engine replacement decision. For N = 2 this is
+/// field-for-field the information of the binary PolicyContext
+/// (histories[0] = R, histories[1] = S).
+struct EngineContext {
+  Time now = 0;
+  std::size_t capacity = 0;
+  const std::vector<StreamTuple>* cached = nullptr;
+  const std::vector<StreamTuple>* arrivals = nullptr;  // One per stream.
+  const std::vector<StreamHistory>* histories = nullptr;
+  std::optional<Time> window;
+};
+
+/// Replacement policy for the engine: the single decision interface every
+/// simulator now funnels into. Binary ReplacementPolicy implementations
+/// attach through BinaryPolicyAdapter; CachingPolicy implementations
+/// attach through the Theorem 1 reduction (engine/reduction.h) followed by
+/// the same adapter.
+class EnginePolicy {
+ public:
+  virtual ~EnginePolicy() = default;
+  virtual void Reset() {}
+  /// Subset of cached ∪ arrivals ids, size <= capacity.
+  virtual std::vector<TupleId> SelectRetained(const EngineContext& ctx) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Per-run accounting of the engine loop. Telemetry (peak candidates,
+/// ns/step) is an observer concern — attach a PerfObserver.
+struct EngineRunResult {
+  /// Result tuples produced from the cache over the whole run.
+  std::int64_t total_results = 0;
+  /// Result tuples produced at times >= warmup (the paper's metric).
+  std::int64_t counted_results = 0;
+};
+
+/// The unified step-loop core.
+class StreamEngine {
+ public:
+  struct Options {
+    /// Cache capacity k.
+    std::size_t capacity = 10;
+    /// Results produced before this time are not counted.
+    Time warmup = 0;
+    /// Sliding-window length (Section 7); nullopt = regular join.
+    std::optional<Time> window;
+    /// Value-domain partitioning for the Phase-1 index (not owned; must
+    /// outlive the engine). nullptr = single partition. Any PartitionMap
+    /// yields identical results; partitions only shape the index layout.
+    const PartitionMap* partitions = nullptr;
+  };
+
+  StreamEngine(StreamTopology topology, Options options);
+
+  /// Simulates one realization (`streams[s]` is stream s's values; all
+  /// equal length, one pointer per topology stream, none null) under
+  /// `policy`. Calls policy.Reset() first, then drives `observers` in
+  /// order around every step. Reuses internal buffers: a StreamEngine
+  /// instance is cheap to Run repeatedly but not concurrently — the
+  /// thread-safe façades construct one engine per call instead.
+  EngineRunResult Run(const std::vector<const std::vector<Value>*>& streams,
+                      EnginePolicy& policy,
+                      const std::vector<StepObserver*>& observers = {});
+
+  const StreamTopology& topology() const { return topology_; }
+  const Options& options() const { return options_; }
+
+ private:
+  StreamTopology topology_;
+  Options options_;
+  SinglePartition single_partition_;
+
+  // Step-loop scratch, hoisted so the steady state allocates nothing and
+  // reused across Run calls.
+  std::vector<StreamTuple> cache_;
+  std::vector<StreamTuple> new_cache_;
+  std::vector<StreamTuple> arrivals_;
+  std::vector<StreamHistory> histories_;
+  std::unordered_map<TupleId, StreamTuple> candidates_;
+  std::unordered_set<TupleId> retained_set_;
+  /// Value -> cached-tuple count, per (partition, stream).
+  std::vector<std::vector<std::unordered_map<Value, std::int64_t>>>
+      value_index_;
+};
+
+/// Adapts a binary ReplacementPolicy to the engine interface for
+/// two-stream topologies: stream 0 plays R, stream 1 plays S, and ids pass
+/// through unchanged (StreamTupleIdAt(2, s, t) == TupleIdAt(side, t)), so
+/// the policy's view is bit-identical to the pre-engine JoinSimulator's.
+class BinaryPolicyAdapter final : public EnginePolicy {
+ public:
+  /// `policy` is not owned and must outlive the adapter.
+  explicit BinaryPolicyAdapter(ReplacementPolicy* policy)
+      : policy_(policy) {}
+
+  void Reset() override;
+  std::vector<TupleId> SelectRetained(const EngineContext& ctx) override;
+  const char* name() const override { return policy_->name(); }
+
+ private:
+  ReplacementPolicy* policy_;
+  // Mirrors of the engine's cache/arrivals in binary Tuple form, reused
+  // across steps.
+  std::vector<Tuple> cached_;
+  std::vector<Tuple> arrivals_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_ENGINE_STREAM_ENGINE_H_

@@ -1,0 +1,44 @@
+#ifndef SJOIN_ENGINE_STREAM_TUPLE_H_
+#define SJOIN_ENGINE_STREAM_TUPLE_H_
+
+#include <optional>
+
+#include "sjoin/common/types.h"
+
+/// \file
+/// A tuple from one of N streams, as seen by the unified StreamEngine.
+///
+/// The binary `Tuple` (engine/tuple.h) predates the engine and survives as
+/// the policy-facing type of the two-stream problem; `StreamTuple` is the
+/// engine-native generalization. For N = 2 the two id conventions coincide
+/// (StreamTupleIdAt(2, s, t) == TupleIdAt(side, t)), which is what lets
+/// binary policies run under the engine without id translation.
+
+namespace sjoin {
+
+/// One tuple from stream `stream` of an N-stream topology.
+struct StreamTuple {
+  TupleId id = 0;
+  int stream = 0;
+  Value value = 0;
+  Time arrival = 0;
+};
+
+/// Ids are deterministic: the tuple of stream s arriving at time t gets
+/// id t * num_streams + s. Offline policies (OPT-offline) rely on this to
+/// pre-compute schedules in terms of ids.
+constexpr TupleId StreamTupleIdAt(int num_streams, int stream, Time t) {
+  return static_cast<TupleId>(t) * static_cast<TupleId>(num_streams) +
+         static_cast<TupleId>(stream);
+}
+
+/// True if `tuple` is still inside the sliding window at time `now`
+/// (always true for regular join semantics).
+inline bool InWindow(const StreamTuple& tuple, Time now,
+                     const std::optional<Time>& window) {
+  return !window.has_value() || now - tuple.arrival <= *window;
+}
+
+}  // namespace sjoin
+
+#endif  // SJOIN_ENGINE_STREAM_TUPLE_H_

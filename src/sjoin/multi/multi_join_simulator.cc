@@ -1,143 +1,37 @@
 #include "sjoin/multi/multi_join_simulator.h"
 
-#include <unordered_map>
-#include <unordered_set>
-
 #include "sjoin/common/check.h"
-#include "sjoin/common/validate.h"
 
 namespace sjoin {
 
 MultiJoinSimulator::MultiJoinSimulator(
     int num_streams, std::vector<std::pair<int, int>> join_edges,
     Options options)
-    : num_streams_(num_streams),
-      join_edges_(std::move(join_edges)),
-      partners_(static_cast<std::size_t>(num_streams)),
-      options_(options) {
-  SJOIN_CHECK_GE(num_streams_, 2);
+    : topology_(num_streams, std::move(join_edges)), options_(options) {
   SJOIN_CHECK_GE(options_.capacity, 1u);
-  SJOIN_CHECK(!join_edges_.empty());
-  for (const auto& [a, b] : join_edges_) {
-    SJOIN_CHECK_GE(a, 0);
-    SJOIN_CHECK_LT(a, num_streams_);
-    SJOIN_CHECK_GE(b, 0);
-    SJOIN_CHECK_LT(b, num_streams_);
-    SJOIN_CHECK_NE(a, b);
-    partners_[static_cast<std::size_t>(a)].push_back(b);
-    partners_[static_cast<std::size_t>(b)].push_back(a);
-  }
-}
-
-const std::vector<int>& MultiJoinSimulator::PartnersOf(int stream) const {
-  SJOIN_CHECK_GE(stream, 0);
-  SJOIN_CHECK_LT(stream, num_streams_);
-  return partners_[static_cast<std::size_t>(stream)];
 }
 
 MultiJoinRunResult MultiJoinSimulator::Run(
     const std::vector<std::vector<Value>>& streams,
     MultiReplacementPolicy& policy) const {
-  SJOIN_CHECK_EQ(static_cast<int>(streams.size()), num_streams_);
-  Time len = static_cast<Time>(streams[0].size());
-  for (const auto& stream : streams) {
-    SJOIN_CHECK_EQ(static_cast<Time>(stream.size()), len);
+  SJOIN_CHECK_EQ(static_cast<int>(streams.size()),
+                 topology_.num_streams());
+  std::vector<const std::vector<Value>*> stream_ptrs;
+  stream_ptrs.reserve(streams.size());
+  for (const std::vector<Value>& stream : streams) {
+    stream_ptrs.push_back(&stream);
   }
-  policy.Reset();
+
+  StreamEngine engine(topology_, {.capacity = options_.capacity,
+                                  .warmup = options_.warmup,
+                                  .window = options_.window});
+  PerfObserver perf;
+  EngineRunResult run = engine.Run(stream_ptrs, policy, {&perf});
 
   MultiJoinRunResult result;
-  std::vector<MultiTuple> cache;
-  std::vector<StreamHistory> histories(
-      static_cast<std::size_t>(num_streams_));
-  // Adjacency as a membership matrix for the join test.
-  std::vector<std::vector<char>> joins(
-      static_cast<std::size_t>(num_streams_),
-      std::vector<char>(static_cast<std::size_t>(num_streams_), 0));
-  for (const auto& [a, b] : join_edges_) {
-    joins[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = 1;
-    joins[static_cast<std::size_t>(b)][static_cast<std::size_t>(a)] = 1;
-  }
-
-  // Step-loop scratch, hoisted so the steady state allocates nothing.
-  std::vector<MultiTuple> arrivals;
-  arrivals.reserve(static_cast<std::size_t>(num_streams_));
-  std::vector<MultiTuple> new_cache;
-  new_cache.reserve(options_.capacity);
-  std::unordered_map<TupleId, MultiTuple> candidates;
-  candidates.reserve(options_.capacity +
-                     static_cast<std::size_t>(num_streams_));
-  std::unordered_set<TupleId> seen;
-  seen.reserve(options_.capacity);
-
-  for (Time t = 0; t < len; ++t) {
-    arrivals.clear();
-    for (int s = 0; s < num_streams_; ++s) {
-      arrivals.push_back(
-          {MultiTupleIdAt(num_streams_, s, t), s,
-           streams[static_cast<std::size_t>(s)][static_cast<std::size_t>(t)],
-           t});
-    }
-
-    // Phase 1: arrivals join cached tuples of partner streams. Joins among
-    // same-step arrivals happen regardless of caching and are excluded,
-    // exactly as in the binary simulator.
-    std::int64_t produced = 0;
-    for (const MultiTuple& cached_tuple : cache) {
-      if (options_.window.has_value() &&
-          t - cached_tuple.arrival > *options_.window) {
-        continue;
-      }
-      for (const MultiTuple& arrival : arrivals) {
-        if (!joins[static_cast<std::size_t>(cached_tuple.stream)]
-                  [static_cast<std::size_t>(arrival.stream)]) {
-          continue;
-        }
-        if (cached_tuple.value == arrival.value) ++produced;
-      }
-    }
-    result.total_results += produced;
-    if (t >= options_.warmup) result.counted_results += produced;
-
-    // Phase 2: replacement.
-    for (int s = 0; s < num_streams_; ++s) {
-      histories[static_cast<std::size_t>(s)].Append(
-          arrivals[static_cast<std::size_t>(s)].value);
-    }
-    MultiPolicyContext ctx;
-    ctx.now = t;
-    ctx.capacity = options_.capacity;
-    ctx.cached = &cache;
-    ctx.arrivals = &arrivals;
-    ctx.histories = &histories;
-    ctx.window = options_.window;
-    std::vector<TupleId> retained = policy.SelectRetained(ctx);
-    SJOIN_CHECK_LE(retained.size(), options_.capacity);
-
-    candidates.clear();
-    for (const MultiTuple& tuple : cache) candidates.emplace(tuple.id, tuple);
-    for (const MultiTuple& tuple : arrivals) {
-      candidates.emplace(tuple.id, tuple);
-    }
-    new_cache.clear();
-    seen.clear();
-    for (TupleId id : retained) {
-      auto it = candidates.find(id);
-      SJOIN_CHECK_MSG(it != candidates.end(),
-                      "policy retained a tuple that is not a candidate");
-      SJOIN_CHECK_MSG(seen.insert(id).second,
-                      "policy retained the same tuple twice");
-      new_cache.push_back(it->second);
-    }
-    cache.swap(new_cache);
-
-    if constexpr (kValidationEnabled) {
-      SJOIN_VALIDATE(cache.size() <= options_.capacity);
-      for (const MultiTuple& tuple : cache) {
-        SJOIN_VALIDATE_MSG(tuple.stream >= 0 && tuple.stream < num_streams_,
-                           "cached tuple has an out-of-range stream");
-      }
-    }
-  }
+  result.total_results = run.total_results;
+  result.counted_results = run.counted_results;
+  result.telemetry = perf.telemetry();
   return result;
 }
 

@@ -7,6 +7,9 @@
 #include <vector>
 
 #include "sjoin/common/types.h"
+#include "sjoin/engine/step_observer.h"
+#include "sjoin/engine/stream_engine.h"
+#include "sjoin/engine/stream_tuple.h"
 #include "sjoin/stochastic/stream_history.h"
 
 /// \file
@@ -19,49 +22,36 @@
 /// pairs that join on value equality; one shared cache of k tuples feeds
 /// all the joins. With N = 2 and the single edge (0, 1) this reduces
 /// exactly to the binary JoinSimulator (see multi_join_test).
+///
+/// Since the StreamEngine unification the engine *is* this N-way loop
+/// (engine/stream_engine.h); the multi layer's tuple, context and policy
+/// types are aliases of the engine's, and MultiJoinSimulator is a façade
+/// kept for the historical vector-of-streams API.
 
 namespace sjoin {
 
 /// A tuple from one of N streams.
-struct MultiTuple {
-  TupleId id = 0;
-  int stream = 0;
-  Value value = 0;
-  Time arrival = 0;
-};
+using MultiTuple = StreamTuple;
 
 /// Ids are deterministic: the tuple of stream s arriving at time t gets
 /// id t * num_streams + s.
 constexpr TupleId MultiTupleIdAt(int num_streams, int stream, Time t) {
-  return static_cast<TupleId>(t) * static_cast<TupleId>(num_streams) +
-         static_cast<TupleId>(stream);
+  return StreamTupleIdAt(num_streams, stream, t);
 }
 
 /// Step context for a multi-join replacement decision.
-struct MultiPolicyContext {
-  Time now = 0;
-  std::size_t capacity = 0;
-  const std::vector<MultiTuple>* cached = nullptr;
-  const std::vector<MultiTuple>* arrivals = nullptr;  // One per stream.
-  const std::vector<StreamHistory>* histories = nullptr;
-  std::optional<Time> window;
-};
+using MultiPolicyContext = EngineContext;
 
-/// Replacement policy for the multi-join problem.
-class MultiReplacementPolicy {
- public:
-  virtual ~MultiReplacementPolicy() = default;
-  virtual void Reset() {}
-  /// Subset of cached ∪ arrivals ids, size <= capacity.
-  virtual std::vector<TupleId> SelectRetained(
-      const MultiPolicyContext& ctx) = 0;
-  virtual const char* name() const = 0;
-};
+/// Replacement policy for the multi-join problem — the engine's single
+/// decision interface.
+using MultiReplacementPolicy = EnginePolicy;
 
 /// Per-run accounting.
 struct MultiJoinRunResult {
   std::int64_t total_results = 0;
   std::int64_t counted_results = 0;
+  /// Perf telemetry, collected by the façade's PerfObserver.
+  EngineTelemetry telemetry;
 };
 
 /// Simulates N streams joined along a join graph with one shared cache.
@@ -79,22 +69,22 @@ class MultiJoinSimulator {
                      Options options);
 
   /// `streams[s][t]` is stream s's value at time t; all streams must have
-  /// equal length.
+  /// equal length. Thread-safe: each call builds its own engine.
   MultiJoinRunResult Run(const std::vector<std::vector<Value>>& streams,
                          MultiReplacementPolicy& policy) const;
 
-  int num_streams() const { return num_streams_; }
+  int num_streams() const { return topology_.num_streams(); }
   const std::vector<std::pair<int, int>>& join_edges() const {
-    return join_edges_;
+    return topology_.join_edges();
   }
 
   /// Streams that join with `stream` under the join graph.
-  const std::vector<int>& PartnersOf(int stream) const;
+  const std::vector<int>& PartnersOf(int stream) const {
+    return topology_.PartnersOf(stream);
+  }
 
  private:
-  int num_streams_;
-  std::vector<std::pair<int, int>> join_edges_;
-  std::vector<std::vector<int>> partners_;
+  StreamTopology topology_;
   Options options_;
 };
 

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <memory>
 #include <sstream>
+#include <string_view>
 #include <unordered_map>
 
 #include "sjoin/common/check.h"
@@ -19,6 +20,7 @@
 #include "sjoin/engine/reduction.h"
 #include "sjoin/engine/scored_caching_policy.h"
 #include "sjoin/engine/scored_policy.h"
+#include "sjoin/engine/stream_engine.h"
 #include "sjoin/engine/tuple.h"
 #include "sjoin/flow/min_cost_flow.h"
 #include "sjoin/multi/multi_join_simulator.h"
@@ -67,10 +69,14 @@ std::optional<std::string> ExpectEqualRuns(const std::string& context,
         << optimized.counted_results << ")";
     return out.str();
   }
-  if (oracle.peak_candidates != optimized.peak_candidates) {
-    out << context << ": peak_candidates diverge (oracle "
-        << oracle.peak_candidates << ", optimized "
-        << optimized.peak_candidates << ")";
+  if (oracle.telemetry.peak_candidates !=
+          optimized.telemetry.peak_candidates ||
+      oracle.telemetry.steps != optimized.telemetry.steps) {
+    out << context << ": telemetry diverges (oracle peak "
+        << oracle.telemetry.peak_candidates << " steps "
+        << oracle.telemetry.steps << ", optimized peak "
+        << optimized.telemetry.peak_candidates << " steps "
+        << optimized.telemetry.steps << ")";
     return out.str();
   }
   if (compare_composition) {
@@ -89,6 +95,39 @@ std::optional<std::string> ExpectEqualRuns(const std::string& context,
     }
   }
   return std::nullopt;
+}
+
+/// Runs the optimized joining side of a trial. By default this goes
+/// through the JoinSimulator façade; with SJOIN_DIFF_ENGINE=direct it
+/// constructs the StreamEngine + BinaryPolicyAdapter + observer chain by
+/// hand instead, so CI exercises both entry paths against the same
+/// oracles (the two must be indistinguishable — the façade adds nothing
+/// but plumbing).
+JoinRunResult RunOptimizedJoin(const JoinSimulator::Options& options,
+                               const std::vector<Value>& r,
+                               const std::vector<Value>& s,
+                               ReplacementPolicy& policy) {
+  static const bool direct = [] {
+    const char* env = std::getenv("SJOIN_DIFF_ENGINE");
+    return env != nullptr && std::string_view(env) == "direct";
+  }();
+  if (!direct) return JoinSimulator(options).Run(r, s, policy);
+
+  StreamEngine engine(StreamTopology::Binary(),
+                      {.capacity = options.capacity,
+                       .warmup = options.warmup,
+                       .window = options.window});
+  BinaryPolicyAdapter adapter(&policy);
+  JoinRunResult result;
+  PerfObserver perf;
+  CacheCompositionObserver composition(0, &result.r_fraction_by_time);
+  std::vector<StepObserver*> observers{&perf};
+  if (options.track_cache_composition) observers.push_back(&composition);
+  EngineRunResult run = engine.Run({&r, &s}, adapter, observers);
+  result.total_results = run.total_results;
+  result.counted_results = run.counted_results;
+  result.telemetry = perf.telemetry();
+  return result;
 }
 
 /// Runs `decider` and `other` over the same unwindowed cache trajectory
@@ -405,7 +444,6 @@ std::optional<std::string> HeebPolicyJoinTrial(std::uint64_t seed) {
   sim_options.warmup = scenario.warmup;
   sim_options.window = scenario.window;
   sim_options.track_cache_composition = true;
-  JoinSimulator optimized_sim(sim_options);
   NaiveJoinSimulator naive_sim(sim_options);
 
   HeebJoinPolicy::Options direct_options;
@@ -418,7 +456,7 @@ std::optional<std::string> HeebPolicyJoinTrial(std::uint64_t seed) {
                             scenario.s_process.get(), scenario.alpha,
                             scenario.horizon);
 
-  JoinRunResult direct_result = optimized_sim.Run(r, s, direct);
+  JoinRunResult direct_result = RunOptimizedJoin(sim_options, r, s, direct);
   JoinRunResult naive_result = naive_sim.Run(r, s, naive);
   if (auto mismatch =
           ExpectEqualRuns(scenario.description + " [direct vs naive]",
@@ -435,7 +473,7 @@ std::optional<std::string> HeebPolicyJoinTrial(std::uint64_t seed) {
       // any horizon.
       HeebJoinPolicy table(scenario.r_process.get(), scenario.s_process.get(),
                            incremental_options);
-      JoinRunResult table_result = optimized_sim.Run(r, s, table);
+      JoinRunResult table_result = RunOptimizedJoin(sim_options, r, s, table);
       if (table_result.total_results != direct_result.total_results ||
           table_result.counted_results != direct_result.counted_results) {
         std::ostringstream out;
@@ -729,7 +767,7 @@ std::optional<std::string> OfflineOptTrial(std::uint64_t seed) {
   JoinSimulator::Options sim_options;
   sim_options.capacity = capacity;
   sim_options.window = window;
-  JoinRunResult replayed = JoinSimulator(sim_options).Run(r, s, opt);
+  JoinRunResult replayed = RunOptimizedJoin(sim_options, r, s, opt);
   if (replayed.total_results != brute) {
     std::ostringstream out;
     out << context() << ": replayed schedule produces "
@@ -789,7 +827,7 @@ std::optional<std::string> JoinSimulatorTrial(std::uint64_t seed) {
   sim_options.warmup = scenario.warmup;
   sim_options.window = scenario.window;
   sim_options.track_cache_composition = true;
-  JoinRunResult optimized = JoinSimulator(sim_options).Run(r, s, *policy);
+  JoinRunResult optimized = RunOptimizedJoin(sim_options, r, s, *policy);
   JoinRunResult naive = NaiveJoinSimulator(sim_options).Run(r, s, *policy);
   std::string context =
       scenario.description + " policy=" + policy->name();
@@ -821,9 +859,10 @@ std::optional<std::string> JoinSimulatorTrial(std::uint64_t seed) {
 
 // ---------------------------------------------------------------------------
 // Suite 6: reduction — Theorem 1 (caching hits == joining results on the
-// transformed streams) under assorted caching policies, plus
-// HeebCachingPolicy kDirect against its naive oracle and kTimeIncremental
-// against kDirect.
+// transformed streams) under assorted caching policies, windowed and not;
+// the engine-backed CacheSimulator against the pre-engine direct loop
+// (NaiveCacheSimulator); plus HeebCachingPolicy kDirect against its naive
+// oracle and kTimeIncremental against kDirect.
 
 std::optional<std::string> ReductionTrial(std::uint64_t seed) {
   ScenarioGenerator::Options options;
@@ -833,6 +872,7 @@ std::optional<std::string> ReductionTrial(std::uint64_t seed) {
   options.min_capacity = 2;
   options.max_capacity = 6;
   options.max_horizon = 12;
+  options.window_probability = 0.3;
   ScenarioGenerator generator(options);
   Scenario scenario = generator.Sample(seed);
   const StochasticProcess& reference = *scenario.r_process;
@@ -857,18 +897,39 @@ std::optional<std::string> ReductionTrial(std::uint64_t seed) {
   CacheSimulator::Options cache_options;
   cache_options.capacity = scenario.capacity;
   cache_options.warmup = scenario.warmup;
+  cache_options.window = scenario.window;
   CacheSimulator cache_sim(cache_options);
   CacheRunResult cached = cache_sim.Run(references, *policy);
+  std::string context = scenario.description + " policy=" + policy->name();
+
+  // The engine-backed façade against the frozen pre-engine caching loop,
+  // bit for bit on all four counters (the TTL-refresh window semantics
+  // must agree too).
+  CacheRunResult naive_cached =
+      NaiveCacheSimulator(cache_options).Run(references, *policy);
+  if (cached.hits != naive_cached.hits ||
+      cached.misses != naive_cached.misses ||
+      cached.counted_hits != naive_cached.counted_hits ||
+      cached.counted_misses != naive_cached.counted_misses) {
+    std::ostringstream out;
+    out << context << ": CacheSimulator diverges from the naive cache loop "
+        << "(naive " << naive_cached.hits << "h/" << naive_cached.misses
+        << "m counted " << naive_cached.counted_hits << "/"
+        << naive_cached.counted_misses << ", engine " << cached.hits << "h/"
+        << cached.misses << "m counted " << cached.counted_hits << "/"
+        << cached.counted_misses << ")";
+    return out.str();
+  }
 
   CachingReduction reduction(references);
   ReductionJoinPolicy reduced_policy(&reduction, policy.get());
   JoinSimulator::Options sim_options;
   sim_options.capacity = scenario.capacity;
   sim_options.warmup = scenario.warmup;
-  JoinRunResult joined = JoinSimulator(sim_options)
-                             .Run(reduction.r_stream(), reduction.s_stream(),
-                                  reduced_policy);
-  std::string context = scenario.description + " policy=" + policy->name();
+  sim_options.window = scenario.window;
+  JoinRunResult joined =
+      RunOptimizedJoin(sim_options, reduction.r_stream(),
+                       reduction.s_stream(), reduced_policy);
   if (joined.total_results != cached.hits ||
       joined.counted_results != cached.counted_hits) {
     std::ostringstream out;
@@ -950,7 +1011,8 @@ const std::vector<DifferentialSuite>& Registry() {
        "simulator",
        1000, &JoinSimulatorTrial},
       {"reduction",
-       "Theorem 1 caching<->joining reduction; caching HEEB vs naive oracle",
+       "Theorem 1 caching<->joining reduction (windowed and not); "
+       "CacheSimulator vs naive cache loop; caching HEEB vs naive oracle",
        1000, &ReductionTrial},
   };
   return suites;

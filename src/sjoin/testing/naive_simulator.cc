@@ -68,8 +68,10 @@ JoinRunResult NaiveJoinSimulator::Run(const std::vector<Value>& r,
     std::vector<Tuple> candidates;
     for (const Tuple& tuple : cache) candidates.push_back(tuple);
     for (const Tuple& tuple : arrivals) candidates.push_back(tuple);
-    result.peak_candidates = std::max(
-        result.peak_candidates, static_cast<std::int64_t>(candidates.size()));
+    ++result.telemetry.steps;
+    result.telemetry.peak_candidates =
+        std::max(result.telemetry.peak_candidates,
+                 static_cast<std::int64_t>(candidates.size()));
 
     std::vector<Tuple> new_cache;
     for (TupleId id : retained) {
@@ -95,6 +97,91 @@ JoinRunResult NaiveJoinSimulator::Run(const std::vector<Value>& r,
           cache.empty() ? 0.0
                         : static_cast<double>(r_count) /
                               static_cast<double>(cache.size()));
+    }
+  }
+  return result;
+}
+
+NaiveCacheSimulator::NaiveCacheSimulator(CacheSimulator::Options options)
+    : options_(options) {
+  SJOIN_CHECK_GE(options_.capacity, 1u);
+  SJOIN_CHECK_GE(options_.warmup, 0);
+  if (options_.window.has_value()) SJOIN_CHECK_GE(*options_.window, 0);
+}
+
+CacheRunResult NaiveCacheSimulator::Run(
+    const std::vector<Value>& references, CachingPolicy& policy) const {
+  policy.Reset();
+
+  CacheRunResult result;
+  // Cached values with the time each was fetched or last served a hit;
+  // under a window, older entries are stale and miss until refetched.
+  std::vector<Value> cache;
+  std::vector<Time> fetched_at;
+  StreamHistory history;
+
+  for (Time t = 0; t < static_cast<Time>(references.size()); ++t) {
+    Value v = references[static_cast<std::size_t>(t)];
+    history.Append(v);
+
+    bool hit = false;
+    for (std::size_t i = 0; i < cache.size(); ++i) {
+      if (cache[i] != v) continue;
+      if (!options_.window.has_value() ||
+          t - fetched_at[i] <= *options_.window) {
+        hit = true;
+        fetched_at[i] = t;  // A hit serves the fresh tuple: TTL refresh.
+      } else {
+        // Expired copy of the referenced value: dead weight (expiry is
+        // monotone), dropped so the policy sees v only as the
+        // demand-fetched candidate.
+        cache.erase(cache.begin() + static_cast<std::ptrdiff_t>(i));
+        fetched_at.erase(fetched_at.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      }
+      break;
+    }
+    if (hit) {
+      ++result.hits;
+      if (t >= options_.warmup) ++result.counted_hits;
+    } else {
+      ++result.misses;
+      if (t >= options_.warmup) ++result.counted_misses;
+    }
+
+    CachingContext ctx;
+    ctx.now = t;
+    ctx.capacity = options_.capacity;
+    ctx.cached = &cache;
+    ctx.referenced = v;
+    ctx.hit = hit;
+    ctx.history = &history;
+    policy.Observe(ctx);
+
+    if (!hit) {
+      std::vector<Value> retained = policy.SelectRetained(ctx);
+      SJOIN_CHECK_LE(retained.size(), options_.capacity);
+      std::vector<Time> retained_fetched_at;
+      retained_fetched_at.reserve(retained.size());
+      std::vector<Value> seen;
+      for (Value kept : retained) {
+        for (Value already : seen) {
+          SJOIN_CHECK_MSG(already != kept,
+                          "policy retained the same value twice");
+        }
+        seen.push_back(kept);
+        if (kept == v) {
+          retained_fetched_at.push_back(t);  // The demand-fetched tuple.
+          continue;
+        }
+        auto it = std::find(cache.begin(), cache.end(), kept);
+        SJOIN_CHECK_MSG(it != cache.end(),
+                        "policy retained a value that is not a candidate");
+        retained_fetched_at.push_back(
+            fetched_at[static_cast<std::size_t>(it - cache.begin())]);
+      }
+      cache = std::move(retained);
+      fetched_at = std::move(retained_fetched_at);
     }
   }
   return result;

@@ -4,17 +4,19 @@
 #include <optional>
 #include <vector>
 
+#include "sjoin/engine/cache_simulator.h"
+#include "sjoin/engine/caching_policy.h"
 #include "sjoin/engine/join_simulator.h"
 #include "sjoin/engine/replacement_policy.h"
 #include "sjoin/multi/multi_join_simulator.h"
 
 /// \file
-/// Reference join simulator with none of JoinSimulator's optimizations —
+/// Reference simulators with none of the StreamEngine's optimizations —
 /// fresh containers every step, linear scans for both the join probe and
 /// the candidate lookup, and no value->count index — used as the
-/// differential-testing oracle for the engine. For any deterministic
-/// policy, a run must reproduce JoinSimulator's JoinRunResult bit for bit
-/// (including r_fraction_by_time and peak_candidates).
+/// differential-testing oracles for the engine. For any deterministic
+/// policy, a run must reproduce the façade's result bit for bit
+/// (including r_fraction_by_time and telemetry.peak_candidates).
 
 namespace sjoin {
 namespace testing {
@@ -32,11 +34,32 @@ class NaiveJoinSimulator {
   JoinSimulator::Options options_;
 };
 
+/// Naive twin of CacheSimulator: the direct demand-fetch caching loop the
+/// pre-engine CacheSimulator ran, frozen as an oracle now that the façade
+/// routes through the Theorem 1 reduction and the engine. Extended with
+/// the sliding-window TTL semantics (a cached tuple older than the window
+/// misses until refetched; every hit refreshes its age) so the windowed
+/// reduction path has an independent from-first-principles check.
+class NaiveCacheSimulator {
+ public:
+  explicit NaiveCacheSimulator(CacheSimulator::Options options);
+
+  /// Simulates exactly like CacheSimulator::Run, without the reduction.
+  /// telemetry is left untouched (the direct loop has no candidate sets).
+  CacheRunResult Run(const std::vector<Value>& references,
+                     CachingPolicy& policy) const;
+
+ private:
+  CacheSimulator::Options options_;
+};
+
 /// Adapts a binary ReplacementPolicy to the two-stream multi-join problem.
 /// MultiTupleIdAt(2, s, t) and TupleIdAt(side, t) coincide (both are
 /// 2t + s), so ids pass through unchanged; stream 0 plays R and stream 1
 /// plays S. Lets differential trials assert MultiJoinSimulator over
-/// {(0, 1)} == JoinSimulator for the same policy.
+/// {(0, 1)} == JoinSimulator for the same policy. Kept independent of the
+/// engine's BinaryPolicyAdapter on purpose: this is the oracle-side twin
+/// the production adapter is verified against.
 class BinaryAsMultiPolicy final : public MultiReplacementPolicy {
  public:
   /// `policy` is not owned and must outlive the adapter.

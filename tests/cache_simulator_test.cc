@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <vector>
+
 #include "sjoin/engine/scored_caching_policy.h"
 #include "sjoin/policies/lfd_policy.h"
 #include "sjoin/policies/lru_policy.h"
+#include "sjoin/policies/prob_policy.h"
+#include "sjoin/policies/random_policy.h"
 
 namespace sjoin {
 namespace {
@@ -92,6 +97,82 @@ TEST(CacheSimulatorTest, PolicyObserveCalledOnHits) {
   CountingPolicy policy;
   sim.Run({1, 1, 1}, policy);
   EXPECT_EQ(policy.observes, 3);
+}
+
+TEST(CacheSimulatorTest, TelemetryReportsStepsAndCandidates) {
+  CacheSimulator sim({.capacity = 2, .warmup = 0});
+  KeepLargestPolicy policy;
+  auto result = sim.Run({1, 2, 1, 2, 3, 3}, policy);
+  EXPECT_EQ(result.telemetry.steps, 6);
+  // Under the reduction each step offers the cached supply tuples plus
+  // one R' and one S' arrival: at most capacity + 2 candidates.
+  EXPECT_EQ(result.telemetry.peak_candidates, 4);
+}
+
+// Sliding-window caching (Section 7 semantics through the Theorem 1
+// reduction): a cached tuple older than the window misses, and every hit
+// refreshes the tuple's age because the reduction swaps in the fresh
+// supply tuple.
+TEST(CacheSimulatorTest, WindowedEntryExpiresAfterTtl) {
+  CacheSimulator sim({.capacity = 2, .warmup = 0, .window = 2});
+  KeepLargestPolicy policy;
+  // t0 miss(7), fetched at 0. t1 hit(7) refreshes to 1. t2, t3 hit again.
+  // Then three non-7 steps age it out: fetched 3, referenced again at 6,
+  // 6 - 3 > 2 -> miss.
+  auto result = sim.Run({7, 7, 7, 7, 1, 2, 7}, policy);
+  // t4 miss(1), t5 miss(2) (capacity 2 keeps {7,2} by keep-largest).
+  EXPECT_EQ(result.hits, 3);
+  EXPECT_EQ(result.misses, 4);
+}
+
+TEST(CacheSimulatorTest, WindowedHitRefreshesTtl) {
+  CacheSimulator sim({.capacity = 1, .warmup = 0, .window = 2});
+  KeepLargestPolicy policy;
+  // 7 referenced every other step: each gap is 2 <= window, so after the
+  // initial fetch every reference hits — the TTL refresh at work. Without
+  // refresh the age relative to t0 would exceed the window from t4 on.
+  auto result = sim.Run({7, 0, 7, 0, 7, 0, 7}, policy);
+  EXPECT_EQ(result.hits, 3);
+  EXPECT_EQ(result.misses, 4);
+}
+
+TEST(CacheSimulatorTest, UnwindowedRunsUnaffectedByWindowFieldDefault) {
+  CacheSimulator windowless({.capacity = 2, .warmup = 0});
+  CacheSimulator huge_window(
+      {.capacity = 2, .warmup = 0, .window = std::optional<Time>{1000}});
+  KeepLargestPolicy a;
+  KeepLargestPolicy b;
+  std::vector<Value> refs = {1, 2, 1, 2, 3, 3, 1, 2};
+  auto lhs = windowless.Run(refs, a);
+  auto rhs = huge_window.Run(refs, b);
+  EXPECT_EQ(lhs.hits, rhs.hits);
+  EXPECT_EQ(lhs.misses, rhs.misses);
+}
+
+// The inverse unification direction: arbitrary joining policies serve the
+// caching problem by running on the reduced streams; hits are join
+// results. Sound because cached R' tuples can never join future arrivals
+// (occurrence numbers only grow), so only supply-tuple retention matters.
+TEST(CacheSimulatorTest, RunJoinPolicyServesCachingProblem) {
+  CacheSimulator sim({.capacity = 2, .warmup = 0});
+  std::vector<Value> refs = {1, 2, 1, 2, 3, 3};
+
+  // PROB on the reduced streams is a legal (if weak) caching policy.
+  // Each reference can hit at most once, and first references always
+  // miss, so no policy exceeds 3 hits on this trace.
+  ProbPolicy prob;
+  auto prob_result = sim.RunJoinPolicy(refs, prob);
+  EXPECT_EQ(prob_result.hits + prob_result.misses,
+            static_cast<std::int64_t>(refs.size()));
+  EXPECT_GE(prob_result.hits, 0);
+  EXPECT_LE(prob_result.hits, 3);
+  EXPECT_EQ(prob_result.telemetry.steps,
+            static_cast<std::int64_t>(refs.size()));
+
+  RandomPolicy random(3, std::nullopt);
+  auto random_result = sim.RunJoinPolicy(refs, random);
+  EXPECT_EQ(random_result.hits + random_result.misses,
+            static_cast<std::int64_t>(refs.size()));
 }
 
 }  // namespace
