@@ -4,7 +4,9 @@
 Usage:
     check_perf_regression.py BASELINE.json CURRENT.json [--threshold=1.25]
 
-Rows are matched by (name, workload, len). The raw per-row ratio
+Rows are matched by (name, workload, len, shards); a sjoin-perf-v1 file
+(no per-row shards) reads as shards=1 throughout, so v1 baselines keep
+working against v2 runs. The raw per-row ratio
 current/baseline of ns_per_step is normalized by the median ratio across
 all matched rows before thresholding: CI machines are uniformly slower or
 faster than the laptop that committed the baseline, and that uniform shift
@@ -23,9 +25,12 @@ import sys
 def load_rows(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "sjoin-perf-v1":
+    if doc.get("schema") not in ("sjoin-perf-v1", "sjoin-perf-v2"):
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
-    return {(r["name"], r["workload"], r["len"]): r for r in doc["results"]}
+    return {
+        (r["name"], r["workload"], r["len"], r.get("shards", 1)): r
+        for r in doc["results"]
+    }
 
 
 def main(argv):
@@ -43,12 +48,13 @@ def main(argv):
 
     missing = sorted(set(baseline) - set(current))
     for key in missing:
-        print(f"MISSING  {key[0]} ({key[1]}, len={key[2]}): "
+        print(f"MISSING  {key[0]} ({key[1]}, len={key[2]}, "
+              f"shards={key[3]}): "
               "row present in baseline but absent from current run")
     extra = sorted(set(current) - set(baseline))
     for key in extra:
-        print(f"note: new row {key[0]} ({key[1]}, len={key[2]}) "
-              "has no baseline yet")
+        print(f"note: new row {key[0]} ({key[1]}, len={key[2]}, "
+              f"shards={key[3]}) has no baseline yet")
 
     matched = sorted(set(baseline) & set(current))
     if not matched:
@@ -69,6 +75,7 @@ def main(argv):
             verdict = f"REGRESSED >{(threshold - 1) * 100:.0f}%"
             failed = True
         print(f"{verdict:>14}  {key[0]:<18} {key[1]:<6} len={key[2]:<5} "
+              f"x{key[3]:<2} "
               f"ns/step {baseline[key]['ns_per_step']:>12.0f} -> "
               f"{current[key]['ns_per_step']:>12.0f} "
               f"(raw x{ratios[key]:.3f}, normalized x{normalized:.3f})")

@@ -9,10 +9,14 @@
 // path.
 //
 // Runs serially on purpose: per-run wall times feed ns/step, and parallel
-// execution would contend for the core(s) being measured.
+// execution would contend for the core(s) being measured. The shard-sweep
+// rows are the one exception — they measure the sharded engine itself at
+// shard counts {1, 2, 4, 8} (sjoin-perf-v2 rows carry shards/threads, and
+// the shards=1 rows are the serial baselines the sweep reads against).
 //
 // Usage: perf_smoke [--len=2000] [--runs=3] [--cache=50] [--seed=1]
 //                   [--flow_len=400] [--flow_prune=1]
+//                   [--sweep_len=1000] [--sweep_cache=200]
 //                   [--out=BENCH_perf.json]
 //
 // --flow_prune=0 disables the FlowExpect dominance prefilter in every
@@ -37,6 +41,7 @@
 #include "sjoin/engine/cache_simulator.h"
 #include "sjoin/engine/caching_policy.h"
 #include "sjoin/engine/join_simulator.h"
+#include "sjoin/engine/sharded_stream_engine.h"
 #include "sjoin/policies/lfu_policy.h"
 #include "sjoin/policies/life_policy.h"
 #include "sjoin/policies/lru_policy.h"
@@ -56,6 +61,8 @@ struct ScenarioResult {
   std::string workload;
   Time len = 0;
   int runs = 0;
+  int shards = 1;
+  int threads = 1;
   std::int64_t setup_ns = 0;  // Policy construction (all runs).
   std::int64_t run_ns = 0;    // JoinSimulator::Run (all runs).
   std::int64_t counted_results = 0;
@@ -70,15 +77,20 @@ struct Config {
 };
 
 /// Times `make_policy` + JoinSimulator::Run over `runs` pre-sampled pairs.
+/// `shards` > 1 runs the sharded engine (results are bit-identical; only
+/// the wall time moves).
 template <typename MakePolicy>
 ScenarioResult TimeScenario(const std::string& name,
                             const JoinWorkload& workload, Time len,
-                            const Config& config, MakePolicy&& make_policy) {
+                            const Config& config, MakePolicy&& make_policy,
+                            int shards = 1) {
   ScenarioResult out;
   out.name = name;
   out.workload = workload.name;
   out.len = len;
   out.runs = config.runs;
+  out.shards = shards;
+  out.threads = ShardedStreamEngine::DefaultThreads(shards);
 
   Rng rng(config.seed);
   std::vector<StreamPair> pairs;
@@ -88,7 +100,8 @@ ScenarioResult TimeScenario(const std::string& name,
   }
 
   JoinSimulator sim({.capacity = config.cache,
-                     .warmup = static_cast<Time>(4 * config.cache)});
+                     .warmup = static_cast<Time>(4 * config.cache),
+                     .shards = shards});
   for (const StreamPair& pair : pairs) {
     Stopwatch setup;
     auto policy = make_policy(pair);
@@ -103,8 +116,8 @@ ScenarioResult TimeScenario(const std::string& name,
     }
   }
   std::int64_t steps = len * config.runs;
-  std::fprintf(stderr, "%-18s %-5s %8.0f steps/s %10.0f ns/step\n",
-               name.c_str(), workload.name.c_str(),
+  std::fprintf(stderr, "%-18s %-5s x%d %8.0f steps/s %10.0f ns/step\n",
+               name.c_str(), workload.name.c_str(), shards,
                static_cast<double>(steps) /
                    (static_cast<double>(out.run_ns) * 1e-9),
                static_cast<double>(out.run_ns) /
@@ -121,13 +134,15 @@ template <typename MakePolicy>
 ScenarioResult TimeCacheScenario(const std::string& name,
                                  const JoinWorkload& workload, Time len,
                                  const Config& config,
-                                 MakePolicy&& make_policy) {
+                                 MakePolicy&& make_policy, int shards = 1) {
   using PolicyT = typename decltype(make_policy())::element_type;
   ScenarioResult out;
   out.name = name;
   out.workload = workload.name;
   out.len = len;
   out.runs = config.runs;
+  out.shards = shards;
+  out.threads = ShardedStreamEngine::DefaultThreads(shards);
 
   Rng rng(config.seed);
   std::vector<std::vector<Value>> streams;
@@ -137,7 +152,8 @@ ScenarioResult TimeCacheScenario(const std::string& name,
   }
 
   CacheSimulator sim({.capacity = config.cache,
-                      .warmup = static_cast<Time>(4 * config.cache)});
+                      .warmup = static_cast<Time>(4 * config.cache),
+                      .shards = shards});
   for (const std::vector<Value>& references : streams) {
     Stopwatch setup;
     auto policy = make_policy();
@@ -157,8 +173,8 @@ ScenarioResult TimeCacheScenario(const std::string& name,
     }
   }
   std::int64_t steps = len * config.runs;
-  std::fprintf(stderr, "%-18s %-5s %8.0f steps/s %10.0f ns/step\n",
-               name.c_str(), workload.name.c_str(),
+  std::fprintf(stderr, "%-18s %-5s x%d %8.0f steps/s %10.0f ns/step\n",
+               name.c_str(), workload.name.c_str(), shards,
                static_cast<double>(steps) /
                    (static_cast<double>(out.run_ns) * 1e-9),
                static_cast<double>(out.run_ns) /
@@ -171,7 +187,7 @@ void WriteJson(const std::string& path, const Config& config,
   JsonWriter json;
   json.BeginObject();
   json.Key("schema");
-  json.String("sjoin-perf-v1");
+  json.String("sjoin-perf-v2");
   json.Key("len");
   json.Int(config.len);
   json.Key("runs");
@@ -193,6 +209,10 @@ void WriteJson(const std::string& path, const Config& config,
     json.Int(r.len);
     json.Key("runs");
     json.Int(r.runs);
+    json.Key("shards");
+    json.Int(r.shards);
+    json.Key("threads");
+    json.Int(r.threads);
     json.Key("setup_ns");
     json.Int(r.setup_ns);
     json.Key("run_ns");
@@ -235,9 +255,19 @@ int main(int argc, char** argv) {
   // keeps the smoke run fast while still producing a stable ns/step.
   Time flow_len = flags.GetInt("flow_len", 400);
   bool flow_prune = flags.GetInt("flow_prune", 1) != 0;
+  // The shard sweep uses its own length and (larger) cache: row keys are
+  // (name, workload, len, shards), so a distinct length keeps the sweep's
+  // shards=1 baselines from colliding with the main serial rows, and the
+  // larger cache gives every shard a useful per-step scoring grain.
+  Time sweep_len = flags.GetInt("sweep_len", 1000);
+  std::size_t sweep_cache =
+      static_cast<std::size_t>(flags.GetInt("sweep_cache", 200));
   std::string out_path = flags.GetString("out", "BENCH_perf.json");
   flags.CheckConsumed();
   if (flow_len > config.len) flow_len = config.len;
+  if (sweep_len >= config.len) {
+    sweep_len = config.len > 1 ? config.len / 2 : config.len;
+  }
 
   JoinWorkload tower = MakeTower();
   JoinWorkload walk = MakeWalk();
@@ -324,6 +354,43 @@ int main(int argc, char** argv) {
   results.push_back(TimeCacheScenario(
       "CACHE-PROB", tower, config.len, config,
       [] { return std::make_unique<ProbPolicy>(std::nullopt); }));
+
+  // Shard sweep: the scored policies under the sharded engine at 1/2/4/8
+  // value-domain shards. Results are bit-identical across the sweep by
+  // the sharding contract; only the wall time moves. CACHE-RAND is not
+  // shard-scorable and rides along to anchor the serial-fallback cost.
+  Config sweep = config;
+  sweep.len = sweep_len;
+  sweep.cache = sweep_cache;
+  for (int shards : {1, 2, 4, 8}) {
+    results.push_back(TimeScenario(
+        "HEEB-direct", tower, sweep.len, sweep,
+        heeb_on(tower, HeebJoinPolicy::Mode::kDirect, tower.heeb_alpha),
+        shards));
+    results.push_back(TimeScenario(
+        "HEEB-time-incr", tower, sweep.len, sweep,
+        heeb_on(tower, HeebJoinPolicy::Mode::kTimeIncremental,
+                tower.heeb_alpha),
+        shards));
+    results.push_back(TimeScenario(
+        "HEEB-value-incr", tower, sweep.len, sweep,
+        heeb_on(tower, HeebJoinPolicy::Mode::kValueIncremental,
+                tower.heeb_alpha),
+        shards));
+    results.push_back(TimeCacheScenario(
+        "CACHE-LRU", tower, sweep.len, sweep,
+        [] { return std::make_unique<LruCachingPolicy>(); }, shards));
+    results.push_back(TimeCacheScenario(
+        "CACHE-LFU", tower, sweep.len, sweep,
+        [] { return std::make_unique<LfuCachingPolicy>(); }, shards));
+    results.push_back(TimeCacheScenario(
+        "CACHE-RAND", tower, sweep.len, sweep,
+        [&] { return std::make_unique<RandomCachingPolicy>(config.seed + 29); },
+        shards));
+    results.push_back(TimeCacheScenario(
+        "CACHE-PROB", tower, sweep.len, sweep,
+        [] { return std::make_unique<ProbPolicy>(std::nullopt); }, shards));
+  }
 
   WriteJson(out_path, config, results);
   return 0;

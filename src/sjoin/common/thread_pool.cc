@@ -29,6 +29,16 @@ ThreadPool::~ThreadPool() {
   }
   wake_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  // A task that submits more work while the pool shuts down can race the
+  // workers' final drain. Run any leftovers here, after the join, so the
+  // "every submitted task runs" guarantee holds and no future is left with
+  // a broken promise; packaged_task captures anything the task throws, so
+  // nothing can escape the destructor.
+  while (!queue_.empty()) {
+    std::packaged_task<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    task();
+  }
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
@@ -57,6 +67,41 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();  // packaged_task routes exceptions into the future.
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void TaskGroup::Run(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  // The future is deliberately discarded: the wrapper latches exceptions
+  // into the group itself, so nothing observable is lost with it.
+  pool_.Submit([this, task = std::move(task)]() mutable {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--pending_ == 0) done_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
   }
 }
 

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -60,6 +61,54 @@ class ThreadPool {
   std::deque<std::packaged_task<void()>> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+};
+
+/// Structured fan-out helper for fine-grained parallel sections (the
+/// sharded engine's per-step probe/score tasks). Run() enqueues a task on
+/// the pool; Wait() blocks until every task of the group has finished and
+/// rethrows the first exception any of them threw.
+///
+/// Unlike raw Submit(), whose per-task futures callers routinely discard,
+/// a group never loses a task's exception: the task body is wrapped so a
+/// throw is latched into the group before the worker moves on. In
+/// particular a task that throws while its pool is being destroyed (the
+/// destructor drains the queue, so queued tasks still run) surfaces at the
+/// next Wait() instead of vanishing inside an abandoned future — shutdown
+/// can no longer swallow errors or terminate the process.
+///
+/// Works with inline (size-1) pools, where Run() executes the task on the
+/// calling thread and Wait() never blocks. A group is reusable: after
+/// Wait() returns (or throws) it is empty and ready for the next batch.
+class TaskGroup {
+ public:
+  /// `pool` is borrowed and must outlive every Run() call. Wait() itself
+  /// never touches the pool, so a group may outlive its pool once all its
+  /// tasks are queued — the pool destructor runs them, and their errors
+  /// still surface at Wait().
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+
+  /// Blocks until in-flight tasks finish. An unobserved task exception is
+  /// dropped here (call Wait() to observe it); never throws.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueues `task`; returns as soon as it is queued (inline pools run it
+  /// in place before returning).
+  void Run(std::function<void()> task);
+
+  /// Blocks until every Run() task has finished, then rethrows the first
+  /// exception recorded by any of them ("first" in completion order —
+  /// tasks run concurrently, so no submission-order guarantee is made).
+  void Wait();
+
+ private:
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable done_;
+  std::size_t pending_ = 0;
+  std::exception_ptr first_error_;
 };
 
 /// Runs body(i) for every i in [begin, end) on the pool, splitting the

@@ -106,6 +106,93 @@ void HeebJoinPolicy::BeginStep(const PolicyContext& ctx) {
   }
 }
 
+bool HeebJoinPolicy::ShardBeginStep(const PolicyContext& ctx,
+                                    std::vector<TupleId>* decided) {
+  (void)decided;
+  if (options_.mode == Mode::kWalkTable) return true;  // Pure lookups.
+  if (options_.mode == Mode::kDirect) {
+    EnsurePredictions(ctx);
+    return true;
+  }
+
+  SJOIN_CHECK_MSG(!ctx.window.has_value() ||
+                      options_.mode == Mode::kTimeIncremental,
+                  "value-incremental HEEB does not support sliding "
+                  "windows; use kDirect or kTimeIncremental");
+  if (options_.mode == Mode::kTimeIncremental) EnsurePredictions(ctx);
+
+  shard_gap_ = last_step_time_ >= 0 ? ctx.now - last_step_time_ : 0;
+  shard_e_ = std::exp(1.0 / options_.alpha);
+  if (shard_gap_ > 0) {
+    // Entries crossing the refresh interval re-anchor with DirectScore,
+    // which reads this step's predictions; build them up front so the
+    // parallel phase never mutates shared state.
+    for (const auto& [id, state] : cached_h_) {
+      (void)id;
+      if (state.updates_since_refresh + shard_gap_ >=
+          options_.refresh_interval) {
+        EnsurePredictions(ctx);
+        break;
+      }
+    }
+    // One partner pmf per (cached side, elapsed step), shared by every
+    // entry of that side during the lazy advance.
+    for (StreamSide side : {StreamSide::kR, StreamSide::kS}) {
+      StreamSide partner = Partner(side);
+      auto& pmfs = advance_pmfs_[SideIndex(side)];
+      pmfs.resize(static_cast<std::size_t>(shard_gap_));
+      for (Time step = 1; step <= shard_gap_; ++step) {
+        process(partner)->PredictInto(
+            *history(partner, ctx), last_step_time_ + step,
+            &pmfs[static_cast<std::size_t>(step - 1)]);
+      }
+    }
+  }
+  last_step_time_ = ctx.now;
+  return true;
+}
+
+std::optional<ShardKey> HeebJoinPolicy::ShardScoreCached(
+    const Tuple& tuple, const PolicyContext& ctx, ShardScratch* scratch) {
+  if (options_.mode != Mode::kTimeIncremental &&
+      options_.mode != Mode::kValueIncremental) {
+    return ScoredPolicy::ShardScoreCached(tuple, ctx, scratch);
+  }
+  (void)scratch;
+  // Lazy Corollary 3 advance: each entry is owned by exactly one shard
+  // (shards partition the value domain and an entry's value is fixed), so
+  // mutating it here is race-free; the shared pmfs and predictions are
+  // read-only during this phase.
+  auto it = cached_h_.find(tuple.id);
+  SJOIN_CHECK_MSG(it != cached_h_.end(),
+                  "cached tuple without incremental HEEB state");
+  CachedState& state = it->second;
+  if (shard_gap_ > 0) {
+    state.updates_since_refresh += shard_gap_;
+    if (state.updates_since_refresh >= options_.refresh_interval) {
+      SJOIN_CHECK_EQ(predictions_time_, ctx.now);  // Built in ShardBeginStep.
+      Tuple proxy{0, state.side, state.value, state.arrival};
+      state.h = DirectScore(proxy, ctx);
+      state.updates_since_refresh = 0;
+    } else {
+      const auto& pmfs = advance_pmfs_[SideIndex(state.side)];
+      for (Time step = 1; step <= shard_gap_; ++step) {
+        double p =
+            pmfs[static_cast<std::size_t>(step - 1)].Prob(state.value);
+        state.h = shard_e_ * state.h - p;
+        if (state.h < 0.0) state.h = 0.0;  // Guard truncation drift.
+      }
+    }
+  }
+  // Same window guard as Score(); the entry advances either way, exactly
+  // like the serial BeginStep sweep runs before Score's window check.
+  double score =
+      ctx.window.has_value() && !InWindow(tuple, ctx.now, ctx.window)
+          ? 0.0
+          : state.h;
+  return ShardKey{score, tuple.arrival, tuple.id};
+}
+
 double HeebJoinPolicy::PartnerProbAt(StreamSide side, Value v, Time t,
                                      const PolicyContext& ctx) const {
   StreamSide partner = Partner(side);
@@ -218,6 +305,22 @@ double HeebJoinPolicy::Score(const Tuple& tuple, const PolicyContext& ctx) {
     }
   }
   return 0.0;
+}
+
+void HeebJoinPolicy::ShardEndStep(const PolicyContext& ctx,
+                                  const std::vector<TupleId>& retained,
+                                  const std::vector<TupleId>& evicted) {
+  (void)ctx;
+  (void)retained;
+  if (options_.mode != Mode::kTimeIncremental &&
+      options_.mode != Mode::kValueIncremental) {
+    return;
+  }
+  // cached_h_ holds exactly the candidate ids at this point (last step's
+  // retained set plus this step's scored arrivals), so erasing the evicted
+  // ids leaves precisely the retained ones — the same post-state EndStep
+  // reaches by walking the whole map against a retained hash set.
+  for (TupleId id : evicted) cached_h_.erase(id);
 }
 
 void HeebJoinPolicy::EndStep(const PolicyContext& ctx,

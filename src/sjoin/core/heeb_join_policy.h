@@ -73,7 +73,28 @@ class HeebJoinPolicy final : public ScoredPolicy {
 
   const char* name() const override { return "HEEB"; }
 
+  // Sharded execution (see scored_policy.h). All four modes are
+  // score-decomposable. The incremental modes replace BeginStep's eager
+  // Corollary 3 sweep with a lazy per-tuple advance inside the parallel
+  // scoring phase, driven by per-step partner pmfs that ShardBeginStep
+  // builds once and shares across every cached tuple of a side — the
+  // serial sweep re-predicts that same pmf once per tuple, which is the
+  // dominant cost the sharded hot path removes. Results are bit-identical
+  // (PredictInto matches Predict bitwise; the advance arithmetic is
+  // unchanged).
+  bool ShardBeginStep(const PolicyContext& ctx,
+                      std::vector<TupleId>* decided) override;
+  std::optional<ShardKey> ShardScoreCached(const Tuple& tuple,
+                                           const PolicyContext& ctx,
+                                           ShardScratch* scratch) override;
+  /// Drops incremental state for exactly the evicted ids — O(evicted),
+  /// where the serial EndStep pays an O(cache) retained-set walk.
+  void ShardEndStep(const PolicyContext& ctx,
+                    const std::vector<TupleId>& retained,
+                    const std::vector<TupleId>& evicted) override;
+
  protected:
+  bool ShardScorable() const override { return true; }
   void BeginStep(const PolicyContext& ctx) override;
   double Score(const Tuple& tuple, const PolicyContext& ctx) override;
   void EndStep(const PolicyContext& ctx,
@@ -125,6 +146,14 @@ class HeebJoinPolicy final : public ScoredPolicy {
   Time last_step_time_ = -1;
   // EndStep scratch (reused across steps to avoid reallocation).
   std::unordered_set<TupleId> retained_scratch_;
+
+  // Sharded incremental advance: elapsed steps since the previous decision
+  // and the shared per-(cached side, elapsed step) partner pmfs the lazy
+  // Corollary 3 advance reads. Written in ShardBeginStep (serial), read
+  // only during the parallel scoring phase.
+  Time shard_gap_ = 0;
+  double shard_e_ = 1.0;
+  std::vector<DiscreteDistribution> advance_pmfs_[2];
 
   // kWalkTable: per-side lookup tables (indexed by the side of the cached
   // tuple; the table is built from the partner's walk).

@@ -2,7 +2,7 @@
 
 #include "sjoin/common/check.h"
 #include "sjoin/engine/reduction.h"
-#include "sjoin/engine/stream_engine.h"
+#include "sjoin/engine/sharded_stream_engine.h"
 
 namespace sjoin {
 namespace {
@@ -15,10 +15,12 @@ namespace {
 CacheRunResult RunReduced(const CacheSimulator::Options& options,
                           const CachingReduction& reduction,
                           ReplacementPolicy& policy) {
-  StreamEngine engine(StreamTopology::Binary(),
-                      {.capacity = options.capacity,
-                       .warmup = options.warmup,
-                       .window = options.window});
+  ShardedStreamEngine engine(StreamTopology::Binary(),
+                             {.capacity = options.capacity,
+                              .warmup = options.warmup,
+                              .window = options.window,
+                              .shards = options.shards,
+                              .pool = options.pool});
   BinaryPolicyAdapter adapter(&policy);
   PerfObserver perf;
   EngineRunResult run = engine.Run(
@@ -42,6 +44,7 @@ CacheSimulator::CacheSimulator(Options options) : options_(options) {
   SJOIN_CHECK_GE(options_.capacity, 1u);
   SJOIN_CHECK_GE(options_.warmup, 0);
   if (options_.window.has_value()) SJOIN_CHECK_GE(*options_.window, 0);
+  SJOIN_CHECK_GE(options_.shards, 1);
 }
 
 CacheRunResult CacheSimulator::Run(const std::vector<Value>& references,

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "sjoin/common/thread_pool.h"
 #include "sjoin/common/types.h"
 #include "sjoin/engine/caching_policy.h"
 #include "sjoin/engine/replacement_policy.h"
@@ -46,6 +47,13 @@ class CacheSimulator {
     /// a cached tuple older than the window no longer serves hits until
     /// refetched; every hit refreshes its age. nullopt = classic caching.
     std::optional<Time> window;
+    /// Value-domain shards for intra-run parallelism
+    /// (engine/sharded_stream_engine.h); results are bit-identical for any
+    /// count. <= 1, or a policy without shard scoring, runs serially.
+    int shards = 1;
+    /// Worker pool for the sharded path (not owned; must outlive the
+    /// simulator). nullptr = each Run lazily owns one.
+    ThreadPool* pool = nullptr;
   };
 
   explicit CacheSimulator(Options options);

@@ -1,7 +1,7 @@
 #include "sjoin/engine/join_simulator.h"
 
 #include "sjoin/common/check.h"
-#include "sjoin/engine/stream_engine.h"
+#include "sjoin/engine/sharded_stream_engine.h"
 
 namespace sjoin {
 
@@ -9,6 +9,7 @@ JoinSimulator::JoinSimulator(Options options) : options_(options) {
   SJOIN_CHECK_GE(options_.capacity, 1u);
   SJOIN_CHECK_GE(options_.warmup, 0);
   if (options_.window.has_value()) SJOIN_CHECK_GE(*options_.window, 0);
+  SJOIN_CHECK_GE(options_.shards, 1);
 }
 
 JoinRunResult JoinSimulator::Run(const std::vector<Value>& r,
@@ -16,10 +17,12 @@ JoinRunResult JoinSimulator::Run(const std::vector<Value>& r,
                                  ReplacementPolicy& policy) const {
   SJOIN_CHECK_EQ(r.size(), s.size());
 
-  StreamEngine engine(StreamTopology::Binary(),
-                      {.capacity = options_.capacity,
-                       .warmup = options_.warmup,
-                       .window = options_.window});
+  ShardedStreamEngine engine(StreamTopology::Binary(),
+                             {.capacity = options_.capacity,
+                              .warmup = options_.warmup,
+                              .window = options_.window,
+                              .shards = options_.shards,
+                              .pool = options_.pool});
   BinaryPolicyAdapter adapter(&policy);
 
   JoinRunResult result;

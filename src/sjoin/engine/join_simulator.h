@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "sjoin/common/thread_pool.h"
 #include "sjoin/common/types.h"
 #include "sjoin/engine/replacement_policy.h"
 #include "sjoin/engine/step_observer.h"
@@ -56,6 +57,13 @@ class JoinSimulator {
     std::optional<Time> window;
     /// Record the per-step fraction of R tuples in the cache.
     bool track_cache_composition = false;
+    /// Value-domain shards for intra-run parallelism
+    /// (engine/sharded_stream_engine.h); results are bit-identical for any
+    /// count. <= 1, or a policy without shard scoring, runs serially.
+    int shards = 1;
+    /// Worker pool for the sharded path (not owned; must outlive the
+    /// simulator). nullptr = each Run lazily owns one.
+    ThreadPool* pool = nullptr;
   };
 
   explicit JoinSimulator(Options options);

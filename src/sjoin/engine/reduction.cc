@@ -45,8 +45,7 @@ void ReductionJoinPolicy::Reset() {
   reference_history_ = StreamHistory();
 }
 
-std::vector<TupleId> ReductionJoinPolicy::SelectRetained(
-    const PolicyContext& ctx) {
+void ReductionJoinPolicy::PrepareStep(const PolicyContext& ctx) {
   SJOIN_CHECK_EQ(ctx.arrivals->size(), 2u);
   // Identify the arrivals: exactly one R' and one S' tuple.
   const Tuple* r_arrival = nullptr;
@@ -56,31 +55,34 @@ std::vector<TupleId> ReductionJoinPolicy::SelectRetained(
     if (tuple.side == StreamSide::kS) s_arrival = &tuple;
   }
   SJOIN_CHECK(r_arrival != nullptr && s_arrival != nullptr);
+  s_arrival_id_ = s_arrival->id;
 
   auto [ref_value, ref_occurrence] = reduction_->Decode(r_arrival->value);
-  reference_history_.Append(ref_value);
+  (void)ref_occurrence;
+  ref_value_ = ref_value;
+  reference_history_.Append(ref_value_);
 
   // Decode the cached supply tuples: original value -> joining tuple. A
   // reasonable policy keeps at most one supply tuple per original value.
-  std::unordered_map<Value, const Tuple*> cached_by_value;
-  std::vector<Value> cached_values;
-  cached_values.reserve(ctx.cached->size());
+  cached_by_value_.clear();
+  cached_values_.clear();
+  cached_values_.reserve(ctx.cached->size());
   for (const Tuple& tuple : *ctx.cached) {
     SJOIN_CHECK_MSG(tuple.side == StreamSide::kS,
                     "reasonable policy never caches reference tuples");
     auto [v, occurrence] = reduction_->Decode(tuple.value);
     (void)occurrence;
-    SJOIN_CHECK_MSG(cached_by_value.emplace(v, &tuple).second,
+    SJOIN_CHECK_MSG(cached_by_value_.emplace(v, &tuple).second,
                     "multiple supply tuples cached for one value");
-    cached_values.push_back(v);
+    cached_values_.push_back(v);
   }
 
   // A windowed hit additionally requires the cached supply tuple to still
   // be inside the window — the same predicate the engine's Phase-1 probe
   // applies, so Theorem 1's hits == results stays exact under windows.
-  auto cached_it = cached_by_value.find(ref_value);
-  bool hit = cached_it != cached_by_value.end() &&
-             InWindow(*cached_it->second, ctx.now, ctx.window);
+  auto cached_it = cached_by_value_.find(ref_value_);
+  hit_ = cached_it != cached_by_value_.end() &&
+         InWindow(*cached_it->second, ctx.now, ctx.window);
 
   // On a windowed miss the referenced value may still sit in the cache as
   // an expired entry. Expiry is monotone (only a hit refreshes, and an
@@ -88,43 +90,107 @@ std::vector<TupleId> ReductionJoinPolicy::SelectRetained(
   // from the candidate set so the policy sees the referenced value once —
   // as the demand-fetched candidate — never as cached and referenced at
   // the same time.
-  if (!hit && cached_it != cached_by_value.end()) {
-    cached_values.erase(
-        std::find(cached_values.begin(), cached_values.end(), ref_value));
+  dropped_id_ = -1;
+  if (!hit_ && cached_it != cached_by_value_.end()) {
+    dropped_id_ = cached_it->second->id;
+    cached_values_.erase(std::find(cached_values_.begin(),
+                                   cached_values_.end(), ref_value_));
   }
 
-  CachingContext caching_ctx;
-  caching_ctx.now = ctx.now;
-  caching_ctx.capacity = ctx.capacity;
-  caching_ctx.cached = &cached_values;
-  caching_ctx.referenced = ref_value;
-  caching_ctx.hit = hit;
-  caching_ctx.history = &reference_history_;
-  caching_policy_->Observe(caching_ctx);
+  caching_ctx_.now = ctx.now;
+  caching_ctx_.capacity = ctx.capacity;
+  caching_ctx_.cached = &cached_values_;
+  caching_ctx_.referenced = ref_value_;
+  caching_ctx_.hit = hit_;
+  caching_ctx_.history = &reference_history_;
+  caching_policy_->Observe(caching_ctx_);
+}
+
+std::vector<TupleId> ReductionJoinPolicy::SelectRetained(
+    const PolicyContext& ctx) {
+  PrepareStep(ctx);
 
   std::vector<Value> retained_values;
-  if (hit) {
+  if (hit_) {
     // Cache state is unchanged in the caching problem; in the joining
     // problem the dead tuple s_(v,i) is swapped for fresh s_(v,i+1).
-    retained_values = cached_values;
+    retained_values = cached_values_;
   } else {
-    retained_values = caching_policy_->SelectRetained(caching_ctx);
+    retained_values = caching_policy_->SelectRetained(caching_ctx_);
   }
 
   std::vector<TupleId> retained_ids;
   retained_ids.reserve(retained_values.size());
   for (Value v : retained_values) {
-    if (v == ref_value) {
+    if (v == ref_value_) {
       // The freshest supply tuple for the referenced value is the arrival.
-      retained_ids.push_back(s_arrival->id);
+      retained_ids.push_back(s_arrival_id_);
     } else {
-      auto it = cached_by_value.find(v);
-      SJOIN_CHECK_MSG(it != cached_by_value.end(),
+      auto it = cached_by_value_.find(v);
+      SJOIN_CHECK_MSG(it != cached_by_value_.end(),
                       "policy retained a value that is not a candidate");
       retained_ids.push_back(it->second->id);
     }
   }
   return retained_ids;
+}
+
+PolicyShardScoring* ReductionJoinPolicy::shard_scoring() {
+  auto* scored = dynamic_cast<ScoredCachingPolicy*>(caching_policy_);
+  if (scored == nullptr || !scored->ShardScorable() ||
+      scored->has_score_observer()) {
+    return nullptr;
+  }
+  shard_caching_ = scored;
+  return this;
+}
+
+bool ReductionJoinPolicy::ShardBeginStep(const PolicyContext& ctx,
+                                         std::vector<TupleId>* decided) {
+  PrepareStep(ctx);
+  if (!hit_) return true;  // Miss: rank the candidates shard-locally.
+  // Hit: the caching problem keeps its cache verbatim; the joining side
+  // swaps the dead tuple s_(v,i) for the fresh arrival s_(v,i+1). Nothing
+  // is ranked, so the whole step is decided here.
+  decided->clear();
+  decided->reserve(cached_values_.size());
+  for (Value v : cached_values_) {
+    decided->push_back(v == ref_value_ ? s_arrival_id_
+                                       : cached_by_value_.at(v)->id);
+  }
+  return false;
+}
+
+std::optional<ShardKey> ReductionJoinPolicy::ShardScoreCached(
+    const Tuple& tuple, const PolicyContext& ctx, ShardScratch* scratch) {
+  (void)ctx;
+  (void)scratch;
+  // The expired copy of the referenced value was dropped from the
+  // candidate set (see PrepareStep); it must not be retained.
+  if (tuple.id == dropped_id_) return std::nullopt;
+  // Decode is a bounds-checked vector lookup — thread-safe. Cached
+  // candidates are never the referenced value on the miss path, so
+  // is-referenced (the major tie-break) is always 0 here.
+  Value v = reduction_->Decode(tuple.value).first;
+  return ShardKey{shard_caching_->ShardScore(v, caching_ctx_), 0, v};
+}
+
+std::optional<ShardKey> ReductionJoinPolicy::ShardScoreArrival(
+    const Tuple& tuple, const PolicyContext& ctx) {
+  (void)ctx;
+  // Reference tuples are never cached (the "reasonable policy" rule);
+  // the supply arrival carries the demand-fetched referenced value.
+  if (tuple.side == StreamSide::kR) return std::nullopt;
+  return ShardKey{shard_caching_->ShardScore(ref_value_, caching_ctx_), 1,
+                  ref_value_};
+}
+
+void ReductionJoinPolicy::ShardEndStep(const PolicyContext& ctx,
+                                       const std::vector<TupleId>& retained,
+                                       const std::vector<TupleId>& evicted) {
+  (void)ctx;
+  (void)retained;  // SelectRetained has no epilogue to mirror.
+  (void)evicted;
 }
 
 }  // namespace sjoin

@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <map>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "sjoin/common/types.h"
 #include "sjoin/engine/caching_policy.h"
 #include "sjoin/engine/replacement_policy.h"
+#include "sjoin/engine/scored_caching_policy.h"
 #include "sjoin/stochastic/stream_history.h"
 
 /// \file
@@ -66,7 +68,8 @@ class CachingReduction {
 /// whether to refetch. A hit swaps in the fresh supply arrival, so every
 /// hit refreshes the TTL — exactly the joining-side window semantics of
 /// Section 7 carried through the reduction.
-class ReductionJoinPolicy final : public ReplacementPolicy {
+class ReductionJoinPolicy final : public ReplacementPolicy,
+                                  public PolicyShardScoring {
  public:
   /// Neither pointer is owned; both must outlive the policy.
   ReductionJoinPolicy(const CachingReduction* reduction,
@@ -77,12 +80,50 @@ class ReductionJoinPolicy final : public ReplacementPolicy {
 
   std::vector<TupleId> SelectRetained(const PolicyContext& ctx) override;
 
+  /// Sharded execution, available when the caching policy is a
+  /// shard-scorable ScoredCachingPolicy without a score observer. A hit is
+  /// fully decided in ShardBeginStep (cache order is preserved, nothing is
+  /// ranked); on a miss the candidates are scored shard-locally with merge
+  /// keys (score, is-referenced, original value) — exactly the caching
+  /// comparator, so the merged top-k is bit-identical to SelectRetained.
+  PolicyShardScoring* shard_scoring() override;
+  bool ShardBeginStep(const PolicyContext& ctx,
+                      std::vector<TupleId>* decided) override;
+  std::optional<ShardKey> ShardScoreCached(const Tuple& tuple,
+                                           const PolicyContext& ctx,
+                                           ShardScratch* scratch) override;
+  std::optional<ShardKey> ShardScoreArrival(const Tuple& tuple,
+                                            const PolicyContext& ctx) override;
+  void ShardEndStep(const PolicyContext& ctx,
+                    const std::vector<TupleId>& retained,
+                    const std::vector<TupleId>& evicted) override;
+
   const char* name() const override { return "REDUCED"; }
 
  private:
+  /// Shared step prefix of SelectRetained and ShardBeginStep: decodes the
+  /// arrivals and the cached supply tuples, determines hit/miss, drops the
+  /// dead expired copy on a windowed miss, and notifies the caching policy
+  /// — leaving the members below describing the step.
+  void PrepareStep(const PolicyContext& ctx);
+
   const CachingReduction* reduction_;
   CachingPolicy* caching_policy_;
   StreamHistory reference_history_;
+
+  // Step state filled by PrepareStep (reused across steps).
+  std::unordered_map<Value, const Tuple*> cached_by_value_;
+  std::vector<Value> cached_values_;
+  CachingContext caching_ctx_;
+  Value ref_value_ = 0;
+  bool hit_ = false;
+  TupleId s_arrival_id_ = 0;
+  /// Id of the expired cached copy dropped from the candidate set on a
+  /// windowed miss; -1 when none.
+  TupleId dropped_id_ = -1;
+  /// Caching policy when it supports sharded scoring (set by
+  /// shard_scoring()).
+  ScoredCachingPolicy* shard_caching_ = nullptr;
 };
 
 }  // namespace sjoin

@@ -39,4 +39,34 @@ std::vector<TupleId> ScoredPolicy::SelectRetained(const PolicyContext& ctx) {
   return retained;
 }
 
+PolicyShardScoring* ScoredPolicy::shard_scoring() {
+  if (!ShardScorable() || score_observer_) return nullptr;
+  return this;
+}
+
+bool ScoredPolicy::ShardBeginStep(const PolicyContext& ctx,
+                                  std::vector<TupleId>* decided) {
+  (void)decided;
+  BeginStep(ctx);
+  return true;
+}
+
+std::optional<ShardKey> ScoredPolicy::ShardScoreCached(
+    const Tuple& tuple, const PolicyContext& ctx, ShardScratch* scratch) {
+  (void)scratch;
+  return ShardKey{Score(tuple, ctx), tuple.arrival, tuple.id};
+}
+
+std::optional<ShardKey> ScoredPolicy::ShardScoreArrival(
+    const Tuple& tuple, const PolicyContext& ctx) {
+  return ShardKey{Score(tuple, ctx), tuple.arrival, tuple.id};
+}
+
+void ScoredPolicy::ShardEndStep(const PolicyContext& ctx,
+                                const std::vector<TupleId>& retained,
+                                const std::vector<TupleId>& evicted) {
+  (void)evicted;
+  EndStep(ctx, retained);
+}
+
 }  // namespace sjoin

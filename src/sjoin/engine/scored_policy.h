@@ -20,9 +20,22 @@ namespace sjoin {
 /// Keeps the `capacity` highest-scored candidates (cached ∪ arrivals).
 /// Ties are broken in favor of the most recent arrival, then by id, so runs
 /// are deterministic.
-class ScoredPolicy : public ReplacementPolicy {
+///
+/// Score-ranked selection is exactly a global top-k, so it decomposes over
+/// value-domain shards: this base also implements PolicyShardScoring, with
+/// defaults that express a policy whose Score() is read-only between
+/// BeginStep() and EndStep(). Subclasses opt in by overriding
+/// ShardScorable() to return true once their Score() is safe to call
+/// concurrently for distinct cached tuples; stateful subclasses (HEEB's
+/// incremental modes) additionally override the shard hooks they need.
+class ScoredPolicy : public ReplacementPolicy, public PolicyShardScoring {
  public:
   std::vector<TupleId> SelectRetained(const PolicyContext& ctx) final;
+
+  /// Returns this when the subclass opted in via ShardScorable() and no
+  /// score observer is installed (the observer contract — every score, in
+  /// serial step order — is only honored by the serial path).
+  PolicyShardScoring* shard_scoring() final;
 
   /// Verification hook: when set, receives every candidate's score exactly
   /// as SelectRetained computes it. The differential harness uses this to
@@ -33,7 +46,25 @@ class ScoredPolicy : public ReplacementPolicy {
     score_observer_ = std::move(observer);
   }
 
+  // PolicyShardScoring. The defaults delegate to BeginStep/Score/EndStep
+  // and map the merge key to (score, arrival, id) — the serial sort order.
+  bool ShardBeginStep(const PolicyContext& ctx,
+                      std::vector<TupleId>* decided) override;
+  std::optional<ShardKey> ShardScoreCached(const Tuple& tuple,
+                                           const PolicyContext& ctx,
+                                           ShardScratch* scratch) override;
+  std::optional<ShardKey> ShardScoreArrival(const Tuple& tuple,
+                                            const PolicyContext& ctx) override;
+  void ShardEndStep(const PolicyContext& ctx,
+                    const std::vector<TupleId>& retained,
+                    const std::vector<TupleId>& evicted) override;
+
  protected:
+  /// Sharded-execution opt-in: return true when Score() may be called
+  /// concurrently for distinct cached tuples after BeginStep() (or after
+  /// an overridden ShardBeginStep()). Default false: serial fallback.
+  virtual bool ShardScorable() const { return false; }
+
   /// Called once per step before any Score() calls; lets subclasses refresh
   /// per-step state (frequency tables, incremental HEEB values, ...).
   virtual void BeginStep(const PolicyContext& ctx) { (void)ctx; }

@@ -1,0 +1,455 @@
+#include "sjoin/engine/sharded_stream_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sjoin/common/check.h"
+#include "sjoin/common/validate.h"
+
+namespace sjoin {
+
+ShardedStreamEngine::ShardedStreamEngine(StreamTopology topology,
+                                         Options options)
+    : options_(options),
+      serial_(std::move(topology),
+              StreamEngine::Options{options.capacity, options.warmup,
+                                    options.window, nullptr}),
+      partition_(static_cast<std::size_t>(
+          options.shards > 1 ? options.shards : 1)) {
+  SJOIN_CHECK_GE(options_.shards, 1);
+}
+
+void ShardedStreamEngine::SortRun(std::vector<ScoredEntry>& run) {
+  if (run.size() > 64) {
+    std::sort(run.begin(), run.end(),
+              [](const ScoredEntry& a, const ScoredEntry& b) {
+                return ShardKeyBetter(a.key, b.key);
+              });
+    return;
+  }
+  for (std::size_t i = 1; i < run.size(); ++i) {
+    ScoredEntry entry = run[i];
+    std::size_t j = i;
+    while (j > 0 && ShardKeyBetter(entry.key, run[j - 1].key)) {
+      run[j] = run[j - 1];
+      --j;
+    }
+    run[j] = entry;
+  }
+}
+
+int ShardedStreamEngine::DefaultThreads(int shards) {
+  if (shards <= 1) return 1;
+  return std::min(shards, ThreadPool::DefaultThreads());
+}
+
+int ShardedStreamEngine::effective_threads() const {
+  if (options_.shards <= 1) return 1;
+  if (options_.pool != nullptr) return options_.pool->num_threads();
+  return DefaultThreads(options_.shards);
+}
+
+EngineRunResult ShardedStreamEngine::Run(
+    const std::vector<const std::vector<Value>*>& streams,
+    EnginePolicy& policy, const std::vector<StepObserver*>& observers) {
+  // The serial/sharded decision is taken here, once per run: sharding
+  // needs a score-decomposable policy and more than one shard. Either
+  // executor produces bit-identical results.
+  EngineShardScoring* scoring =
+      options_.shards > 1 ? policy.shard_scoring() : nullptr;
+  if (scoring == nullptr) return serial_.Run(streams, policy, observers);
+  return RunSharded(streams, policy, *scoring, observers);
+}
+
+EngineRunResult ShardedStreamEngine::RunSharded(
+    const std::vector<const std::vector<Value>*>& streams,
+    EnginePolicy& policy, EngineShardScoring& scoring,
+    const std::vector<StepObserver*>& observers) {
+  const StreamTopology& topology = serial_.topology();
+  const int n = topology.num_streams();
+  SJOIN_CHECK_EQ(static_cast<int>(streams.size()), n);
+  for (const std::vector<Value>* stream : streams) {
+    SJOIN_CHECK(stream != nullptr);
+  }
+  const Time len = static_cast<Time>(streams[0]->size());
+  for (const std::vector<Value>* stream : streams) {
+    SJOIN_CHECK_EQ(static_cast<Time>(stream->size()), len);
+  }
+  policy.Reset();
+
+  // With a single worker the pool round-trips (task allocation, queue
+  // mutex, wake) buy nothing: run the per-shard tasks inline on this
+  // thread instead. The execution order over shards is the same either
+  // way and tasks only touch their own slot, so results are unchanged.
+  const int threads = effective_threads();
+  if (threads > 1 && options_.pool == nullptr && owned_pool_ == nullptr) {
+    owned_pool_ =
+        std::make_unique<ThreadPool>(DefaultThreads(options_.shards));
+  }
+  ThreadPool* pool = options_.pool != nullptr ? options_.pool
+                     : owned_pool_ != nullptr ? owned_pool_.get()
+                                              : nullptr;
+  std::optional<TaskGroup> group;
+  if (threads > 1 && pool != nullptr) group.emplace(*pool);
+
+  const auto num_shards = static_cast<std::size_t>(options_.shards);
+  const bool use_value_index =
+      !options_.window.has_value() &&
+      options_.capacity >= StreamEngine::kValueIndexMinCapacity;
+
+  slots_.clear();
+  slots_.resize(num_shards);
+  for (ShardSlot& slot : slots_) {
+    slot.cache.reserve(options_.capacity);
+    slot.value_index.assign(static_cast<std::size_t>(n), {});
+    slot.scored.reserve(options_.capacity + static_cast<std::size_t>(n));
+    slot.scratch = scoring.MakeShardScratch();
+  }
+  cache_.clear();
+  cache_.reserve(options_.capacity);
+  new_cache_.reserve(options_.capacity);
+  arrivals_.reserve(static_cast<std::size_t>(n));
+  histories_.assign(static_cast<std::size_t>(n), StreamHistory());
+  arrival_scored_.reserve(static_cast<std::size_t>(n));
+  retained_.reserve(options_.capacity);
+  retained_set_.reserve(options_.capacity + static_cast<std::size_t>(n));
+  // At most num_shards + 1 runs enter the cascade, so it performs at most
+  // num_shards pairwise merges per step.
+  if (merge_tmp_.size() < num_shards) merge_tmp_.resize(num_shards);
+  merge_runs_.reserve(num_shards + 1);
+  next_runs_.reserve(num_shards + 1);
+
+  EngineRunView run_view;
+  run_view.topology = &topology;
+  run_view.capacity = options_.capacity;
+  run_view.warmup = options_.warmup;
+  run_view.window = options_.window;
+  run_view.length = len;
+  for (StepObserver* observer : observers) observer->OnRunBegin(run_view);
+  // An observer that disables sharded scoring during OnRunBegin (e.g. a
+  // ScoreTraceObserver installing a score observer) would invalidate the
+  // decision already taken above; fail loudly instead of racing.
+  SJOIN_CHECK_MSG(policy.shard_scoring() != nullptr,
+                  "an observer disabled sharded scoring after the engine "
+                  "committed to it; run score tracers with shards = 1");
+
+  EngineRunResult result;
+  for (Time t = 0; t < len; ++t) {
+    arrivals_.clear();
+    for (int s = 0; s < n; ++s) {
+      arrivals_.push_back(
+          {StreamTupleIdAt(n, s, t), s,
+           (*streams[static_cast<std::size_t>(s)])
+               [static_cast<std::size_t>(t)],
+           t});
+    }
+    for (int s = 0; s < n; ++s) {
+      histories_[static_cast<std::size_t>(s)].Append(
+          arrivals_[static_cast<std::size_t>(s)].value);
+    }
+
+    EngineContext ctx;
+    ctx.now = t;
+    ctx.capacity = options_.capacity;
+    ctx.cached = &cache_;
+    ctx.arrivals = &arrivals_;
+    ctx.histories = &histories_;
+    ctx.window = options_.window;
+
+    decided_.clear();
+    const bool scored_step = scoring.ShardBeginStep(ctx, &decided_);
+
+    std::int64_t produced = 0;
+    retained_.clear();
+    new_cache_.clear();
+    if (scored_step) {
+      // Fused per-shard task: Phase-1 probes for the arrivals this shard
+      // owns, then merge keys for the shard's cached tuples, then the
+      // shard-local sort. Each task touches only its own slot (plus
+      // read-only step state), so the reduction over slot counters after
+      // the barrier needs no locks.
+      const auto shard_task = [this, &ctx, &scoring, &topology,
+                               use_value_index, t](std::size_t shard) {
+        ShardSlot& slot = slots_[shard];
+        slot.produced = 0;
+        slot.scored.clear();
+        slot.dropped.clear();
+        for (const StreamTuple& arrival : arrivals_) {
+          if (ShardOf(arrival.value) != shard) continue;
+          if (use_value_index) {
+            for (int partner : topology.PartnersOf(arrival.stream)) {
+              const auto& index =
+                  slot.value_index[static_cast<std::size_t>(partner)];
+              auto it = index.find(arrival.value);
+              if (it != index.end()) slot.produced += it->second;
+            }
+          } else {
+            for (const StreamTuple& cached : slot.cache) {
+              if (!InWindow(cached, t, ctx.window)) continue;
+              if (cached.value != arrival.value) continue;
+              if (topology.Joins(cached.stream, arrival.stream)) {
+                ++slot.produced;
+              }
+            }
+          }
+        }
+        for (const StreamTuple& cached : slot.cache) {
+          std::optional<ShardKey> key =
+              scoring.ShardScoreCached(cached, ctx, slot.scratch.get());
+          if (key.has_value()) {
+            slot.scored.push_back({*key, cached});
+          } else {
+            slot.dropped.push_back(cached);
+          }
+        }
+        SortRun(slot.scored);
+      };
+      if (group.has_value()) {
+        for (std::size_t shard = 0; shard < num_shards; ++shard) {
+          group->Run([&shard_task, shard] { shard_task(shard); });
+        }
+        group->Wait();
+      } else {
+        for (std::size_t shard = 0; shard < num_shards; ++shard) {
+          shard_task(shard);
+        }
+      }
+      for (const ShardSlot& slot : slots_) produced += slot.produced;
+
+      // Arrivals are scored serially, in arrival order: policies may
+      // mutate state here (HEEB inserts incremental entries).
+      arrival_scored_.clear();
+      for (const StreamTuple& arrival : arrivals_) {
+        std::optional<ShardKey> key = scoring.ShardScoreArrival(arrival, ctx);
+        if (key.has_value()) arrival_scored_.push_back({*key, arrival});
+      }
+      SortRun(arrival_scored_);
+
+      // Global merge of the shard runs plus the arrival run: a balanced
+      // cascade of pairwise std::merge calls, ~log2(shards + 1) levels of
+      // tight two-way merges instead of a (shards + 1)-wide head scan per
+      // pop. std::merge is stable and the keys form a strict total order
+      // (unique minors), so the merged sequence is exactly the serial
+      // engine's sorted candidate order — same retained prefix, same
+      // cache order.
+      merge_runs_.clear();
+      for (ShardSlot& slot : slots_) {
+        if (!slot.scored.empty()) merge_runs_.push_back(&slot.scored);
+      }
+      if (!arrival_scored_.empty()) merge_runs_.push_back(&arrival_scored_);
+      std::size_t tmp_used = 0;
+      while (merge_runs_.size() > 1) {
+        next_runs_.clear();
+        for (std::size_t i = 0; i + 1 < merge_runs_.size(); i += 2) {
+          const std::vector<ScoredEntry>& a = *merge_runs_[i];
+          const std::vector<ScoredEntry>& b = *merge_runs_[i + 1];
+          // merge_tmp_ was pre-sized to num_shards at run setup, so taking
+          // the next scratch vector never reallocates the pool (pointers
+          // in merge_runs_ stay valid).
+          std::vector<ScoredEntry>& out = merge_tmp_[tmp_used++];
+          out.clear();
+          out.reserve(a.size() + b.size());
+          std::merge(a.begin(), a.end(), b.begin(), b.end(),
+                     std::back_inserter(out),
+                     [](const ScoredEntry& x, const ScoredEntry& y) {
+                       return ShardKeyBetter(x.key, y.key);
+                     });
+          next_runs_.push_back(&out);
+        }
+        if (merge_runs_.size() % 2 == 1) {
+          next_runs_.push_back(merge_runs_.back());
+        }
+        merge_runs_.swap(next_runs_);
+      }
+      const std::vector<ScoredEntry>& merged =
+          merge_runs_.empty() ? arrival_scored_ : *merge_runs_.front();
+
+      // Commit. The merged prefix is the retained set and the suffix is
+      // the eviction list — no retained-set hashing anywhere. A candidate
+      // is an arrival iff its arrival stamp is this step (cached tuples
+      // were admitted strictly earlier), which is what decides the index
+      // delta direction. Rebuilding every shard cache from the retained
+      // prefix keeps slots in globally sorted order — that is what makes
+      // next step's runs nearly sorted for SortRun.
+      evicted_.clear();
+      const std::size_t keep = std::min(options_.capacity, merged.size());
+      for (std::size_t i = 0; i < keep; ++i) {
+        const StreamTuple& tuple = merged[i].tuple;
+        retained_.push_back(tuple.id);
+        new_cache_.push_back(tuple);
+        if (use_value_index && tuple.arrival == t) {
+          ++slots_[ShardOf(tuple.value)]
+                .value_index[static_cast<std::size_t>(tuple.stream)]
+                            [tuple.value];
+        }
+      }
+      const auto evict = [this, use_value_index, t](const StreamTuple& tuple) {
+        evicted_.push_back(tuple.id);
+        if (!use_value_index || tuple.arrival == t) return;  // Never indexed.
+        ShardSlot& slot = slots_[ShardOf(tuple.value)];
+        auto& index =
+            slot.value_index[static_cast<std::size_t>(tuple.stream)];
+        auto it = index.find(tuple.value);
+        if (--it->second == 0) index.erase(it);
+      };
+      for (std::size_t i = keep; i < merged.size(); ++i) {
+        evict(merged[i].tuple);
+      }
+      for (ShardSlot& slot : slots_) {
+        for (const StreamTuple& tuple : slot.dropped) evict(tuple);
+      }
+      // Arrivals the policy scored as nullopt were never retention
+      // candidates, but they still belong to candidates \ retained.
+      if (arrival_scored_.size() < arrivals_.size()) {
+        for (const StreamTuple& arrival : arrivals_) {
+          bool scored = false;
+          for (const ScoredEntry& entry : arrival_scored_) {
+            if (entry.tuple.id == arrival.id) {
+              scored = true;
+              break;
+            }
+          }
+          if (!scored) evicted_.push_back(arrival.id);
+        }
+      }
+      for (ShardSlot& slot : slots_) slot.cache.clear();
+      for (const StreamTuple& tuple : new_cache_) {
+        slots_[ShardOf(tuple.value)].cache.push_back(tuple);
+      }
+    } else {
+      // Decided step (e.g. the reduction's cache-hit fast path): nothing
+      // is scored; probe inline over the shard structures and validate the
+      // decided ids the way the serial engine validates SelectRetained.
+      for (const StreamTuple& arrival : arrivals_) {
+        const ShardSlot& slot = slots_[ShardOf(arrival.value)];
+        if (use_value_index) {
+          for (int partner : topology.PartnersOf(arrival.stream)) {
+            const auto& index =
+                slot.value_index[static_cast<std::size_t>(partner)];
+            auto it = index.find(arrival.value);
+            if (it != index.end()) produced += it->second;
+          }
+        } else {
+          for (const StreamTuple& cached : slot.cache) {
+            if (!InWindow(cached, t, options_.window)) continue;
+            if (cached.value != arrival.value) continue;
+            if (topology.Joins(cached.stream, arrival.stream)) ++produced;
+          }
+        }
+      }
+      SJOIN_CHECK_LE(decided_.size(), options_.capacity);
+      candidates_.clear();
+      for (const StreamTuple& tuple : cache_) {
+        candidates_.emplace(tuple.id, tuple);
+      }
+      for (const StreamTuple& tuple : arrivals_) {
+        candidates_.emplace(tuple.id, tuple);
+      }
+      retained_set_.clear();
+      for (TupleId id : decided_) {
+        auto it = candidates_.find(id);
+        SJOIN_CHECK_MSG(it != candidates_.end(),
+                        "policy decided a tuple that is not a candidate");
+        SJOIN_CHECK_MSG(retained_set_.insert(id).second,
+                        "policy decided the same tuple twice");
+        retained_.push_back(id);
+        new_cache_.push_back(it->second);
+      }
+
+      // Commit for a decided step: incremental swap-remove against the
+      // retained set (decided steps retain almost everything, so a full
+      // rebuild would be wasted work).
+      retained_set_.clear();
+      for (TupleId id : retained_) retained_set_.insert(id);
+      evicted_.clear();
+      for (ShardSlot& slot : slots_) {
+        for (std::size_t i = 0; i < slot.cache.size();) {
+          const StreamTuple& tuple = slot.cache[i];
+          if (retained_set_.contains(tuple.id)) {
+            ++i;
+            continue;
+          }
+          evicted_.push_back(tuple.id);
+          if (use_value_index) {
+            auto& index =
+                slot.value_index[static_cast<std::size_t>(tuple.stream)];
+            auto it = index.find(tuple.value);
+            if (--it->second == 0) index.erase(it);
+          }
+          slot.cache[i] = slot.cache.back();
+          slot.cache.pop_back();
+        }
+      }
+      for (const StreamTuple& arrival : arrivals_) {
+        if (!retained_set_.contains(arrival.id)) {
+          evicted_.push_back(arrival.id);
+          continue;
+        }
+        ShardSlot& slot = slots_[ShardOf(arrival.value)];
+        slot.cache.push_back(arrival);
+        if (use_value_index) {
+          ++slot.value_index[static_cast<std::size_t>(arrival.stream)]
+                            [arrival.value];
+        }
+      }
+    }
+
+    result.total_results += produced;
+    const bool counted = t >= options_.warmup;
+    if (counted) result.counted_results += produced;
+    // Cache and arrival ids never collide (arrival ids are minted this
+    // step), so the candidate-set size is just the sum.
+    const std::size_t num_candidates = cache_.size() + arrivals_.size();
+    cache_.swap(new_cache_);
+
+    scoring.ShardEndStep(ctx, retained_, evicted_);
+
+    if constexpr (kValidationEnabled) {
+      SJOIN_VALIDATE(cache_.size() <= options_.capacity);
+      // The shard caches must partition the global cache by value shard,
+      // and each shard index must match a from-scratch recount.
+      std::size_t sharded_total = 0;
+      for (std::size_t shard = 0; shard < num_shards; ++shard) {
+        const ShardSlot& slot = slots_[shard];
+        sharded_total += slot.cache.size();
+        std::vector<std::unordered_map<Value, std::int64_t>> recount(
+            static_cast<std::size_t>(n));
+        for (const StreamTuple& tuple : slot.cache) {
+          SJOIN_VALIDATE_MSG(ShardOf(tuple.value) == shard,
+                             "cached tuple stored in the wrong shard");
+          ++recount[static_cast<std::size_t>(tuple.stream)][tuple.value];
+        }
+        if (use_value_index) {
+          SJOIN_VALIDATE_MSG(recount == slot.value_index,
+                             "shard value index out of sync with its cache");
+        }
+      }
+      SJOIN_VALIDATE_MSG(sharded_total == cache_.size(),
+                         "shard caches out of sync with the merged cache");
+      for (const StreamTuple& tuple : cache_) {
+        const std::vector<StreamTuple>& shard_cache =
+            slots_[ShardOf(tuple.value)].cache;
+        SJOIN_VALIDATE_MSG(
+            std::any_of(shard_cache.begin(), shard_cache.end(),
+                        [&tuple](const StreamTuple& other) {
+                          return other.id == tuple.id;
+                        }),
+            "merged cache tuple missing from its shard");
+      }
+    }
+
+    EngineStepView step_view;
+    step_view.now = t;
+    step_view.produced = produced;
+    step_view.counted = counted;
+    step_view.num_candidates = num_candidates;
+    step_view.cache = &cache_;
+    step_view.arrivals = &arrivals_;
+    step_view.retained = &retained_;
+    for (StepObserver* observer : observers) observer->OnStep(step_view);
+  }
+  for (StepObserver* observer : observers) observer->OnRunEnd(run_view);
+  return result;
+}
+
+}  // namespace sjoin

@@ -1,0 +1,149 @@
+#ifndef SJOIN_ENGINE_SHARDED_STREAM_ENGINE_H_
+#define SJOIN_ENGINE_SHARDED_STREAM_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sjoin/common/thread_pool.h"
+#include "sjoin/common/types.h"
+#include "sjoin/engine/partition_map.h"
+#include "sjoin/engine/replacement_policy.h"
+#include "sjoin/engine/step_observer.h"
+#include "sjoin/engine/stream_engine.h"
+#include "sjoin/engine/stream_tuple.h"
+#include "sjoin/stochastic/stream_history.h"
+
+/// \file
+/// Intra-run value-domain parallelism over the StreamEngine step loop.
+///
+/// Equijoins only match equal values, so hashing the value domain onto N
+/// shards splits both Phase 1 and the scoring half of Phase 2 into
+/// independent per-shard work: an arrival probes exactly the shard its
+/// value maps to, and a score-decomposable policy (EngineShardScoring)
+/// ranks each shard's cached tuples locally. A deterministic merge of the
+/// per-shard sorted runs plus the (serially scored) arrivals then selects
+/// the global top-k. Because the merge comparator is the policy's own
+/// strict total order, the merged prefix equals the serial engine's sorted
+/// prefix — retained sets, result counts, telemetry and observer views are
+/// bit-identical to StreamEngine for any shard count.
+///
+/// Policies that cannot decompose (shard_scoring() == nullptr) or runs
+/// with shards <= 1 fall back to a plain StreamEngine behind the same API.
+
+namespace sjoin {
+
+/// StreamEngine with a sharded step loop. Same Run contract as
+/// StreamEngine: cheap to Run repeatedly, not concurrently.
+class ShardedStreamEngine {
+ public:
+  struct Options {
+    /// Cache capacity k.
+    std::size_t capacity = 10;
+    /// Results produced before this time are not counted.
+    Time warmup = 0;
+    /// Sliding-window length (Section 7); nullopt = regular join.
+    std::optional<Time> window;
+    /// Value-domain shards. <= 1 runs the serial StreamEngine.
+    int shards = 1;
+    /// Worker pool for the per-shard tasks (not owned; must outlive the
+    /// engine). nullptr = the engine lazily owns a pool of
+    /// min(shards, ThreadPool::DefaultThreads()) threads.
+    ThreadPool* pool = nullptr;
+  };
+
+  ShardedStreamEngine(StreamTopology topology, Options options);
+
+  /// Same contract and observer protocol as StreamEngine::Run. Whether the
+  /// run executes sharded is decided here, once, from
+  /// `policy.shard_scoring()`; a serial run delegates to an internal
+  /// StreamEngine outright (identical results either way).
+  EngineRunResult Run(const std::vector<const std::vector<Value>*>& streams,
+                      EnginePolicy& policy,
+                      const std::vector<StepObserver*>& observers = {});
+
+  const StreamTopology& topology() const { return serial_.topology(); }
+  const Options& options() const { return options_; }
+
+  /// Threads the sharded path runs on: the configured pool's size, or what
+  /// a lazily owned pool would get. 1 when shards <= 1.
+  int effective_threads() const;
+
+  /// effective_threads() of a default-constructed engine at `shards`,
+  /// without building one (for benchmark metadata).
+  static int DefaultThreads(int shards);
+
+ private:
+  /// A retention candidate paired with its policy merge key.
+  struct ScoredEntry {
+    ShardKey key;
+    StreamTuple tuple;
+  };
+
+  /// One value-domain shard: the slice of the cache whose values hash
+  /// here, its Phase-1 index, and this step's scored run. Cache-line
+  /// aligned so per-shard writes from different workers never false-share.
+  struct alignas(64) ShardSlot {
+    std::vector<StreamTuple> cache;
+    /// Value -> cached-tuple count, per stream; engaged under the same
+    /// criteria as the serial engine's index.
+    std::vector<std::unordered_map<Value, std::int64_t>> value_index;
+    /// This step's (merge key, tuple) run, sorted best-first.
+    std::vector<ScoredEntry> scored;
+    /// Cached tuples the policy scored as nullopt this step (e.g. the
+    /// reduction's dead copy): evicted unconditionally, tracked only for
+    /// the index decrement.
+    std::vector<StreamTuple> dropped;
+    std::unique_ptr<ShardScratch> scratch;
+    /// Phase-1 results produced by this shard's probes this step.
+    std::int64_t produced = 0;
+  };
+
+  EngineRunResult RunSharded(
+      const std::vector<const std::vector<Value>*>& streams,
+      EnginePolicy& policy, EngineShardScoring& scoring,
+      const std::vector<StepObserver*>& observers);
+
+  /// Sorts a scored run best-first. Shard runs enter nearly sorted (the
+  /// commit rebuilds shard caches in merged order, and score advancement
+  /// rarely reorders neighbours), so small runs use insertion sort;
+  /// larger runs take introsort. Any comparison sort yields the same
+  /// unique order — the keys are a strict total order.
+  static void SortRun(std::vector<ScoredEntry>& run);
+
+  std::size_t ShardOf(Value value) const {
+    return partition_.PartitionOf(value);
+  }
+
+  Options options_;
+  /// Serial engine: fallback executor and the topology/option holder.
+  StreamEngine serial_;
+  HashPartition partition_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+
+  // Sharded-run state, hoisted so the steady state allocates nothing.
+  std::vector<ShardSlot> slots_;
+  std::vector<StreamTuple> cache_;  // Global cache, merged (serial) order.
+  std::vector<StreamTuple> new_cache_;
+  std::vector<StreamTuple> arrivals_;
+  std::vector<StreamHistory> histories_;
+  std::vector<ScoredEntry> arrival_scored_;
+  std::vector<TupleId> decided_;
+  std::vector<TupleId> retained_;
+  std::vector<TupleId> evicted_;  // candidates \ retained, per step.
+  // Merge-cascade state: the current level's sorted runs, the next
+  // level's, and the reused scratch vectors the pairwise merges write
+  // into (pre-sized to the shard count so pointers into it stay stable).
+  std::vector<const std::vector<ScoredEntry>*> merge_runs_;
+  std::vector<const std::vector<ScoredEntry>*> next_runs_;
+  std::vector<std::vector<ScoredEntry>> merge_tmp_;
+  std::unordered_map<TupleId, StreamTuple> candidates_;
+  std::unordered_set<TupleId> retained_set_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_ENGINE_SHARDED_STREAM_ENGINE_H_

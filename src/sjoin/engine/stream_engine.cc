@@ -6,13 +6,6 @@
 #include "sjoin/common/validate.h"
 
 namespace sjoin {
-namespace {
-
-/// Below this capacity the Phase-1 linear probe beats the hash index (two
-/// comparisons per cached tuple vs. hash lookups plus index upkeep).
-constexpr std::size_t kValueIndexMinCapacity = 32;
-
-}  // namespace
 
 StreamTopology::StreamTopology(int num_streams,
                                std::vector<std::pair<int, int>> join_edges)
@@ -237,8 +230,7 @@ EngineRunResult StreamEngine::Run(
 
 void BinaryPolicyAdapter::Reset() { policy_->Reset(); }
 
-std::vector<TupleId> BinaryPolicyAdapter::SelectRetained(
-    const EngineContext& ctx) {
+void BinaryPolicyAdapter::BuildBinaryContext(const EngineContext& ctx) {
   cached_.clear();
   arrivals_.clear();
   for (const StreamTuple& tuple : *ctx.cached) {
@@ -249,15 +241,58 @@ std::vector<TupleId> BinaryPolicyAdapter::SelectRetained(
     arrivals_.push_back({tuple.id, static_cast<StreamSide>(tuple.stream),
                          tuple.value, tuple.arrival});
   }
-  PolicyContext binary;
-  binary.now = ctx.now;
-  binary.capacity = ctx.capacity;
-  binary.cached = &cached_;
-  binary.arrivals = &arrivals_;
-  binary.history_r = &(*ctx.histories)[0];
-  binary.history_s = &(*ctx.histories)[1];
-  binary.window = ctx.window;
-  return policy_->SelectRetained(binary);
+  binary_ctx_.now = ctx.now;
+  binary_ctx_.capacity = ctx.capacity;
+  binary_ctx_.cached = &cached_;
+  binary_ctx_.arrivals = &arrivals_;
+  binary_ctx_.history_r = &(*ctx.histories)[0];
+  binary_ctx_.history_s = &(*ctx.histories)[1];
+  binary_ctx_.window = ctx.window;
+}
+
+std::vector<TupleId> BinaryPolicyAdapter::SelectRetained(
+    const EngineContext& ctx) {
+  BuildBinaryContext(ctx);
+  return policy_->SelectRetained(binary_ctx_);
+}
+
+EngineShardScoring* BinaryPolicyAdapter::shard_scoring() {
+  binary_shard_ = policy_->shard_scoring();
+  return binary_shard_ != nullptr ? this : nullptr;
+}
+
+bool BinaryPolicyAdapter::ShardBeginStep(const EngineContext& ctx,
+                                         std::vector<TupleId>* decided) {
+  BuildBinaryContext(ctx);
+  return binary_shard_->ShardBeginStep(binary_ctx_, decided);
+}
+
+std::unique_ptr<ShardScratch> BinaryPolicyAdapter::MakeShardScratch() {
+  return binary_shard_->MakeShardScratch();
+}
+
+std::optional<ShardKey> BinaryPolicyAdapter::ShardScoreCached(
+    const StreamTuple& tuple, const EngineContext& ctx,
+    ShardScratch* scratch) {
+  (void)ctx;  // binary_ctx_ carries the step context.
+  Tuple binary{tuple.id, static_cast<StreamSide>(tuple.stream), tuple.value,
+               tuple.arrival};
+  return binary_shard_->ShardScoreCached(binary, binary_ctx_, scratch);
+}
+
+std::optional<ShardKey> BinaryPolicyAdapter::ShardScoreArrival(
+    const StreamTuple& tuple, const EngineContext& ctx) {
+  (void)ctx;
+  Tuple binary{tuple.id, static_cast<StreamSide>(tuple.stream), tuple.value,
+               tuple.arrival};
+  return binary_shard_->ShardScoreArrival(binary, binary_ctx_);
+}
+
+void BinaryPolicyAdapter::ShardEndStep(const EngineContext& ctx,
+                                       const std::vector<TupleId>& retained,
+                                       const std::vector<TupleId>& evicted) {
+  (void)ctx;
+  binary_shard_->ShardEndStep(binary_ctx_, retained, evicted);
 }
 
 }  // namespace sjoin

@@ -2,6 +2,7 @@
 #define SJOIN_ENGINE_STREAM_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -78,6 +79,43 @@ struct EngineContext {
   std::optional<Time> window;
 };
 
+/// Engine-level mirror of PolicyShardScoring (replacement_policy.h): the
+/// per-step protocol ShardedStreamEngine drives instead of SelectRetained.
+/// Same four phases, same ShardKey merge-order contract — see the binary
+/// interface for the full documentation; only the tuple type differs.
+class EngineShardScoring {
+ public:
+  virtual ~EngineShardScoring() = default;
+
+  /// Serial step prologue. Returns false when the step is fully decided
+  /// (`*decided` then holds the retained ids and no scoring happens).
+  virtual bool ShardBeginStep(const EngineContext& ctx,
+                              std::vector<TupleId>* decided) = 0;
+
+  /// Per-shard scratch factory; nullptr when no scratch is needed.
+  virtual std::unique_ptr<ShardScratch> MakeShardScratch() {
+    return nullptr;
+  }
+
+  /// Thread-safe merge key for a cached tuple; nullopt excludes it.
+  virtual std::optional<ShardKey> ShardScoreCached(
+      const StreamTuple& tuple, const EngineContext& ctx,
+      ShardScratch* scratch) = 0;
+
+  /// Serial (post-barrier, arrival-order) key for an arrival.
+  virtual std::optional<ShardKey> ShardScoreArrival(
+      const StreamTuple& tuple, const EngineContext& ctx) = 0;
+
+  /// Serial step epilogue with the merged retained set and its complement:
+  /// `evicted` holds every candidate id (cached or arrival) that was NOT
+  /// retained. The sharded engine gets this list for free from the merge
+  /// leftovers, so policies can drop per-tuple state in O(evicted) instead
+  /// of re-deriving the complement with an O(cache) retained-set walk.
+  virtual void ShardEndStep(const EngineContext& ctx,
+                            const std::vector<TupleId>& retained,
+                            const std::vector<TupleId>& evicted) = 0;
+};
+
 /// Replacement policy for the engine: the single decision interface every
 /// simulator now funnels into. Binary ReplacementPolicy implementations
 /// attach through BinaryPolicyAdapter; CachingPolicy implementations
@@ -89,6 +127,9 @@ class EnginePolicy {
   virtual void Reset() {}
   /// Subset of cached ∪ arrivals ids, size <= capacity.
   virtual std::vector<TupleId> SelectRetained(const EngineContext& ctx) = 0;
+  /// Non-null iff the policy can run sharded; queried by
+  /// ShardedStreamEngine once per Run, at entry. Default: serial only.
+  virtual EngineShardScoring* shard_scoring() { return nullptr; }
   virtual const char* name() const = 0;
 };
 
@@ -116,6 +157,12 @@ class StreamEngine {
     /// yields identical results; partitions only shape the index layout.
     const PartitionMap* partitions = nullptr;
   };
+
+  /// Below this capacity the Phase-1 linear probe beats the hash index
+  /// (two comparisons per cached tuple vs. hash lookups plus index
+  /// upkeep). The serial and sharded engines engage the value index under
+  /// the same criteria.
+  static constexpr std::size_t kValueIndexMinCapacity = 32;
 
   StreamEngine(StreamTopology topology, Options options);
 
@@ -154,7 +201,8 @@ class StreamEngine {
 /// two-stream topologies: stream 0 plays R, stream 1 plays S, and ids pass
 /// through unchanged (StreamTupleIdAt(2, s, t) == TupleIdAt(side, t)), so
 /// the policy's view is bit-identical to the pre-engine JoinSimulator's.
-class BinaryPolicyAdapter final : public EnginePolicy {
+class BinaryPolicyAdapter final : public EnginePolicy,
+                                  public EngineShardScoring {
  public:
   /// `policy` is not owned and must outlive the adapter.
   explicit BinaryPolicyAdapter(ReplacementPolicy* policy)
@@ -164,12 +212,36 @@ class BinaryPolicyAdapter final : public EnginePolicy {
   std::vector<TupleId> SelectRetained(const EngineContext& ctx) override;
   const char* name() const override { return policy_->name(); }
 
+  /// Sharded when the wrapped binary policy is: ShardBeginStep builds the
+  /// Tuple mirrors (stable through the step), the per-tuple calls convert
+  /// StreamTuple -> Tuple on the stack and delegate.
+  EngineShardScoring* shard_scoring() override;
+  bool ShardBeginStep(const EngineContext& ctx,
+                      std::vector<TupleId>* decided) override;
+  std::unique_ptr<ShardScratch> MakeShardScratch() override;
+  std::optional<ShardKey> ShardScoreCached(const StreamTuple& tuple,
+                                           const EngineContext& ctx,
+                                           ShardScratch* scratch) override;
+  std::optional<ShardKey> ShardScoreArrival(
+      const StreamTuple& tuple, const EngineContext& ctx) override;
+  void ShardEndStep(const EngineContext& ctx,
+                    const std::vector<TupleId>& retained,
+                    const std::vector<TupleId>& evicted) override;
+
  private:
+  /// Rebuilds cached_/arrivals_/binary_ctx_ from the engine context.
+  void BuildBinaryContext(const EngineContext& ctx);
+
   ReplacementPolicy* policy_;
   // Mirrors of the engine's cache/arrivals in binary Tuple form, reused
   // across steps.
   std::vector<Tuple> cached_;
   std::vector<Tuple> arrivals_;
+  /// Points into cached_/arrivals_; stable for the duration of one step of
+  /// the sharded protocol (rebuilt by ShardBeginStep).
+  PolicyContext binary_ctx_;
+  /// Wrapped policy's shard interface; set by shard_scoring().
+  PolicyShardScoring* binary_shard_ = nullptr;
 };
 
 }  // namespace sjoin

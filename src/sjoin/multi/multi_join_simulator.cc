@@ -1,6 +1,7 @@
 #include "sjoin/multi/multi_join_simulator.h"
 
 #include "sjoin/common/check.h"
+#include "sjoin/engine/sharded_stream_engine.h"
 
 namespace sjoin {
 
@@ -9,6 +10,7 @@ MultiJoinSimulator::MultiJoinSimulator(
     Options options)
     : topology_(num_streams, std::move(join_edges)), options_(options) {
   SJOIN_CHECK_GE(options_.capacity, 1u);
+  SJOIN_CHECK_GE(options_.shards, 1);
 }
 
 MultiJoinRunResult MultiJoinSimulator::Run(
@@ -22,9 +24,11 @@ MultiJoinRunResult MultiJoinSimulator::Run(
     stream_ptrs.push_back(&stream);
   }
 
-  StreamEngine engine(topology_, {.capacity = options_.capacity,
-                                  .warmup = options_.warmup,
-                                  .window = options_.window});
+  ShardedStreamEngine engine(topology_, {.capacity = options_.capacity,
+                                         .warmup = options_.warmup,
+                                         .window = options_.window,
+                                         .shards = options_.shards,
+                                         .pool = options_.pool});
   PerfObserver perf;
   EngineRunResult run = engine.Run(stream_ptrs, policy, {&perf});
 

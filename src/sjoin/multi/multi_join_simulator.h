@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "sjoin/common/thread_pool.h"
 #include "sjoin/common/types.h"
 #include "sjoin/engine/step_observer.h"
 #include "sjoin/engine/stream_engine.h"
@@ -61,6 +62,13 @@ class MultiJoinSimulator {
     std::size_t capacity = 10;
     Time warmup = 0;
     std::optional<Time> window;
+    /// Value-domain shards for intra-run parallelism
+    /// (engine/sharded_stream_engine.h); results are bit-identical for any
+    /// count. <= 1, or a policy without shard scoring, runs serially.
+    int shards = 1;
+    /// Worker pool for the sharded path (not owned; must outlive the
+    /// simulator). nullptr = each Run lazily owns one.
+    ThreadPool* pool = nullptr;
   };
 
   /// `join_edges` lists unordered stream pairs (i != j) that equijoin.

@@ -30,6 +30,9 @@ class LfuCachingPolicy final : public ScoredCachingPolicy {
 
   const char* name() const override { return "LFU"; }
 
+  /// Observe mutates; Score is a read-only frequency lookup.
+  bool ShardScorable() const override { return true; }
+
  protected:
   double Score(Value v, const CachingContext& ctx) override {
     (void)ctx;
@@ -49,6 +52,9 @@ class PerfectLfuCachingPolicy final : public ScoredCachingPolicy {
   explicit PerfectLfuCachingPolicy(const std::vector<Value>& full_sequence);
 
   const char* name() const override { return "PROB(LFU)"; }
+
+  /// The frequency table is frozen at construction; Score is read-only.
+  bool ShardScorable() const override { return true; }
 
  protected:
   double Score(Value v, const CachingContext& ctx) override {

@@ -30,6 +30,9 @@ class ProbPolicy final : public ScoredPolicy {
   const char* name() const override { return "PROB"; }
 
  protected:
+  /// BeginStep folds the new observations; Score is then a read-only
+  /// frequency lookup, safe to run from parallel shards.
+  bool ShardScorable() const override { return true; }
   void BeginStep(const PolicyContext& ctx) override;
   double Score(const Tuple& tuple, const PolicyContext& ctx) override;
 

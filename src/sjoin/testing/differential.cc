@@ -20,6 +20,7 @@
 #include "sjoin/engine/reduction.h"
 #include "sjoin/engine/scored_caching_policy.h"
 #include "sjoin/engine/scored_policy.h"
+#include "sjoin/engine/sharded_stream_engine.h"
 #include "sjoin/engine/stream_engine.h"
 #include "sjoin/engine/tuple.h"
 #include "sjoin/flow/min_cost_flow.h"
@@ -97,12 +98,27 @@ std::optional<std::string> ExpectEqualRuns(const std::string& context,
   return std::nullopt;
 }
 
+/// SJOIN_DIFF_SHARDS=<n> (n > 1) reruns every optimized engine run in the
+/// suites sharded at n shards. Sharding is bit-identical by contract, so
+/// all existing oracles must keep passing unchanged — this turns each of
+/// the 1000-trial suites into a sharding differential for free. Returns 0
+/// when unset or <= 1 (serial).
+int DiffShards() {
+  static const int shards = [] {
+    const char* env = std::getenv("SJOIN_DIFF_SHARDS");
+    if (env == nullptr) return 0;
+    int parsed = std::atoi(env);
+    return parsed > 1 ? parsed : 0;
+  }();
+  return shards;
+}
+
 /// Runs the optimized joining side of a trial. By default this goes
 /// through the JoinSimulator façade; with SJOIN_DIFF_ENGINE=direct it
-/// constructs the StreamEngine + BinaryPolicyAdapter + observer chain by
+/// constructs the engine + BinaryPolicyAdapter + observer chain by
 /// hand instead, so CI exercises both entry paths against the same
 /// oracles (the two must be indistinguishable — the façade adds nothing
-/// but plumbing).
+/// but plumbing). SJOIN_DIFF_SHARDS applies to both paths.
 JoinRunResult RunOptimizedJoin(const JoinSimulator::Options& options,
                                const std::vector<Value>& r,
                                const std::vector<Value>& s,
@@ -111,12 +127,18 @@ JoinRunResult RunOptimizedJoin(const JoinSimulator::Options& options,
     const char* env = std::getenv("SJOIN_DIFF_ENGINE");
     return env != nullptr && std::string_view(env) == "direct";
   }();
-  if (!direct) return JoinSimulator(options).Run(r, s, policy);
+  JoinSimulator::Options run_options = options;
+  if (DiffShards() > 0) run_options.shards = DiffShards();
+  if (!direct) return JoinSimulator(run_options).Run(r, s, policy);
 
-  StreamEngine engine(StreamTopology::Binary(),
-                      {.capacity = options.capacity,
-                       .warmup = options.warmup,
-                       .window = options.window});
+  // ShardedStreamEngine with shards = 1 delegates to a plain serial
+  // StreamEngine internally, so the historical direct-path semantics are
+  // preserved when SJOIN_DIFF_SHARDS is unset.
+  ShardedStreamEngine engine(StreamTopology::Binary(),
+                             {.capacity = run_options.capacity,
+                              .warmup = run_options.warmup,
+                              .window = run_options.window,
+                              .shards = run_options.shards});
   BinaryPolicyAdapter adapter(&policy);
   JoinRunResult result;
   PerfObserver perf;
@@ -898,6 +920,10 @@ std::optional<std::string> ReductionTrial(std::uint64_t seed) {
   cache_options.capacity = scenario.capacity;
   cache_options.warmup = scenario.warmup;
   cache_options.window = scenario.window;
+  // Under SJOIN_DIFF_SHARDS the engine-backed side runs sharded while the
+  // naive loop stays serial — every comparison below then doubles as a
+  // sharding bit-identity check on the reduction path.
+  if (DiffShards() > 0) cache_options.shards = DiffShards();
   CacheSimulator cache_sim(cache_options);
   CacheRunResult cached = cache_sim.Run(references, *policy);
   std::string context = scenario.description + " policy=" + policy->name();
@@ -986,6 +1012,197 @@ std::optional<std::string> ReductionTrial(std::uint64_t seed) {
                                      incremental, "kTimeIncremental", 1e-3);
 }
 
+// ---------------------------------------------------------------------------
+// Suite 8: sharded_engine — ShardedStreamEngine at shard counts {1, 2, 4, 8}
+// against the serial StreamEngine on the same realization and policy,
+// bit for bit: per-step retained ids (in policy order), post-step cache
+// contents, produced counts, candidate-set sizes, run totals, and merged
+// telemetry. This is the direct statement of the sharding contract; the
+// SJOIN_DIFF_SHARDS hook additionally re-runs the other suites' oracles
+// sharded.
+
+/// Records the full per-step trace of an engine run for exact comparison.
+class EngineTraceObserver final : public StepObserver {
+ public:
+  void OnStep(const EngineStepView& step) override {
+    retained_.push_back(*step.retained);
+    cache_.push_back(*step.cache);
+    produced_.push_back(step.produced);
+    candidates_.push_back(step.num_candidates);
+  }
+
+  const std::vector<std::vector<TupleId>>& retained() const {
+    return retained_;
+  }
+  const std::vector<std::vector<StreamTuple>>& cache() const {
+    return cache_;
+  }
+  const std::vector<std::int64_t>& produced() const { return produced_; }
+  const std::vector<std::size_t>& candidates() const { return candidates_; }
+
+ private:
+  std::vector<std::vector<TupleId>> retained_;
+  std::vector<std::vector<StreamTuple>> cache_;
+  std::vector<std::int64_t> produced_;
+  std::vector<std::size_t> candidates_;
+};
+
+bool SameStreamTuple(const StreamTuple& a, const StreamTuple& b) {
+  return a.id == b.id && a.stream == b.stream && a.value == b.value &&
+         a.arrival == b.arrival;
+}
+
+std::optional<std::string> CompareEngineTraces(
+    const std::string& context, const EngineTraceObserver& serial,
+    const EngineTraceObserver& sharded) {
+  std::ostringstream out;
+  if (serial.retained().size() != sharded.retained().size()) {
+    out << context << ": step counts diverge (serial "
+        << serial.retained().size() << ", sharded "
+        << sharded.retained().size() << ")";
+    return out.str();
+  }
+  for (std::size_t t = 0; t < serial.retained().size(); ++t) {
+    if (serial.produced()[t] != sharded.produced()[t]) {
+      out << context << ": produced diverges at step " << t << " (serial "
+          << serial.produced()[t] << ", sharded " << sharded.produced()[t]
+          << ")";
+      return out.str();
+    }
+    if (serial.candidates()[t] != sharded.candidates()[t]) {
+      out << context << ": num_candidates diverges at step " << t
+          << " (serial " << serial.candidates()[t] << ", sharded "
+          << sharded.candidates()[t] << ")";
+      return out.str();
+    }
+    if (serial.retained()[t] != sharded.retained()[t]) {
+      out << context << ": retained ids diverge at step " << t;
+      return out.str();
+    }
+    const std::vector<StreamTuple>& sc = serial.cache()[t];
+    const std::vector<StreamTuple>& hc = sharded.cache()[t];
+    if (sc.size() != hc.size() ||
+        !std::equal(sc.begin(), sc.end(), hc.begin(), &SameStreamTuple)) {
+      out << context << ": cache contents diverge at step " << t;
+      return out.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ShardedEngineTrial(std::uint64_t seed) {
+  ScenarioGenerator::Options options;
+  options.min_length = 32;
+  options.max_length = 80;
+  options.min_capacity = 2;
+  options.max_capacity = 8;
+  options.max_horizon = 12;
+  // Rotate over every shard-scorable join policy family. Value-incremental
+  // HEEB needs trend processes and no window; the others sample windows.
+  const int variant = static_cast<int>(seed % 5);
+  options.pool = variant == 3 ? ScenarioGenerator::Pool::kEqualSlopeTrends
+                              : ScenarioGenerator::Pool::kIndependent;
+  options.window_probability = variant == 3 ? 0.0 : 0.3;
+  ScenarioGenerator generator(options);
+  Scenario scenario = generator.Sample(seed);
+
+  Rng aux(seed ^ kAuxSalt);
+  if (variant != 3 && aux.UniformReal() < 0.3) {
+    // Engage the per-shard value->count indexes (unwindowed, capacity >=
+    // StreamEngine::kValueIndexMinCapacity).
+    scenario.capacity = static_cast<std::size_t>(aux.UniformInt(32, 40));
+    scenario.window.reset();
+  }
+  Rng realization_rng(seed ^ kRealizationSalt);
+  auto [r, s] = SampleRealization(scenario, realization_rng);
+
+  std::unique_ptr<ReplacementPolicy> policy;
+  switch (variant) {
+    case 0:
+    case 2:
+    case 3: {
+      HeebJoinPolicy::Options heeb_options;
+      heeb_options.mode = variant == 0 ? HeebJoinPolicy::Mode::kDirect
+                          : variant == 2
+                              ? HeebJoinPolicy::Mode::kTimeIncremental
+                              : HeebJoinPolicy::Mode::kValueIncremental;
+      if (variant == 2) scenario.window.reset();  // incremental: unwindowed
+      heeb_options.alpha = scenario.alpha;
+      heeb_options.horizon = scenario.horizon;
+      heeb_options.refresh_interval = 8;
+      policy = std::make_unique<HeebJoinPolicy>(scenario.r_process.get(),
+                                                scenario.s_process.get(),
+                                                heeb_options);
+      break;
+    }
+    case 1: {
+      std::optional<Time> assumed_lifetime;
+      if (aux.UniformReal() < 0.5) assumed_lifetime = aux.UniformInt(4, 24);
+      policy = std::make_unique<ProbPolicy>(assumed_lifetime);
+      break;
+    }
+    default:
+      policy = std::make_unique<LifePolicy>(aux.UniformInt(4, 24));
+      break;
+  }
+
+  BinaryPolicyAdapter adapter(policy.get());
+  if (adapter.shard_scoring() == nullptr) {
+    return scenario.description + " policy=" + policy->name() +
+           ": expected a shard-scorable policy (coverage would be vacuous)";
+  }
+
+  const StreamEngine::Options engine_options{.capacity = scenario.capacity,
+                                             .warmup = scenario.warmup,
+                                             .window = scenario.window};
+  StreamEngine serial_engine(StreamTopology::Binary(), engine_options);
+  EngineTraceObserver serial_trace;
+  PerfObserver serial_perf;
+  EngineRunResult serial_run =
+      serial_engine.Run({&r, &s}, adapter, {&serial_perf, &serial_trace});
+
+  for (int shards : {1, 2, 4, 8}) {
+    ShardedStreamEngine sharded(StreamTopology::Binary(),
+                                {.capacity = scenario.capacity,
+                                 .warmup = scenario.warmup,
+                                 .window = scenario.window,
+                                 .shards = shards});
+    EngineTraceObserver trace;
+    PerfObserver perf;
+    EngineRunResult run =
+        sharded.Run({&r, &s}, adapter, {&perf, &trace});
+
+    std::ostringstream context;
+    context << scenario.description << " policy=" << policy->name()
+            << " shards=" << shards;
+    if (run.total_results != serial_run.total_results ||
+        run.counted_results != serial_run.counted_results) {
+      std::ostringstream out;
+      out << context.str() << ": result counts diverge (serial "
+          << serial_run.total_results << "/" << serial_run.counted_results
+          << ", sharded " << run.total_results << "/" << run.counted_results
+          << ")";
+      return out.str();
+    }
+    if (perf.telemetry().peak_candidates !=
+            serial_perf.telemetry().peak_candidates ||
+        perf.telemetry().steps != serial_perf.telemetry().steps) {
+      std::ostringstream out;
+      out << context.str() << ": telemetry diverges (serial peak "
+          << serial_perf.telemetry().peak_candidates << " steps "
+          << serial_perf.telemetry().steps << ", sharded peak "
+          << perf.telemetry().peak_candidates << " steps "
+          << perf.telemetry().steps << ")";
+      return out.str();
+    }
+    if (auto mismatch =
+            CompareEngineTraces(context.str(), serial_trace, trace)) {
+      return mismatch;
+    }
+  }
+  return std::nullopt;
+}
+
 const std::vector<DifferentialSuite>& Registry() {
   static const std::vector<DifferentialSuite> suites = {
       {"ecb_heeb_scoring",
@@ -1014,6 +1231,10 @@ const std::vector<DifferentialSuite>& Registry() {
        "Theorem 1 caching<->joining reduction (windowed and not); "
        "CacheSimulator vs naive cache loop; caching HEEB vs naive oracle",
        1000, &ReductionTrial},
+      {"sharded_engine",
+       "ShardedStreamEngine at shards {1,2,4,8} vs the serial StreamEngine: "
+       "per-step retained/cache/produced traces and telemetry, bit for bit",
+       1000, &ShardedEngineTrial},
   };
   return suites;
 }

@@ -107,9 +107,10 @@ TEST(BenchHarnessTest, PerfSmokeEmitsValidJson) {
   std::ostringstream text;
   text << in.rdbuf();
   EXPECT_TRUE(JsonParses(text.str()));
-  EXPECT_NE(text.str().find("\"schema\":\"sjoin-perf-v1\""),
+  EXPECT_NE(text.str().find("\"schema\":\"sjoin-perf-v2\""),
             std::string::npos);
   EXPECT_NE(text.str().find("\"peak_candidates\""), std::string::npos);
+  EXPECT_NE(text.str().find("\"shards\":8"), std::string::npos);
   std::remove(out.c_str());
 }
 #endif  // PERF_SMOKE_BIN

@@ -1,8 +1,10 @@
 #include "sjoin/common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <future>
+#include <optional>
 #include <stdexcept>
 #include <vector>
 
@@ -153,6 +155,92 @@ TEST(ParallelForTest, RethrowsBodyException) {
                              if (i == 3) throw std::runtime_error("bad");
                            }),
                std::runtime_error);
+}
+
+TEST(TaskGroupTest, WaitsForAllTasks) {
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    group.Run([&counter] { ++counter; });
+  }
+  group.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(TaskGroupTest, WaitRethrowsFirstTaskException) {
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 16; ++i) {
+    group.Run([i, &completed] {
+      ++completed;
+      if (i % 4 == 0) throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  // Every task ran to its throw point before Wait returned.
+  EXPECT_EQ(completed.load(), 16);
+  // The error was consumed: the group is clean and reusable.
+  group.Run([&completed] { ++completed; });
+  group.Wait();
+  EXPECT_EQ(completed.load(), 17);
+}
+
+TEST(TaskGroupTest, InlinePoolRunsTasksInPlaceAndStillLatchesErrors) {
+  ThreadPool pool(1);
+  TaskGroup group(pool);
+  int ran = 0;
+  // Inline pools execute inside Run(); the throw must not escape there
+  // but surface at Wait(), matching the threaded behavior.
+  group.Run([&ran] {
+    ++ran;
+    throw std::runtime_error("inline failure");
+  });
+  EXPECT_EQ(ran, 1);
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+}
+
+TEST(TaskGroupTest, ThrowDuringPoolDestructionReachesCaller) {
+  // Regression test for the shutdown ordering fix: tasks still queued when
+  // ~ThreadPool starts are drained during destruction; they throw while
+  // the pool is shutting down. The process must survive and the exception
+  // must reach the group's Wait() — not die in an abandoned future.
+  std::optional<ThreadPool> pool(std::in_place, 2);
+  TaskGroup group(*pool);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  // Park both workers so the throwing tasks sit in the queue until the
+  // shutdown drain runs them.
+  for (int i = 0; i < 2; ++i) {
+    group.Run([gate] { gate.wait(); });
+  }
+  for (int i = 0; i < 8; ++i) {
+    group.Run([] { throw std::runtime_error("thrown at shutdown"); });
+  }
+  std::thread releaser([&release] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    release.set_value();
+  });
+  // Blocks joining the parked workers until the gate opens, then the
+  // workers drain the throwing tasks as part of destruction.
+  pool.reset();
+  releaser.join();
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+}
+
+TEST(TaskGroupTest, DestructorSwallowsUnobservedErrors) {
+  // A group destroyed without Wait() after a task threw must neither
+  // terminate nor leak the exception anywhere observable.
+  ThreadPool pool(2);
+  {
+    TaskGroup group(pool);
+    group.Run([] { throw std::runtime_error("never observed"); });
+  }
+  // Still alive and the pool still works.
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; }).get();
+  EXPECT_TRUE(ran.load());
 }
 
 }  // namespace
