@@ -4,17 +4,27 @@
 Usage:
     check_perf_regression.py BASELINE.json CURRENT.json [--threshold=1.25]
 
-Rows are matched by (name, workload, len, shards); a sjoin-perf-v1 file
-(no per-row shards) reads as shards=1 throughout, so v1 baselines keep
-working against v2 runs. The raw per-row ratio
-current/baseline of ns_per_step is normalized by the median ratio across
-all matched rows before thresholding: CI machines are uniformly slower or
-faster than the laptop that committed the baseline, and that uniform shift
-carries no information about the code. A real regression moves one row
-relative to the rest, which the normalized ratio isolates.
+Rows are matched by (name, workload, len, shards, threads); older files
+without per-row shards/threads read as shards=1 / threads=1 throughout,
+so v1 and early-v2 baselines keep working against newer runs. The raw
+per-row ratio current/baseline of ns_per_step is normalized by the median
+ratio across all matched rows before thresholding: CI machines are
+uniformly slower or faster than the laptop that committed the baseline,
+and that uniform shift carries no information about the code. A real
+regression moves one row relative to the rest, which the normalized ratio
+isolates.
 
-Exit status 1 if any normalized ratio exceeds the threshold or if a
-baseline row is missing from the current run.
+Only threads=1 rows feed the median and the threshold: multi-thread
+timings depend on the host's core count (a single-core runner serializes
+every worker, a many-core one doesn't), so comparing them across machines
+measures the hardware, not the code. threads>1 rows are still matched and
+printed — as "info" — and summarized after the table as best-threads
+speedups over their own threads=1 row: the quick read on whether worker
+threads pay off on this host (on a single-core runner they won't, and
+that's expected).
+
+Exit status 1 if any normalized threads=1 ratio exceeds the threshold or
+if a baseline row is missing from the current run.
 """
 
 import json
@@ -28,9 +38,38 @@ def load_rows(path):
     if doc.get("schema") not in ("sjoin-perf-v1", "sjoin-perf-v2"):
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
     return {
-        (r["name"], r["workload"], r["len"], r.get("shards", 1)): r
+        (r["name"], r["workload"], r["len"], r.get("shards", 1),
+         r.get("threads", 1)): r
         for r in doc["results"]
     }
+
+
+def describe(key):
+    name, workload, length, shards, threads = key
+    return (f"{name} ({workload}, len={length}, shards={shards}, "
+            f"threads={threads})")
+
+
+def thread_scaling_summary(rows):
+    """Best-threads speedup vs the threads=1 row for each threads sweep."""
+    groups = {}
+    for key, row in rows.items():
+        groups.setdefault(key[:4], {})[key[4]] = row["ns_per_step"]
+    printed_header = False
+    for group_key, by_threads in sorted(groups.items()):
+        if len(by_threads) < 2 or 1 not in by_threads:
+            continue
+        if not printed_header:
+            print("\nthread scaling (current run, best threads vs threads=1):")
+            printed_header = True
+        serial = by_threads[1]
+        best_threads = min(by_threads, key=lambda t: by_threads[t])
+        speedup = serial / by_threads[best_threads]
+        name, workload, length, shards = group_key
+        print(f"  {name:<18} {workload:<6} len={length:<5} "
+              f"shards={shards:<2} best t={best_threads} "
+              f"speedup x{speedup:.2f} "
+              f"({serial:.0f} -> {by_threads[best_threads]:.0f} ns/step)")
 
 
 def main(argv):
@@ -48,13 +87,11 @@ def main(argv):
 
     missing = sorted(set(baseline) - set(current))
     for key in missing:
-        print(f"MISSING  {key[0]} ({key[1]}, len={key[2]}, "
-              f"shards={key[3]}): "
+        print(f"MISSING  {describe(key)}: "
               "row present in baseline but absent from current run")
     extra = sorted(set(current) - set(baseline))
     for key in extra:
-        print(f"note: new row {key[0]} ({key[1]}, len={key[2]}, "
-              f"shards={key[3]}) has no baseline yet")
+        print(f"note: new row {describe(key)} has no baseline yet")
 
     matched = sorted(set(baseline) & set(current))
     if not matched:
@@ -63,22 +100,30 @@ def main(argv):
         key: current[key]["ns_per_step"] / baseline[key]["ns_per_step"]
         for key in matched
     }
-    median = statistics.median(ratios.values())
+    gated = [key for key in matched if key[4] == 1]
+    if not gated:
+        sys.exit("no threads=1 rows in common to gate on")
+    median = statistics.median(ratios[key] for key in gated)
     print(f"median current/baseline ns_per_step ratio: {median:.3f} "
-          "(machine-speed normalizer)")
+          "(machine-speed normalizer, threads=1 rows)")
 
     failed = bool(missing)
     for key in matched:
         normalized = ratios[key] / median
-        verdict = "ok"
-        if normalized > threshold:
+        if key[4] != 1:
+            verdict = "info"
+        elif normalized > threshold:
             verdict = f"REGRESSED >{(threshold - 1) * 100:.0f}%"
             failed = True
+        else:
+            verdict = "ok"
         print(f"{verdict:>14}  {key[0]:<18} {key[1]:<6} len={key[2]:<5} "
-              f"x{key[3]:<2} "
+              f"s{key[3]}/t{key[4]:<2} "
               f"ns/step {baseline[key]['ns_per_step']:>12.0f} -> "
               f"{current[key]['ns_per_step']:>12.0f} "
               f"(raw x{ratios[key]:.3f}, normalized x{normalized:.3f})")
+
+    thread_scaling_summary(current)
 
     if failed:
         print("perf regression check FAILED")

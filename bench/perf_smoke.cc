@@ -9,10 +9,13 @@
 // path.
 //
 // Runs serially on purpose: per-run wall times feed ns/step, and parallel
-// execution would contend for the core(s) being measured. The shard-sweep
-// rows are the one exception — they measure the sharded engine itself at
-// shard counts {1, 2, 4, 8} (sjoin-perf-v2 rows carry shards/threads, and
-// the shards=1 rows are the serial baselines the sweep reads against).
+// execution would contend for the core(s) being measured. The sharded
+// rows are the one exception — an inline (threads=1) shard sweep at
+// {1, 2, 4, 8} shards isolates sharding itself, and a full shards x
+// threads matrix on HEEB-value-incr / CACHE-LRU / CACHE-PROB measures the
+// persistent worker team (sjoin-perf-v2 rows carry shards and threads;
+// shards=1/threads=1 rows are the serial baselines the sweeps read
+// against).
 //
 // Usage: perf_smoke [--len=2000] [--runs=3] [--cache=50] [--seed=1]
 //                   [--flow_len=400] [--flow_prune=1]
@@ -41,7 +44,6 @@
 #include "sjoin/engine/cache_simulator.h"
 #include "sjoin/engine/caching_policy.h"
 #include "sjoin/engine/join_simulator.h"
-#include "sjoin/engine/sharded_stream_engine.h"
 #include "sjoin/policies/lfu_policy.h"
 #include "sjoin/policies/life_policy.h"
 #include "sjoin/policies/lru_policy.h"
@@ -78,19 +80,21 @@ struct Config {
 
 /// Times `make_policy` + JoinSimulator::Run over `runs` pre-sampled pairs.
 /// `shards` > 1 runs the sharded engine (results are bit-identical; only
-/// the wall time moves).
+/// the wall time moves); `threads` sizes its persistent worker team
+/// (1 = inline — the thread count is explicit so every row records the
+/// exact configuration it measured, not a host-dependent auto value).
 template <typename MakePolicy>
 ScenarioResult TimeScenario(const std::string& name,
                             const JoinWorkload& workload, Time len,
                             const Config& config, MakePolicy&& make_policy,
-                            int shards = 1) {
+                            int shards = 1, int threads = 1) {
   ScenarioResult out;
   out.name = name;
   out.workload = workload.name;
   out.len = len;
   out.runs = config.runs;
   out.shards = shards;
-  out.threads = ShardedStreamEngine::DefaultThreads(shards);
+  out.threads = threads;
 
   Rng rng(config.seed);
   std::vector<StreamPair> pairs;
@@ -101,7 +105,8 @@ ScenarioResult TimeScenario(const std::string& name,
 
   JoinSimulator sim({.capacity = config.cache,
                      .warmup = static_cast<Time>(4 * config.cache),
-                     .shards = shards});
+                     .shards = shards,
+                     .threads = threads});
   for (const StreamPair& pair : pairs) {
     Stopwatch setup;
     auto policy = make_policy(pair);
@@ -116,8 +121,8 @@ ScenarioResult TimeScenario(const std::string& name,
     }
   }
   std::int64_t steps = len * config.runs;
-  std::fprintf(stderr, "%-18s %-5s x%d %8.0f steps/s %10.0f ns/step\n",
-               name.c_str(), workload.name.c_str(), shards,
+  std::fprintf(stderr, "%-18s %-5s s%d/t%d %8.0f steps/s %10.0f ns/step\n",
+               name.c_str(), workload.name.c_str(), shards, threads,
                static_cast<double>(steps) /
                    (static_cast<double>(out.run_ns) * 1e-9),
                static_cast<double>(out.run_ns) /
@@ -134,7 +139,8 @@ template <typename MakePolicy>
 ScenarioResult TimeCacheScenario(const std::string& name,
                                  const JoinWorkload& workload, Time len,
                                  const Config& config,
-                                 MakePolicy&& make_policy, int shards = 1) {
+                                 MakePolicy&& make_policy, int shards = 1,
+                                 int threads = 1) {
   using PolicyT = typename decltype(make_policy())::element_type;
   ScenarioResult out;
   out.name = name;
@@ -142,7 +148,7 @@ ScenarioResult TimeCacheScenario(const std::string& name,
   out.len = len;
   out.runs = config.runs;
   out.shards = shards;
-  out.threads = ShardedStreamEngine::DefaultThreads(shards);
+  out.threads = threads;
 
   Rng rng(config.seed);
   std::vector<std::vector<Value>> streams;
@@ -153,7 +159,8 @@ ScenarioResult TimeCacheScenario(const std::string& name,
 
   CacheSimulator sim({.capacity = config.cache,
                       .warmup = static_cast<Time>(4 * config.cache),
-                      .shards = shards});
+                      .shards = shards,
+                      .threads = threads});
   for (const std::vector<Value>& references : streams) {
     Stopwatch setup;
     auto policy = make_policy();
@@ -173,8 +180,8 @@ ScenarioResult TimeCacheScenario(const std::string& name,
     }
   }
   std::int64_t steps = len * config.runs;
-  std::fprintf(stderr, "%-18s %-5s x%d %8.0f steps/s %10.0f ns/step\n",
-               name.c_str(), workload.name.c_str(), shards,
+  std::fprintf(stderr, "%-18s %-5s s%d/t%d %8.0f steps/s %10.0f ns/step\n",
+               name.c_str(), workload.name.c_str(), shards, threads,
                static_cast<double>(steps) /
                    (static_cast<double>(out.run_ns) * 1e-9),
                static_cast<double>(out.run_ns) /
@@ -356,8 +363,9 @@ int main(int argc, char** argv) {
       [] { return std::make_unique<ProbPolicy>(std::nullopt); }));
 
   // Shard sweep: the scored policies under the sharded engine at 1/2/4/8
-  // value-domain shards. Results are bit-identical across the sweep by
-  // the sharding contract; only the wall time moves. CACHE-RAND is not
+  // value-domain shards, inline (threads = 1), isolating the cost/benefit
+  // of sharding itself. Results are bit-identical across the sweep by the
+  // sharding contract; only the wall time moves. CACHE-RAND is not
   // shard-scorable and rides along to anchor the serial-fallback cost.
   Config sweep = config;
   sweep.len = sweep_len;
@@ -372,14 +380,6 @@ int main(int argc, char** argv) {
         heeb_on(tower, HeebJoinPolicy::Mode::kTimeIncremental,
                 tower.heeb_alpha),
         shards));
-    results.push_back(TimeScenario(
-        "HEEB-value-incr", tower, sweep.len, sweep,
-        heeb_on(tower, HeebJoinPolicy::Mode::kValueIncremental,
-                tower.heeb_alpha),
-        shards));
-    results.push_back(TimeCacheScenario(
-        "CACHE-LRU", tower, sweep.len, sweep,
-        [] { return std::make_unique<LruCachingPolicy>(); }, shards));
     results.push_back(TimeCacheScenario(
         "CACHE-LFU", tower, sweep.len, sweep,
         [] { return std::make_unique<LfuCachingPolicy>(); }, shards));
@@ -387,9 +387,35 @@ int main(int argc, char** argv) {
         "CACHE-RAND", tower, sweep.len, sweep,
         [&] { return std::make_unique<RandomCachingPolicy>(config.seed + 29); },
         shards));
-    results.push_back(TimeCacheScenario(
-        "CACHE-PROB", tower, sweep.len, sweep,
-        [] { return std::make_unique<ProbPolicy>(std::nullopt); }, shards));
+  }
+
+  // Shards x threads matrix: the persistent-worker path across every
+  // combination of shard count and worker-team size, on the heaviest
+  // scored join row (HEEB-value-incr) and the two caching regimes
+  // (CACHE-LRU via the reduction, CACHE-PROB via the joining-policy
+  // route). threads = 1 is the inline path — those rows double as the
+  // matrix's serial baselines; threads > shards exercises idle workers.
+  // shards = 1 always runs the plain serial engine (threads is moot), so
+  // only its threads = 1 row is emitted. On single-core hosts every
+  // thread count measures the same core, so a flat threads axis there is
+  // expected (see EXPERIMENTS.md).
+  for (int shards : {1, 2, 4, 8}) {
+    for (int threads : {1, 2, 4, 8}) {
+      if (shards == 1 && threads > 1) continue;
+      results.push_back(TimeScenario(
+          "HEEB-value-incr", tower, sweep.len, sweep,
+          heeb_on(tower, HeebJoinPolicy::Mode::kValueIncremental,
+                  tower.heeb_alpha),
+          shards, threads));
+      results.push_back(TimeCacheScenario(
+          "CACHE-LRU", tower, sweep.len, sweep,
+          [] { return std::make_unique<LruCachingPolicy>(); }, shards,
+          threads));
+      results.push_back(TimeCacheScenario(
+          "CACHE-PROB", tower, sweep.len, sweep,
+          [] { return std::make_unique<ProbPolicy>(std::nullopt); }, shards,
+          threads));
+    }
   }
 
   WriteJson(out_path, config, results);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <utility>
 
 #include "sjoin/common/check.h"
 
@@ -32,12 +33,13 @@ ThreadPool::~ThreadPool() {
   // A task that submits more work while the pool shuts down can race the
   // workers' final drain. Run any leftovers here, after the join, so the
   // "every submitted task runs" guarantee holds and no future is left with
-  // a broken promise; packaged_task captures anything the task throws, so
-  // nothing can escape the destructor.
+  // a broken promise; packaged_task captures anything a Submit task
+  // throws, and plain tasks never throw, so nothing escapes the
+  // destructor.
   while (!queue_.empty()) {
-    std::packaged_task<void()> task = std::move(queue_.front());
+    QueueItem item = std::move(queue_.front());
     queue_.pop_front();
-    task();
+    item();
   }
 }
 
@@ -50,23 +52,36 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(packaged));
+    queue_.push_back({std::move(packaged), nullptr, nullptr});
   }
   wake_.notify_one();
   return future;
 }
 
+void ThreadPool::SubmitPlain(void (*fn)(void*), void* ctx) {
+  SJOIN_CHECK(fn != nullptr);
+  if (workers_.empty()) {
+    fn(ctx);  // Single-threaded pools run serially on the caller.
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back({std::packaged_task<void()>(), fn, ctx});
+  }
+  wake_.notify_one();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    QueueItem item;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and fully drained.
-      task = std::move(queue_.front());
+      item = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();  // packaged_task routes exceptions into the future.
+    item();  // packaged_task routes exceptions; plain tasks don't throw.
   }
 }
 
@@ -76,22 +91,39 @@ TaskGroup::~TaskGroup() {
 }
 
 void TaskGroup::Run(std::function<void()> task) {
+  Slot* slot;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    // The buffer rewinds whenever the group has fully drained, so a
+    // reused group recycles the same slots (and their std::function
+    // buffers) batch after batch.
+    if (pending_ == 0) next_slot_ = 0;
+    if (next_slot_ == slots_.size()) slots_.emplace_back();
+    slot = &slots_[next_slot_++];
     ++pending_;
   }
-  // The future is deliberately discarded: the wrapper latches exceptions
-  // into the group itself, so nothing observable is lost with it.
-  pool_.Submit([this, task = std::move(task)]() mutable {
-    try {
-      task();
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (first_error_ == nullptr) first_error_ = std::current_exception();
+  slot->group = this;
+  // Move-assignment reuses the slot's existing callable storage where the
+  // implementation allows; no wrapper closure, no packaged_task.
+  slot->work = std::move(task);
+  pool_.SubmitPlain(&TaskGroup::InvokeSlot, slot);
+}
+
+void TaskGroup::InvokeSlot(void* raw) {
+  Slot* slot = static_cast<Slot*>(raw);
+  TaskGroup* group = slot->group;
+  try {
+    slot->work();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(group->mutex_);
+    if (group->first_error_ == nullptr) {
+      group->first_error_ = std::current_exception();
     }
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (--pending_ == 0) done_.notify_all();
-  });
+  }
+  // After this decrement the slot may be reused (or the group destroyed);
+  // touch only `group` beyond it.
+  std::lock_guard<std::mutex> lock(group->mutex_);
+  if (--group->pending_ == 0) group->done_.notify_all();
 }
 
 void TaskGroup::Wait() {
@@ -111,26 +143,28 @@ void ParallelFor(ThreadPool& pool, std::size_t begin, std::size_t end,
   std::size_t n = end - begin;
   std::size_t chunks =
       std::min(n, static_cast<std::size_t>(pool.num_threads()) * 4);
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
+  // Errors are recorded per chunk (not latched into the group) so the
+  // chunk-order rethrow contract survives the TaskGroup rewrite.
+  std::vector<std::exception_ptr> errors(chunks);
+  TaskGroup group(pool);
   for (std::size_t c = 0; c < chunks; ++c) {
     std::size_t lo = begin + n * c / chunks;
     std::size_t hi = begin + n * (c + 1) / chunks;
-    futures.push_back(pool.Submit([lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
-    }));
+    std::exception_ptr* error = &errors[c];
+    group.Run([lo, hi, &body, error] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        *error = std::current_exception();
+      }
+    });
   }
   // Wait for every chunk before rethrowing: no task may outlive the call,
   // since `body` is borrowed from the caller's stack.
-  std::exception_ptr first;
-  for (std::future<void>& future : futures) {
-    try {
-      future.get();
-    } catch (...) {
-      if (first == nullptr) first = std::current_exception();
-    }
+  group.Wait();
+  for (std::exception_ptr& error : errors) {
+    if (error != nullptr) std::rethrow_exception(error);
   }
-  if (first != nullptr) std::rethrow_exception(first);
 }
 
 }  // namespace sjoin

@@ -14,7 +14,10 @@
 /// \file
 /// Fixed-size thread pool for the embarrassingly parallel work in this
 /// repo: benchmark rosters and sweeps dispatch independent
-/// (run, policy, sweep-point) simulator jobs onto one pool.
+/// (run, policy, sweep-point) simulator jobs onto one pool. (The sharded
+/// engine's per-step fan-out uses the persistent ShardWorkers team in
+/// shard_workers.h instead — a pool queue is the wrong shape at that
+/// granularity.)
 ///
 /// Deliberately work-stealing-free: a single mutex-guarded FIFO queue is
 /// plenty at the granularity of one simulator run per task, and it keeps
@@ -47,34 +50,63 @@ class ThreadPool {
   /// task is captured and rethrown from future.get().
   std::future<void> Submit(std::function<void()> task);
 
+  /// Fire-and-forget fast path: enqueues fn(ctx) with no future, no
+  /// promise and no closure allocation — the queue node holds the two
+  /// raw pointers. `fn` must not let exceptions escape (there is nowhere
+  /// to route them; TaskGroup latches its tasks' errors before this
+  /// layer) and `ctx` must stay valid until the task has run. Inline
+  /// (size-1) pools call fn(ctx) before returning.
+  void SubmitPlain(void (*fn)(void*), void* ctx);
+
   int num_threads() const { return num_threads_; }
 
   /// std::thread::hardware_concurrency with a floor of 1.
   static int DefaultThreads();
 
  private:
+  /// Exactly one shape is engaged: a packaged task (Submit) or a plain
+  /// function-pointer task (SubmitPlain, fn != nullptr).
+  struct QueueItem {
+    std::packaged_task<void()> packaged;
+    void (*fn)(void*) = nullptr;
+    void* ctx = nullptr;
+
+    void operator()() {
+      if (fn != nullptr) {
+        fn(ctx);
+      } else {
+        packaged();
+      }
+    }
+  };
+
   void WorkerLoop();
 
   int num_threads_;
   std::mutex mutex_;
   std::condition_variable wake_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<QueueItem> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };
 
-/// Structured fan-out helper for fine-grained parallel sections (the
-/// sharded engine's per-step probe/score tasks). Run() enqueues a task on
-/// the pool; Wait() blocks until every task of the group has finished and
-/// rethrows the first exception any of them threw.
+/// Structured fan-out helper for parallel sections. Run() enqueues a task
+/// on the pool; Wait() blocks until every task of the group has finished
+/// and rethrows the first exception any of them threw.
 ///
 /// Unlike raw Submit(), whose per-task futures callers routinely discard,
-/// a group never loses a task's exception: the task body is wrapped so a
-/// throw is latched into the group before the worker moves on. In
+/// a group never loses a task's exception: the task runs inside a wrapper
+/// that latches a throw into the group before the worker moves on. In
 /// particular a task that throws while its pool is being destroyed (the
 /// destructor drains the queue, so queued tasks still run) surfaces at the
 /// next Wait() instead of vanishing inside an abandoned future — shutdown
 /// can no longer swallow errors or terminate the process.
+///
+/// Submission is allocation-light: each task moves into a reusable slot
+/// (the group's submission buffer, rewound whenever the group drains) and
+/// reaches the pool through SubmitPlain — no packaged_task, no promise,
+/// no extra closure per task. A task's captures are kept alive until its
+/// slot is reused or the group dies, not destroyed at task completion.
 ///
 /// Works with inline (size-1) pools, where Run() executes the task on the
 /// calling thread and Wait() never blocks. A group is reusable: after
@@ -104,11 +136,23 @@ class TaskGroup {
   void Wait();
 
  private:
+  /// One entry of the reusable submission buffer. Slots live in a deque
+  /// so their addresses stay stable while new ones are appended (workers
+  /// hold raw slot pointers through SubmitPlain).
+  struct Slot {
+    TaskGroup* group = nullptr;
+    std::function<void()> work;
+  };
+
+  static void InvokeSlot(void* raw);
+
   ThreadPool& pool_;
   std::mutex mutex_;
   std::condition_variable done_;
   std::size_t pending_ = 0;
   std::exception_ptr first_error_;
+  std::deque<Slot> slots_;
+  std::size_t next_slot_ = 0;
 };
 
 /// Runs body(i) for every i in [begin, end) on the pool, splitting the

@@ -20,6 +20,8 @@ CacheRunResult RunReduced(const CacheSimulator::Options& options,
                               .warmup = options.warmup,
                               .window = options.window,
                               .shards = options.shards,
+                              .threads = options.threads,
+                              .pin_threads = options.pin_threads,
                               .pool = options.pool});
   BinaryPolicyAdapter adapter(&policy);
   PerfObserver perf;

@@ -22,6 +22,8 @@ JoinRunResult JoinSimulator::Run(const std::vector<Value>& r,
                               .warmup = options_.warmup,
                               .window = options_.window,
                               .shards = options_.shards,
+                              .threads = options_.threads,
+                              .pin_threads = options_.pin_threads,
                               .pool = options_.pool});
   BinaryPolicyAdapter adapter(&policy);
 

@@ -7,6 +7,21 @@
 #include "sjoin/common/validate.h"
 
 namespace sjoin {
+namespace {
+
+/// Steps per observer batch when every attached observer allows deferred
+/// delivery: the engine buffers that many scalar step views before
+/// synchronizing with the observer chain, keeping the workers hot across
+/// the whole batch.
+constexpr std::size_t kStepBatchSteps = 64;
+
+/// A merge-cascade level fans out to the workers only past this many
+/// total entries; below it the driver merges inline — the epoch ticket is
+/// cheap, but not two-cache-misses cheap. The threshold affects timing
+/// only, never output: every merge order yields the same sequence.
+constexpr std::size_t kParallelMergeMinEntries = 4096;
+
+}  // namespace
 
 ShardedStreamEngine::ShardedStreamEngine(StreamTopology topology,
                                          Options options)
@@ -17,17 +32,17 @@ ShardedStreamEngine::ShardedStreamEngine(StreamTopology topology,
       partition_(static_cast<std::size_t>(
           options.shards > 1 ? options.shards : 1)) {
   SJOIN_CHECK_GE(options_.shards, 1);
+  SJOIN_CHECK_GE(options_.threads, 0);
 }
 
-void ShardedStreamEngine::SortRun(std::vector<ScoredEntry>& run) {
-  if (run.size() > 64) {
-    std::sort(run.begin(), run.end(),
-              [](const ScoredEntry& a, const ScoredEntry& b) {
-                return ShardKeyBetter(a.key, b.key);
-              });
+void ShardedStreamEngine::SortRun(ScoredEntry* run, std::size_t size) {
+  if (size > 64) {
+    std::sort(run, run + size, [](const ScoredEntry& a, const ScoredEntry& b) {
+      return ShardKeyBetter(a.key, b.key);
+    });
     return;
   }
-  for (std::size_t i = 1; i < run.size(); ++i) {
+  for (std::size_t i = 1; i < size; ++i) {
     ScoredEntry entry = run[i];
     std::size_t j = i;
     while (j > 0 && ShardKeyBetter(entry.key, run[j - 1].key)) {
@@ -45,8 +60,21 @@ int ShardedStreamEngine::DefaultThreads(int shards) {
 
 int ShardedStreamEngine::effective_threads() const {
   if (options_.shards <= 1) return 1;
-  if (options_.pool != nullptr) return options_.pool->num_threads();
+  if (options_.threads > 0) return options_.threads;
+  if (options_.pool != nullptr) {
+    return std::min(options_.pool->num_threads(), options_.shards);
+  }
   return DefaultThreads(options_.shards);
+}
+
+std::int64_t ShardedStreamEngine::ArenaGrowthEvents() const {
+  if (workers_ == nullptr) return 0;
+  std::int64_t total = 0;
+  for (int w = 0; w < workers_->num_workers(); ++w) {
+    total += const_cast<ShardWorkers*>(workers_.get())->arena(w)
+                 .growth_events();
+  }
+  return total;
 }
 
 EngineRunResult ShardedStreamEngine::Run(
@@ -59,6 +87,85 @@ EngineRunResult ShardedStreamEngine::Run(
       options_.shards > 1 ? policy.shard_scoring() : nullptr;
   if (scoring == nullptr) return serial_.Run(streams, policy, observers);
   return RunSharded(streams, policy, *scoring, observers);
+}
+
+void ShardedStreamEngine::ProcessShard(const StepEpochContext& step,
+                                       std::size_t shard) {
+  const StreamTopology& topology = serial_.topology();
+  ShardSlot& slot = slots_[shard];
+  slot.produced = 0;
+  for (const StreamTuple& arrival : arrivals_) {
+    if (ShardOf(arrival.value) != shard) continue;
+    if (step.use_value_index) {
+      for (int partner : topology.PartnersOf(arrival.stream)) {
+        const auto& index = slot.value_index[static_cast<std::size_t>(partner)];
+        auto it = index.find(arrival.value);
+        if (it != index.end()) slot.produced += it->second;
+      }
+    } else {
+      for (const StreamTuple& cached : slot.cache) {
+        if (!InWindow(cached, step.now, step.ctx->window)) continue;
+        if (cached.value != arrival.value) continue;
+        if (topology.Joins(cached.stream, arrival.stream)) {
+          ++slot.produced;
+        }
+      }
+    }
+  }
+  for (const StreamTuple& cached : slot.cache) {
+    std::optional<ShardKey> key =
+        step.scoring->ShardScoreCached(cached, *step.ctx, slot.scratch.get());
+    if (key.has_value()) {
+      slot.scored[slot.scored_size++] = {*key, cached};
+    } else {
+      slot.dropped[slot.dropped_size++] = cached;
+    }
+  }
+  SortRun(slot.scored, slot.scored_size);
+}
+
+void ShardedStreamEngine::RunShardSlice(const StepEpochContext& step,
+                                        int worker) {
+  const int workers = workers_->num_workers();
+  ShardArena& arena = workers_->arena(worker);
+  const auto num_shards = static_cast<std::size_t>(options_.shards);
+  // Carve this slice's scratch on the worker itself (first touch is
+  // worker-local) — every cached tuple lands in exactly one of
+  // scored/dropped, so cache.size() bounds both.
+  for (std::size_t shard = static_cast<std::size_t>(worker);
+       shard < num_shards; shard += static_cast<std::size_t>(workers)) {
+    ShardSlot& slot = slots_[shard];
+    slot.scored = arena.AllocArray<ScoredEntry>(slot.cache.size());
+    slot.scored_size = 0;
+    slot.dropped = arena.AllocArray<StreamTuple>(slot.cache.size());
+    slot.dropped_size = 0;
+    ProcessShard(step, shard);
+  }
+}
+
+void ShardedStreamEngine::MergePair(const MergeJob& job) {
+  std::merge(job.a.data, job.a.data + job.a.size, job.b.data,
+             job.b.data + job.b.size, job.out,
+             [](const ScoredEntry& x, const ScoredEntry& y) {
+               return ShardKeyBetter(x.key, y.key);
+             });
+}
+
+void ShardedStreamEngine::RunMergeSlice(int worker) {
+  const int workers = workers_->num_workers();
+  for (std::size_t j = static_cast<std::size_t>(worker);
+       j < merge_jobs_.size(); j += static_cast<std::size_t>(workers)) {
+    MergePair(merge_jobs_[j]);
+  }
+}
+
+void ShardedStreamEngine::ShardsEpochThunk(void* raw, int worker) {
+  auto* step = static_cast<StepEpochContext*>(raw);
+  step->engine->RunShardSlice(*step, worker);
+}
+
+void ShardedStreamEngine::MergeEpochThunk(void* raw, int worker) {
+  static_cast<ShardedStreamEngine*>(raw)->RunMergeSlice(worker);
 }
 
 EngineRunResult ShardedStreamEngine::RunSharded(
@@ -77,20 +184,14 @@ EngineRunResult ShardedStreamEngine::RunSharded(
   }
   policy.Reset();
 
-  // With a single worker the pool round-trips (task allocation, queue
-  // mutex, wake) buy nothing: run the per-shard tasks inline on this
-  // thread instead. The execution order over shards is the same either
-  // way and tasks only touch their own slot, so results are unchanged.
+  // The persistent team is rebuilt only when its shape changes, so
+  // repeated runs (benchmark loops) spawn no threads after the first.
   const int threads = effective_threads();
-  if (threads > 1 && options_.pool == nullptr && owned_pool_ == nullptr) {
-    owned_pool_ =
-        std::make_unique<ThreadPool>(DefaultThreads(options_.shards));
+  if (workers_ == nullptr || workers_->num_workers() != threads ||
+      workers_->options().pin_threads != options_.pin_threads) {
+    workers_ = std::make_unique<ShardWorkers>(ShardWorkers::Options{
+        .workers = threads, .pin_threads = options_.pin_threads});
   }
-  ThreadPool* pool = options_.pool != nullptr ? options_.pool
-                     : owned_pool_ != nullptr ? owned_pool_.get()
-                                              : nullptr;
-  std::optional<TaskGroup> group;
-  if (threads > 1 && pool != nullptr) group.emplace(*pool);
 
   const auto num_shards = static_cast<std::size_t>(options_.shards);
   const bool use_value_index =
@@ -102,7 +203,6 @@ EngineRunResult ShardedStreamEngine::RunSharded(
   for (ShardSlot& slot : slots_) {
     slot.cache.reserve(options_.capacity);
     slot.value_index.assign(static_cast<std::size_t>(n), {});
-    slot.scored.reserve(options_.capacity + static_cast<std::size_t>(n));
     slot.scratch = scoring.MakeShardScratch();
   }
   cache_.clear();
@@ -111,13 +211,37 @@ EngineRunResult ShardedStreamEngine::RunSharded(
   arrivals_.reserve(static_cast<std::size_t>(n));
   histories_.assign(static_cast<std::size_t>(n), StreamHistory());
   arrival_scored_.reserve(static_cast<std::size_t>(n));
-  retained_.reserve(options_.capacity);
+  retained_.reserve(options_.capacity + static_cast<std::size_t>(n));
+  evicted_.reserve(options_.capacity + static_cast<std::size_t>(n));
+  decided_.reserve(options_.capacity + static_cast<std::size_t>(n));
   retained_set_.reserve(options_.capacity + static_cast<std::size_t>(n));
   // At most num_shards + 1 runs enter the cascade, so it performs at most
-  // num_shards pairwise merges per step.
-  if (merge_tmp_.size() < num_shards) merge_tmp_.resize(num_shards);
+  // num_shards pairwise merges per step across ceil(log2) levels.
+  std::size_t levels = 0;
+  for (std::size_t runs = num_shards + 1; runs > 1; runs = (runs + 1) / 2) {
+    ++levels;
+  }
   merge_runs_.reserve(num_shards + 1);
   next_runs_.reserve(num_shards + 1);
+  merge_jobs_.reserve((num_shards + 2) / 2);
+  pending_views_.reserve(kStepBatchSteps);
+
+  // Worst-case per-step arena demand per worker: a worker's shards
+  // partition at most the whole cache (capacity scored entries + capacity
+  // dropped tuples), and each cascade level can hand one worker every
+  // merge output (capacity + n entries total per level). Reserving that
+  // up front makes steady-state steps allocation-free, which the
+  // validation build asserts via the growth-event baseline.
+  const std::size_t arena_bytes =
+      (options_.capacity + levels * (options_.capacity +
+                                     static_cast<std::size_t>(n))) *
+          sizeof(ScoredEntry) +
+      options_.capacity * sizeof(StreamTuple) +
+      (2 * num_shards + 2 * levels + 8) * 64;
+  for (int w = 0; w < threads; ++w) {
+    workers_->arena(w).Reserve(arena_bytes);
+  }
+  arena_growth_baseline_ = ArenaGrowthEvents();
 
   EngineRunView run_view;
   run_view.topology = &topology;
@@ -133,6 +257,23 @@ EngineRunResult ShardedStreamEngine::RunSharded(
                   "an observer disabled sharded scoring after the engine "
                   "committed to it; run score tracers with shards = 1");
 
+  // Batched multi-step execution: when every attached observer tolerates
+  // deferred, scalar-only delivery, the engine synchronizes with the
+  // chain once per kStepBatchSteps instead of every step (the views are
+  // buffered in order, with the pointer fields null). Any other observer
+  // keeps the classic step-synchronous protocol.
+  bool batch_ok = true;
+  for (StepObserver* observer : observers) {
+    batch_ok = batch_ok && observer->AllowsBatchedSteps();
+  }
+  const auto flush_views = [this, &observers] {
+    for (const EngineStepView& view : pending_views_) {
+      for (StepObserver* observer : observers) observer->OnStep(view);
+    }
+    pending_views_.clear();
+  };
+
+  workers_->BeginBatch();
   EngineRunResult result;
   for (Time t = 0; t < len; ++t) {
     arrivals_.clear();
@@ -163,57 +304,19 @@ EngineRunResult ShardedStreamEngine::RunSharded(
     retained_.clear();
     new_cache_.clear();
     if (scored_step) {
-      // Fused per-shard task: Phase-1 probes for the arrivals this shard
-      // owns, then merge keys for the shard's cached tuples, then the
-      // shard-local sort. Each task touches only its own slot (plus
-      // read-only step state), so the reduction over slot counters after
-      // the barrier needs no locks.
-      const auto shard_task = [this, &ctx, &scoring, &topology,
-                               use_value_index, t](std::size_t shard) {
-        ShardSlot& slot = slots_[shard];
-        slot.produced = 0;
-        slot.scored.clear();
-        slot.dropped.clear();
-        for (const StreamTuple& arrival : arrivals_) {
-          if (ShardOf(arrival.value) != shard) continue;
-          if (use_value_index) {
-            for (int partner : topology.PartnersOf(arrival.stream)) {
-              const auto& index =
-                  slot.value_index[static_cast<std::size_t>(partner)];
-              auto it = index.find(arrival.value);
-              if (it != index.end()) slot.produced += it->second;
-            }
-          } else {
-            for (const StreamTuple& cached : slot.cache) {
-              if (!InWindow(cached, t, ctx.window)) continue;
-              if (cached.value != arrival.value) continue;
-              if (topology.Joins(cached.stream, arrival.stream)) {
-                ++slot.produced;
-              }
-            }
-          }
-        }
-        for (const StreamTuple& cached : slot.cache) {
-          std::optional<ShardKey> key =
-              scoring.ShardScoreCached(cached, ctx, slot.scratch.get());
-          if (key.has_value()) {
-            slot.scored.push_back({*key, cached});
-          } else {
-            slot.dropped.push_back(cached);
-          }
-        }
-        SortRun(slot.scored);
-      };
-      if (group.has_value()) {
-        for (std::size_t shard = 0; shard < num_shards; ++shard) {
-          group->Run([&shard_task, shard] { shard_task(shard); });
-        }
-        group->Wait();
-      } else {
-        for (std::size_t shard = 0; shard < num_shards; ++shard) {
-          shard_task(shard);
-        }
-      }
+      // One epoch over the persistent team: worker w runs Phase-1 probes,
+      // cached scoring and the shard-local sort for every shard s with
+      // s % workers == w, carving the shard's scored/dropped runs from
+      // its own arena. Slices touch only their own slots (plus read-only
+      // step state), so the post-epoch reduction needs no locks.
+      for (int w = 0; w < threads; ++w) workers_->arena(w).Reset();
+      StepEpochContext step;
+      step.engine = this;
+      step.ctx = &ctx;
+      step.scoring = &scoring;
+      step.now = t;
+      step.use_value_index = use_value_index;
+      workers_->RunEpoch(&ShardedStreamEngine::ShardsEpochThunk, &step);
       for (const ShardSlot& slot : slots_) produced += slot.produced;
 
       // Arrivals are scored serially, in arrival order: policies may
@@ -223,46 +326,56 @@ EngineRunResult ShardedStreamEngine::RunSharded(
         std::optional<ShardKey> key = scoring.ShardScoreArrival(arrival, ctx);
         if (key.has_value()) arrival_scored_.push_back({*key, arrival});
       }
-      SortRun(arrival_scored_);
+      SortRun(arrival_scored_.data(), arrival_scored_.size());
 
       // Global merge of the shard runs plus the arrival run: a balanced
-      // cascade of pairwise std::merge calls, ~log2(shards + 1) levels of
-      // tight two-way merges instead of a (shards + 1)-wide head scan per
-      // pop. std::merge is stable and the keys form a strict total order
-      // (unique minors), so the merged sequence is exactly the serial
-      // engine's sorted candidate order — same retained prefix, same
-      // cache order.
+      // cascade of pairwise merges, ~log2(shards + 1) levels of tight
+      // two-way merges instead of a (shards + 1)-wide head scan per pop.
+      // Levels with enough work fan their independent pairs back out to
+      // the workers (outputs are arena spans, job j on worker j % team).
+      // std::merge is stable and the keys form a strict total order
+      // (unique minors), so every merge shape — serial, parallel, any
+      // pairing — yields exactly the serial engine's sorted candidate
+      // order: same retained prefix, same cache order.
       merge_runs_.clear();
       for (ShardSlot& slot : slots_) {
-        if (!slot.scored.empty()) merge_runs_.push_back(&slot.scored);
+        if (slot.scored_size > 0) {
+          merge_runs_.push_back({slot.scored, slot.scored_size});
+        }
       }
-      if (!arrival_scored_.empty()) merge_runs_.push_back(&arrival_scored_);
-      std::size_t tmp_used = 0;
+      if (!arrival_scored_.empty()) {
+        merge_runs_.push_back(
+            {arrival_scored_.data(), arrival_scored_.size()});
+      }
       while (merge_runs_.size() > 1) {
         next_runs_.clear();
+        merge_jobs_.clear();
+        std::size_t level_entries = 0;
         for (std::size_t i = 0; i + 1 < merge_runs_.size(); i += 2) {
-          const std::vector<ScoredEntry>& a = *merge_runs_[i];
-          const std::vector<ScoredEntry>& b = *merge_runs_[i + 1];
-          // merge_tmp_ was pre-sized to num_shards at run setup, so taking
-          // the next scratch vector never reallocates the pool (pointers
-          // in merge_runs_ stay valid).
-          std::vector<ScoredEntry>& out = merge_tmp_[tmp_used++];
-          out.clear();
-          out.reserve(a.size() + b.size());
-          std::merge(a.begin(), a.end(), b.begin(), b.end(),
-                     std::back_inserter(out),
-                     [](const ScoredEntry& x, const ScoredEntry& y) {
-                       return ShardKeyBetter(x.key, y.key);
-                     });
-          next_runs_.push_back(&out);
+          const MergeRun& a = merge_runs_[i];
+          const MergeRun& b = merge_runs_[i + 1];
+          ScoredEntry* out =
+              workers_->arena(static_cast<int>(merge_jobs_.size()) % threads)
+                  .AllocArray<ScoredEntry>(a.size + b.size);
+          merge_jobs_.push_back({a, b, out});
+          next_runs_.push_back({out, a.size + b.size});
+          level_entries += a.size + b.size;
         }
         if (merge_runs_.size() % 2 == 1) {
           next_runs_.push_back(merge_runs_.back());
         }
+        if (threads > 1 && merge_jobs_.size() >= 2 &&
+            level_entries >= kParallelMergeMinEntries) {
+          workers_->RunEpoch(&ShardedStreamEngine::MergeEpochThunk, this);
+        } else {
+          for (const MergeJob& job : merge_jobs_) MergePair(job);
+        }
         merge_runs_.swap(next_runs_);
       }
-      const std::vector<ScoredEntry>& merged =
-          merge_runs_.empty() ? arrival_scored_ : *merge_runs_.front();
+      const MergeRun merged =
+          merge_runs_.empty()
+              ? MergeRun{arrival_scored_.data(), arrival_scored_.size()}
+              : merge_runs_.front();
 
       // Commit. The merged prefix is the retained set and the suffix is
       // the eviction list — no retained-set hashing anywhere. A candidate
@@ -272,9 +385,9 @@ EngineRunResult ShardedStreamEngine::RunSharded(
       // prefix keeps slots in globally sorted order — that is what makes
       // next step's runs nearly sorted for SortRun.
       evicted_.clear();
-      const std::size_t keep = std::min(options_.capacity, merged.size());
+      const std::size_t keep = std::min(options_.capacity, merged.size);
       for (std::size_t i = 0; i < keep; ++i) {
-        const StreamTuple& tuple = merged[i].tuple;
+        const StreamTuple& tuple = merged.data[i].tuple;
         retained_.push_back(tuple.id);
         new_cache_.push_back(tuple);
         if (use_value_index && tuple.arrival == t) {
@@ -292,11 +405,13 @@ EngineRunResult ShardedStreamEngine::RunSharded(
         auto it = index.find(tuple.value);
         if (--it->second == 0) index.erase(it);
       };
-      for (std::size_t i = keep; i < merged.size(); ++i) {
-        evict(merged[i].tuple);
+      for (std::size_t i = keep; i < merged.size; ++i) {
+        evict(merged.data[i].tuple);
       }
       for (ShardSlot& slot : slots_) {
-        for (const StreamTuple& tuple : slot.dropped) evict(tuple);
+        for (std::size_t i = 0; i < slot.dropped_size; ++i) {
+          evict(slot.dropped[i]);
+        }
       }
       // Arrivals the policy scored as nullopt were never retention
       // candidates, but they still belong to candidates \ retained.
@@ -406,6 +521,10 @@ EngineRunResult ShardedStreamEngine::RunSharded(
 
     if constexpr (kValidationEnabled) {
       SJOIN_VALIDATE(cache_.size() <= options_.capacity);
+      // The scored-step hot loop must never fall back to heap growth:
+      // the arenas were reserved for the worst case at run setup.
+      SJOIN_VALIDATE_MSG(ArenaGrowthEvents() == arena_growth_baseline_,
+                         "per-step scratch outgrew the reserved arenas");
       // The shard caches must partition the global cache by value shard,
       // and each shard index must match a from-scratch recount.
       std::size_t sharded_total = 0;
@@ -443,11 +562,20 @@ EngineRunResult ShardedStreamEngine::RunSharded(
     step_view.produced = produced;
     step_view.counted = counted;
     step_view.num_candidates = num_candidates;
-    step_view.cache = &cache_;
-    step_view.arrivals = &arrivals_;
-    step_view.retained = &retained_;
-    for (StepObserver* observer : observers) observer->OnStep(step_view);
+    if (batch_ok) {
+      if (!observers.empty()) {
+        pending_views_.push_back(step_view);
+        if (pending_views_.size() >= kStepBatchSteps) flush_views();
+      }
+    } else {
+      step_view.cache = &cache_;
+      step_view.arrivals = &arrivals_;
+      step_view.retained = &retained_;
+      for (StepObserver* observer : observers) observer->OnStep(step_view);
+    }
   }
+  flush_views();
+  workers_->EndBatch();
   for (StepObserver* observer : observers) observer->OnRunEnd(run_view);
   return result;
 }

@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "sjoin/common/shard_workers.h"
 #include "sjoin/common/thread_pool.h"
 #include "sjoin/common/types.h"
 #include "sjoin/engine/partition_map.h"
@@ -29,7 +30,17 @@
 /// the global top-k. Because the merge comparator is the policy's own
 /// strict total order, the merged prefix equals the serial engine's sorted
 /// prefix — retained sets, result counts, telemetry and observer views are
-/// bit-identical to StreamEngine for any shard count.
+/// bit-identical to StreamEngine for any shard count and any thread count.
+///
+/// Execution model (see DESIGN.md §2d): shards are distributed round-robin
+/// over a team of persistent ShardWorkers driven by an epoch ticket — one
+/// atomic release per parallel section instead of per-step task
+/// submission. Per-step scratch (scored runs, merge outputs) comes from
+/// each worker's monotonic arena, reset every step, so the scored-step
+/// hot loop performs no heap allocation; the pairwise merge cascade runs
+/// its independent pairs on the same workers. Observers that declare
+/// AllowsBatchedSteps() have their OnStep views buffered and delivered at
+/// batch boundaries, letting the engine keep workers hot across a batch.
 ///
 /// Policies that cannot decompose (shard_scoring() == nullptr) or runs
 /// with shards <= 1 fall back to a plain StreamEngine behind the same API.
@@ -49,9 +60,19 @@ class ShardedStreamEngine {
     std::optional<Time> window;
     /// Value-domain shards. <= 1 runs the serial StreamEngine.
     int shards = 1;
-    /// Worker pool for the per-shard tasks (not owned; must outlive the
-    /// engine). nullptr = the engine lazily owns a pool of
-    /// min(shards, ThreadPool::DefaultThreads()) threads.
+    /// Worker threads for the sharded path. 0 = auto
+    /// (min(shards, hardware)); 1 runs every shard inline on the caller;
+    /// values above `shards` spawn extra workers that own no shards
+    /// (harmless, so a benchmark matrix can sweep threads independently).
+    int threads = 0;
+    /// Pin spawned workers to CPUs (worker w -> CPU w mod hardware);
+    /// Linux only, best effort, never affects results.
+    bool pin_threads = false;
+    /// Legacy thread-count hint (not owned; may be null). The sharded
+    /// step no longer executes on a ThreadPool — persistent per-shard
+    /// workers own it — but when `threads` == 0 a configured pool still
+    /// caps the worker count at its size, so existing callers keep the
+    /// thread budget they configured.
     ThreadPool* pool = nullptr;
   };
 
@@ -68,8 +89,9 @@ class ShardedStreamEngine {
   const StreamTopology& topology() const { return serial_.topology(); }
   const Options& options() const { return options_; }
 
-  /// Threads the sharded path runs on: the configured pool's size, or what
-  /// a lazily owned pool would get. 1 when shards <= 1.
+  /// Worker-team size the sharded path runs with: `threads` when set,
+  /// else the configured pool's size capped at `shards`, else
+  /// DefaultThreads(shards). 1 when shards <= 1.
   int effective_threads() const;
 
   /// effective_threads() of a default-constructed engine at `shards`,
@@ -83,23 +105,49 @@ class ShardedStreamEngine {
     StreamTuple tuple;
   };
 
+  /// A sorted run entering the merge cascade (arena- or vector-backed).
+  struct MergeRun {
+    const ScoredEntry* data = nullptr;
+    std::size_t size = 0;
+  };
+
+  /// One pairwise merge of a cascade level; out has room for both inputs.
+  struct MergeJob {
+    MergeRun a;
+    MergeRun b;
+    ScoredEntry* out = nullptr;
+  };
+
   /// One value-domain shard: the slice of the cache whose values hash
   /// here, its Phase-1 index, and this step's scored run. Cache-line
-  /// aligned so per-shard writes from different workers never false-share.
+  /// aligned so per-shard writes from different workers never false-share;
+  /// the scored/dropped runs live in the owning worker's arena.
   struct alignas(64) ShardSlot {
     std::vector<StreamTuple> cache;
     /// Value -> cached-tuple count, per stream; engaged under the same
     /// criteria as the serial engine's index.
     std::vector<std::unordered_map<Value, std::int64_t>> value_index;
-    /// This step's (merge key, tuple) run, sorted best-first.
-    std::vector<ScoredEntry> scored;
+    /// This step's (merge key, tuple) run, sorted best-first. Arena span
+    /// carved by the driver before the epoch (capacity cache.size()).
+    ScoredEntry* scored = nullptr;
+    std::size_t scored_size = 0;
     /// Cached tuples the policy scored as nullopt this step (e.g. the
     /// reduction's dead copy): evicted unconditionally, tracked only for
-    /// the index decrement.
-    std::vector<StreamTuple> dropped;
+    /// the index decrement. Arena span, capacity cache.size().
+    StreamTuple* dropped = nullptr;
+    std::size_t dropped_size = 0;
     std::unique_ptr<ShardScratch> scratch;
     /// Phase-1 results produced by this shard's probes this step.
     std::int64_t produced = 0;
+  };
+
+  /// Pre-epoch driver context handed to the type-erased epoch thunks.
+  struct StepEpochContext {
+    ShardedStreamEngine* engine = nullptr;
+    const EngineContext* ctx = nullptr;
+    EngineShardScoring* scoring = nullptr;
+    Time now = 0;
+    bool use_value_index = false;
   };
 
   EngineRunResult RunSharded(
@@ -107,22 +155,40 @@ class ShardedStreamEngine {
       EnginePolicy& policy, EngineShardScoring& scoring,
       const std::vector<StepObserver*>& observers);
 
+  /// Worker w's slice of the probe/score epoch: every shard s with
+  /// s % workers == w, in shard order.
+  void RunShardSlice(const StepEpochContext& step, int worker);
+  /// One shard's probes + cached scoring + run sort (worker context).
+  void ProcessShard(const StepEpochContext& step, std::size_t shard);
+  /// Worker w's slice of a merge-cascade level.
+  void RunMergeSlice(int worker);
+  static void MergePair(const MergeJob& job);
+
+  /// Type-erased trampolines handed to ShardWorkers::RunEpoch.
+  static void ShardsEpochThunk(void* raw, int worker);
+  static void MergeEpochThunk(void* raw, int worker);
+
   /// Sorts a scored run best-first. Shard runs enter nearly sorted (the
   /// commit rebuilds shard caches in merged order, and score advancement
   /// rarely reorders neighbours), so small runs use insertion sort;
   /// larger runs take introsort. Any comparison sort yields the same
   /// unique order — the keys are a strict total order.
-  static void SortRun(std::vector<ScoredEntry>& run);
+  static void SortRun(ScoredEntry* run, std::size_t size);
 
   std::size_t ShardOf(Value value) const {
     return partition_.PartitionOf(value);
   }
 
+  /// Sum of growth_events() over the team's arenas (validation hook).
+  std::int64_t ArenaGrowthEvents() const;
+
   Options options_;
   /// Serial engine: fallback executor and the topology/option holder.
   StreamEngine serial_;
   HashPartition partition_;
-  std::unique_ptr<ThreadPool> owned_pool_;
+  /// Persistent worker team, rebuilt only when the team shape changes;
+  /// reused across Run() calls so steady-state runs spawn no threads.
+  std::unique_ptr<ShardWorkers> workers_;
 
   // Sharded-run state, hoisted so the steady state allocates nothing.
   std::vector<ShardSlot> slots_;
@@ -135,13 +201,15 @@ class ShardedStreamEngine {
   std::vector<TupleId> retained_;
   std::vector<TupleId> evicted_;  // candidates \ retained, per step.
   // Merge-cascade state: the current level's sorted runs, the next
-  // level's, and the reused scratch vectors the pairwise merges write
-  // into (pre-sized to the shard count so pointers into it stay stable).
-  std::vector<const std::vector<ScoredEntry>*> merge_runs_;
-  std::vector<const std::vector<ScoredEntry>*> next_runs_;
-  std::vector<std::vector<ScoredEntry>> merge_tmp_;
+  // level's, and the level's pairwise jobs (outputs are arena spans).
+  std::vector<MergeRun> merge_runs_;
+  std::vector<MergeRun> next_runs_;
+  std::vector<MergeJob> merge_jobs_;
+  // Deferred observer views for batched delivery (scalar fields only).
+  std::vector<EngineStepView> pending_views_;
   std::unordered_map<TupleId, StreamTuple> candidates_;
   std::unordered_set<TupleId> retained_set_;
+  std::int64_t arena_growth_baseline_ = 0;
 };
 
 }  // namespace sjoin

@@ -28,6 +28,8 @@ MultiJoinRunResult MultiJoinSimulator::Run(
                                          .warmup = options_.warmup,
                                          .window = options_.window,
                                          .shards = options_.shards,
+                                         .threads = options_.threads,
+                                         .pin_threads = options_.pin_threads,
                                          .pool = options_.pool});
   PerfObserver perf;
   EngineRunResult run = engine.Run(stream_ptrs, policy, {&perf});

@@ -66,8 +66,14 @@ class MultiJoinSimulator {
     /// (engine/sharded_stream_engine.h); results are bit-identical for any
     /// count. <= 1, or a policy without shard scoring, runs serially.
     int shards = 1;
-    /// Worker pool for the sharded path (not owned; must outlive the
-    /// simulator). nullptr = each Run lazily owns one.
+    /// Worker threads for the sharded path; 0 = auto (min(shards,
+    /// hardware)), 1 = inline. See ShardedStreamEngine::Options::threads.
+    int threads = 0;
+    /// Pin sharded-path workers to CPUs (Linux only, best effort).
+    bool pin_threads = false;
+    /// Legacy thread-count hint for the sharded path (not owned; must
+    /// outlive the simulator): when `threads` == 0 a configured pool caps
+    /// the persistent worker team at its size.
     ThreadPool* pool = nullptr;
   };
 

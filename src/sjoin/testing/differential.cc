@@ -113,6 +113,22 @@ int DiffShards() {
   return shards;
 }
 
+/// SJOIN_DIFF_THREADS=<n> (n > 1) runs the sharded reruns requested by
+/// SJOIN_DIFF_SHARDS on a persistent worker team of n threads instead of
+/// inline, so the suites double as a threading differential: parallel
+/// shard scoring and the parallel merge cascade must stay bit-identical
+/// to the serial oracles. No effect unless SJOIN_DIFF_SHARDS engages the
+/// sharded path. Returns 0 when unset or <= 1.
+int DiffThreads() {
+  static const int threads = [] {
+    const char* env = std::getenv("SJOIN_DIFF_THREADS");
+    if (env == nullptr) return 0;
+    int parsed = std::atoi(env);
+    return parsed > 1 ? parsed : 0;
+  }();
+  return threads;
+}
+
 /// Runs the optimized joining side of a trial. By default this goes
 /// through the JoinSimulator façade; with SJOIN_DIFF_ENGINE=direct it
 /// constructs the engine + BinaryPolicyAdapter + observer chain by
@@ -129,6 +145,7 @@ JoinRunResult RunOptimizedJoin(const JoinSimulator::Options& options,
   }();
   JoinSimulator::Options run_options = options;
   if (DiffShards() > 0) run_options.shards = DiffShards();
+  if (DiffThreads() > 0) run_options.threads = DiffThreads();
   if (!direct) return JoinSimulator(run_options).Run(r, s, policy);
 
   // ShardedStreamEngine with shards = 1 delegates to a plain serial
@@ -138,7 +155,8 @@ JoinRunResult RunOptimizedJoin(const JoinSimulator::Options& options,
                              {.capacity = run_options.capacity,
                               .warmup = run_options.warmup,
                               .window = run_options.window,
-                              .shards = run_options.shards});
+                              .shards = run_options.shards,
+                              .threads = run_options.threads});
   BinaryPolicyAdapter adapter(&policy);
   JoinRunResult result;
   PerfObserver perf;
@@ -922,8 +940,10 @@ std::optional<std::string> ReductionTrial(std::uint64_t seed) {
   cache_options.window = scenario.window;
   // Under SJOIN_DIFF_SHARDS the engine-backed side runs sharded while the
   // naive loop stays serial — every comparison below then doubles as a
-  // sharding bit-identity check on the reduction path.
+  // sharding bit-identity check on the reduction path (and a threading
+  // one under SJOIN_DIFF_THREADS).
   if (DiffShards() > 0) cache_options.shards = DiffShards();
+  if (DiffThreads() > 0) cache_options.threads = DiffThreads();
   CacheSimulator cache_sim(cache_options);
   CacheRunResult cached = cache_sim.Run(references, *policy);
   std::string context = scenario.description + " policy=" + policy->name();
@@ -1013,13 +1033,15 @@ std::optional<std::string> ReductionTrial(std::uint64_t seed) {
 }
 
 // ---------------------------------------------------------------------------
-// Suite 8: sharded_engine — ShardedStreamEngine at shard counts {1, 2, 4, 8}
-// against the serial StreamEngine on the same realization and policy,
-// bit for bit: per-step retained ids (in policy order), post-step cache
-// contents, produced counts, candidate-set sizes, run totals, and merged
-// telemetry. This is the direct statement of the sharding contract; the
-// SJOIN_DIFF_SHARDS hook additionally re-runs the other suites' oracles
-// sharded.
+// Suite 8: sharded_engine — ShardedStreamEngine across shard counts
+// {1, 2, 4, 8} crossed with worker-team sizes (inline, fewer threads than
+// shards, one per shard, more threads than shards) against the serial
+// StreamEngine on the same realization and policy, bit for bit: per-step
+// retained ids (in policy order), post-step cache contents, produced
+// counts, candidate-set sizes, run totals, and merged telemetry. This is
+// the direct statement of the sharding contract; the SJOIN_DIFF_SHARDS /
+// SJOIN_DIFF_THREADS hooks additionally re-run the other suites' oracles
+// sharded (and threaded).
 
 /// Records the full per-step trace of an engine run for exact comparison.
 class EngineTraceObserver final : public StepObserver {
@@ -1161,12 +1183,25 @@ std::optional<std::string> ShardedEngineTrial(std::uint64_t seed) {
   EngineRunResult serial_run =
       serial_engine.Run({&r, &s}, adapter, {&serial_perf, &serial_trace});
 
-  for (int shards : {1, 2, 4, 8}) {
+  // Shard counts cross worker-team sizes: threads == 1 is the inline
+  // path, threads < shards folds several shards onto one worker,
+  // threads == shards is one shard per worker, and threads > shards
+  // leaves workers idle. Every combination must reproduce the serial
+  // trace bit for bit — the merge cascade's output is independent of
+  // how (or whether) its pair merges are parallelized.
+  struct ShardCase {
+    int shards;
+    int threads;
+  };
+  constexpr ShardCase kCases[] = {{1, 1}, {2, 2}, {4, 1}, {4, 2},
+                                  {4, 4}, {8, 3}, {4, 8}};
+  for (const ShardCase c : kCases) {
     ShardedStreamEngine sharded(StreamTopology::Binary(),
                                 {.capacity = scenario.capacity,
                                  .warmup = scenario.warmup,
                                  .window = scenario.window,
-                                 .shards = shards});
+                                 .shards = c.shards,
+                                 .threads = c.threads});
     EngineTraceObserver trace;
     PerfObserver perf;
     EngineRunResult run =
@@ -1174,7 +1209,7 @@ std::optional<std::string> ShardedEngineTrial(std::uint64_t seed) {
 
     std::ostringstream context;
     context << scenario.description << " policy=" << policy->name()
-            << " shards=" << shards;
+            << " shards=" << c.shards << " threads=" << c.threads;
     if (run.total_results != serial_run.total_results ||
         run.counted_results != serial_run.counted_results) {
       std::ostringstream out;
@@ -1232,8 +1267,9 @@ const std::vector<DifferentialSuite>& Registry() {
        "CacheSimulator vs naive cache loop; caching HEEB vs naive oracle",
        1000, &ReductionTrial},
       {"sharded_engine",
-       "ShardedStreamEngine at shards {1,2,4,8} vs the serial StreamEngine: "
-       "per-step retained/cache/produced traces and telemetry, bit for bit",
+       "ShardedStreamEngine at shards {1,2,4,8} x worker threads vs the "
+       "serial StreamEngine: per-step retained/cache/produced traces and "
+       "telemetry, bit for bit",
        1000, &ShardedEngineTrial},
   };
   return suites;

@@ -1,8 +1,9 @@
 // ShardedStreamEngine: value-domain sharding must be invisible in the
 // output — bit-identical per-step traces, totals and telemetry for any
-// shard count — for scored (shard-scorable) policies; policies without
-// shard scoring fall back to the serial engine through the same API; the
-// façades plumb Options::shards / Options::pool through.
+// shard count AND any worker-team size (inline, fewer/equal/more threads
+// than shards, pinned or not) — for scored (shard-scorable) policies;
+// policies without shard scoring fall back to the serial engine through
+// the same API; the façades plumb Options::shards / threads / pool.
 
 #include <gtest/gtest.h>
 
@@ -185,6 +186,105 @@ TEST(ShardedStreamEngineTest, FacadeShardsOptionIsBitIdentical) {
   EXPECT_EQ(multi_serial.counted_results, multi_sharded.counted_results);
 }
 
+TEST(ShardedStreamEngineTest, ThreadsAreBitIdenticalAtEveryTeamSize) {
+  Rng rng(53);
+  // Cross worker-team sizes with both cache regimes: threads == 1 is the
+  // inline path, 2 folds shards onto workers, 4 is one worker per shard,
+  // and 8 leaves idle workers. All must reproduce the serial trace
+  // exactly — the parallel merge cascade and the shard slices may not
+  // perturb the (score, arrival, id) order.
+  for (std::size_t capacity : {std::size_t{3}, std::size_t{40}}) {
+    std::vector<Value> r = SampleValues(300, 12, rng);
+    std::vector<Value> s = SampleValues(300, 12, rng);
+    ProbPolicy prob;
+    BinaryPolicyAdapter adapter(&prob);
+    StreamEngine::Options options{.capacity = capacity, .warmup = 20};
+
+    StreamEngine serial(StreamTopology::Binary(), options);
+    TraceObserver serial_trace;
+    PerfObserver serial_perf;
+    EngineRunResult serial_run =
+        serial.Run({&r, &s}, adapter, {&serial_perf, &serial_trace});
+
+    for (int threads : {1, 2, 4, 8}) {
+      ShardedStreamEngine engine(StreamTopology::Binary(),
+                                 {.capacity = options.capacity,
+                                  .warmup = options.warmup,
+                                  .shards = 4,
+                                  .threads = threads});
+      TraceObserver trace;
+      PerfObserver perf;
+      EngineRunResult run = engine.Run({&r, &s}, adapter, {&perf, &trace});
+
+      EXPECT_EQ(serial_run.total_results, run.total_results) << threads;
+      EXPECT_EQ(serial_run.counted_results, run.counted_results) << threads;
+      EXPECT_EQ(serial_perf.telemetry().peak_candidates,
+                perf.telemetry().peak_candidates)
+          << threads;
+      EXPECT_EQ(serial_trace.retained(), trace.retained()) << threads;
+      EXPECT_EQ(serial_trace.cache_ids(), trace.cache_ids()) << threads;
+      EXPECT_EQ(serial_trace.produced(), trace.produced()) << threads;
+    }
+  }
+}
+
+TEST(ShardedStreamEngineTest, BatchedObserverDeliveryMatchesClassic) {
+  // A PerfObserver-only chain permits batched delivery (scalar views
+  // buffered, flushed at batch boundaries); a TraceObserver in the chain
+  // forces classic per-step delivery. Both modes must agree on totals and
+  // telemetry with the serial engine.
+  Rng rng(59);
+  std::vector<Value> r = SampleValues(400, 10, rng);
+  std::vector<Value> s = SampleValues(400, 10, rng);
+  ProbPolicy prob;
+  BinaryPolicyAdapter adapter(&prob);
+
+  StreamEngine serial(StreamTopology::Binary(), {.capacity = 6, .warmup = 15});
+  PerfObserver serial_perf;
+  EngineRunResult serial_run = serial.Run({&r, &s}, adapter, {&serial_perf});
+
+  ShardedStreamEngine engine(
+      StreamTopology::Binary(),
+      {.capacity = 6, .warmup = 15, .shards = 4, .threads = 2});
+  // Batched: PerfObserver alone opts in via AllowsBatchedSteps().
+  ASSERT_TRUE(PerfObserver().AllowsBatchedSteps());
+  PerfObserver batched_perf;
+  EngineRunResult batched = engine.Run({&r, &s}, adapter, {&batched_perf});
+  EXPECT_EQ(serial_run.total_results, batched.total_results);
+  EXPECT_EQ(serial_run.counted_results, batched.counted_results);
+  EXPECT_EQ(serial_perf.telemetry().steps, batched_perf.telemetry().steps);
+  EXPECT_EQ(serial_perf.telemetry().peak_candidates,
+            batched_perf.telemetry().peak_candidates);
+
+  // Classic: the trace observer (needs pointer fields) disables batching
+  // for the whole chain; the perf numbers must come out the same anyway.
+  PerfObserver classic_perf;
+  TraceObserver trace;
+  ASSERT_FALSE(trace.AllowsBatchedSteps());
+  EngineRunResult classic =
+      engine.Run({&r, &s}, adapter, {&classic_perf, &trace});
+  EXPECT_EQ(serial_run.total_results, classic.total_results);
+  EXPECT_EQ(serial_perf.telemetry().steps, classic_perf.telemetry().steps);
+  EXPECT_EQ(serial_perf.telemetry().peak_candidates,
+            classic_perf.telemetry().peak_candidates);
+}
+
+TEST(ShardedStreamEngineTest, PinnedThreadsAreBitIdentical) {
+  // Affinity is a best-effort placement hint; output must not change.
+  Rng rng(61);
+  std::vector<Value> r = SampleValues(200, 9, rng);
+  std::vector<Value> s = SampleValues(200, 9, rng);
+  ProbPolicy prob;
+  JoinRunResult serial = JoinSimulator({.capacity = 6}).Run(r, s, prob);
+  JoinSimulator::Options options{.capacity = 6};
+  options.shards = 4;
+  options.threads = 4;
+  options.pin_threads = true;
+  JoinRunResult pinned = JoinSimulator(options).Run(r, s, prob);
+  EXPECT_EQ(serial.total_results, pinned.total_results);
+  EXPECT_EQ(serial.counted_results, pinned.counted_results);
+}
+
 TEST(ShardedStreamEngineTest, ExternalPoolIsSharedAndReusable) {
   Rng rng(43);
   std::vector<Value> r = SampleValues(200, 9, rng);
@@ -193,6 +293,10 @@ TEST(ShardedStreamEngineTest, ExternalPoolIsSharedAndReusable) {
 
   JoinRunResult serial = JoinSimulator({.capacity = 6}).Run(r, s, prob);
 
+  // Since the persistent-worker rework the pool is a legacy thread-count
+  // hint: the engine no longer submits step work to it, but a configured
+  // pool still caps the worker-team size (here: 2 workers for 4 shards).
+  // Results stay bit-identical and the simulator stays reusable.
   ThreadPool pool(2);
   JoinSimulator::Options options{.capacity = 6};
   options.shards = 4;
