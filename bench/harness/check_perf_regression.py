@@ -4,15 +4,15 @@
 Usage:
     check_perf_regression.py BASELINE.json CURRENT.json [--threshold=1.25]
 
-Rows are matched by (name, workload, len, shards, threads); older files
-without per-row shards/threads read as shards=1 / threads=1 throughout,
-so v1 and early-v2 baselines keep working against newer runs. The raw
-per-row ratio current/baseline of ns_per_step is normalized by the median
-ratio across all matched rows before thresholding: CI machines are
-uniformly slower or faster than the laptop that committed the baseline,
-and that uniform shift carries no information about the code. A real
-regression moves one row relative to the rest, which the normalized ratio
-isolates.
+Rows are matched by (name, workload, len, shards, adaptive, threads);
+older files without per-row shards/threads/adaptive read as shards=1 /
+threads=1 / adaptive=0 throughout, so v1/v2 baselines keep working
+against newer runs. The raw per-row ratio current/baseline of ns_per_step
+is normalized by the median ratio across all matched rows before
+thresholding: CI machines are uniformly slower or faster than the laptop
+that committed the baseline, and that uniform shift carries no
+information about the code. A real regression moves one row relative to
+the rest, which the normalized ratio isolates.
 
 Only threads=1 rows feed the median and the threshold: multi-thread
 timings depend on the host's core count (a single-core runner serializes
@@ -22,6 +22,15 @@ printed — as "info" — and summarized after the table as best-threads
 speedups over their own threads=1 row: the quick read on whether worker
 threads pay off on this host (on a single-core runner they won't, and
 that's expected).
+
+Adaptive rows (skew-adaptive partition map on) are gated like any other
+threads=1 row — the map's bookkeeping is part of the engine's cost — and
+additionally summarized after the table: per row, the average hot-shard
+load ratio (max/mean candidates scored per shard, per rebalance window)
+under the static equal-width layout vs the evolved one, plus the
+rebalance count. On skewed workloads the adaptive ratio should sit well
+below the static one; on uniform workloads both hover near 1 with few or
+no rebalances.
 
 Exit status 1 if any normalized threads=1 ratio exceeds the threshold or
 if a baseline row is missing from the current run.
@@ -35,26 +44,28 @@ import sys
 def load_rows(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") not in ("sjoin-perf-v1", "sjoin-perf-v2"):
+    if doc.get("schema") not in ("sjoin-perf-v1", "sjoin-perf-v2",
+                                 "sjoin-perf-v3"):
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
     return {
         (r["name"], r["workload"], r["len"], r.get("shards", 1),
-         r.get("threads", 1)): r
+         r.get("adaptive", 0), r.get("threads", 1)): r
         for r in doc["results"]
     }
 
 
 def describe(key):
-    name, workload, length, shards, threads = key
+    name, workload, length, shards, adaptive, threads = key
+    suffix = ", adaptive" if adaptive else ""
     return (f"{name} ({workload}, len={length}, shards={shards}, "
-            f"threads={threads})")
+            f"threads={threads}{suffix})")
 
 
 def thread_scaling_summary(rows):
     """Best-threads speedup vs the threads=1 row for each threads sweep."""
     groups = {}
     for key, row in rows.items():
-        groups.setdefault(key[:4], {})[key[4]] = row["ns_per_step"]
+        groups.setdefault(key[:5], {})[key[5]] = row["ns_per_step"]
     printed_header = False
     for group_key, by_threads in sorted(groups.items()):
         if len(by_threads) < 2 or 1 not in by_threads:
@@ -65,11 +76,32 @@ def thread_scaling_summary(rows):
         serial = by_threads[1]
         best_threads = min(by_threads, key=lambda t: by_threads[t])
         speedup = serial / by_threads[best_threads]
-        name, workload, length, shards = group_key
+        name, workload, length, shards, adaptive = group_key
+        tag = " adaptive" if adaptive else ""
         print(f"  {name:<18} {workload:<6} len={length:<5} "
-              f"shards={shards:<2} best t={best_threads} "
+              f"shards={shards:<2}{tag} best t={best_threads} "
               f"speedup x{speedup:.2f} "
               f"({serial:.0f} -> {by_threads[best_threads]:.0f} ns/step)")
+
+
+def skew_summary(rows):
+    """Hot-shard load ratio before/after rebalancing, per adaptive row."""
+    printed_header = False
+    for key, row in sorted(rows.items()):
+        if key[4] == 0 or "skew_ratio_static" not in row:
+            continue
+        if not printed_header:
+            print("\nskew balance (current run, max/mean load per shard, "
+                  "averaged over rebalance windows):")
+            printed_header = True
+        name, workload, length, shards, _, threads = key
+        static = row["skew_ratio_static"]
+        adaptive = row["skew_ratio_adaptive"]
+        print(f"  {name:<18} {workload:<6} len={length:<5} "
+              f"s{shards}/t{threads:<2} static x{static:.2f} -> "
+              f"adaptive x{adaptive:.2f} "
+              f"({row.get('rebalances', 0)} rebalances over "
+              f"{row.get('windows', 0)} windows)")
 
 
 def main(argv):
@@ -100,7 +132,7 @@ def main(argv):
         key: current[key]["ns_per_step"] / baseline[key]["ns_per_step"]
         for key in matched
     }
-    gated = [key for key in matched if key[4] == 1]
+    gated = [key for key in matched if key[5] == 1]
     if not gated:
         sys.exit("no threads=1 rows in common to gate on")
     median = statistics.median(ratios[key] for key in gated)
@@ -110,20 +142,22 @@ def main(argv):
     failed = bool(missing)
     for key in matched:
         normalized = ratios[key] / median
-        if key[4] != 1:
+        if key[5] != 1:
             verdict = "info"
         elif normalized > threshold:
             verdict = f"REGRESSED >{(threshold - 1) * 100:.0f}%"
             failed = True
         else:
             verdict = "ok"
+        tag = "a" if key[4] else ""
         print(f"{verdict:>14}  {key[0]:<18} {key[1]:<6} len={key[2]:<5} "
-              f"s{key[3]}/t{key[4]:<2} "
+              f"s{key[3]}{tag}/t{key[5]:<2} "
               f"ns/step {baseline[key]['ns_per_step']:>12.0f} -> "
               f"{current[key]['ns_per_step']:>12.0f} "
               f"(raw x{ratios[key]:.3f}, normalized x{normalized:.3f})")
 
     thread_scaling_summary(current)
+    skew_summary(current)
 
     if failed:
         print("perf regression check FAILED")

@@ -1,8 +1,13 @@
 #include "harness/configs.h"
 
+#include <cmath>
+#include <cstdio>
+
 #include "sjoin/core/lifetime_fn.h"
 #include "sjoin/stochastic/linear_trend_process.h"
 #include "sjoin/stochastic/random_walk_process.h"
+#include "sjoin/stochastic/regime_switching_process.h"
+#include "sjoin/stochastic/stationary_process.h"
 
 namespace sjoin::bench {
 namespace {
@@ -51,6 +56,62 @@ JoinWorkload MakeRoof() {
 
 JoinWorkload MakeFloor() {
   return MakeTrendWorkload("FLOOR", 0.0, 0.0, 1.0, /*uniform=*/true);
+}
+
+JoinWorkload MakeZipf(double s) {
+  JoinWorkload workload;
+  char name[32];
+  std::snprintf(name, sizeof(name), "ZIPF%02d",
+                static_cast<int>(std::lround(s * 10)));
+  workload.name = name;
+  // Both streams share the hot head, so hot values both dominate the
+  // cache and join often — the per-shard load the rebalancer sees is as
+  // skewed as the pmf.
+  auto pmf = DiscreteDistribution::Zipf(0, 63, s);
+  workload.r = std::make_unique<StationaryProcess>(pmf);
+  workload.s = std::make_unique<StationaryProcess>(pmf);
+  // No noise-bound window exists for a stationary stream; give LIFE the
+  // hot head's expected re-arrival scale instead.
+  workload.life_window = 32;
+  workload.heeb_alpha = ExpLifetime::AlphaForAverageLifetime(16.0);
+  workload.heeb_mode = HeebJoinPolicy::Mode::kTimeIncremental;
+  workload.heeb_horizon = 80;
+  return workload;
+}
+
+JoinWorkload MakeBursty() {
+  JoinWorkload workload;
+  workload.name = "BURSTY";
+  // 60-step bursts concentrated on an 8-value window at the top of the
+  // domain, then 140 calm steps spread near-uniformly over all 64 values.
+  std::vector<RegimeSwitchingProcess::Phase> phases;
+  phases.push_back({DiscreteDistribution::Zipf(48, 55, 1.4), 60});
+  phases.push_back({DiscreteDistribution::Zipf(0, 63, 0.2), 140});
+  workload.r = std::make_unique<RegimeSwitchingProcess>(phases);
+  workload.s = std::make_unique<RegimeSwitchingProcess>(std::move(phases));
+  workload.life_window = 32;
+  workload.heeb_alpha = ExpLifetime::AlphaForAverageLifetime(16.0);
+  workload.heeb_mode = HeebJoinPolicy::Mode::kTimeIncremental;
+  workload.heeb_horizon = 80;
+  return workload;
+}
+
+JoinWorkload MakeRegime() {
+  JoinWorkload workload;
+  workload.name = "REGIME";
+  // The hot window jumps across the domain every 150 steps; a partition
+  // balanced for one regime is pinned by the next.
+  std::vector<RegimeSwitchingProcess::Phase> phases;
+  phases.push_back({DiscreteDistribution::Zipf(0, 15, 1.2), 150});
+  phases.push_back({DiscreteDistribution::Zipf(24, 39, 1.2), 150});
+  phases.push_back({DiscreteDistribution::Zipf(48, 63, 1.2), 150});
+  workload.r = std::make_unique<RegimeSwitchingProcess>(phases);
+  workload.s = std::make_unique<RegimeSwitchingProcess>(std::move(phases));
+  workload.life_window = 32;
+  workload.heeb_alpha = ExpLifetime::AlphaForAverageLifetime(16.0);
+  workload.heeb_mode = HeebJoinPolicy::Mode::kTimeIncremental;
+  workload.heeb_horizon = 80;
+  return workload;
 }
 
 JoinWorkload MakeWalk() {

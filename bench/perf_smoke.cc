@@ -13,9 +13,13 @@
 // rows are the one exception — an inline (threads=1) shard sweep at
 // {1, 2, 4, 8} shards isolates sharding itself, and a full shards x
 // threads matrix on HEEB-value-incr / CACHE-LRU / CACHE-PROB measures the
-// persistent worker team (sjoin-perf-v2 rows carry shards and threads;
-// shards=1/threads=1 rows are the serial baselines the sweeps read
-// against).
+// persistent worker team (sjoin-perf-v3 rows carry shards, threads and an
+// adaptive flag; shards=1/threads=1 rows are the serial baselines the
+// sweeps read against). Skewed workloads (ZIPF08/ZIPF12/BURSTY/REGIME)
+// anchor the skew-adaptive partition map: the ZIPF12 shards x threads
+// block runs static vs adaptive, and adaptive rows carry the hot-shard
+// load ratio before/after rebalancing (skew_ratio_static vs
+// skew_ratio_adaptive) plus the rebalance count.
 //
 // Usage: perf_smoke [--len=2000] [--runs=3] [--cache=50] [--seed=1]
 //                   [--flow_len=400] [--flow_prune=1]
@@ -65,10 +69,22 @@ struct ScenarioResult {
   int runs = 0;
   int shards = 1;
   int threads = 1;
+  /// 1 when the run used the skew-adaptive partition map. Part of the row
+  /// key: an adaptive row measures a different engine configuration than
+  /// its static twin at the same (name, workload, len, shards, threads).
+  int adaptive = 0;
   std::int64_t setup_ns = 0;  // Policy construction (all runs).
   std::int64_t run_ns = 0;    // JoinSimulator::Run (all runs).
   std::int64_t counted_results = 0;
   std::int64_t peak_candidates = 0;
+  // Skew telemetry, summed over runs (adaptive rows only): rebalance
+  // windows evaluated, rebalances applied, and the per-window max/mean
+  // load-ratio sums under the static equal-width layout vs the evolved
+  // one — divide by windows for the average ratios the JSON reports.
+  std::int64_t windows = 0;
+  std::int64_t rebalances = 0;
+  double static_ratio_sum = 0.0;
+  double adaptive_ratio_sum = 0.0;
 };
 
 struct Config {
@@ -87,7 +103,8 @@ template <typename MakePolicy>
 ScenarioResult TimeScenario(const std::string& name,
                             const JoinWorkload& workload, Time len,
                             const Config& config, MakePolicy&& make_policy,
-                            int shards = 1, int threads = 1) {
+                            int shards = 1, int threads = 1,
+                            bool adaptive = false) {
   ScenarioResult out;
   out.name = name;
   out.workload = workload.name;
@@ -95,6 +112,7 @@ ScenarioResult TimeScenario(const std::string& name,
   out.runs = config.runs;
   out.shards = shards;
   out.threads = threads;
+  out.adaptive = adaptive ? 1 : 0;
 
   Rng rng(config.seed);
   std::vector<StreamPair> pairs;
@@ -106,7 +124,8 @@ ScenarioResult TimeScenario(const std::string& name,
   JoinSimulator sim({.capacity = config.cache,
                      .warmup = static_cast<Time>(4 * config.cache),
                      .shards = shards,
-                     .threads = threads});
+                     .threads = threads,
+                     .adaptive_shards = adaptive});
   for (const StreamPair& pair : pairs) {
     Stopwatch setup;
     auto policy = make_policy(pair);
@@ -119,6 +138,10 @@ ScenarioResult TimeScenario(const std::string& name,
     if (result.telemetry.peak_candidates > out.peak_candidates) {
       out.peak_candidates = result.telemetry.peak_candidates;
     }
+    out.windows += result.adaptive.windows;
+    out.rebalances += result.adaptive.rebalances;
+    out.static_ratio_sum += result.adaptive.static_ratio_sum;
+    out.adaptive_ratio_sum += result.adaptive.adaptive_ratio_sum;
   }
   std::int64_t steps = len * config.runs;
   std::fprintf(stderr, "%-18s %-5s s%d/t%d %8.0f steps/s %10.0f ns/step\n",
@@ -194,7 +217,7 @@ void WriteJson(const std::string& path, const Config& config,
   JsonWriter json;
   json.BeginObject();
   json.Key("schema");
-  json.String("sjoin-perf-v2");
+  json.String("sjoin-perf-v3");
   json.Key("len");
   json.Int(config.len);
   json.Key("runs");
@@ -220,6 +243,8 @@ void WriteJson(const std::string& path, const Config& config,
     json.Int(r.shards);
     json.Key("threads");
     json.Int(r.threads);
+    json.Key("adaptive");
+    json.Int(r.adaptive);
     json.Key("setup_ns");
     json.Int(r.setup_ns);
     json.Key("run_ns");
@@ -232,6 +257,22 @@ void WriteJson(const std::string& path, const Config& config,
     json.Int(r.peak_candidates);
     json.Key("counted_results");
     json.Int(r.counted_results);
+    if (r.adaptive != 0 && r.windows > 0) {
+      // Average max/mean candidates-per-shard ratio over rebalance
+      // windows: what the never-rebalanced equal-width layout would have
+      // seen on the same loads vs what the evolved map saw. The
+      // regression checker prints these side by side; on skewed
+      // workloads skew_ratio_adaptive < skew_ratio_static is the point
+      // of the whole mechanism.
+      json.Key("windows");
+      json.Int(r.windows);
+      json.Key("rebalances");
+      json.Int(r.rebalances);
+      json.Key("skew_ratio_static");
+      json.Double(r.static_ratio_sum / static_cast<double>(r.windows));
+      json.Key("skew_ratio_adaptive");
+      json.Double(r.adaptive_ratio_sum / static_cast<double>(r.windows));
+    }
     json.EndObject();
   }
   json.EndArray();
@@ -388,6 +429,65 @@ int main(int argc, char** argv) {
         [&] { return std::make_unique<RandomCachingPolicy>(config.seed + 29); },
         shards));
   }
+
+  // Skewed workloads (adaptive-sharding study): Zipf popularity at two
+  // exponents, bursty phases, and a regime-switching hot set. Serial rows
+  // first — they anchor the skewed workloads' baseline cost and prove the
+  // skew itself doesn't change the serial profile class.
+  JoinWorkload zipf08 = MakeZipf(0.8);
+  JoinWorkload zipf12 = MakeZipf(1.2);
+  JoinWorkload bursty = MakeBursty();
+  JoinWorkload regime = MakeRegime();
+  auto prob_on = [] {
+    return [](const StreamPair&) {
+      return std::make_unique<ProbPolicy>(std::nullopt);
+    };
+  };
+  for (const JoinWorkload* skewed : {&zipf08, &zipf12, &bursty, &regime}) {
+    results.push_back(TimeScenario(
+        "HEEB-time-incr", *skewed, config.len, config,
+        heeb_on(*skewed, HeebJoinPolicy::Mode::kTimeIncremental,
+                skewed->heeb_alpha)));
+    results.push_back(
+        TimeScenario("PROB", *skewed, config.len, config, prob_on()));
+    results.push_back(TimeScenario(
+        "LIFE", *skewed, config.len, config, [&](const StreamPair&) {
+          return std::make_unique<LifePolicy>(skewed->life_window);
+        }));
+  }
+
+  // Skew sweep: the hottest workload (ZIPF12) across shards x threads,
+  // static vs adaptive partitioning. Results are bit-identical across the
+  // whole block (the adaptive map only moves load, never output); the
+  // adaptive rows additionally record the before/after hot-shard load
+  // ratios (skew_ratio_static vs skew_ratio_adaptive) and the rebalance
+  // count. The static TOWER matrix above is the no-skew control: adaptive
+  // off there, and the threads=1 rows here gate any overhead regression.
+  for (int shards : {1, 2, 4, 8}) {
+    for (int threads : {1, 4}) {
+      if (shards == 1 && threads > 1) continue;
+      for (int adaptive = 0; adaptive < 2; ++adaptive) {
+        if (shards == 1 && adaptive == 1) continue;  // Serial: map unused.
+        results.push_back(TimeScenario(
+            "HEEB-time-incr", zipf12, sweep.len, sweep,
+            heeb_on(zipf12, HeebJoinPolicy::Mode::kTimeIncremental,
+                    zipf12.heeb_alpha),
+            shards, threads, adaptive != 0));
+        results.push_back(TimeScenario("PROB", zipf12, sweep.len, sweep,
+                                       prob_on(), shards, threads,
+                                       adaptive != 0));
+      }
+    }
+  }
+
+  // Uniform control for the adaptive overhead: TOWER at threads=1 with
+  // the map on. No skew means (nearly) no rebalances; the row isolates
+  // the bucket-counting cost the checker gates against its static twin.
+  results.push_back(TimeScenario(
+      "HEEB-time-incr", tower, sweep.len, sweep,
+      heeb_on(tower, HeebJoinPolicy::Mode::kTimeIncremental,
+              tower.heeb_alpha),
+      /*shards=*/4, /*threads=*/1, /*adaptive=*/true));
 
   // Shards x threads matrix: the persistent-worker path across every
   // combination of shard count and worker-team size, on the heaviest

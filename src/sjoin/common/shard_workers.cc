@@ -130,8 +130,9 @@ ShardArena& ShardWorkers::arena(int worker) {
   return states_[worker].arena;
 }
 
-void ShardWorkers::RunEpoch(EpochFn fn, void* ctx) {
+void ShardWorkers::RunEpoch(EpochFn fn, void* ctx, EpochKind kind) {
   SJOIN_CHECK(fn != nullptr);
+  ++epoch_counts_[static_cast<int>(kind)];
   if (options_.workers == 1) {
     fn(ctx, 0);
     return;

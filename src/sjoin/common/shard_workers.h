@@ -102,6 +102,13 @@ class ShardArena {
 /// after every slice finished; the team stays usable afterwards.
 class ShardWorkers {
  public:
+  /// What an epoch does, for telemetry only: per-kind counters let tests
+  /// assert that e.g. the sharded engine's rare cache-migration epochs
+  /// actually ran (or stayed at zero) without instrumenting the hot loop.
+  /// The kind never changes scheduling — every epoch runs the same way.
+  enum class EpochKind { kGeneric = 0, kStep, kMerge, kMigration };
+  static constexpr int kNumEpochKinds = 4;
+
   struct Options {
     /// Team size, >= 1. 1 = inline (no threads spawned).
     int workers = 1;
@@ -120,8 +127,18 @@ class ShardWorkers {
   using EpochFn = void (*)(void* ctx, int worker);
 
   /// Runs one epoch; see the class comment. Not reentrant: one driver
-  /// thread, no overlapping calls.
-  void RunEpoch(EpochFn fn, void* ctx);
+  /// thread, no overlapping calls. `kind` only feeds the epochs() counters.
+  void RunEpoch(EpochFn fn, void* ctx, EpochKind kind = EpochKind::kGeneric);
+
+  /// Epochs run so far, per kind / total. Driver-thread reads only.
+  std::int64_t epochs(EpochKind kind) const {
+    return epoch_counts_[static_cast<int>(kind)];
+  }
+  std::int64_t total_epochs() const {
+    std::int64_t total = 0;
+    for (std::int64_t count : epoch_counts_) total += count;
+    return total;
+  }
 
   /// Batch hints: between BeginBatch and EndBatch workers expect the next
   /// epoch imminently and spin longer before parking; outside a batch
@@ -159,6 +176,7 @@ class ShardWorkers {
   std::atomic<std::uint64_t> epoch_{0};
   EpochFn fn_ = nullptr;
   void* ctx_ = nullptr;
+  std::int64_t epoch_counts_[kNumEpochKinds] = {};
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> in_batch_{false};

@@ -24,7 +24,10 @@ JoinRunResult JoinSimulator::Run(const std::vector<Value>& r,
                               .shards = options_.shards,
                               .threads = options_.threads,
                               .pin_threads = options_.pin_threads,
-                              .pool = options_.pool});
+                              .pool = options_.pool,
+                              .adaptive = {.enabled = options_.adaptive_shards,
+                                           .interval =
+                                               options_.adaptive_interval}});
   BinaryPolicyAdapter adapter(&policy);
 
   JoinRunResult result;
@@ -38,6 +41,7 @@ JoinRunResult JoinSimulator::Run(const std::vector<Value>& r,
   result.total_results = run.total_results;
   result.counted_results = run.counted_results;
   result.telemetry = perf.telemetry();
+  result.adaptive = engine.adaptive_stats();
   return result;
 }
 

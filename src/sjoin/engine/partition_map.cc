@@ -1,0 +1,183 @@
+#include "sjoin/engine/partition_map.h"
+
+#include <algorithm>
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+
+AdaptivePartitionMap::AdaptivePartitionMap(Options options)
+    : options_(options) {
+  if (options_.partitions < 1) options_.partitions = 1;
+  const auto partitions = static_cast<std::size_t>(options_.partitions);
+
+  // Power-of-two bucket count, at least 4 buckets per initial range so the
+  // first few splits have somewhere to cut.
+  std::size_t buckets = options_.num_buckets > 0
+                            ? static_cast<std::size_t>(options_.num_buckets)
+                            : std::size_t{1};
+  buckets = std::max(buckets, 4 * partitions);
+  std::size_t rounded = 1;
+  while (rounded < buckets) rounded <<= 1;
+  bucket_mask_ = rounded - 1;
+
+  initial_bounds_.resize(partitions + 1);
+  for (std::size_t p = 0; p <= partitions; ++p) {
+    initial_bounds_[p] = p * rounded / partitions;
+  }
+  Reset();
+}
+
+void AdaptivePartitionMap::Reset() {
+  bounds_ = initial_bounds_;
+  version_ = 0;
+  history_.clear();
+  RebuildBucketTable();
+}
+
+void AdaptivePartitionMap::RebuildBucketTable() {
+  bucket_to_partition_.assign(num_buckets(), 0);
+  for (std::size_t p = 0; p + 1 < bounds_.size(); ++p) {
+    for (std::size_t b = bounds_[p]; b < bounds_[p + 1]; ++b) {
+      bucket_to_partition_[b] = p;
+    }
+  }
+}
+
+bool AdaptivePartitionMap::Rebalance(
+    const std::vector<std::int64_t>& bucket_load, Time now) {
+  SJOIN_CHECK_EQ(bucket_load.size(), num_buckets());
+  const std::size_t partitions = num_partitions();
+  if (partitions < 2) return false;
+
+  range_load_.assign(partitions, 0);
+  std::int64_t total = 0;
+  for (std::size_t p = 0; p < partitions; ++p) {
+    std::int64_t sum = 0;
+    for (std::size_t b = bounds_[p]; b < bounds_[p + 1]; ++b) {
+      sum += bucket_load[b];
+    }
+    range_load_[p] = sum;
+    total += sum;
+  }
+  if (total <= 0) return false;
+
+  // Hottest range; lowest index wins ties so the decision is a pure
+  // function of the loads.
+  std::size_t hot = 0;
+  for (std::size_t p = 1; p < partitions; ++p) {
+    if (range_load_[p] > range_load_[hot]) hot = p;
+  }
+  const double mean = static_cast<double>(total) / partitions;
+  if (static_cast<double>(range_load_[hot]) <= options_.imbalance_ratio * mean) {
+    return false;
+  }
+
+  // Coldest adjacent pair that excludes the hottest range. If its combined
+  // load is still below the hot load, coalescing it frees a range to split
+  // the hot one with. Otherwise (hot dwarfs nothing, e.g. two partitions)
+  // fall back to redistributing: merge the hot range with its lighter
+  // neighbor and re-split the union — a pure boundary move.
+  bool have_cold = false;
+  std::size_t cold_left = 0;
+  std::int64_t cold_load = 0;
+  for (std::size_t i = 0; i + 1 < partitions; ++i) {
+    if (i == hot || i + 1 == hot) continue;
+    const std::int64_t pair = range_load_[i] + range_load_[i + 1];
+    if (!have_cold || pair < cold_load) {
+      have_cold = true;
+      cold_left = i;
+      cold_load = pair;
+    }
+  }
+
+  std::size_t merge_left;
+  if (have_cold && cold_load < range_load_[hot]) {
+    merge_left = cold_left;
+  } else if (hot == 0) {
+    merge_left = 0;
+  } else if (hot == partitions - 1) {
+    merge_left = partitions - 2;
+  } else {
+    merge_left =
+        range_load_[hot - 1] <= range_load_[hot + 1] ? hot - 1 : hot;
+  }
+  const bool hot_in_pair = merge_left == hot || merge_left + 1 == hot;
+  const std::size_t removed_boundary = bounds_[merge_left + 1];
+  cold_load = range_load_[merge_left] + range_load_[merge_left + 1];
+
+  // The post-merge range to split: the hot range itself, or the merged
+  // union when the hot range took part in the merge.
+  const std::size_t split_begin =
+      hot_in_pair ? bounds_[merge_left] : bounds_[hot];
+  const std::size_t split_end =
+      hot_in_pair ? bounds_[merge_left + 2] : bounds_[hot + 1];
+  const std::int64_t split_load = hot_in_pair ? cold_load : range_load_[hot];
+  if (split_end - split_begin < 2) return false;  // Single hot bucket.
+
+  // Load-weighted midpoint: the first cut where the left half reaches half
+  // the range's load, clamped to keep both halves non-empty.
+  std::size_t cut = split_begin + 1;
+  std::int64_t prefix = 0;
+  for (std::size_t b = split_begin; b < split_end; ++b) {
+    prefix += bucket_load[b];
+    if (2 * prefix >= split_load) {
+      cut = b + 1;
+      break;
+    }
+  }
+  cut = std::max(cut, split_begin + 1);
+  cut = std::min(cut, split_end - 1);
+  // Merging a pair and cutting the old boundary back would be an identity
+  // rebalance; report no change instead of churning the version.
+  if (cut == removed_boundary) return false;
+
+  bounds_.erase(bounds_.begin() + static_cast<std::ptrdiff_t>(merge_left + 1));
+  bounds_.insert(std::lower_bound(bounds_.begin(), bounds_.end(), cut), cut);
+  ++version_;
+  history_.push_back(RebalanceAction{
+      .version = version_,
+      .step = now,
+      .coalesced_left = static_cast<int>(merge_left),
+      .removed_boundary = removed_boundary,
+      .split_partition = static_cast<int>(hot),
+      .split_boundary = cut,
+      .hot_load = range_load_[hot],
+      .cold_load = cold_load,
+      .total_load = total,
+  });
+  RebuildBucketTable();
+  return true;
+}
+
+double AdaptivePartitionMap::RangeLoadRatio(
+    const std::vector<std::int64_t>& bucket_load,
+    const std::vector<std::size_t>& bounds) const {
+  SJOIN_CHECK_EQ(bucket_load.size(), num_buckets());
+  const std::size_t partitions = bounds.size() - 1;
+  std::int64_t total = 0;
+  std::int64_t max_load = 0;
+  for (std::size_t p = 0; p < partitions; ++p) {
+    std::int64_t sum = 0;
+    for (std::size_t b = bounds[p]; b < bounds[p + 1]; ++b) {
+      sum += bucket_load[b];
+    }
+    total += sum;
+    max_load = std::max(max_load, sum);
+  }
+  if (total <= 0) return 1.0;
+  return static_cast<double>(max_load) * static_cast<double>(partitions) /
+         static_cast<double>(total);
+}
+
+double AdaptivePartitionMap::LoadRatio(
+    const std::vector<std::int64_t>& bucket_load) const {
+  return RangeLoadRatio(bucket_load, bounds_);
+}
+
+double AdaptivePartitionMap::StaticLoadRatio(
+    const std::vector<std::int64_t>& bucket_load) const {
+  return RangeLoadRatio(bucket_load, initial_bounds_);
+}
+
+}  // namespace sjoin

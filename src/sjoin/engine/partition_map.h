@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "sjoin/common/types.h"
 
@@ -14,9 +15,15 @@
 /// shards: an arrival only ever probes the shard its own value maps to.
 /// The engine keeps its value -> count index per (partition, stream) and
 /// probes partition-locally, which is exactly the structure a sharded /
-/// parallel cache needs (cf. PanJoin's partition-based design). This PR
-/// ships the seam plus the single-partition default; a follow-up can plug
-/// in range or hash maps without touching the step loop.
+/// parallel cache needs (cf. PanJoin's partition-based design).
+///
+/// Three maps live here: the trivial SinglePartition, the static
+/// HashPartition the sharded engine defaults to, and AdaptivePartitionMap —
+/// a stateful, versioned range map over a fixed micro-bucket space with a
+/// deterministic load-driven rebalancer (split the hottest range, coalesce
+/// the coldest adjacent pair). Rebalancing never changes join output: the
+/// sharded engine's merge is ordered by (score, arrival, id) only, so the
+/// grouping of values into shards is invisible in the results.
 
 namespace sjoin {
 
@@ -61,6 +68,128 @@ class HashPartition final : public PartitionMap {
 
  private:
   std::size_t num_partitions_;
+};
+
+/// Aggregate skew/rebalance telemetry for one adaptive run, filled in by
+/// the sharded engine and surfaced through the simulator façades. Ratios
+/// are max/mean candidates scored per shard, summed over rebalance
+/// windows: `static_ratio_sum` evaluates each window's bucket loads under
+/// the never-rebalanced equal-width map, `adaptive_ratio_sum` under the
+/// map as evolved so far — divide both by `windows` to compare.
+struct AdaptiveShardStats {
+  std::int64_t windows = 0;     ///< Rebalance checkpoints evaluated.
+  std::int64_t rebalances = 0;  ///< Checkpoints that changed the map.
+  std::uint64_t map_version = 0;
+  int partitions = 0;  ///< Shard count (fixed; ranges move, not count).
+  double static_ratio_sum = 0.0;
+  double adaptive_ratio_sum = 0.0;
+};
+
+/// A stateful, versioned range map over a fixed power-of-two micro-bucket
+/// space, with a deterministic load-driven rebalancer.
+///
+/// Values hash (splitmix scramble) into `num_buckets` micro-buckets; each
+/// of the `partitions` shards owns a contiguous bucket range, given by
+/// `bounds()` (bounds()[p] .. bounds()[p+1]). The shard *count* never
+/// changes — only the range boundaries move — so the sharded engine's slot
+/// and worker shapes stay fixed across a run.
+///
+/// Rebalance(bucket_load, now) is a pure function of the accumulated
+/// per-bucket load counters (no wall clock, no randomness): when the
+/// hottest range's load exceeds `imbalance_ratio` times the mean it
+/// coalesces the coldest adjacent pair of ranges and splits the hottest
+/// range at its load-weighted midpoint — one versioned action, recorded in
+/// history() so reruns can be checked for identical rebalance schedules.
+/// Equal inputs always produce equal actions, which is what makes the
+/// adaptive engine differentially testable against the serial one.
+class AdaptivePartitionMap final : public PartitionMap {
+ public:
+  struct Options {
+    /// Shard count; fixed for the map's lifetime. >= 1.
+    int partitions = 1;
+    /// Micro-bucket count; rounded up to a power of two and to at least
+    /// 4x partitions so every range spans multiple buckets initially.
+    int num_buckets = 256;
+    /// Rebalance triggers when max range load > ratio * mean range load.
+    double imbalance_ratio = 1.5;
+  };
+
+  /// One applied rebalance: ranges `coalesced_left` and `coalesced_left+1`
+  /// merged (dropping bucket boundary `removed_boundary`), then pre-merge
+  /// range `split_partition` (or the merged range, when the hottest range
+  /// took part in the merge) split at the new boundary `split_boundary`.
+  /// Loads are the window's evidence, kept so scripted-history unit tests
+  /// and rerun-determinism checks can compare full decisions, not just
+  /// boundary outcomes.
+  struct RebalanceAction {
+    std::uint64_t version = 0;  ///< Map version after applying.
+    Time step = 0;              ///< Checkpoint step that triggered it.
+    int coalesced_left = 0;
+    std::size_t removed_boundary = 0;
+    int split_partition = 0;
+    std::size_t split_boundary = 0;
+    std::int64_t hot_load = 0;
+    std::int64_t cold_load = 0;
+    std::int64_t total_load = 0;
+
+    friend bool operator==(const RebalanceAction&,
+                           const RebalanceAction&) = default;
+  };
+
+  explicit AdaptivePartitionMap(Options options);
+
+  std::size_t num_partitions() const override { return bounds_.size() - 1; }
+  std::size_t PartitionOf(Value value) const override {
+    return bucket_to_partition_[BucketOf(value)];
+  }
+
+  /// Micro-bucket of `value`, in [0, num_buckets()).
+  std::size_t BucketOf(Value value) const {
+    auto x = static_cast<std::uint64_t>(value) * 0x9E3779B97F4A7C15ull;
+    x ^= x >> 32;
+    return static_cast<std::size_t>(x) & bucket_mask_;
+  }
+
+  std::size_t num_buckets() const { return bucket_mask_ + 1; }
+
+  /// Range boundaries, size num_partitions() + 1, strictly increasing,
+  /// bounds()[0] == 0 and bounds().back() == num_buckets().
+  const std::vector<std::size_t>& bounds() const { return bounds_; }
+
+  /// Considers one rebalance against the accumulated per-bucket loads
+  /// (size num_buckets()); returns true when the map changed. Callers
+  /// zero the counters per window; the decision is a pure function of
+  /// (current bounds, bucket_load, now).
+  bool Rebalance(const std::vector<std::int64_t>& bucket_load, Time now);
+
+  /// max/mean range load under the current bounds / under the initial
+  /// equal-width bounds. 1.0 when the window saw no load.
+  double LoadRatio(const std::vector<std::int64_t>& bucket_load) const;
+  double StaticLoadRatio(const std::vector<std::int64_t>& bucket_load) const;
+
+  /// Number of rebalances applied since construction / Reset.
+  std::uint64_t version() const { return version_; }
+  const std::vector<RebalanceAction>& history() const { return history_; }
+
+  /// Back to the initial equal-width bounds, version 0, empty history.
+  void Reset();
+
+ private:
+  double RangeLoadRatio(const std::vector<std::int64_t>& bucket_load,
+                        const std::vector<std::size_t>& bounds) const;
+  void RebuildBucketTable();
+
+  Options options_;
+  std::size_t bucket_mask_ = 0;
+  std::vector<std::size_t> bounds_;
+  std::vector<std::size_t> initial_bounds_;
+  std::vector<std::size_t> bucket_to_partition_;
+  std::uint64_t version_ = 0;
+  std::vector<RebalanceAction> history_;
+
+  /// Scratch for Rebalance (per-range load sums); member so steady-state
+  /// checkpoints allocate nothing.
+  std::vector<std::int64_t> range_load_;
 };
 
 }  // namespace sjoin

@@ -85,7 +85,11 @@ EngineRunResult ShardedStreamEngine::Run(
   // executor produces bit-identical results.
   EngineShardScoring* scoring =
       options_.shards > 1 ? policy.shard_scoring() : nullptr;
-  if (scoring == nullptr) return serial_.Run(streams, policy, observers);
+  if (scoring == nullptr) {
+    adaptive_run_ = false;  // This run partitions nothing.
+    adaptive_stats_ = {};
+    return serial_.Run(streams, policy, observers);
+  }
   return RunSharded(streams, policy, *scoring, observers);
 }
 
@@ -110,6 +114,15 @@ void ShardedStreamEngine::ProcessShard(const StepEpochContext& step,
           ++slot.produced;
         }
       }
+    }
+  }
+  if (adaptive_run_) {
+    // Per-bucket load evidence for the rebalancer: every cached tuple this
+    // shard scores this step. This worker owns every bucket of this shard,
+    // so the counter writes are race-free and their sums thread-count
+    // independent.
+    for (const StreamTuple& cached : slot.cache) {
+      ++bucket_load_[adaptive_map_->BucketOf(cached.value)];
     }
   }
   for (const StreamTuple& cached : slot.cache) {
@@ -168,6 +181,54 @@ void ShardedStreamEngine::MergeEpochThunk(void* raw, int worker) {
   static_cast<ShardedStreamEngine*>(raw)->RunMergeSlice(worker);
 }
 
+void ShardedStreamEngine::MigrationEpochThunk(void* raw, int worker) {
+  static_cast<ShardedStreamEngine*>(raw)->RunMigrationSlice(worker);
+}
+
+void ShardedStreamEngine::RunMigrationSlice(int worker) {
+  const int workers = workers_->num_workers();
+  for (std::size_t shard = static_cast<std::size_t>(worker);
+       shard < slots_.size(); shard += static_cast<std::size_t>(workers)) {
+    ShardSlot& slot = slots_[shard];
+    slot.cache.clear();
+    for (auto& index : slot.value_index) index.clear();
+    // The global cache keeps the merged (serial) order, so rebuilding a
+    // slot as its subsequence preserves the nearly-sorted-runs property
+    // the next step's SortRun relies on.
+    for (const StreamTuple& tuple : cache_) {
+      if (ShardOf(tuple.value) != shard) continue;
+      slot.cache.push_back(tuple);
+      if (run_use_value_index_) {
+        ++slot.value_index[static_cast<std::size_t>(tuple.stream)]
+                          [tuple.value];
+      }
+    }
+  }
+}
+
+void ShardedStreamEngine::MigrateSlots() {
+  // The map moved: cached tuples may now belong to different shards.
+  // Rebuild every slot from the merged global cache — one migration epoch,
+  // each worker rebuilding the slots it owns. Rare (at most one per
+  // rebalance interval) and O(shards x cache / workers), so correctness
+  // beats cleverness here.
+  workers_->RunEpoch(&ShardedStreamEngine::MigrationEpochThunk, this,
+                     ShardWorkers::EpochKind::kMigration);
+}
+
+void ShardedStreamEngine::RebalanceCheckpoint(Time now) {
+  ++adaptive_stats_.windows;
+  adaptive_stats_.static_ratio_sum +=
+      adaptive_map_->StaticLoadRatio(bucket_load_);
+  adaptive_stats_.adaptive_ratio_sum += adaptive_map_->LoadRatio(bucket_load_);
+  if (adaptive_map_->Rebalance(bucket_load_, now)) {
+    ++adaptive_stats_.rebalances;
+    MigrateSlots();
+  }
+  adaptive_stats_.map_version = adaptive_map_->version();
+  std::fill(bucket_load_.begin(), bucket_load_.end(), std::int64_t{0});
+}
+
 EngineRunResult ShardedStreamEngine::RunSharded(
     const std::vector<const std::vector<Value>*>& streams,
     EnginePolicy& policy, EngineShardScoring& scoring,
@@ -197,6 +258,27 @@ EngineRunResult ShardedStreamEngine::RunSharded(
   const bool use_value_index =
       !options_.window.has_value() &&
       options_.capacity >= StreamEngine::kValueIndexMinCapacity;
+  run_use_value_index_ = use_value_index;
+
+  // Adaptive partitioning: the map is constructed once (the shard count
+  // and bucket space are per-engine constants) and Reset() per run, so
+  // equal runs replay an identical rebalance history.
+  adaptive_run_ = options_.adaptive.enabled;
+  adaptive_stats_ = {};
+  const Time rebalance_interval = std::max<Time>(options_.adaptive.interval, 1);
+  if (adaptive_run_) {
+    if (adaptive_map_ == nullptr) {
+      adaptive_map_ = std::make_unique<AdaptivePartitionMap>(
+          AdaptivePartitionMap::Options{
+              .partitions = options_.shards,
+              .num_buckets = options_.adaptive.num_buckets,
+              .imbalance_ratio = options_.adaptive.imbalance_ratio});
+    } else {
+      adaptive_map_->Reset();
+    }
+    bucket_load_.assign(adaptive_map_->num_buckets(), 0);
+    adaptive_stats_.partitions = options_.shards;
+  }
 
   slots_.clear();
   slots_.resize(num_shards);
@@ -316,13 +398,17 @@ EngineRunResult ShardedStreamEngine::RunSharded(
       step.scoring = &scoring;
       step.now = t;
       step.use_value_index = use_value_index;
-      workers_->RunEpoch(&ShardedStreamEngine::ShardsEpochThunk, &step);
+      workers_->RunEpoch(&ShardedStreamEngine::ShardsEpochThunk, &step,
+                         ShardWorkers::EpochKind::kStep);
       for (const ShardSlot& slot : slots_) produced += slot.produced;
 
       // Arrivals are scored serially, in arrival order: policies may
       // mutate state here (HEEB inserts incremental entries).
       arrival_scored_.clear();
       for (const StreamTuple& arrival : arrivals_) {
+        if (adaptive_run_) {
+          ++bucket_load_[adaptive_map_->BucketOf(arrival.value)];
+        }
         std::optional<ShardKey> key = scoring.ShardScoreArrival(arrival, ctx);
         if (key.has_value()) arrival_scored_.push_back({*key, arrival});
       }
@@ -366,7 +452,8 @@ EngineRunResult ShardedStreamEngine::RunSharded(
         }
         if (threads > 1 && merge_jobs_.size() >= 2 &&
             level_entries >= kParallelMergeMinEntries) {
-          workers_->RunEpoch(&ShardedStreamEngine::MergeEpochThunk, this);
+          workers_->RunEpoch(&ShardedStreamEngine::MergeEpochThunk, this,
+                             ShardWorkers::EpochKind::kMerge);
         } else {
           for (const MergeJob& job : merge_jobs_) MergePair(job);
         }
@@ -572,6 +659,14 @@ EngineRunResult ShardedStreamEngine::RunSharded(
       step_view.arrivals = &arrivals_;
       step_view.retained = &retained_;
       for (StepObserver* observer : observers) observer->OnStep(step_view);
+    }
+
+    // Step boundary: consider a rebalance. Never affects this step's
+    // (already delivered) views, and the decision depends only on the
+    // accumulated bucket loads — no clock, no randomness — so reruns
+    // replay the same version history.
+    if (adaptive_run_ && (t + 1) % rebalance_interval == 0) {
+      RebalanceCheckpoint(t);
     }
   }
   flush_views();

@@ -51,6 +51,27 @@ namespace sjoin {
 /// StreamEngine: cheap to Run repeatedly, not concurrently.
 class ShardedStreamEngine {
  public:
+  /// Skew-adaptive sharding (DESIGN.md §2e). When enabled (and the run is
+  /// sharded), the static hash partition is replaced by an
+  /// AdaptivePartitionMap: the engine counts candidates scored per
+  /// micro-bucket and, every `interval` steps, lets the map's
+  /// deterministic rebalancer move range boundaries (coalesce the coldest
+  /// adjacent pair, split the hottest range) before migrating cached
+  /// tuples to their new shards on a dedicated worker epoch. Join output
+  /// is bit-identical to the static and serial engines for any setting
+  /// here — the merge order never depends on the partitioning — so these
+  /// knobs trade only load balance.
+  struct AdaptiveOptions {
+    bool enabled = false;
+    /// Steps between rebalance checkpoints; >= 1.
+    Time interval = 32;
+    /// Micro-buckets in the hashed value space (rounded up to a power of
+    /// two, at least 4x shards).
+    int num_buckets = 256;
+    /// Rebalance when max/mean per-shard load exceeds this ratio.
+    double imbalance_ratio = 1.5;
+  };
+
   struct Options {
     /// Cache capacity k.
     std::size_t capacity = 10;
@@ -74,6 +95,8 @@ class ShardedStreamEngine {
     /// caps the worker count at its size, so existing callers keep the
     /// thread budget they configured.
     ThreadPool* pool = nullptr;
+    /// Skew-adaptive partitioning; see AdaptiveOptions.
+    AdaptiveOptions adaptive;
   };
 
   ShardedStreamEngine(StreamTopology topology, Options options);
@@ -97,6 +120,21 @@ class ShardedStreamEngine {
   /// effective_threads() of a default-constructed engine at `shards`,
   /// without building one (for benchmark metadata).
   static int DefaultThreads(int shards);
+
+  /// Skew/rebalance telemetry of the last Run; all-zero when that run was
+  /// not adaptive (serial fallback, shards <= 1, or adaptive disabled).
+  const AdaptiveShardStats& adaptive_stats() const { return adaptive_stats_; }
+
+  /// The adaptive map as left by the last adaptive Run — version(),
+  /// history() and bounds() back the rerun-determinism tests. Null until
+  /// the engine has run adaptively at least once.
+  const AdaptivePartitionMap* adaptive_map() const {
+    return adaptive_map_.get();
+  }
+
+  /// Worker-team telemetry (per-kind epoch counters) for tests; null
+  /// before the first sharded run.
+  const ShardWorkers* workers() const { return workers_.get(); }
 
  private:
   /// A retention candidate paired with its policy merge key.
@@ -167,6 +205,18 @@ class ShardedStreamEngine {
   /// Type-erased trampolines handed to ShardWorkers::RunEpoch.
   static void ShardsEpochThunk(void* raw, int worker);
   static void MergeEpochThunk(void* raw, int worker);
+  static void MigrationEpochThunk(void* raw, int worker);
+
+  /// One rebalance checkpoint: record the window's skew ratios, let the
+  /// adaptive map consider a rebalance against the accumulated bucket
+  /// loads, migrate on change, zero the window counters.
+  void RebalanceCheckpoint(Time now);
+  /// Rebuilds every shard's cache slice and Phase-1 index from the merged
+  /// global cache after the map moved (one kMigration worker epoch).
+  void MigrateSlots();
+  /// Worker w's migration slice: rebuild every slot s with
+  /// s % workers == w.
+  void RunMigrationSlice(int worker);
 
   /// Sorts a scored run best-first. Shard runs enter nearly sorted (the
   /// commit rebuilds shard caches in merged order, and score advancement
@@ -176,7 +226,8 @@ class ShardedStreamEngine {
   static void SortRun(ScoredEntry* run, std::size_t size);
 
   std::size_t ShardOf(Value value) const {
-    return partition_.PartitionOf(value);
+    return adaptive_run_ ? adaptive_map_->PartitionOf(value)
+                         : partition_.PartitionOf(value);
   }
 
   /// Sum of growth_events() over the team's arenas (validation hook).
@@ -186,6 +237,18 @@ class ShardedStreamEngine {
   /// Serial engine: fallback executor and the topology/option holder.
   StreamEngine serial_;
   HashPartition partition_;
+  /// Adaptive range map; constructed lazily on the first adaptive run and
+  /// Reset() at the start of every later one (rerun determinism).
+  std::unique_ptr<AdaptivePartitionMap> adaptive_map_;
+  /// Whether the *current/last* run partitions through adaptive_map_.
+  bool adaptive_run_ = false;
+  bool run_use_value_index_ = false;
+  /// Candidates scored per micro-bucket since the last checkpoint. Each
+  /// bucket belongs to exactly one shard, and each shard to exactly one
+  /// worker per epoch, so workers write disjoint counters — sums are
+  /// deterministic for any thread count.
+  std::vector<std::int64_t> bucket_load_;
+  AdaptiveShardStats adaptive_stats_;
   /// Persistent worker team, rebuilt only when the team shape changes;
   /// reused across Run() calls so steady-state runs spawn no threads.
   std::unique_ptr<ShardWorkers> workers_;

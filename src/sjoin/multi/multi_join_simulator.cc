@@ -30,7 +30,12 @@ MultiJoinRunResult MultiJoinSimulator::Run(
                                          .shards = options_.shards,
                                          .threads = options_.threads,
                                          .pin_threads = options_.pin_threads,
-                                         .pool = options_.pool});
+                                         .pool = options_.pool,
+                                         .adaptive = {
+                                             .enabled =
+                                                 options_.adaptive_shards,
+                                             .interval =
+                                                 options_.adaptive_interval}});
   PerfObserver perf;
   EngineRunResult run = engine.Run(stream_ptrs, policy, {&perf});
 

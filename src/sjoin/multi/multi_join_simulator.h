@@ -75,6 +75,11 @@ class MultiJoinSimulator {
     /// outlive the simulator): when `threads` == 0 a configured pool caps
     /// the persistent worker team at its size.
     ThreadPool* pool = nullptr;
+    /// Skew-adaptive sharding (DESIGN.md §2e): deterministic rebalancing
+    /// of the value->shard ranges every `adaptive_interval` steps. Results
+    /// stay bit-identical; only load balance moves.
+    bool adaptive_shards = false;
+    Time adaptive_interval = 32;
   };
 
   /// `join_edges` lists unordered stream pairs (i != j) that equijoin.

@@ -28,6 +28,21 @@ DiscreteDistribution DiscreteDistribution::BoundedUniform(Value lo, Value hi) {
                               std::vector<double>(n, 1.0 / static_cast<double>(n)));
 }
 
+DiscreteDistribution DiscreteDistribution::Zipf(Value lo, Value hi,
+                                                double exponent) {
+  SJOIN_CHECK_LE(lo, hi);
+  SJOIN_CHECK_GE(exponent, 0.0);
+  std::size_t n = static_cast<std::size_t>(hi - lo + 1);
+  std::vector<double> masses;
+  masses.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    masses.push_back(std::pow(static_cast<double>(i + 1), -exponent));
+  }
+  DiscreteDistribution d(lo, std::move(masses));
+  d.Normalize();
+  return d;
+}
+
 DiscreteDistribution DiscreteDistribution::DiscretizedNormal(double mean,
                                                              double sigma,
                                                              double tail_eps) {

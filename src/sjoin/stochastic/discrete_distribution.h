@@ -37,6 +37,13 @@ class DiscreteDistribution {
   /// Uniform over the inclusive integer range [lo, hi].
   static DiscreteDistribution BoundedUniform(Value lo, Value hi);
 
+  /// Zipf(s) over the inclusive range [lo, hi]: the mass of lo + i is
+  /// proportional to (i + 1)^-s. s = 0 degenerates to BoundedUniform;
+  /// larger exponents concentrate mass on the first few values — the
+  /// skewed value-popularity model the adaptive sharding work rebalances
+  /// against.
+  static DiscreteDistribution Zipf(Value lo, Value hi, double exponent);
+
   /// Normal(mean, sigma^2) discretized to the integer grid (mass of v is
   /// P(v - 0.5 < X <= v + 0.5)), truncated where the mass drops below
   /// `tail_eps`, and renormalized.

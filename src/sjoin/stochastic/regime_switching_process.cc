@@ -1,0 +1,31 @@
+#include "sjoin/stochastic/regime_switching_process.h"
+
+#include "sjoin/common/check.h"
+
+namespace sjoin {
+
+RegimeSwitchingProcess::RegimeSwitchingProcess(std::vector<Phase> phases)
+    : phases_(std::move(phases)) {
+  SJOIN_CHECK(!phases_.empty());
+  phase_start_.reserve(phases_.size() + 1);
+  phase_start_.push_back(0);
+  for (const Phase& phase : phases_) {
+    SJOIN_CHECK_GT(phase.duration, 0);
+    SJOIN_CHECK(!phase.pmf.IsEmpty());
+    phase_start_.push_back(phase_start_.back() + phase.duration);
+  }
+  cycle_length_ = phase_start_.back();
+}
+
+const RegimeSwitchingProcess::Phase& RegimeSwitchingProcess::PhaseAt(
+    Time t) const {
+  SJOIN_CHECK_GE(t, 0);
+  const Time offset = t % cycle_length_;
+  // Phase counts are tiny (a handful per process); a linear walk beats a
+  // binary search at this size.
+  std::size_t phase = 0;
+  while (phase_start_[phase + 1] <= offset) ++phase;
+  return phases_[phase];
+}
+
+}  // namespace sjoin

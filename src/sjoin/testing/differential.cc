@@ -129,6 +129,21 @@ int DiffThreads() {
   return threads;
 }
 
+/// SJOIN_DIFF_ADAPTIVE=1 reruns every optimized engine run with the
+/// skew-adaptive partition map enabled (interval 8, short enough that
+/// rebalances actually fire inside the suites' scenario lengths).
+/// Adaptive sharding is bit-identical by the same merge contract as
+/// static sharding, so all oracles must keep passing unchanged. The hook
+/// is self-sufficient: when SJOIN_DIFF_SHARDS leaves the run serial, the
+/// adaptive reruns default to 4 shards.
+bool DiffAdaptive() {
+  static const bool adaptive = [] {
+    const char* env = std::getenv("SJOIN_DIFF_ADAPTIVE");
+    return env != nullptr && *env != '\0' && std::string_view(env) != "0";
+  }();
+  return adaptive;
+}
+
 /// Runs the optimized joining side of a trial. By default this goes
 /// through the JoinSimulator façade; with SJOIN_DIFF_ENGINE=direct it
 /// constructs the engine + BinaryPolicyAdapter + observer chain by
@@ -146,17 +161,25 @@ JoinRunResult RunOptimizedJoin(const JoinSimulator::Options& options,
   JoinSimulator::Options run_options = options;
   if (DiffShards() > 0) run_options.shards = DiffShards();
   if (DiffThreads() > 0) run_options.threads = DiffThreads();
+  if (DiffAdaptive()) {
+    if (run_options.shards <= 1) run_options.shards = 4;
+    run_options.adaptive_shards = true;
+    run_options.adaptive_interval = 8;
+  }
   if (!direct) return JoinSimulator(run_options).Run(r, s, policy);
 
   // ShardedStreamEngine with shards = 1 delegates to a plain serial
   // StreamEngine internally, so the historical direct-path semantics are
   // preserved when SJOIN_DIFF_SHARDS is unset.
-  ShardedStreamEngine engine(StreamTopology::Binary(),
-                             {.capacity = run_options.capacity,
-                              .warmup = run_options.warmup,
-                              .window = run_options.window,
-                              .shards = run_options.shards,
-                              .threads = run_options.threads});
+  ShardedStreamEngine engine(
+      StreamTopology::Binary(),
+      {.capacity = run_options.capacity,
+       .warmup = run_options.warmup,
+       .window = run_options.window,
+       .shards = run_options.shards,
+       .threads = run_options.threads,
+       .adaptive = {.enabled = run_options.adaptive_shards,
+                    .interval = run_options.adaptive_interval}});
   BinaryPolicyAdapter adapter(&policy);
   JoinRunResult result;
   PerfObserver perf;
@@ -944,6 +967,11 @@ std::optional<std::string> ReductionTrial(std::uint64_t seed) {
   // one under SJOIN_DIFF_THREADS).
   if (DiffShards() > 0) cache_options.shards = DiffShards();
   if (DiffThreads() > 0) cache_options.threads = DiffThreads();
+  if (DiffAdaptive()) {
+    if (cache_options.shards <= 1) cache_options.shards = 4;
+    cache_options.adaptive_shards = true;
+    cache_options.adaptive_interval = 8;
+  }
   CacheSimulator cache_sim(cache_options);
   CacheRunResult cached = cache_sim.Run(references, *policy);
   std::string context = scenario.description + " policy=" + policy->name();
@@ -1238,6 +1266,174 @@ std::optional<std::string> ShardedEngineTrial(std::uint64_t seed) {
   return std::nullopt;
 }
 
+// ---------------------------------------------------------------------------
+// Suite 9: adaptive_engine — the skew-adaptive partition map under the
+// workloads it exists for (Zipf popularity, bursty phases, regime
+// switches that move the hot set mid-run) against the serial
+// StreamEngine, bit for bit on full per-step traces. Each case then
+// reruns on the same engine and requires the identical trace AND the
+// identical rebalance history, action for action — the rebalancer is a
+// pure function of observed load, so its decisions must reproduce
+// exactly across reruns and thread counts.
+
+std::optional<std::string> AdaptiveEngineTrial(std::uint64_t seed) {
+  ScenarioGenerator::Options options;
+  options.pool = ScenarioGenerator::Pool::kSkewed;
+  options.min_length = 48;
+  options.max_length = 112;
+  options.min_capacity = 2;
+  options.max_capacity = 8;
+  options.max_horizon = 12;
+  options.window_probability = 0.3;
+  const int variant = static_cast<int>(seed % 4);
+  ScenarioGenerator generator(options);
+  Scenario scenario = generator.Sample(seed);
+
+  Rng aux(seed ^ kAuxSalt);
+  if (aux.UniformReal() < 0.25) {
+    // Engage the per-shard value->count indexes (unwindowed, capacity >=
+    // StreamEngine::kValueIndexMinCapacity) so migration has to rebuild
+    // them alongside the cache slices.
+    scenario.capacity = static_cast<std::size_t>(aux.UniformInt(32, 40));
+    scenario.window.reset();
+  }
+  Rng realization_rng(seed ^ kRealizationSalt);
+  auto [r, s] = SampleRealization(scenario, realization_rng);
+
+  std::unique_ptr<ReplacementPolicy> policy;
+  switch (variant) {
+    case 0:
+    case 1: {
+      HeebJoinPolicy::Options heeb_options;
+      heeb_options.mode = variant == 0
+                              ? HeebJoinPolicy::Mode::kDirect
+                              : HeebJoinPolicy::Mode::kTimeIncremental;
+      if (variant == 1) scenario.window.reset();  // incremental: unwindowed
+      heeb_options.alpha = scenario.alpha;
+      heeb_options.horizon = scenario.horizon;
+      heeb_options.refresh_interval = 8;
+      policy = std::make_unique<HeebJoinPolicy>(scenario.r_process.get(),
+                                                scenario.s_process.get(),
+                                                heeb_options);
+      break;
+    }
+    case 2: {
+      std::optional<Time> assumed_lifetime;
+      if (aux.UniformReal() < 0.5) assumed_lifetime = aux.UniformInt(4, 24);
+      policy = std::make_unique<ProbPolicy>(assumed_lifetime);
+      break;
+    }
+    default:
+      policy = std::make_unique<LifePolicy>(aux.UniformInt(4, 24));
+      break;
+  }
+
+  BinaryPolicyAdapter adapter(policy.get());
+  if (adapter.shard_scoring() == nullptr) {
+    return scenario.description + " policy=" + policy->name() +
+           ": expected a shard-scorable policy (coverage would be vacuous)";
+  }
+
+  const StreamEngine::Options engine_options{.capacity = scenario.capacity,
+                                             .warmup = scenario.warmup,
+                                             .window = scenario.window};
+  StreamEngine serial_engine(StreamTopology::Binary(), engine_options);
+  EngineTraceObserver serial_trace;
+  PerfObserver serial_perf;
+  EngineRunResult serial_run =
+      serial_engine.Run({&r, &s}, adapter, {&serial_perf, &serial_trace});
+
+  // Shards cross threads cross rebalance intervals, including intervals
+  // short enough that several migrations land inside one run.
+  struct AdaptiveCase {
+    int shards;
+    int threads;
+    Time interval;
+  };
+  constexpr AdaptiveCase kCases[] = {
+      {2, 2, 8}, {4, 1, 4}, {4, 4, 8}, {8, 3, 16}};
+  for (const AdaptiveCase c : kCases) {
+    ShardedStreamEngine sharded(
+        StreamTopology::Binary(),
+        {.capacity = scenario.capacity,
+         .warmup = scenario.warmup,
+         .window = scenario.window,
+         .shards = c.shards,
+         .threads = c.threads,
+         .adaptive = {.enabled = true, .interval = c.interval}});
+    EngineTraceObserver trace;
+    PerfObserver perf;
+    EngineRunResult run = sharded.Run({&r, &s}, adapter, {&perf, &trace});
+
+    std::ostringstream context;
+    context << scenario.description << " policy=" << policy->name()
+            << " shards=" << c.shards << " threads=" << c.threads
+            << " interval=" << c.interval;
+    if (run.total_results != serial_run.total_results ||
+        run.counted_results != serial_run.counted_results) {
+      std::ostringstream out;
+      out << context.str() << ": result counts diverge (serial "
+          << serial_run.total_results << "/" << serial_run.counted_results
+          << ", adaptive " << run.total_results << "/" << run.counted_results
+          << ")";
+      return out.str();
+    }
+    if (perf.telemetry().peak_candidates !=
+            serial_perf.telemetry().peak_candidates ||
+        perf.telemetry().steps != serial_perf.telemetry().steps) {
+      std::ostringstream out;
+      out << context.str() << ": telemetry diverges (serial peak "
+          << serial_perf.telemetry().peak_candidates << " steps "
+          << serial_perf.telemetry().steps << ", adaptive peak "
+          << perf.telemetry().peak_candidates << " steps "
+          << perf.telemetry().steps << ")";
+      return out.str();
+    }
+    if (auto mismatch =
+            CompareEngineTraces(context.str(), serial_trace, trace)) {
+      return mismatch;
+    }
+
+    const AdaptivePartitionMap* map = sharded.adaptive_map();
+    if (map == nullptr) {
+      return context.str() + ": adaptive map missing after an adaptive run";
+    }
+    const std::vector<AdaptivePartitionMap::RebalanceAction> history =
+        map->history();
+    const std::uint64_t version = map->version();
+    const AdaptiveShardStats stats = sharded.adaptive_stats();
+    if (stats.windows <= 0) {
+      return context.str() + ": adaptive run recorded no checkpoint windows";
+    }
+
+    EngineTraceObserver rerun_trace;
+    sharded.Run({&r, &s}, adapter, {&rerun_trace});
+    if (auto mismatch = CompareEngineTraces(context.str() + " [rerun]",
+                                            serial_trace, rerun_trace)) {
+      return mismatch;
+    }
+    if (sharded.adaptive_map()->version() != version ||
+        sharded.adaptive_map()->history() != history) {
+      std::ostringstream out;
+      out << context.str()
+          << ": rebalance history diverges across reruns (first run v"
+          << version << " with " << history.size() << " actions, rerun v"
+          << sharded.adaptive_map()->version() << " with "
+          << sharded.adaptive_map()->history().size() << " actions)";
+      return out.str();
+    }
+    const AdaptiveShardStats rerun_stats = sharded.adaptive_stats();
+    if (rerun_stats.windows != stats.windows ||
+        rerun_stats.rebalances != stats.rebalances ||
+        rerun_stats.map_version != stats.map_version ||
+        rerun_stats.static_ratio_sum != stats.static_ratio_sum ||
+        rerun_stats.adaptive_ratio_sum != stats.adaptive_ratio_sum) {
+      return context.str() + ": adaptive stats diverge across reruns";
+    }
+  }
+  return std::nullopt;
+}
+
 const std::vector<DifferentialSuite>& Registry() {
   static const std::vector<DifferentialSuite> suites = {
       {"ecb_heeb_scoring",
@@ -1271,6 +1467,11 @@ const std::vector<DifferentialSuite>& Registry() {
        "serial StreamEngine: per-step retained/cache/produced traces and "
        "telemetry, bit for bit",
        1000, &ShardedEngineTrial},
+      {"adaptive_engine",
+       "skew-adaptive ShardedStreamEngine on Zipf / bursty / "
+       "regime-switching workloads vs the serial StreamEngine, bit for "
+       "bit, plus rerun determinism of the rebalance history",
+       1000, &AdaptiveEngineTrial},
   };
   return suites;
 }

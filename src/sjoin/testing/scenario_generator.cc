@@ -7,6 +7,7 @@
 #include "sjoin/stochastic/ar1_process.h"
 #include "sjoin/stochastic/linear_trend_process.h"
 #include "sjoin/stochastic/random_walk_process.h"
+#include "sjoin/stochastic/regime_switching_process.h"
 #include "sjoin/stochastic/scripted_process.h"
 #include "sjoin/stochastic/seasonal_process.h"
 #include "sjoin/stochastic/stationary_process.h"
@@ -41,6 +42,18 @@ std::unique_ptr<StochasticProcess> MakeTrend(Rng& rng, double slope,
   *description = out.str();
   return std::make_unique<LinearTrendProcess>(slope, intercept,
                                               RandomNoise(rng));
+}
+
+/// Zipf-shaped masses over [lo, lo + support) with a small multiplicative
+/// jitter — same tie-avoidance rationale as RandomPmf, same skew profile
+/// as DiscreteDistribution::Zipf.
+DiscreteDistribution SkewedPmf(Rng& rng, Value lo, int support, double s) {
+  std::vector<double> masses(static_cast<std::size_t>(support));
+  for (std::size_t i = 0; i < masses.size(); ++i) {
+    masses[i] = std::pow(static_cast<double>(i + 1), -s) *
+                (0.9 + 0.2 * rng.UniformReal());
+  }
+  return DiscreteDistribution::FromMasses(lo, std::move(masses));
 }
 
 }  // namespace
@@ -102,6 +115,59 @@ std::unique_ptr<StochasticProcess> ScenarioGenerator::SampleProcess(
   }
 }
 
+std::unique_ptr<StochasticProcess> ScenarioGenerator::SampleSkewedProcess(
+    Rng& rng, std::string* description) const {
+  switch (rng.UniformInt(0, 2)) {
+    case 0: {
+      // Stationary Zipf popularity: a hot head the static hash pins onto
+      // one shard.
+      double s = 0.7 + 0.7 * rng.UniformReal();
+      Value lo = rng.UniformInt(-4, 4);
+      int support = static_cast<int>(rng.UniformInt(12, 32));
+      std::ostringstream out;
+      out << "zipf(" << s << ")";
+      *description = out.str();
+      return std::make_unique<StationaryProcess>(
+          SkewedPmf(rng, lo, support, s));
+    }
+    case 1: {
+      // Bursty arrivals: short hot phases of a few values alternating with
+      // calm, near-uniform wide phases.
+      Value lo = rng.UniformInt(-4, 2);
+      std::vector<RegimeSwitchingProcess::Phase> phases;
+      phases.push_back(
+          {SkewedPmf(rng, lo + rng.UniformInt(0, 6),
+                     static_cast<int>(rng.UniformInt(3, 5)),
+                     1.2 + 0.4 * rng.UniformReal()),
+           rng.UniformInt(3, 8)});
+      phases.push_back(
+          {SkewedPmf(rng, lo, static_cast<int>(rng.UniformInt(12, 24)),
+                     0.1 + 0.3 * rng.UniformReal()),
+           rng.UniformInt(3, 8)});
+      *description = "bursty";
+      return std::make_unique<RegimeSwitchingProcess>(std::move(phases));
+    }
+    default: {
+      // Regime switch: the Zipf hot window jumps to a different value
+      // range each phase, so yesterday's balanced partition is today's
+      // skewed one.
+      int num_phases = static_cast<int>(rng.UniformInt(2, 4));
+      Value lo = rng.UniformInt(-6, 0);
+      std::vector<RegimeSwitchingProcess::Phase> phases;
+      phases.reserve(static_cast<std::size_t>(num_phases));
+      for (int p = 0; p < num_phases; ++p) {
+        phases.push_back(
+            {SkewedPmf(rng, lo + rng.UniformInt(0, 12),
+                       static_cast<int>(rng.UniformInt(6, 14)),
+                       0.9 + 0.6 * rng.UniformReal()),
+             rng.UniformInt(6, 16)});
+      }
+      *description = "regime";
+      return std::make_unique<RegimeSwitchingProcess>(std::move(phases));
+    }
+  }
+}
+
 Scenario ScenarioGenerator::Sample(std::uint64_t seed) const {
   Rng rng(seed);
   Scenario scenario;
@@ -135,6 +201,10 @@ Scenario ScenarioGenerator::Sample(std::uint64_t seed) const {
           MakeTrend(rng, static_cast<double>(slope), &s_kind);
       break;
     }
+    case Pool::kSkewed:
+      scenario.r_process = SampleSkewedProcess(rng, &r_kind);
+      scenario.s_process = SampleSkewedProcess(rng, &s_kind);
+      break;
     case Pool::kWalks: {
       for (std::string* kind : {&r_kind, &s_kind}) {
         double drift = 2.0 * rng.UniformReal() - 1.0;

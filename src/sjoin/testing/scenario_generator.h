@@ -57,6 +57,12 @@ class ScenarioGenerator {
     kEqualSlopeTrends,
     /// Both streams random walks (walk-table HEEB's requirement).
     kWalks,
+    /// Skewed independent-step processes: Zipf value popularity, bursty
+    /// hot phases and regime switches that move the hot set mid-run
+    /// (RegimeSwitchingProcess). The workloads the adaptive-sharding
+    /// differential suites run on — a static value partition pins one
+    /// shard here, so rebalancing actually engages.
+    kSkewed,
   };
 
   struct Options {
@@ -80,6 +86,8 @@ class ScenarioGenerator {
  private:
   std::unique_ptr<StochasticProcess> SampleProcess(
       Rng& rng, Time length, std::string* description) const;
+  std::unique_ptr<StochasticProcess> SampleSkewedProcess(
+      Rng& rng, std::string* description) const;
 
   Options options_;
 };

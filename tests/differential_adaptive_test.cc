@@ -1,0 +1,27 @@
+// Differential suite for skew-adaptive sharding: ShardedStreamEngine with
+// the AdaptivePartitionMap enabled, on the skewed workloads the rebalancer
+// exists for (Zipf popularity, bursty phases, regime switches), against
+// the serial StreamEngine bit for bit — plus rerun determinism of the
+// rebalance history itself. (The SJOIN_DIFF_ADAPTIVE env hook additionally
+// reruns the other suites' optimized sides adaptively; this suite is the
+// dedicated, always-on statement of the contract.)
+
+#include <gtest/gtest.h>
+
+#include "sjoin/testing/differential.h"
+
+namespace sjoin {
+namespace testing {
+namespace {
+
+TEST(DifferentialAdaptiveTest, AdaptiveEngineMatchesSerialBitForBit) {
+  const DifferentialSuite* suite = FindDifferentialSuite("adaptive_engine");
+  ASSERT_NE(suite, nullptr);
+  DifferentialReport report = RunDifferentialSuite(
+      *suite, kDifferentialBaseSeed, TrialCountFromEnv(suite->default_trials));
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace sjoin

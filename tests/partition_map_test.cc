@@ -1,0 +1,211 @@
+// AdaptivePartitionMap: the deterministic rebalancer behind skew-adaptive
+// sharding. These tests script per-bucket load histories and pin the exact
+// decisions — split/coalesce choices, no-op stability on balanced load,
+// convergence to a fixed point on a stationary hot spot, the P=2
+// redistribute fallback — plus the structural invariants (strictly
+// increasing bounds covering the bucket space, PartitionOf consistent
+// with bounds) and bitwise rerun determinism of the history.
+
+#include "sjoin/engine/partition_map.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace sjoin {
+namespace {
+
+/// Every structural invariant the engine relies on: bounds form a strict
+/// chain over [0, num_buckets], and the value->partition path agrees with
+/// them.
+void ExpectInvariants(const AdaptivePartitionMap& map) {
+  const std::vector<std::size_t>& bounds = map.bounds();
+  ASSERT_EQ(bounds.size(), map.num_partitions() + 1);
+  EXPECT_EQ(bounds.front(), 0u);
+  EXPECT_EQ(bounds.back(), map.num_buckets());
+  for (std::size_t p = 0; p + 1 < bounds.size(); ++p) {
+    EXPECT_LT(bounds[p], bounds[p + 1]);
+  }
+  for (Value v = -300; v < 300; ++v) {
+    std::size_t bucket = map.BucketOf(v);
+    ASSERT_LT(bucket, map.num_buckets());
+    std::size_t partition = map.PartitionOf(v);
+    ASSERT_LT(partition, map.num_partitions());
+    EXPECT_GE(bucket, bounds[partition]) << "v=" << v;
+    EXPECT_LT(bucket, bounds[partition + 1]) << "v=" << v;
+  }
+}
+
+TEST(AdaptivePartitionMapTest, ConstructionRoundsBucketsAndSplitsEvenly) {
+  // 100 rounds up to 128; 4 partitions of 32 buckets each.
+  AdaptivePartitionMap map({.partitions = 4, .num_buckets = 100});
+  EXPECT_EQ(map.num_buckets(), 128u);
+  EXPECT_EQ(map.num_partitions(), 4u);
+  EXPECT_EQ(map.bounds(), (std::vector<std::size_t>{0, 32, 64, 96, 128}));
+  EXPECT_EQ(map.version(), 0u);
+  ExpectInvariants(map);
+
+  // The floor: at least 4 buckets per partition even when num_buckets is
+  // tiny, and the count stays a power of two.
+  AdaptivePartitionMap floor({.partitions = 6, .num_buckets = 1});
+  EXPECT_GE(floor.num_buckets(), 24u);
+  EXPECT_EQ(floor.num_buckets() & (floor.num_buckets() - 1), 0u);
+  ExpectInvariants(floor);
+}
+
+TEST(AdaptivePartitionMapTest, BalancedLoadNeverRebalances) {
+  AdaptivePartitionMap map({.partitions = 4, .num_buckets = 16});
+  std::vector<std::int64_t> load(map.num_buckets(), 7);
+  for (Time t = 0; t < 10; ++t) {
+    EXPECT_FALSE(map.Rebalance(load, t)) << t;
+  }
+  EXPECT_EQ(map.version(), 0u);
+  EXPECT_TRUE(map.history().empty());
+  EXPECT_EQ(map.bounds(), (std::vector<std::size_t>{0, 4, 8, 12, 16}));
+
+  // Zero load is a no-op too (no evidence, no action).
+  std::vector<std::int64_t> empty(map.num_buckets(), 0);
+  EXPECT_FALSE(map.Rebalance(empty, 10));
+  EXPECT_EQ(map.version(), 0u);
+}
+
+TEST(AdaptivePartitionMapTest, SplitsHotRangeAndCoalescesColdestPair) {
+  // 4 partitions x 4 buckets. All of the heat sits in partition 0's
+  // buckets, spread evenly, so the load-weighted midpoint cuts the range
+  // in half; the coldest adjacent pair (1,2) is coalesced to pay for it.
+  AdaptivePartitionMap map({.partitions = 4, .num_buckets = 16});
+  std::vector<std::int64_t> load(map.num_buckets(), 1);
+  for (std::size_t b = 0; b < 4; ++b) load[b] = 25;
+
+  ASSERT_TRUE(map.Rebalance(load, 31));
+  EXPECT_EQ(map.version(), 1u);
+  EXPECT_EQ(map.bounds(), (std::vector<std::size_t>{0, 2, 4, 12, 16}));
+  ExpectInvariants(map);
+
+  ASSERT_EQ(map.history().size(), 1u);
+  const AdaptivePartitionMap::RebalanceAction& action = map.history()[0];
+  EXPECT_EQ(action.version, 1u);
+  EXPECT_EQ(action.step, 31);
+  EXPECT_EQ(action.coalesced_left, 1);
+  EXPECT_EQ(action.removed_boundary, 8u);
+  EXPECT_EQ(action.split_partition, 0);
+  EXPECT_EQ(action.split_boundary, 2u);
+  EXPECT_EQ(action.hot_load, 100);
+  EXPECT_EQ(action.cold_load, 8);
+  EXPECT_EQ(action.total_load, 112);
+
+  // The evolved bounds halve the max/mean ratio the static bounds see on
+  // this window.
+  EXPECT_LT(map.LoadRatio(load), map.StaticLoadRatio(load));
+  EXPECT_NEAR(map.StaticLoadRatio(load), 100.0 * 4 / 112, 1e-12);
+  EXPECT_NEAR(map.LoadRatio(load), 50.0 * 4 / 112, 1e-12);
+}
+
+TEST(AdaptivePartitionMapTest, StationaryHotSpotConvergesToAFixedPoint) {
+  // Feeding the same skewed window repeatedly must reach a fixed point:
+  // once the hot range is a single bucket (or the only move would undo
+  // the coalesce it pays for), Rebalance reports no change — the map may
+  // not oscillate between layouts on a stationary workload.
+  AdaptivePartitionMap map({.partitions = 4, .num_buckets = 16});
+  std::vector<std::int64_t> load(map.num_buckets(), 1);
+  for (std::size_t b = 0; b < 4; ++b) load[b] = 25;
+
+  int rebalances = 0;
+  for (Time t = 0; t < 20; ++t) {
+    if (map.Rebalance(load, t)) ++rebalances;
+  }
+  EXPECT_EQ(rebalances, 2);
+  EXPECT_EQ(map.version(), 2u);
+  EXPECT_EQ(map.bounds(), (std::vector<std::size_t>{0, 1, 2, 4, 16}));
+  ExpectInvariants(map);
+  // And it stays put.
+  EXPECT_FALSE(map.Rebalance(load, 100));
+  EXPECT_EQ(map.version(), 2u);
+}
+
+TEST(AdaptivePartitionMapTest, SingleHotBucketIsIrreducible) {
+  // All heat in one bucket: after the first split isolates it there is
+  // nothing left to cut, so the map must go quiet instead of churning.
+  AdaptivePartitionMap map({.partitions = 4, .num_buckets = 16});
+  std::vector<std::int64_t> load(map.num_buckets(), 1);
+  load[0] = 100;
+
+  ASSERT_TRUE(map.Rebalance(load, 0));
+  EXPECT_EQ(map.bounds(), (std::vector<std::size_t>{0, 1, 4, 12, 16}));
+  for (Time t = 1; t < 10; ++t) {
+    EXPECT_FALSE(map.Rebalance(load, t)) << t;
+  }
+  EXPECT_EQ(map.version(), 1u);
+  ExpectInvariants(map);
+}
+
+TEST(AdaptivePartitionMapTest, TwoPartitionsRedistributeByBoundaryMove) {
+  // With P=2 every adjacent pair contains the hot range, so the normal
+  // coalesce+split cannot apply; the fallback merges hot with its
+  // neighbor and re-splits the union at the weighted midpoint — a pure
+  // boundary move that isolates the hot bucket.
+  AdaptivePartitionMap map({.partitions = 2, .num_buckets = 8});
+  ASSERT_EQ(map.bounds(), (std::vector<std::size_t>{0, 4, 8}));
+  std::vector<std::int64_t> load(map.num_buckets(), 0);
+  load[0] = 90;
+  load[5] = 10;
+
+  ASSERT_TRUE(map.Rebalance(load, 0));
+  EXPECT_EQ(map.bounds(), (std::vector<std::size_t>{0, 1, 8}));
+  EXPECT_EQ(map.num_partitions(), 2u);
+  ExpectInvariants(map);
+  // Fixed point: re-splitting [0,8) again would cut at the boundary it
+  // just removed (an identity), which must be reported as no change.
+  EXPECT_FALSE(map.Rebalance(load, 1));
+  EXPECT_EQ(map.version(), 1u);
+}
+
+TEST(AdaptivePartitionMapTest, DeterministicAcrossRerunsAndResettable) {
+  AdaptivePartitionMap::Options options{.partitions = 4, .num_buckets = 32};
+  AdaptivePartitionMap a(options);
+  AdaptivePartitionMap b(options);
+
+  // A drifting hot spot: the heat moves one bucket to the right each
+  // window. Both maps see the identical history and must make identical
+  // decisions at every step.
+  std::vector<std::int64_t> load(a.num_buckets(), 0);
+  for (Time t = 0; t < 24; ++t) {
+    load.assign(a.num_buckets(), 1);
+    load[static_cast<std::size_t>(t) % a.num_buckets()] = 60;
+    bool changed_a = a.Rebalance(load, t);
+    bool changed_b = b.Rebalance(load, t);
+    ASSERT_EQ(changed_a, changed_b) << t;
+    ASSERT_EQ(a.bounds(), b.bounds()) << t;
+  }
+  EXPECT_GT(a.version(), 0u);
+  EXPECT_EQ(a.version(), b.version());
+  EXPECT_EQ(a.history(), b.history());
+  ExpectInvariants(a);
+
+  // Reset rewinds to the equal-width layout; replaying the same history
+  // then reproduces the same actions.
+  std::vector<AdaptivePartitionMap::RebalanceAction> history = a.history();
+  a.Reset();
+  EXPECT_EQ(a.version(), 0u);
+  EXPECT_TRUE(a.history().empty());
+  EXPECT_EQ(a.bounds(), (std::vector<std::size_t>{0, 8, 16, 24, 32}));
+  for (Time t = 0; t < 24; ++t) {
+    load.assign(a.num_buckets(), 1);
+    load[static_cast<std::size_t>(t) % a.num_buckets()] = 60;
+    a.Rebalance(load, t);
+  }
+  EXPECT_EQ(a.history(), history);
+}
+
+TEST(AdaptivePartitionMapTest, SinglePartitionNeverRebalances) {
+  AdaptivePartitionMap map({.partitions = 1, .num_buckets = 8});
+  std::vector<std::int64_t> load(map.num_buckets(), 0);
+  load[0] = 1000;
+  EXPECT_FALSE(map.Rebalance(load, 0));
+  EXPECT_EQ(map.num_partitions(), 1u);
+  for (Value v = -50; v < 50; ++v) EXPECT_EQ(map.PartitionOf(v), 0u);
+}
+
+}  // namespace
+}  // namespace sjoin

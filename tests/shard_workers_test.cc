@@ -253,6 +253,33 @@ TEST(ShardWorkersTest, PinnedTeamRunsEverySlice) {
   }
 }
 
+TEST(ShardWorkersTest, EpochKindCountersTrackEachKindSeparately) {
+  ShardWorkers team({.workers = 2});
+  EXPECT_EQ(team.total_epochs(), 0);
+  EpochCounters counters(2);
+  team.RunEpoch(&EpochCounters::Bump, &counters);  // kGeneric default.
+  for (int e = 0; e < 3; ++e) {
+    team.RunEpoch(&EpochCounters::Bump, &counters,
+                  ShardWorkers::EpochKind::kStep);
+  }
+  for (int e = 0; e < 2; ++e) {
+    team.RunEpoch(&EpochCounters::Bump, &counters,
+                  ShardWorkers::EpochKind::kMerge);
+  }
+  team.RunEpoch(&EpochCounters::Bump, &counters,
+                ShardWorkers::EpochKind::kMigration);
+
+  EXPECT_EQ(team.epochs(ShardWorkers::EpochKind::kGeneric), 1);
+  EXPECT_EQ(team.epochs(ShardWorkers::EpochKind::kStep), 3);
+  EXPECT_EQ(team.epochs(ShardWorkers::EpochKind::kMerge), 2);
+  EXPECT_EQ(team.epochs(ShardWorkers::EpochKind::kMigration), 1);
+  EXPECT_EQ(team.total_epochs(), 7);
+  // Counters are bookkeeping only — every slice still ran once per epoch.
+  for (int w = 0; w < 2; ++w) {
+    EXPECT_EQ(counters.per_worker[static_cast<std::size_t>(w)].load(), 7);
+  }
+}
+
 TEST(ShardWorkersTest, TeamsConstructAndJoinCleanly) {
   // Lifecycle churn: construct, run one epoch, destruct, repeatedly. The
   // destructor must wake parked workers and join them every time.
