@@ -4,15 +4,15 @@
 Usage:
     check_perf_regression.py BASELINE.json CURRENT.json [--threshold=1.25]
 
-Rows are matched by (name, workload, len, shards, adaptive, threads);
-older files without per-row shards/threads/adaptive read as shards=1 /
-threads=1 / adaptive=0 throughout, so v1/v2 baselines keep working
-against newer runs. The raw per-row ratio current/baseline of ns_per_step
-is normalized by the median ratio across all matched rows before
-thresholding: CI machines are uniformly slower or faster than the laptop
-that committed the baseline, and that uniform shift carries no
-information about the code. A real regression moves one row relative to
-the rest, which the normalized ratio isolates.
+Rows are matched by (name, workload, len, shards, adaptive, threads,
+planner); older files without per-row shards/threads/adaptive/planner
+read as shards=1 / threads=1 / adaptive=0 / planner=0 throughout, so
+v1/v2/v3 baselines keep working against newer runs. The raw per-row
+ratio current/baseline of ns_per_step is normalized by the median ratio
+across all matched rows before thresholding: CI machines are uniformly
+slower or faster than the laptop that committed the baseline, and that
+uniform shift carries no information about the code. A real regression
+moves one row relative to the rest, which the normalized ratio isolates.
 
 Only threads=1 rows feed the median and the threshold: multi-thread
 timings depend on the host's core count (a single-core runner serializes
@@ -32,8 +32,18 @@ rebalance count. On skewed workloads the adaptive ratio should sit well
 below the static one; on uniform workloads both hover near 1 with few or
 no rebalances.
 
-Exit status 1 if any normalized threads=1 ratio exceeds the threshold or
-if a baseline row is missing from the current run.
+Planner rows (sjoin-perf-v4 multi-way rows with the runtime probe
+planner + score memos attached) are gated like any other threads=1 row
+and summarized after the table: per planner-on row, the steps/sec
+speedup over its planner-off twin plus the probe skip rate, probe-cache
+hit rate and checkpoint re-plan count. The planner is cost-only by
+contract, so a planner pair disagreeing on counted_results in the
+current run is a hard failure — that's a correctness bug, not a perf
+question.
+
+Exit status 1 if any normalized threads=1 ratio exceeds the threshold,
+if a baseline row is missing from the current run, or if a planner pair
+disagrees on counted_results.
 """
 
 import json
@@ -45,18 +55,20 @@ def load_rows(path):
     with open(path) as f:
         doc = json.load(f)
     if doc.get("schema") not in ("sjoin-perf-v1", "sjoin-perf-v2",
-                                 "sjoin-perf-v3"):
+                                 "sjoin-perf-v3", "sjoin-perf-v4"):
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
     return {
         (r["name"], r["workload"], r["len"], r.get("shards", 1),
-         r.get("adaptive", 0), r.get("threads", 1)): r
+         r.get("adaptive", 0), r.get("threads", 1),
+         r.get("planner", 0)): r
         for r in doc["results"]
     }
 
 
 def describe(key):
-    name, workload, length, shards, adaptive, threads = key
+    name, workload, length, shards, adaptive, threads, planner = key
     suffix = ", adaptive" if adaptive else ""
+    suffix += ", planner" if planner else ""
     return (f"{name} ({workload}, len={length}, shards={shards}, "
             f"threads={threads}{suffix})")
 
@@ -65,7 +77,8 @@ def thread_scaling_summary(rows):
     """Best-threads speedup vs the threads=1 row for each threads sweep."""
     groups = {}
     for key, row in rows.items():
-        groups.setdefault(key[:5], {})[key[5]] = row["ns_per_step"]
+        group_key = key[:5] + key[6:]  # Everything but the threads axis.
+        groups.setdefault(group_key, {})[key[5]] = row["ns_per_step"]
     printed_header = False
     for group_key, by_threads in sorted(groups.items()):
         if len(by_threads) < 2 or 1 not in by_threads:
@@ -76,8 +89,9 @@ def thread_scaling_summary(rows):
         serial = by_threads[1]
         best_threads = min(by_threads, key=lambda t: by_threads[t])
         speedup = serial / by_threads[best_threads]
-        name, workload, length, shards, adaptive = group_key
+        name, workload, length, shards, adaptive, planner = group_key
         tag = " adaptive" if adaptive else ""
+        tag += " planner" if planner else ""
         print(f"  {name:<18} {workload:<6} len={length:<5} "
               f"shards={shards:<2}{tag} best t={best_threads} "
               f"speedup x{speedup:.2f} "
@@ -94,7 +108,7 @@ def skew_summary(rows):
             print("\nskew balance (current run, max/mean load per shard, "
                   "averaged over rebalance windows):")
             printed_header = True
-        name, workload, length, shards, _, threads = key
+        name, workload, length, shards, _, threads, _ = key
         static = row["skew_ratio_static"]
         adaptive = row["skew_ratio_adaptive"]
         print(f"  {name:<18} {workload:<6} len={length:<5} "
@@ -102,6 +116,45 @@ def skew_summary(rows):
               f"adaptive x{adaptive:.2f} "
               f"({row.get('rebalances', 0)} rebalances over "
               f"{row.get('windows', 0)} windows)")
+
+
+def probe_plan_summary(rows):
+    """Planner-on vs planner-off twins: speedup and probe-order stats.
+
+    Returns the number of planner pairs whose counted_results disagree —
+    the planner is cost-only by contract, so any disagreement is a
+    correctness failure.
+    """
+    mismatches = 0
+    printed_header = False
+    for key, row in sorted(rows.items()):
+        if key[6] == 0:
+            continue
+        twin_key = key[:6] + (0,)
+        twin = rows.get(twin_key)
+        if not printed_header:
+            print("\nprobe planner (current run, planner-on vs planner-off "
+                  "twin):")
+            printed_header = True
+        name, workload, length, _, _, _, _ = key
+        line = f"  {name:<18} {workload:<6} len={length:<5} "
+        if twin is None:
+            print(line + "no planner-off twin in this run")
+            continue
+        speedup = twin["ns_per_step"] / row["ns_per_step"]
+        skip = row.get("probe_skip_rate", 0.0)
+        hit = row.get("probe_cache_hit_rate", 0.0)
+        replans = row.get("plan_replans", 0)
+        line += (f"speedup x{speedup:.2f} "
+                 f"({twin['ns_per_step']:.0f} -> {row['ns_per_step']:.0f} "
+                 f"ns/step), skip {skip * 100:.1f}%, "
+                 f"memo hit {hit * 100:.1f}%, {replans} replans")
+        if row["counted_results"] != twin["counted_results"]:
+            line += (f"  COUNTED_RESULTS DIVERGE ({twin['counted_results']} "
+                     f"vs {row['counted_results']})")
+            mismatches += 1
+        print(line)
+    return mismatches
 
 
 def main(argv):
@@ -150,6 +203,7 @@ def main(argv):
         else:
             verdict = "ok"
         tag = "a" if key[4] else ""
+        tag += "p" if key[6] else ""
         print(f"{verdict:>14}  {key[0]:<18} {key[1]:<6} len={key[2]:<5} "
               f"s{key[3]}{tag}/t{key[5]:<2} "
               f"ns/step {baseline[key]['ns_per_step']:>12.0f} -> "
@@ -158,6 +212,10 @@ def main(argv):
 
     thread_scaling_summary(current)
     skew_summary(current)
+    if probe_plan_summary(current) > 0:
+        print("planner pair counted_results mismatch — the probe planner "
+              "must be cost-only")
+        failed = True
 
     if failed:
         print("perf regression check FAILED")

@@ -21,9 +21,20 @@
 // load ratio before/after rebalancing (skew_ratio_static vs
 // skew_ratio_adaptive) plus the rebalance count.
 //
+// sjoin-perf-v4 adds multi-way rows (MULTI-HEEB / MULTI-PROB /
+// EDGE-BUDGET on a 3-way chain and a 5-way star) as planner-off /
+// planner-on A/B pairs keyed by a `planner` flag: planner-on runs attach
+// the runtime probe planner (re-planned probe order + empty-partner
+// skips + the (partner, value) probe-result cache, DESIGN.md §2f) and
+// the policies' ScoreMemo. Both sides of a pair are bit-identical in
+// counted_results by contract — the checker enforces that — and
+// planner-on rows carry plan_replans, probe_skip_rate and
+// probe_cache_hit_rate.
+//
 // Usage: perf_smoke [--len=2000] [--runs=3] [--cache=50] [--seed=1]
 //                   [--flow_len=400] [--flow_prune=1]
 //                   [--sweep_len=1000] [--sweep_cache=200]
+//                   [--multi_len=1200] [--multi_cache=100]
 //                   [--out=BENCH_perf.json]
 //
 // --flow_prune=0 disables the FlowExpect dominance prefilter in every
@@ -48,6 +59,10 @@
 #include "sjoin/engine/cache_simulator.h"
 #include "sjoin/engine/caching_policy.h"
 #include "sjoin/engine/join_simulator.h"
+#include "sjoin/multi/multi_baseline_policies.h"
+#include "sjoin/multi/multi_heeb_policy.h"
+#include "sjoin/multi/multi_join_simulator.h"
+#include "sjoin/policies/edge_budget_policy.h"
 #include "sjoin/policies/lfu_policy.h"
 #include "sjoin/policies/life_policy.h"
 #include "sjoin/policies/lru_policy.h"
@@ -55,6 +70,7 @@
 #include "sjoin/policies/prob_policy.h"
 #include "sjoin/policies/random_caching_policy.h"
 #include "sjoin/policies/random_policy.h"
+#include "sjoin/stochastic/linear_trend_process.h"
 #include "sjoin/stochastic/stream_sampler.h"
 
 using namespace sjoin;
@@ -73,6 +89,10 @@ struct ScenarioResult {
   /// key: an adaptive row measures a different engine configuration than
   /// its static twin at the same (name, workload, len, shards, threads).
   int adaptive = 0;
+  /// 1 when the run attached the runtime probe planner + score memos
+  /// (multi-way rows). Part of the row key; planner twins must agree on
+  /// counted_results bit for bit.
+  int planner = 0;
   std::int64_t setup_ns = 0;  // Policy construction (all runs).
   std::int64_t run_ns = 0;    // JoinSimulator::Run (all runs).
   std::int64_t counted_results = 0;
@@ -85,6 +105,12 @@ struct ScenarioResult {
   std::int64_t rebalances = 0;
   double static_ratio_sum = 0.0;
   double adaptive_ratio_sum = 0.0;
+  // Probe-plan telemetry, summed over runs (planner rows only): considered
+  // partner probes and how they were served (see engine/probe_planner.h).
+  std::int64_t probes = 0;
+  std::int64_t probe_skips = 0;
+  std::int64_t probe_cache_hits = 0;
+  std::int64_t plan_replans = 0;
 };
 
 struct Config {
@@ -212,12 +238,101 @@ ScenarioResult TimeCacheScenario(const std::string& name,
   return out;
 }
 
+/// An N-stream join workload: drifting linear trends with staggered
+/// intercepts and a shared +/-8 noise band, so every edge sees a dense
+/// overlap of values — the regime where the probe-result cache and the
+/// score memos have repeats to serve — while the drift keeps the pmf
+/// lookups moving.
+struct MultiWorkload {
+  std::string name;
+  int num_streams = 0;
+  std::vector<std::pair<int, int>> edges;
+  std::vector<std::unique_ptr<LinearTrendProcess>> processes;
+  std::vector<const StochasticProcess*> process_ptrs;
+};
+
+MultiWorkload MakeMultiTrends(std::string name, int num_streams,
+                              std::vector<std::pair<int, int>> edges) {
+  MultiWorkload workload;
+  workload.name = std::move(name);
+  workload.num_streams = num_streams;
+  workload.edges = std::move(edges);
+  for (int s = 0; s < num_streams; ++s) {
+    workload.processes.push_back(std::make_unique<LinearTrendProcess>(
+        1.0, -0.5 * s,
+        DiscreteDistribution::TruncatedDiscretizedNormal(0.0, 2.0, -8, 8)));
+    workload.process_ptrs.push_back(workload.processes.back().get());
+  }
+  return workload;
+}
+
+/// Times `make_policy` + MultiJoinSimulator::Run over `runs` pre-sampled
+/// realizations. `planner` attaches the runtime probe planner; the policy
+/// factory receives it too so planner rows also turn on the policy's
+/// score memo — one flag selects the whole runtime-optimized
+/// configuration, and the planner-off twin is the naive baseline it reads
+/// against. counted_results must match between the twins bit for bit
+/// (check_perf_regression.py enforces this).
+template <typename MakePolicy>
+ScenarioResult TimeMultiScenario(const std::string& name,
+                                 const MultiWorkload& workload, Time len,
+                                 const Config& config, bool planner,
+                                 MakePolicy&& make_policy) {
+  ScenarioResult out;
+  out.name = name;
+  out.workload = workload.name;
+  out.len = len;
+  out.runs = config.runs;
+  out.planner = planner ? 1 : 0;
+
+  Rng rng(config.seed);
+  std::vector<std::vector<std::vector<Value>>> realizations;
+  realizations.reserve(static_cast<std::size_t>(config.runs));
+  for (int run = 0; run < config.runs; ++run) {
+    std::vector<std::vector<Value>> streams;
+    for (const StochasticProcess* process : workload.process_ptrs) {
+      streams.push_back(SampleRealization(*process, len, rng));
+    }
+    realizations.push_back(std::move(streams));
+  }
+
+  MultiJoinSimulator sim(workload.num_streams, workload.edges,
+                         {.capacity = config.cache,
+                          .warmup = static_cast<Time>(4 * config.cache),
+                          .planner = planner});
+  for (const auto& streams : realizations) {
+    Stopwatch setup;
+    auto policy = make_policy(sim, planner);
+    out.setup_ns += setup.ElapsedNs();
+
+    Stopwatch run;
+    MultiJoinRunResult result = sim.Run(streams, *policy);
+    out.run_ns += run.ElapsedNs();
+    out.counted_results += result.counted_results;
+    if (result.telemetry.peak_candidates > out.peak_candidates) {
+      out.peak_candidates = result.telemetry.peak_candidates;
+    }
+    out.probes += result.telemetry.probes;
+    out.probe_skips += result.telemetry.probe_skips;
+    out.probe_cache_hits += result.telemetry.probe_cache_hits;
+    out.plan_replans += result.telemetry.plan_replans;
+  }
+  std::int64_t steps = len * config.runs;
+  std::fprintf(stderr, "%-18s %-6s p%d    %8.0f steps/s %10.0f ns/step\n",
+               name.c_str(), workload.name.c_str(), out.planner,
+               static_cast<double>(steps) /
+                   (static_cast<double>(out.run_ns) * 1e-9),
+               static_cast<double>(out.run_ns) /
+                   static_cast<double>(steps));
+  return out;
+}
+
 void WriteJson(const std::string& path, const Config& config,
                const std::vector<ScenarioResult>& results) {
   JsonWriter json;
   json.BeginObject();
   json.Key("schema");
-  json.String("sjoin-perf-v3");
+  json.String("sjoin-perf-v4");
   json.Key("len");
   json.Int(config.len);
   json.Key("runs");
@@ -245,6 +360,8 @@ void WriteJson(const std::string& path, const Config& config,
     json.Int(r.threads);
     json.Key("adaptive");
     json.Int(r.adaptive);
+    json.Key("planner");
+    json.Int(r.planner);
     json.Key("setup_ns");
     json.Int(r.setup_ns);
     json.Key("run_ns");
@@ -272,6 +389,22 @@ void WriteJson(const std::string& path, const Config& config,
       json.Double(r.static_ratio_sum / static_cast<double>(r.windows));
       json.Key("skew_ratio_adaptive");
       json.Double(r.adaptive_ratio_sum / static_cast<double>(r.windows));
+    }
+    if (r.planner != 0 && r.probes > 0) {
+      // How Phase 1's considered probes were served: skipped (partner
+      // cached nothing), answered from the probe-result cache, or
+      // evaluated against the index/scan — plus the number of checkpoint
+      // re-plans that actually changed a probe order.
+      json.Key("probes");
+      json.Int(r.probes);
+      json.Key("probe_skip_rate");
+      json.Double(static_cast<double>(r.probe_skips) /
+                  static_cast<double>(r.probes));
+      json.Key("probe_cache_hit_rate");
+      json.Double(static_cast<double>(r.probe_cache_hits) /
+                  static_cast<double>(r.probes));
+      json.Key("plan_replans");
+      json.Int(r.plan_replans);
     }
     json.EndObject();
   }
@@ -310,6 +443,17 @@ int main(int argc, char** argv) {
   Time sweep_len = flags.GetInt("sweep_len", 1000);
   std::size_t sweep_cache =
       static_cast<std::size_t>(flags.GetInt("sweep_cache", 200));
+  // Multi-way rows: shorter than the main serial rows (MULTI-HEEB scores
+  // every candidate against every partner over the full horizon, the
+  // costliest per-step profile in the roster) and distinct from sweep_len
+  // so the row keys stay unambiguous. The larger cache is the regime a
+  // shared multi-way cache actually runs in — k tuples serving every
+  // edge at once — and it is where the per-(partner, value) memos
+  // amortize: candidates grow with k while distinct values stay bounded
+  // by the noise band.
+  Time multi_len = flags.GetInt("multi_len", 1200);
+  std::size_t multi_cache =
+      static_cast<std::size_t>(flags.GetInt("multi_cache", 100));
   std::string out_path = flags.GetString("out", "BENCH_perf.json");
   flags.CheckConsumed();
   if (flow_len > config.len) flow_len = config.len;
@@ -516,6 +660,50 @@ int main(int argc, char** argv) {
           [] { return std::make_unique<ProbPolicy>(std::nullopt); }, shards,
           threads));
     }
+  }
+
+  // Multi-way A/B pairs: planner off (naive fixed-order probes, no score
+  // memo) vs planner on (re-planned probe order + probe-result cache +
+  // ScoreMemo). MULTI-HEEB is the model-driven policy the §2f machinery
+  // exists for; MULTI-PROB isolates the Phase-1 planner on a cheap
+  // frequency policy; EDGE-BUDGET rides the same memo through per-edge
+  // budgeting. counted_results must agree within each pair bit for bit.
+  MultiWorkload chain3 = MakeMultiTrends("CHAIN3", 3, {{0, 1}, {1, 2}});
+  MultiWorkload star5 =
+      MakeMultiTrends("STAR5", 5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  Config multi_config = config;
+  multi_config.cache = multi_cache;
+  for (bool planner : {false, true}) {
+    auto heeb_multi = [](const MultiWorkload& workload) {
+      return [&workload](const MultiJoinSimulator& sim, bool with_cache) {
+        return std::make_unique<MultiHeebPolicy>(
+            workload.process_ptrs, &sim,
+            MultiHeebPolicy::Options{.alpha = 10.0,
+                                     .horizon = 100,
+                                     .use_score_cache = with_cache});
+      };
+    };
+    results.push_back(TimeMultiScenario("MULTI-HEEB", chain3, multi_len,
+                                        multi_config, planner,
+                                        heeb_multi(chain3)));
+    results.push_back(TimeMultiScenario("MULTI-HEEB", star5, multi_len,
+                                        multi_config, planner, heeb_multi(star5)));
+    results.push_back(TimeMultiScenario(
+        "MULTI-PROB", star5, multi_len, multi_config, planner,
+        [](const MultiJoinSimulator& sim, bool with_cache) {
+          return std::make_unique<MultiProbPolicy>(
+              &sim,
+              MultiProbPolicy::Options{.use_score_cache = with_cache});
+        }));
+    results.push_back(TimeMultiScenario(
+        "EDGE-BUDGET", star5, multi_len, multi_config, planner,
+        [&star5](const MultiJoinSimulator& sim, bool with_cache) {
+          return std::make_unique<EdgeBudgetPolicy>(
+              star5.process_ptrs, &sim.topology(),
+              EdgeBudgetPolicy::Options{.alpha = 10.0,
+                                        .horizon = 100,
+                                        .use_score_cache = with_cache});
+        }));
   }
 
   WriteJson(out_path, config, results);

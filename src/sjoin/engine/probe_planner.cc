@@ -1,0 +1,124 @@
+#include "sjoin/engine/probe_planner.h"
+
+#include <algorithm>
+
+#include "sjoin/common/check.h"
+#include "sjoin/engine/stream_engine.h"
+
+namespace sjoin {
+
+ProbePlanner::ProbePlanner(Options options) : options_(options) {
+  SJOIN_CHECK_GE(options_.replan_interval, 1);
+  SJOIN_CHECK(options_.decay > 0.0 && options_.decay <= 1.0);
+}
+
+void ProbePlanner::BeginRun(const StreamTopology& topology,
+                            bool memo_across_steps) {
+  num_streams_ = topology.num_streams();
+  memo_across_steps_ = memo_across_steps;
+  const auto n = static_cast<std::size_t>(num_streams_);
+  decayed_.assign(n * n, EdgeCounter());
+  window_.assign(n * n, EdgeCounter());
+  plans_.assign(n, {});
+  for (int s = 0; s < num_streams_; ++s) {
+    plans_[static_cast<std::size_t>(s)] = topology.PartnersOf(s);
+  }
+  memo_.assign(n, {});
+  stats_ = ProbePlanStats();
+  step_stats_ = ProbePlanStats();
+}
+
+void ProbePlanner::BeginStep(Time now) {
+  step_stats_ = ProbePlanStats();
+  if (!memo_across_steps_) {
+    for (auto& per_partner : memo_) per_partner.clear();
+  }
+  if (now > 0 && now % options_.replan_interval == 0) {
+    ++stats_.checkpoints;
+    ++step_stats_.checkpoints;
+    Replan();
+  }
+}
+
+void ProbePlanner::Replan() {
+  for (std::size_t cell = 0; cell < decayed_.size(); ++cell) {
+    decayed_[cell].probes =
+        decayed_[cell].probes * options_.decay + window_[cell].probes;
+    decayed_[cell].matches =
+        decayed_[cell].matches * options_.decay + window_[cell].matches;
+    window_[cell] = EdgeCounter();
+  }
+  bool changed = false;
+  for (int s = 0; s < num_streams_; ++s) {
+    auto& plan = plans_[static_cast<std::size_t>(s)];
+    if (plan.size() < 2) continue;
+    rank_scratch_.clear();
+    for (int partner : plan) {
+      const EdgeCounter& cell = decayed_[CellOf(s, partner)];
+      double rate =
+          cell.probes > 0.0 ? cell.matches / cell.probes : 0.0;
+      rank_scratch_.push_back({rate, partner});
+    }
+    // Highest observed match rate first; ties (including the all-zero
+    // cold start) break on the partner index so the plan is a total
+    // function of the counters.
+    std::sort(rank_scratch_.begin(), rank_scratch_.end(),
+              [](const std::pair<double, int>& a,
+                 const std::pair<double, int>& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (plan[i] != rank_scratch_[i].second) {
+        plan[i] = rank_scratch_[i].second;
+        changed = true;
+      }
+    }
+  }
+  if (changed) {
+    ++stats_.replans;
+    ++step_stats_.replans;
+  }
+}
+
+bool ProbePlanner::LookupCount(int partner, Value value,
+                               std::int64_t* count) const {
+  const auto& per_partner = memo_[static_cast<std::size_t>(partner)];
+  auto it = per_partner.find(value);
+  if (it == per_partner.end()) return false;
+  *count = it->second;
+  return true;
+}
+
+void ProbePlanner::StoreCount(int partner, Value value, std::int64_t count) {
+  memo_[static_cast<std::size_t>(partner)][value] = count;
+}
+
+void ProbePlanner::ObserveProbe(int stream, int partner, std::int64_t matches,
+                                ProbeKind kind) {
+  EdgeCounter& cell = window_[CellOf(stream, partner)];
+  cell.probes += 1.0;
+  cell.matches += static_cast<double>(matches);
+  ++stats_.probes;
+  ++step_stats_.probes;
+  switch (kind) {
+    case ProbeKind::kSkipped:
+      ++stats_.skipped;
+      ++step_stats_.skipped;
+      break;
+    case ProbeKind::kMemoHit:
+      ++stats_.cache_hits;
+      ++step_stats_.cache_hits;
+      break;
+    case ProbeKind::kEvaluated:
+      ++stats_.evaluated;
+      ++step_stats_.evaluated;
+      break;
+  }
+}
+
+void ProbePlanner::OnCacheChange(int stream, Value value) {
+  memo_[static_cast<std::size_t>(stream)].erase(value);
+}
+
+}  // namespace sjoin

@@ -1,0 +1,42 @@
+#ifndef SJOIN_ENGINE_RANKED_SELECT_H_
+#define SJOIN_ENGINE_RANKED_SELECT_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "sjoin/common/types.h"
+
+/// \file
+/// The multi-way policies' shared top-k selection under the strict
+/// (score desc, arrival desc, id desc) order — the same total order the
+/// sharded engine's merge uses, so every comparison sort yields the same
+/// unique retained sequence.
+
+namespace sjoin {
+
+/// One scored retention candidate.
+struct RankedTuple {
+  double score = 0.0;
+  Time arrival = 0;
+  TupleId id = 0;
+};
+
+/// Best `capacity` ids, ranked by (score desc, arrival desc, id desc).
+inline std::vector<TupleId> KeepBestRanked(std::vector<RankedTuple> ranked,
+                                           std::size_t capacity) {
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedTuple& a, const RankedTuple& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.arrival != b.arrival) return a.arrival > b.arrival;
+              return a.id > b.id;
+            });
+  std::size_t keep = std::min(capacity, ranked.size());
+  std::vector<TupleId> retained;
+  retained.reserve(keep);
+  for (std::size_t i = 0; i < keep; ++i) retained.push_back(ranked[i].id);
+  return retained;
+}
+
+}  // namespace sjoin
+
+#endif  // SJOIN_ENGINE_RANKED_SELECT_H_

@@ -28,7 +28,8 @@ ShardedStreamEngine::ShardedStreamEngine(StreamTopology topology,
     : options_(options),
       serial_(std::move(topology),
               StreamEngine::Options{options.capacity, options.warmup,
-                                    options.window, nullptr}),
+                                    options.window, nullptr,
+                                    options.probe_planner}),
       partition_(static_cast<std::size_t>(
           options.shards > 1 ? options.shards : 1)) {
   SJOIN_CHECK_GE(options_.shards, 1);

@@ -97,6 +97,13 @@ class ShardedStreamEngine {
     ThreadPool* pool = nullptr;
     /// Skew-adaptive partitioning; see AdaptiveOptions.
     AdaptiveOptions adaptive;
+    /// Runtime probe planning for the serial path (engine/probe_planner.h;
+    /// not owned, must outlive every Run). Today every multi-way policy is
+    /// serial-only, so this reaches the planner's target workloads; a
+    /// genuinely sharded run (score-decomposable policy, shards > 1)
+    /// ignores it — per-shard Phase 1 already probes exactly one value's
+    /// partition, and its plan stats stay zero.
+    ProbePlanner* probe_planner = nullptr;
   };
 
   ShardedStreamEngine(StreamTopology topology, Options options);

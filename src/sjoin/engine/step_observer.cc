@@ -20,6 +20,10 @@ void PerfObserver::OnStep(const EngineStepView& step) {
   telemetry_.peak_candidates =
       std::max(telemetry_.peak_candidates,
                static_cast<std::int64_t>(step.num_candidates));
+  telemetry_.probes += step.probes;
+  telemetry_.probe_skips += step.probe_skips;
+  telemetry_.probe_cache_hits += step.probe_cache_hits;
+  telemetry_.plan_replans += step.plan_replans;
 }
 
 void PerfObserver::OnRunEnd(const EngineRunView& run) {

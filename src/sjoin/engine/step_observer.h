@@ -35,6 +35,12 @@ struct EngineTelemetry {
   std::int64_t steps = 0;
   /// Wall time of the engine loop, monotonic clock.
   std::int64_t run_ns = 0;
+  /// Probe-plan accounting (engine/probe_planner.h); all zero unless the
+  /// run attached a ProbePlanner. Deterministic, like peak_candidates.
+  std::int64_t probes = 0;
+  std::int64_t probe_skips = 0;
+  std::int64_t probe_cache_hits = 0;
+  std::int64_t plan_replans = 0;
 };
 
 /// Run-constant facts, handed to OnRunBegin / OnRunEnd.
@@ -56,6 +62,13 @@ struct EngineStepView {
   /// Size of the candidate set (previous cache plus arrivals) the policy
   /// chose from this step.
   std::size_t num_candidates = 0;
+  /// This step's probe-plan accounting (zero without a ProbePlanner):
+  /// probes considered, short-circuited, served from the probe-result
+  /// cache, and whether a checkpoint re-plan changed an order.
+  std::int64_t probes = 0;
+  std::int64_t probe_skips = 0;
+  std::int64_t probe_cache_hits = 0;
+  std::int64_t plan_replans = 0;
   /// Cache content after replacement.
   const std::vector<StreamTuple>* cache = nullptr;
   /// This step's arrivals, one per stream.
@@ -75,8 +88,8 @@ class StepObserver {
 
   /// Observer-compatibility query for batched multi-step execution: an
   /// observer returning true promises its OnStep reads only the scalar
-  /// fields of EngineStepView (now / produced / counted / num_candidates)
-  /// and tolerates deferred delivery — engines running batched steps
+  /// fields of EngineStepView (now / produced / counted / num_candidates /
+  /// the probe-plan counters) and tolerates deferred delivery — engines running batched steps
   /// (ShardedStreamEngine) buffer such views and deliver them, in order,
   /// at batch boundaries with the pointer fields null. The default false
   /// keeps the classic protocol: OnStep fires inside the step with every

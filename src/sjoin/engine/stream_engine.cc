@@ -4,6 +4,7 @@
 
 #include "sjoin/common/check.h"
 #include "sjoin/common/validate.h"
+#include "sjoin/engine/probe_planner.h"
 
 namespace sjoin {
 
@@ -22,6 +23,10 @@ StreamTopology::StreamTopology(int num_streams,
     SJOIN_CHECK_GE(b, 0);
     SJOIN_CHECK_LT(b, num_streams_);
     SJOIN_CHECK_NE(a, b);
+    SJOIN_CHECK_MSG(joins_[static_cast<std::size_t>(a)]
+                          [static_cast<std::size_t>(b)] == 0,
+                    "duplicate or mirrored join edge would double-count "
+                    "every match on it");
     partners_[static_cast<std::size_t>(a)].push_back(b);
     partners_[static_cast<std::size_t>(b)].push_back(a);
     joins_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)] = 1;
@@ -93,6 +98,18 @@ EngineRunResult StreamEngine::Run(
     value_index_.clear();
   }
 
+  // Probe planning (engine/probe_planner.h): probe order, short-circuits
+  // and the (partner, value) probe-result memo are cost-only, so the
+  // planned Phase 1 below produces the same integer sum as the naive loop
+  // in any mode. The memo survives across steps only when no window can
+  // expire tuples behind its back.
+  ProbePlanner* planner = options_.probe_planner;
+  if (planner != nullptr) {
+    planner->BeginRun(topology_,
+                      /*memo_across_steps=*/!options_.window.has_value());
+    stream_counts_.assign(static_cast<std::size_t>(n), 0);
+  }
+
   EngineRunView run_view;
   run_view.topology = &topology_;
   run_view.capacity = options_.capacity;
@@ -116,7 +133,43 @@ EngineRunResult StreamEngine::Run(
     // among same-step arrivals happen regardless of caching and are
     // excluded, as in the paper.
     std::int64_t produced = 0;
-    if (use_value_index) {
+    if (planner != nullptr) {
+      planner->BeginStep(t);
+      for (const StreamTuple& arrival : arrivals_) {
+        for (int partner : planner->PlanFor(arrival.stream)) {
+          if (stream_counts_[static_cast<std::size_t>(partner)] == 0) {
+            planner->ObserveProbe(arrival.stream, partner, 0,
+                                  ProbeKind::kSkipped);
+            continue;
+          }
+          std::int64_t matches = 0;
+          if (planner->LookupCount(partner, arrival.value, &matches)) {
+            planner->ObserveProbe(arrival.stream, partner, matches,
+                                  ProbeKind::kMemoHit);
+          } else {
+            if (use_value_index) {
+              const auto& index =
+                  value_index_[partitions->PartitionOf(arrival.value)]
+                              [static_cast<std::size_t>(partner)];
+              auto it = index.find(arrival.value);
+              if (it != index.end()) matches = it->second;
+            } else {
+              for (const StreamTuple& cached : cache_) {
+                if (cached.stream == partner &&
+                    cached.value == arrival.value &&
+                    InWindow(cached, t, options_.window)) {
+                  ++matches;
+                }
+              }
+            }
+            planner->StoreCount(partner, arrival.value, matches);
+            planner->ObserveProbe(arrival.stream, partner, matches,
+                                  ProbeKind::kEvaluated);
+          }
+          produced += matches;
+        }
+      }
+    } else if (use_value_index) {
       for (const StreamTuple& arrival : arrivals_) {
         const auto& shard = value_index_[partitions->PartitionOf(
             arrival.value)];
@@ -174,19 +227,31 @@ EngineRunResult StreamEngine::Run(
       new_cache_.push_back(it->second);
     }
 
-    if (use_value_index) {
+    if (use_value_index || planner != nullptr) {
       for (const StreamTuple& tuple : cache_) {
         if (retained_set_.contains(tuple.id)) continue;  // Still cached.
-        auto& index = value_index_[partitions->PartitionOf(tuple.value)]
-                                  [static_cast<std::size_t>(tuple.stream)];
-        auto it = index.find(tuple.value);
-        if (--it->second == 0) index.erase(it);
+        if (use_value_index) {
+          auto& index = value_index_[partitions->PartitionOf(tuple.value)]
+                                    [static_cast<std::size_t>(tuple.stream)];
+          auto it = index.find(tuple.value);
+          if (--it->second == 0) index.erase(it);
+        }
+        if (planner != nullptr) {
+          --stream_counts_[static_cast<std::size_t>(tuple.stream)];
+          planner->OnCacheChange(tuple.stream, tuple.value);
+        }
       }
       for (const StreamTuple& tuple : arrivals_) {
         if (retained_set_.contains(tuple.id)) {
-          ++value_index_[partitions->PartitionOf(tuple.value)]
-                        [static_cast<std::size_t>(tuple.stream)]
-                        [tuple.value];
+          if (use_value_index) {
+            ++value_index_[partitions->PartitionOf(tuple.value)]
+                          [static_cast<std::size_t>(tuple.stream)]
+                          [tuple.value];
+          }
+          if (planner != nullptr) {
+            ++stream_counts_[static_cast<std::size_t>(tuple.stream)];
+            planner->OnCacheChange(tuple.stream, tuple.value);
+          }
         }
       }
     }
@@ -212,6 +277,36 @@ EngineRunResult StreamEngine::Run(
         SJOIN_VALIDATE_MSG(recount == value_index_,
                            "value index out of sync with cache contents");
       }
+      if (planner != nullptr) {
+        std::vector<std::int64_t> recount(static_cast<std::size_t>(n), 0);
+        for (const StreamTuple& tuple : cache_) {
+          ++recount[static_cast<std::size_t>(tuple.stream)];
+        }
+        SJOIN_VALIDATE_MSG(recount == stream_counts_,
+                           "per-stream counts out of sync with cache");
+        // Wherever the probe memo still holds an entry after the commit's
+        // invalidations, it must equal a fresh count of the cache
+        // (cross-step entries survive only in unwindowed runs, where age
+        // cannot expire tuples behind the memo's back).
+        if (!options_.window.has_value()) {
+          for (const StreamTuple& tuple : cache_) {
+            std::int64_t memoized = 0;
+            if (!planner->LookupCount(tuple.stream, tuple.value,
+                                      &memoized)) {
+              continue;
+            }
+            std::int64_t fresh = 0;
+            for (const StreamTuple& other : cache_) {
+              if (other.stream == tuple.stream &&
+                  other.value == tuple.value) {
+                ++fresh;
+              }
+            }
+            SJOIN_VALIDATE_MSG(memoized == fresh,
+                               "probe memo out of sync with cache");
+          }
+        }
+      }
     }
 
     EngineStepView step_view;
@@ -219,6 +314,13 @@ EngineRunResult StreamEngine::Run(
     step_view.produced = produced;
     step_view.counted = counted;
     step_view.num_candidates = num_candidates;
+    if (planner != nullptr) {
+      const ProbePlanStats& plan = planner->step_stats();
+      step_view.probes = plan.probes;
+      step_view.probe_skips = plan.skipped;
+      step_view.probe_cache_hits = plan.cache_hits;
+      step_view.plan_replans = plan.replans;
+    }
     step_view.cache = &cache_;
     step_view.arrivals = &arrivals_;
     step_view.retained = &retained;

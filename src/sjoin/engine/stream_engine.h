@@ -35,10 +35,15 @@
 
 namespace sjoin {
 
+class ProbePlanner;
+
 /// The join graph: N streams plus the unordered stream pairs that equijoin.
 class StreamTopology {
  public:
-  /// `join_edges` lists unordered stream pairs (i != j) that equijoin.
+  /// `join_edges` lists unordered stream pairs that equijoin. Each pair
+  /// must name two distinct in-range streams, and no unordered pair may
+  /// appear twice — a duplicate or mirrored edge ((a,b) next to (b,a))
+  /// would silently double-count every match on that edge.
   StreamTopology(int num_streams,
                  std::vector<std::pair<int, int>> join_edges);
 
@@ -156,6 +161,13 @@ class StreamEngine {
     /// outlive the engine). nullptr = single partition. Any PartitionMap
     /// yields identical results; partitions only shape the index layout.
     const PartitionMap* partitions = nullptr;
+    /// Runtime probe planning for Phase 1 (engine/probe_planner.h): probe
+    /// order re-planned from observed selectivities at deterministic
+    /// checkpoints, empty-partner probes short-circuited, repeated
+    /// (partner, value) probes served from a memo. Cost-only — results are
+    /// bit-identical to the fixed-order loop. Not owned; must outlive the
+    /// Run. nullptr = naive probe order.
+    ProbePlanner* probe_planner = nullptr;
   };
 
   /// Below this capacity the Phase-1 linear probe beats the hash index
@@ -195,6 +207,9 @@ class StreamEngine {
   /// Value -> cached-tuple count, per (partition, stream).
   std::vector<std::vector<std::unordered_map<Value, std::int64_t>>>
       value_index_;
+  /// Cached tuples per stream; maintained only when a probe planner is
+  /// attached (backs its empty-partner short-circuit).
+  std::vector<std::int64_t> stream_counts_;
 };
 
 /// Adapts a binary ReplacementPolicy to the engine interface for

@@ -1,0 +1,137 @@
+#include "sjoin/multi/multi_baseline_policies.h"
+
+#include <algorithm>
+
+#include "sjoin/common/check.h"
+#include "sjoin/engine/ranked_select.h"
+#include "sjoin/engine/stream_tuple.h"
+
+namespace sjoin {
+namespace {
+
+/// Folds every history's unseen suffix into per-stream value counts.
+/// Histories advance in lockstep (one arrival per stream per step), so one
+/// shared consumed cursor covers all of them.
+void Fold(const MultiPolicyContext& ctx,
+          std::vector<std::unordered_map<Value, std::int64_t>>* counts,
+          Time* consumed) {
+  const Time seen = static_cast<Time>((*ctx.histories)[0].size());
+  while (*consumed < seen) {
+    for (std::size_t s = 0; s < counts->size(); ++s) {
+      ++(*counts)[s][(*ctx.histories)[s].at(*consumed)];
+    }
+    ++*consumed;
+  }
+}
+
+/// Σ over partner streams of the observed relative frequency of `value`,
+/// each partner's term routed through a subtotal so a ScoreMemo serves it
+/// back bit-identically.
+double PartnerFrequencySum(
+    const MultiJoinSimulator& simulator,
+    const std::vector<std::unordered_map<Value, std::int64_t>>& counts,
+    Time consumed, const MultiTuple& tuple, ScoreMemo* memo) {
+  double sum = 0.0;
+  for (int partner : simulator.PartnersOf(tuple.stream)) {
+    double subtotal = 0.0;
+    if (memo == nullptr ||
+        !memo->Lookup(partner, tuple.value, /*max_dt=*/0, &subtotal)) {
+      const auto& partner_counts =
+          counts[static_cast<std::size_t>(partner)];
+      auto it = partner_counts.find(tuple.value);
+      std::int64_t count = it == partner_counts.end() ? 0 : it->second;
+      subtotal = consumed == 0 ? 0.0
+                               : static_cast<double>(count) /
+                                     static_cast<double>(consumed);
+      if (memo != nullptr) {
+        memo->Store(partner, tuple.value, /*max_dt=*/0, subtotal);
+      }
+    }
+    sum += subtotal;
+  }
+  return sum;
+}
+
+}  // namespace
+
+MultiProbPolicy::MultiProbPolicy(const MultiJoinSimulator* simulator,
+                                 Options options)
+    : simulator_(simulator), options_(options) {
+  SJOIN_CHECK(simulator != nullptr);
+}
+
+void MultiProbPolicy::Reset() {
+  counts_.assign(static_cast<std::size_t>(simulator_->num_streams()), {});
+  consumed_ = 0;
+  memo_.Reset(simulator_->num_streams());
+}
+
+std::vector<TupleId> MultiProbPolicy::SelectRetained(
+    const MultiPolicyContext& ctx) {
+  Fold(ctx, &counts_, &consumed_);
+  ScoreMemo* memo = options_.use_score_cache ? &memo_ : nullptr;
+  if (memo != nullptr) memo->BeginStep();
+
+  auto score = [&](const MultiTuple& tuple) {
+    Time age = ctx.now - tuple.arrival;
+    bool expired = (options_.assumed_lifetime.has_value() &&
+                    age > *options_.assumed_lifetime) ||
+                   !InWindow(tuple, ctx.now, ctx.window);
+    if (expired) return -1.0;
+    return PartnerFrequencySum(*simulator_, counts_, consumed_, tuple, memo);
+  };
+
+  std::vector<RankedTuple> ranked;
+  ranked.reserve(ctx.cached->size() + ctx.arrivals->size());
+  for (const MultiTuple& tuple : *ctx.cached) {
+    ranked.push_back({score(tuple), tuple.arrival, tuple.id});
+  }
+  for (const MultiTuple& tuple : *ctx.arrivals) {
+    ranked.push_back({score(tuple), tuple.arrival, tuple.id});
+  }
+  return KeepBestRanked(std::move(ranked), ctx.capacity);
+}
+
+MultiLifePolicy::MultiLifePolicy(const MultiJoinSimulator* simulator,
+                                 Options options)
+    : simulator_(simulator), options_(options) {
+  SJOIN_CHECK(simulator != nullptr);
+  SJOIN_CHECK_GE(options_.lifetime, 1);
+}
+
+void MultiLifePolicy::Reset() {
+  counts_.assign(static_cast<std::size_t>(simulator_->num_streams()), {});
+  consumed_ = 0;
+  memo_.Reset(simulator_->num_streams());
+}
+
+std::vector<TupleId> MultiLifePolicy::SelectRetained(
+    const MultiPolicyContext& ctx) {
+  Fold(ctx, &counts_, &consumed_);
+  ScoreMemo* memo = options_.use_score_cache ? &memo_ : nullptr;
+  if (memo != nullptr) memo->BeginStep();
+
+  auto score = [&](const MultiTuple& tuple) {
+    Time effective_lifetime = options_.lifetime;
+    if (ctx.window.has_value()) {
+      effective_lifetime = std::min(effective_lifetime, *ctx.window);
+    }
+    Time remaining = effective_lifetime - (ctx.now - tuple.arrival);
+    if (remaining <= 0) return -1.0;
+    double prob =
+        PartnerFrequencySum(*simulator_, counts_, consumed_, tuple, memo);
+    return prob * static_cast<double>(remaining);
+  };
+
+  std::vector<RankedTuple> ranked;
+  ranked.reserve(ctx.cached->size() + ctx.arrivals->size());
+  for (const MultiTuple& tuple : *ctx.cached) {
+    ranked.push_back({score(tuple), tuple.arrival, tuple.id});
+  }
+  for (const MultiTuple& tuple : *ctx.arrivals) {
+    ranked.push_back({score(tuple), tuple.arrival, tuple.id});
+  }
+  return KeepBestRanked(std::move(ranked), ctx.capacity);
+}
+
+}  // namespace sjoin

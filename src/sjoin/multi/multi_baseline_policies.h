@@ -1,0 +1,90 @@
+#ifndef SJOIN_MULTI_MULTI_BASELINE_POLICIES_H_
+#define SJOIN_MULTI_MULTI_BASELINE_POLICIES_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sjoin/engine/score_memo.h"
+#include "sjoin/multi/multi_join_simulator.h"
+
+/// \file
+/// Frequency-heuristic baselines for the multi-join problem, generalizing
+/// the binary PROB and LIFE policies (policies/prob_policy.h,
+/// policies/life_policy.h) the same way Appendix C generalizes HEEB: a
+/// candidate's match probability is the sum over its partner streams of
+/// the observed relative frequency of its value on that partner.
+///
+/// Like MultiHeebPolicy, scoring goes through per-partner subtotals so the
+/// per-(partner, value) frequency can be served from a ScoreMemo with
+/// bit-identical scores (Options::use_score_cache).
+
+namespace sjoin {
+
+/// PROB for N streams: score = Σ_{p ∈ partners} freq_p(v); tuples past an
+/// assumed lifetime or outside the window score -1.
+class MultiProbPolicy final : public MultiReplacementPolicy {
+ public:
+  struct Options {
+    /// Tuples older than this score -1 (in addition to window expiry).
+    std::optional<Time> assumed_lifetime;
+    /// Memoize per-(partner, value) frequency subtotals per step.
+    bool use_score_cache = false;
+  };
+
+  /// `simulator` supplies the join graph; not owned.
+  explicit MultiProbPolicy(const MultiJoinSimulator* simulator,
+                           Options options);
+
+  void Reset() override;
+  std::vector<TupleId> SelectRetained(const MultiPolicyContext& ctx) override;
+  const char* name() const override { return "MULTI-PROB"; }
+
+  const ScoreMemo::Stats& score_cache_stats() const { return memo_.stats(); }
+
+ private:
+  double MatchSum(const MultiTuple& tuple, ScoreMemo* memo);
+  void FoldHistories(const MultiPolicyContext& ctx);
+
+  const MultiJoinSimulator* simulator_;
+  Options options_;
+  /// Observed value counts per stream; consumed_ values folded from every
+  /// history (streams advance in lockstep, one arrival per step).
+  std::vector<std::unordered_map<Value, std::int64_t>> counts_;
+  Time consumed_ = 0;
+  ScoreMemo memo_;
+};
+
+/// LIFE for N streams: score = (Σ_{p ∈ partners} freq_p(v)) * remaining
+/// lifetime, remaining = min(lifetime, window) - age, expired -> -1.
+class MultiLifePolicy final : public MultiReplacementPolicy {
+ public:
+  struct Options {
+    /// Assumed total lifetime of a tuple, in steps.
+    Time lifetime = 100;
+    bool use_score_cache = false;
+  };
+
+  explicit MultiLifePolicy(const MultiJoinSimulator* simulator,
+                           Options options);
+
+  void Reset() override;
+  std::vector<TupleId> SelectRetained(const MultiPolicyContext& ctx) override;
+  const char* name() const override { return "MULTI-LIFE"; }
+
+  const ScoreMemo::Stats& score_cache_stats() const { return memo_.stats(); }
+
+ private:
+  double MatchSum(const MultiTuple& tuple, ScoreMemo* memo);
+  void FoldHistories(const MultiPolicyContext& ctx);
+
+  const MultiJoinSimulator* simulator_;
+  Options options_;
+  std::vector<std::unordered_map<Value, std::int64_t>> counts_;
+  Time consumed_ = 0;
+  ScoreMemo memo_;
+};
+
+}  // namespace sjoin
+
+#endif  // SJOIN_MULTI_MULTI_BASELINE_POLICIES_H_

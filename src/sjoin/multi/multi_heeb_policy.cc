@@ -3,32 +3,9 @@
 #include <algorithm>
 
 #include "sjoin/common/check.h"
+#include "sjoin/engine/ranked_select.h"
 
 namespace sjoin {
-namespace {
-
-struct Ranked {
-  double score;
-  Time arrival;
-  TupleId id;
-};
-
-std::vector<TupleId> KeepBest(std::vector<Ranked> ranked,
-                              std::size_t capacity) {
-  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a,
-                                             const Ranked& b) {
-    if (a.score != b.score) return a.score > b.score;
-    if (a.arrival != b.arrival) return a.arrival > b.arrival;
-    return a.id > b.id;
-  });
-  std::size_t keep = std::min(capacity, ranked.size());
-  std::vector<TupleId> retained;
-  retained.reserve(keep);
-  for (std::size_t i = 0; i < keep; ++i) retained.push_back(ranked[i].id);
-  return retained;
-}
-
-}  // namespace
 
 MultiHeebPolicy::MultiHeebPolicy(
     const std::vector<const StochasticProcess*>& processes,
@@ -46,22 +23,17 @@ MultiHeebPolicy::MultiHeebPolicy(
   SJOIN_CHECK_GE(options_.horizon, 1);
 }
 
+void MultiHeebPolicy::Reset() {
+  memo_.Reset(simulator_->num_streams());
+}
+
 std::vector<TupleId> MultiHeebPolicy::SelectRetained(
     const MultiPolicyContext& ctx) {
-  int n = simulator_->num_streams();
   // Predictive pmfs per stream for the current step, rebuilt in place.
-  predictions_.resize(static_cast<std::size_t>(n));
-  for (int s = 0; s < n; ++s) {
-    auto& preds = predictions_[static_cast<std::size_t>(s)];
-    preds.resize(static_cast<std::size_t>(options_.horizon));
-    const StreamHistory& history =
-        (*ctx.histories)[static_cast<std::size_t>(s)];
-    for (Time dt = 1; dt <= options_.horizon; ++dt) {
-      processes_[static_cast<std::size_t>(s)]->PredictInto(
-          history, ctx.now + dt,
-          &preds[static_cast<std::size_t>(dt - 1)]);
-    }
-  }
+  RebuildPredictions(processes_, *ctx.histories, ctx.now, options_.horizon,
+                     &predictions_);
+  ScoreMemo* memo = options_.use_score_cache ? &memo_ : nullptr;
+  if (memo != nullptr) memo->BeginStep();
 
   auto score = [&](const MultiTuple& tuple) {
     Time max_dt = options_.horizon;
@@ -69,18 +41,29 @@ std::vector<TupleId> MultiHeebPolicy::SelectRetained(
       max_dt = std::min(max_dt, tuple.arrival + *ctx.window - ctx.now);
     }
     double h = 0.0;
-    // Appendix C: sum the binary HEEB over all partner streams.
+    // Appendix C: sum the binary HEEB over all partner streams. Each
+    // partner's inner sum goes through a subtotal so the memoized and
+    // from-scratch paths round identically.
     for (int partner : simulator_->PartnersOf(tuple.stream)) {
-      const auto& preds = predictions_[static_cast<std::size_t>(partner)];
-      for (Time dt = 1; dt <= max_dt; ++dt) {
-        h += preds[static_cast<std::size_t>(dt - 1)].Prob(tuple.value) *
-             lifetime_.At(dt);
+      double subtotal = 0.0;
+      if (memo == nullptr ||
+          !memo->Lookup(partner, tuple.value, max_dt, &subtotal)) {
+        const auto& preds = predictions_[static_cast<std::size_t>(partner)];
+        for (Time dt = 1; dt <= max_dt; ++dt) {
+          subtotal +=
+              preds[static_cast<std::size_t>(dt - 1)].Prob(tuple.value) *
+              lifetime_.At(dt);
+        }
+        if (memo != nullptr) {
+          memo->Store(partner, tuple.value, max_dt, subtotal);
+        }
       }
+      h += subtotal;
     }
     return h;
   };
 
-  std::vector<Ranked> ranked;
+  std::vector<RankedTuple> ranked;
   ranked.reserve(ctx.cached->size() + ctx.arrivals->size());
   for (const MultiTuple& tuple : *ctx.cached) {
     ranked.push_back({score(tuple), tuple.arrival, tuple.id});
@@ -88,12 +71,12 @@ std::vector<TupleId> MultiHeebPolicy::SelectRetained(
   for (const MultiTuple& tuple : *ctx.arrivals) {
     ranked.push_back({score(tuple), tuple.arrival, tuple.id});
   }
-  return KeepBest(std::move(ranked), ctx.capacity);
+  return KeepBestRanked(std::move(ranked), ctx.capacity);
 }
 
 std::vector<TupleId> MultiRandomPolicy::SelectRetained(
     const MultiPolicyContext& ctx) {
-  std::vector<Ranked> ranked;
+  std::vector<RankedTuple> ranked;
   ranked.reserve(ctx.cached->size() + ctx.arrivals->size());
   for (const MultiTuple& tuple : *ctx.cached) {
     ranked.push_back({rng_.UniformReal(), tuple.arrival, tuple.id});
@@ -101,7 +84,7 @@ std::vector<TupleId> MultiRandomPolicy::SelectRetained(
   for (const MultiTuple& tuple : *ctx.arrivals) {
     ranked.push_back({rng_.UniformReal(), tuple.arrival, tuple.id});
   }
-  return KeepBest(std::move(ranked), ctx.capacity);
+  return KeepBestRanked(std::move(ranked), ctx.capacity);
 }
 
 }  // namespace sjoin

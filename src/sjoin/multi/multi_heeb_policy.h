@@ -5,6 +5,7 @@
 
 #include "sjoin/common/rng.h"
 #include "sjoin/core/lifetime_fn.h"
+#include "sjoin/engine/score_memo.h"
 #include "sjoin/multi/multi_join_simulator.h"
 #include "sjoin/stochastic/process.h"
 
@@ -13,6 +14,11 @@
 /// expected benefit is the *sum over its partner streams* of the binary
 /// HEEB terms,
 ///   H_x = Σ_{p ∈ partners(stream(x))} Σ_{Δt} Pr{X^p_{t0+Δt} = v_x} L(Δt).
+///
+/// Scoring accumulates each partner's inner sum into a subtotal and adds
+/// the subtotals in partner order, so the subtotal for a (partner, value)
+/// pair can be memoized per step (engine/score_memo.h) without changing a
+/// single bit of any score — Options::use_score_cache turns that on.
 
 namespace sjoin {
 
@@ -22,6 +28,9 @@ class MultiHeebPolicy final : public MultiReplacementPolicy {
   struct Options {
     double alpha = 10.0;
     Time horizon = 100;
+    /// Memoize per-(partner, value) score subtotals for the step
+    /// (bit-identical scores either way; see file comment).
+    bool use_score_cache = false;
   };
 
   /// `processes[s]` models stream s; not owned. `simulator` supplies the
@@ -29,9 +38,14 @@ class MultiHeebPolicy final : public MultiReplacementPolicy {
   MultiHeebPolicy(const std::vector<const StochasticProcess*>& processes,
                   const MultiJoinSimulator* simulator, Options options);
 
+  void Reset() override;
+
   std::vector<TupleId> SelectRetained(const MultiPolicyContext& ctx) override;
 
   const char* name() const override { return "MULTI-HEEB"; }
+
+  /// Hit/miss accounting of the score memo (zero when disabled).
+  const ScoreMemo::Stats& score_cache_stats() const { return memo_.stats(); }
 
  private:
   std::vector<const StochasticProcess*> processes_;
@@ -41,6 +55,7 @@ class MultiHeebPolicy final : public MultiReplacementPolicy {
   // Per-step predictive pmfs, [stream][dt-1]; kept as a member and
   // overwritten in place so the per-step rebuild does not allocate.
   std::vector<std::vector<DiscreteDistribution>> predictions_;
+  ScoreMemo memo_;
 };
 
 /// Random eviction baseline for the multi-join problem.

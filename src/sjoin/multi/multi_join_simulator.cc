@@ -1,6 +1,7 @@
 #include "sjoin/multi/multi_join_simulator.h"
 
 #include "sjoin/common/check.h"
+#include "sjoin/engine/probe_planner.h"
 #include "sjoin/engine/sharded_stream_engine.h"
 
 namespace sjoin {
@@ -24,6 +25,12 @@ MultiJoinRunResult MultiJoinSimulator::Run(
     stream_ptrs.push_back(&stream);
   }
 
+  // Per-call planner state keeps Run thread-safe, like the engine itself.
+  std::optional<ProbePlanner> planner;
+  if (options_.planner) {
+    planner.emplace(
+        ProbePlanner::Options{.replan_interval = options_.replan_interval});
+  }
   ShardedStreamEngine engine(topology_, {.capacity = options_.capacity,
                                          .warmup = options_.warmup,
                                          .window = options_.window,
@@ -35,7 +42,9 @@ MultiJoinRunResult MultiJoinSimulator::Run(
                                              .enabled =
                                                  options_.adaptive_shards,
                                              .interval =
-                                                 options_.adaptive_interval}});
+                                                 options_.adaptive_interval},
+                                         .probe_planner =
+                                             planner ? &*planner : nullptr});
   PerfObserver perf;
   EngineRunResult run = engine.Run(stream_ptrs, policy, {&perf});
 

@@ -80,6 +80,15 @@ class MultiJoinSimulator {
     /// stay bit-identical; only load balance moves.
     bool adaptive_shards = false;
     Time adaptive_interval = 32;
+    /// Runtime probe planning (DESIGN.md §2f): Phase-1 partner probes run
+    /// in an order re-planned from observed selectivities at deterministic
+    /// checkpoints every `replan_interval` steps, empty partners are
+    /// short-circuited, and repeated (partner, value) probes are served
+    /// from a probe-result cache. Cost-only — results stay bit-identical;
+    /// the run result's telemetry reports probes / skips / cache hits /
+    /// replans. Applies to the serial path (all multi policies today).
+    bool planner = false;
+    Time replan_interval = 64;
   };
 
   /// `join_edges` lists unordered stream pairs (i != j) that equijoin.
@@ -101,6 +110,10 @@ class MultiJoinSimulator {
   const std::vector<int>& PartnersOf(int stream) const {
     return topology_.PartnersOf(stream);
   }
+
+  /// The underlying join graph (for policies that take a StreamTopology,
+  /// e.g. EdgeBudgetPolicy).
+  const StreamTopology& topology() const { return topology_; }
 
  private:
   StreamTopology topology_;

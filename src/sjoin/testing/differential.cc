@@ -18,13 +18,17 @@
 #include "sjoin/engine/cache_simulator.h"
 #include "sjoin/engine/join_simulator.h"
 #include "sjoin/engine/reduction.h"
+#include "sjoin/engine/probe_planner.h"
 #include "sjoin/engine/scored_caching_policy.h"
 #include "sjoin/engine/scored_policy.h"
 #include "sjoin/engine/sharded_stream_engine.h"
 #include "sjoin/engine/stream_engine.h"
 #include "sjoin/engine/tuple.h"
 #include "sjoin/flow/min_cost_flow.h"
+#include "sjoin/multi/multi_baseline_policies.h"
+#include "sjoin/multi/multi_heeb_policy.h"
 #include "sjoin/multi/multi_join_simulator.h"
+#include "sjoin/policies/edge_budget_policy.h"
 #include "sjoin/policies/lfu_policy.h"
 #include "sjoin/policies/life_policy.h"
 #include "sjoin/policies/lru_policy.h"
@@ -33,6 +37,8 @@
 #include "sjoin/policies/random_caching_policy.h"
 #include "sjoin/policies/random_policy.h"
 #include "sjoin/core/flow_expect_policy.h"
+#include "sjoin/stochastic/linear_trend_process.h"
+#include "sjoin/stochastic/stream_sampler.h"
 #include "sjoin/testing/brute_force_flow.h"
 #include "sjoin/testing/brute_force_opt.h"
 #include "sjoin/testing/naive_flow_expect.h"
@@ -142,6 +148,20 @@ bool DiffAdaptive() {
     return env != nullptr && *env != '\0' && std::string_view(env) != "0";
   }();
   return adaptive;
+}
+
+/// SJOIN_DIFF_MULTI=1 makes the multi_planner suite additionally rerun
+/// every trial through the MultiJoinSimulator façade (planner on and off)
+/// and through a 4-shard ShardedStreamEngine — multi policies publish no
+/// shard scoring, so the sharded engine must take its serial fallback and
+/// still honor the attached planner. Both reruns must reproduce the
+/// direct-engine results exactly.
+bool DiffMulti() {
+  static const bool multi = [] {
+    const char* env = std::getenv("SJOIN_DIFF_MULTI");
+    return env != nullptr && *env != '\0' && std::string_view(env) != "0";
+  }();
+  return multi;
 }
 
 /// Runs the optimized joining side of a trial. By default this goes
@@ -1434,6 +1454,246 @@ std::optional<std::string> AdaptiveEngineTrial(std::uint64_t seed) {
   return std::nullopt;
 }
 
+// ---------------------------------------------------------------------------
+// Suite 10: multi_planner — the runtime probe planner (DESIGN.md §2f) on
+// multi-way topologies (3-way chain, 5-way star) crossed with the four
+// multi policy families {MULTI-HEEB, MULTI-PROB, MULTI-LIFE, EDGE-BUDGET}.
+// Planner-on runs (re-planned probe order + empty-partner skips + the
+// (partner, value) probe-result cache) must reproduce the naive
+// fixed-order engine bit for bit on full per-step traces, with the
+// policy's ScoreMemo both off and on; a rerun must additionally replay
+// the identical planner statistics (plans are pure functions of the run
+// prefix). SJOIN_DIFF_MULTI adds façade and sharded-fallback reruns.
+
+std::optional<std::string> MultiPlannerTrial(std::uint64_t seed) {
+  Rng aux(seed ^ kAuxSalt);
+  const bool star = seed % 2 == 1;
+  const int n = star ? 5 : 3;
+  const std::vector<std::pair<int, int>> edges =
+      star ? std::vector<std::pair<int, int>>{{0, 1}, {0, 2}, {0, 3}, {0, 4}}
+           : std::vector<std::pair<int, int>>{{0, 1}, {1, 2}};
+  const int variant = static_cast<int>((seed / 2) % 4);
+
+  const Time len = aux.UniformInt(48, 112);
+  std::size_t capacity = static_cast<std::size_t>(aux.UniformInt(2, 10));
+  std::optional<Time> window;
+  if (aux.UniformReal() < 0.3) window = aux.UniformInt(6, 24);
+  if (!window.has_value() && aux.UniformReal() < 0.25) {
+    // Engage the per-partner value->count indexes (unwindowed, capacity >=
+    // StreamEngine::kValueIndexMinCapacity) so the planner's memo sits in
+    // front of the indexed probe path too.
+    capacity = static_cast<std::size_t>(aux.UniformInt(32, 40));
+  }
+  const Time warmup = aux.UniformInt(0, 10);
+  const Time replan_interval = aux.UniformInt(4, 24);
+
+  // Drifting trend processes with overlapping value ranges so every edge
+  // sees real matches and real misses.
+  Rng realization_rng(seed ^ kRealizationSalt);
+  std::vector<std::unique_ptr<LinearTrendProcess>> owned;
+  std::vector<const StochasticProcess*> processes;
+  std::vector<std::vector<Value>> streams;
+  std::vector<const std::vector<Value>*> stream_ptrs;
+  for (int s = 0; s < n; ++s) {
+    const double slope = 0.25 * aux.UniformInt(0, 4);
+    const double intercept = aux.UniformInt(-3, 3);
+    const int bound = aux.UniformInt(4, 10);
+    owned.push_back(std::make_unique<LinearTrendProcess>(
+        slope, intercept,
+        DiscreteDistribution::TruncatedDiscretizedNormal(
+            0.0, 2.0, -bound, bound)));
+    processes.push_back(owned.back().get());
+    streams.push_back(SampleRealization(*owned.back(), len, realization_rng));
+  }
+  for (const auto& stream : streams) stream_ptrs.push_back(&stream);
+
+  const StreamTopology topology(n, edges);
+  const MultiJoinSimulator::Options facade_options{
+      .capacity = capacity, .warmup = warmup, .window = window};
+  const MultiJoinSimulator facade(n, edges, facade_options);
+
+  // The same policy family with the score memo off and on — the memoized
+  // per-partner subtotals must not move a single bit of any score.
+  std::unique_ptr<EnginePolicy> plain;
+  std::unique_ptr<EnginePolicy> memoized;
+  const double alpha = 4.0 + aux.UniformInt(0, 12);
+  const Time horizon = aux.UniformInt(8, 40);
+  switch (variant) {
+    case 0:
+      plain = std::make_unique<MultiHeebPolicy>(
+          processes, &facade,
+          MultiHeebPolicy::Options{.alpha = alpha, .horizon = horizon});
+      memoized = std::make_unique<MultiHeebPolicy>(
+          processes, &facade,
+          MultiHeebPolicy::Options{
+              .alpha = alpha, .horizon = horizon, .use_score_cache = true});
+      break;
+    case 1: {
+      std::optional<Time> assumed_lifetime;
+      if (aux.UniformReal() < 0.5) assumed_lifetime = aux.UniformInt(4, 24);
+      plain = std::make_unique<MultiProbPolicy>(
+          &facade, MultiProbPolicy::Options{.assumed_lifetime =
+                                                assumed_lifetime});
+      memoized = std::make_unique<MultiProbPolicy>(
+          &facade, MultiProbPolicy::Options{.assumed_lifetime =
+                                                assumed_lifetime,
+                                            .use_score_cache = true});
+      break;
+    }
+    case 2: {
+      const Time lifetime = aux.UniformInt(4, 32);
+      plain = std::make_unique<MultiLifePolicy>(
+          &facade, MultiLifePolicy::Options{.lifetime = lifetime});
+      memoized = std::make_unique<MultiLifePolicy>(
+          &facade, MultiLifePolicy::Options{.lifetime = lifetime,
+                                            .use_score_cache = true});
+      break;
+    }
+    default: {
+      const Time realloc_interval = aux.UniformInt(4, 24);
+      plain = std::make_unique<EdgeBudgetPolicy>(
+          processes, &topology,
+          EdgeBudgetPolicy::Options{.alpha = alpha,
+                                    .horizon = horizon,
+                                    .realloc_interval = realloc_interval});
+      memoized = std::make_unique<EdgeBudgetPolicy>(
+          processes, &topology,
+          EdgeBudgetPolicy::Options{.alpha = alpha,
+                                    .horizon = horizon,
+                                    .realloc_interval = realloc_interval,
+                                    .use_score_cache = true});
+      break;
+    }
+  }
+
+  std::ostringstream context;
+  context << (star ? "star5" : "chain3") << " policy=" << plain->name()
+          << " len=" << len << " k=" << capacity
+          << " window=" << (window.has_value() ? *window : -1)
+          << " replan=" << replan_interval;
+
+  const StreamEngine::Options naive_options{
+      .capacity = capacity, .warmup = warmup, .window = window};
+  StreamEngine naive_engine(topology, naive_options);
+  EngineTraceObserver naive_trace;
+  PerfObserver naive_perf;
+  const EngineRunResult naive_run =
+      naive_engine.Run(stream_ptrs, *plain, {&naive_perf, &naive_trace});
+
+  ProbePlanner planner({.replan_interval = replan_interval});
+  const StreamEngine::Options planned_options{.capacity = capacity,
+                                              .warmup = warmup,
+                                              .window = window,
+                                              .probe_planner = &planner};
+  StreamEngine planned_engine(topology, planned_options);
+
+  auto check_planned = [&](EnginePolicy& policy, const std::string& label)
+      -> std::optional<std::string> {
+    EngineTraceObserver trace;
+    PerfObserver perf;
+    const EngineRunResult run =
+        planned_engine.Run(stream_ptrs, policy, {&perf, &trace});
+    if (run.total_results != naive_run.total_results ||
+        run.counted_results != naive_run.counted_results) {
+      std::ostringstream out;
+      out << context.str() << " [" << label
+          << "]: result counts diverge (naive " << naive_run.total_results
+          << "/" << naive_run.counted_results << ", planned "
+          << run.total_results << "/" << run.counted_results << ")";
+      return out.str();
+    }
+    if (auto mismatch = CompareEngineTraces(context.str() + " [" + label +
+                                                "]",
+                                            naive_trace, trace)) {
+      return mismatch;
+    }
+    const ProbePlanStats& stats = planner.stats();
+    if (stats.probes !=
+        stats.skipped + stats.cache_hits + stats.evaluated) {
+      std::ostringstream out;
+      out << context.str() << " [" << label
+          << "]: planner stats do not partition (" << stats.probes << " != "
+          << stats.skipped << " + " << stats.cache_hits << " + "
+          << stats.evaluated << ")";
+      return out.str();
+    }
+    if (perf.telemetry().probes != stats.probes ||
+        perf.telemetry().plan_replans != stats.replans) {
+      return context.str() + " [" + label +
+             "]: telemetry disagrees with the planner's own accounting";
+    }
+    return std::nullopt;
+  };
+
+  if (auto mismatch = check_planned(*plain, "planner")) return mismatch;
+  const ProbePlanStats first_stats = planner.stats();
+  if (auto mismatch = check_planned(*memoized, "planner+memo")) {
+    return mismatch;
+  }
+  // Rerun determinism: plans are pure functions of the observed prefix,
+  // so the second pass must replay the first's statistics exactly.
+  const ProbePlanStats rerun_stats = planner.stats();
+  if (rerun_stats.probes != first_stats.probes ||
+      rerun_stats.skipped != first_stats.skipped ||
+      rerun_stats.cache_hits != first_stats.cache_hits ||
+      rerun_stats.evaluated != first_stats.evaluated ||
+      rerun_stats.replans != first_stats.replans ||
+      rerun_stats.checkpoints != first_stats.checkpoints) {
+    std::ostringstream out;
+    out << context.str() << ": planner stats diverge across reruns ("
+        << first_stats.probes << "/" << first_stats.skipped << "/"
+        << first_stats.cache_hits << "/" << first_stats.evaluated << "/"
+        << first_stats.replans << " vs " << rerun_stats.probes << "/"
+        << rerun_stats.skipped << "/" << rerun_stats.cache_hits << "/"
+        << rerun_stats.evaluated << "/" << rerun_stats.replans << ")";
+    return out.str();
+  }
+
+  if (DiffMulti()) {
+    // Façade reruns, planner off and on: MultiJoinSimulator adds nothing
+    // but plumbing over the engine.
+    MultiJoinRunResult facade_naive = facade.Run(streams, *plain);
+    MultiJoinSimulator::Options planned_facade_options = facade_options;
+    planned_facade_options.planner = true;
+    planned_facade_options.replan_interval = replan_interval;
+    const MultiJoinSimulator planned_facade(n, edges,
+                                            planned_facade_options);
+    MultiJoinRunResult facade_planned = planned_facade.Run(streams, *plain);
+    if (facade_naive.counted_results != naive_run.counted_results ||
+        facade_planned.counted_results != naive_run.counted_results ||
+        facade_naive.total_results != naive_run.total_results ||
+        facade_planned.total_results != naive_run.total_results) {
+      return context.str() + ": facade reruns diverge from the engine";
+    }
+    if (facade_planned.telemetry.probes <= 0) {
+      return context.str() +
+             ": planned facade rerun reported no considered probes";
+    }
+
+    // Sharded fallback: multi policies publish no shard scoring, so the
+    // sharded engine must fall back to its serial path and still honor
+    // the attached planner.
+    ProbePlanner fallback_planner({.replan_interval = replan_interval});
+    ShardedStreamEngine sharded(topology,
+                                {.capacity = capacity,
+                                 .warmup = warmup,
+                                 .window = window,
+                                 .shards = 4,
+                                 .threads = 2,
+                                 .probe_planner = &fallback_planner});
+    EngineTraceObserver trace;
+    const EngineRunResult run = sharded.Run(stream_ptrs, *plain, {&trace});
+    if (run.counted_results != naive_run.counted_results) {
+      return context.str() + ": sharded-fallback rerun diverges";
+    }
+    if (auto mismatch = CompareEngineTraces(
+            context.str() + " [sharded-fallback]", naive_trace, trace)) {
+      return mismatch;
+    }
+  }
+  return std::nullopt;
+}
+
 const std::vector<DifferentialSuite>& Registry() {
   static const std::vector<DifferentialSuite> suites = {
       {"ecb_heeb_scoring",
@@ -1472,6 +1732,12 @@ const std::vector<DifferentialSuite>& Registry() {
        "regime-switching workloads vs the serial StreamEngine, bit for "
        "bit, plus rerun determinism of the rebalance history",
        1000, &AdaptiveEngineTrial},
+      {"multi_planner",
+       "runtime probe planner on 3-way chain / 5-way star topologies x "
+       "{MULTI-HEEB, MULTI-PROB, MULTI-LIFE, EDGE-BUDGET} vs the naive "
+       "fixed-order engine, bit for bit, score memo off and on, plus rerun "
+       "determinism of the planner statistics",
+       1000, &MultiPlannerTrial},
   };
   return suites;
 }

@@ -9,8 +9,10 @@
 #include "sjoin/core/heeb_join_policy.h"
 #include "sjoin/engine/join_simulator.h"
 #include "sjoin/engine/scored_policy.h"
+#include "sjoin/multi/multi_baseline_policies.h"
 #include "sjoin/multi/multi_heeb_policy.h"
 #include "sjoin/multi/multi_opt_offline_policy.h"
+#include "sjoin/policies/edge_budget_policy.h"
 #include "sjoin/policies/opt_offline_policy.h"
 #include "sjoin/stochastic/linear_trend_process.h"
 #include "sjoin/stochastic/stream_sampler.h"
@@ -206,6 +208,198 @@ TEST(MultiOptOfflineTest, UpperBoundsMultiHeebAndRandom) {
   EXPECT_GE(opt_result.total_results,
             sim.Run(streams, rand).total_results);
   EXPECT_EQ(opt_result.total_results, opt.optimal_benefit());
+}
+
+// --- Join-edge validation (constructor CHECKs) ---------------------------
+
+TEST(MultiJoinDeathTest, RejectsOutOfRangeStream) {
+  EXPECT_DEATH(MultiJoinSimulator(3, {{0, 3}}, {.capacity = 2}), "");
+}
+
+TEST(MultiJoinDeathTest, RejectsNegativeStream) {
+  EXPECT_DEATH(MultiJoinSimulator(3, {{-1, 1}}, {.capacity = 2}), "");
+}
+
+TEST(MultiJoinDeathTest, RejectsSelfJoinEdge) {
+  EXPECT_DEATH(MultiJoinSimulator(3, {{1, 1}}, {.capacity = 2}), "");
+}
+
+TEST(MultiJoinDeathTest, RejectsDuplicateEdge) {
+  EXPECT_DEATH(MultiJoinSimulator(3, {{0, 1}, {0, 1}}, {.capacity = 2}),
+               "duplicate or mirrored join edge");
+}
+
+TEST(MultiJoinDeathTest, RejectsMirroredEdge) {
+  EXPECT_DEATH(MultiJoinSimulator(3, {{0, 1}, {1, 0}}, {.capacity = 2}),
+               "duplicate or mirrored join edge");
+}
+
+// --- Runtime probe planner (DESIGN.md §2f) -------------------------------
+
+// A 5-way star: stream 0 is the hub.
+std::vector<std::pair<int, int>> StarEdges() {
+  return {{0, 1}, {0, 2}, {0, 3}, {0, 4}};
+}
+
+std::vector<std::vector<Value>> TrendingStreams(
+    std::vector<std::unique_ptr<LinearTrendProcess>>* processes, int n,
+    Time len, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<Value>> streams;
+  for (int s = 0; s < n; ++s) {
+    processes->push_back(std::make_unique<LinearTrendProcess>(
+        1.0, -0.5 * s,
+        DiscreteDistribution::TruncatedDiscretizedNormal(0.0, 2.0, -8, 8)));
+    streams.push_back(SampleRealization(*processes->back(), len, rng));
+  }
+  return streams;
+}
+
+TEST(ProbePlannerIntegrationTest, PlannerIsBitIdenticalToNaiveOrder) {
+  std::vector<std::unique_ptr<LinearTrendProcess>> owned;
+  auto streams = TrendingStreams(&owned, 5, 300, 211);
+  std::vector<const StochasticProcess*> processes;
+  for (const auto& p : owned) processes.push_back(p.get());
+
+  MultiJoinSimulator naive(5, StarEdges(), {.capacity = 10, .warmup = 20});
+  MultiJoinSimulator planned(5, StarEdges(),
+                             {.capacity = 10,
+                              .warmup = 20,
+                              .planner = true,
+                              .replan_interval = 16});
+  MultiHeebPolicy heeb(processes, &naive, {.alpha = 10.0, .horizon = 60});
+  auto naive_result = naive.Run(streams, heeb);
+  auto planned_result = planned.Run(streams, heeb);
+
+  EXPECT_EQ(naive_result.counted_results, planned_result.counted_results);
+  EXPECT_EQ(naive_result.total_results, planned_result.total_results);
+  // The planner actually ran: probes were considered and checkpoints hit.
+  EXPECT_GT(planned_result.telemetry.probes, 0);
+  EXPECT_GT(planned_result.telemetry.plan_replans, 0);
+  EXPECT_EQ(naive_result.telemetry.probes, 0);  // Naive path reports none.
+}
+
+TEST(ProbePlannerIntegrationTest, WindowedPlannerStaysBitIdentical) {
+  std::vector<std::unique_ptr<LinearTrendProcess>> owned;
+  auto streams = TrendingStreams(&owned, 3, 200, 212);
+  std::vector<const StochasticProcess*> processes;
+  for (const auto& p : owned) processes.push_back(p.get());
+
+  MultiJoinSimulator::Options base = {
+      .capacity = 6, .warmup = 10, .window = 25};
+  MultiJoinSimulator naive(3, {{0, 1}, {1, 2}}, base);
+  base.planner = true;
+  base.replan_interval = 8;
+  MultiJoinSimulator planned(3, {{0, 1}, {1, 2}}, base);
+  MultiHeebPolicy heeb(processes, &naive, {.alpha = 8.0, .horizon = 40});
+  EXPECT_EQ(naive.Run(streams, heeb).counted_results,
+            planned.Run(streams, heeb).counted_results);
+}
+
+// --- Policy score caches (bit-identical memoization) ---------------------
+
+TEST(ScoreCacheTest, MultiHeebCacheOnMatchesCacheOff) {
+  std::vector<std::unique_ptr<LinearTrendProcess>> owned;
+  auto streams = TrendingStreams(&owned, 5, 250, 213);
+  std::vector<const StochasticProcess*> processes;
+  for (const auto& p : owned) processes.push_back(p.get());
+
+  MultiJoinSimulator sim(5, StarEdges(), {.capacity = 10, .warmup = 20});
+  MultiHeebPolicy plain(processes, &sim, {.alpha = 10.0, .horizon = 60});
+  MultiHeebPolicy cached(processes, &sim,
+                         {.alpha = 10.0, .horizon = 60,
+                          .use_score_cache = true});
+  EXPECT_EQ(sim.Run(streams, plain).counted_results,
+            sim.Run(streams, cached).counted_results);
+  EXPECT_GT(cached.score_cache_stats().hits, 0);
+}
+
+TEST(ScoreCacheTest, MultiProbAndLifeCacheOnMatchesCacheOff) {
+  Rng rng(214);
+  std::vector<std::vector<Value>> streams(3);
+  for (auto& stream : streams) {
+    for (Time t = 0; t < 300; ++t) stream.push_back(rng.UniformInt(0, 12));
+  }
+  MultiJoinSimulator sim(3, {{0, 1}, {1, 2}, {0, 2}},
+                         {.capacity = 8, .warmup = 10});
+
+  MultiProbPolicy prob_plain(&sim, {.assumed_lifetime = 50});
+  MultiProbPolicy prob_cached(
+      &sim, {.assumed_lifetime = 50, .use_score_cache = true});
+  EXPECT_EQ(sim.Run(streams, prob_plain).counted_results,
+            sim.Run(streams, prob_cached).counted_results);
+  EXPECT_GT(prob_cached.score_cache_stats().hits, 0);
+
+  MultiLifePolicy life_plain(&sim, {.lifetime = 60});
+  MultiLifePolicy life_cached(&sim,
+                              {.lifetime = 60, .use_score_cache = true});
+  EXPECT_EQ(sim.Run(streams, life_plain).counted_results,
+            sim.Run(streams, life_cached).counted_results);
+  EXPECT_GT(life_cached.score_cache_stats().hits, 0);
+}
+
+// --- Per-edge cache budgeting --------------------------------------------
+
+TEST(EdgeBudgetPolicyTest, BudgetsPartitionCapacityAndRunIsDeterministic) {
+  std::vector<std::unique_ptr<LinearTrendProcess>> owned;
+  auto streams = TrendingStreams(&owned, 5, 300, 215);
+  std::vector<const StochasticProcess*> processes;
+  for (const auto& p : owned) processes.push_back(p.get());
+
+  MultiJoinSimulator sim(5, StarEdges(), {.capacity = 9, .warmup = 20});
+  EdgeBudgetPolicy policy(processes, &sim.topology(),
+                          {.alpha = 10.0,
+                           .horizon = 60,
+                           .realloc_interval = 32,
+                           .use_score_cache = true});
+  auto first = sim.Run(streams, policy);
+
+  // Budgets partition the shared capacity across the four star edges.
+  std::size_t total = 0;
+  for (std::size_t b : policy.budgets()) total += b;
+  EXPECT_EQ(policy.budgets().size(), 4u);
+  EXPECT_EQ(total, 9u);
+  EXPECT_GT(policy.realloc_checkpoints(), 0);
+  EXPECT_GT(policy.score_cache_stats().hits, 0);
+
+  // Reallocation is a pure function of the run prefix: rerun replays.
+  auto second = sim.Run(streams, policy);
+  EXPECT_EQ(first.counted_results, second.counted_results);
+  EXPECT_EQ(first.total_results, second.total_results);
+}
+
+TEST(EdgeBudgetPolicyTest, PlannerDoesNotChangeEdgeBudgetResults) {
+  std::vector<std::unique_ptr<LinearTrendProcess>> owned;
+  auto streams = TrendingStreams(&owned, 5, 250, 216);
+  std::vector<const StochasticProcess*> processes;
+  for (const auto& p : owned) processes.push_back(p.get());
+
+  MultiJoinSimulator naive(5, StarEdges(), {.capacity = 8, .warmup = 15});
+  MultiJoinSimulator planned(5, StarEdges(),
+                             {.capacity = 8,
+                              .warmup = 15,
+                              .planner = true,
+                              .replan_interval = 16});
+  EdgeBudgetPolicy policy(processes, &naive.topology(),
+                          {.alpha = 10.0, .horizon = 50});
+  EXPECT_EQ(naive.Run(streams, policy).counted_results,
+            planned.Run(streams, policy).counted_results);
+}
+
+TEST(EdgeBudgetPolicyTest, RetainsCompetitiveResultsOnSkewedStar) {
+  // Edge (0, 1) carries nearly all the matches; the budgeter should not
+  // do worse than random despite splitting capacity across edges.
+  std::vector<std::unique_ptr<LinearTrendProcess>> owned;
+  auto streams = TrendingStreams(&owned, 5, 300, 217);
+  std::vector<const StochasticProcess*> processes;
+  for (const auto& p : owned) processes.push_back(p.get());
+
+  MultiJoinSimulator sim(5, StarEdges(), {.capacity = 10, .warmup = 20});
+  EdgeBudgetPolicy budget(processes, &sim.topology(),
+                          {.alpha = 10.0, .horizon = 60});
+  MultiRandomPolicy random_policy(7);
+  EXPECT_GT(sim.Run(streams, budget).counted_results,
+            sim.Run(streams, random_policy).counted_results);
 }
 
 }  // namespace

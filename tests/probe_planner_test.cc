@@ -1,0 +1,137 @@
+#include "sjoin/engine/probe_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sjoin/engine/stream_engine.h"
+
+namespace sjoin {
+namespace {
+
+// Hub-and-spoke topology: stream 0 joins 1, 2 and 3.
+StreamTopology Star4() {
+  return StreamTopology(4, {{0, 1}, {0, 2}, {0, 3}});
+}
+
+TEST(ProbePlannerTest, InitialPlanFollowsTopologyOrder) {
+  StreamTopology topology = Star4();
+  ProbePlanner planner;
+  planner.BeginRun(topology, /*memo_across_steps=*/true);
+  EXPECT_EQ(planner.PlanFor(0), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(planner.PlanFor(1), (std::vector<int>{0}));
+  EXPECT_EQ(planner.PlanFor(2), (std::vector<int>{0}));
+  EXPECT_EQ(planner.PlanFor(3), (std::vector<int>{0}));
+}
+
+TEST(ProbePlannerTest, ReplanOrdersPartnersBySelectivity) {
+  StreamTopology topology = Star4();
+  ProbePlanner planner({.replan_interval = 4, .decay = 0.5});
+  planner.BeginRun(topology, true);
+
+  // Partner 3 matches every probe, partner 2 half, partner 1 never.
+  for (Time now = 0; now < 4; ++now) {
+    planner.BeginStep(now);
+    planner.ObserveProbe(0, 1, 0, ProbeKind::kEvaluated);
+    planner.ObserveProbe(0, 2, now % 2, ProbeKind::kEvaluated);
+    planner.ObserveProbe(0, 3, 2, ProbeKind::kEvaluated);
+  }
+  planner.BeginStep(4);  // Checkpoint: window folds, plans re-sort.
+  EXPECT_EQ(planner.PlanFor(0), (std::vector<int>{3, 2, 1}));
+  EXPECT_EQ(planner.stats().checkpoints, 1);
+  EXPECT_EQ(planner.stats().replans, 1);
+}
+
+TEST(ProbePlannerTest, TiedSelectivitiesBreakOnPartnerIndex) {
+  StreamTopology topology = Star4();
+  ProbePlanner planner({.replan_interval = 2, .decay = 0.5});
+  planner.BeginRun(topology, true);
+  planner.BeginStep(0);
+  // All partners equally selective: the order must stay 1, 2, 3, and an
+  // order-preserving checkpoint must not count as a replan.
+  for (int p : {1, 2, 3}) planner.ObserveProbe(0, p, 1, ProbeKind::kEvaluated);
+  planner.BeginStep(2);
+  EXPECT_EQ(planner.PlanFor(0), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(planner.stats().checkpoints, 1);
+  EXPECT_EQ(planner.stats().replans, 0);
+}
+
+TEST(ProbePlannerTest, MemoServesRepeatsUntilInvalidated) {
+  StreamTopology topology = Star4();
+  ProbePlanner planner;
+  planner.BeginRun(topology, /*memo_across_steps=*/true);
+  planner.BeginStep(0);
+
+  std::int64_t count = -1;
+  EXPECT_FALSE(planner.LookupCount(1, 42, &count));
+  planner.StoreCount(1, 42, 3);
+  ASSERT_TRUE(planner.LookupCount(1, 42, &count));
+  EXPECT_EQ(count, 3);
+
+  // Entries survive step boundaries when memoizing across steps...
+  planner.BeginStep(1);
+  EXPECT_TRUE(planner.LookupCount(1, 42, &count));
+  // ...but a cache change on that (stream, value) invalidates.
+  planner.OnCacheChange(1, 42);
+  EXPECT_FALSE(planner.LookupCount(1, 42, &count));
+  // Other values and partners are untouched.
+  planner.StoreCount(1, 7, 1);
+  planner.StoreCount(2, 42, 2);
+  planner.OnCacheChange(1, 42);
+  EXPECT_TRUE(planner.LookupCount(1, 7, &count));
+  EXPECT_TRUE(planner.LookupCount(2, 42, &count));
+}
+
+TEST(ProbePlannerTest, WindowedRunsDropMemoEveryStep) {
+  StreamTopology topology = Star4();
+  ProbePlanner planner;
+  planner.BeginRun(topology, /*memo_across_steps=*/false);
+  planner.BeginStep(0);
+  planner.StoreCount(1, 42, 3);
+  std::int64_t count = 0;
+  EXPECT_TRUE(planner.LookupCount(1, 42, &count));
+  planner.BeginStep(1);
+  EXPECT_FALSE(planner.LookupCount(1, 42, &count));
+}
+
+TEST(ProbePlannerTest, StatsPartitionProbesByKind) {
+  StreamTopology topology = Star4();
+  ProbePlanner planner;
+  planner.BeginRun(topology, true);
+  planner.BeginStep(0);
+  planner.ObserveProbe(0, 1, 0, ProbeKind::kSkipped);
+  planner.ObserveProbe(0, 2, 1, ProbeKind::kMemoHit);
+  planner.ObserveProbe(0, 3, 2, ProbeKind::kEvaluated);
+  planner.ObserveProbe(1, 0, 1, ProbeKind::kEvaluated);
+
+  const ProbePlanStats& stats = planner.stats();
+  EXPECT_EQ(stats.probes, 4);
+  EXPECT_EQ(stats.skipped, 1);
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.evaluated, 2);
+  EXPECT_EQ(stats.probes, stats.skipped + stats.cache_hits + stats.evaluated);
+  EXPECT_EQ(planner.step_stats().probes, 4);
+
+  planner.BeginStep(1);
+  EXPECT_EQ(planner.step_stats().probes, 0);  // Per-step stats reset.
+  EXPECT_EQ(planner.stats().probes, 4);       // Cumulative stats persist.
+}
+
+TEST(ProbePlannerTest, BeginRunResetsEverything) {
+  StreamTopology topology = Star4();
+  ProbePlanner planner({.replan_interval = 2, .decay = 0.5});
+  planner.BeginRun(topology, true);
+  planner.BeginStep(0);
+  planner.ObserveProbe(0, 3, 5, ProbeKind::kEvaluated);
+  planner.StoreCount(3, 9, 5);
+  planner.BeginStep(2);
+
+  planner.BeginRun(topology, true);
+  std::int64_t count = 0;
+  EXPECT_FALSE(planner.LookupCount(3, 9, &count));
+  EXPECT_EQ(planner.stats().probes, 0);
+  EXPECT_EQ(planner.PlanFor(0), (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace sjoin
