@@ -10,11 +10,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "harness/flags.h"
 #include "sjoin/analysis/ar1_fit.h"
 #include "sjoin/analysis/melbourne.h"
 #include "sjoin/core/heeb_caching_policy.h"
+#include "sjoin/core/model_repo.h"
 #include "sjoin/core/precompute.h"
 #include "sjoin/engine/cache_simulator.h"
 #include "sjoin/stochastic/ar1_process.h"
@@ -39,11 +41,12 @@ int main(int argc, char** argv) {
   Ar1Process model(fit->phi0, fit->phi1, fit->sigma, series.front());
 
   double alpha = static_cast<double>(memory);
-  ExpLifetime lifetime(alpha);
   Time horizon = std::min<Time>(4 * memory + 50, 1500);
-  HeebSurfaceTable surface = PrecomputeAr1CachingSurface(
-      model, lifetime, horizon, v_min, v_max, v_min, v_max, 10, paths,
-      seed + 7);
+  // Borrowed from the shared ModelRepo: one build per model key.
+  ModelRepo& repo = ModelRepo::Global();
+  std::shared_ptr<const HeebSurfaceTable> surface =
+      repo.Ar1CachingSurfaceTable(model, alpha, horizon, v_min, v_max, v_min,
+                                  v_max, 10, paths, seed + 7);
 
   CacheSimulator sim(
       {.capacity = static_cast<std::size_t>(memory), .warmup = 0});
@@ -61,23 +64,25 @@ int main(int argc, char** argv) {
               static_cast<long long>(memory));
   std::printf("exact,0.00000,%lld\n",
               static_cast<long long>(misses_with(
-                  [&](Value v, Value x) { return surface.At(v, x); })));
+                  [&](Value v, Value x) { return surface->At(v, x); })));
   for (int control : {3, 5, 9, 17}) {
-    BicubicSurface approx =
-        ApproximateSurfaceBicubic(surface, control, control);
+    std::shared_ptr<const BicubicSurface> approx =
+        repo.Ar1CachingSurfaceBicubic(model, alpha, horizon, v_min, v_max,
+                                      v_min, v_max, 10, paths, seed + 7,
+                                      control, control);
     double worst = 0.0;
     for (Value v = v_min; v <= v_max; v += 5) {
       for (Value x = v_min; x <= v_max; x += 10) {
         worst = std::max(worst,
-                         std::fabs(approx.At(static_cast<double>(v),
-                                             static_cast<double>(x)) -
-                                   surface.At(v, x)));
+                         std::fabs(approx->At(static_cast<double>(v),
+                                              static_cast<double>(x)) -
+                                   surface->At(v, x)));
       }
     }
     std::printf("%dx%d,%.5f,%lld\n", control, control, worst,
                 static_cast<long long>(misses_with([&](Value v, Value x) {
-                  return approx.At(static_cast<double>(v),
-                                   static_cast<double>(x));
+                  return approx->At(static_cast<double>(v),
+                                    static_cast<double>(x));
                 })));
     std::fflush(stdout);
   }

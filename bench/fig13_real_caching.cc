@@ -16,12 +16,14 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "harness/flags.h"
 #include "sjoin/analysis/ar1_fit.h"
 #include "sjoin/analysis/melbourne.h"
 #include "sjoin/core/heeb_caching_policy.h"
+#include "sjoin/core/model_repo.h"
 #include "sjoin/core/precompute.h"
 #include "sjoin/engine/cache_simulator.h"
 #include "sjoin/policies/lfd_policy.h"
@@ -81,23 +83,29 @@ int main(int argc, char** argv) {
     LfuCachingPolicy lfu;
 
     double alpha = static_cast<double>(memory);
-    ExpLifetime lifetime(alpha);
     Time horizon = std::min<Time>(4 * memory + 50, 1500);
-    HeebSurfaceTable surface = PrecomputeAr1CachingSurface(
-        model, lifetime, horizon, v_min, v_max, v_min, v_max,
-        /*x_step=*/10, paths, seed + 7);
-    BicubicSurface approx = ApproximateSurfaceBicubic(
-        surface, control_points, control_points);
+    // Surface + bicubic borrowed from the shared ModelRepo (one build per
+    // distinct (model, alpha, horizon, grid) key).
+    ModelRepo& repo = ModelRepo::Global();
+    std::shared_ptr<const HeebSurfaceTable> surface =
+        repo.Ar1CachingSurfaceTable(model, alpha, horizon, v_min, v_max,
+                                    v_min, v_max, /*x_step=*/10, paths,
+                                    seed + 7);
+    std::shared_ptr<const BicubicSurface> approx =
+        repo.Ar1CachingSurfaceBicubic(model, alpha, horizon, v_min, v_max,
+                                      v_min, v_max, /*x_step=*/10, paths,
+                                      seed + 7, control_points,
+                                      control_points);
     HeebCachingPolicy::Options options;
     options.mode = HeebCachingPolicy::Mode::kEvaluator;
     options.alpha = alpha;
     if (exact) {
-      options.evaluator = [&surface](Value v, Value last) {
-        return surface.At(v, last);
+      options.evaluator = [surface](Value v, Value last) {
+        return surface->At(v, last);
       };
     } else {
-      options.evaluator = [&approx](Value v, Value last) {
-        return approx.At(static_cast<double>(v), static_cast<double>(last));
+      options.evaluator = [approx](Value v, Value last) {
+        return approx->At(static_cast<double>(v), static_cast<double>(last));
       };
     }
     HeebCachingPolicy heeb(nullptr, options);

@@ -8,10 +8,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "harness/flags.h"
 #include "sjoin/analysis/ar1_fit.h"
 #include "sjoin/analysis/melbourne.h"
+#include "sjoin/core/model_repo.h"
 #include "sjoin/core/precompute.h"
 #include "sjoin/stochastic/ar1_process.h"
 
@@ -35,12 +37,15 @@ int main(int argc, char** argv) {
   Ar1Process model(fit->phi0, fit->phi1, fit->sigma,
                    static_cast<Value>(series.front()));
 
-  ExpLifetime lifetime(alpha);
   Time horizon = static_cast<Time>(4.0 * alpha) + 50;
-  HeebSurfaceTable surface = PrecomputeAr1CachingSurface(
-      model, lifetime, horizon, v_min, v_max, v_min, v_max, /*x_step=*/10,
-      paths, seed + 7);
-  BicubicSurface approx = ApproximateSurfaceBicubic(surface, 5, 5);
+  // Borrowed from the shared ModelRepo: one build per model key.
+  ModelRepo& repo = ModelRepo::Global();
+  std::shared_ptr<const HeebSurfaceTable> surface =
+      repo.Ar1CachingSurfaceTable(model, alpha, horizon, v_min, v_max, v_min,
+                                  v_max, /*x_step=*/10, paths, seed + 7);
+  std::shared_ptr<const BicubicSurface> approx = repo.Ar1CachingSurfaceBicubic(
+      model, alpha, horizon, v_min, v_max, v_min, v_max, /*x_step=*/10, paths,
+      seed + 7, 5, 5);
 
   std::printf("# Figures 15-16: actual vs bicubic-approximated HEEB "
               "surface (alpha=%g, deci-Celsius domain [%lld, %lld])\n",
@@ -50,9 +55,9 @@ int main(int argc, char** argv) {
   double worst = 0.0;
   for (Value v = v_min; v <= v_max; v += grid_step) {
     for (Value x = v_min; x <= v_max; x += grid_step) {
-      double actual = surface.At(v, x);
+      double actual = surface->At(v, x);
       double approximated =
-          approx.At(static_cast<double>(v), static_cast<double>(x));
+          approx->At(static_cast<double>(v), static_cast<double>(x));
       worst = std::max(worst, std::fabs(actual - approximated));
       std::printf("%lld,%lld,%.5f,%.5f\n", static_cast<long long>(v),
                   static_cast<long long>(x), actual, approximated);

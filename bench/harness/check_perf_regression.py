@@ -5,20 +5,23 @@ Usage:
     check_perf_regression.py BASELINE.json CURRENT.json [--threshold=1.25]
 
 Rows are matched by (name, workload, len, shards, adaptive, threads,
-planner); older files without per-row shards/threads/adaptive/planner
-read as shards=1 / threads=1 / adaptive=0 / planner=0 throughout, so
-v1/v2/v3 baselines keep working against newer runs. The raw per-row
+planner, sessions, offered_rate); older files without per-row
+shards/threads/adaptive/planner/sessions/offered_rate read as shards=1 /
+threads=1 / adaptive=0 / planner=0 / sessions=1 / offered_rate=0
+throughout, so v1..v4 baselines keep working against newer runs. The raw per-row
 ratio current/baseline of ns_per_step is normalized by the median ratio
 across all matched rows before thresholding: CI machines are uniformly
 slower or faster than the laptop that committed the baseline, and that
 uniform shift carries no information about the code. A real regression
 moves one row relative to the rest, which the normalized ratio isolates.
 
-Only threads=1 rows feed the median and the threshold: multi-thread
-timings depend on the host's core count (a single-core runner serializes
-every worker, a many-core one doesn't), so comparing them across machines
-measures the hardware, not the code. threads>1 rows are still matched and
-printed — as "info" — and summarized after the table as best-threads
+Only threads=1, sessions<=1 rows feed the median and the threshold:
+multi-thread timings depend on the host's core count (a single-core
+runner serializes every worker, a many-core one doesn't), and
+multi-session serve timings depend on how the host schedules the worker
+engines — so comparing either across machines measures the hardware, not
+the code. threads>1 and sessions>1 rows are still matched and printed —
+as "info" — and summarized after the table as best-threads
 speedups over their own threads=1 row: the quick read on whether worker
 threads pay off on this host (on a single-core runner they won't, and
 that's expected).
@@ -31,6 +34,13 @@ under the static equal-width layout vs the evolved one, plus the
 rebalance count. On skewed workloads the adaptive ratio should sit well
 below the static one; on uniform workloads both hover near 1 with few or
 no rebalances.
+
+Serve rows (sjoin-perf-v5, name SERVE-PROB, emitted by bench/serve_load)
+carry `sessions` and `offered_rate` plus the per-step latency
+percentiles p50_step_ns / p99_step_ns; the sessions=1 row is gated (it
+is the scheduler-overhead anchor over a bare engine run) and the sweep
+is summarized after the table — aggregate steps/s and the latency
+percentiles per (sessions, rate, threads) cell.
 
 Planner rows (sjoin-perf-v4 multi-way rows with the runtime probe
 planner + score memos attached) are gated like any other threads=1 row
@@ -55,20 +65,25 @@ def load_rows(path):
     with open(path) as f:
         doc = json.load(f)
     if doc.get("schema") not in ("sjoin-perf-v1", "sjoin-perf-v2",
-                                 "sjoin-perf-v3", "sjoin-perf-v4"):
+                                 "sjoin-perf-v3", "sjoin-perf-v4",
+                                 "sjoin-perf-v5"):
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
     return {
         (r["name"], r["workload"], r["len"], r.get("shards", 1),
          r.get("adaptive", 0), r.get("threads", 1),
-         r.get("planner", 0)): r
+         r.get("planner", 0), r.get("sessions", 1),
+         r.get("offered_rate", 0)): r
         for r in doc["results"]
     }
 
 
 def describe(key):
-    name, workload, length, shards, adaptive, threads, planner = key
+    (name, workload, length, shards, adaptive, threads, planner,
+     sessions, rate) = key
     suffix = ", adaptive" if adaptive else ""
     suffix += ", planner" if planner else ""
+    if sessions > 1 or rate > 0:
+        suffix += f", sessions={sessions}, rate={rate}"
     return (f"{name} ({workload}, len={length}, shards={shards}, "
             f"threads={threads}{suffix})")
 
@@ -89,9 +104,12 @@ def thread_scaling_summary(rows):
         serial = by_threads[1]
         best_threads = min(by_threads, key=lambda t: by_threads[t])
         speedup = serial / by_threads[best_threads]
-        name, workload, length, shards, adaptive, planner = group_key
+        name, workload, length, shards, adaptive, planner, sessions, rate = \
+            group_key
         tag = " adaptive" if adaptive else ""
         tag += " planner" if planner else ""
+        if sessions > 1:
+            tag += f" n={sessions} rate={rate}"
         print(f"  {name:<18} {workload:<6} len={length:<5} "
               f"shards={shards:<2}{tag} best t={best_threads} "
               f"speedup x{speedup:.2f} "
@@ -108,7 +126,7 @@ def skew_summary(rows):
             print("\nskew balance (current run, max/mean load per shard, "
                   "averaged over rebalance windows):")
             printed_header = True
-        name, workload, length, shards, _, threads, _ = key
+        name, workload, length, shards, _, threads, _, _, _ = key
         static = row["skew_ratio_static"]
         adaptive = row["skew_ratio_adaptive"]
         print(f"  {name:<18} {workload:<6} len={length:<5} "
@@ -130,13 +148,13 @@ def probe_plan_summary(rows):
     for key, row in sorted(rows.items()):
         if key[6] == 0:
             continue
-        twin_key = key[:6] + (0,)
+        twin_key = key[:6] + (0,) + key[7:]
         twin = rows.get(twin_key)
         if not printed_header:
             print("\nprobe planner (current run, planner-on vs planner-off "
                   "twin):")
             printed_header = True
-        name, workload, length, _, _, _, _ = key
+        name, workload, length, _, _, _, _, _, _ = key
         line = f"  {name:<18} {workload:<6} len={length:<5} "
         if twin is None:
             print(line + "no planner-off twin in this run")
@@ -155,6 +173,26 @@ def probe_plan_summary(rows):
             mismatches += 1
         print(line)
     return mismatches
+
+
+def serve_summary(rows):
+    """Serve load sweep: throughput and step-latency tails per cell."""
+    printed_header = False
+    for key, row in sorted(rows.items(), key=lambda kv: (kv[0][7],
+                                                         kv[0][8],
+                                                         kv[0][5])):
+        if "p50_step_ns" not in row:
+            continue
+        if not printed_header:
+            print("\nserve load sweep (current run, aggregate throughput "
+                  "and per-step latency):")
+            printed_header = True
+        name, _, length, _, _, threads, _, sessions, rate = key
+        print(f"  {name:<18} n={sessions:<5} rate={rate:<3} t={threads} "
+              f"len={length:<5} "
+              f"{row['steps_per_sec']:>10.0f} steps/s  "
+              f"p50 {row['p50_step_ns']:>7.0f} ns  "
+              f"p99 {row['p99_step_ns']:>7.0f} ns")
 
 
 def main(argv):
@@ -185,17 +223,17 @@ def main(argv):
         key: current[key]["ns_per_step"] / baseline[key]["ns_per_step"]
         for key in matched
     }
-    gated = [key for key in matched if key[5] == 1]
+    gated = [key for key in matched if key[5] == 1 and key[7] <= 1]
     if not gated:
         sys.exit("no threads=1 rows in common to gate on")
     median = statistics.median(ratios[key] for key in gated)
     print(f"median current/baseline ns_per_step ratio: {median:.3f} "
-          "(machine-speed normalizer, threads=1 rows)")
+          "(machine-speed normalizer, threads=1 sessions<=1 rows)")
 
     failed = bool(missing)
     for key in matched:
         normalized = ratios[key] / median
-        if key[5] != 1:
+        if key[5] != 1 or key[7] > 1:
             verdict = "info"
         elif normalized > threshold:
             verdict = f"REGRESSED >{(threshold - 1) * 100:.0f}%"
@@ -204,14 +242,17 @@ def main(argv):
             verdict = "ok"
         tag = "a" if key[4] else ""
         tag += "p" if key[6] else ""
+        serve_cell = f" n={key[7]} rate={key[8]}" if key[7] > 1 else ""
         print(f"{verdict:>14}  {key[0]:<18} {key[1]:<6} len={key[2]:<5} "
               f"s{key[3]}{tag}/t{key[5]:<2} "
               f"ns/step {baseline[key]['ns_per_step']:>12.0f} -> "
               f"{current[key]['ns_per_step']:>12.0f} "
-              f"(raw x{ratios[key]:.3f}, normalized x{normalized:.3f})")
+              f"(raw x{ratios[key]:.3f}, normalized x{normalized:.3f})"
+              f"{serve_cell}")
 
     thread_scaling_summary(current)
     skew_summary(current)
+    serve_summary(current)
     if probe_plan_summary(current) > 0:
         print("planner pair counted_results mismatch — the probe planner "
               "must be cost-only")

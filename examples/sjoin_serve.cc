@@ -1,0 +1,288 @@
+// The session-multiplexed join service (DESIGN.md §2g): many concurrent
+// two-stream joins, each its own session with its own capacity, policy
+// and fairness weight, multiplexed over a small pool of worker engines by
+// the serve::SessionScheduler.
+//
+// The driver plays an open-loop load generator: every tick it offers a
+// burst of arrivals to each live session and runs one weighted-round-
+// robin round; sessions finish staggered, then the scheduler drains.
+// Each session's final result is then checked against a solo batch run
+// of the same realization — the scheduler guarantees they are
+// bit-identical no matter how sessions interleave or how many worker
+// threads execute them, which is why this binary's stdout is a CI golden
+// (diffed across --threads values).
+//
+// Also on display: admission control (opening one session past
+// --max-sessions is rejected with a reason) and backpressure (a
+// throttled session with a tiny queue sheds offers at the high
+// watermark; shed arrivals simply never happened, so its solo reference
+// run replays exactly the accepted prefix).
+//
+// Flags:
+//   --sessions=N   concurrent sessions (default 6)
+//   --threads=M    worker engines (default 2); results never depend on M
+//   --quota=Q      WRR steps per weight unit per round (default 16)
+//
+// All timing-dependent output is suppressed; stdout is a pure function
+// of the flags above minus --threads.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include "sjoin/common/rng.h"
+#include "sjoin/engine/stream_engine.h"
+#include "sjoin/policies/prob_policy.h"
+#include "sjoin/policies/random_policy.h"
+#include "sjoin/serve/session_scheduler.h"
+
+using namespace sjoin;
+
+namespace {
+
+std::vector<Value> SampleValues(Time len, Value domain, Rng& rng) {
+  std::vector<Value> out;
+  out.reserve(static_cast<std::size_t>(len));
+  for (Time t = 0; t < len; ++t) {
+    out.push_back(rng.UniformInt(0, domain - 1));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int num_sessions = 6;
+  int threads = 2;
+  Time quota = 16;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--sessions=", 11) == 0) {
+      num_sessions = std::atoi(argv[i] + 11);
+      if (num_sessions < 1) num_sessions = 1;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+      if (threads < 1) threads = 1;
+    } else if (std::strncmp(argv[i], "--quota=", 8) == 0) {
+      quota = std::atoi(argv[i] + 8);
+      if (quota < 1) quota = 1;
+    }
+  }
+
+  // Session s: its own stream realization (length staggered so sessions
+  // finish at different times), its own capacity, alternating policy
+  // family, and weight 1 or 3 (every third session is "premium").
+  struct SessionPlan {
+    std::vector<std::vector<Value>> streams;
+    std::size_t capacity = 0;
+    int weight = 1;
+  };
+  Rng rng(2005);
+  std::vector<SessionPlan> plans;
+  std::vector<ProbPolicy> prob_policies(
+      static_cast<std::size_t>(num_sessions));
+  std::vector<RandomPolicy> random_policies;
+  random_policies.reserve(static_cast<std::size_t>(num_sessions));
+  for (int s = 0; s < num_sessions; ++s) {
+    random_policies.emplace_back(static_cast<std::uint64_t>(40 + s),
+                                 std::nullopt);
+    SessionPlan plan;
+    const Time len = 400 + 70 * (s % 5);
+    plan.streams = {SampleValues(len, 12, rng), SampleValues(len, 12, rng)};
+    plan.capacity = static_cast<std::size_t>(6 + 4 * (s % 4));
+    plan.weight = s % 3 == 0 ? 3 : 1;
+    plans.push_back(std::move(plan));
+  }
+
+  serve::SessionScheduler::Options options;
+  options.max_sessions = static_cast<std::size_t>(num_sessions);
+  options.queue_capacity = 256;
+  options.quota_unit = quota;
+  options.threads = threads;
+  serve::SessionScheduler scheduler(StreamTopology::Binary(), options);
+
+  auto policy_for = [&](int s) -> EnginePolicy* {
+    static std::deque<BinaryPolicyAdapter> adapters;  // Stable addresses.
+    if (s % 2 == 0) {
+      adapters.emplace_back(&prob_policies[static_cast<std::size_t>(s)]);
+    } else {
+      adapters.emplace_back(&random_policies[static_cast<std::size_t>(s)]);
+    }
+    return &adapters.back();
+  };
+
+  std::vector<serve::SessionId> ids;
+  for (int s = 0; s < num_sessions; ++s) {
+    serve::SessionConfig config;
+    config.engine = {.capacity = plans[static_cast<std::size_t>(s)].capacity,
+                     .warmup = 50};
+    config.policy = policy_for(s);
+    config.weight = plans[static_cast<std::size_t>(s)].weight;
+    serve::Admission admission = scheduler.Open(config);
+    if (!admission.ok()) {
+      std::fprintf(stderr, "unexpected reject: %s\n",
+                   admission.reject_reason);
+      return 1;
+    }
+    ids.push_back(admission.id);
+  }
+
+  // Admission control: the table is full now.
+  {
+    ProbPolicy extra;
+    BinaryPolicyAdapter extra_adapter(&extra);
+    serve::SessionConfig config;
+    config.engine = {.capacity = 8};
+    config.policy = &extra_adapter;
+    serve::Admission admission = scheduler.Open(config);
+    std::printf("admission past max_sessions: %s\n",
+                admission.ok() ? "ACCEPTED (bug)" : admission.reject_reason);
+  }
+
+  // Open-loop load: per tick, 24 steps offered to each unfinished
+  // session, one round executed. Sessions exhaust their realizations at
+  // different ticks and Finish.
+  std::vector<Time> offered(static_cast<std::size_t>(num_sessions), 0);
+  std::vector<bool> finished(static_cast<std::size_t>(num_sessions), false);
+  bool offering = true;
+  while (offering) {
+    offering = false;
+    for (int s = 0; s < num_sessions; ++s) {
+      const std::size_t idx = static_cast<std::size_t>(s);
+      if (finished[idx]) continue;
+      const std::vector<std::vector<Value>>& streams = plans[idx].streams;
+      const Time len = static_cast<Time>(streams[0].size());
+      const Time take = std::min<Time>(24, len - offered[idx]);
+      if (take > 0) {
+        std::vector<std::vector<Value>> burst;
+        std::vector<const std::vector<Value>*> burst_ptrs;
+        for (const std::vector<Value>& stream : streams) {
+          burst.emplace_back(
+              stream.begin() + static_cast<std::ptrdiff_t>(offered[idx]),
+              stream.begin() +
+                  static_cast<std::ptrdiff_t>(offered[idx] + take));
+        }
+        for (const std::vector<Value>& b : burst) burst_ptrs.push_back(&b);
+        const std::size_t accepted = scheduler.Offer(ids[idx], burst_ptrs);
+        offered[idx] += static_cast<Time>(accepted);
+      }
+      if (offered[idx] >= len) {
+        scheduler.Finish(ids[idx]);
+        finished[idx] = true;
+      } else {
+        offering = true;
+      }
+    }
+    scheduler.RunRound();
+  }
+  scheduler.Drain();
+
+  // Every session's served result must equal a solo batch run of the
+  // same realization under a fresh policy of the same family and seed.
+  // `threads` deliberately not printed: CI diffs this stdout across
+  // --threads values to pin thread-count independence.
+  std::printf("%d sessions served:\n", num_sessions);
+  bool all_match = true;
+  for (int s = 0; s < num_sessions; ++s) {
+    const std::size_t idx = static_cast<std::size_t>(s);
+    const SessionPlan& plan = plans[idx];
+    StreamEngine solo_engine(StreamTopology::Binary(),
+                             {.capacity = plan.capacity, .warmup = 50});
+    EngineRunResult solo;
+    if (s % 2 == 0) {
+      ProbPolicy solo_policy;
+      BinaryPolicyAdapter solo_adapter(&solo_policy);
+      solo = solo_engine.Run({&plan.streams[0], &plan.streams[1]},
+                             solo_adapter);
+    } else {
+      RandomPolicy solo_policy(static_cast<std::uint64_t>(40 + s),
+                               std::nullopt);
+      BinaryPolicyAdapter solo_adapter(&solo_policy);
+      solo = solo_engine.Run({&plan.streams[0], &plan.streams[1]},
+                             solo_adapter);
+    }
+    const EngineRunResult& served = scheduler.result(ids[idx]);
+    const bool match = served.total_results == solo.total_results &&
+                       served.counted_results == solo.counted_results;
+    all_match = all_match && match;
+    std::printf(
+        "  session %d (%s, k=%zu, w=%d, %zu steps): served %lld/%lld, "
+        "solo %lld/%lld %s\n",
+        s, s % 2 == 0 ? "PROB" : "RAND", plan.capacity, plan.weight,
+        plan.streams[0].size(),
+        static_cast<long long>(served.total_results),
+        static_cast<long long>(served.counted_results),
+        static_cast<long long>(solo.total_results),
+        static_cast<long long>(solo.counted_results),
+        match ? "[identical]" : "[MISMATCH]");
+  }
+
+  const serve::SchedulerStats& stats = scheduler.stats();
+  std::printf("admitted %lld, rejected %lld, closed %lld\n",
+              static_cast<long long>(stats.sessions_admitted),
+              static_cast<long long>(stats.sessions_rejected),
+              static_cast<long long>(stats.sessions_closed));
+  std::printf("steps: offered %lld, executed %lld, rounds %lld\n",
+              static_cast<long long>(stats.steps_offered),
+              static_cast<long long>(stats.steps_executed),
+              static_cast<long long>(stats.rounds));
+
+  // Backpressure: a throttled scheduler whose one session has a 32-step
+  // queue and a 16-step high watermark. The load loop above would pour
+  // 24-step bursts in without stepping; here every second burst lands
+  // past the watermark and sheds, and the session's executed stream is
+  // the accepted prefix — still bit-identical to a solo run of exactly
+  // that prefix.
+  {
+    serve::SessionScheduler::Options throttled_options;
+    throttled_options.max_sessions = 1;
+    throttled_options.queue_capacity = 32;
+    throttled_options.high_watermark = 16;
+    throttled_options.quota_unit = 8;
+    throttled_options.threads = threads;
+    serve::SessionScheduler throttled(StreamTopology::Binary(),
+                                      throttled_options);
+    ProbPolicy policy;
+    BinaryPolicyAdapter adapter(&policy);
+    serve::SessionConfig config;
+    config.engine = {.capacity = 10, .warmup = 0};
+    config.policy = &adapter;
+    serve::Admission admission = throttled.Open(config);
+    Rng burst_rng(77);
+    std::vector<Value> accepted_r, accepted_s;
+    for (int burst = 0; burst < 20; ++burst) {
+      std::vector<Value> r = SampleValues(24, 10, burst_rng);
+      std::vector<Value> s = SampleValues(24, 10, burst_rng);
+      const std::size_t accepted = throttled.Offer(admission.id, {&r, &s});
+      accepted_r.insert(accepted_r.end(), r.begin(),
+                        r.begin() + static_cast<std::ptrdiff_t>(accepted));
+      accepted_s.insert(accepted_s.end(), s.begin(),
+                        s.begin() + static_cast<std::ptrdiff_t>(accepted));
+      throttled.RunRound();
+    }
+    throttled.Finish(admission.id);
+    throttled.Drain();
+
+    ProbPolicy solo_policy;
+    BinaryPolicyAdapter solo_adapter(&solo_policy);
+    StreamEngine solo_engine(StreamTopology::Binary(),
+                             {.capacity = 10, .warmup = 0});
+    EngineRunResult solo =
+        solo_engine.Run({&accepted_r, &accepted_s}, solo_adapter);
+    const serve::SchedulerStats& tstats = throttled.stats();
+    const EngineRunResult& served = throttled.result(admission.id);
+    std::printf(
+        "backpressure: %lld steps accepted, %lld shed at the watermark; "
+        "served %lld results, solo replay of the accepted prefix %lld %s\n",
+        static_cast<long long>(tstats.steps_offered),
+        static_cast<long long>(tstats.steps_shed),
+        static_cast<long long>(served.total_results),
+        static_cast<long long>(solo.total_results),
+        served.total_results == solo.total_results ? "[identical]"
+                                                   : "[MISMATCH]");
+    all_match = all_match && served.total_results == solo.total_results;
+  }
+
+  return all_match ? 0 : 1;
+}

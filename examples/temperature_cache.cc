@@ -7,10 +7,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "sjoin/analysis/ar1_fit.h"
 #include "sjoin/analysis/melbourne.h"
 #include "sjoin/core/heeb_caching_policy.h"
+#include "sjoin/core/model_repo.h"
 #include "sjoin/core/precompute.h"
 #include "sjoin/engine/cache_simulator.h"
 #include "sjoin/policies/lfd_policy.h"
@@ -34,22 +36,23 @@ int main() {
               "(deci-Celsius)\n",
               fit->phi1, fit->phi0, fit->sigma);
 
-  // Precompute the HEEB surface h2(v, x_t0) for L_exp(alpha = cache size)
-  // and store a compact bicubic approximation (5x5 control points).
+  // The HEEB surface h2(v, x_t0) for L_exp(alpha = cache size) and its
+  // compact bicubic approximation (5x5 control points) come from the
+  // shared ModelRepo: computed once per model key, borrowed const.
   constexpr std::size_t kCacheSize = 120;
   Ar1Process model(fit->phi0, fit->phi1, fit->sigma, temps.front());
-  ExpLifetime lifetime(static_cast<double>(kCacheSize));
   auto [lo, hi] = std::minmax_element(temps.begin(), temps.end());
-  HeebSurfaceTable surface = PrecomputeAr1CachingSurface(
-      model, lifetime, /*horizon=*/520, *lo - 20, *hi + 20, *lo - 20,
-      *hi + 20, /*x_step=*/10, /*paths=*/400, /*seed=*/9);
-  BicubicSurface compact = ApproximateSurfaceBicubic(surface, 5, 5);
+  std::shared_ptr<const BicubicSurface> compact =
+      ModelRepo::Global().Ar1CachingSurfaceBicubic(
+          model, static_cast<double>(kCacheSize), /*horizon=*/520, *lo - 20,
+          *hi + 20, *lo - 20, *hi + 20, /*x_step=*/10, /*paths=*/400,
+          /*seed=*/9, 5, 5);
 
   HeebCachingPolicy::Options options;
   options.mode = HeebCachingPolicy::Mode::kEvaluator;
   options.alpha = static_cast<double>(kCacheSize);
-  options.evaluator = [&compact](Value v, Value last) {
-    return compact.At(static_cast<double>(v), static_cast<double>(last));
+  options.evaluator = [compact](Value v, Value last) {
+    return compact->At(static_cast<double>(v), static_cast<double>(last));
   };
   HeebCachingPolicy heeb(nullptr, options);
 

@@ -1,10 +1,12 @@
 #include "sjoin/core/flow_expect_policy.h"
 
+#include <cstdio>
 #include <utility>
 #include <vector>
 
 #include "sjoin/common/check.h"
 #include "sjoin/core/dominance.h"
+#include "sjoin/core/model_repo.h"
 
 namespace sjoin {
 
@@ -112,12 +114,13 @@ void FlowExpectPolicy::PruneDominated(const PolicyContext& ctx) {
   benefits_.resize(write * static_cast<std::size_t>(l));
 }
 
-FlowExpectPolicy::GraphTemplate& FlowExpectPolicy::TemplateFor(int n_c) {
-  std::unique_ptr<GraphTemplate>& slot = templates_[n_c];
-  if (slot != nullptr) return *slot;
-  slot = std::make_unique<GraphTemplate>();
-  GraphTemplate& tpl = *slot;
-  Time l = options_.lookahead;
+namespace {
+
+// Builds the skeleton slice graph for one (lookahead, candidate count)
+// shape. Invoked through the ModelRepo, so the build runs once per shape
+// process-wide no matter how many policies (sessions) use it.
+FlowSliceSkeleton BuildFlowSliceSkeleton(Time l, int n_c) {
+  FlowSliceSkeleton tpl;
 
   // Node and arc insertion order must exactly mirror the naive oracle's
   // cold build: adjacency order decides tie-breaks inside the solver.
@@ -180,6 +183,27 @@ FlowExpectPolicy::GraphTemplate& FlowExpectPolicy::TemplateFor(int n_c) {
   return tpl;
 }
 
+}  // namespace
+
+FlowExpectPolicy::GraphTemplate& FlowExpectPolicy::TemplateFor(int n_c) {
+  std::unique_ptr<GraphTemplate>& slot = templates_[n_c];
+  if (slot != nullptr) return *slot;
+  slot = std::make_unique<GraphTemplate>();
+  GraphTemplate& tpl = *slot;
+  Time l = options_.lookahead;
+  ModelRepo& repo =
+      options_.repo != nullptr ? *options_.repo : ModelRepo::Global();
+  char key[64];
+  std::snprintf(key, sizeof(key), "flow-slice|l=%lld|nc=%d",
+                static_cast<long long>(l), n_c);
+  tpl.skeleton =
+      repo.FlowSkeletonFor(key, [&] { return BuildFlowSliceSkeleton(l, n_c); });
+  // Private working copy: SelectRetained rewrites its costs/capacities in
+  // place every step, while the skeleton stays immutable and shared.
+  tpl.graph = tpl.skeleton->graph;
+  return tpl;
+}
+
 std::vector<TupleId> FlowExpectPolicy::SelectRetained(
     const PolicyContext& ctx) {
   // Candidate tuples: cache contents plus the two arrivals (all determined
@@ -231,7 +255,7 @@ std::vector<TupleId> FlowExpectPolicy::SelectRetained(
   std::size_t undet_next = 0;
   for (Time j = 0; j < l; ++j) {
     for (int c = 0; c < n_c; ++c, ++det_next) {
-      const GraphTemplate::ArcRef& ref = tpl.det_arcs[det_next];
+      const FlowSliceSkeleton::ArcRef& ref = tpl.skeleton->det_arcs[det_next];
       tpl.graph.SetArcCost(
           ref.from, ref.index,
           -benefits_[static_cast<std::size_t>(c) *
@@ -240,7 +264,8 @@ std::vector<TupleId> FlowExpectPolicy::SelectRetained(
     }
     for (Time j_arrived = 1; j_arrived <= j; ++j_arrived) {
       for (StreamSide side : {StreamSide::kR, StreamSide::kS}) {
-        const GraphTemplate::ArcRef& ref = tpl.undet_arcs[undet_next++];
+        const FlowSliceSkeleton::ArcRef& ref =
+            tpl.skeleton->undet_arcs[undet_next++];
         tpl.graph.SetArcCost(ref.from, ref.index,
                              -undet_benefit(side, j_arrived, j));
       }
@@ -261,8 +286,9 @@ std::vector<TupleId> FlowExpectPolicy::SelectRetained(
   std::vector<TupleId> retained;
   retained.reserve(ctx.capacity);
   for (int c = 0; c < n_c; ++c) {
-    if (tpl.graph.FlowOn(source,
-                         tpl.source_arcs[static_cast<std::size_t>(c)]) > 0) {
+    if (tpl.graph.FlowOn(
+            source, tpl.skeleton->source_arcs[static_cast<std::size_t>(c)]) >
+        0) {
       retained.push_back(candidates_[static_cast<std::size_t>(c)].id);
     }
   }

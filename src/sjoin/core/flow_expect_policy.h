@@ -38,6 +38,9 @@
 
 namespace sjoin {
 
+class ModelRepo;
+struct FlowSliceSkeleton;
+
 /// Online look-ahead policy via expected-cost min-cost flow.
 class FlowExpectPolicy final : public ReplacementPolicy {
  public:
@@ -53,6 +56,12 @@ class FlowExpectPolicy final : public ReplacementPolicy {
     /// disappears entirely. The differential suite compares both settings
     /// against the oracle.
     bool dominance_prune = true;
+    /// The repo slice-graph skeletons are borrowed from (not owned);
+    /// nullptr = ModelRepo::Global(). Skeletons depend only on
+    /// (lookahead, candidate count), so every FlowExpect policy in the
+    /// process shares one build per shape; each policy keeps a private
+    /// working copy of the graph, whose costs it rewrites per step.
+    ModelRepo* repo = nullptr;
   };
 
   /// Processes are not owned and must outlive the policy.
@@ -68,19 +77,15 @@ class FlowExpectPolicy final : public ReplacementPolicy {
   const char* name() const override { return "FLOWEXPECT"; }
 
  private:
-  /// Skeleton slice graph for one candidate count: nodes and arcs are
-  /// built once; each step resets capacities and rewrites benefit-arc
-  /// costs in place. The per-template solver caches the graph's
+  /// Working state over one shared slice-graph skeleton (one candidate
+  /// count): the skeleton — nodes, arcs, and the arc handles — is built
+  /// once process-wide in the ModelRepo; this policy's private `graph`
+  /// copy has its capacities reset and benefit-arc costs rewritten in
+  /// place each step. The per-template solver caches the graph's
   /// topological order across steps.
   struct GraphTemplate {
-    struct ArcRef {
-      NodeId from = 0;
-      std::int32_t index = 0;
-    };
-    FlowGraph graph;
-    std::vector<std::int32_t> source_arcs;  // Per candidate, for FlowOn.
-    std::vector<ArcRef> det_arcs;    // Slice-major, candidate-minor.
-    std::vector<ArcRef> undet_arcs;  // Slice-major, (arrival, side)-minor.
+    std::shared_ptr<const FlowSliceSkeleton> skeleton;
+    FlowGraph graph;  // Mutable copy of skeleton->graph.
     MinCostFlowSolver solver;
     bool solved_before = false;
   };

@@ -6,6 +6,7 @@
 
 #include "sjoin/common/check.h"
 #include "sjoin/core/heeb.h"
+#include "sjoin/core/model_repo.h"
 #include "sjoin/stochastic/random_walk_process.h"
 
 namespace sjoin {
@@ -34,12 +35,18 @@ HeebCachingPolicy::HeebCachingPolicy(const StochasticProcess* reference,
       SJOIN_CHECK_MSG(walk != nullptr,
                       "walk-table caching HEEB requires a random-walk "
                       "reference");
-      const LifetimeFn& lifetime =
-          options_.lifetime != nullptr
-              ? *options_.lifetime
-              : static_cast<const LifetimeFn&>(exp_lifetime_);
-      walk_table_ = std::make_unique<OffsetTable>(PrecomputeWalkCachingHeeb(
-          *walk, lifetime, horizon_, options_.walk_max_offset));
+      if (options_.lifetime == nullptr) {
+        ModelRepo& repo =
+            options_.repo != nullptr ? *options_.repo : ModelRepo::Global();
+        walk_table_ = repo.WalkCachingHeebTable(
+            *walk, options_.alpha, horizon_, options_.walk_max_offset);
+      } else {
+        // A caller-supplied lifetime has no content-addressable identity;
+        // build privately rather than risk key collisions in the repo.
+        walk_table_ = std::make_shared<const OffsetTable>(
+            PrecomputeWalkCachingHeeb(*walk, *options_.lifetime, horizon_,
+                                      options_.walk_max_offset));
+      }
       break;
     }
     case Mode::kEvaluator:

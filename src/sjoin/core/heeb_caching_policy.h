@@ -17,6 +17,8 @@
 
 namespace sjoin {
 
+class ModelRepo;
+
 /// HEEB replacement policy for stream-references-database caching.
 class HeebCachingPolicy final : public ScoredCachingPolicy {
  public:
@@ -49,6 +51,10 @@ class HeebCachingPolicy final : public ScoredCachingPolicy {
     /// e^{1/alpha}/(1-p) per step (an unstable fixed-point iteration), so
     /// long-cached tuples need periodic re-anchoring.
     Time refresh_interval = 24;
+    /// kWalkTable: the repo the h1 table is borrowed from (not owned);
+    /// nullptr = ModelRepo::Global(). A custom `lifetime` forces a
+    /// private build instead.
+    ModelRepo* repo = nullptr;
   };
 
   /// `reference` is not owned; required for all modes except kEvaluator.
@@ -77,7 +83,9 @@ class HeebCachingPolicy final : public ScoredCachingPolicy {
   Options options_;
   ExpLifetime exp_lifetime_;
   Time horizon_;
-  std::unique_ptr<OffsetTable> walk_table_;
+  // Borrowed from the ModelRepo — const-shared with every other policy on
+  // the same model.
+  std::shared_ptr<const OffsetTable> walk_table_;
 
   // kTimeIncremental state: H per cached value at time state_time_.
   struct IncrementalState {

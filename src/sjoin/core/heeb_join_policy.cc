@@ -5,6 +5,7 @@
 
 #include "sjoin/common/check.h"
 #include "sjoin/core/heeb.h"
+#include "sjoin/core/model_repo.h"
 
 namespace sjoin {
 
@@ -38,17 +39,22 @@ HeebJoinPolicy::HeebJoinPolicy(const StochasticProcess* r_process,
     }
   }
   if (options_.mode == Mode::kWalkTable) {
-    const LifetimeFn& lifetime =
-        options_.lifetime != nullptr
-            ? *options_.lifetime
-            : static_cast<const LifetimeFn&>(exp_lifetime_);
+    ModelRepo& repo =
+        options_.repo != nullptr ? *options_.repo : ModelRepo::Global();
     for (StreamSide side : {StreamSide::kR, StreamSide::kS}) {
       const auto* walk =
           dynamic_cast<const RandomWalkProcess*>(process(Partner(side)));
       SJOIN_CHECK_MSG(walk != nullptr,
                       "walk-table HEEB requires random-walk streams");
-      walk_table_[SideIndex(side)] = std::make_unique<OffsetTable>(
-          PrecomputeWalkJoinHeeb(*walk, lifetime, horizon_));
+      if (options_.lifetime == nullptr) {
+        walk_table_[SideIndex(side)] =
+            repo.WalkJoinHeebTable(*walk, options_.alpha, horizon_);
+      } else {
+        // A caller-supplied lifetime has no content-addressable identity;
+        // build privately rather than risk key collisions in the repo.
+        walk_table_[SideIndex(side)] = std::make_shared<const OffsetTable>(
+            PrecomputeWalkJoinHeeb(*walk, *options_.lifetime, horizon_));
+      }
     }
   }
 }

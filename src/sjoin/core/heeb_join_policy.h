@@ -24,6 +24,8 @@
 
 namespace sjoin {
 
+class ModelRepo;
+
 /// HEEB replacement policy for two-stream joins.
 class HeebJoinPolicy final : public ScoredPolicy {
  public:
@@ -63,6 +65,10 @@ class HeebJoinPolicy final : public ScoredPolicy {
     /// error by e^{1/alpha} per step (an unstable fixed-point iteration),
     /// so long-cached tuples need periodic re-anchoring.
     Time refresh_interval = 64;
+    /// kWalkTable: the repo the h1 tables are borrowed from (not owned);
+    /// nullptr = ModelRepo::Global(). A custom `lifetime` is not
+    /// content-addressable, so it forces a private build instead.
+    ModelRepo* repo = nullptr;
   };
 
   /// Processes are not owned and must outlive the policy.
@@ -156,8 +162,9 @@ class HeebJoinPolicy final : public ScoredPolicy {
   std::vector<DiscreteDistribution> advance_pmfs_[2];
 
   // kWalkTable: per-side lookup tables (indexed by the side of the cached
-  // tuple; the table is built from the partner's walk).
-  std::unique_ptr<OffsetTable> walk_table_[2];
+  // tuple; the table is built from the partner's walk). Borrowed from the
+  // ModelRepo — const-shared with every other policy on the same model.
+  std::shared_ptr<const OffsetTable> walk_table_[2];
 };
 
 }  // namespace sjoin

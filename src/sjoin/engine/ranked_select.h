@@ -5,12 +5,13 @@
 #include <vector>
 
 #include "sjoin/common/types.h"
+#include "sjoin/engine/rank_order.h"
 
 /// \file
 /// The multi-way policies' shared top-k selection under the strict
-/// (score desc, arrival desc, id desc) order — the same total order the
-/// sharded engine's merge uses, so every comparison sort yields the same
-/// unique retained sequence.
+/// (score desc, arrival desc, id desc) order — the rank_order.h total
+/// order the sharded engine's merge also uses, so every comparison sort
+/// yields the same unique retained sequence.
 
 namespace sjoin {
 
@@ -21,15 +22,15 @@ struct RankedTuple {
   TupleId id = 0;
 };
 
+/// The rank_order.h strict total order over RankedTuples.
+inline bool RankedTupleBetter(const RankedTuple& a, const RankedTuple& b) {
+  return RankOrderBetter(a.score, a.arrival, a.id, b.score, b.arrival, b.id);
+}
+
 /// Best `capacity` ids, ranked by (score desc, arrival desc, id desc).
 inline std::vector<TupleId> KeepBestRanked(std::vector<RankedTuple> ranked,
                                            std::size_t capacity) {
-  std::sort(ranked.begin(), ranked.end(),
-            [](const RankedTuple& a, const RankedTuple& b) {
-              if (a.score != b.score) return a.score > b.score;
-              if (a.arrival != b.arrival) return a.arrival > b.arrival;
-              return a.id > b.id;
-            });
+  std::sort(ranked.begin(), ranked.end(), RankedTupleBetter);
   std::size_t keep = std::min(capacity, ranked.size());
   std::vector<TupleId> retained;
   retained.reserve(keep);

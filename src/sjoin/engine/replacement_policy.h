@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sjoin/common/types.h"
+#include "sjoin/engine/rank_order.h"
 #include "sjoin/engine/tuple.h"
 #include "sjoin/stochastic/stream_history.h"
 
@@ -54,14 +55,11 @@ struct ShardKey {
   std::int64_t minor = 0;
 };
 
-/// Strict weak ordering of ShardKeys, best first. With distinct `minor`
-/// values (ids are unique; so are cached values in the caching problem)
-/// this is a strict total order, which is what makes the k-way merge
-/// deterministic and exact.
+/// Strict weak ordering of ShardKeys, best first: the rank_order.h total
+/// order, which makes the k-way merge deterministic and exact.
 inline bool ShardKeyBetter(const ShardKey& a, const ShardKey& b) {
-  if (a.score != b.score) return a.score > b.score;
-  if (a.major != b.major) return a.major > b.major;
-  return a.minor > b.minor;
+  return RankOrderBetter(a.score, a.major, a.minor, b.score, b.major,
+                         b.minor);
 }
 
 /// Per-shard scratch space owned by the policy (prediction buffers, ...).

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sjoin/common/check.h"
+#include "sjoin/engine/rank_order.h"
 
 namespace sjoin {
 
@@ -27,9 +28,12 @@ std::vector<Value> ScoredCachingPolicy::SelectRetained(
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& a, const Candidate& b) {
-              if (a.score != b.score) return a.score > b.score;
-              if (a.is_referenced != b.is_referenced) return a.is_referenced;
-              return a.value > b.value;
+              // rank_order.h with (major, minor) = (is-referenced, value),
+              // the ShardKey mapping of the Theorem 1 reduction.
+              return RankOrderBetter(a.score, static_cast<int>(a.is_referenced),
+                                     a.value, b.score,
+                                     static_cast<int>(b.is_referenced),
+                                     b.value);
             });
   std::size_t keep = std::min(ctx.capacity, candidates.size());
   std::vector<Value> retained;

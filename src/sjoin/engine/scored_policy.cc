@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sjoin/common/check.h"
+#include "sjoin/engine/rank_order.h"
 
 namespace sjoin {
 
@@ -27,9 +28,8 @@ std::vector<TupleId> ScoredPolicy::SelectRetained(const PolicyContext& ctx) {
   }
   std::sort(candidates.begin(), candidates.end(),
             [](const Candidate& a, const Candidate& b) {
-              if (a.score != b.score) return a.score > b.score;
-              if (a.arrival != b.arrival) return a.arrival > b.arrival;
-              return a.id > b.id;
+              return RankOrderBetter(a.score, a.arrival, a.id, b.score,
+                                     b.arrival, b.id);
             });
   std::size_t keep = std::min(ctx.capacity, candidates.size());
   std::vector<TupleId> retained;

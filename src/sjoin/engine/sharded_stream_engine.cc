@@ -78,20 +78,93 @@ std::int64_t ShardedStreamEngine::ArenaGrowthEvents() const {
   return total;
 }
 
+EngineShardScoring* ShardedStreamEngine::DecideScoring(
+    EnginePolicy& policy) {
+  // Sharding needs a score-decomposable policy and more than one shard.
+  // Either executor produces bit-identical results, which is exactly why
+  // the fallback must leave a trace: a "sharded" benchmark or serve run
+  // that quietly measured the serial path would report the wrong thing
+  // while producing the right numbers.
+  if (options_.shards <= 1) {
+    fallback_reason_ = "shards <= 1: sharding not requested";
+    return nullptr;
+  }
+  EngineShardScoring* scoring = policy.shard_scoring();
+  if (scoring == nullptr) {
+    fallback_reason_ = "policy is serial-only (no shard scoring)";
+    return nullptr;
+  }
+  fallback_reason_ = nullptr;
+  return scoring;
+}
+
 EngineRunResult ShardedStreamEngine::Run(
     const std::vector<const std::vector<Value>*>& streams,
     EnginePolicy& policy, const std::vector<StepObserver*>& observers) {
-  // The serial/sharded decision is taken here, once per run: sharding
-  // needs a score-decomposable policy and more than one shard. Either
-  // executor produces bit-identical results.
-  EngineShardScoring* scoring =
-      options_.shards > 1 ? policy.shard_scoring() : nullptr;
+  // The serial/sharded decision is taken here, once per run.
+  EngineShardScoring* scoring = DecideScoring(policy);
   if (scoring == nullptr) {
     adaptive_run_ = false;  // This run partitions nothing.
     adaptive_stats_ = {};
     return serial_.Run(streams, policy, observers);
   }
-  return RunSharded(streams, policy, *scoring, observers);
+  const int n = serial_.topology().num_streams();
+  SJOIN_CHECK_EQ(static_cast<int>(streams.size()), n);
+  for (const std::vector<Value>* stream : streams) {
+    SJOIN_CHECK(stream != nullptr);
+  }
+  const Time len = static_cast<Time>(streams[0]->size());
+  for (const std::vector<Value>* stream : streams) {
+    SJOIN_CHECK_EQ(static_cast<Time>(stream->size()), len);
+  }
+  if (run_session_ == nullptr) {
+    run_session_ = std::make_unique<SessionState>();
+  }
+  OpenSharded(*run_session_, policy, *scoring, observers, len);
+  AdvanceSharded(*run_session_, streams);
+  return CloseSharded(*run_session_);
+}
+
+void ShardedStreamEngine::Open(SessionState& session, EnginePolicy& policy,
+                               std::vector<StepObserver*> observers) {
+  EngineShardScoring* scoring = DecideScoring(policy);
+  if (scoring == nullptr) {
+    adaptive_run_ = false;
+    adaptive_stats_ = {};
+    serial_.Open(session, serial_.options(), policy, std::move(observers));
+    return;
+  }
+  OpenSharded(session, policy, *scoring, std::move(observers),
+              /*known_length=*/-1);
+}
+
+void ShardedStreamEngine::Advance(
+    SessionState& session,
+    const std::vector<const std::vector<Value>*>& batch) {
+  if (session.sharded_owner == nullptr) {
+    serial_.Advance(session, batch);
+    return;
+  }
+  SJOIN_CHECK_MSG(session.sharded_owner == this,
+                  "sharded session advanced by an engine that did not "
+                  "open it");
+  AdvanceSharded(session, batch);
+}
+
+const EngineRunResult& ShardedStreamEngine::Drain(
+    const SessionState& session) const {
+  SJOIN_CHECK_MSG(session.open, "Drain on a session that is not open");
+  return session.result;
+}
+
+EngineRunResult ShardedStreamEngine::Close(SessionState& session) {
+  if (session.sharded_owner == nullptr) {
+    return serial_.Close(session);
+  }
+  SJOIN_CHECK_MSG(session.sharded_owner == this,
+                  "sharded session closed by an engine that did not "
+                  "open it");
+  return CloseSharded(session);
 }
 
 void ShardedStreamEngine::ProcessShard(const StepEpochContext& step,
@@ -230,20 +303,39 @@ void ShardedStreamEngine::RebalanceCheckpoint(Time now) {
   std::fill(bucket_load_.begin(), bucket_load_.end(), std::int64_t{0});
 }
 
-EngineRunResult ShardedStreamEngine::RunSharded(
-    const std::vector<const std::vector<Value>*>& streams,
-    EnginePolicy& policy, EngineShardScoring& scoring,
+void ShardedStreamEngine::FlushPendingViews(
     const std::vector<StepObserver*>& observers) {
+  for (const EngineStepView& view : pending_views_) {
+    for (StepObserver* observer : observers) observer->OnStep(view);
+  }
+  pending_views_.clear();
+}
+
+void ShardedStreamEngine::OpenSharded(SessionState& session,
+                                      EnginePolicy& policy,
+                                      EngineShardScoring& scoring,
+                                      std::vector<StepObserver*> observers,
+                                      Time known_length) {
   const StreamTopology& topology = serial_.topology();
   const int n = topology.num_streams();
-  SJOIN_CHECK_EQ(static_cast<int>(streams.size()), n);
-  for (const std::vector<Value>* stream : streams) {
-    SJOIN_CHECK(stream != nullptr);
-  }
-  const Time len = static_cast<Time>(streams[0]->size());
-  for (const std::vector<Value>* stream : streams) {
-    SJOIN_CHECK_EQ(static_cast<Time>(stream->size()), len);
-  }
+  SJOIN_CHECK_MSG(!session.open, "Open on a session that is already open");
+  SJOIN_CHECK_MSG(!sharded_session_open_,
+                  "only one sharded session may be open per engine (its "
+                  "slot and arena state is engine-resident)");
+  sharded_session_open_ = true;
+
+  session.open = true;
+  session.now = 0;
+  session.result = EngineRunResult();
+  session.policy = &policy;
+  session.observers = std::move(observers);
+  session.options =
+      StreamEngine::Options{options_.capacity, options_.warmup,
+                            options_.window, nullptr, nullptr};
+  session.partitions = nullptr;
+  session.sharded_owner = this;
+  session.scoring = &scoring;
+
   policy.Reset();
 
   // The persistent team is rebuilt only when its shape changes, so
@@ -266,7 +358,6 @@ EngineRunResult ShardedStreamEngine::RunSharded(
   // equal runs replay an identical rebalance history.
   adaptive_run_ = options_.adaptive.enabled;
   adaptive_stats_ = {};
-  const Time rebalance_interval = std::max<Time>(options_.adaptive.interval, 1);
   if (adaptive_run_) {
     if (adaptive_map_ == nullptr) {
       adaptive_map_ = std::make_unique<AdaptivePartitionMap>(
@@ -326,13 +417,17 @@ EngineRunResult ShardedStreamEngine::RunSharded(
   }
   arena_growth_baseline_ = ArenaGrowthEvents();
 
+  session.use_value_index = use_value_index;
+
   EngineRunView run_view;
   run_view.topology = &topology;
   run_view.capacity = options_.capacity;
   run_view.warmup = options_.warmup;
   run_view.window = options_.window;
-  run_view.length = len;
-  for (StepObserver* observer : observers) observer->OnRunBegin(run_view);
+  run_view.length = known_length;
+  for (StepObserver* observer : session.observers) {
+    observer->OnRunBegin(run_view);
+  }
   // An observer that disables sharded scoring during OnRunBegin (e.g. a
   // ScoreTraceObserver installing a score observer) would invalidate the
   // decision already taken above; fail loudly instead of racing.
@@ -343,28 +438,49 @@ EngineRunResult ShardedStreamEngine::RunSharded(
   // Batched multi-step execution: when every attached observer tolerates
   // deferred, scalar-only delivery, the engine synchronizes with the
   // chain once per kStepBatchSteps instead of every step (the views are
-  // buffered in order, with the pointer fields null). Any other observer
-  // keeps the classic step-synchronous protocol.
-  bool batch_ok = true;
-  for (StepObserver* observer : observers) {
-    batch_ok = batch_ok && observer->AllowsBatchedSteps();
+  // buffered in order, with the pointer fields null) and at Advance
+  // boundaries. Any other observer keeps the classic step-synchronous
+  // protocol.
+  session.batched_observers = true;
+  for (StepObserver* observer : session.observers) {
+    session.batched_observers =
+        session.batched_observers && observer->AllowsBatchedSteps();
   }
-  const auto flush_views = [this, &observers] {
-    for (const EngineStepView& view : pending_views_) {
-      for (StepObserver* observer : observers) observer->OnStep(view);
-    }
-    pending_views_.clear();
-  };
+}
+
+void ShardedStreamEngine::AdvanceSharded(
+    SessionState& session,
+    const std::vector<const std::vector<Value>*>& batch) {
+  SJOIN_CHECK_MSG(session.open, "Advance on a session that is not open");
+  const StreamTopology& topology = serial_.topology();
+  const int n = topology.num_streams();
+  SJOIN_CHECK_EQ(static_cast<int>(batch.size()), n);
+  for (const std::vector<Value>* stream : batch) {
+    SJOIN_CHECK(stream != nullptr);
+  }
+  const Time steps = static_cast<Time>(batch[0]->size());
+  for (const std::vector<Value>* stream : batch) {
+    SJOIN_CHECK_EQ(static_cast<Time>(stream->size()), steps);
+  }
+
+  EngineShardScoring& scoring = *session.scoring;
+  const std::vector<StepObserver*>& observers = session.observers;
+  const bool batch_ok = session.batched_observers;
+  const bool use_value_index = run_use_value_index_;
+  const int threads = workers_->num_workers();
+  const auto num_shards = static_cast<std::size_t>(options_.shards);
+  const Time rebalance_interval =
+      std::max<Time>(options_.adaptive.interval, 1);
 
   workers_->BeginBatch();
-  EngineRunResult result;
-  for (Time t = 0; t < len; ++t) {
+  for (Time i = 0; i < steps; ++i) {
+    const Time t = session.now;
     arrivals_.clear();
     for (int s = 0; s < n; ++s) {
       arrivals_.push_back(
           {StreamTupleIdAt(n, s, t), s,
-           (*streams[static_cast<std::size_t>(s)])
-               [static_cast<std::size_t>(t)],
+           (*batch[static_cast<std::size_t>(s)])
+               [static_cast<std::size_t>(i)],
            t});
     }
     for (int s = 0; s < n; ++s) {
@@ -597,9 +713,9 @@ EngineRunResult ShardedStreamEngine::RunSharded(
       }
     }
 
-    result.total_results += produced;
+    session.result.total_results += produced;
     const bool counted = t >= options_.warmup;
-    if (counted) result.counted_results += produced;
+    if (counted) session.result.counted_results += produced;
     // Cache and arrival ids never collide (arrival ids are minted this
     // step), so the candidate-set size is just the sum.
     const std::size_t num_candidates = cache_.size() + arrivals_.size();
@@ -653,7 +769,9 @@ EngineRunResult ShardedStreamEngine::RunSharded(
     if (batch_ok) {
       if (!observers.empty()) {
         pending_views_.push_back(step_view);
-        if (pending_views_.size() >= kStepBatchSteps) flush_views();
+        if (pending_views_.size() >= kStepBatchSteps) {
+          FlushPendingViews(observers);
+        }
       }
     } else {
       step_view.cache = &cache_;
@@ -669,11 +787,31 @@ EngineRunResult ShardedStreamEngine::RunSharded(
     if (adaptive_run_ && (t + 1) % rebalance_interval == 0) {
       RebalanceCheckpoint(t);
     }
+    session.now = t + 1;
   }
-  flush_views();
+  FlushPendingViews(observers);
   workers_->EndBatch();
-  for (StepObserver* observer : observers) observer->OnRunEnd(run_view);
-  return result;
+}
+
+EngineRunResult ShardedStreamEngine::CloseSharded(SessionState& session) {
+  SJOIN_CHECK_MSG(session.open, "Close on a session that is not open");
+  FlushPendingViews(session.observers);
+  EngineRunView run_view;
+  run_view.topology = &serial_.topology();
+  run_view.capacity = options_.capacity;
+  run_view.warmup = options_.warmup;
+  run_view.window = options_.window;
+  run_view.length = session.now;
+  for (StepObserver* observer : session.observers) {
+    observer->OnRunEnd(run_view);
+  }
+  session.open = false;
+  session.policy = nullptr;
+  session.scoring = nullptr;
+  session.sharded_owner = nullptr;
+  session.observers.clear();
+  sharded_session_open_ = false;
+  return session.result;
 }
 
 }  // namespace sjoin

@@ -111,10 +111,36 @@ class ShardedStreamEngine {
   /// Same contract and observer protocol as StreamEngine::Run. Whether the
   /// run executes sharded is decided here, once, from
   /// `policy.shard_scoring()`; a serial run delegates to an internal
-  /// StreamEngine outright (identical results either way).
+  /// StreamEngine outright (identical results either way). Like the serial
+  /// engine, implemented as Open + Advance + Close over a private session.
   EngineRunResult Run(const std::vector<const std::vector<Value>*>& streams,
                       EnginePolicy& policy,
                       const std::vector<StepObserver*>& observers = {});
+
+  // --- Incremental session lifecycle --------------------------------
+  //
+  // Mirrors StreamEngine's. The serial/sharded decision is taken once,
+  // at Open, exactly as in Run(). A serial fallback opens an
+  // engine-portable session on the internal StreamEngine (the engine's
+  // own capacity/warmup/window apply). A sharded session pins to this
+  // engine — the slot, worker and arena structures backing it are
+  // engine-resident — and at most one sharded session may be open per
+  // engine at a time. Either way, slicing a stream into any pattern of
+  // Advance batches reproduces the batch Run bit for bit.
+
+  void Open(SessionState& session, EnginePolicy& policy,
+            std::vector<StepObserver*> observers = {});
+  void Advance(SessionState& session,
+               const std::vector<const std::vector<Value>*>& batch);
+  const EngineRunResult& Drain(const SessionState& session) const;
+  EngineRunResult Close(SessionState& session);
+
+  /// Why the most recent Run/Open on this engine fell back to the serial
+  /// executor; nullptr when it genuinely ran sharded. The fallback is
+  /// silent by design (results are identical), so façades surface this
+  /// through telemetry instead of letting a sharded benchmark quietly
+  /// measure the serial path.
+  const char* fallback_reason() const { return fallback_reason_; }
 
   const StreamTopology& topology() const { return serial_.topology(); }
   const Options& options() const { return options_; }
@@ -195,10 +221,19 @@ class ShardedStreamEngine {
     bool use_value_index = false;
   };
 
-  EngineRunResult RunSharded(
-      const std::vector<const std::vector<Value>*>& streams,
-      EnginePolicy& policy, EngineShardScoring& scoring,
-      const std::vector<StepObserver*>& observers);
+  /// The once-per-run (or once-per-Open) executor decision: non-null iff
+  /// the policy decomposes and shards > 1. Records fallback_reason_.
+  EngineShardScoring* DecideScoring(EnginePolicy& policy);
+
+  /// Sharded-path lifecycle backing both Run and the public session API.
+  void OpenSharded(SessionState& session, EnginePolicy& policy,
+                   EngineShardScoring& scoring,
+                   std::vector<StepObserver*> observers, Time known_length);
+  void AdvanceSharded(SessionState& session,
+                      const std::vector<const std::vector<Value>*>& batch);
+  EngineRunResult CloseSharded(SessionState& session);
+  /// Delivers the buffered scalar step views, in order.
+  void FlushPendingViews(const std::vector<StepObserver*>& observers);
 
   /// Worker w's slice of the probe/score epoch: every shard s with
   /// s % workers == w, in shard order.
@@ -244,6 +279,13 @@ class ShardedStreamEngine {
   /// Serial engine: fallback executor and the topology/option holder.
   StreamEngine serial_;
   HashPartition partition_;
+  /// Why the last Run/Open fell back to serial (static string), or null.
+  const char* fallback_reason_ = nullptr;
+  /// Guards the engine-resident sharded-run state below: only one sharded
+  /// session (Run included) may be open at a time.
+  bool sharded_session_open_ = false;
+  /// Session backing the sharded path of Run(); reused across calls.
+  std::unique_ptr<SessionState> run_session_;
   /// Adaptive range map; constructed lazily on the first adaptive run and
   /// Reset() at the start of every later one (rerun determinism).
   std::unique_ptr<AdaptivePartitionMap> adaptive_map_;

@@ -44,13 +44,24 @@ const std::vector<int>& StreamTopology::PartnersOf(int stream) const {
   return partners_[static_cast<std::size_t>(stream)];
 }
 
+namespace {
+
+/// Default partition map for sessions that configure none. A process-wide
+/// constant (SinglePartition is stateless), so sessions stay portable
+/// across engines instead of dangling on the engine that opened them.
+const PartitionMap& SharedSinglePartition() {
+  static const SinglePartition kSingle;
+  return kSingle;
+}
+
+}  // namespace
+
 StreamEngine::StreamEngine(StreamTopology topology, Options options)
     : topology_(std::move(topology)), options_(options) {
   SJOIN_CHECK_GE(options_.capacity, 1u);
   SJOIN_CHECK_GE(options_.warmup, 0);
   if (options_.window.has_value()) SJOIN_CHECK_GE(*options_.window, 0);
   const auto n = static_cast<std::size_t>(topology_.num_streams());
-  cache_.reserve(options_.capacity);
   new_cache_.reserve(options_.capacity);
   arrivals_.reserve(n);
   candidates_.reserve(options_.capacity + n);
@@ -69,16 +80,53 @@ EngineRunResult StreamEngine::Run(
   for (const std::vector<Value>* stream : streams) {
     SJOIN_CHECK_EQ(static_cast<Time>(stream->size()), len);
   }
+  if (run_session_ == nullptr) {
+    run_session_ = std::make_unique<SessionState>();
+  }
+  OpenWithLength(*run_session_, options_, policy, observers, len);
+  Advance(*run_session_, streams);
+  return Close(*run_session_);
+}
+
+void StreamEngine::Open(SessionState& session, const Options& options,
+                        EnginePolicy& policy,
+                        std::vector<StepObserver*> observers) {
+  OpenWithLength(session, options, policy, std::move(observers),
+                 /*known_length=*/-1);
+}
+
+void StreamEngine::OpenWithLength(SessionState& session,
+                                  const Options& options,
+                                  EnginePolicy& policy,
+                                  std::vector<StepObserver*> observers,
+                                  Time known_length) {
+  SJOIN_CHECK_MSG(!session.open, "Open on a session that is already open");
+  SJOIN_CHECK_GE(options.capacity, 1u);
+  SJOIN_CHECK_GE(options.warmup, 0);
+  if (options.window.has_value()) SJOIN_CHECK_GE(*options.window, 0);
+  const auto n = static_cast<std::size_t>(topology_.num_streams());
+
+  session.open = true;
+  session.now = 0;
+  session.result = EngineRunResult();
+  session.policy = &policy;
+  session.observers = std::move(observers);
+  session.options = options;
+  session.sharded_owner = nullptr;
+  session.scoring = nullptr;
+  session.batched_observers = false;
+
   policy.Reset();
 
-  const PartitionMap* partitions =
-      options_.partitions != nullptr ? options_.partitions
-                                     : &single_partition_;
-  const std::size_t num_partitions = partitions->num_partitions();
+  session.partitions = options.partitions != nullptr
+                           ? options.partitions
+                           : &SharedSinglePartition();
+  const std::size_t num_partitions = session.partitions->num_partitions();
   SJOIN_CHECK_GE(num_partitions, 1u);
 
-  cache_.clear();
-  histories_.assign(static_cast<std::size_t>(n), StreamHistory());
+  session.cache.clear();
+  session.cache.reserve(options.capacity);
+  session.histories.assign(n, StreamHistory());
 
   // Large caches probe arrivals against per-(partition, stream)
   // value -> count indexes of the cached tuples, maintained with the <= N
@@ -87,15 +135,14 @@ EngineRunResult StreamEngine::Run(
   // is the seam a sharded cache exploits. Windowed runs expire tuples by
   // age, which the value counts cannot see, so they keep the linear
   // probe; so do tiny caches, where the scan is cheaper.
-  const bool use_value_index = !options_.window.has_value() &&
-                               options_.capacity >= kValueIndexMinCapacity;
-  if (use_value_index) {
-    value_index_.assign(
+  session.use_value_index = !options.window.has_value() &&
+                            options.capacity >= kValueIndexMinCapacity;
+  if (session.use_value_index) {
+    session.value_index.assign(
         num_partitions,
-        std::vector<std::unordered_map<Value, std::int64_t>>(
-            static_cast<std::size_t>(n)));
+        std::vector<std::unordered_map<Value, std::int64_t>>(n));
   } else {
-    value_index_.clear();
+    session.value_index.clear();
   }
 
   // Probe planning (engine/probe_planner.h): probe order, short-circuits
@@ -103,29 +150,54 @@ EngineRunResult StreamEngine::Run(
   // planned Phase 1 below produces the same integer sum as the naive loop
   // in any mode. The memo survives across steps only when no window can
   // expire tuples behind its back.
-  ProbePlanner* planner = options_.probe_planner;
+  ProbePlanner* planner = options.probe_planner;
   if (planner != nullptr) {
     planner->BeginRun(topology_,
-                      /*memo_across_steps=*/!options_.window.has_value());
-    stream_counts_.assign(static_cast<std::size_t>(n), 0);
+                      /*memo_across_steps=*/!options.window.has_value());
+    session.stream_counts.assign(n, 0);
   }
 
   EngineRunView run_view;
   run_view.topology = &topology_;
-  run_view.capacity = options_.capacity;
-  run_view.warmup = options_.warmup;
-  run_view.window = options_.window;
-  run_view.length = len;
-  for (StepObserver* observer : observers) observer->OnRunBegin(run_view);
+  run_view.capacity = options.capacity;
+  run_view.warmup = options.warmup;
+  run_view.window = options.window;
+  run_view.length = known_length;
+  for (StepObserver* observer : session.observers) {
+    observer->OnRunBegin(run_view);
+  }
+}
 
-  EngineRunResult result;
-  for (Time t = 0; t < len; ++t) {
+void StreamEngine::Advance(
+    SessionState& session,
+    const std::vector<const std::vector<Value>*>& batch) {
+  SJOIN_CHECK_MSG(session.open, "Advance on a session that is not open");
+  SJOIN_CHECK_MSG(session.sharded_owner == nullptr,
+                  "sharded sessions advance through their owning engine");
+  const int n = topology_.num_streams();
+  SJOIN_CHECK_EQ(static_cast<int>(batch.size()), n);
+  for (const std::vector<Value>* stream : batch) {
+    SJOIN_CHECK(stream != nullptr);
+  }
+  const Time steps = static_cast<Time>(batch[0]->size());
+  for (const std::vector<Value>* stream : batch) {
+    SJOIN_CHECK_EQ(static_cast<Time>(stream->size()), steps);
+  }
+
+  const Options& opts = session.options;
+  const PartitionMap* partitions = session.partitions;
+  const bool use_value_index = session.use_value_index;
+  ProbePlanner* planner = opts.probe_planner;
+  EnginePolicy& policy = *session.policy;
+
+  for (Time i = 0; i < steps; ++i) {
+    const Time t = session.now;
     arrivals_.clear();
     for (int s = 0; s < n; ++s) {
       arrivals_.push_back(
           {StreamTupleIdAt(n, s, t), s,
-           (*streams[static_cast<std::size_t>(s)])
-               [static_cast<std::size_t>(t)],
+           (*batch[static_cast<std::size_t>(s)])
+               [static_cast<std::size_t>(i)],
            t});
     }
 
@@ -137,7 +209,8 @@ EngineRunResult StreamEngine::Run(
       planner->BeginStep(t);
       for (const StreamTuple& arrival : arrivals_) {
         for (int partner : planner->PlanFor(arrival.stream)) {
-          if (stream_counts_[static_cast<std::size_t>(partner)] == 0) {
+          if (session.stream_counts[static_cast<std::size_t>(partner)] ==
+              0) {
             planner->ObserveProbe(arrival.stream, partner, 0,
                                   ProbeKind::kSkipped);
             continue;
@@ -149,15 +222,15 @@ EngineRunResult StreamEngine::Run(
           } else {
             if (use_value_index) {
               const auto& index =
-                  value_index_[partitions->PartitionOf(arrival.value)]
-                              [static_cast<std::size_t>(partner)];
+                  session.value_index[partitions->PartitionOf(
+                      arrival.value)][static_cast<std::size_t>(partner)];
               auto it = index.find(arrival.value);
               if (it != index.end()) matches = it->second;
             } else {
-              for (const StreamTuple& cached : cache_) {
+              for (const StreamTuple& cached : session.cache) {
                 if (cached.stream == partner &&
                     cached.value == arrival.value &&
-                    InWindow(cached, t, options_.window)) {
+                    InWindow(cached, t, opts.window)) {
                   ++matches;
                 }
               }
@@ -171,7 +244,7 @@ EngineRunResult StreamEngine::Run(
       }
     } else if (use_value_index) {
       for (const StreamTuple& arrival : arrivals_) {
-        const auto& shard = value_index_[partitions->PartitionOf(
+        const auto& shard = session.value_index[partitions->PartitionOf(
             arrival.value)];
         for (int partner : topology_.PartnersOf(arrival.stream)) {
           const auto& index = shard[static_cast<std::size_t>(partner)];
@@ -180,35 +253,35 @@ EngineRunResult StreamEngine::Run(
         }
       }
     } else {
-      for (const StreamTuple& cached : cache_) {
-        if (!InWindow(cached, t, options_.window)) continue;
+      for (const StreamTuple& cached : session.cache) {
+        if (!InWindow(cached, t, opts.window)) continue;
         for (const StreamTuple& arrival : arrivals_) {
           if (!topology_.Joins(cached.stream, arrival.stream)) continue;
           if (cached.value == arrival.value) ++produced;
         }
       }
     }
-    result.total_results += produced;
-    const bool counted = t >= options_.warmup;
-    if (counted) result.counted_results += produced;
+    session.result.total_results += produced;
+    const bool counted = t >= opts.warmup;
+    if (counted) session.result.counted_results += produced;
 
     // Phase 2: the policy picks the new cache content.
     for (int s = 0; s < n; ++s) {
-      histories_[static_cast<std::size_t>(s)].Append(
+      session.histories[static_cast<std::size_t>(s)].Append(
           arrivals_[static_cast<std::size_t>(s)].value);
     }
     EngineContext ctx;
     ctx.now = t;
-    ctx.capacity = options_.capacity;
-    ctx.cached = &cache_;
+    ctx.capacity = opts.capacity;
+    ctx.cached = &session.cache;
     ctx.arrivals = &arrivals_;
-    ctx.histories = &histories_;
-    ctx.window = options_.window;
+    ctx.histories = &session.histories;
+    ctx.window = opts.window;
     std::vector<TupleId> retained = policy.SelectRetained(ctx);
-    SJOIN_CHECK_LE(retained.size(), options_.capacity);
+    SJOIN_CHECK_LE(retained.size(), opts.capacity);
 
     candidates_.clear();
-    for (const StreamTuple& tuple : cache_) {
+    for (const StreamTuple& tuple : session.cache) {
       candidates_.emplace(tuple.id, tuple);
     }
     for (const StreamTuple& tuple : arrivals_) {
@@ -228,75 +301,77 @@ EngineRunResult StreamEngine::Run(
     }
 
     if (use_value_index || planner != nullptr) {
-      for (const StreamTuple& tuple : cache_) {
+      for (const StreamTuple& tuple : session.cache) {
         if (retained_set_.contains(tuple.id)) continue;  // Still cached.
         if (use_value_index) {
-          auto& index = value_index_[partitions->PartitionOf(tuple.value)]
-                                    [static_cast<std::size_t>(tuple.stream)];
+          auto& index =
+              session.value_index[partitions->PartitionOf(tuple.value)]
+                                 [static_cast<std::size_t>(tuple.stream)];
           auto it = index.find(tuple.value);
           if (--it->second == 0) index.erase(it);
         }
         if (planner != nullptr) {
-          --stream_counts_[static_cast<std::size_t>(tuple.stream)];
+          --session.stream_counts[static_cast<std::size_t>(tuple.stream)];
           planner->OnCacheChange(tuple.stream, tuple.value);
         }
       }
       for (const StreamTuple& tuple : arrivals_) {
         if (retained_set_.contains(tuple.id)) {
           if (use_value_index) {
-            ++value_index_[partitions->PartitionOf(tuple.value)]
-                          [static_cast<std::size_t>(tuple.stream)]
-                          [tuple.value];
+            ++session.value_index[partitions->PartitionOf(tuple.value)]
+                                 [static_cast<std::size_t>(tuple.stream)]
+                                 [tuple.value];
           }
           if (planner != nullptr) {
-            ++stream_counts_[static_cast<std::size_t>(tuple.stream)];
+            ++session
+                  .stream_counts[static_cast<std::size_t>(tuple.stream)];
             planner->OnCacheChange(tuple.stream, tuple.value);
           }
         }
       }
     }
-    cache_.swap(new_cache_);
+    session.cache.swap(new_cache_);
 
     if constexpr (kValidationEnabled) {
-      SJOIN_VALIDATE(cache_.size() <= options_.capacity);
-      for (const StreamTuple& tuple : cache_) {
+      SJOIN_VALIDATE(session.cache.size() <= opts.capacity);
+      for (const StreamTuple& tuple : session.cache) {
         SJOIN_VALIDATE_MSG(tuple.stream >= 0 && tuple.stream < n,
                            "cached tuple has an out-of-range stream");
       }
       if (use_value_index) {
         // The incrementally-maintained value -> count indexes must match
         // a from-scratch recount of the cache.
-        decltype(value_index_) recount(
-            num_partitions,
+        decltype(session.value_index) recount(
+            partitions->num_partitions(),
             std::vector<std::unordered_map<Value, std::int64_t>>(
                 static_cast<std::size_t>(n)));
-        for (const StreamTuple& tuple : cache_) {
+        for (const StreamTuple& tuple : session.cache) {
           ++recount[partitions->PartitionOf(tuple.value)]
                    [static_cast<std::size_t>(tuple.stream)][tuple.value];
         }
-        SJOIN_VALIDATE_MSG(recount == value_index_,
+        SJOIN_VALIDATE_MSG(recount == session.value_index,
                            "value index out of sync with cache contents");
       }
       if (planner != nullptr) {
         std::vector<std::int64_t> recount(static_cast<std::size_t>(n), 0);
-        for (const StreamTuple& tuple : cache_) {
+        for (const StreamTuple& tuple : session.cache) {
           ++recount[static_cast<std::size_t>(tuple.stream)];
         }
-        SJOIN_VALIDATE_MSG(recount == stream_counts_,
+        SJOIN_VALIDATE_MSG(recount == session.stream_counts,
                            "per-stream counts out of sync with cache");
         // Wherever the probe memo still holds an entry after the commit's
         // invalidations, it must equal a fresh count of the cache
         // (cross-step entries survive only in unwindowed runs, where age
         // cannot expire tuples behind the memo's back).
-        if (!options_.window.has_value()) {
-          for (const StreamTuple& tuple : cache_) {
+        if (!opts.window.has_value()) {
+          for (const StreamTuple& tuple : session.cache) {
             std::int64_t memoized = 0;
             if (!planner->LookupCount(tuple.stream, tuple.value,
                                       &memoized)) {
               continue;
             }
             std::int64_t fresh = 0;
-            for (const StreamTuple& other : cache_) {
+            for (const StreamTuple& other : session.cache) {
               if (other.stream == tuple.stream &&
                   other.value == tuple.value) {
                 ++fresh;
@@ -321,13 +396,39 @@ EngineRunResult StreamEngine::Run(
       step_view.probe_cache_hits = plan.cache_hits;
       step_view.plan_replans = plan.replans;
     }
-    step_view.cache = &cache_;
+    step_view.cache = &session.cache;
     step_view.arrivals = &arrivals_;
     step_view.retained = &retained;
-    for (StepObserver* observer : observers) observer->OnStep(step_view);
+    for (StepObserver* observer : session.observers) {
+      observer->OnStep(step_view);
+    }
+    session.now = t + 1;
   }
-  for (StepObserver* observer : observers) observer->OnRunEnd(run_view);
-  return result;
+}
+
+const EngineRunResult& StreamEngine::Drain(
+    const SessionState& session) const {
+  SJOIN_CHECK_MSG(session.open, "Drain on a session that is not open");
+  return session.result;
+}
+
+EngineRunResult StreamEngine::Close(SessionState& session) {
+  SJOIN_CHECK_MSG(session.open, "Close on a session that is not open");
+  SJOIN_CHECK_MSG(session.sharded_owner == nullptr,
+                  "sharded sessions close through their owning engine");
+  EngineRunView run_view;
+  run_view.topology = &topology_;
+  run_view.capacity = session.options.capacity;
+  run_view.warmup = session.options.warmup;
+  run_view.window = session.options.window;
+  run_view.length = session.now;
+  for (StepObserver* observer : session.observers) {
+    observer->OnRunEnd(run_view);
+  }
+  session.open = false;
+  session.policy = nullptr;
+  session.observers.clear();
+  return session.result;
 }
 
 void BinaryPolicyAdapter::Reset() { policy_->Reset(); }

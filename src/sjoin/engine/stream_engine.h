@@ -36,6 +36,8 @@
 namespace sjoin {
 
 class ProbePlanner;
+class ShardedStreamEngine;
+struct SessionState;
 
 /// The join graph: N streams plus the unordered stream pairs that equijoin.
 class StreamTopology {
@@ -184,32 +186,128 @@ class StreamEngine {
   /// order around every step. Reuses internal buffers: a StreamEngine
   /// instance is cheap to Run repeatedly but not concurrently — the
   /// thread-safe façades construct one engine per call instead.
+  ///
+  /// Implemented as exactly Open + Advance + Close over a private
+  /// session, so batch and incremental execution are bit-identical by
+  /// construction.
   EngineRunResult Run(const std::vector<const std::vector<Value>*>& streams,
                       EnginePolicy& policy,
                       const std::vector<StepObserver*>& observers = {});
+
+  // --- Incremental session lifecycle --------------------------------
+  //
+  // A session carries everything a run accumulates between steps
+  // (SessionState below); the engine is a stateless executor over it.
+  // Any engine with an equal topology may execute a session's next
+  // Advance (one call at a time — the engine's step scratch is not
+  // reentrant), which is what lets the serve layer multiplex thousands
+  // of sessions over an engine per worker thread.
+
+  /// Opens `session` for incremental execution under `options` (which
+  /// override the engine's own): resets all per-run state, calls
+  /// policy.Reset(), binds the observer chain and delivers OnRunBegin
+  /// with length = -1 (unknown — arrivals have not happened yet).
+  /// `policy`, `observers`, `options.partitions` and
+  /// `options.probe_planner` are borrowed and must outlive the session.
+  /// Neither a policy instance nor a planner may serve two sessions that
+  /// are open at the same time. A closed SessionState can be reopened;
+  /// its buffers are reused.
+  void Open(SessionState& session, const Options& options,
+            EnginePolicy& policy, std::vector<StepObserver*> observers = {});
+
+  /// Advances an open session by `batch[0]->size()` steps (one pointer
+  /// per topology stream, none null, all equal length; length zero is a
+  /// no-op). `batch[s]` extends stream s: step times continue at
+  /// `session.now`, so warmup and windows keep their absolute meaning.
+  void Advance(SessionState& session,
+               const std::vector<const std::vector<Value>*>& batch);
+
+  /// Progress so far. The engine buffers nothing between steps — arrival
+  /// queueing lives in serve::SessionScheduler, which drains its queues
+  /// through Advance — so Drain is a read, kept for lifecycle symmetry.
+  const EngineRunResult& Drain(const SessionState& session) const;
+
+  /// Delivers OnRunEnd (length = steps actually executed), marks the
+  /// session closed and returns its final result.
+  EngineRunResult Close(SessionState& session);
 
   const StreamTopology& topology() const { return topology_; }
   const Options& options() const { return options_; }
 
  private:
+  /// Open with a length already known (batch Run): OnRunBegin reports it
+  /// instead of the incremental -1 sentinel.
+  void OpenWithLength(SessionState& session, const Options& options,
+                      EnginePolicy& policy,
+                      std::vector<StepObserver*> observers,
+                      Time known_length);
+
   StreamTopology topology_;
   Options options_;
-  SinglePartition single_partition_;
 
-  // Step-loop scratch, hoisted so the steady state allocates nothing and
-  // reused across Run calls.
-  std::vector<StreamTuple> cache_;
+  /// Session backing Run(); lazily built, reused across calls so the
+  /// historical "cheap to Run repeatedly" contract still holds.
+  std::unique_ptr<SessionState> run_session_;
+
+  // Per-step scratch (cleared or rebuilt every step), hoisted so the
+  // steady state allocates nothing. This is what makes an engine cheap
+  // to share across sessions — and what makes Advance non-reentrant.
   std::vector<StreamTuple> new_cache_;
   std::vector<StreamTuple> arrivals_;
-  std::vector<StreamHistory> histories_;
   std::unordered_map<TupleId, StreamTuple> candidates_;
   std::unordered_set<TupleId> retained_set_;
+};
+
+/// Everything a run accumulates between steps — the engine's former
+/// per-run members, carved out so one engine can execute any number of
+/// interleaved sessions. Plain data; the executing engine owns all the
+/// invariants. Callers treat it as an opaque token between lifecycle
+/// calls, except for the cheap reads (`now`, `result`, `is_open`).
+///
+/// A session opened by StreamEngine (or by ShardedStreamEngine's serial
+/// fallback) is engine-portable. A session opened on the sharded path
+/// pins to its opening engine — the slot, worker and arena structures
+/// backing it are engine-resident (`sharded_owner` below).
+struct SessionState {
+  /// True between Open and Close.
+  bool open = false;
+  /// Time of the next step == steps executed so far.
+  Time now = 0;
+  /// Results accumulated so far; what Drain reports mid-session.
+  EngineRunResult result;
+
+  bool is_open() const { return open; }
+
+  // Bindings fixed at Open. None owned; all must outlive the session.
+  EnginePolicy* policy = nullptr;
+  std::vector<StepObserver*> observers;
+  StreamEngine::Options options;
+  /// Resolved partition map: options.partitions, or the process-wide
+  /// trivial partition when that is null.
+  const PartitionMap* partitions = nullptr;
+  /// Phase-1 index decision, taken once at Open (same criteria as the
+  /// batch run: no window, capacity >= kValueIndexMinCapacity).
+  bool use_value_index = false;
+
+  // The join state proper: the cache selected at the previous step, each
+  // stream's value history, and the Phase-1 acceleration structures.
+  std::vector<StreamTuple> cache;
+  std::vector<StreamHistory> histories;
   /// Value -> cached-tuple count, per (partition, stream).
   std::vector<std::vector<std::unordered_map<Value, std::int64_t>>>
-      value_index_;
+      value_index;
   /// Cached tuples per stream; maintained only when a probe planner is
   /// attached (backs its empty-partner short-circuit).
-  std::vector<std::int64_t> stream_counts_;
+  std::vector<std::int64_t> stream_counts;
+
+  // Set only when a ShardedStreamEngine opened this session on its
+  // sharded path: that engine must execute every later lifecycle call
+  // (its shard slots live in the engine, keyed to this session).
+  ShardedStreamEngine* sharded_owner = nullptr;
+  EngineShardScoring* scoring = nullptr;
+  /// Every attached observer tolerates deferred scalar-only delivery
+  /// (StepObserver::AllowsBatchedSteps), decided once at Open.
+  bool batched_observers = false;
 };
 
 /// Adapts a binary ReplacementPolicy to the engine interface for

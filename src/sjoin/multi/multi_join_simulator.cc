@@ -52,6 +52,12 @@ MultiJoinRunResult MultiJoinSimulator::Run(
   result.total_results = run.total_results;
   result.counted_results = run.counted_results;
   result.telemetry = perf.telemetry();
+  // A run that *asked* for sharding but executed serially (e.g. the
+  // policy has no shard scoring) is correct but easy to misread in a
+  // benchmark; surface the engine's reason instead of staying silent.
+  if (options_.shards > 1) {
+    result.telemetry.fallback_reason = engine.fallback_reason();
+  }
   return result;
 }
 

@@ -148,13 +148,10 @@ std::vector<TupleId> EdgeBudgetPolicy::SelectRetained(
   // index order; a tuple claimed by an earlier edge does not consume a
   // later edge's budget slot — it is simply skipped). Whatever capacity
   // the edges leave unused spills to the best remaining tuples by summed
-  // score. Every ordering here is the strict (score, arrival, id) order,
-  // so the retained set is a total function of the scores.
-  auto better = [](const RankedTuple& a, const RankedTuple& b) {
-    if (a.score != b.score) return a.score > b.score;
-    if (a.arrival != b.arrival) return a.arrival > b.arrival;
-    return a.id > b.id;
-  };
+  // score. Every ordering here is the strict (score, arrival, id) order
+  // from rank_order.h, so the retained set is a total function of the
+  // scores.
+  const auto better = RankedTupleBetter;
   claimed_.clear();
   std::vector<TupleId> retained;
   retained.reserve(ctx.capacity);

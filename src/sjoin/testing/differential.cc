@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <deque>
 #include <memory>
 #include <sstream>
 #include <string_view>
@@ -37,6 +38,7 @@
 #include "sjoin/policies/random_caching_policy.h"
 #include "sjoin/policies/random_policy.h"
 #include "sjoin/core/flow_expect_policy.h"
+#include "sjoin/serve/session_scheduler.h"
 #include "sjoin/stochastic/linear_trend_process.h"
 #include "sjoin/stochastic/stream_sampler.h"
 #include "sjoin/testing/brute_force_flow.h"
@@ -162,6 +164,19 @@ bool DiffMulti() {
     return env != nullptr && *env != '\0' && std::string_view(env) != "0";
   }();
   return multi;
+}
+
+/// SJOIN_DIFF_SERVE=1 forces every serve_scheduler trial to execute its
+/// served side on 4 worker engines instead of the seed-rotated worker
+/// count — the TSan job sets it so the scheduler's round fan-out
+/// (disjoint sessions on real threads, thread-local latency buffers,
+/// deterministic fold) runs under the race detector on every trial.
+bool DiffServe() {
+  static const bool serve = [] {
+    const char* env = std::getenv("SJOIN_DIFF_SERVE");
+    return env != nullptr && *env != '\0' && std::string_view(env) != "0";
+  }();
+  return serve;
 }
 
 /// Runs the optimized joining side of a trial. By default this goes
@@ -1694,6 +1709,248 @@ std::optional<std::string> MultiPlannerTrial(std::uint64_t seed) {
   return std::nullopt;
 }
 
+// ---------------------------------------------------------------------------
+// Suite 11: serve_scheduler — N concurrent sessions multiplexed through a
+// serve::SessionScheduler (seed-rotated WRR quotas, weights and worker
+// counts, randomly chunked arrival interleavings, and sometimes a tight
+// queue that sheds offers at the high watermark) against a solo
+// StreamEngine batch run per session on exactly the arrivals the
+// scheduler accepted, bit for bit on full per-step traces. This is the
+// service contract: multiplexing adds admission, backpressure and
+// fairness, never a different join.
+
+std::optional<std::string> ServeSchedulerTrial(std::uint64_t seed) {
+  ScenarioGenerator::Options options;
+  options.min_length = 24;
+  options.max_length = 64;
+  options.min_capacity = 2;
+  options.max_capacity = 8;
+  options.max_horizon = 12;
+  options.window_probability = 0.3;
+  const ScenarioGenerator generator(options);
+
+  Rng aux(seed ^ kAuxSalt);
+  const int num_sessions = 2 + static_cast<int>(seed % 3);
+
+  struct PlannedSession {
+    Scenario scenario;
+    std::vector<Value> r, s;
+    // Policies are stateful, so the served session and its solo reference
+    // each need their own instance; identical deterministic construction
+    // makes them twins.
+    std::unique_ptr<ReplacementPolicy> served_policy;
+    std::unique_ptr<ReplacementPolicy> solo_policy;
+    const char* family = "";
+    int weight = 1;
+    // What the scheduler actually admitted into the queue: under a tight
+    // watermark this is a concatenation of accepted chunk prefixes, and
+    // it is the realization the solo reference replays.
+    std::vector<Value> accepted_r, accepted_s;
+  };
+  std::vector<PlannedSession> plans;
+  for (int i = 0; i < num_sessions; ++i) {
+    PlannedSession plan;
+    const std::uint64_t session_seed =
+        seed + (static_cast<std::uint64_t>(i + 1) << 32);
+    plan.scenario = generator.Sample(session_seed);
+    Rng realization_rng(session_seed ^ kRealizationSalt);
+    auto [r, s] = SampleRealization(plan.scenario, realization_rng);
+    plan.r = std::move(r);
+    plan.s = std::move(s);
+    plan.weight = static_cast<int>(aux.UniformInt(1, 3));
+
+    const int family = static_cast<int>(aux.UniformInt(0, 3));
+    std::optional<Time> lifetime;
+    if (aux.UniformReal() < 0.5) lifetime = aux.UniformInt(4, 24);
+    const Time fixed_life = aux.UniformInt(4, 24);
+    for (int copy = 0; copy < 2; ++copy) {
+      std::unique_ptr<ReplacementPolicy> policy;
+      switch (family) {
+        case 0:
+          policy = std::make_unique<ProbPolicy>(lifetime);
+          plan.family = "PROB";
+          break;
+        case 1:
+          policy = std::make_unique<LifePolicy>(fixed_life);
+          plan.family = "LIFE";
+          break;
+        case 2:
+          policy = std::make_unique<RandomPolicy>(session_seed ^ kAuxSalt,
+                                                  lifetime);
+          plan.family = "RAND";
+          break;
+        default: {
+          HeebJoinPolicy::Options heeb_options;
+          heeb_options.mode = HeebJoinPolicy::Mode::kDirect;
+          heeb_options.alpha = plan.scenario.alpha;
+          heeb_options.horizon = plan.scenario.horizon;
+          heeb_options.refresh_interval = 8;
+          policy = std::make_unique<HeebJoinPolicy>(
+              plan.scenario.r_process.get(), plan.scenario.s_process.get(),
+              heeb_options);
+          plan.family = "HEEB";
+          break;
+        }
+      }
+      (copy == 0 ? plan.served_policy : plan.solo_policy) =
+          std::move(policy);
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  constexpr Time kQuotas[] = {1, 2, 5, 16, 64};
+  serve::SessionScheduler::Options sched_options;
+  sched_options.max_sessions = static_cast<std::size_t>(num_sessions);
+  sched_options.quota_unit = kQuotas[seed % 5];
+  sched_options.threads = DiffServe() ? 4 : 1 + static_cast<int>(seed % 4);
+  const bool throttled = aux.UniformReal() < 0.35;
+  if (throttled) {
+    sched_options.queue_capacity = 24;
+    sched_options.high_watermark = 12;
+  }
+  serve::SessionScheduler scheduler(StreamTopology::Binary(), sched_options);
+
+  std::deque<BinaryPolicyAdapter> served_adapters;
+  std::vector<EngineTraceObserver> served_traces(plans.size());
+  std::vector<serve::SessionId> ids;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    PlannedSession& plan = plans[i];
+    served_adapters.emplace_back(plan.served_policy.get());
+    serve::SessionConfig config;
+    config.engine = {.capacity = plan.scenario.capacity,
+                     .warmup = plan.scenario.warmup,
+                     .window = plan.scenario.window};
+    config.policy = &served_adapters.back();
+    config.observers = {&served_traces[i]};
+    config.weight = plan.weight;
+    serve::Admission admission = scheduler.Open(config);
+    if (!admission.ok()) {
+      return plan.scenario.description +
+             ": unexpected admission reject: " + admission.reject_reason;
+    }
+    ids.push_back(admission.id);
+  }
+  {
+    // The table is full: one more Open must reject without touching any
+    // live session (the config is never bound on reject, so borrowing an
+    // already-bound adapter here is safe).
+    serve::SessionConfig config;
+    config.engine = {.capacity = 4};
+    config.policy = &served_adapters.back();
+    serve::Admission overflow = scheduler.Open(config);
+    if (overflow.ok()) {
+      return "admission past max_sessions unexpectedly accepted";
+    }
+  }
+
+  // Open-loop interleaving: per iteration each live session offers a
+  // random 1..17-step chunk and one WRR round runs. Shed chunks simply
+  // never happened; consumed still advances, so the loop terminates.
+  std::vector<std::size_t> consumed(plans.size(), 0);
+  std::vector<bool> finished(plans.size(), false);
+  bool any_live = true;
+  while (any_live) {
+    any_live = false;
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      if (finished[i]) continue;
+      PlannedSession& plan = plans[i];
+      const std::size_t remaining = plan.r.size() - consumed[i];
+      if (remaining == 0) {
+        scheduler.Finish(ids[i]);
+        finished[i] = true;
+        continue;
+      }
+      any_live = true;
+      const std::size_t take = std::min(
+          remaining, static_cast<std::size_t>(aux.UniformInt(1, 17)));
+      const auto begin = static_cast<std::ptrdiff_t>(consumed[i]);
+      const auto end = static_cast<std::ptrdiff_t>(consumed[i] + take);
+      const std::vector<Value> chunk_r(plan.r.begin() + begin,
+                                       plan.r.begin() + end);
+      const std::vector<Value> chunk_s(plan.s.begin() + begin,
+                                       plan.s.begin() + end);
+      const std::size_t accepted =
+          scheduler.Offer(ids[i], {&chunk_r, &chunk_s});
+      const auto accepted_end = static_cast<std::ptrdiff_t>(accepted);
+      plan.accepted_r.insert(plan.accepted_r.end(), chunk_r.begin(),
+                             chunk_r.begin() + accepted_end);
+      plan.accepted_s.insert(plan.accepted_s.end(), chunk_s.begin(),
+                             chunk_s.begin() + accepted_end);
+      consumed[i] += take;
+    }
+    scheduler.RunRound();
+  }
+  scheduler.Drain();
+
+  std::int64_t total_accepted = 0;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    PlannedSession& plan = plans[i];
+    total_accepted += static_cast<std::int64_t>(plan.accepted_r.size());
+
+    std::ostringstream context;
+    context << plan.scenario.description << " family=" << plan.family
+            << " session=" << i << "/" << num_sessions
+            << " quota=" << sched_options.quota_unit
+            << " threads=" << sched_options.threads
+            << (throttled ? " throttled" : "")
+            << " steps=" << plan.accepted_r.size();
+
+    if (!scheduler.closed(ids[i])) {
+      return context.str() + ": session not closed after Drain";
+    }
+    StreamEngine solo_engine(StreamTopology::Binary(),
+                             {.capacity = plan.scenario.capacity,
+                              .warmup = plan.scenario.warmup,
+                              .window = plan.scenario.window});
+    BinaryPolicyAdapter solo_adapter(plan.solo_policy.get());
+    EngineTraceObserver solo_trace;
+    const EngineRunResult solo = solo_engine.Run(
+        {&plan.accepted_r, &plan.accepted_s}, solo_adapter, {&solo_trace});
+
+    const EngineRunResult& served = scheduler.result(ids[i]);
+    if (served.total_results != solo.total_results ||
+        served.counted_results != solo.counted_results) {
+      std::ostringstream out;
+      out << context.str() << ": result counts diverge (solo "
+          << solo.total_results << "/" << solo.counted_results << ", served "
+          << served.total_results << "/" << served.counted_results << ")";
+      return out.str();
+    }
+    if (auto mismatch = CompareEngineTraces(context.str(), solo_trace,
+                                            served_traces[i])) {
+      return mismatch;
+    }
+  }
+
+  // Accounting closes: every accepted step was executed exactly once, and
+  // the latency slices cover exactly the executed steps.
+  const serve::SchedulerStats& stats = scheduler.stats();
+  if (stats.steps_offered != total_accepted ||
+      stats.steps_executed != total_accepted) {
+    std::ostringstream out;
+    out << "scheduler accounting diverges from accepted arrivals (accepted "
+        << total_accepted << ", offered " << stats.steps_offered
+        << ", executed " << stats.steps_executed << ")";
+    return out.str();
+  }
+  std::int64_t latency_steps = 0;
+  for (const serve::SliceLatency& slice : scheduler.slice_latencies()) {
+    latency_steps += slice.steps;
+  }
+  if (latency_steps != total_accepted) {
+    std::ostringstream out;
+    out << "latency slices cover " << latency_steps << " steps, expected "
+        << total_accepted;
+    return out.str();
+  }
+  if (stats.sessions_rejected != 1 ||
+      stats.sessions_admitted != num_sessions ||
+      stats.sessions_closed != num_sessions) {
+    return "admission counters diverge from the session roster";
+  }
+  return std::nullopt;
+}
+
 const std::vector<DifferentialSuite>& Registry() {
   static const std::vector<DifferentialSuite> suites = {
       {"ecb_heeb_scoring",
@@ -1738,6 +1995,12 @@ const std::vector<DifferentialSuite>& Registry() {
        "fixed-order engine, bit for bit, score memo off and on, plus rerun "
        "determinism of the planner statistics",
        1000, &MultiPlannerTrial},
+      {"serve_scheduler",
+       "N sessions multiplexed through a serve::SessionScheduler (random "
+       "quotas, weights, worker counts, chunked interleavings, watermark "
+       "shedding) vs a solo StreamEngine run per session on the accepted "
+       "arrivals, bit for bit, plus scheduler accounting invariants",
+       1000, &ServeSchedulerTrial},
   };
   return suites;
 }

@@ -1,0 +1,152 @@
+// The ModelRepo acceptance criterion: every model artifact is built
+// exactly once per distinct content key, identical requests share one
+// object, and the typed wrappers hand out the same tables a direct
+// Precompute* call would.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sjoin/core/model_repo.h"
+#include "sjoin/core/lifetime_fn.h"
+#include "sjoin/core/precompute.h"
+#include "sjoin/stochastic/ar1_process.h"
+#include "sjoin/stochastic/discrete_distribution.h"
+#include "sjoin/stochastic/random_walk_process.h"
+
+namespace sjoin {
+namespace {
+
+RandomWalkProcess TestWalk() {
+  return RandomWalkProcess(
+      DiscreteDistribution::TruncatedDiscretizedNormal(0.0, 1.5, -5, 5), 0);
+}
+
+TEST(ModelRepoTest, BuildsOncePerKeyAndSharesTheArtifact) {
+  // A local repo keeps the counters independent of whatever other tests
+  // pushed through Global().
+  ModelRepo repo;
+  const RandomWalkProcess walk = TestWalk();
+
+  std::shared_ptr<const OffsetTable> first =
+      repo.WalkJoinHeebTable(walk, 10.0, 60);
+  std::shared_ptr<const OffsetTable> second =
+      repo.WalkJoinHeebTable(walk, 10.0, 60);
+  // Same key -> the very same object, not an equal copy.
+  EXPECT_EQ(first.get(), second.get());
+
+  // A different parameter anywhere in the key is a different artifact.
+  std::shared_ptr<const OffsetTable> other_alpha =
+      repo.WalkJoinHeebTable(walk, 20.0, 60);
+  EXPECT_NE(first.get(), other_alpha.get());
+
+  ModelRepo::Stats stats = repo.stats();
+  EXPECT_EQ(stats.lookups, 3);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.builds, 2);
+}
+
+TEST(ModelRepoTest, BuildCountStaysOneUnderRepeatedAndConcurrentLookups) {
+  ModelRepo repo;
+  const std::string key = "test-offset";
+  auto build = [] { return OffsetTable(-1, {0.25, 0.5, 0.25}); };
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < 50; ++j) {
+        std::shared_ptr<const OffsetTable> table =
+            repo.OffsetTableFor(key, build);
+        ASSERT_EQ(table->values().size(), 3u);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(repo.BuildCount(key), 1);
+  ModelRepo::Stats stats = repo.stats();
+  EXPECT_EQ(stats.lookups, kThreads * 50);
+  EXPECT_EQ(stats.builds, 1);
+  EXPECT_EQ(stats.hits, stats.lookups - 1);
+  // A key never asked for was never built.
+  EXPECT_EQ(repo.BuildCount("never-requested"), 0);
+}
+
+TEST(ModelRepoTest, TypedWrappersMatchDirectPrecompute) {
+  ModelRepo repo;
+  const RandomWalkProcess walk = TestWalk();
+
+  std::shared_ptr<const OffsetTable> join =
+      repo.WalkJoinHeebTable(walk, 8.0, 40);
+  OffsetTable direct_join = PrecomputeWalkJoinHeeb(walk, ExpLifetime(8.0), 40);
+  EXPECT_EQ(join->min_offset(), direct_join.min_offset());
+  EXPECT_EQ(join->values(), direct_join.values());
+
+  std::shared_ptr<const OffsetTable> caching =
+      repo.WalkCachingHeebTable(walk, 8.0, 40, 30);
+  OffsetTable direct_caching =
+      PrecomputeWalkCachingHeeb(walk, ExpLifetime(8.0), 40, 30);
+  EXPECT_EQ(caching->min_offset(), direct_caching.min_offset());
+  EXPECT_EQ(caching->values(), direct_caching.values());
+}
+
+TEST(ModelRepoTest, BicubicSharesItsSurfaceDependency) {
+  ModelRepo repo;
+  const Ar1Process ar1(0.0, 0.9, 2.0, 0);
+
+  // Tiny grid / path count: this test pins sharing, not accuracy.
+  std::shared_ptr<const BicubicSurface> bicubic =
+      repo.Ar1CachingSurfaceBicubic(ar1, 6.0, 20, -8, 8, -8, 8, 2, 16, 99,
+                                    4, 4);
+  ASSERT_NE(bicubic, nullptr);
+  ModelRepo::Stats after_first = repo.stats();
+  // One surface build plus one bicubic build.
+  EXPECT_EQ(after_first.builds, 2);
+
+  // Asking for the exact surface now hits the entry the bicubic resolved.
+  std::shared_ptr<const HeebSurfaceTable> surface =
+      repo.Ar1CachingSurfaceTable(ar1, 6.0, 20, -8, 8, -8, 8, 2, 16, 99);
+  ASSERT_NE(surface, nullptr);
+  EXPECT_EQ(repo.stats().builds, 2);
+
+  // A second identical bicubic request builds nothing at all.
+  std::shared_ptr<const BicubicSurface> again =
+      repo.Ar1CachingSurfaceBicubic(ar1, 6.0, 20, -8, 8, -8, 8, 2, 16, 99,
+                                    4, 4);
+  EXPECT_EQ(bicubic.get(), again.get());
+  EXPECT_EQ(repo.stats().builds, 2);
+
+  // A different compression grid shares the surface but not the bicubic.
+  repo.Ar1CachingSurfaceBicubic(ar1, 6.0, 20, -8, 8, -8, 8, 2, 16, 99, 5, 5);
+  EXPECT_EQ(repo.stats().builds, 3);
+}
+
+TEST(ModelRepoTest, ClearDropsEntriesButBorrowsSurvive) {
+  ModelRepo repo;
+  const RandomWalkProcess walk = TestWalk();
+  std::shared_ptr<const OffsetTable> borrow =
+      repo.WalkJoinHeebTable(walk, 10.0, 60);
+  const std::vector<double> values = borrow->values();
+
+  repo.Clear();
+  EXPECT_EQ(repo.stats().builds, 0);
+  // The borrow outlives the cache entry.
+  EXPECT_EQ(borrow->values(), values);
+  // After Clear the key rebuilds (counter reset, so no double-build trip).
+  std::shared_ptr<const OffsetTable> rebuilt =
+      repo.WalkJoinHeebTable(walk, 10.0, 60);
+  EXPECT_NE(borrow.get(), rebuilt.get());
+  EXPECT_EQ(rebuilt->values(), values);
+}
+
+TEST(ModelRepoTest, GlobalIsOneRepo) {
+  EXPECT_EQ(&ModelRepo::Global(), &ModelRepo::Global());
+}
+
+}  // namespace
+}  // namespace sjoin

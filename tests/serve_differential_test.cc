@@ -1,0 +1,29 @@
+// Differential suite for the session service: N concurrent sessions
+// multiplexed through a serve::SessionScheduler — random WRR quotas,
+// weights, worker counts, chunked arrival interleavings, and watermark
+// shedding — against a solo StreamEngine batch run per session on exactly
+// the arrivals the scheduler accepted, comparing per-step
+// retained/cache/produced traces bit for bit plus the scheduler's
+// accounting invariants. (The SJOIN_DIFF_SERVE env hook forces every
+// trial onto 4 worker engines; the TSan job sets it so the round fan-out
+// runs under the race detector.)
+
+#include <gtest/gtest.h>
+
+#include "sjoin/testing/differential.h"
+
+namespace sjoin {
+namespace testing {
+namespace {
+
+TEST(ServeDifferentialTest, MultiplexedSessionsMatchSoloRunsBitForBit) {
+  const DifferentialSuite* suite = FindDifferentialSuite("serve_scheduler");
+  ASSERT_NE(suite, nullptr);
+  DifferentialReport report = RunDifferentialSuite(
+      *suite, kDifferentialBaseSeed, TrialCountFromEnv(suite->default_trials));
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace sjoin
