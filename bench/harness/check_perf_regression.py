@@ -5,10 +5,11 @@ Usage:
     check_perf_regression.py BASELINE.json CURRENT.json [--threshold=1.25]
 
 Rows are matched by (name, workload, len, shards, adaptive, threads,
-planner, sessions, offered_rate); older files without per-row
-shards/threads/adaptive/planner/sessions/offered_rate read as shards=1 /
-threads=1 / adaptive=0 / planner=0 / sessions=1 / offered_rate=0
-throughout, so v1..v4 baselines keep working against newer runs. The raw per-row
+planner, sessions, offered_rate, batch); older files without per-row
+shards/threads/adaptive/planner/sessions/offered_rate/batch read as
+shards=1 / threads=1 / adaptive=0 / planner=0 / sessions=1 /
+offered_rate=0 / batch=1 throughout, so v1..v5 baselines keep working
+against newer runs. The raw per-row
 ratio current/baseline of ns_per_step is normalized by the median ratio
 across all matched rows before thresholding: CI machines are uniformly
 slower or faster than the laptop that committed the baseline, and that
@@ -51,9 +52,17 @@ contract, so a planner pair disagreeing on counted_results in the
 current run is a hard failure — that's a correctness bug, not a perf
 question.
 
+Batch rows (sjoin-perf-v6: `batch` 0 = scalar per-tuple Score() loop,
+1 = batched SoA scoring kernels, the default) are gated like any other
+threads=1 row and summarized after the table: per batch-off row, the
+ns/step speedup its batch-on twin achieves on the same realizations.
+The kernels preserve per-lane operation order by contract, so a batch
+pair disagreeing on counted_results in the current run is a hard
+failure — that's a correctness bug, not a perf question.
+
 Exit status 1 if any normalized threads=1 ratio exceeds the threshold,
-if a baseline row is missing from the current run, or if a planner pair
-disagrees on counted_results.
+if a baseline row is missing from the current run, or if a planner or
+batch pair disagrees on counted_results.
 """
 
 import json
@@ -66,22 +75,23 @@ def load_rows(path):
         doc = json.load(f)
     if doc.get("schema") not in ("sjoin-perf-v1", "sjoin-perf-v2",
                                  "sjoin-perf-v3", "sjoin-perf-v4",
-                                 "sjoin-perf-v5"):
+                                 "sjoin-perf-v5", "sjoin-perf-v6"):
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
     return {
         (r["name"], r["workload"], r["len"], r.get("shards", 1),
          r.get("adaptive", 0), r.get("threads", 1),
          r.get("planner", 0), r.get("sessions", 1),
-         r.get("offered_rate", 0)): r
+         r.get("offered_rate", 0), r.get("batch", 1)): r
         for r in doc["results"]
     }
 
 
 def describe(key):
     (name, workload, length, shards, adaptive, threads, planner,
-     sessions, rate) = key
+     sessions, rate, batch) = key
     suffix = ", adaptive" if adaptive else ""
     suffix += ", planner" if planner else ""
+    suffix += ", batch-off" if not batch else ""
     if sessions > 1 or rate > 0:
         suffix += f", sessions={sessions}, rate={rate}"
     return (f"{name} ({workload}, len={length}, shards={shards}, "
@@ -104,8 +114,8 @@ def thread_scaling_summary(rows):
         serial = by_threads[1]
         best_threads = min(by_threads, key=lambda t: by_threads[t])
         speedup = serial / by_threads[best_threads]
-        name, workload, length, shards, adaptive, planner, sessions, rate = \
-            group_key
+        (name, workload, length, shards, adaptive, planner, sessions, rate,
+         _batch) = group_key
         tag = " adaptive" if adaptive else ""
         tag += " planner" if planner else ""
         if sessions > 1:
@@ -126,7 +136,7 @@ def skew_summary(rows):
             print("\nskew balance (current run, max/mean load per shard, "
                   "averaged over rebalance windows):")
             printed_header = True
-        name, workload, length, shards, _, threads, _, _, _ = key
+        name, workload, length, shards, _, threads = key[:6]
         static = row["skew_ratio_static"]
         adaptive = row["skew_ratio_adaptive"]
         print(f"  {name:<18} {workload:<6} len={length:<5} "
@@ -154,7 +164,7 @@ def probe_plan_summary(rows):
             print("\nprobe planner (current run, planner-on vs planner-off "
                   "twin):")
             printed_header = True
-        name, workload, length, _, _, _, _, _, _ = key
+        name, workload, length = key[:3]
         line = f"  {name:<18} {workload:<6} len={length:<5} "
         if twin is None:
             print(line + "no planner-off twin in this run")
@@ -175,6 +185,40 @@ def probe_plan_summary(rows):
     return mismatches
 
 
+def batch_summary(rows):
+    """Batch-on vs batch-off twins: SoA scoring-kernel speedup per pair.
+
+    Returns the number of batch pairs whose counted_results disagree —
+    the kernels preserve per-lane operation order by contract, so any
+    disagreement is a correctness failure.
+    """
+    mismatches = 0
+    printed_header = False
+    for key, row in sorted(rows.items()):
+        if key[9] != 0:
+            continue
+        twin = rows.get(key[:9] + (1,))
+        if not printed_header:
+            print("\nbatch scoring (current run, batch-on vs batch-off "
+                  "twin):")
+            printed_header = True
+        name, workload, length = key[:3]
+        line = f"  {name:<18} {workload:<6} len={length:<5} "
+        if twin is None:
+            print(line + "no batch-on twin in this run")
+            continue
+        speedup = row["ns_per_step"] / twin["ns_per_step"]
+        line += (f"speedup x{speedup:.2f} "
+                 f"({row['ns_per_step']:.0f} -> {twin['ns_per_step']:.0f} "
+                 f"ns/step)")
+        if row["counted_results"] != twin["counted_results"]:
+            line += (f"  COUNTED_RESULTS DIVERGE ({row['counted_results']} "
+                     f"vs {twin['counted_results']})")
+            mismatches += 1
+        print(line)
+    return mismatches
+
+
 def serve_summary(rows):
     """Serve load sweep: throughput and step-latency tails per cell."""
     printed_header = False
@@ -187,7 +231,7 @@ def serve_summary(rows):
             print("\nserve load sweep (current run, aggregate throughput "
                   "and per-step latency):")
             printed_header = True
-        name, _, length, _, _, threads, _, sessions, rate = key
+        name, _, length, _, _, threads, _, sessions, rate = key[:9]
         print(f"  {name:<18} n={sessions:<5} rate={rate:<3} t={threads} "
               f"len={length:<5} "
               f"{row['steps_per_sec']:>10.0f} steps/s  "
@@ -242,6 +286,7 @@ def main(argv):
             verdict = "ok"
         tag = "a" if key[4] else ""
         tag += "p" if key[6] else ""
+        tag += "nb" if not key[9] else ""  # Scalar (no-batch) scoring.
         serve_cell = f" n={key[7]} rate={key[8]}" if key[7] > 1 else ""
         print(f"{verdict:>14}  {key[0]:<18} {key[1]:<6} len={key[2]:<5} "
               f"s{key[3]}{tag}/t{key[5]:<2} "
@@ -256,6 +301,10 @@ def main(argv):
     if probe_plan_summary(current) > 0:
         print("planner pair counted_results mismatch — the probe planner "
               "must be cost-only")
+        failed = True
+    if batch_summary(current) > 0:
+        print("batch pair counted_results mismatch — the SoA scoring "
+              "kernels must be bit-identical to the scalar path")
         failed = True
 
     if failed:

@@ -31,6 +31,14 @@
 // planner-on rows carry plan_replans, probe_skip_rate and
 // probe_cache_hit_rate.
 //
+// sjoin-perf-v6 adds a `batch` flag to the row key: batched SoA scoring
+// kernels on (the default) vs the scalar per-tuple Score() loop. The
+// batch-scorable serial rows (HEEB-direct / HEEB-time-incr /
+// HEEB-walk-table / PROB / LIFE) and the CACHE-ECB caching-HEEB pair run
+// batch-off twins on the same realizations; the kernels preserve per-lane
+// operation order, so both sides of a pair must agree on counted_results
+// bit for bit (the checker enforces that and prints the batch speedups).
+//
 // Usage: perf_smoke [--len=2000] [--runs=3] [--cache=50] [--seed=1]
 //                   [--flow_len=400] [--flow_prune=1]
 //                   [--sweep_len=1000] [--sweep_cache=200]
@@ -55,7 +63,9 @@
 #include "sjoin/common/rng.h"
 #include "sjoin/common/stopwatch.h"
 #include "sjoin/core/flow_expect_policy.h"
+#include "sjoin/core/heeb_caching_policy.h"
 #include "sjoin/core/heeb_join_policy.h"
+#include "sjoin/engine/scoring_batch.h"
 #include "sjoin/engine/cache_simulator.h"
 #include "sjoin/engine/caching_policy.h"
 #include "sjoin/engine/join_simulator.h"
@@ -93,6 +103,11 @@ struct ScenarioResult {
   /// (multi-way rows). Part of the row key; planner twins must agree on
   /// counted_results bit for bit.
   int planner = 0;
+  /// 1 when the batched SoA scoring kernels were enabled (the default).
+  /// Part of the row key; a batch-off row measures the scalar per-tuple
+  /// Score() path on the same realizations, and the twins must agree on
+  /// counted_results bit for bit (check_perf_regression.py enforces it).
+  int batch = 1;
   std::int64_t setup_ns = 0;  // Policy construction (all runs).
   std::int64_t run_ns = 0;    // JoinSimulator::Run (all runs).
   std::int64_t counted_results = 0;
@@ -130,7 +145,7 @@ ScenarioResult TimeScenario(const std::string& name,
                             const JoinWorkload& workload, Time len,
                             const Config& config, MakePolicy&& make_policy,
                             int shards = 1, int threads = 1,
-                            bool adaptive = false) {
+                            bool adaptive = false, bool batch = true) {
   ScenarioResult out;
   out.name = name;
   out.workload = workload.name;
@@ -139,6 +154,10 @@ ScenarioResult TimeScenario(const std::string& name,
   out.shards = shards;
   out.threads = threads;
   out.adaptive = adaptive ? 1 : 0;
+  out.batch = batch ? 1 : 0;
+  // The engine snapshots the flag at session open, so scoping the whole
+  // timing loop pins every run in this row to one kernel path.
+  ScopedScoringBatch scoped_batch(batch);
 
   Rng rng(config.seed);
   std::vector<StreamPair> pairs;
@@ -189,7 +208,7 @@ ScenarioResult TimeCacheScenario(const std::string& name,
                                  const JoinWorkload& workload, Time len,
                                  const Config& config,
                                  MakePolicy&& make_policy, int shards = 1,
-                                 int threads = 1) {
+                                 int threads = 1, bool batch = true) {
   using PolicyT = typename decltype(make_policy())::element_type;
   ScenarioResult out;
   out.name = name;
@@ -198,6 +217,8 @@ ScenarioResult TimeCacheScenario(const std::string& name,
   out.runs = config.runs;
   out.shards = shards;
   out.threads = threads;
+  out.batch = batch ? 1 : 0;
+  ScopedScoringBatch scoped_batch(batch);
 
   Rng rng(config.seed);
   std::vector<std::vector<Value>> streams;
@@ -332,7 +353,7 @@ void WriteJson(const std::string& path, const Config& config,
   JsonWriter json;
   json.BeginObject();
   json.Key("schema");
-  json.String("sjoin-perf-v4");
+  json.String("sjoin-perf-v6");
   json.Key("len");
   json.Int(config.len);
   json.Key("runs");
@@ -362,6 +383,8 @@ void WriteJson(const std::string& path, const Config& config,
     json.Int(r.adaptive);
     json.Key("planner");
     json.Int(r.planner);
+    json.Key("batch");
+    json.Int(r.batch);
     json.Key("setup_ns");
     json.Int(r.setup_ns);
     json.Key("run_ns");
@@ -530,6 +553,36 @@ int main(int argc, char** argv) {
         return std::make_unique<LifePolicy>(tower.life_window);
       }));
 
+  // Batch-off twins for the batch-scorable serial rows: same workloads,
+  // same realizations, scalar per-tuple Score() instead of the SoA
+  // kernels. counted_results must match the batch-on rows above bit for
+  // bit; the ns/step ratio is the measured kernel speedup the checker
+  // reports.
+  results.push_back(TimeScenario(
+      "HEEB-direct", tower, config.len, config,
+      heeb_on(tower, HeebJoinPolicy::Mode::kDirect, tower.heeb_alpha),
+      /*shards=*/1, /*threads=*/1, /*adaptive=*/false, /*batch=*/false));
+  results.push_back(TimeScenario(
+      "HEEB-time-incr", tower, config.len, config,
+      heeb_on(tower, HeebJoinPolicy::Mode::kTimeIncremental,
+              tower.heeb_alpha),
+      /*shards=*/1, /*threads=*/1, /*adaptive=*/false, /*batch=*/false));
+  results.push_back(TimeScenario(
+      "HEEB-walk-table", walk, config.len, config,
+      heeb_on(walk, HeebJoinPolicy::Mode::kWalkTable,
+              static_cast<double>(config.cache)),
+      /*shards=*/1, /*threads=*/1, /*adaptive=*/false, /*batch=*/false));
+  results.push_back(TimeScenario(
+      "PROB", tower, config.len, config,
+      [&](const StreamPair&) { return std::make_unique<ProbPolicy>(life); },
+      /*shards=*/1, /*threads=*/1, /*adaptive=*/false, /*batch=*/false));
+  results.push_back(TimeScenario(
+      "LIFE", tower, config.len, config,
+      [&](const StreamPair&) {
+        return std::make_unique<LifePolicy>(tower.life_window);
+      },
+      /*shards=*/1, /*threads=*/1, /*adaptive=*/false, /*batch=*/false));
+
   // Caching rows: the same engine running the caching problem through the
   // Theorem 1 reduction (and, for CACHE-PROB, a joining policy crossing
   // over to the caching side).
@@ -546,6 +599,21 @@ int main(int argc, char** argv) {
   results.push_back(TimeCacheScenario(
       "CACHE-PROB", tower, config.len, config,
       [] { return std::make_unique<ProbPolicy>(std::nullopt); }));
+  // CACHE-ECB: the model-driven caching surface (caching HEEB realizes
+  // the ECB expected-benefit score, Corollary 4 family) as a batch on/off
+  // pair — the fused CachingHeebBatch kernel vs per-value CachingHeeb.
+  auto cache_ecb_on = [&] {
+    return std::make_unique<HeebCachingPolicy>(
+        tower.r.get(),
+        HeebCachingPolicy::Options{.mode = HeebCachingPolicy::Mode::kDirect,
+                                   .alpha = tower.heeb_alpha,
+                                   .horizon = tower.heeb_horizon});
+  };
+  results.push_back(TimeCacheScenario("CACHE-ECB", tower, config.len, config,
+                                      cache_ecb_on));
+  results.push_back(TimeCacheScenario("CACHE-ECB", tower, config.len, config,
+                                      cache_ecb_on, /*shards=*/1,
+                                      /*threads=*/1, /*batch=*/false));
 
   // Shard sweep: the scored policies under the sharded engine at 1/2/4/8
   // value-domain shards, inline (threads = 1), isolating the cost/benefit

@@ -6,8 +6,8 @@
 // each Advance slice's wall time divided by its steps, weighted by
 // steps).
 //
-// Rows use the sjoin-perf-v5 schema: the v4 fields plus `sessions` and
-// `offered_rate`, which join the row key. Only sessions=1 / threads=1
+// Rows use the sjoin-perf-v6 schema: the v4 fields plus `sessions`,
+// `offered_rate` and `batch`, which join the row key. Only sessions=1 / threads=1
 // rows feed the regression gate (check_perf_regression.py) — they
 // measure the scheduler's overhead over a bare engine run, which is
 // machine-comparable; multi-session and threaded rows are reported as
@@ -20,9 +20,9 @@
 //
 // --append=FILE splices the rows into FILE's existing "results" array
 // (a BENCH_perf.json written by perf_smoke) and stamps the combined
-// document sjoin-perf-v5 — the CI perf job runs perf_smoke first, then
+// document sjoin-perf-v6 — the CI perf job runs perf_smoke first, then
 // `serve_load --append=BENCH_perf_current.json`, so one file carries the
-// whole perf surface. Without --append a standalone v5 document goes to
+// whole perf surface. Without --append a standalone v6 document goes to
 // --out.
 
 #include <algorithm>
@@ -208,7 +208,9 @@ LoadResult RunLoadCell(int sessions, int rate, int threads, Time len,
   return out;
 }
 
-/// One sjoin-perf-v5 results row.
+/// One sjoin-perf-v6 results row. Serve rows never touch the batched
+/// scoring kernels' A/B axis; they emit batch=1 (the default engine
+/// configuration they actually run).
 void WriteRow(JsonWriter& json, const LoadResult& r) {
   const double steps = static_cast<double>(r.steps_executed);
   json.BeginObject();
@@ -232,6 +234,8 @@ void WriteRow(JsonWriter& json, const LoadResult& r) {
   json.Int(r.sessions);
   json.Key("offered_rate");
   json.Int(r.offered_rate);
+  json.Key("batch");
+  json.Int(1);
   json.Key("setup_ns");
   json.Int(r.setup_ns);
   json.Key("run_ns");
@@ -329,15 +333,21 @@ int main(int argc, char** argv) {
     // always emits "results" as the last key, so the last ']' in the
     // file closes that array.
     std::string text = ReadFile(append_path);
-    const std::string old_schema = "\"schema\":\"sjoin-perf-v4\"";
-    const std::size_t schema_pos = text.find(old_schema);
-    if (schema_pos != std::string::npos) {
-      text.replace(schema_pos, old_schema.size(),
-                   "\"schema\":\"sjoin-perf-v5\"");
-    } else if (text.find("\"schema\":\"sjoin-perf-v5\"") ==
-               std::string::npos) {
+    bool upgraded = false;
+    for (const char* old_tag : {"\"schema\":\"sjoin-perf-v4\"",
+                                "\"schema\":\"sjoin-perf-v5\""}) {
+      const std::size_t schema_pos = text.find(old_tag);
+      if (schema_pos != std::string::npos) {
+        text.replace(schema_pos, std::string(old_tag).size(),
+                     "\"schema\":\"sjoin-perf-v6\"");
+        upgraded = true;
+        break;
+      }
+    }
+    if (!upgraded && text.find("\"schema\":\"sjoin-perf-v6\"") ==
+                         std::string::npos) {
       std::fprintf(stderr,
-                   "serve_load: %s is not a sjoin-perf-v4/v5 document\n",
+                   "serve_load: %s is not a sjoin-perf-v4/v5/v6 document\n",
                    append_path.c_str());
       return 1;
     }
@@ -364,7 +374,7 @@ int main(int argc, char** argv) {
   JsonWriter json;
   json.BeginObject();
   json.Key("schema");
-  json.String("sjoin-perf-v5");
+  json.String("sjoin-perf-v6");
   json.Key("len");
   json.Int(len);
   json.Key("seed");

@@ -27,9 +27,13 @@ TabulatedEcb MakeJoiningEcb(const StochasticProcess& partner,
   SJOIN_CHECK_GE(horizon, 1);
   std::vector<double> cumulative;
   cumulative.reserve(static_cast<std::size_t>(horizon));
+  // PredictInto reuses one pmf buffer across the horizon instead of
+  // allocating a fresh distribution per step; same doubles either way.
+  DiscreteDistribution pmf;
   double sum = 0.0;
   for (Time dt = 1; dt <= horizon; ++dt) {
-    sum += partner.Predict(partner_history, t0 + dt).Prob(v);
+    partner.PredictInto(partner_history, t0 + dt, &pmf);
+    sum += pmf.Prob(v);
     cumulative.push_back(sum);
   }
   return TabulatedEcb(std::move(cumulative));
@@ -41,9 +45,11 @@ TabulatedEcb MakeCachingEcb(const StochasticProcess& reference,
   SJOIN_CHECK_GE(horizon, 1);
   std::vector<double> cumulative;
   cumulative.reserve(static_cast<std::size_t>(horizon));
+  DiscreteDistribution pmf;
   double survive = 1.0;  // Pr{not referenced during [t0+1, t0+dt]}.
   for (Time dt = 1; dt <= horizon; ++dt) {
-    survive *= 1.0 - reference.Predict(history, t0 + dt).Prob(v);
+    reference.PredictInto(history, t0 + dt, &pmf);
+    survive *= 1.0 - pmf.Prob(v);
     cumulative.push_back(1.0 - survive);
   }
   return TabulatedEcb(std::move(cumulative));

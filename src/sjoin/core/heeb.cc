@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "sjoin/common/check.h"
 
@@ -44,6 +45,25 @@ double CachingHeeb(const StochasticProcess& reference,
     survive *= 1.0 - p;
   }
   return h;
+}
+
+void CachingHeebBatch(const StochasticProcess& reference,
+                      const StreamHistory& history, Time t0,
+                      const Value* values, std::size_t count,
+                      const LifetimeFn& lifetime, Time horizon, double* out) {
+  SJOIN_CHECK_GE(horizon, 1);
+  std::fill(out, out + count, 0.0);
+  std::vector<double> survive(count, 1.0);
+  DiscreteDistribution pmf;
+  for (Time dt = 1; dt <= horizon; ++dt) {
+    reference.PredictInto(history, t0 + dt, &pmf);
+    const double life = lifetime.At(dt);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double p = pmf.Prob(values[i]);
+      out[i] += survive[i] * p * life;
+      survive[i] *= 1.0 - p;
+    }
+  }
 }
 
 Time ExpHorizon(double alpha, double epsilon) {

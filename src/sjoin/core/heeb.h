@@ -40,6 +40,18 @@ double CachingHeeb(const StochasticProcess& reference,
                    const StreamHistory& history, Time t0, Value v,
                    const LifetimeFn& lifetime, Time horizon);
 
+/// Batched caching form: scores `count` values against the same reference
+/// and history in one pass. One predictive pmf per step is shared across
+/// every lane (PredictInto — allocation-free in steady state) instead of
+/// one Predict per (value, step) as the scalar loop pays. Each lane
+/// accumulates in the same dt-ascending order with the same operations as
+/// CachingHeeb, so out[i] is bit-identical to
+/// CachingHeeb(reference, history, t0, values[i], lifetime, horizon).
+void CachingHeebBatch(const StochasticProcess& reference,
+                      const StreamHistory& history, Time t0,
+                      const Value* values, std::size_t count,
+                      const LifetimeFn& lifetime, Time horizon, double* out);
+
 /// A horizon beyond which L_exp(α) contributions are below `epsilon` even
 /// for per-step probability 1; α ln(α/ε) rounded up, at least 1.
 Time ExpHorizon(double alpha, double epsilon = 1e-9);

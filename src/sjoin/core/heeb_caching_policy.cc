@@ -71,6 +71,43 @@ double HeebCachingPolicy::DirectScore(Value v,
                      horizon_);
 }
 
+void HeebCachingPolicy::ScoreBatchInto(const CandidateBatch& batch,
+                                       const CachingContext& ctx,
+                                       double* out) {
+  switch (options_.mode) {
+    case Mode::kDirect: {
+      const LifetimeFn& lifetime =
+          options_.lifetime != nullptr
+              ? *options_.lifetime
+              : static_cast<const LifetimeFn&>(exp_lifetime_);
+      CachingHeebBatch(*reference_, *ctx.history, ctx.now, batch.values,
+                       batch.size, lifetime, horizon_, out);
+      return;
+    }
+    case Mode::kWalkTable: {
+      const OffsetTable& table = *walk_table_;
+      const double* data = table.values().data();
+      const Value size = static_cast<Value>(table.values().size());
+      // At(v - last) indexes values()[v - last - min_offset]; fold the
+      // two subtractions into one base.
+      const Value base = ctx.history->back() + table.min_offset();
+      for (std::size_t i = 0; i < batch.size; ++i) {
+        const Value off = batch.values[i] - base;
+        out[i] = off >= 0 && off < size
+                     ? data[static_cast<std::size_t>(off)]
+                     : 0.0;
+      }
+      return;
+    }
+    case Mode::kEvaluator:
+    case Mode::kTimeIncremental:
+      // Not batch-scorable (see BatchScorable); per-lane fallback keeps
+      // any direct caller correct.
+      ScoredCachingPolicy::ScoreBatchInto(batch, ctx, out);
+      return;
+  }
+}
+
 double HeebCachingPolicy::Score(Value v, const CachingContext& ctx) {
   switch (options_.mode) {
     case Mode::kDirect:

@@ -75,6 +75,17 @@ class HeebCachingPolicy final : public ScoredCachingPolicy {
 
  protected:
   double Score(Value v, const CachingContext& ctx) override;
+  /// Batched kernels for the stateless modes: kDirect shares one
+  /// predictive pmf per step across every lane (CachingHeebBatch) where
+  /// the scalar loop re-predicts per (value, step); kWalkTable gathers
+  /// from the h1 offset table with the reference anchor hoisted out of
+  /// the lane loop. Scores are bit-identical to Score().
+  bool BatchScorable() const override {
+    return options_.mode == Mode::kDirect ||
+           options_.mode == Mode::kWalkTable;
+  }
+  void ScoreBatchInto(const CandidateBatch& batch, const CachingContext& ctx,
+                      double* out) override;
 
  private:
   double DirectScore(Value v, const CachingContext& ctx) const;

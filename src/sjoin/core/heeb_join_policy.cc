@@ -6,6 +6,7 @@
 #include "sjoin/common/check.h"
 #include "sjoin/core/heeb.h"
 #include "sjoin/core/model_repo.h"
+#include "sjoin/engine/scoring_batch.h"
 
 namespace sjoin {
 
@@ -57,14 +58,48 @@ HeebJoinPolicy::HeebJoinPolicy(const StochasticProcess* r_process,
       }
     }
   }
+  const LifetimeFn& lifetime =
+      options_.lifetime != nullptr
+          ? *options_.lifetime
+          : static_cast<const LifetimeFn&>(exp_lifetime_);
+  lifetime_flat_.reserve(static_cast<std::size_t>(horizon_));
+  for (Time dt = 1; dt <= horizon_; ++dt) {
+    lifetime_flat_.push_back(lifetime.At(dt));
+  }
 }
 
 void HeebJoinPolicy::Reset() {
   predictions_[0].clear();
   predictions_[1].clear();
   predictions_time_ = -1;
-  cached_h_.clear();
+  flat_time_ = -1;
+  slots_.clear();
+  slot_index_.clear();
   last_step_time_ = -1;
+}
+
+HeebJoinPolicy::CachedState* HeebJoinPolicy::FindState(TupleId id) {
+  auto it = slot_index_.find(id);
+  return it == slot_index_.end() ? nullptr : &slots_[it->second];
+}
+
+void HeebJoinPolicy::InsertState(const Tuple& tuple, double h) {
+  slot_index_.emplace(tuple.id, slots_.size());
+  slots_.push_back(
+      CachedState{h, tuple.id, tuple.side, tuple.value, tuple.arrival, 0});
+}
+
+void HeebJoinPolicy::EraseState(TupleId id) {
+  auto it = slot_index_.find(id);
+  if (it == slot_index_.end()) return;
+  std::size_t pos = it->second;
+  slot_index_.erase(it);
+  if (pos + 1 != slots_.size()) {
+    // Swap-with-last; re-point the moved slot's index entry.
+    slots_[pos] = slots_.back();
+    slot_index_[slots_[pos].id] = pos;
+  }
+  slots_.pop_back();
 }
 
 void HeebJoinPolicy::BeginStep(const PolicyContext& ctx) {
@@ -85,12 +120,13 @@ void HeebJoinPolicy::BeginStep(const PolicyContext& ctx) {
                     "value-incremental HEEB does not support sliding "
                     "windows; use kDirect or kTimeIncremental");
     // Corollary 3: advance every cached H from the previous step's time to
-    // now: H_t = e^{1/alpha} H_{t-1} - Pr{X^partner_t = v}.
+    // now: H_t = e^{1/alpha} H_{t-1} - Pr{X^partner_t = v}. The sweep
+    // walks the flat slot array in storage order; each entry's update is
+    // independent, so the order only affects memory access, not results.
     if (last_step_time_ >= 0) {
       Time gap = ctx.now - last_step_time_;
       double e = std::exp(1.0 / options_.alpha);
-      for (auto& [id, state] : cached_h_) {
-        (void)id;
+      for (CachedState& state : slots_) {
         state.updates_since_refresh += gap;
         if (state.updates_since_refresh >= options_.refresh_interval) {
           // Re-anchor: the recurrence is an unstable iteration whose error
@@ -133,8 +169,7 @@ bool HeebJoinPolicy::ShardBeginStep(const PolicyContext& ctx,
     // Entries crossing the refresh interval re-anchor with DirectScore,
     // which reads this step's predictions; build them up front so the
     // parallel phase never mutates shared state.
-    for (const auto& [id, state] : cached_h_) {
-      (void)id;
+    for (const CachedState& state : slots_) {
       if (state.updates_since_refresh + shard_gap_ >=
           options_.refresh_interval) {
         EnsurePredictions(ctx);
@@ -169,24 +204,23 @@ std::optional<ShardKey> HeebJoinPolicy::ShardScoreCached(
   // (shards partition the value domain and an entry's value is fixed), so
   // mutating it here is race-free; the shared pmfs and predictions are
   // read-only during this phase.
-  auto it = cached_h_.find(tuple.id);
-  SJOIN_CHECK_MSG(it != cached_h_.end(),
+  CachedState* state = FindState(tuple.id);
+  SJOIN_CHECK_MSG(state != nullptr,
                   "cached tuple without incremental HEEB state");
-  CachedState& state = it->second;
   if (shard_gap_ > 0) {
-    state.updates_since_refresh += shard_gap_;
-    if (state.updates_since_refresh >= options_.refresh_interval) {
+    state->updates_since_refresh += shard_gap_;
+    if (state->updates_since_refresh >= options_.refresh_interval) {
       SJOIN_CHECK_EQ(predictions_time_, ctx.now);  // Built in ShardBeginStep.
-      Tuple proxy{0, state.side, state.value, state.arrival};
-      state.h = DirectScore(proxy, ctx);
-      state.updates_since_refresh = 0;
+      Tuple proxy{0, state->side, state->value, state->arrival};
+      state->h = DirectScore(proxy, ctx);
+      state->updates_since_refresh = 0;
     } else {
-      const auto& pmfs = advance_pmfs_[SideIndex(state.side)];
+      const auto& pmfs = advance_pmfs_[SideIndex(state->side)];
       for (Time step = 1; step <= shard_gap_; ++step) {
         double p =
-            pmfs[static_cast<std::size_t>(step - 1)].Prob(state.value);
-        state.h = shard_e_ * state.h - p;
-        if (state.h < 0.0) state.h = 0.0;  // Guard truncation drift.
+            pmfs[static_cast<std::size_t>(step - 1)].Prob(state->value);
+        state->h = shard_e_ * state->h - p;
+        if (state->h < 0.0) state->h = 0.0;  // Guard truncation drift.
       }
     }
   }
@@ -195,8 +229,55 @@ std::optional<ShardKey> HeebJoinPolicy::ShardScoreCached(
   double score =
       ctx.window.has_value() && !InWindow(tuple, ctx.now, ctx.window)
           ? 0.0
-          : state.h;
+          : state->h;
   return ShardKey{score, tuple.arrival, tuple.id};
+}
+
+void HeebJoinPolicy::ShardScoreCachedBatch(const CandidateBatch& batch,
+                                           const PolicyContext& ctx,
+                                           ShardScratch* scratch,
+                                           double* score_scratch,
+                                           ShardKey* out) {
+  if (options_.mode != Mode::kTimeIncremental &&
+      options_.mode != Mode::kValueIncremental) {
+    ScoredPolicy::ShardScoreCachedBatch(batch, ctx, scratch, score_scratch,
+                                        out);
+    return;
+  }
+  (void)scratch;
+  (void)score_scratch;
+  // The lane loop is ShardScoreCached's body over the shard's cached run:
+  // advance-in-place, then window-guard the advanced h. Lane order matches
+  // the scalar per-tuple order, and every slot is touched by exactly one
+  // shard, so the advance stays race-free and bit-identical.
+  const bool windowed = ctx.window.has_value();
+  const Time w = windowed ? *ctx.window : 0;
+  for (std::size_t i = 0; i < batch.size; ++i) {
+    CachedState* state = FindState(batch.ids[i]);
+    SJOIN_CHECK_MSG(state != nullptr,
+                    "cached tuple without incremental HEEB state");
+    if (shard_gap_ > 0) {
+      state->updates_since_refresh += shard_gap_;
+      if (state->updates_since_refresh >= options_.refresh_interval) {
+        SJOIN_CHECK_EQ(predictions_time_, ctx.now);
+        Tuple proxy{0, state->side, state->value, state->arrival};
+        state->h = DirectScore(proxy, ctx);
+        state->updates_since_refresh = 0;
+      } else {
+        const auto& pmfs = advance_pmfs_[SideIndex(state->side)];
+        for (Time step = 1; step <= shard_gap_; ++step) {
+          double p =
+              pmfs[static_cast<std::size_t>(step - 1)].Prob(state->value);
+          state->h = shard_e_ * state->h - p;
+          if (state->h < 0.0) state->h = 0.0;
+        }
+      }
+    }
+    double score =
+        windowed && ctx.now - batch.arrivals[i] > w ? 0.0 : state->h;
+    out[i] = ShardKey{score, batch.arrivals[i],
+                      static_cast<std::int64_t>(batch.ids[i])};
+  }
 }
 
 double HeebJoinPolicy::PartnerProbAt(StreamSide side, Value v, Time t,
@@ -206,7 +287,12 @@ double HeebJoinPolicy::PartnerProbAt(StreamSide side, Value v, Time t,
 }
 
 void HeebJoinPolicy::EnsurePredictions(const PolicyContext& ctx) {
-  if (predictions_time_ == ctx.now) return;
+  const bool want_flat =
+      options_.mode == Mode::kDirect && ScoringBatchEnabled();
+  if (predictions_time_ == ctx.now &&
+      (!want_flat || flat_time_ == ctx.now)) {
+    return;
+  }
   for (StreamSide side : {StreamSide::kR, StreamSide::kS}) {
     auto& preds = predictions_[SideIndex(side)];
     // Overwrite last step's pmfs in place: PredictInto reuses each slot's
@@ -218,6 +304,27 @@ void HeebJoinPolicy::EnsurePredictions(const PolicyContext& ctx) {
     }
   }
   predictions_time_ = ctx.now;
+  if (want_flat) FlattenPredictions();
+}
+
+void HeebJoinPolicy::FlattenPredictions() {
+  for (int s = 0; s < 2; ++s) {
+    const auto& preds = predictions_[s];
+    FlatPmfs& fp = flat_predictions_[s];
+    fp.masses.clear();
+    fp.offset.resize(preds.size());
+    fp.min.resize(preds.size());
+    fp.size.resize(preds.size());
+    for (std::size_t k = 0; k < preds.size(); ++k) {
+      const DiscreteDistribution& pmf = preds[k];
+      fp.offset[k] = fp.masses.size();
+      fp.min[k] = pmf.IsEmpty() ? 0 : pmf.MinValue();
+      fp.size[k] = static_cast<Value>(pmf.SupportSize());
+      fp.masses.insert(fp.masses.end(), pmf.masses().begin(),
+                       pmf.masses().end());
+    }
+  }
+  flat_time_ = predictions_time_;
 }
 
 double HeebJoinPolicy::DirectScore(const Tuple& tuple,
@@ -242,16 +349,114 @@ double HeebJoinPolicy::DirectScore(const Tuple& tuple,
   return h;
 }
 
+void HeebJoinPolicy::DirectBatch(const CandidateBatch& batch,
+                                 const PolicyContext& ctx, double* out) {
+  // BeginStep / ShardBeginStep built and flattened this step's
+  // predictions; this may run inside the parallel phase, so it must not
+  // rebuild them here.
+  SJOIN_CHECK_EQ(flat_time_, ctx.now);
+  const bool windowed = ctx.window.has_value();
+  const Time w = windowed ? *ctx.window : 0;
+  for (std::size_t i = 0; i < batch.size; ++i) {
+    if (windowed && ctx.now - batch.arrivals[i] > w) {
+      out[i] = 0.0;
+      continue;
+    }
+    Time max_dt = horizon_;
+    if (windowed) {
+      Time remaining = batch.arrivals[i] + w - ctx.now;
+      if (remaining < max_dt) max_dt = remaining;
+    }
+    const FlatPmfs& fp = flat_predictions_[SideIndex(
+        Partner(static_cast<StreamSide>(batch.sides[i])))];
+    const Value v = batch.values[i];
+    // Same dt-ascending p * L summation as DirectScore; the gather reads
+    // the identical doubles Prob() would return (exact 0.0 off-support).
+    double h = 0.0;
+    for (Time dt = 1; dt <= max_dt; ++dt) {
+      const std::size_t k = static_cast<std::size_t>(dt - 1);
+      const Value off = v - fp.min[k];
+      const double p =
+          off >= 0 && off < fp.size[k]
+              ? fp.masses[fp.offset[k] + static_cast<std::size_t>(off)]
+              : 0.0;
+      h += p * lifetime_flat_[k];
+    }
+    out[i] = h;
+  }
+}
+
+void HeebJoinPolicy::WalkTableBatch(const CandidateBatch& batch,
+                                    const PolicyContext& ctx,
+                                    double* out) const {
+  // Hoist the per-side table spans and partner anchors out of the lane
+  // loop; Score() re-derives the anchor per tuple.
+  const double* data[2];
+  Value base[2];
+  Value size[2];
+  for (StreamSide side : {StreamSide::kR, StreamSide::kS}) {
+    const int s = SideIndex(side);
+    const OffsetTable& table = *walk_table_[s];
+    data[s] = table.values().data();
+    size[s] = static_cast<Value>(table.values().size());
+    StreamSide partner = Partner(side);
+    const StreamHistory* partner_history = history(partner, ctx);
+    const auto* walk =
+        static_cast<const RandomWalkProcess*>(process(partner));
+    const Value last = partner_history->empty() ? walk->initial_value()
+                                                : partner_history->back();
+    // At(v - last) indexes values()[v - last - min_offset]; fold the two
+    // subtractions into one per-side base.
+    base[s] = last + table.min_offset();
+  }
+  const bool windowed = ctx.window.has_value();
+  const Time w = windowed ? *ctx.window : 0;
+  for (std::size_t i = 0; i < batch.size; ++i) {
+    if (windowed && ctx.now - batch.arrivals[i] > w) {
+      out[i] = 0.0;
+      continue;
+    }
+    const int s = batch.sides[i];
+    const Value off = batch.values[i] - base[s];
+    out[i] = off >= 0 && off < size[s]
+                 ? data[s][static_cast<std::size_t>(off)]
+                 : 0.0;
+  }
+}
+
+void HeebJoinPolicy::ScoreBatchInto(const CandidateBatch& batch,
+                                    const PolicyContext& ctx, double* out) {
+  switch (options_.mode) {
+    case Mode::kDirect:
+      DirectBatch(batch, ctx, out);
+      return;
+    case Mode::kWalkTable:
+      WalkTableBatch(batch, ctx, out);
+      return;
+    case Mode::kTimeIncremental:
+    case Mode::kValueIncremental:
+      // Find-or-insert state mutation defines the per-candidate order;
+      // run the scalar path lane by lane.
+      ScoredPolicy::ScoreBatchInto(batch, ctx, out);
+      return;
+  }
+}
+
 double HeebJoinPolicy::ValueIncrementalScore(const Tuple& tuple,
                                              const PolicyContext& ctx) {
-  // Find the cached tuple of the same side with the nearest value.
+  // Find the cached tuple of the same side with the nearest value. The
+  // argmin tie-breaks by (distance, value, id): slot storage order differs
+  // between the serial and sharded erase paths, so ties must not resolve
+  // by scan order.
   const CachedState* nearest = nullptr;
   Value best_distance = 0;
-  for (const auto& [id, state] : cached_h_) {
-    (void)id;
+  for (const CachedState& state : slots_) {
     if (state.side != tuple.side) continue;
     Value distance = std::llabs(state.value - tuple.value);
-    if (nearest == nullptr || distance < best_distance) {
+    if (nearest == nullptr || distance < best_distance ||
+        (distance == best_distance &&
+         (state.value < nearest->value ||
+          (state.value == nearest->value && state.id < nearest->id)))) {
       nearest = &state;
       best_distance = distance;
     }
@@ -300,13 +505,11 @@ double HeebJoinPolicy::Score(const Tuple& tuple, const PolicyContext& ctx) {
     }
     case Mode::kTimeIncremental:
     case Mode::kValueIncremental: {
-      auto it = cached_h_.find(tuple.id);
-      if (it != cached_h_.end()) return it->second.h;
+      if (const CachedState* state = FindState(tuple.id)) return state->h;
       double h = options_.mode == Mode::kTimeIncremental
                      ? DirectScore(tuple, ctx)
                      : ValueIncrementalScore(tuple, ctx);
-      cached_h_[tuple.id] =
-          CachedState{h, tuple.side, tuple.value, tuple.arrival, 0};
+      InsertState(tuple, h);
       return h;
     }
   }
@@ -322,11 +525,11 @@ void HeebJoinPolicy::ShardEndStep(const PolicyContext& ctx,
       options_.mode != Mode::kValueIncremental) {
     return;
   }
-  // cached_h_ holds exactly the candidate ids at this point (last step's
+  // Slot state holds exactly the candidate ids at this point (last step's
   // retained set plus this step's scored arrivals), so erasing the evicted
   // ids leaves precisely the retained ones — the same post-state EndStep
-  // reaches by walking the whole map against a retained hash set.
-  for (TupleId id : evicted) cached_h_.erase(id);
+  // reaches by walking every slot against a retained hash set.
+  for (TupleId id : evicted) EraseState(id);
 }
 
 void HeebJoinPolicy::EndStep(const PolicyContext& ctx,
@@ -336,16 +539,18 @@ void HeebJoinPolicy::EndStep(const PolicyContext& ctx,
       options_.mode != Mode::kValueIncremental) {
     return;
   }
-  // Drop state for evicted tuples in place — no per-step map rebuild.
-  // This also erases entries created for arrivals that were scored but
-  // never retained, so they cannot accumulate across steps.
+  // Drop state for evicted tuples in place — no per-step rebuild. This
+  // also erases entries created for arrivals that were scored but never
+  // retained, so they cannot accumulate across steps. EraseState swaps
+  // the last slot into the hole, so the swapped-in slot is re-examined
+  // before advancing.
   retained_scratch_.clear();
   retained_scratch_.insert(retained.begin(), retained.end());
-  for (auto it = cached_h_.begin(); it != cached_h_.end();) {
-    if (retained_scratch_.contains(it->first)) {
-      ++it;
+  for (std::size_t i = 0; i < slots_.size();) {
+    if (retained_scratch_.contains(slots_[i].id)) {
+      ++i;
     } else {
-      it = cached_h_.erase(it);
+      EraseState(slots_[i].id);
     }
   }
 }

@@ -93,6 +93,14 @@ class HeebJoinPolicy final : public ScoredPolicy {
   std::optional<ShardKey> ShardScoreCached(const Tuple& tuple,
                                            const PolicyContext& ctx,
                                            ShardScratch* scratch) override;
+  /// Batched shard scoring. Direct and walk-table modes route through the
+  /// stateless ScoreBatchInto kernels; the incremental modes run the same
+  /// lazy Corollary 3 advance as ShardScoreCached lane by lane over the
+  /// flat slot state (each slot is owned by exactly one shard, so the
+  /// mutation stays race-free).
+  void ShardScoreCachedBatch(const CandidateBatch& batch,
+                             const PolicyContext& ctx, ShardScratch* scratch,
+                             double* score_scratch, ShardKey* out) override;
   /// Drops incremental state for exactly the evicted ids — O(evicted),
   /// where the serial EndStep pays an O(cache) retained-set walk.
   void ShardEndStep(const PolicyContext& ctx,
@@ -101,8 +109,18 @@ class HeebJoinPolicy final : public ScoredPolicy {
 
  protected:
   bool ShardScorable() const override { return true; }
+  bool BatchScorable() const override { return true; }
   void BeginStep(const PolicyContext& ctx) override;
   double Score(const Tuple& tuple, const PolicyContext& ctx) override;
+  /// Batched scoring kernels. kWalkTable gathers from the per-side h1
+  /// tables with the partner anchor hoisted out of the lane loop;
+  /// kDirect walks the flattened predictions (one contiguous mass array
+  /// per side) in the same dt-ascending per-lane order as DirectScore, so
+  /// scores are bit-identical to the scalar path. The incremental modes
+  /// fall back to per-lane Score() — their find-or-insert state mutation
+  /// defines the scoring order.
+  void ScoreBatchInto(const CandidateBatch& batch, const PolicyContext& ctx,
+                      double* out) override;
   void EndStep(const PolicyContext& ctx,
                const std::vector<TupleId>& retained) override;
 
@@ -118,8 +136,14 @@ class HeebJoinPolicy final : public ScoredPolicy {
   /// Direct truncated-sum H for a tuple, honoring the sliding window.
   double DirectScore(const Tuple& tuple, const PolicyContext& ctx);
 
-  /// Builds this step's predictive pmfs if not already current.
+  /// Builds this step's predictive pmfs if not already current. In
+  /// kDirect with batch scoring enabled, also flattens them for the
+  /// batch kernel (serial call sites only; the parallel phase reads).
   void EnsurePredictions(const PolicyContext& ctx);
+
+  /// Copies predictions_ into the contiguous per-side layout the kDirect
+  /// batch kernel gathers from.
+  void FlattenPredictions();
 
   /// Probability that the partner of `side` produces `v` at time `t`.
   double PartnerProbAt(StreamSide side, Value v, Time t,
@@ -127,6 +151,12 @@ class HeebJoinPolicy final : public ScoredPolicy {
 
   /// Corollary 5 transfer for a new arrival (kValueIncremental).
   double ValueIncrementalScore(const Tuple& tuple, const PolicyContext& ctx);
+
+  /// ScoreBatchInto bodies for the stateless modes.
+  void DirectBatch(const CandidateBatch& batch, const PolicyContext& ctx,
+                   double* out);
+  void WalkTableBatch(const CandidateBatch& batch, const PolicyContext& ctx,
+                      double* out) const;
 
   const StochasticProcess* r_process_;
   const StochasticProcess* s_process_;
@@ -139,16 +169,41 @@ class HeebJoinPolicy final : public ScoredPolicy {
   std::vector<DiscreteDistribution> predictions_[2];
   Time predictions_time_ = -1;
 
-  // Incremental modes: H values of cached tuples, plus the tuple values
-  // needed for the update.
+  // kDirect batch kernel: predictions_ flattened to one contiguous mass
+  // array per side plus per-dt (offset, support min, support size) so the
+  // hot loop is a bounds-checked gather with no pointer chasing. Rebuilt
+  // by FlattenPredictions whenever predictions_ changes.
+  struct FlatPmfs {
+    std::vector<double> masses;       // Concatenated per-dt mass buffers.
+    std::vector<std::size_t> offset;  // Start of dt's masses, per dt.
+    std::vector<Value> min;           // Support min per dt (0 if empty).
+    std::vector<Value> size;          // Support size per dt.
+  };
+  FlatPmfs flat_predictions_[2];
+  Time flat_time_ = -1;
+  // L(dt) for dt = 1..horizon_, precomputed at construction. The kernel
+  // reads these instead of calling lifetime.At per (lane, dt); the values
+  // are the same doubles, so sums stay bit-identical.
+  std::vector<double> lifetime_flat_;
+
+  // Incremental modes: H values of cached tuples in a flat slot array
+  // (the hot BeginStep sweep walks contiguous memory), with a side index
+  // mapping tuple id -> slot. Erasure is swap-with-last, so slot order is
+  // arbitrary — every cross-slot decision (the Corollary 5 donor search)
+  // must therefore be order-independent.
   struct CachedState {
     double h = 0.0;
+    TupleId id = 0;
     StreamSide side = StreamSide::kR;
     Value value = 0;
     Time arrival = 0;
     Time updates_since_refresh = 0;
   };
-  std::unordered_map<TupleId, CachedState> cached_h_;
+  CachedState* FindState(TupleId id);
+  void InsertState(const Tuple& tuple, double h);
+  void EraseState(TupleId id);
+  std::vector<CachedState> slots_;
+  std::unordered_map<TupleId, std::size_t> slot_index_;
   Time last_step_time_ = -1;
   // EndStep scratch (reused across steps to avoid reallocation).
   std::unordered_set<TupleId> retained_scratch_;

@@ -28,10 +28,19 @@ inline bool RankedTupleBetter(const RankedTuple& a, const RankedTuple& b) {
 }
 
 /// Best `capacity` ids, ranked by (score desc, arrival desc, id desc).
+/// nth_element partitions the best `keep` candidates to the front, then
+/// only that prefix is sorted: under a strict total order (ids are unique)
+/// the partition point is unique, so the sorted prefix is exactly the
+/// prefix a full sort would produce — at O(n + k log k) instead of
+/// O(n log n).
 inline std::vector<TupleId> KeepBestRanked(std::vector<RankedTuple> ranked,
                                            std::size_t capacity) {
-  std::sort(ranked.begin(), ranked.end(), RankedTupleBetter);
   std::size_t keep = std::min(capacity, ranked.size());
+  if (keep < ranked.size()) {
+    std::nth_element(ranked.begin(), ranked.begin() + keep, ranked.end(),
+                     RankedTupleBetter);
+  }
+  std::sort(ranked.begin(), ranked.begin() + keep, RankedTupleBetter);
   std::vector<TupleId> retained;
   retained.reserve(keep);
   for (std::size_t i = 0; i < keep; ++i) retained.push_back(ranked[i].id);

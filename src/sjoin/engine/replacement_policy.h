@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sjoin/common/types.h"
+#include "sjoin/engine/candidate_batch.h"
 #include "sjoin/engine/rank_order.h"
 #include "sjoin/engine/tuple.h"
 #include "sjoin/stochastic/stream_history.h"
@@ -37,6 +38,10 @@ struct PolicyContext {
   /// Sliding-window length w (Section 7): a tuple that arrived at time a
   /// participates in joins only while now - a <= w. nullopt = regular join.
   std::optional<Time> window;
+  /// SoA view of this step's candidates in scalar scoring order (cached
+  /// then arrivals), or null when the engine did not build one. Borrowed;
+  /// valid only for the duration of the SelectRetained call.
+  const CandidateBatch* batch = nullptr;
 };
 
 /// Merge key of one candidate tuple under sharded execution.
@@ -110,6 +115,29 @@ class PolicyShardScoring {
       const Tuple& tuple, const PolicyContext& ctx,
       ShardScratch* scratch) = 0;
 
+  /// True when ShardScoreCachedBatch may replace the per-tuple
+  /// ShardScoreCached loop for whole shard runs. Batch-scorable policies
+  /// must never exclude a cached tuple (no nullopt lanes). Queried once
+  /// per Run, at entry.
+  virtual bool ShardBatchScorable() const { return false; }
+
+  /// Batched counterpart of ShardScoreCached: scores every lane of the
+  /// shard's cached run into out[i], bit-identical to the per-tuple calls.
+  /// `score_scratch` is a caller-provided buffer of batch.size doubles
+  /// (arena-carved per shard, so kernels stay allocation-free and
+  /// thread-confined). The default loops ShardScoreCached.
+  virtual void ShardScoreCachedBatch(const CandidateBatch& batch,
+                                     const PolicyContext& ctx,
+                                     ShardScratch* scratch,
+                                     double* score_scratch, ShardKey* out) {
+    (void)score_scratch;
+    for (std::size_t i = 0; i < batch.size; ++i) {
+      Tuple tuple{batch.ids[i], static_cast<StreamSide>(batch.sides[i]),
+                  batch.values[i], batch.arrivals[i]};
+      out[i] = *ShardScoreCached(tuple, ctx, scratch);
+    }
+  }
+
   /// Serial scoring of one arrival.
   virtual std::optional<ShardKey> ShardScoreArrival(
       const Tuple& tuple, const PolicyContext& ctx) = 0;
@@ -140,6 +168,10 @@ class ReplacementPolicy {
   /// RNG draws) keep the nullptr default and fall back to the serial path.
   /// Queried once per Run, at entry.
   virtual PolicyShardScoring* shard_scoring() { return nullptr; }
+
+  /// True when the policy consumes PolicyContext::batch (so the engine
+  /// should spend the per-step gather building it). Queried at Open.
+  virtual bool WantsCandidateBatch() const { return false; }
 
   /// Human-readable policy name for experiment reports.
   virtual const char* name() const = 0;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sjoin/engine/caching_policy.h"
+#include "sjoin/engine/candidate_batch.h"
 
 /// \file
 /// Base class for score-ranked caching policies (LRU, LFU, LFD, HEEB, ...).
@@ -49,8 +50,21 @@ class ScoredCachingPolicy : public CachingPolicy {
   /// Desirability of keeping the database tuple with value `v`.
   virtual double Score(Value v, const CachingContext& ctx) = 0;
 
+  /// Batched-kernel opt-in mirroring ScoredPolicy::BatchScorable: true
+  /// when ScoreBatchInto() matches per-lane Score() calls bit for bit.
+  virtual bool BatchScorable() const { return false; }
+
+  /// Scores every lane of a values-only batch (batch.values/batch.size;
+  /// sides/arrivals/ids are null) into out[i]. Default: per-lane Score().
+  virtual void ScoreBatchInto(const CandidateBatch& batch,
+                              const CachingContext& ctx, double* out);
+
  private:
   ScoreObserver score_observer_;
+  // Per-call scratch reused across SelectRetained calls: the candidate
+  // value lanes (cached ∪ {referenced on a miss}) and their scores.
+  std::vector<Value> batch_values_;
+  std::vector<double> batch_scores_;
 };
 
 }  // namespace sjoin

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "sjoin/engine/ranked_select.h"
 #include "sjoin/engine/replacement_policy.h"
 
 /// \file
@@ -37,6 +38,10 @@ class ScoredPolicy : public ReplacementPolicy, public PolicyShardScoring {
   /// serial step order — is only honored by the serial path).
   PolicyShardScoring* shard_scoring() final;
 
+  /// The serial engine builds the per-step SoA batch exactly when the
+  /// subclass has a batch kernel to consume it.
+  bool WantsCandidateBatch() const final { return BatchScorable(); }
+
   /// Verification hook: when set, receives every candidate's score exactly
   /// as SelectRetained computes it. The differential harness uses this to
   /// compare scoring implementations in lockstep on a shared cache
@@ -58,6 +63,16 @@ class ScoredPolicy : public ReplacementPolicy, public PolicyShardScoring {
   void ShardEndStep(const PolicyContext& ctx,
                     const std::vector<TupleId>& retained,
                     const std::vector<TupleId>& evicted) override;
+  /// Batch shard scoring rides the same opt-ins: a policy whose Score()
+  /// is shard-safe and which has a batch kernel can score whole cached
+  /// runs per shard. ScoredPolicy never excludes candidates, so the
+  /// no-nullopt batch contract holds for every subclass.
+  bool ShardBatchScorable() const override {
+    return ShardScorable() && BatchScorable();
+  }
+  void ShardScoreCachedBatch(const CandidateBatch& batch,
+                             const PolicyContext& ctx, ShardScratch* scratch,
+                             double* score_scratch, ShardKey* out) override;
 
  protected:
   /// Sharded-execution opt-in: return true when Score() may be called
@@ -72,6 +87,18 @@ class ScoredPolicy : public ReplacementPolicy, public PolicyShardScoring {
   /// Desirability of keeping `tuple`; higher is better.
   virtual double Score(const Tuple& tuple, const PolicyContext& ctx) = 0;
 
+  /// Batched-kernel opt-in: return true when ScoreBatchInto() produces
+  /// scores bit-identical to per-lane Score() calls in lane order.
+  /// Queried per step on the serial path and per Run on the sharded path.
+  virtual bool BatchScorable() const { return false; }
+
+  /// Scores every batch lane into out[i]. Kernels vectorize across
+  /// candidates: each lane keeps the scalar path's per-tuple operation
+  /// order, so results are bitwise equal to Score(). The default is the
+  /// per-lane loop.
+  virtual void ScoreBatchInto(const CandidateBatch& batch,
+                              const PolicyContext& ctx, double* out);
+
   /// Called with the final retained set; lets subclasses drop state for
   /// evicted tuples.
   virtual void EndStep(const PolicyContext& ctx,
@@ -82,6 +109,10 @@ class ScoredPolicy : public ReplacementPolicy, public PolicyShardScoring {
 
  private:
   ScoreObserver score_observer_;
+  // Per-step scratch reused across SelectRetained calls so the hot loop
+  // stays allocation-free after warm-up.
+  std::vector<RankedTuple> ranked_scratch_;
+  std::vector<double> score_scratch_;
 };
 
 }  // namespace sjoin

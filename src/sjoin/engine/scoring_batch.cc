@@ -1,0 +1,32 @@
+#include "sjoin/engine/scoring_batch.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace sjoin {
+namespace {
+
+bool DefaultFromEnv() {
+  const char* env = std::getenv("SJOIN_BATCH_SCORING");
+  if (env == nullptr || *env == '\0') return true;
+  return std::string_view(env) != "0";
+}
+
+bool& Flag() {
+  static bool flag = DefaultFromEnv();
+  return flag;
+}
+
+}  // namespace
+
+bool ScoringBatchEnabled() { return Flag(); }
+
+void SetScoringBatchEnabled(bool enabled) { Flag() = enabled; }
+
+ScopedScoringBatch::ScopedScoringBatch(bool enabled) : previous_(Flag()) {
+  Flag() = enabled;
+}
+
+ScopedScoringBatch::~ScopedScoringBatch() { Flag() = previous_; }
+
+}  // namespace sjoin

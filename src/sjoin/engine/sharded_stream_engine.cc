@@ -5,6 +5,7 @@
 
 #include "sjoin/common/check.h"
 #include "sjoin/common/validate.h"
+#include "sjoin/engine/scoring_batch.h"
 
 namespace sjoin {
 namespace {
@@ -199,13 +200,40 @@ void ShardedStreamEngine::ProcessShard(const StepEpochContext& step,
       ++bucket_load_[adaptive_map_->BucketOf(cached.value)];
     }
   }
-  for (const StreamTuple& cached : slot.cache) {
-    std::optional<ShardKey> key =
-        step.scoring->ShardScoreCached(cached, *step.ctx, slot.scratch.get());
-    if (key.has_value()) {
-      slot.scored[slot.scored_size++] = {*key, cached};
-    } else {
-      slot.dropped[slot.dropped_size++] = cached;
+  if (run_batch_scoring_ && !slot.cache.empty()) {
+    // Batch path: gather the shard's cached run into SoA lanes and score
+    // it with one fused kernel call. ShardBatchScorable policies never
+    // exclude cached tuples, so every lane lands in scored and dropped
+    // stays empty.
+    const std::size_t lanes = slot.cache.size();
+    for (std::size_t i = 0; i < lanes; ++i) {
+      const StreamTuple& cached = slot.cache[i];
+      slot.batch_values[i] = cached.value;
+      slot.batch_arrivals[i] = cached.arrival;
+      slot.batch_sides[i] = static_cast<std::uint8_t>(cached.stream);
+      slot.batch_ids[i] = cached.id;
+    }
+    CandidateBatch batch;
+    batch.size = lanes;
+    batch.values = slot.batch_values;
+    batch.arrivals = slot.batch_arrivals;
+    batch.sides = slot.batch_sides;
+    batch.ids = slot.batch_ids;
+    step.scoring->ShardScoreCachedBatch(batch, *step.ctx, slot.scratch.get(),
+                                        slot.batch_scores, slot.batch_keys);
+    for (std::size_t i = 0; i < lanes; ++i) {
+      slot.scored[slot.scored_size++] = {slot.batch_keys[i], slot.cache[i]};
+    }
+  } else {
+    for (const StreamTuple& cached : slot.cache) {
+      std::optional<ShardKey> key =
+          step.scoring->ShardScoreCached(cached, *step.ctx,
+                                         slot.scratch.get());
+      if (key.has_value()) {
+        slot.scored[slot.scored_size++] = {*key, cached};
+      } else {
+        slot.dropped[slot.dropped_size++] = cached;
+      }
     }
   }
   SortRun(slot.scored, slot.scored_size);
@@ -226,6 +254,15 @@ void ShardedStreamEngine::RunShardSlice(const StepEpochContext& step,
     slot.scored_size = 0;
     slot.dropped = arena.AllocArray<StreamTuple>(slot.cache.size());
     slot.dropped_size = 0;
+    if (run_batch_scoring_) {
+      const std::size_t lanes = slot.cache.size();
+      slot.batch_values = arena.AllocArray<Value>(lanes);
+      slot.batch_arrivals = arena.AllocArray<Time>(lanes);
+      slot.batch_sides = arena.AllocArray<std::uint8_t>(lanes);
+      slot.batch_ids = arena.AllocArray<TupleId>(lanes);
+      slot.batch_scores = arena.AllocArray<double>(lanes);
+      slot.batch_keys = arena.AllocArray<ShardKey>(lanes);
+    }
     ProcessShard(step, shard);
   }
 }
@@ -352,6 +389,10 @@ void ShardedStreamEngine::OpenSharded(SessionState& session,
       !options_.window.has_value() &&
       options_.capacity >= StreamEngine::kValueIndexMinCapacity;
   run_use_value_index_ = use_value_index;
+  // Batch-kernel decision, once per Open: the process-wide switch is read
+  // here (serial code) and never again from worker threads, so a
+  // mid-session flip cannot desynchronize shards.
+  run_batch_scoring_ = ScoringBatchEnabled() && scoring.ShardBatchScorable();
 
   // Adaptive partitioning: the map is constructed once (the shard count
   // and bucket space are per-engine constants) and Reset() per run, so
@@ -406,12 +447,21 @@ void ShardedStreamEngine::OpenSharded(SessionState& session,
   // merge output (capacity + n entries total per level). Reserving that
   // up front makes steady-state steps allocation-free, which the
   // validation build asserts via the growth-event baseline.
+  // Batch runs additionally carve per-shard SoA lanes and kernel scratch
+  // (six spans per shard, capacity lanes total across a worker's shards).
+  const std::size_t batch_lane_bytes =
+      run_batch_scoring_
+          ? options_.capacity *
+                    (sizeof(Value) + sizeof(Time) + sizeof(std::uint8_t) +
+                     sizeof(TupleId) + sizeof(double) + sizeof(ShardKey)) +
+                6 * num_shards * 64
+          : 0;
   const std::size_t arena_bytes =
       (options_.capacity + levels * (options_.capacity +
                                      static_cast<std::size_t>(n))) *
           sizeof(ScoredEntry) +
       options_.capacity * sizeof(StreamTuple) +
-      (2 * num_shards + 2 * levels + 8) * 64;
+      (2 * num_shards + 2 * levels + 8) * 64 + batch_lane_bytes;
   for (int w = 0; w < threads; ++w) {
     workers_->arena(w).Reserve(arena_bytes);
   }

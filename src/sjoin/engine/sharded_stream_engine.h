@@ -210,6 +210,15 @@ class ShardedStreamEngine {
     std::unique_ptr<ShardScratch> scratch;
     /// Phase-1 results produced by this shard's probes this step.
     std::int64_t produced = 0;
+    /// SoA lanes + kernel scratch for batch scoring of this shard's cached
+    /// run; arena spans carved with scored/dropped (capacity cache.size())
+    /// only when the run batch-scores.
+    Value* batch_values = nullptr;
+    Time* batch_arrivals = nullptr;
+    std::uint8_t* batch_sides = nullptr;
+    TupleId* batch_ids = nullptr;
+    double* batch_scores = nullptr;
+    ShardKey* batch_keys = nullptr;
   };
 
   /// Pre-epoch driver context handed to the type-erased epoch thunks.
@@ -292,6 +301,10 @@ class ShardedStreamEngine {
   /// Whether the *current/last* run partitions through adaptive_map_.
   bool adaptive_run_ = false;
   bool run_use_value_index_ = false;
+  /// Whether the current/last sharded run scores cached runs through the
+  /// policy's batch kernel; decided once at OpenSharded from the
+  /// process-wide switch and the scoring's ShardBatchScorable().
+  bool run_batch_scoring_ = false;
   /// Candidates scored per micro-bucket since the last checkpoint. Each
   /// bucket belongs to exactly one shard, and each shard to exactly one
   /// worker per epoch, so workers write disjoint counters — sums are

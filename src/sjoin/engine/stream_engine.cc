@@ -5,6 +5,7 @@
 #include "sjoin/common/check.h"
 #include "sjoin/common/validate.h"
 #include "sjoin/engine/probe_planner.h"
+#include "sjoin/engine/scoring_batch.h"
 
 namespace sjoin {
 
@@ -115,6 +116,7 @@ void StreamEngine::OpenWithLength(SessionState& session,
   session.sharded_owner = nullptr;
   session.scoring = nullptr;
   session.batched_observers = false;
+  session.batch_scoring = ScoringBatchEnabled() && policy.WantsCandidateBatch();
 
   policy.Reset();
 
@@ -277,6 +279,39 @@ void StreamEngine::Advance(
     ctx.arrivals = &arrivals_;
     ctx.histories = &session.histories;
     ctx.window = opts.window;
+    CandidateBatch batch_view;
+    if (session.batch_scoring) {
+      // Gather the step's candidates into SoA lanes, in the scalar
+      // scoring order (cached then arrivals), for the policy's batch
+      // kernel. The vectors are engine scratch: capacity + n lanes,
+      // allocation-free after warm-up.
+      const std::size_t total = session.cache.size() + arrivals_.size();
+      batch_values_.resize(total);
+      batch_arrivals_.resize(total);
+      batch_sides_.resize(total);
+      batch_ids_.resize(total);
+      std::size_t lane = 0;
+      for (const StreamTuple& tuple : session.cache) {
+        batch_values_[lane] = tuple.value;
+        batch_arrivals_[lane] = tuple.arrival;
+        batch_sides_[lane] = static_cast<std::uint8_t>(tuple.stream);
+        batch_ids_[lane] = tuple.id;
+        ++lane;
+      }
+      for (const StreamTuple& tuple : arrivals_) {
+        batch_values_[lane] = tuple.value;
+        batch_arrivals_[lane] = tuple.arrival;
+        batch_sides_[lane] = static_cast<std::uint8_t>(tuple.stream);
+        batch_ids_[lane] = tuple.id;
+        ++lane;
+      }
+      batch_view.size = total;
+      batch_view.values = batch_values_.data();
+      batch_view.arrivals = batch_arrivals_.data();
+      batch_view.sides = batch_sides_.data();
+      batch_view.ids = batch_ids_.data();
+      ctx.batch = &batch_view;
+    }
     std::vector<TupleId> retained = policy.SelectRetained(ctx);
     SJOIN_CHECK_LE(retained.size(), opts.capacity);
 
@@ -431,6 +466,21 @@ EngineRunResult StreamEngine::Close(SessionState& session) {
   return session.result;
 }
 
+void EngineShardScoring::ShardScoreCachedBatch(const CandidateBatch& batch,
+                                               const EngineContext& ctx,
+                                               ShardScratch* scratch,
+                                               double* score_scratch,
+                                               ShardKey* out) {
+  (void)score_scratch;
+  for (std::size_t i = 0; i < batch.size; ++i) {
+    StreamTuple tuple{batch.ids[i], static_cast<int>(batch.sides[i]),
+                      batch.values[i], batch.arrivals[i]};
+    // Batch-scorable policies never exclude cached tuples, so the
+    // per-tuple key is always present.
+    out[i] = *ShardScoreCached(tuple, ctx, scratch);
+  }
+}
+
 void BinaryPolicyAdapter::Reset() { policy_->Reset(); }
 
 void BinaryPolicyAdapter::BuildBinaryContext(const EngineContext& ctx) {
@@ -451,6 +501,9 @@ void BinaryPolicyAdapter::BuildBinaryContext(const EngineContext& ctx) {
   binary_ctx_.history_r = &(*ctx.histories)[0];
   binary_ctx_.history_s = &(*ctx.histories)[1];
   binary_ctx_.window = ctx.window;
+  // The SoA lanes pass through unchanged: stream index == SideIndex for
+  // binary topologies, and the mirrors above preserve candidate order.
+  binary_ctx_.batch = ctx.batch;
 }
 
 std::vector<TupleId> BinaryPolicyAdapter::SelectRetained(
@@ -496,6 +549,20 @@ void BinaryPolicyAdapter::ShardEndStep(const EngineContext& ctx,
                                        const std::vector<TupleId>& evicted) {
   (void)ctx;
   binary_shard_->ShardEndStep(binary_ctx_, retained, evicted);
+}
+
+bool BinaryPolicyAdapter::ShardBatchScorable() const {
+  return binary_shard_ != nullptr && binary_shard_->ShardBatchScorable();
+}
+
+void BinaryPolicyAdapter::ShardScoreCachedBatch(const CandidateBatch& batch,
+                                                const EngineContext& ctx,
+                                                ShardScratch* scratch,
+                                                double* score_scratch,
+                                                ShardKey* out) {
+  (void)ctx;  // binary_ctx_ carries the step context.
+  binary_shard_->ShardScoreCachedBatch(batch, binary_ctx_, scratch,
+                                       score_scratch, out);
 }
 
 }  // namespace sjoin

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sjoin/common/types.h"
+#include "sjoin/engine/candidate_batch.h"
 #include "sjoin/engine/partition_map.h"
 #include "sjoin/engine/replacement_policy.h"
 #include "sjoin/engine/step_observer.h"
@@ -84,6 +85,10 @@ struct EngineContext {
   const std::vector<StreamTuple>* arrivals = nullptr;  // One per stream.
   const std::vector<StreamHistory>* histories = nullptr;
   std::optional<Time> window;
+  /// SoA view of this step's candidates in scalar scoring order (cached
+  /// then arrivals), or null when the engine did not build one. Borrowed;
+  /// valid only for the duration of the SelectRetained call.
+  const CandidateBatch* batch = nullptr;
 };
 
 /// Engine-level mirror of PolicyShardScoring (replacement_policy.h): the
@@ -108,6 +113,20 @@ class EngineShardScoring {
   virtual std::optional<ShardKey> ShardScoreCached(
       const StreamTuple& tuple, const EngineContext& ctx,
       ShardScratch* scratch) = 0;
+
+  /// True when ShardScoreCachedBatch may replace the per-tuple loop for
+  /// whole shard runs (requires: no tuple is ever excluded via nullopt).
+  /// Queried once per Run, at entry.
+  virtual bool ShardBatchScorable() const { return false; }
+
+  /// Batched counterpart of ShardScoreCached over one shard's cached run;
+  /// bit-identical to the per-tuple calls. `score_scratch` is a
+  /// caller-provided buffer of batch.size doubles (arena-carved per
+  /// shard). The default loops ShardScoreCached.
+  virtual void ShardScoreCachedBatch(const CandidateBatch& batch,
+                                     const EngineContext& ctx,
+                                     ShardScratch* scratch,
+                                     double* score_scratch, ShardKey* out);
 
   /// Serial (post-barrier, arrival-order) key for an arrival.
   virtual std::optional<ShardKey> ShardScoreArrival(
@@ -137,6 +156,9 @@ class EnginePolicy {
   /// Non-null iff the policy can run sharded; queried by
   /// ShardedStreamEngine once per Run, at entry. Default: serial only.
   virtual EngineShardScoring* shard_scoring() { return nullptr; }
+  /// True when the policy consumes EngineContext::batch (so the engine
+  /// should spend the per-step gather building it). Queried at Open.
+  virtual bool WantsCandidateBatch() const { return false; }
   virtual const char* name() const = 0;
 };
 
@@ -256,6 +278,12 @@ class StreamEngine {
   std::vector<StreamTuple> arrivals_;
   std::unordered_map<TupleId, StreamTuple> candidates_;
   std::unordered_set<TupleId> retained_set_;
+  // SoA lanes of the per-step CandidateBatch (cached then arrivals),
+  // rebuilt each step for sessions whose policy wants the batch.
+  std::vector<Value> batch_values_;
+  std::vector<Time> batch_arrivals_;
+  std::vector<std::uint8_t> batch_sides_;
+  std::vector<TupleId> batch_ids_;
 };
 
 /// Everything a run accumulates between steps — the engine's former
@@ -288,6 +316,10 @@ struct SessionState {
   /// Phase-1 index decision, taken once at Open (same criteria as the
   /// batch run: no window, capacity >= kValueIndexMinCapacity).
   bool use_value_index = false;
+  /// Build the per-step CandidateBatch for the policy; decided once at
+  /// Open (batching enabled and the policy wants it), so a mid-session
+  /// flip of the process-wide switch cannot change the session's path.
+  bool batch_scoring = false;
 
   // The join state proper: the cache selected at the previous step, each
   // stream's value history, and the Phase-1 acceleration structures.
@@ -325,6 +357,11 @@ class BinaryPolicyAdapter final : public EnginePolicy,
   std::vector<TupleId> SelectRetained(const EngineContext& ctx) override;
   const char* name() const override { return policy_->name(); }
 
+  /// Batch-building decision passes through to the wrapped policy.
+  bool WantsCandidateBatch() const override {
+    return policy_->WantsCandidateBatch();
+  }
+
   /// Sharded when the wrapped binary policy is: ShardBeginStep builds the
   /// Tuple mirrors (stable through the step), the per-tuple calls convert
   /// StreamTuple -> Tuple on the stack and delegate.
@@ -340,6 +377,12 @@ class BinaryPolicyAdapter final : public EnginePolicy,
   void ShardEndStep(const EngineContext& ctx,
                     const std::vector<TupleId>& retained,
                     const std::vector<TupleId>& evicted) override;
+  /// Batch shard scoring delegates to the wrapped policy's kernel; the
+  /// SoA lanes pass through unchanged (side == stream index for binary).
+  bool ShardBatchScorable() const override;
+  void ShardScoreCachedBatch(const CandidateBatch& batch,
+                             const EngineContext& ctx, ShardScratch* scratch,
+                             double* score_scratch, ShardKey* out) override;
 
  private:
   /// Rebuilds cached_/arrivals_/binary_ctx_ from the engine context.

@@ -34,8 +34,13 @@ class LifePolicy final : public ScoredPolicy {
   /// BeginStep folds the new observations; Score is then a read-only
   /// frequency lookup, safe to run from parallel shards.
   bool ShardScorable() const override { return true; }
+  /// Batch kernel: effective lifetime, partner tables, and consumed
+  /// counts are hoisted, leaving one hash probe per lane.
+  bool BatchScorable() const override { return true; }
   void BeginStep(const PolicyContext& ctx) override;
   double Score(const Tuple& tuple, const PolicyContext& ctx) override;
+  void ScoreBatchInto(const CandidateBatch& batch, const PolicyContext& ctx,
+                      double* out) override;
 
  private:
   Time lifetime_;

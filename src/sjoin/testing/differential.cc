@@ -22,6 +22,7 @@
 #include "sjoin/engine/probe_planner.h"
 #include "sjoin/engine/scored_caching_policy.h"
 #include "sjoin/engine/scored_policy.h"
+#include "sjoin/engine/scoring_batch.h"
 #include "sjoin/engine/sharded_stream_engine.h"
 #include "sjoin/engine/stream_engine.h"
 #include "sjoin/engine/tuple.h"
@@ -177,6 +178,22 @@ bool DiffServe() {
     return env != nullptr && *env != '\0' && std::string_view(env) != "0";
   }();
   return serve;
+}
+
+/// SJOIN_DIFF_BATCH=<0|1> pins the batch_scoring suite's engine runs to
+/// one flag value instead of comparing batch-off against batch-on: 0 runs
+/// every side scalar, anything else runs every side through the batch
+/// kernels. The trial then degenerates to a serial-vs-sharded identity
+/// check under the pinned setting — the TSan job pins it on (together
+/// with SJOIN_DIFF_SHARDS / SJOIN_DIFF_THREADS) so the kernels execute
+/// under the race detector.
+std::optional<bool> DiffBatch() {
+  static const std::optional<bool> batch = []() -> std::optional<bool> {
+    const char* env = std::getenv("SJOIN_DIFF_BATCH");
+    if (env == nullptr || *env == '\0') return std::nullopt;
+    return std::string_view(env) != "0";
+  }();
+  return batch;
 }
 
 /// Runs the optimized joining side of a trial. By default this goes
@@ -1951,6 +1968,216 @@ std::optional<std::string> ServeSchedulerTrial(std::uint64_t seed) {
   return std::nullopt;
 }
 
+// ---------------------------------------------------------------------------
+// Suite 12: batch_scoring — the batched SoA scoring kernels against the
+// scalar per-tuple path, bit for bit on full per-step traces. Each trial
+// rotates over every batch-scorable policy family (HEEB kDirect /
+// kTimeIncremental / kWalkTable, PROB, LIFE, caching HEEB) and runs the
+// same realization four ways: serial batch-off (baseline), serial
+// batch-on, sharded 4x2 batch-off, sharded 4x2 batch-on. The kernels
+// preserve per-lane operation order, so every run must reproduce the
+// baseline exactly — scores, retained sets, produced counts, telemetry.
+// SJOIN_DIFF_BATCH pins all four runs to one flag value instead (see
+// DiffBatch above).
+
+std::optional<std::string> BatchScoringTrial(std::uint64_t seed) {
+  const bool off_flag = DiffBatch().value_or(false);
+  const bool on_flag = DiffBatch().value_or(true);
+  const int variant = static_cast<int>(seed % 6);
+
+  if (variant == 5) {
+    // Caching surface: HeebCachingPolicy kDirect (CachingHeebBatch fused
+    // kernel) or kWalkTable (precomputed-table gather) under the
+    // CacheSimulator, serial and sharded, batch off and on. All four
+    // hit/miss counters must agree with the serial batch-off baseline.
+    ScenarioGenerator::Options options;
+    options.min_length = 48;
+    options.max_length = 110;
+    options.min_capacity = 2;
+    options.max_capacity = 6;
+    options.max_horizon = 12;
+    options.window_probability = 0.3;
+    Rng aux(seed ^ kAuxSalt);
+    const bool walk_mode = aux.UniformReal() < 0.5;
+    options.pool = walk_mode ? ScenarioGenerator::Pool::kWalks
+                             : ScenarioGenerator::Pool::kIndependent;
+    ScenarioGenerator generator(options);
+    Scenario scenario = generator.Sample(seed);
+    const StochasticProcess& reference = *scenario.r_process;
+    Rng realization_rng(seed ^ kRealizationSalt);
+    std::vector<Value> references =
+        SampleStream(reference, scenario.length, realization_rng);
+
+    HeebCachingPolicy::Options caching_options;
+    caching_options.mode = walk_mode ? HeebCachingPolicy::Mode::kWalkTable
+                                     : HeebCachingPolicy::Mode::kDirect;
+    caching_options.alpha = scenario.alpha;
+    caching_options.horizon = scenario.horizon;
+    HeebCachingPolicy policy(&reference, caching_options);
+
+    CacheSimulator::Options cache_options;
+    cache_options.capacity = scenario.capacity;
+    cache_options.warmup = scenario.warmup;
+    cache_options.window = scenario.window;
+    auto run_cache = [&](bool batch, int shards, int threads) {
+      ScopedScoringBatch scoped(batch);
+      CacheSimulator::Options run_options = cache_options;
+      if (shards > 0) {
+        run_options.shards = shards;
+        run_options.threads = threads;
+      }
+      return CacheSimulator(run_options).Run(references, policy);
+    };
+
+    const CacheRunResult base = run_cache(off_flag, 0, 0);
+    struct CacheCase {
+      const char* name;
+      bool batch;
+      int shards;
+      int threads;
+    };
+    const CacheCase kCases[] = {{"serial batch-on", on_flag, 0, 0},
+                                {"sharded batch-off", off_flag, 4, 2},
+                                {"sharded batch-on", on_flag, 4, 2}};
+    for (const CacheCase& c : kCases) {
+      const CacheRunResult run = run_cache(c.batch, c.shards, c.threads);
+      if (run.hits != base.hits || run.misses != base.misses ||
+          run.counted_hits != base.counted_hits ||
+          run.counted_misses != base.counted_misses) {
+        std::ostringstream out;
+        out << scenario.description << " policy=" << policy.name() << " ["
+            << c.name << "]: cache counters diverge from serial batch-off "
+            << "(base " << base.hits << "h/" << base.misses << "m counted "
+            << base.counted_hits << "/" << base.counted_misses << ", got "
+            << run.hits << "h/" << run.misses << "m counted "
+            << run.counted_hits << "/" << run.counted_misses << ")";
+        return out.str();
+      }
+    }
+    return std::nullopt;
+  }
+
+  ScenarioGenerator::Options options;
+  options.min_length = 32;
+  options.max_length = 80;
+  options.min_capacity = 2;
+  options.max_capacity = 8;
+  options.max_horizon = 12;
+  // Walk-table HEEB needs random-walk processes; the rest sample from the
+  // independent pool. kTimeIncremental runs unwindowed (as in
+  // sharded_engine) so the lazy Corollary 3 advance is exercised without
+  // window-expiry churn masking it.
+  options.pool = variant == 2 ? ScenarioGenerator::Pool::kWalks
+                              : ScenarioGenerator::Pool::kIndependent;
+  options.window_probability = 0.3;
+  ScenarioGenerator generator(options);
+  Scenario scenario = generator.Sample(seed);
+  if (variant == 1) scenario.window.reset();
+
+  Rng aux(seed ^ kAuxSalt);
+  Rng realization_rng(seed ^ kRealizationSalt);
+  auto [r, s] = SampleRealization(scenario, realization_rng);
+
+  std::unique_ptr<ReplacementPolicy> policy;
+  switch (variant) {
+    case 0:
+    case 1:
+    case 2: {
+      HeebJoinPolicy::Options heeb_options;
+      heeb_options.mode = variant == 0 ? HeebJoinPolicy::Mode::kDirect
+                          : variant == 1
+                              ? HeebJoinPolicy::Mode::kTimeIncremental
+                              : HeebJoinPolicy::Mode::kWalkTable;
+      heeb_options.alpha = scenario.alpha;
+      heeb_options.horizon = scenario.horizon;
+      heeb_options.refresh_interval = 8;
+      policy = std::make_unique<HeebJoinPolicy>(scenario.r_process.get(),
+                                                scenario.s_process.get(),
+                                                heeb_options);
+      break;
+    }
+    case 3: {
+      std::optional<Time> assumed_lifetime;
+      if (aux.UniformReal() < 0.5) assumed_lifetime = aux.UniformInt(4, 24);
+      policy = std::make_unique<ProbPolicy>(assumed_lifetime);
+      break;
+    }
+    default:
+      policy = std::make_unique<LifePolicy>(aux.UniformInt(4, 24));
+      break;
+  }
+  BinaryPolicyAdapter adapter(policy.get());
+
+  const StreamEngine::Options engine_options{.capacity = scenario.capacity,
+                                             .warmup = scenario.warmup,
+                                             .window = scenario.window};
+  auto run_engine = [&](bool batch, int shards, int threads,
+                        EngineTraceObserver* trace, PerfObserver* perf) {
+    ScopedScoringBatch scoped(batch);
+    if (shards == 0) {
+      StreamEngine engine(StreamTopology::Binary(), engine_options);
+      return engine.Run({&r, &s}, adapter, {perf, trace});
+    }
+    ShardedStreamEngine engine(StreamTopology::Binary(),
+                               {.capacity = scenario.capacity,
+                                .warmup = scenario.warmup,
+                                .window = scenario.window,
+                                .shards = shards,
+                                .threads = threads});
+    return engine.Run({&r, &s}, adapter, {perf, trace});
+  };
+
+  EngineTraceObserver base_trace;
+  PerfObserver base_perf;
+  const EngineRunResult base_run =
+      run_engine(off_flag, 0, 0, &base_trace, &base_perf);
+
+  struct EngineCase {
+    const char* name;
+    bool batch;
+    int shards;
+    int threads;
+  };
+  const EngineCase kCases[] = {{"serial batch-on", on_flag, 0, 0},
+                               {"sharded batch-off", off_flag, 4, 2},
+                               {"sharded batch-on", on_flag, 4, 2}};
+  for (const EngineCase& c : kCases) {
+    EngineTraceObserver trace;
+    PerfObserver perf;
+    const EngineRunResult run =
+        run_engine(c.batch, c.shards, c.threads, &trace, &perf);
+
+    std::ostringstream context;
+    context << scenario.description << " policy=" << policy->name() << " ["
+            << c.name << "]";
+    if (run.total_results != base_run.total_results ||
+        run.counted_results != base_run.counted_results) {
+      std::ostringstream out;
+      out << context.str() << ": result counts diverge from serial "
+          << "batch-off (base " << base_run.total_results << "/"
+          << base_run.counted_results << ", got " << run.total_results
+          << "/" << run.counted_results << ")";
+      return out.str();
+    }
+    if (perf.telemetry().peak_candidates !=
+            base_perf.telemetry().peak_candidates ||
+        perf.telemetry().steps != base_perf.telemetry().steps) {
+      std::ostringstream out;
+      out << context.str() << ": telemetry diverges from serial batch-off "
+          << "(base peak " << base_perf.telemetry().peak_candidates
+          << " steps " << base_perf.telemetry().steps << ", got peak "
+          << perf.telemetry().peak_candidates << " steps "
+          << perf.telemetry().steps << ")";
+      return out.str();
+    }
+    if (auto mismatch =
+            CompareEngineTraces(context.str(), base_trace, trace)) {
+      return mismatch;
+    }
+  }
+  return std::nullopt;
+}
+
 const std::vector<DifferentialSuite>& Registry() {
   static const std::vector<DifferentialSuite> suites = {
       {"ecb_heeb_scoring",
@@ -2001,6 +2228,11 @@ const std::vector<DifferentialSuite>& Registry() {
        "shedding) vs a solo StreamEngine run per session on the accepted "
        "arrivals, bit for bit, plus scheduler accounting invariants",
        1000, &ServeSchedulerTrial},
+      {"batch_scoring",
+       "batched SoA scoring kernels vs the scalar per-tuple path across "
+       "{HEEB kDirect/kTimeIncremental/kWalkTable, PROB, LIFE, caching "
+       "HEEB} x serial/sharded engines, bit for bit on full traces",
+       1000, &BatchScoringTrial},
   };
   return suites;
 }

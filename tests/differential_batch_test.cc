@@ -1,0 +1,27 @@
+// Differential suite for the batched SoA scoring kernels: every
+// batch-scorable policy family (HEEB kDirect / kTimeIncremental /
+// kWalkTable, PROB, LIFE, caching HEEB) run serial and sharded with batch
+// scoring off and on, comparing full per-step traces (or all four cache
+// counters) bit for bit against the serial scalar baseline. The
+// SJOIN_DIFF_BATCH env hook pins both sides to one flag value — the TSan
+// job uses it to drive the batch kernels under the race detector.
+
+#include <gtest/gtest.h>
+
+#include "sjoin/testing/differential.h"
+
+namespace sjoin {
+namespace testing {
+namespace {
+
+TEST(DifferentialBatchTest, BatchScoringMatchesScalarBitForBit) {
+  const DifferentialSuite* suite = FindDifferentialSuite("batch_scoring");
+  ASSERT_NE(suite, nullptr);
+  DifferentialReport report = RunDifferentialSuite(
+      *suite, kDifferentialBaseSeed, TrialCountFromEnv(suite->default_trials));
+  EXPECT_TRUE(report.ok()) << report.Summary();
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace sjoin

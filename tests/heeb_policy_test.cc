@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "sjoin/common/rng.h"
@@ -93,6 +94,39 @@ TEST(HeebJoinPolicyTest, WindowedTimeIncrementalMatchesWindowedDirect) {
   HeebJoinPolicy incremental(&config.r, &config.s, options);
   EXPECT_EQ(sim.Run(pair.r, pair.s, direct).total_results,
             sim.Run(pair.r, pair.s, incremental).total_results);
+}
+
+TEST(HeebJoinPolicyTest, IncrementalAdvanceDeterministicAcrossReruns) {
+  // The Corollary 3 sweep iterates the flat slot array and periodically
+  // re-anchors through the refresh interval; rerunning the same inputs
+  // must reproduce the exact same per-tuple scores — slot storage order
+  // is an implementation detail that may not leak into results.
+  TrendConfig config;
+  Rng rng(31);
+  auto pair = SampleStreamPair(config.r, config.s, 300, rng);
+  auto run_once = [&](std::vector<std::pair<TupleId, double>>* trace) {
+    HeebJoinPolicy::Options options;
+    options.mode = HeebJoinPolicy::Mode::kTimeIncremental;
+    options.alpha = ExpLifetime::AlphaForAverageLifetime(12.0);
+    options.horizon = 200;
+    options.refresh_interval = 4;  // Exercise the re-anchor path often.
+    HeebJoinPolicy policy(&config.r, &config.s, options);
+    policy.set_score_observer([trace](const Tuple& tuple, double score) {
+      trace->emplace_back(tuple.id, score);
+    });
+    JoinSimulator sim({.capacity = 8, .warmup = 0});
+    return sim.Run(pair.r, pair.s, policy).total_results;
+  };
+  std::vector<std::pair<TupleId, double>> first;
+  std::vector<std::pair<TupleId, double>> second;
+  auto first_total = run_once(&first);
+  auto second_total = run_once(&second);
+  EXPECT_EQ(first_total, second_total);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].first, second[i].first) << "score " << i;
+    EXPECT_EQ(first[i].second, second[i].second) << "score " << i;
+  }
 }
 
 TEST(HeebJoinPolicyTest, WalkTableMatchesDirect) {
